@@ -1,0 +1,24 @@
+//! CNN backbones producing stride-8 "C4" feature maps.
+//!
+//! The paper extracts its image feature sequence from the C4 stage of an
+//! ImageNet-pretrained ResNet-50 (§4.2), evaluates a ResNet-101 variant for
+//! timing (Table 5) and mentions a VGG variant in a footnote. Those
+//! checkpoints are unavailable offline, so this crate provides structurally
+//! faithful stand-ins at laptop scale:
+//!
+//! * [`BackboneKind::TinyResNet`] — residual, 1 block per stage (the
+//!   ResNet-50 C4 analogue used everywhere by default);
+//! * [`BackboneKind::DeepResNet`] — residual, 3 blocks per stage (the
+//!   ResNet-101 analogue; ~2.5× the conv depth, used for the Table 5 row);
+//! * [`BackboneKind::VggStyle`] — plain convolutions, no shortcuts (the
+//!   footnote's VGG ablation).
+//!
+//! [`pretrain_shapes`] replaces ImageNet pretraining with a synthetic
+//! shape-classification task on single-object scenes, exercising the same
+//! code path (pretrain → fine-tune end-to-end).
+
+mod model;
+mod pretrain;
+
+pub use model::{Backbone, BackboneKind};
+pub use pretrain::{pretrain_shapes, PretrainReport};

@@ -1,0 +1,265 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use yollo_nn::{Binder, Conv2d, Module, ParamList};
+use yollo_tensor::{Conv2dSpec, Var};
+
+/// Which backbone architecture to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackboneKind {
+    /// Residual, one block per stage — the ResNet-50 C4 stand-in.
+    TinyResNet,
+    /// Residual, three blocks per stage — the ResNet-101 C4 stand-in.
+    DeepResNet,
+    /// Plain stacked convolutions (no shortcuts) — the VGG footnote ablation.
+    VggStyle,
+}
+
+impl BackboneKind {
+    /// Identity blocks appended to each strided stage.
+    fn extra_blocks(self) -> usize {
+        match self {
+            BackboneKind::TinyResNet => 0,
+            BackboneKind::DeepResNet => 2,
+            BackboneKind::VggStyle => 0,
+        }
+    }
+
+    /// Whether stages use residual shortcuts.
+    fn residual(self) -> bool {
+        !matches!(self, BackboneKind::VggStyle)
+    }
+
+    /// Name used in reports (mirrors the paper's Table 5 labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackboneKind::TinyResNet => "ResNet-50 C4 (tiny stand-in)",
+            BackboneKind::DeepResNet => "ResNet-101 C4 (deep stand-in)",
+            BackboneKind::VggStyle => "VGG-style (footnote ablation)",
+        }
+    }
+}
+
+/// One backbone stage: a strided "projection" block followed by optional
+/// identity blocks. Residual variants add a 1×1 shortcut projection.
+#[derive(Debug)]
+struct Stage {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    shortcut: Option<Conv2d>,
+    identities: Vec<(Conv2d, Conv2d)>,
+}
+
+impl Stage {
+    fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        residual: bool,
+        extra: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let s2 = Conv2dSpec { stride: 2, pad: 1 };
+        let s1 = Conv2dSpec { stride: 1, pad: 1 };
+        Stage {
+            conv1: Conv2d::new(&format!("{name}.conv1"), in_ch, out_ch, 3, s2, true, rng),
+            conv2: Conv2d::new(&format!("{name}.conv2"), out_ch, out_ch, 3, s1, true, rng),
+            shortcut: residual.then(|| {
+                Conv2d::new(
+                    &format!("{name}.shortcut"),
+                    in_ch,
+                    out_ch,
+                    1,
+                    Conv2dSpec { stride: 2, pad: 0 },
+                    false,
+                    rng,
+                )
+            }),
+            identities: (0..extra)
+                .map(|i| {
+                    (
+                        Conv2d::new(&format!("{name}.id{i}.a"), out_ch, out_ch, 3, s1, true, rng),
+                        Conv2d::new(&format!("{name}.id{i}.b"), out_ch, out_ch, 3, s1, true, rng),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+        let mut y = self.conv2.forward(bind, self.conv1.forward(bind, x).relu());
+        if let Some(sc) = &self.shortcut {
+            y = y + sc.forward(bind, x);
+        }
+        y = y.relu();
+        for (a, b) in &self.identities {
+            let z = b.forward(bind, a.forward(bind, y).relu());
+            y = (z + y).relu();
+        }
+        y
+    }
+
+    fn parameters(&self) -> ParamList {
+        let mut ps = self.conv1.parameters();
+        ps.extend(self.conv2.parameters());
+        if let Some(sc) = &self.shortcut {
+            ps.extend(sc.parameters());
+        }
+        for (a, b) in &self.identities {
+            ps.extend(a.parameters());
+            ps.extend(b.parameters());
+        }
+        ps
+    }
+}
+
+/// A stride-8 convolutional feature extractor over `[N, C_in, H, W]`
+/// images, producing `[N, C_out, H/8, W/8]` "C4" features.
+#[derive(Debug)]
+pub struct Backbone {
+    kind: BackboneKind,
+    stages: Vec<Stage>,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl Backbone {
+    /// Channel progression of the three strided stages.
+    const CHANNELS: [usize; 3] = [12, 20, 28];
+
+    /// Builds a backbone for `in_channels`-channel inputs.
+    pub fn new(kind: BackboneKind, in_channels: usize, rng: &mut impl Rng) -> Self {
+        let mut stages = Vec::new();
+        let mut prev = in_channels;
+        for (i, &ch) in Self::CHANNELS.iter().enumerate() {
+            stages.push(Stage::new(
+                &format!("backbone.s{i}"),
+                prev,
+                ch,
+                kind.residual(),
+                kind.extra_blocks(),
+                rng,
+            ));
+            prev = ch;
+        }
+        Backbone {
+            kind,
+            stages,
+            in_channels,
+            out_channels: prev,
+        }
+    }
+
+    /// The architecture variant.
+    pub fn kind(&self) -> BackboneKind {
+        self.kind
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output ("C4") channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Total spatial downsampling factor.
+    pub fn stride(&self) -> usize {
+        8
+    }
+
+    /// Extracts the feature map.
+    ///
+    /// # Panics
+    /// Panics unless `x` is `[N, in_channels, H, W]` with H, W divisible
+    /// by the stride.
+    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "backbone input must be [N,C,H,W]");
+        assert_eq!(dims[1], self.in_channels, "backbone channel mismatch");
+        assert!(
+            dims[2] % self.stride() == 0 && dims[3] % self.stride() == 0,
+            "input H/W must be divisible by stride {}",
+            self.stride()
+        );
+        let mut y = x;
+        for s in &self.stages {
+            y = s.forward(bind, y);
+        }
+        y
+    }
+}
+
+impl Module for Backbone {
+    fn parameters(&self) -> ParamList {
+        self.stages.iter().flat_map(Stage::parameters).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yollo_tensor::{Graph, Tensor};
+
+    #[test]
+    fn output_shape_is_stride_8() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let bb = Backbone::new(BackboneKind::TinyResNet, 5, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x = g.leaf(Tensor::randn(&[2, 5, 48, 72], &mut rng));
+        let y = bb.forward(&b, x);
+        assert_eq!(y.dims(), vec![2, 28, 6, 9]);
+    }
+
+    #[test]
+    fn deep_variant_has_more_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tiny = Backbone::new(BackboneKind::TinyResNet, 5, &mut rng);
+        let deep = Backbone::new(BackboneKind::DeepResNet, 5, &mut rng);
+        let vgg = Backbone::new(BackboneKind::VggStyle, 5, &mut rng);
+        assert!(deep.num_params() > 2 * tiny.num_params());
+        // vgg drops only the 1x1 shortcut projections
+        assert!(vgg.num_params() < tiny.num_params());
+    }
+
+    #[test]
+    fn gradients_reach_the_stem() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bb = Backbone::new(BackboneKind::TinyResNet, 5, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x = g.leaf(Tensor::randn(&[1, 5, 16, 16], &mut rng));
+        bb.forward(&b, x).square().mean_all().backward();
+        b.harvest();
+        for p in bb.parameters() {
+            assert!(p.grad_norm() > 0.0, "no grad for {}", p.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by stride")]
+    fn rejects_misaligned_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bb = Backbone::new(BackboneKind::TinyResNet, 5, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x = g.leaf(Tensor::zeros(&[1, 5, 20, 20]));
+        bb.forward(&b, x);
+    }
+
+    #[test]
+    fn parameter_names_are_unique() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bb = Backbone::new(BackboneKind::DeepResNet, 5, &mut rng);
+        let mut names: Vec<String> =
+            bb.parameters().iter().map(|p| p.name().to_owned()).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the computational substrate: the tensor
+//! ops that dominate YOLLO's forward pass, plus the detection geometry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use yollo_detect::{label_anchors, nms, AnchorGrid, AnchorSpec, BBox, MatchConfig};
+use yollo_tensor::{im2col, Conv2dSpec, Graph, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut g = c.benchmark_group("matmul");
+    for &(m, k, n) in &[(54usize, 48usize, 48usize), (64, 64, 64), (128, 128, 128)] {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        g.bench_function(format!("{m}x{k}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::randn(&[1, 5, 48, 72], &mut rng);
+    let spec = Conv2dSpec { stride: 2, pad: 1 };
+    c.bench_function("im2col_stem", |b| {
+        b.iter(|| black_box(im2col(&x, 3, 3, spec)))
+    });
+    let w = Tensor::randn(&[12, 5, 3, 3], &mut rng);
+    c.bench_function("conv2d_stem_fwd", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let wv = g.leaf(w.clone());
+            black_box(xv.conv2d(wv, spec).value())
+        })
+    });
+}
+
+fn bench_softmax_and_autodiff(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = Tensor::randn(&[70, 70], &mut rng);
+    c.bench_function("softmax_70x70", |b| {
+        b.iter(|| black_box(x.softmax_lastdim()))
+    });
+    c.bench_function("autodiff_relation_map", |b| {
+        b.iter(|| {
+            let g = Graph::new();
+            let v = g.leaf(Tensor::randn(&[54, 48], &mut rng));
+            let r = v.matmul(v.transpose()).softmax_lastdim().sum_all();
+            r.backward();
+            black_box(v.grad())
+        })
+    });
+}
+
+fn bench_detection_geometry(c: &mut Criterion) {
+    let grid = AnchorGrid::generate(6, 9, &AnchorSpec::default());
+    let target = BBox::from_center(36.0, 24.0, 20.0, 16.0);
+    c.bench_function("label_486_anchors", |b| {
+        b.iter(|| black_box(label_anchors(grid.boxes(), &target, &MatchConfig::default())))
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let boxes: Vec<BBox> = (0..486)
+        .map(|_| {
+            BBox::new(
+                rand::Rng::gen_range(&mut rng, 0.0..60.0),
+                rand::Rng::gen_range(&mut rng, 0.0..40.0),
+                rand::Rng::gen_range(&mut rng, 4.0..24.0),
+                rand::Rng::gen_range(&mut rng, 4.0..24.0),
+            )
+        })
+        .collect();
+    let scores: Vec<f64> = (0..486).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("nms_486_to_60", |b| {
+        b.iter(|| black_box(nms(&boxes, &scores, 0.7, 60)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv, bench_softmax_and_autodiff, bench_detection_geometry
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the full YOLLO forward pass and one training
+//! step — ablation-style performance evidence for the design choices in
+//! DESIGN.md (Rel2Att stack depth).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use yollo_core::{Yollo, YolloConfig};
+use yollo_nn::Binder;
+use yollo_synthref::{Dataset, DatasetConfig, DatasetKind, Split};
+use yollo_tensor::Graph;
+
+fn bench_full_forward(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+    let mut g = c.benchmark_group("yollo_forward");
+    g.sample_size(15);
+    for depth in [1usize, 3] {
+        let cfg = YolloConfig {
+            n_rel2att: depth,
+            ..YolloConfig::for_dataset(&ds)
+        };
+        let mut model = Yollo::new(cfg, 1);
+        model.set_vocab(ds.build_vocab());
+        let sample = &ds.samples(Split::Val)[0];
+        let refs = vec![sample];
+        let (images, queries, _) = model.encode_batch(&ds, &refs);
+        g.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| black_box(model.predict_batch(images.clone(), &queries)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+    let model = Yollo::for_dataset(&ds, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let samples: Vec<_> = ds.samples(Split::Train).iter().take(4).collect();
+    let (images, queries, targets) = model.encode_batch(&ds, &samples);
+    let mut g = c.benchmark_group("yollo_train_step");
+    g.sample_size(10);
+    g.bench_function("fwd_bwd_batch4", |b| {
+        b.iter(|| {
+            let graph = Graph::new();
+            let bind = Binder::new(&graph);
+            let out = model.forward(&bind, graph.leaf(images.clone()), &queries);
+            let (loss, _) = model.loss(&bind, &out, &targets, &mut rng);
+            loss.backward();
+            bind.harvest();
+            black_box(loss.value())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_forward, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion version of Table 5: one-stage vs two-stage inference latency.
+//!
+//! `cargo bench -p yollo-bench --bench table5_speed` times YOLLO inference
+//! (tiny and deep backbones) against the two-stage pipeline's stages. See
+//! the `exp_table5_speed` binary for the formatted paper-style table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yollo_backbone::BackboneKind;
+use yollo_core::{Yollo, YolloConfig};
+use yollo_synthref::{Dataset, DatasetConfig, DatasetKind, Split};
+use yollo_twostage::{
+    Listener, ListenerConfig, ProposalConfig, ProposalNetwork, ProposalScorer, RoiExtractor,
+    Speaker, SpeakerConfig,
+};
+
+fn setup() -> Dataset {
+    Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0))
+}
+
+fn bench_one_stage(c: &mut Criterion) {
+    let ds = setup();
+    let vocab = ds.build_vocab();
+    let sample = &ds.samples(Split::Val)[0];
+    let scene = ds.scene_of(sample);
+    let query = vocab.encode_padded(&sample.tokens, ds.max_query_len().max(4));
+    let mut g = c.benchmark_group("one_stage");
+    g.sample_size(20);
+    for (label, backbone) in [
+        ("yollo_resnet50_standin", BackboneKind::TinyResNet),
+        ("yollo_resnet101_standin", BackboneKind::DeepResNet),
+    ] {
+        let cfg = YolloConfig {
+            backbone,
+            vocab_size: vocab.len(),
+            max_query_len: ds.max_query_len().max(4),
+            ..YolloConfig::default()
+        };
+        let mut model = Yollo::new(cfg, 1);
+        model.set_vocab(vocab.clone());
+        let img = scene.render().reshape(&[1, 5, scene.height, scene.width]);
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(model.predict_batch(img.clone(), std::slice::from_ref(&query))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_two_stage(c: &mut Criterion) {
+    let ds = setup();
+    let vocab = ds.build_vocab();
+    let sample = &ds.samples(Split::Val)[0];
+    let scene = ds.scene_of(sample);
+    let query = vocab.encode_padded(&sample.tokens, ds.max_query_len().max(4));
+    let rpn = ProposalNetwork::new(
+        ProposalConfig {
+            proposals_per_image: 60,
+            ..ProposalConfig::default()
+        },
+        0,
+    );
+    let roi = RoiExtractor::new(8, 2);
+    let feat_dim = roi.feat_dim(rpn.backbone().out_channels());
+    let listener = Listener::new(ListenerConfig::small(feat_dim, vocab.len()), 1);
+    let speaker = Speaker::new(SpeakerConfig::small(feat_dim, vocab.len()), 2);
+    let (proposals, feat_map) = rpn.propose(scene);
+    let feats: Vec<_> = proposals
+        .iter()
+        .map(|(b, s)| roi.extract(&feat_map, *b, *s, scene.width, scene.height))
+        .collect();
+
+    let mut g = c.benchmark_group("two_stage");
+    g.sample_size(10);
+    g.bench_function("stage1_propose", |b| {
+        b.iter(|| black_box(rpn.propose(scene)))
+    });
+    g.bench_function("stage2_listener", |b| {
+        b.iter(|| black_box(listener.score_proposals(&feats, &query)))
+    });
+    g.bench_function("stage2_speaker", |b| {
+        b.iter(|| black_box(speaker.score_proposals(&feats, &query)))
+    });
+    // the paper-faithful [42] pipeline: a CNN pass per proposal crop
+    let crop_listener = Listener::new(
+        ListenerConfig::small(rpn.crop_feat_dim(), vocab.len()),
+        3,
+    );
+    g.bench_function("stage2_per_region_cnn_listener", |b| {
+        b.iter(|| {
+            let crop_feats = rpn.crop_features(scene, &proposals);
+            black_box(crop_listener.score_proposals(&crop_feats, &query))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_one_stage, bench_two_stage);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Diagnostic (not a paper table): how well does the Rel2Att attention
+//! alone learn to localise the target? Trains with the full loss and
+//! reports, per eval, the fraction of validation samples whose final-layer
+//! attention peak falls inside the ground-truth box.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yollo_bench::{dataset, Scale};
+use yollo_core::{TrainConfig, Trainer, Yollo};
+use yollo_synthref::{Dataset, DatasetKind, Split};
+
+fn att_peak_hit_rate(model: &Yollo, ds: &Dataset, n: usize) -> f64 {
+    let fw = model.config().feat_w();
+    let stride = model.config().anchors.stride as f64;
+    let samples = &ds.samples(Split::Val)[..n.min(ds.samples(Split::Val).len())];
+    let mut hits = 0;
+    for s in samples {
+        let pred = model.predict_sample(ds, s);
+        let peak = pred
+            .attention
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let (py, px) = (peak / fw, peak % fw);
+        let gt = ds.target_bbox(s);
+        if gt.contains_point((px as f64 + 0.5) * stride, (py as f64 + 0.5) * stride) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples.len() as f64
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = dataset(scale, DatasetKind::SynthRef);
+    let mut model = Yollo::for_dataset(&ds, 42);
+    let _ = StdRng::seed_from_u64(0);
+    let cfg = TrainConfig {
+        eval_every: 0,
+        ..scale.train_config(42)
+    };
+    let trainer = Trainer::new(cfg);
+    eprintln!("probe: att-peak hit rate before training: {:.3}", att_peak_hit_rate(&model, &ds, 60));
+    let chunks = 4;
+    let per_chunk = TrainConfig {
+        iterations: cfg.iterations / chunks,
+        ..cfg
+    };
+    let mut first = true;
+    for c in 0..chunks {
+        let t = Trainer::new(TrainConfig {
+            word2vec_init: per_chunk.word2vec_init && first,
+            pretrain_backbone_steps: if first { per_chunk.pretrain_backbone_steps } else { 0 },
+            seed: 42 + c as u64,
+            ..per_chunk
+        });
+        first = false;
+        let log = t.train(&mut model, &ds);
+        eprintln!(
+            "after {} iters: loss {:.3} (att {:.3}) peak-hit {:.3} val-acc {:.3}",
+            (c + 1) * per_chunk.iterations,
+            log.late_loss(10),
+            log.points.last().expect("points").loss.att,
+            att_peak_hit_rate(&model, &ds, 60),
+            model
+                .evaluate_samples(&ds, &ds.samples(Split::Val)[..40])
+                .acc_at(0.5),
+        );
+    }
+    let _ = trainer;
+}

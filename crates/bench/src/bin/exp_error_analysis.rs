@@ -1,0 +1,88 @@
+//! **Error analysis** (extension; not a numbered paper table).
+//!
+//! Breaks YOLLO's validation accuracy down by target category, target size
+//! and query length, and measures confidence calibration — the diagnostics
+//! a practitioner would run before deploying the grounder.
+
+use yollo_bench::{dataset, load_or_train_yollo, output_dir, Scale};
+use yollo_eval::{pct, CalibrationBins, GroupedMetrics, Table};
+use yollo_synthref::{DatasetKind, SizeClass, Split};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = dataset(scale, DatasetKind::SynthRef);
+    let (model, _) = load_or_train_yollo(scale, &ds, DatasetKind::SynthRef, 42);
+
+    let mut by_kind: GroupedMetrics<&'static str> = GroupedMetrics::new();
+    let mut by_size: GroupedMetrics<&'static str> = GroupedMetrics::new();
+    let mut by_len: GroupedMetrics<usize> = GroupedMetrics::new();
+    let mut calib = CalibrationBins::new(10);
+
+    for s in ds.samples(Split::Val) {
+        let pred = model.predict_sample(&ds, s);
+        let gt = ds.target_bbox(s);
+        let iou = pred.bbox.iou(&gt);
+        let scene = ds.scene_of(s);
+        let obj = &scene.objects[s.target_idx];
+        by_kind.record(obj.kind.word(), iou);
+        by_size.record(
+            match obj.size_class(scene.median_area()) {
+                SizeClass::Small => "small",
+                SizeClass::Large => "big",
+            },
+            iou,
+        );
+        by_len.record(s.tokens.len().min(8), iou);
+        calib.record(pred.score, iou > 0.5);
+    }
+
+    println!("# Error analysis ({scale:?} scale, SynthRef val)\n");
+    let mut t = Table::new(["Target category", "ACC@0.5", "MIOU", "n"]);
+    for (k, m) in by_kind.iter() {
+        t.row([
+            k.to_string(),
+            pct(m.acc_at(0.5)),
+            pct(m.miou()),
+            m.len().to_string(),
+        ]);
+    }
+    println!("## By category\n\n{t}");
+    if let Some((k, acc)) = by_kind.weakest(0.5) {
+        println!("weakest category: {k} ({})\n", pct(acc));
+    }
+
+    let mut t = Table::new(["Target size", "ACC@0.5", "MIOU", "n"]);
+    for (k, m) in by_size.iter() {
+        t.row([
+            k.to_string(),
+            pct(m.acc_at(0.5)),
+            pct(m.miou()),
+            m.len().to_string(),
+        ]);
+    }
+    println!("## By size\n\n{t}");
+
+    let mut t = Table::new(["Query length (words, capped 8)", "ACC@0.5", "n"]);
+    for (k, m) in by_len.iter() {
+        t.row([k.to_string(), pct(m.acc_at(0.5)), m.len().to_string()]);
+    }
+    println!("## By query length\n\n{t}");
+
+    println!("## Confidence calibration\n");
+    let mut t = Table::new(["mean confidence", "accuracy", "n"]);
+    for (conf, acc, n) in calib.bins() {
+        t.row([format!("{conf:.2}"), format!("{acc:.2}"), n.to_string()]);
+    }
+    println!("{t}");
+    println!("expected calibration error (ECE): {:.3}", calib.ece());
+
+    let path = output_dir().join("error_analysis.json");
+    let blob = serde_json::json!({
+        "ece": calib.ece(),
+        "overall_acc50": by_kind.overall().acc_at(0.5),
+        "overall_miou": by_kind.overall().miou(),
+    });
+    std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serialisable"))
+        .expect("can write results");
+    println!("raw results: {}", path.display());
+}

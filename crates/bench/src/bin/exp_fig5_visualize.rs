@@ -1,0 +1,139 @@
+//! **Figure 5 (and Figure 3) — Qualitative visualisation.**
+//!
+//! Paper: scenes with the Rel2Att attention mask highlighted and the
+//! predicted box in red; "the highlighted areas … perfectly match with the
+//! final predicted bounding boxes"; query-swap pairs on the same image
+//! ("left most toilet" vs "right urinal") move the attention and the box.
+//!
+//! Here: trains YOLLO on SynthRef, renders validation scenes to
+//! `target/experiments/fig5_*.ppm` with the attention heat map (red tint),
+//! the predicted box (red) and the ground truth (white outline), plus a
+//! query-swap pair, and prints the attention/box agreement statistic.
+
+use yollo_bench::{dataset, load_or_train_yollo, output_dir, Scale};
+use yollo_detect::BBox;
+use yollo_synthref::{render_ppm, DatasetKind, Overlay, Split};
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = dataset(scale, DatasetKind::SynthRef);
+    let (model, _) = load_or_train_yollo(scale, &ds, DatasetKind::SynthRef, 42);
+    let dir = output_dir();
+    let (fh, fw) = (model.config().feat_h(), model.config().feat_w());
+    let stride = model.config().anchors.stride as f64;
+
+    println!("# Figure 5 — qualitative results ({scale:?} scale)\n");
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (i, sample) in ds.samples(Split::Val).iter().take(8).enumerate() {
+        let scene = ds.scene_of(sample);
+        let pred = model.predict_sample(&ds, sample);
+        let gt = ds.target_bbox(sample);
+        let path = dir.join(format!("fig5_val{i}.ppm"));
+        render_ppm(
+            scene,
+            &[
+                Overlay::Heat {
+                    values: pred.attention.clone(),
+                    fh,
+                    fw,
+                },
+                Overlay::Box {
+                    bbox: pred.bbox,
+                    rgb: [1.0, 0.0, 0.0],
+                },
+                Overlay::Box {
+                    bbox: gt,
+                    rgb: [1.0, 1.0, 1.0],
+                },
+            ],
+            &path,
+        )
+        .expect("can write figure");
+        // does the attention peak fall inside the predicted box?
+        let peak = pred
+            .attention
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(idx, _)| idx)
+            .expect("non-empty attention");
+        let (py, px) = (peak / fw, peak % fw);
+        let peak_point = (
+            (px as f64 + 0.5) * stride,
+            (py as f64 + 0.5) * stride,
+        );
+        let inside = pred.bbox.contains_point(peak_point.0, peak_point.1);
+        agree += inside as usize;
+        total += 1;
+        println!(
+            "- {}: \"{}\" IoU={:.2}, attention peak {} predicted box",
+            path.file_name().expect("file name").to_string_lossy(),
+            sample.sentence,
+            pred.bbox.iou(&gt),
+            if inside { "inside" } else { "OUTSIDE" },
+        );
+    }
+    println!(
+        "\nattention-peak-inside-predicted-box: {agree}/{total} (paper: \"perfectly match\")"
+    );
+
+    // query swaps: same image, opposite queries — the Figure 5 pairs
+    // ("left most toilet" vs "right urinal"). Sweep several scenes and
+    // kinds, count how often the box moves, and render the first moving
+    // pair.
+    let kinds = ["circle", "square", "triangle", "cross", "diamond"];
+    let pairs = [("left", "right"), ("top", "bottom")];
+    let mut moved = 0usize;
+    let mut tried = 0usize;
+    let mut rendered = false;
+    for sample in ds.samples(Split::Val).iter().take(24) {
+        let scene = ds.scene_of(sample);
+        for kind in kinds {
+            let k = yollo_synthref::ShapeKind::ALL
+                .iter()
+                .find(|s| s.word() == kind)
+                .copied()
+                .expect("known kind");
+            if scene.of_kind(k).len() < 2 {
+                continue;
+            }
+            for (a, b) in pairs {
+                let qa = format!("{a} {kind}");
+                let qb = format!("{b} {kind}");
+                let pa = model.predict_scene_query(scene, &qa);
+                let pb = model.predict_scene_query(scene, &qb);
+                tried += 1;
+                let did_move = pa.bbox.iou(&pb.bbox) < 0.5;
+                moved += did_move as usize;
+                if did_move && !rendered {
+                    rendered = true;
+                    for (i, (q, p)) in [(&qa, &pa), (&qb, &pb)].iter().enumerate() {
+                        render_ppm(
+                            scene,
+                            &[
+                                Overlay::Heat {
+                                    values: p.attention.clone(),
+                                    fh,
+                                    fw,
+                                },
+                                Overlay::Box {
+                                    bbox: p.bbox,
+                                    rgb: [1.0, 0.0, 0.0],
+                                },
+                            ],
+                            dir.join(format!("fig5_swap{i}.ppm")),
+                        )
+                        .expect("can write figure");
+                        println!("- swap render \"{q}\" -> {:?}", p.bbox);
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "query swap moved the box in {moved}/{tried} opposite-direction pairs \
+         (paper: box follows the query on the same image)"
+    );
+    let _ = BBox::default();
+}

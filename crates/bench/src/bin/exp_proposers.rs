@@ -1,0 +1,80 @@
+//! **Proposal-model comparison** (extension; backs §2's related-work
+//! claims).
+//!
+//! §2: cheap objectness models (BING, Selective Search, MultiBox) are
+//! "faster but less accurate … they have to increase the number of
+//! proposals to improve the recall rate", while learned detectors propose
+//! better but cost a full network pass. This binary measures target
+//! recall@0.5 and proposal latency for the trained RPN vs the
+//! training-free colour-contrast grid proposer at several budgets.
+
+use yollo_bench::{dataset, output_dir, Scale};
+use yollo_detect::BBox;
+use yollo_eval::{pct, time_inference, Table};
+use yollo_synthref::{Dataset, DatasetKind, Split};
+use yollo_twostage::{GridProposals, ProposalConfig, ProposalNetwork};
+
+fn grid_recall(gp: &GridProposals, ds: &Dataset, split: Split) -> f64 {
+    let samples = ds.samples(split);
+    let mut hit = 0;
+    let mut last = usize::MAX;
+    let mut cached: Vec<(BBox, f64)> = Vec::new();
+    for s in samples {
+        if s.scene_idx != last {
+            cached = gp.propose(ds.scene_of(s));
+            last = s.scene_idx;
+        }
+        let t = ds.target_bbox(s);
+        hit += cached.iter().any(|(b, _)| b.iou(&t) > 0.5) as usize;
+    }
+    hit as f64 / samples.len().max(1) as f64
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let ds = dataset(scale, DatasetKind::SynthRef);
+    let scene = ds.scene_of(&ds.samples(Split::Val)[0]);
+
+    let rpn_iters = match scale {
+        Scale::Tiny => 60,
+        Scale::Standard => 150,
+        Scale::Full => 300,
+    };
+    eprintln!("training RPN ({rpn_iters} iters)…");
+    let mut rpn = ProposalNetwork::new(
+        ProposalConfig {
+            proposals_per_image: 60,
+            ..ProposalConfig::default()
+        },
+        7,
+    );
+    rpn.train(&ds, rpn_iters, 4, 8);
+
+    let mut table = Table::new(["Proposer", "# proposals", "val recall@0.5", "latency (s)"]);
+    let t_rpn = time_inference(|| drop(rpn.propose(scene)), 1, 5);
+    table.row([
+        "RPN (trained, Faster-RCNN stand-in)".to_string(),
+        "60".to_string(),
+        pct(rpn.target_recall(&ds, Split::Val, 0.5)),
+        format!("{:.4}", t_rpn.mean_s),
+    ]);
+    for budget in [30usize, 60, 120] {
+        let gp = GridProposals {
+            max_keep: budget,
+            ..GridProposals::default()
+        };
+        let t = time_inference(|| drop(gp.propose(scene)), 1, 5);
+        table.row([
+            "grid + colour contrast (training-free)".to_string(),
+            budget.to_string(),
+            pct(grid_recall(&gp, &ds, Split::Val)),
+            format!("{:.4}", t.mean_s),
+        ]);
+    }
+    println!("# Proposal models ({scale:?} scale)\n");
+    println!("{table}");
+    println!("Shape to match (§2): the heuristic needs a larger proposal budget to close");
+    println!("the recall gap to the learned detector.");
+    let path = output_dir().join("proposers_results.txt");
+    std::fs::write(&path, table.to_markdown()).expect("can write results");
+}

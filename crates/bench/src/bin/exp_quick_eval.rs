@@ -1,0 +1,35 @@
+//! Utility: evaluates the cached trained model for a dataset kind without
+//! retraining (used to inspect checkpoints mid-experiment).
+//!
+//! Usage: `cargo run -p yollo-bench --bin exp_quick_eval [synthref|synthref+|synthrefg]`
+
+use yollo_bench::{dataset, model_cache_path, Scale};
+use yollo_core::{AttentionAblation, Yollo};
+use yollo_synthref::{DatasetKind, Split};
+
+fn main() {
+    let scale = Scale::from_env();
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "synthref".into());
+    let kind = match arg.as_str() {
+        "synthref+" => DatasetKind::SynthRefPlus,
+        "synthrefg" => DatasetKind::SynthRefG,
+        _ => DatasetKind::SynthRef,
+    };
+    let path = model_cache_path(scale, kind, AttentionAblation::Full);
+    let model = Yollo::load(&path).unwrap_or_else(|e| {
+        eprintln!("no cached model at {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let ds = dataset(scale, kind);
+    for split in [Split::Val, Split::TestA, Split::TestB] {
+        let m = model.evaluate(&ds, split);
+        println!(
+            "{:6} ACC@0.5={:.3} ACC@0.75={:.3} MIOU={:.3} (n={})",
+            split.name(),
+            m.acc_at(0.5),
+            m.acc_at(0.75),
+            m.miou(),
+            m.len()
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Quick end-to-end smoke run: trains YOLLO on a tiny SynthRef and reports
+//! accuracy + per-iteration timing. Not a paper table — a development aid.
+
+use std::time::Instant;
+use yollo_bench::{dataset, train_yollo, Scale};
+use yollo_synthref::{DatasetKind, Split};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale:?}");
+    let t0 = Instant::now();
+    let ds = dataset(scale, DatasetKind::SynthRef);
+    eprintln!(
+        "dataset: {} scenes, {} train samples in {:.1}s",
+        ds.scenes().len(),
+        ds.samples(Split::Train).len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let (model, log) = train_yollo(scale, &ds, 42);
+    for p in &log.points {
+        if let Some(acc) = p.val_acc {
+            eprintln!(
+                "  iter {}: val ACC@0.5 = {acc:.3} (att {:.3} cls {:.3} reg {:.3})",
+                p.iteration, p.loss.att, p.loss.cls, p.loss.reg
+            );
+        }
+    }
+    for split in [Split::Val, Split::TestA, Split::TestB] {
+        let m = model.evaluate(&ds, split);
+        println!(
+            "{:6} ACC@0.5={:.3} ACC@0.75={:.3} MIOU={:.3} (n={})",
+            split.name(),
+            m.acc_at(0.5),
+            m.acc_at(0.75),
+            m.miou(),
+            m.len()
+        );
+    }
+}

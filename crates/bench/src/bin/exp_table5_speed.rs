@@ -1,0 +1,146 @@
+//! **Table 5 — Inference speed comparison.**
+//!
+//! Paper (one NVIDIA Titan XP): speaker 1.235s (+0.291s stage-i), listener
+//! 1.332s (+0.293s), speaker+listener 1.547s (+0.289s), YOLLO ResNet-50
+//! 0.065s, YOLLO ResNet-101 0.103s → a 20×∼30× speedup.
+//!
+//! Here (one CPU, f64): the same six rows. Latency is weight-independent,
+//! so models are timed as constructed; the two-stage rows time the
+//! *paper-faithful* pipeline of [42]: stage-i proposal generation, then,
+//! per proposal, a separate CNN pass over the cropped region followed by
+//! the matcher — ~100 crops per image, the "embed each proposal" cost
+//! structure §1 criticises. The stage-i share is reported in parentheses
+//! exactly as the paper does. (The accuracy experiments use the modern
+//! shared-feature-map RoI pooling instead, which is why they are fast;
+//! Table 5 measures the historical architecture the paper compared
+//! against.) Shape to match: YOLLO several times to an order of magnitude
+//! faster; the deep backbone costs ~1.5–2×.
+
+use yollo_backbone::BackboneKind;
+use yollo_bench::{dataset, output_dir, Scale};
+use yollo_core::{Yollo, YolloConfig};
+use yollo_eval::{time_inference, Table, TimingStats};
+use yollo_synthref::{DatasetKind, Split};
+use yollo_twostage::{
+    EnsembleScorer, Listener, ListenerConfig, ProposalConfig, ProposalNetwork, ProposalScorer,
+    RoiExtractor, Speaker, SpeakerConfig,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (warmup, reps) = match scale {
+        Scale::Tiny => (1, 5),
+        Scale::Standard => (3, 15),
+        Scale::Full => (5, 40),
+    };
+    let ds = dataset(scale, DatasetKind::SynthRef);
+    let vocab = ds.build_vocab();
+    let sample = &ds.samples(Split::Val)[0];
+    let scene = ds.scene_of(sample);
+    let query = vocab.encode_padded(&sample.tokens, ds.max_query_len());
+
+    // --- two-stage parts (the [42]-style per-region-CNN pipeline) ---
+    let rpn = ProposalNetwork::new(
+        ProposalConfig {
+            proposals_per_image: 100, // "tens or even hundreds" (§1)
+            ..ProposalConfig::default()
+        },
+        0,
+    );
+    let _ = RoiExtractor::new(8, 2); // accuracy path; not timed here
+    let feat_dim = rpn.crop_feat_dim();
+    let listener = Listener::new(ListenerConfig::small(feat_dim, vocab.len()), 1);
+    let speaker = Speaker::new(SpeakerConfig::small(feat_dim, vocab.len()), 2);
+    let ensemble = EnsembleScorer::new(vec![&speaker, &listener]);
+
+    // stage-i time (the paper's parenthesised "+0.29s")
+    let stage1 = time_inference(
+        || {
+            rpn.propose(scene);
+        },
+        warmup,
+        reps,
+    );
+    let (proposals, _) = rpn.propose(scene);
+    eprintln!("timing stage ii over {} proposals…", proposals.len());
+
+    // stage-ii = per-proposal crop + CNN pass + matcher, as in [42]
+    let time_scorer = |scorer: &dyn ProposalScorer| -> TimingStats {
+        time_inference(
+            || {
+                let feats = rpn.crop_features(scene, &proposals);
+                scorer.score_proposals(&feats, &query);
+            },
+            warmup,
+            reps,
+        )
+    };
+    let t_speaker = time_scorer(&speaker);
+    let t_listener = time_scorer(&listener);
+    let t_ensemble = time_scorer(&ensemble);
+
+    // --- YOLLO, both backbones ---
+    let time_yollo = |backbone: BackboneKind| -> TimingStats {
+        let cfg = YolloConfig {
+            backbone,
+            vocab_size: vocab.len(),
+            max_query_len: ds.max_query_len().max(4),
+            ..YolloConfig::default()
+        };
+        let mut model = Yollo::new(cfg, 3);
+        model.set_vocab(vocab.clone());
+        let img = scene.render().reshape(&[1, 5, scene.height, scene.width]);
+        time_inference(
+            || {
+                model.predict_batch(img.clone(), std::slice::from_ref(&query));
+            },
+            warmup,
+            reps,
+        )
+    };
+    eprintln!("timing YOLLO…");
+    let t_tiny = time_yollo(BackboneKind::TinyResNet);
+    let t_deep = time_yollo(BackboneKind::DeepResNet);
+
+    let fmt_two_stage = |t: &TimingStats| format!("{:.4} (+{:.4})", t.mean_s, stage1.mean_s);
+    let mut table = Table::new(["Models", "Seconds"]);
+    table.row(["speaker".to_string(), fmt_two_stage(&t_speaker)]);
+    table.row(["listener".to_string(), fmt_two_stage(&t_listener)]);
+    table.row(["speaker+listener".to_string(), fmt_two_stage(&t_ensemble)]);
+    table.row([
+        "YOLLO (ResNet-50 C4 stand-in)".to_string(),
+        format!("{:.4}", t_tiny.mean_s),
+    ]);
+    table.row([
+        "YOLLO (ResNet-101 C4 stand-in)".to_string(),
+        format!("{:.4}", t_deep.mean_s),
+    ]);
+    println!("# Table 5 — inference speed ({scale:?} scale, CPU)\n");
+    println!("{table}");
+    let full =
+        |t: &TimingStats| t.mean_s + stage1.mean_s; // total two-stage latency incl. stage i
+    println!(
+        "speedups over YOLLO (tiny backbone): speaker {:.1}x, listener {:.1}x, s+l {:.1}x",
+        full(&t_speaker) / t_tiny.mean_s,
+        full(&t_listener) / t_tiny.mean_s,
+        full(&t_ensemble) / t_tiny.mean_s,
+    );
+    println!(
+        "deep backbone costs {:.2}x the tiny backbone (paper: 0.103/0.065 = 1.58x)",
+        t_deep.mean_s / t_tiny.mean_s
+    );
+
+    let results = serde_json::json!({
+        "stage1_s": stage1.mean_s,
+        "speaker_s": t_speaker.mean_s,
+        "listener_s": t_listener.mean_s,
+        "speaker_listener_s": t_ensemble.mean_s,
+        "yollo_tiny_s": t_tiny.mean_s,
+        "yollo_deep_s": t_deep.mean_s,
+        "proposals": proposals.len(),
+    });
+    let path = output_dir().join("table5_results.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialisable"))
+        .expect("can write results");
+    println!("raw results: {}", path.display());
+}

@@ -1,0 +1,192 @@
+use serde::{Deserialize, Serialize};
+use yollo_backbone::BackboneKind;
+use yollo_detect::{AnchorSpec, MatchConfig, OffsetEncoding};
+use yollo_synthref::Dataset;
+
+/// Which Rel2Att relation-map quadrants are active (Table 4 ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AttentionAblation {
+    /// Full relation map (the paper's model).
+    #[default]
+    Full,
+    /// Zero out `R_vv` and `R_tt` ("without image & query self-attention").
+    NoSelfAttention,
+    /// Zero out `R_vt` and `R_tv` ("without co-attention") — the model then
+    /// grounds blind to the query.
+    NoCoAttention,
+}
+
+impl AttentionAblation {
+    /// Report label matching Table 4 rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttentionAblation::Full => "YOLLO",
+            AttentionAblation::NoSelfAttention => "YOLLO (without image & query self-attention)",
+            AttentionAblation::NoCoAttention => "YOLLO (without co-attention)",
+        }
+    }
+}
+
+/// Hyper-parameters of a [`Yollo`](crate::Yollo) model.
+///
+/// Paper defaults (§4.2): 3 stacked Rel2Att modules, λ = 1, ResNet-50 C4
+/// backbone, 512-d embeddings; dimensions here are scaled to the synthetic
+/// substrate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct YolloConfig {
+    /// Input image width (must divide by the backbone stride).
+    pub image_width: usize,
+    /// Input image height.
+    pub image_height: usize,
+    /// Input channels (5: RGB + coordinate channels).
+    pub in_channels: usize,
+    /// Backbone variant.
+    pub backbone: BackboneKind,
+    /// Shared feature dimension `d_rel` of the Rel2Att modules.
+    pub d_rel: usize,
+    /// Hidden width of the Rel2Att FFNs.
+    pub ffn_hidden: usize,
+    /// Number of stacked Rel2Att modules (paper: 3).
+    pub n_rel2att: usize,
+    /// Vocabulary size for the word-embedding table.
+    pub vocab_size: usize,
+    /// Fixed (padded) query length.
+    pub max_query_len: usize,
+    /// Anchor layout of the detection head.
+    pub anchors: AnchorSpec,
+    /// Anchor labelling/sampling rule (ρ_high, ρ_low, N).
+    pub matcher: MatchConfig,
+    /// Box-offset parameterisation.
+    pub offset_encoding: OffsetEncoding,
+    /// Regression-loss weight λ (Eq. 9; paper: 1).
+    pub lambda: f64,
+    /// Whether the attention loss supervises every layer (true) or only the
+    /// last (false).
+    pub deep_att_supervision: bool,
+    /// Active relation-map quadrants.
+    pub ablation: AttentionAblation,
+}
+
+impl Default for YolloConfig {
+    fn default() -> Self {
+        YolloConfig {
+            image_width: 72,
+            image_height: 48,
+            in_channels: 5,
+            backbone: BackboneKind::TinyResNet,
+            d_rel: 48,
+            ffn_hidden: 64,
+            n_rel2att: 3,
+            vocab_size: 64,
+            max_query_len: 16,
+            anchors: AnchorSpec::default(),
+            matcher: MatchConfig {
+                sample_n: 64, // paper: 256; scaled to the smaller anchor count
+                ..MatchConfig::default()
+            },
+            offset_encoding: OffsetEncoding::RcnnLog,
+            lambda: 1.0,
+            deep_att_supervision: true,
+            ablation: AttentionAblation::Full,
+        }
+    }
+}
+
+impl YolloConfig {
+    /// Derives a config matching a dataset's image size, vocabulary and
+    /// maximum query length.
+    ///
+    /// # Panics
+    /// Panics if the dataset has no scenes.
+    pub fn for_dataset(ds: &Dataset) -> Self {
+        let scene = ds.scenes().first().expect("dataset has scenes");
+        YolloConfig {
+            image_width: scene.width,
+            image_height: scene.height,
+            vocab_size: ds.build_vocab().len(),
+            max_query_len: ds.max_query_len().max(4),
+            ..YolloConfig::default()
+        }
+    }
+
+    /// Feature-map width (`w` in §3.1).
+    pub fn feat_w(&self) -> usize {
+        self.image_width / self.anchors.stride
+    }
+
+    /// Feature-map height (`h` in §3.1).
+    pub fn feat_h(&self) -> usize {
+        self.image_height / self.anchors.stride
+    }
+
+    /// Region-sequence length `m = w × h`.
+    pub fn num_regions(&self) -> usize {
+        self.feat_w() * self.feat_h()
+    }
+
+    /// Total anchor count `m × K`.
+    pub fn num_anchors(&self) -> usize {
+        self.num_regions() * self.anchors.per_cell()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.image_width % self.anchors.stride != 0
+            || self.image_height % self.anchors.stride != 0
+        {
+            return Err("image size must be divisible by the anchor stride".into());
+        }
+        if self.d_rel == 0 || self.n_rel2att == 0 {
+            return Err("d_rel and n_rel2att must be positive".into());
+        }
+        if self.vocab_size < 2 {
+            return Err("vocab must include PAD and UNK".into());
+        }
+        if self.max_query_len == 0 {
+            return Err("max_query_len must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yollo_synthref::{DatasetConfig, DatasetKind};
+
+    #[test]
+    fn default_config_is_valid() {
+        let c = YolloConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.feat_w(), 9);
+        assert_eq!(c.feat_h(), 6);
+        assert_eq!(c.num_regions(), 54);
+        assert_eq!(c.num_anchors(), 54 * 9);
+    }
+
+    #[test]
+    fn for_dataset_adopts_vocab_and_len() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+        let c = YolloConfig::for_dataset(&ds);
+        assert_eq!(c.vocab_size, ds.build_vocab().len());
+        assert!(c.max_query_len >= ds.max_query_len());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_sizes() {
+        let c = YolloConfig {
+            image_width: 70,
+            ..YolloConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = YolloConfig {
+            vocab_size: 1,
+            ..YolloConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

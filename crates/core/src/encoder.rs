@@ -1,0 +1,180 @@
+use crate::YolloConfig;
+use rand::Rng;
+use yollo_backbone::Backbone;
+use yollo_nn::{Binder, Embedding, Linear, Module, ParamList};
+use yollo_tensor::{Tensor, Var};
+use yollo_text::{sinusoidal_encoding, Vocab};
+
+/// §3.1's feature encoder: image → region sequence `V`, query → word
+/// sequence `T`.
+///
+/// The image path runs the C4 backbone and projects its channels to
+/// `d_rel`; the query path sums word embeddings (optionally initialised
+/// from word2vec, as the paper initialises from LM-1B word2vec) with
+/// learned absolute-position embeddings (initialised sinusoidally), then
+/// zeroes PAD positions.
+#[derive(Debug)]
+pub struct FeatureEncoder {
+    backbone: Backbone,
+    proj: Linear,
+    word_emb: Embedding,
+    pos_emb: Embedding,
+    max_query_len: usize,
+}
+
+impl FeatureEncoder {
+    /// Builds the encoder from a config.
+    pub fn new(cfg: &YolloConfig, rng: &mut impl Rng) -> Self {
+        let backbone = Backbone::new(cfg.backbone, cfg.in_channels, rng);
+        let proj = Linear::new("encoder.proj", backbone.out_channels(), cfg.d_rel, true, rng);
+        let word_emb = Embedding::new("encoder.word", cfg.vocab_size, cfg.d_rel, rng);
+        let pos_emb = Embedding::from_pretrained(
+            "encoder.pos",
+            sinusoidal_encoding(cfg.max_query_len, cfg.d_rel).scale(0.5),
+        );
+        FeatureEncoder {
+            backbone,
+            proj,
+            word_emb,
+            pos_emb,
+            max_query_len: cfg.max_query_len,
+        }
+    }
+
+    /// Replaces the word-embedding table with pre-trained vectors
+    /// (e.g. [`yollo_text::Word2Vec::input_embeddings`]).
+    ///
+    /// # Panics
+    /// Panics if the shape differs from the current table.
+    pub fn load_word_embeddings(&mut self, weights: Tensor) {
+        self.word_emb.parameters()[0].set_value(weights);
+    }
+
+    /// The image backbone.
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    /// Encodes a batch of images `[B, C, H, W]` into `V = [B, m, d_rel]`.
+    pub fn encode_image<'g>(&self, bind: &Binder<'g>, images: Var<'g>) -> Var<'g> {
+        let feats = self.backbone.forward(bind, images); // [B, C, fh, fw]
+        let d = feats.dims();
+        let (b, c, m) = (d[0], d[1], d[2] * d[3]);
+        let seq = feats.reshape(&[b, c, m]).transpose(); // [B, m, C]
+        self.proj.forward(bind, seq).relu()
+    }
+
+    /// Encodes padded query id sequences into `T = [B, n, d_rel]`, zeroing
+    /// PAD positions.
+    ///
+    /// # Panics
+    /// Panics if any query's length differs from `max_query_len`.
+    pub fn encode_query<'g>(&self, bind: &Binder<'g>, queries: &[Vec<usize>]) -> Var<'g> {
+        let b = queries.len();
+        let n = self.max_query_len;
+        let mut flat = Vec::with_capacity(b * n);
+        for q in queries {
+            assert_eq!(q.len(), n, "query must be padded to {n}");
+            flat.extend_from_slice(q);
+        }
+        let words = self
+            .word_emb
+            .forward(bind, &flat)
+            .reshape(&[b, n, self.word_emb.dim()]);
+        let positions: Vec<usize> = (0..n).collect();
+        let pos = self.pos_emb.forward(bind, &positions); // [n, d]
+        let summed = words.add(pos);
+        // zero out PAD rows so padding cannot influence the relation map
+        summed.mul(bind.graph().leaf(self.pad_mask(queries)))
+    }
+
+    /// The `[B, n, 1]` mask with 0 at PAD positions and 1 elsewhere,
+    /// threaded through the Rel2Att stack to keep padding inert.
+    pub fn pad_mask(&self, queries: &[Vec<usize>]) -> Tensor {
+        let n = self.max_query_len;
+        Tensor::from_fn(&[queries.len(), n, 1], |flat_idx| {
+            let (bi, ni) = (flat_idx / n, flat_idx % n);
+            if queries[bi][ni] == Vocab::pad_id() {
+                0.0
+            } else {
+                1.0
+            }
+        })
+    }
+}
+
+impl Module for FeatureEncoder {
+    fn parameters(&self) -> ParamList {
+        let mut ps = self.backbone.parameters();
+        ps.extend(self.proj.parameters());
+        ps.extend(self.word_emb.parameters());
+        ps.extend(self.pos_emb.parameters());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yollo_tensor::Graph;
+
+    fn encoder() -> FeatureEncoder {
+        let mut rng = StdRng::seed_from_u64(0);
+        FeatureEncoder::new(&YolloConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn image_sequence_shape() {
+        let enc = encoder();
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let imgs = g.leaf(Tensor::randn(&[2, 5, 48, 72], &mut rng));
+        let v = enc.encode_image(&b, imgs);
+        assert_eq!(v.dims(), vec![2, 54, 48]);
+    }
+
+    #[test]
+    fn query_sequence_shape_and_pad_zeroing() {
+        let enc = encoder();
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let n = YolloConfig::default().max_query_len;
+        let mut q = vec![2usize, 3, 4];
+        q.resize(n, Vocab::pad_id());
+        let t = enc.encode_query(&b, &[q]);
+        assert_eq!(t.dims(), vec![1, n, 48]);
+        let tv = t.value();
+        // non-pad row is non-zero, pad rows are exactly zero
+        assert!(tv.slice(1, 0, 1).norm() > 0.0);
+        for p in 3..n {
+            assert_eq!(tv.slice(1, p, 1).norm(), 0.0, "pad row {p} not zeroed");
+        }
+    }
+
+    #[test]
+    fn position_makes_order_matter() {
+        let enc = encoder();
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let n = YolloConfig::default().max_query_len;
+        let mut q1 = vec![2usize, 3];
+        q1.resize(n, Vocab::pad_id());
+        let mut q2 = vec![3usize, 2];
+        q2.resize(n, Vocab::pad_id());
+        let t1 = enc.encode_query(&b, &[q1]).value();
+        let t2 = enc.encode_query(&b, &[q2]).value();
+        assert!(t1.max_abs_diff(&t2) > 1e-6, "word order had no effect");
+    }
+
+    #[test]
+    fn pretrained_embeddings_are_adopted() {
+        let mut enc = encoder();
+        let cfg = YolloConfig::default();
+        let w = Tensor::full(&[cfg.vocab_size, cfg.d_rel], 0.25);
+        enc.load_word_embeddings(w.clone());
+        assert_eq!(enc.word_emb.parameters()[0].value(), w);
+    }
+}

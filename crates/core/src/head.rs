@@ -1,0 +1,132 @@
+use rand::Rng;
+use yollo_nn::{Binder, Conv2d, Module, ParamList};
+use yollo_tensor::{Conv2dSpec, Var};
+
+/// §3.3's RPN-like target detection network.
+///
+/// Two 3×3 convolutions map the attended feature map `M̃` to a lower
+/// dimension, then two sibling 1×1 convolutions (the "fully-connected
+/// layers" applied per sliding window) emit, for each of the `K` anchors at
+/// each cell, a confidence logit `p̂` and a box-offset tuple `ε`.
+#[derive(Debug)]
+pub struct DetectionHead {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    cls: Conv2d,
+    reg: Conv2d,
+    anchors_per_cell: usize,
+}
+
+impl DetectionHead {
+    /// Builds the head for `d_rel`-channel inputs and `k` anchors per cell.
+    pub fn new(name: &str, d_rel: usize, hidden: usize, k: usize, rng: &mut impl Rng) -> Self {
+        let s3 = Conv2dSpec { stride: 1, pad: 1 };
+        let s1 = Conv2dSpec { stride: 1, pad: 0 };
+        DetectionHead {
+            conv1: Conv2d::new(&format!("{name}.conv1"), d_rel, hidden, 3, s3, true, rng),
+            conv2: Conv2d::new(&format!("{name}.conv2"), hidden, hidden, 3, s3, true, rng),
+            cls: Conv2d::new(&format!("{name}.cls"), hidden, k, 1, s1, true, rng),
+            reg: Conv2d::new(&format!("{name}.reg"), hidden, 4 * k, 1, s1, true, rng),
+            anchors_per_cell: k,
+        }
+    }
+
+    /// Predicts `(scores, offsets)` from the attended feature map
+    /// `[B, d_rel, fh, fw]`:
+    /// scores are `[B, A]` logits and offsets `[B, A, 4]`, with
+    /// `A = fh·fw·K` in anchor-grid order (cell-major, then anchor index).
+    pub fn forward<'g>(&self, bind: &Binder<'g>, feat: Var<'g>) -> (Var<'g>, Var<'g>) {
+        let h = self.conv2.forward(bind, self.conv1.forward(bind, feat).relu()).relu();
+        let d = h.dims();
+        let (b, l) = (d[0], d[2] * d[3]);
+        let k = self.anchors_per_cell;
+        // [B, K, fh, fw] -> [B, K, L] -> [B, L, K] -> [B, A]
+        let scores = self
+            .cls
+            .forward(bind, h)
+            .reshape(&[b, k, l])
+            .transpose()
+            .reshape(&[b, l * k]);
+        // [B, 4K, fh, fw] -> [B, 4K, L] -> [B, L, 4K] -> [B, A, 4]
+        // channel layout is anchor-major (k*4 + coord), so the final reshape
+        // yields anchor-grid order with a trailing coord axis
+        let offsets = self
+            .reg
+            .forward(bind, h)
+            .reshape(&[b, 4 * k, l])
+            .transpose()
+            .reshape(&[b, l * k, 4]);
+        (scores, offsets)
+    }
+}
+
+impl Module for DetectionHead {
+    fn parameters(&self) -> ParamList {
+        let mut ps = self.conv1.parameters();
+        ps.extend(self.conv2.parameters());
+        ps.extend(self.cls.parameters());
+        ps.extend(self.reg.parameters());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yollo_tensor::{Graph, Tensor};
+
+    #[test]
+    fn output_shapes_match_anchor_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let head = DetectionHead::new("h", 16, 12, 9, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let feat = g.leaf(Tensor::randn(&[2, 16, 6, 9], &mut rng));
+        let (scores, offsets) = head.forward(&b, feat);
+        assert_eq!(scores.dims(), vec![2, 6 * 9 * 9]);
+        assert_eq!(offsets.dims(), vec![2, 6 * 9 * 9, 4]);
+    }
+
+    #[test]
+    fn anchor_order_is_cell_major() {
+        // make the cls conv the identity on a one-hot channel input so each
+        // output channel k equals input channel k at each cell; then verify
+        // the flattened layout index = cell*K + k.
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = 3;
+        let head = DetectionHead::new("h", 4, k, k, &mut rng);
+        // conv1, conv2: identity-ish is hard; instead test the pure
+        // reshape/transpose path by probing with a crafted hidden map via
+        // the cls layer only. Build input so hidden differs per cell, and
+        // check that scores vary fastest over k within a cell.
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let feat = g.leaf(Tensor::from_fn(&[1, 4, 2, 2], |i| i as f64 * 0.1));
+        let (scores, _) = head.forward(&b, feat);
+        let s = scores.value();
+        assert_eq!(s.numel(), 2 * 2 * k);
+        // reshaped as [L, K], each row corresponds to one cell
+        let rows = s.reshape(&[4, k]);
+        // different cells produce different score rows (layout sanity)
+        let r0 = rows.slice(0, 0, 1);
+        let r3 = rows.slice(0, 3, 1);
+        assert!(r0.max_abs_diff(&r3) > 1e-9);
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let head = DetectionHead::new("h", 8, 8, 2, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let feat = g.leaf(Tensor::randn(&[1, 8, 3, 3], &mut rng));
+        let (scores, offsets) = head.forward(&b, feat);
+        (scores.square().sum_all() + offsets.square().sum_all()).backward();
+        b.harvest();
+        for p in head.parameters() {
+            assert!(p.grad_norm() > 0.0, "no grad for {}", p.name());
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Inference: §3.3 "simply pick the top-1 scored region proposal as the
+//! final prediction" — one forward pass, no proposal list, no matching
+//! stage, no NMS.
+
+use crate::{Yollo, YolloOutput};
+use serde::{Deserialize, Serialize};
+use yollo_detect::BBox;
+use yollo_nn::Binder;
+use yollo_synthref::{Dataset, GroundingSample, Scene, Split};
+use yollo_tensor::{Graph, Tensor};
+use yollo_text::tokenize;
+
+/// A grounded box with its confidence and the final-layer attention map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundingPrediction {
+    /// Predicted target box, clipped to the image.
+    pub bbox: BBox,
+    /// Sigmoid confidence of the winning anchor.
+    pub score: f64,
+    /// Softmax-normalised final-layer image attention, one value per
+    /// feature-map cell (row-major) — the Figure 5 heat map.
+    pub attention: Vec<f64>,
+}
+
+impl GroundingPrediction {
+    /// Shannon entropy of the attention distribution (nats). Low entropy =
+    /// a confident, peaked highlight; the uniform maximum is `ln(m)`.
+    pub fn attention_entropy(&self) -> f64 {
+        -self
+            .attention
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+
+    /// The flat index of the attention peak.
+    ///
+    /// # Panics
+    /// Panics if the attention map is empty.
+    pub fn attention_peak(&self) -> usize {
+        assert!(!self.attention.is_empty(), "empty attention map");
+        let mut best = 0;
+        for (i, &v) in self.attention.iter().enumerate() {
+            if v > self.attention[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Per-sample IoUs of an evaluation run (ACC@η / COCO ACC / MIOU helpers
+/// live on [`yollo_eval::IouMetrics`]).
+pub type EvalOutcome = yollo_eval::IouMetrics;
+
+impl Yollo {
+    fn predictions_from_output(&self, out: &YolloOutput<'_>) -> Vec<GroundingPrediction> {
+        let scores = out.scores.value();
+        let offsets = out.offsets.value();
+        let att = out
+            .att_layers
+            .last()
+            .expect("at least one Rel2Att layer")
+            .value()
+            .softmax_lastdim();
+        let b = scores.dims()[0];
+        let a = scores.dims()[1];
+        let (w, h) = (
+            self.config().image_width as f64,
+            self.config().image_height as f64,
+        );
+        (0..b)
+            .map(|bi| {
+                let row = scores.slice(0, bi, 1);
+                let best = row.argmax();
+                let logit = row.as_slice()[best];
+                let off_row = offsets.slice(0, bi, 1).reshape(&[a, 4]).slice(0, best, 1);
+                let t = [
+                    off_row.as_slice()[0],
+                    off_row.as_slice()[1],
+                    off_row.as_slice()[2],
+                    off_row.as_slice()[3],
+                ];
+                let anchor = self.anchors().boxes()[best];
+                let bbox = BBox::decode(&anchor, t, self.config().offset_encoding).clip_to(w, h);
+                GroundingPrediction {
+                    bbox,
+                    score: 1.0 / (1.0 + (-logit).exp()),
+                    attention: att.slice(0, bi, 1).into_vec(),
+                }
+            })
+            .collect()
+    }
+
+    /// Grounds a batch of pre-encoded inputs (no gradient bookkeeping).
+    pub fn predict_batch(
+        &self,
+        images: Tensor,
+        queries: &[Vec<usize>],
+    ) -> Vec<GroundingPrediction> {
+        let g = Graph::new();
+        let bind = Binder::new(&g);
+        let out = self.forward(&bind, g.leaf(images), queries);
+        self.predictions_from_output(&out)
+    }
+
+    /// Top-`k` candidate boxes per sample, best first — useful for
+    /// diagnosing near-misses even though the paper's inference rule is
+    /// strictly top-1 (§3.3).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn predict_topk(
+        &self,
+        images: Tensor,
+        queries: &[Vec<usize>],
+        k: usize,
+    ) -> Vec<Vec<GroundingPrediction>> {
+        assert!(k > 0, "k must be positive");
+        let g = Graph::new();
+        let bind = Binder::new(&g);
+        let out = self.forward(&bind, g.leaf(images), queries);
+        let scores = out.scores.value();
+        let offsets = out.offsets.value();
+        let att = out
+            .att_layers
+            .last()
+            .expect("at least one Rel2Att layer")
+            .value()
+            .softmax_lastdim();
+        let (b, a) = (scores.dims()[0], scores.dims()[1]);
+        let (w, h) = (
+            self.config().image_width as f64,
+            self.config().image_height as f64,
+        );
+        (0..b)
+            .map(|bi| {
+                let row = scores.slice(0, bi, 1);
+                let mut order: Vec<usize> = (0..a).collect();
+                order.sort_by(|&x, &y| {
+                    row.as_slice()[y]
+                        .partial_cmp(&row.as_slice()[x])
+                        .expect("finite logits")
+                });
+                let attention = att.slice(0, bi, 1).into_vec();
+                order
+                    .into_iter()
+                    .take(k)
+                    .map(|idx| {
+                        let off = offsets.slice(0, bi, 1).reshape(&[a, 4]).slice(0, idx, 1);
+                        let t = [
+                            off.as_slice()[0],
+                            off.as_slice()[1],
+                            off.as_slice()[2],
+                            off.as_slice()[3],
+                        ];
+                        let anchor = self.anchors().boxes()[idx];
+                        GroundingPrediction {
+                            bbox: BBox::decode(&anchor, t, self.config().offset_encoding)
+                                .clip_to(w, h),
+                            score: 1.0 / (1.0 + (-row.as_slice()[idx]).exp()),
+                            attention: attention.clone(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Grounds one dataset sample.
+    pub fn predict_sample(&self, ds: &Dataset, sample: &GroundingSample) -> GroundingPrediction {
+        let (images, queries, _) = self.encode_batch(ds, &[sample]);
+        self.predict_batch(images, &queries)
+            .pop()
+            .expect("one prediction per sample")
+    }
+
+    /// Grounds a free-form sentence against a scene (the public "app" API —
+    /// see the `quickstart` example).
+    pub fn predict_scene_query(&self, scene: &Scene, sentence: &str) -> GroundingPrediction {
+        let tokens = tokenize(sentence);
+        let ids = self
+            .vocab()
+            .encode_padded(&tokens, self.config().max_query_len);
+        let img = scene.render().reshape(&[
+            1,
+            self.config().in_channels,
+            scene.height,
+            scene.width,
+        ]);
+        self.predict_batch(img, &[ids])
+            .pop()
+            .expect("one prediction")
+    }
+
+    /// Evaluates the model over a whole split, returning per-sample IoUs.
+    pub fn evaluate(&self, ds: &Dataset, split: Split) -> EvalOutcome {
+        self.evaluate_samples(ds, ds.samples(split))
+    }
+
+    /// Evaluates on an explicit sample list (used for subsampled mid-training
+    /// validation).
+    pub fn evaluate_samples(&self, ds: &Dataset, samples: &[GroundingSample]) -> EvalOutcome {
+        let mut ious = Vec::with_capacity(samples.len());
+        for chunk in samples.chunks(16) {
+            let refs: Vec<&GroundingSample> = chunk.iter().collect();
+            let (images, queries, targets) = self.encode_batch(ds, &refs);
+            let preds = self.predict_batch(images, &queries);
+            for (p, t) in preds.iter().zip(&targets) {
+                ious.push(p.bbox.iou(t));
+            }
+        }
+        EvalOutcome::new(ious)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::YolloConfig;
+    use yollo_synthref::{DatasetConfig, DatasetKind};
+
+    fn tiny() -> (Yollo, Dataset) {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+        let cfg = YolloConfig {
+            d_rel: 12,
+            ffn_hidden: 16,
+            n_rel2att: 1,
+            ..YolloConfig::for_dataset(&ds)
+        };
+        let mut m = Yollo::new(cfg, 1);
+        m.set_vocab(ds.build_vocab());
+        (m, ds)
+    }
+
+    #[test]
+    fn predictions_are_inside_the_image() {
+        let (model, ds) = tiny();
+        for s in ds.samples(Split::Val) {
+            let p = model.predict_sample(&ds, s);
+            assert!(p.bbox.x >= 0.0 && p.bbox.y >= 0.0);
+            assert!(p.bbox.x2() <= model.config().image_width as f64 + 1e-9);
+            assert!(p.bbox.y2() <= model.config().image_height as f64 + 1e-9);
+            assert!((0.0..=1.0).contains(&p.score));
+            let att_sum: f64 = p.attention.iter().sum();
+            assert!((att_sum - 1.0).abs() < 1e-9, "attention not normalised");
+        }
+    }
+
+    #[test]
+    fn sentence_api_matches_sample_api() {
+        let (model, ds) = tiny();
+        let s = &ds.samples(Split::Val)[0];
+        let a = model.predict_sample(&ds, s);
+        let b = model.predict_scene_query(ds.scene_of(s), &s.sentence);
+        assert_eq!(a.bbox, b.bbox);
+        assert_eq!(a.score, b.score);
+    }
+
+    #[test]
+    fn topk_is_sorted_and_topk1_matches_predict() {
+        let (model, ds) = tiny();
+        let s = &ds.samples(Split::Val)[0];
+        let (images, queries, _) = model.encode_batch(&ds, &[s]);
+        let top = model.predict_topk(images.clone(), &queries, 5);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].len(), 5);
+        for w in top[0].windows(2) {
+            assert!(w[0].score >= w[1].score, "top-k not sorted");
+        }
+        let single = model.predict_batch(images, &queries);
+        assert_eq!(single[0].bbox, top[0][0].bbox);
+    }
+
+    #[test]
+    fn attention_entropy_bounds() {
+        let p = GroundingPrediction {
+            bbox: BBox::new(0.0, 0.0, 1.0, 1.0),
+            score: 0.5,
+            attention: vec![0.25; 4],
+        };
+        assert!((p.attention_entropy() - 4.0f64.ln()).abs() < 1e-12);
+        let q = GroundingPrediction {
+            attention: vec![1.0, 0.0, 0.0, 0.0],
+            ..p.clone()
+        };
+        assert_eq!(q.attention_entropy(), 0.0);
+        assert_eq!(q.attention_peak(), 0);
+    }
+
+    #[test]
+    fn untrained_model_is_roughly_at_chance() {
+        let (model, ds) = tiny();
+        let out = model.evaluate(&ds, Split::Val);
+        assert_eq!(out.ious.len(), ds.samples(Split::Val).len());
+        // untrained: should not be anywhere near solved
+        assert!(out.acc_at(0.5) < 0.8);
+    }
+}

@@ -1,0 +1,48 @@
+//! YOLLO — *You Only Look & Listen Once* — one-stage visual grounding.
+//!
+//! This crate implements the paper's primary contribution end-to-end:
+//!
+//! 1. a **feature encoder** (§3.1) turning an image into a dense region
+//!    sequence `V` (via a `yollo-backbone` C4 CNN) and a query into a word
+//!    sequence `T` (pre-trained embeddings + positional embeddings);
+//! 2. a stack of **Relation-to-Attention (Rel2Att) modules** (§3.2) that
+//!    build the dense relation map `R = X₁X₂ᵀ/√d` over the concatenated
+//!    sequences, split it into self-attention (`R_vv`, `R_tt`) and
+//!    co-attention (`R_vt`, `R_tv`) quadrants, and reduce it to attention
+//!    masks over image regions and query words, supervised by the attention
+//!    loss of Eq. (6);
+//! 3. an RPN-like **target detection network** (§3.3) predicting one
+//!    confidence score and one box offset per anchor, trained with the
+//!    classification + smooth-L1 regression losses of Eqs. (7–8), with the
+//!    total loss `L = L_att + L_cls + λ·L_reg` of Eq. (9);
+//! 4. a [`Trainer`] (Adam, mini-batches, training-curve logging — Figure 4)
+//!    and top-1 [`inference`](Yollo::predict) (§3.3: "simply pick the top-1
+//!    scored region proposal", no NMS, no second stage).
+//!
+//! ```no_run
+//! use yollo_core::{Yollo, YolloConfig, Trainer, TrainConfig};
+//! use yollo_synthref::{Dataset, DatasetConfig, DatasetKind, Split};
+//!
+//! let ds = Dataset::generate(DatasetConfig::standard(DatasetKind::SynthRef, 0));
+//! let cfg = YolloConfig::for_dataset(&ds);
+//! let mut model = Yollo::new(cfg, 42);
+//! let log = Trainer::new(TrainConfig::default()).train(&mut model, &ds);
+//! let acc = model.evaluate(&ds, Split::Val).acc_at(0.5);
+//! println!("val ACC@0.5 = {acc:.3}, curve: {} points", log.points.len());
+//! ```
+
+mod config;
+mod encoder;
+mod head;
+mod infer;
+mod model;
+mod rel2att;
+mod train;
+
+pub use config::{AttentionAblation, YolloConfig};
+pub use encoder::FeatureEncoder;
+pub use head::DetectionHead;
+pub use infer::{EvalOutcome, GroundingPrediction};
+pub use model::{LossParts, Yollo, YolloOutput};
+pub use rel2att::Rel2AttLayer;
+pub use train::{TrainConfig, TrainLog, TrainPoint, Trainer};

@@ -1,0 +1,476 @@
+use crate::{DetectionHead, FeatureEncoder, Rel2AttLayer, YolloConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use yollo_detect::{label_anchors, sample_minibatch, AnchorGrid, BBox};
+use yollo_nn::{Binder, Checkpoint, Module, ParamList};
+use yollo_synthref::{Dataset, GroundingSample};
+use yollo_tensor::{Tensor, Var};
+use yollo_text::Vocab;
+
+/// The YOLLO one-stage visual-grounding model (Figure 2a).
+///
+/// See the crate-level documentation for the architecture walk-through and
+/// a usage example.
+#[derive(Debug)]
+pub struct Yollo {
+    cfg: YolloConfig,
+    encoder: FeatureEncoder,
+    layers: Vec<Rel2AttLayer>,
+    head: DetectionHead,
+    anchors: AnchorGrid,
+    vocab: Vocab,
+}
+
+/// Differentiable outputs of one forward pass.
+pub struct YolloOutput<'g> {
+    /// Anchor confidence logits `[B, A]`.
+    pub scores: Var<'g>,
+    /// Anchor box offsets `[B, A, 4]`.
+    pub offsets: Var<'g>,
+    /// Raw image-attention values per Rel2Att layer, each `[B, m]`.
+    pub att_layers: Vec<Var<'g>>,
+}
+
+/// Scalar loss components of Eq. (9).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LossParts {
+    /// Attention loss `L_att` (Eq. 6).
+    pub att: f64,
+    /// Classification loss `L_cls` (Eq. 7).
+    pub cls: f64,
+    /// Regression loss `L_reg` (Eq. 8).
+    pub reg: f64,
+    /// `L_att + L_cls + λ·L_reg`.
+    pub total: f64,
+}
+
+/// Serialised form of a trained model (config + vocabulary + weights).
+#[derive(Debug, Serialize, Deserialize)]
+struct SavedModel {
+    config: YolloConfig,
+    vocab: Vocab,
+    checkpoint: Checkpoint,
+}
+
+impl Yollo {
+    /// Builds a model with fresh weights. The vocabulary starts empty; use
+    /// [`Yollo::for_dataset`] or [`Yollo::set_vocab`] before sentence-level
+    /// inference.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    pub fn new(cfg: YolloConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid YolloConfig");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let encoder = FeatureEncoder::new(&cfg, &mut rng);
+        let layers = (0..cfg.n_rel2att)
+            .map(|i| {
+                Rel2AttLayer::new(
+                    &format!("rel2att.{i}"),
+                    cfg.d_rel,
+                    cfg.ffn_hidden,
+                    cfg.ablation,
+                    i + 1 < cfg.n_rel2att, // the last module skips T̃ (§3.2)
+                    &mut rng,
+                )
+            })
+            .collect();
+        let head = DetectionHead::new(
+            "head",
+            cfg.d_rel,
+            cfg.ffn_hidden / 2,
+            cfg.anchors.per_cell(),
+            &mut rng,
+        );
+        let anchors = AnchorGrid::generate(cfg.feat_h(), cfg.feat_w(), &cfg.anchors);
+        Yollo {
+            cfg,
+            encoder,
+            layers,
+            head,
+            anchors,
+            vocab: Vocab::default(),
+        }
+    }
+
+    /// Builds a model sized for `ds` and adopts its vocabulary.
+    pub fn for_dataset(ds: &Dataset, seed: u64) -> Self {
+        let cfg = YolloConfig::for_dataset(ds);
+        let mut model = Yollo::new(cfg, seed);
+        model.vocab = ds.build_vocab();
+        model
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &YolloConfig {
+        &self.cfg
+    }
+
+    /// The vocabulary used for sentence-level inference.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Replaces the vocabulary (must match `cfg.vocab_size`).
+    ///
+    /// # Panics
+    /// Panics if the size disagrees with the embedding table.
+    pub fn set_vocab(&mut self, vocab: Vocab) {
+        assert_eq!(vocab.len(), self.cfg.vocab_size, "vocab size mismatch");
+        self.vocab = vocab;
+    }
+
+    /// The anchor grid of the detection head.
+    pub fn anchors(&self) -> &AnchorGrid {
+        &self.anchors
+    }
+
+    /// The feature encoder.
+    pub fn encoder(&self) -> &FeatureEncoder {
+        &self.encoder
+    }
+
+    /// The feature encoder (exposed for word2vec initialisation).
+    pub fn encoder_mut(&mut self) -> &mut FeatureEncoder {
+        &mut self.encoder
+    }
+
+    /// One differentiable forward pass over a batch.
+    ///
+    /// `images` is `[B, C, H, W]`; `queries` holds `B` padded id sequences.
+    pub fn forward<'g>(
+        &self,
+        bind: &Binder<'g>,
+        images: Var<'g>,
+        queries: &[Vec<usize>],
+    ) -> YolloOutput<'g> {
+        let b = images.dims()[0];
+        assert_eq!(b, queries.len(), "batch size mismatch");
+        let mut v = self.encoder.encode_image(bind, images);
+        let mut t = self.encoder.encode_query(bind, queries);
+        let pad_mask = self.encoder.pad_mask(queries);
+        let mut att_layers = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            let out = layer.forward(bind, v, t, Some(&pad_mask));
+            v = out.v;
+            t = out.t;
+            att_layers.push(out.att_v);
+        }
+        // reconstruct M̃ = [B, d, fh, fw] from Ṽ = [B, m, d]
+        let feat = v
+            .transpose()
+            .reshape(&[b, self.cfg.d_rel, self.cfg.feat_h(), self.cfg.feat_w()]);
+        let (scores, offsets) = self.head.forward(bind, feat);
+        YolloOutput {
+            scores,
+            offsets,
+            att_layers,
+        }
+    }
+
+    /// The Eq. (6) ground-truth attention mask for a batch of target boxes:
+    /// uniform mass over the feature-map cells covered by each box.
+    pub fn gt_attention_mask(&self, targets: &[BBox]) -> Tensor {
+        let (fh, fw) = (self.cfg.feat_h(), self.cfg.feat_w());
+        let stride = self.cfg.anchors.stride as f64;
+        let m = fh * fw;
+        let mut data = vec![0.0; targets.len() * m];
+        for (bi, tb) in targets.iter().enumerate() {
+            let scaled = tb.scale(1.0 / stride);
+            let mut covered = Vec::new();
+            for i in 0..fh {
+                for j in 0..fw {
+                    if scaled.contains_point(j as f64 + 0.5, i as f64 + 0.5) {
+                        covered.push(i * fw + j);
+                    }
+                }
+            }
+            if covered.is_empty() {
+                // tiny box: fall back to the cell holding its centre
+                let (cx, cy) = scaled.center();
+                let j = (cx.floor().max(0.0) as usize).min(fw - 1);
+                let i = (cy.floor().max(0.0) as usize).min(fh - 1);
+                covered.push(i * fw + j);
+            }
+            let w = 1.0 / covered.len() as f64;
+            for c in covered {
+                data[bi * m + c] = w;
+            }
+        }
+        Tensor::from_vec(data, &[targets.len(), m])
+    }
+
+    /// Computes the total loss `L = L_att + L_cls + λ·L_reg` (Eq. 9) for a
+    /// batch, returning the differentiable loss and its scalar parts.
+    ///
+    /// Anchor sampling (§3.3: `N` anchors per image from the positives and
+    /// negatives) consumes `rng`.
+    pub fn loss<'g>(
+        &self,
+        bind: &Binder<'g>,
+        out: &YolloOutput<'g>,
+        targets: &[BBox],
+        rng: &mut impl Rng,
+    ) -> (Var<'g>, LossParts) {
+        let g = bind.graph();
+        let b = targets.len();
+        let a = self.anchors.len();
+
+        // --- L_att (Eq. 6): cross-entropy between softmax(att_v) and the
+        // box-uniform mask, per layer ---
+        let gt_mask = self.gt_attention_mask(targets);
+        let supervised: Vec<&Var<'g>> = if self.cfg.deep_att_supervision {
+            out.att_layers.iter().collect()
+        } else {
+            out.att_layers.last().into_iter().collect()
+        };
+        let mut att_loss = g.scalar(0.0);
+        for layer_att in &supervised {
+            att_loss = att_loss + layer_att.softmax_xent_rows(&gt_mask);
+        }
+        att_loss = att_loss.mul_scalar(1.0 / supervised.len() as f64);
+
+        // --- anchor labelling & sampling per image ---
+        let mut sel_indices = Vec::new(); // flattened b*A + i
+        let mut sel_labels = Vec::new();
+        let mut pos_indices = Vec::new();
+        let mut reg_targets = Vec::new();
+        for (bi, tb) in targets.iter().enumerate() {
+            let labels = label_anchors(self.anchors.boxes(), tb, &self.cfg.matcher);
+            let (pos, neg) = sample_minibatch(&labels, &self.cfg.matcher, rng);
+            for &i in &pos {
+                sel_indices.push(bi * a + i);
+                sel_labels.push(1.0);
+                pos_indices.push(bi * a + i);
+                let t = tb.encode(&self.anchors.boxes()[i], self.cfg.offset_encoding);
+                reg_targets.extend_from_slice(&t);
+            }
+            for &i in &neg {
+                sel_indices.push(bi * a + i);
+                sel_labels.push(0.0);
+            }
+        }
+
+        // --- L_cls (Eq. 7) ---
+        let flat_scores = out.scores.reshape(&[b * a]);
+        let picked = flat_scores.gather_rows(&sel_indices);
+        let label_t = Tensor::from_vec(sel_labels, &[sel_indices.len()]);
+        let cls_loss = picked.bce_with_logits(&label_t);
+
+        // --- L_reg (Eq. 8), positives only ---
+        let reg_loss = if pos_indices.is_empty() {
+            g.scalar(0.0)
+        } else {
+            let flat_off = out.offsets.reshape(&[b * a, 4]);
+            let pos_off = flat_off.gather_rows(&pos_indices);
+            let target_t = Tensor::from_vec(reg_targets, &[pos_indices.len(), 4]);
+            pos_off.smooth_l1(&target_t, 1.0)
+        };
+
+        let total = att_loss + cls_loss + reg_loss.mul_scalar(self.cfg.lambda);
+        let parts = LossParts {
+            att: att_loss.value().scalar(),
+            cls: cls_loss.value().scalar(),
+            reg: reg_loss.value().scalar(),
+            total: total.value().scalar(),
+        };
+        (total, parts)
+    }
+
+    /// Stacks rendered scenes and encodes queries for a list of samples.
+    /// Returns `(images [B,C,H,W], padded query ids, target boxes)`.
+    pub fn encode_batch(
+        &self,
+        ds: &Dataset,
+        samples: &[&GroundingSample],
+    ) -> (Tensor, Vec<Vec<usize>>, Vec<BBox>) {
+        let imgs: Vec<Tensor> = samples
+            .iter()
+            .map(|s| ds.scene_of(s).render())
+            .collect();
+        let refs: Vec<&Tensor> = imgs.iter().collect();
+        let images = Tensor::concat(&refs, 0).reshape(&[
+            samples.len(),
+            self.cfg.in_channels,
+            self.cfg.image_height,
+            self.cfg.image_width,
+        ]);
+        let queries: Vec<Vec<usize>> = samples
+            .iter()
+            .map(|s| self.vocab.encode_padded(&s.tokens, self.cfg.max_query_len))
+            .collect();
+        let targets: Vec<BBox> = samples.iter().map(|s| ds.target_bbox(s)).collect();
+        (images, queries, targets)
+    }
+
+    /// Saves config + vocabulary + weights as JSON.
+    ///
+    /// # Errors
+    /// Returns any I/O or serialisation error.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let saved = SavedModel {
+            config: self.cfg.clone(),
+            vocab: self.vocab.clone(),
+            checkpoint: Checkpoint::capture(&self.parameters()),
+        };
+        let json = serde_json::to_string(&saved).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a model saved by [`Yollo::save`]. The weight seed is irrelevant
+    /// (weights are overwritten).
+    ///
+    /// # Errors
+    /// Returns I/O, parse, or missing-parameter errors.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        let mut saved: SavedModel =
+            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        saved.vocab.rebuild_index();
+        let mut model = Yollo::new(saved.config, 0);
+        model.vocab = saved.vocab;
+        saved
+            .checkpoint
+            .restore(&model.parameters())
+            .map_err(std::io::Error::other)?;
+        Ok(model)
+    }
+}
+
+impl Module for Yollo {
+    fn parameters(&self) -> ParamList {
+        let mut ps = self.encoder.parameters();
+        for l in &self.layers {
+            ps.extend(l.parameters());
+        }
+        ps.extend(self.head.parameters());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yollo_synthref::{DatasetConfig, DatasetKind, Split};
+    use yollo_tensor::Graph;
+
+    fn small_model_and_data() -> (Yollo, Dataset) {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+        let cfg = YolloConfig {
+            d_rel: 12,
+            ffn_hidden: 16,
+            n_rel2att: 2,
+            ..YolloConfig::for_dataset(&ds)
+        };
+        let mut m = Yollo::new(cfg, 1);
+        m.set_vocab(ds.build_vocab());
+        (m, ds)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (model, ds) = small_model_and_data();
+        let samples: Vec<_> = ds.samples(Split::Train).iter().take(2).collect();
+        let (images, queries, _) = model.encode_batch(&ds, &samples);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let out = model.forward(&b, g.leaf(images), &queries);
+        let a = model.anchors().len();
+        assert_eq!(out.scores.dims(), vec![2, a]);
+        assert_eq!(out.offsets.dims(), vec![2, a, 4]);
+        assert_eq!(out.att_layers.len(), 2);
+        assert_eq!(out.att_layers[0].dims(), vec![2, model.config().num_regions()]);
+    }
+
+    #[test]
+    fn gt_mask_is_a_distribution_over_target_cells() {
+        let (model, _) = small_model_and_data();
+        let target = BBox::new(16.0, 8.0, 24.0, 16.0);
+        let mask = model.gt_attention_mask(&[target]);
+        let sum: f64 = mask.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // mass lies inside the scaled box (cells 1..=4 in x, 1..=2 in y)
+        let fw = model.config().feat_w();
+        for (idx, &v) in mask.as_slice().iter().enumerate() {
+            if v > 0.0 {
+                let (i, j) = (idx / fw, idx % fw);
+                let scaled = target.scale(1.0 / 8.0);
+                assert!(scaled.contains_point(j as f64 + 0.5, i as f64 + 0.5));
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_box_mask_falls_back_to_center_cell() {
+        let (model, _) = small_model_and_data();
+        let target = BBox::new(33.0, 17.0, 2.0, 2.0); // smaller than a cell
+        let mask = model.gt_attention_mask(&[target]);
+        let nz: Vec<usize> = mask
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(nz.len(), 1);
+        let fw = model.config().feat_w();
+        assert_eq!(nz[0], 2 * fw + 4); // centre (34,18)/8 = (4.25, 2.25)
+    }
+
+    #[test]
+    fn loss_is_finite_and_all_parts_positive() {
+        let (model, ds) = small_model_and_data();
+        let samples: Vec<_> = ds.samples(Split::Train).iter().take(3).collect();
+        let (images, queries, targets) = model.encode_batch(&ds, &samples);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let out = model.forward(&b, g.leaf(images), &queries);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (loss, parts) = model.loss(&b, &out, &targets, &mut rng);
+        assert!(loss.value().scalar().is_finite());
+        assert!(parts.att > 0.0 && parts.cls > 0.0 && parts.reg >= 0.0);
+        assert!((parts.total - (parts.att + parts.cls + parts.reg)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backward_reaches_every_parameter() {
+        let (model, ds) = small_model_and_data();
+        let samples: Vec<_> = ds.samples(Split::Train).iter().take(2).collect();
+        let (images, queries, targets) = model.encode_batch(&ds, &samples);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let out = model.forward(&b, g.leaf(images), &queries);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (loss, _) = model.loss(&b, &out, &targets, &mut rng);
+        loss.backward();
+        b.harvest();
+        let silent: Vec<String> = model
+            .parameters()
+            .iter()
+            .filter(|p| p.grad_norm() == 0.0)
+            .map(|p| p.name().to_owned())
+            .collect();
+        assert!(silent.is_empty(), "parameters with zero grad: {silent:?}");
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_outputs() {
+        let (model, ds) = small_model_and_data();
+        let dir = std::env::temp_dir().join("yollo_core_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+        let loaded = Yollo::load(&path).unwrap();
+        let samples: Vec<_> = ds.samples(Split::Val).iter().take(1).collect();
+        let (images, queries, _) = model.encode_batch(&ds, &samples);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let o1 = model.forward(&b, g.leaf(images.clone()), &queries);
+        let g2 = Graph::new();
+        let b2 = Binder::new(&g2);
+        let o2 = loaded.forward(&b2, g2.leaf(images), &queries);
+        assert!(o1.scores.value().max_abs_diff(&o2.scores.value()) < 1e-12);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,357 @@
+use crate::AttentionAblation;
+use rand::Rng;
+use yollo_nn::{Binder, Ffn, Module, ParamList, Parameter};
+use yollo_tensor::{Tensor, Var};
+
+/// One Relation-to-Attention module (§3.2, Figure 2b).
+///
+/// Four two-layer FFNs map the image sequence `V` and query sequence `T`
+/// into `⟨V₁,V₂⟩` and `⟨T₁,T₂⟩` (Eqs. 1–2); the concatenations
+/// `X₁ = [V₁;T₁]`, `X₂ = [V₂;T₂]` form the dense relation map
+/// `R = X₁X₂ᵀ/√d` (Eq. 3), whose quadrants are the self-attentions
+/// (`R_vv`, `R_tt`) and co-attentions (`R_vt`, `R_tv`). Averaging `R` over
+/// each axis and summing yields one attention value per element; the first
+/// `m` entries weight `V` (Eq. 4) and the rest weight `T` (Eq. 5).
+///
+/// Implementation notes (documented deviations, see DESIGN.md):
+/// * the mask applied to the features is the *softmax* of the raw attention
+///   (the same distribution Eq. 6 supervises), rescaled so an indifferent
+///   mask is the identity — attended cells end up ~m× brighter, the
+///   "highlight" of Figure 3;
+/// * a learnable scalar `gain` sharpens the attention logits (the raw
+///   mean-pooled relation values start tiny, ~1/√d, and a plain softmax
+///   over 54 cells would stay near-uniform for thousands of steps);
+/// * outputs pass through a *per-sample* RMS normalisation. Per-position
+///   LayerNorm would be exactly invariant to a per-position scalar gate
+///   (it would silently delete the attention); per-sample RMS keeps the
+///   cross-position contrast while preventing activation explosion in the
+///   stacked modules;
+/// * PAD query positions are zeroed inside the relation map so padding
+///   never dilutes the attention statistics.
+#[derive(Debug)]
+pub struct Rel2AttLayer {
+    ffn_v1: Ffn,
+    ffn_v2: Ffn,
+    ffn_t1: Ffn,
+    ffn_t2: Ffn,
+    gain: Parameter,
+    d_rel: usize,
+    ablation: AttentionAblation,
+    /// §3.2: "in the last Rel2Att module we only compute the new image
+    /// feature sequence Ṽ" — when false, `t` passes through untouched.
+    compute_t: bool,
+}
+
+/// Output of one Rel2Att layer.
+pub(crate) struct Rel2AttOutput<'g> {
+    /// Updated image sequence `Ṽ = [B, m, d]`.
+    pub v: Var<'g>,
+    /// Updated query sequence `T̃ = [B, n, d]`.
+    pub t: Var<'g>,
+    /// Raw (pre-softmax) image attention logits `att_v = [B, m]`, used by
+    /// the attention loss (Eq. 6) and the Figure 5 visualisations.
+    pub att_v: Var<'g>,
+}
+
+/// Per-sample RMS normalisation over positions *and* channels.
+fn rms_norm<'g>(x: Var<'g>) -> Var<'g> {
+    let dims = x.dims();
+    let mut keep = dims.clone();
+    for k in keep.iter_mut().skip(1) {
+        *k = 1;
+    }
+    let ms = x
+        .square()
+        .mean_axis(2)
+        .mean_axis(1)
+        .reshape(&keep)
+        .add_scalar(1e-8)
+        .sqrt();
+    x.div(ms)
+}
+
+impl Rel2AttLayer {
+    /// Builds one layer operating on `d_rel`-dimensional sequences.
+    pub fn new(
+        name: &str,
+        d_rel: usize,
+        hidden: usize,
+        ablation: AttentionAblation,
+        compute_t: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Rel2AttLayer {
+            ffn_v1: Ffn::new(&format!("{name}.v1"), d_rel, hidden, d_rel, rng),
+            ffn_v2: Ffn::new(&format!("{name}.v2"), d_rel, hidden, d_rel, rng),
+            ffn_t1: Ffn::new(&format!("{name}.t1"), d_rel, hidden, d_rel, rng),
+            ffn_t2: Ffn::new(&format!("{name}.t2"), d_rel, hidden, d_rel, rng),
+            gain: Parameter::new(format!("{name}.gain"), Tensor::from_vec(vec![2.0], &[1])),
+            d_rel,
+            ablation,
+            compute_t,
+        }
+    }
+
+    /// The quadrant mask for `k = m + n` elements: 1 where the relation is
+    /// kept, 0 where the ablation wipes it out (Table 4: "we simply wipe
+    /// out the corresponding blocks in the relation map").
+    fn quadrant_mask(&self, m: usize, n: usize) -> Option<Tensor> {
+        let k = m + n;
+        match self.ablation {
+            AttentionAblation::Full => None,
+            AttentionAblation::NoSelfAttention => Some(Tensor::from_fn(&[k, k], |flat| {
+                let (i, j) = (flat / k, flat % k);
+                if (i < m) == (j < m) {
+                    0.0
+                } else {
+                    1.0
+                }
+            })),
+            AttentionAblation::NoCoAttention => Some(Tensor::from_fn(&[k, k], |flat| {
+                let (i, j) = (flat / k, flat % k);
+                if (i < m) == (j < m) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })),
+        }
+    }
+
+    /// Applies the module to `v = [B, m, d]`, `t = [B, n, d]`.
+    ///
+    /// `pad_mask` is `[B, n, 1]` with 0 at PAD positions (1 elsewhere);
+    /// when given, padded words are excluded from the relation map.
+    pub(crate) fn forward<'g>(
+        &self,
+        bind: &Binder<'g>,
+        v: Var<'g>,
+        t: Var<'g>,
+        pad_mask: Option<&Tensor>,
+    ) -> Rel2AttOutput<'g> {
+        let (b, m) = (v.dims()[0], v.dims()[1]);
+        let n = t.dims()[1];
+        let g = bind.graph();
+        let v1 = self.ffn_v1.forward(bind, v);
+        let v2 = self.ffn_v2.forward(bind, v);
+        let mut t1 = self.ffn_t1.forward(bind, t);
+        let mut t2 = self.ffn_t2.forward(bind, t);
+        if let Some(mask) = pad_mask {
+            let mv = g.leaf(mask.clone());
+            t1 = t1.mul(mv);
+            t2 = t2.mul(mv);
+        }
+        let x1 = Var::concat(&[v1, t1], 1); // [B, k, d]
+        let x2 = Var::concat(&[v2, t2], 1);
+        let mut rel = x1
+            .matmul(x2.transpose())
+            .mul_scalar(1.0 / (self.d_rel as f64).sqrt()); // [B, k, k]
+        if let Some(mask) = self.quadrant_mask(m, n) {
+            rel = rel.mul(g.leaf(mask));
+        }
+        // att₁ = mean over rows, att₂ = mean over columns, att = att₁ + att₂.
+        // The means are taken *per quadrant* and summed: a flat mean over
+        // all k columns would weight the query block by only n/k (~5%) and
+        // drown the co-attention in visual self-attention; per-quadrant
+        // means give R_v· and R_t· equal voice. The query-block mean is
+        // PAD-aware (divides by the number of real tokens).
+        let gain = bind.var(&self.gain);
+        let inv_real = match pad_mask {
+            Some(mask) => {
+                let m2 = mask.reshape(&[b, n]);
+                Tensor::from_fn(&[b, 1], |bi| {
+                    let real: f64 = m2.slice(0, bi, 1).as_slice().iter().sum();
+                    1.0 / real.max(1.0)
+                })
+            }
+            None => Tensor::full(&[b, 1], 1.0 / n as f64),
+        };
+        let inv_real = g.leaf(inv_real);
+        let quad_means = |r: Var<'g>| -> Var<'g> {
+            // r: [B, k, k]; mean over the V columns + pad-aware mean over
+            // the T columns → [B, k]
+            let v_mean = r.slice(2, 0, m).mean_axis(2);
+            let t_mean = r.slice(2, m, n).sum_axis(2).mul(inv_real);
+            v_mean.add(t_mean)
+        };
+        let att = (quad_means(rel).add(quad_means(rel.transpose()))).mul(gain); // [B, k]
+        let att_v = att.slice(1, 0, m); // [B, m]
+        // multiplicative attention (Eq. 4): softmax mask, identity-on-average
+        let gate_v = att_v
+            .softmax_lastdim()
+            .mul_scalar(m as f64)
+            .reshape(&[b, m, 1]);
+        let v_out = rms_norm(v.mul(gate_v).add(v));
+        let t_out = if self.compute_t {
+            let att_t = att.slice(1, m, n); // [B, n]
+            let gate_t = att_t
+                .softmax_lastdim()
+                .mul_scalar(n as f64)
+                .reshape(&[b, n, 1]);
+            let mut out = rms_norm(t.mul(gate_t).add(t));
+            if let Some(mask) = pad_mask {
+                out = out.mul(g.leaf(mask.clone()));
+            }
+            out
+        } else {
+            t // final module: T̃ is never consumed (§3.2)
+        };
+        Rel2AttOutput {
+            v: v_out,
+            t: t_out,
+            att_v,
+        }
+    }
+}
+
+impl Module for Rel2AttLayer {
+    fn parameters(&self) -> ParamList {
+        let mut ps = self.ffn_v1.parameters();
+        ps.extend(self.ffn_v2.parameters());
+        ps.extend(self.ffn_t1.parameters());
+        ps.extend(self.ffn_t2.parameters());
+        ps.push(self.gain.clone());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yollo_tensor::Graph;
+
+    fn layer(ablation: AttentionAblation) -> Rel2AttLayer {
+        let mut rng = StdRng::seed_from_u64(0);
+        Rel2AttLayer::new("r", 16, 24, ablation, true, &mut rng)
+    }
+
+    fn inputs(g: &Graph) -> (Var<'_>, Var<'_>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        (
+            g.leaf(Tensor::randn(&[2, 6, 16], &mut rng)),
+            g.leaf(Tensor::randn(&[2, 4, 16], &mut rng)),
+        )
+    }
+
+    #[test]
+    fn shapes_are_preserved() {
+        let l = layer(AttentionAblation::Full);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let (v, t) = inputs(&g);
+        let out = l.forward(&b, v, t, None);
+        assert_eq!(out.v.dims(), vec![2, 6, 16]);
+        assert_eq!(out.t.dims(), vec![2, 4, 16]);
+        assert_eq!(out.att_v.dims(), vec![2, 6]);
+    }
+
+    #[test]
+    fn gate_survives_normalisation() {
+        // the attention gate must change the *relative* magnitude of
+        // positions after normalisation (this is the regression test for
+        // the LayerNorm bug: per-position normalisation deletes the gate)
+        let l = layer(AttentionAblation::Full);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let (v, t) = inputs(&g);
+        let out = l.forward(&b, v, t, None);
+        let vin = v.value();
+        let vout = out.v.value();
+        // per-position norm ratios out/in must NOT all be equal
+        let mut ratios = Vec::new();
+        for p in 0..6 {
+            let ni = vin.slice(1, p, 1).norm();
+            let no = vout.slice(1, p, 1).norm();
+            ratios.push(no / ni);
+        }
+        let spread = ratios.iter().cloned().fold(f64::MIN, f64::max)
+            - ratios.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 1e-6, "gate was annihilated: ratios {ratios:?}");
+    }
+
+    #[test]
+    fn no_co_attention_makes_image_path_query_invariant() {
+        let l = layer(AttentionAblation::NoCoAttention);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let (v, t) = inputs(&g);
+        let out1 = l.forward(&b, v, t, None);
+        let mut rng = StdRng::seed_from_u64(99);
+        let t2 = g.leaf(Tensor::randn(&[2, 4, 16], &mut rng));
+        let out2 = l.forward(&b, v, t2, None);
+        // with co-attention wiped, att_v cannot depend on the query
+        assert!(out1.att_v.value().max_abs_diff(&out2.att_v.value()) < 1e-12);
+        // sanity: the full model *does* depend on the query
+        let lf = layer(AttentionAblation::Full);
+        let o1 = lf.forward(&b, v, t, None);
+        let o2 = lf.forward(&b, v, t2, None);
+        assert!(o1.att_v.value().max_abs_diff(&o2.att_v.value()) > 1e-9);
+    }
+
+    #[test]
+    fn no_self_attention_kills_vv_and_tt_blocks() {
+        let l = layer(AttentionAblation::NoSelfAttention);
+        let mask = l.quadrant_mask(3, 2).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(mask.at(&[i, j]), 0.0, "R_vv must be wiped");
+            }
+        }
+        assert_eq!(mask.at(&[0, 4]), 1.0, "R_vt must be kept");
+        assert_eq!(mask.at(&[4, 4]), 0.0, "R_tt must be wiped");
+    }
+
+    #[test]
+    fn pad_mask_blocks_padding_influence() {
+        let l = layer(AttentionAblation::Full);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let (v, _) = inputs(&g);
+        // two queries identical in real tokens, different garbage in the
+        // masked pad slots
+        let mut rng = StdRng::seed_from_u64(5);
+        let real = Tensor::randn(&[2, 2, 16], &mut rng);
+        let pad_a = Tensor::zeros(&[2, 2, 16]);
+        let pad_b = Tensor::randn(&[2, 2, 16], &mut rng);
+        let ta = g.leaf(Tensor::concat(&[&real, &pad_a], 1));
+        let tb = g.leaf(Tensor::concat(&[&real, &pad_b], 1));
+        let mask = Tensor::from_fn(&[2, 4, 1], |flat| if flat % 4 < 2 { 1.0 } else { 0.0 });
+        let oa = l.forward(&b, v, ta, Some(&mask));
+        let ob = l.forward(&b, v, tb, Some(&mask));
+        assert!(
+            oa.att_v.value().max_abs_diff(&ob.att_v.value()) < 1e-12,
+            "pad content leaked into the attention"
+        );
+        // padded output rows stay zero
+        let t_out = oa.t.value();
+        assert_eq!(t_out.slice(1, 2, 2).norm(), 0.0);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_parameters() {
+        let l = layer(AttentionAblation::Full);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let (v, t) = inputs(&g);
+        let out = l.forward(&b, v, t, None);
+        (out.v.square().sum_all() + out.t.square().sum_all() + out.att_v.square().sum_all())
+            .backward();
+        b.harvest();
+        for p in l.parameters() {
+            assert!(p.grad_norm() > 0.0, "no grad for {}", p.name());
+        }
+    }
+
+    #[test]
+    fn rms_norm_controls_scale() {
+        let g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = g.leaf(Tensor::randn(&[2, 5, 8], &mut rng).scale(100.0));
+        let y = rms_norm(x).value();
+        let ms: f64 =
+            y.as_slice().iter().map(|v| v * v).sum::<f64>() / y.numel() as f64;
+        assert!((ms - 1.0).abs() < 1e-6, "mean square {ms}");
+    }
+}

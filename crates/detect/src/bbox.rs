@@ -1,0 +1,276 @@
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box `{x, y, w, h}` (top-left corner plus size),
+/// in pixel units, matching the paper's `B = {x, y, w, h}` notation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BBox {
+    /// Left edge.
+    pub x: f64,
+    /// Top edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+/// How box-regression targets are parameterised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OffsetEncoding {
+    /// Standard R-CNN encoding: `tx=(x−xa)/wa, ty=(y−ya)/ha,
+    /// tw=ln(w/wa), th=ln(h/ha)` (what RPN [28] uses).
+    #[default]
+    RcnnLog,
+    /// The paper's literal Eq. (8) form: the plain difference `B − B_a`,
+    /// normalised by the anchor size for scale invariance.
+    PlainDiff,
+}
+
+impl BBox {
+    /// Creates a box from its top-left corner and size.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        BBox { x, y, w, h }
+    }
+
+    /// Creates a box from centre coordinates and size.
+    pub fn from_center(cx: f64, cy: f64, w: f64, h: f64) -> Self {
+        BBox {
+            x: cx - w / 2.0,
+            y: cy - h / 2.0,
+            w,
+            h,
+        }
+    }
+
+    /// Creates a box from two corners `(x1,y1)-(x2,y2)`.
+    pub fn from_corners(x1: f64, y1: f64, x2: f64, y2: f64) -> Self {
+        BBox {
+            x: x1.min(x2),
+            y: y1.min(y2),
+            w: (x2 - x1).abs(),
+            h: (y2 - y1).abs(),
+        }
+    }
+
+    /// Right edge.
+    pub fn x2(&self) -> f64 {
+        self.x + self.w
+    }
+
+    /// Bottom edge.
+    pub fn y2(&self) -> f64 {
+        self.y + self.h
+    }
+
+    /// Centre point `(cx, cy)`.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Area (`0` for degenerate boxes).
+    pub fn area(&self) -> f64 {
+        (self.w.max(0.0)) * (self.h.max(0.0))
+    }
+
+    /// Area of the intersection with `other`.
+    pub fn intersection(&self, other: &BBox) -> f64 {
+        let ix = (self.x2().min(other.x2()) - self.x.max(other.x)).max(0.0);
+        let iy = (self.y2().min(other.y2()) - self.y.max(other.y)).max(0.0);
+        ix * iy
+    }
+
+    /// Intersection over union, in `[0, 1]`. Degenerate pairs yield 0.
+    pub fn iou(&self, other: &BBox) -> f64 {
+        let inter = self.intersection(other);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// True when `(px, py)` lies inside (inclusive of the top-left edge).
+    pub fn contains_point(&self, px: f64, py: f64) -> bool {
+        px >= self.x && px < self.x2() && py >= self.y && py < self.y2()
+    }
+
+    /// Clips the box to an image of size `width`×`height`.
+    pub fn clip_to(&self, width: f64, height: f64) -> BBox {
+        let x1 = self.x.clamp(0.0, width);
+        let y1 = self.y.clamp(0.0, height);
+        let x2 = self.x2().clamp(0.0, width);
+        let y2 = self.y2().clamp(0.0, height);
+        BBox::from_corners(x1, y1, x2, y2)
+    }
+
+    /// Uniformly scales all coordinates (e.g. image → feature-map space,
+    /// §3.2's "scale down B to match the size of the feature map").
+    pub fn scale(&self, s: f64) -> BBox {
+        BBox {
+            x: self.x * s,
+            y: self.y * s,
+            w: self.w * s,
+            h: self.h * s,
+        }
+    }
+
+    /// Encodes `self` (a ground-truth box) as a regression target relative
+    /// to `anchor`.
+    ///
+    /// # Panics
+    /// Panics if the anchor or (for [`OffsetEncoding::RcnnLog`]) the target
+    /// has non-positive size.
+    pub fn encode(&self, anchor: &BBox, enc: OffsetEncoding) -> [f64; 4] {
+        assert!(anchor.w > 0.0 && anchor.h > 0.0, "degenerate anchor");
+        let (cx, cy) = self.center();
+        let (ax, ay) = anchor.center();
+        match enc {
+            OffsetEncoding::RcnnLog => {
+                assert!(self.w > 0.0 && self.h > 0.0, "degenerate target box");
+                [
+                    (cx - ax) / anchor.w,
+                    (cy - ay) / anchor.h,
+                    (self.w / anchor.w).ln(),
+                    (self.h / anchor.h).ln(),
+                ]
+            }
+            OffsetEncoding::PlainDiff => [
+                (cx - ax) / anchor.w,
+                (cy - ay) / anchor.h,
+                (self.w - anchor.w) / anchor.w,
+                (self.h - anchor.h) / anchor.h,
+            ],
+        }
+    }
+
+    /// Applies a predicted offset to `anchor`, producing the decoded box.
+    /// Exact inverse of [`BBox::encode`].
+    pub fn decode(anchor: &BBox, t: [f64; 4], enc: OffsetEncoding) -> BBox {
+        let (ax, ay) = anchor.center();
+        match enc {
+            OffsetEncoding::RcnnLog => {
+                let cx = ax + t[0] * anchor.w;
+                let cy = ay + t[1] * anchor.h;
+                // clamp exp to avoid inf from an untrained regressor
+                let w = anchor.w * t[2].clamp(-8.0, 8.0).exp();
+                let h = anchor.h * t[3].clamp(-8.0, 8.0).exp();
+                BBox::from_center(cx, cy, w, h)
+            }
+            OffsetEncoding::PlainDiff => {
+                let cx = ax + t[0] * anchor.w;
+                let cy = ay + t[1] * anchor.h;
+                let w = anchor.w * (1.0 + t[2]).max(1e-6);
+                let h = anchor.h * (1.0 + t[3]).max(1e-6);
+                BBox::from_center(cx, cy, w, h)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn iou_identical_is_one() {
+        let b = BBox::new(1.0, 2.0, 3.0, 4.0);
+        assert!((b.iou(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = BBox::new(0.0, 0.0, 1.0, 1.0);
+        let b = BBox::new(5.0, 5.0, 1.0, 1.0);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_known_value() {
+        let a = BBox::new(0.0, 0.0, 2.0, 2.0);
+        let b = BBox::new(1.0, 1.0, 2.0, 2.0);
+        // inter 1, union 7
+        assert!((a.iou(&b) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_boxes_do_not_divide_by_zero() {
+        let a = BBox::new(0.0, 0.0, 0.0, 0.0);
+        assert_eq!(a.iou(&a), 0.0);
+        assert_eq!(a.area(), 0.0);
+    }
+
+    #[test]
+    fn clip_limits_to_image() {
+        let b = BBox::new(-5.0, -5.0, 20.0, 20.0).clip_to(10.0, 8.0);
+        assert_eq!(b, BBox::new(0.0, 0.0, 10.0, 8.0));
+    }
+
+    #[test]
+    fn contains_point_edges() {
+        let b = BBox::new(0.0, 0.0, 2.0, 2.0);
+        assert!(b.contains_point(0.0, 0.0));
+        assert!(!b.contains_point(2.0, 2.0));
+    }
+
+    #[test]
+    fn center_roundtrip() {
+        let b = BBox::from_center(5.0, 6.0, 4.0, 2.0);
+        assert_eq!(b.center(), (5.0, 6.0));
+        assert_eq!(b.x, 3.0);
+        assert_eq!(b.y, 5.0);
+    }
+
+    fn arb_box() -> impl Strategy<Value = BBox> {
+        (0.0..50.0f64, 0.0..50.0f64, 0.5..20.0f64, 0.5..20.0f64)
+            .prop_map(|(x, y, w, h)| BBox::new(x, y, w, h))
+    }
+
+    proptest! {
+        #[test]
+        fn iou_is_symmetric(a in arb_box(), b in arb_box()) {
+            prop_assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn iou_is_bounded(a in arb_box(), b in arb_box()) {
+            let v = a.iou(&b);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn intersection_bounded_by_min_area(a in arb_box(), b in arb_box()) {
+            prop_assert!(a.intersection(&b) <= a.area().min(b.area()) + 1e-9);
+        }
+
+        #[test]
+        fn encode_decode_roundtrip_rcnn(gt in arb_box(), anchor in arb_box()) {
+            let t = gt.encode(&anchor, OffsetEncoding::RcnnLog);
+            let back = BBox::decode(&anchor, t, OffsetEncoding::RcnnLog);
+            prop_assert!(gt.iou(&back) > 0.999, "{gt:?} vs {back:?}");
+        }
+
+        #[test]
+        fn encode_decode_roundtrip_plain(gt in arb_box(), anchor in arb_box()) {
+            let t = gt.encode(&anchor, OffsetEncoding::PlainDiff);
+            let back = BBox::decode(&anchor, t, OffsetEncoding::PlainDiff);
+            prop_assert!(gt.iou(&back) > 0.999, "{gt:?} vs {back:?}");
+        }
+
+        #[test]
+        fn perfect_anchor_encodes_to_zero(gt in arb_box()) {
+            for enc in [OffsetEncoding::RcnnLog, OffsetEncoding::PlainDiff] {
+                let t = gt.encode(&gt, enc);
+                for v in t {
+                    prop_assert!(v.abs() < 1e-9);
+                }
+            }
+        }
+
+        #[test]
+        fn scale_commutes_with_iou(a in arb_box(), b in arb_box(), s in 0.1..4.0f64) {
+            prop_assert!((a.scale(s).iou(&b.scale(s)) - a.iou(&b)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Bounding-box geometry, anchor grids, IoU matching and NMS.
+//!
+//! This crate is the detection substrate shared by the one-stage YOLLO head
+//! (`yollo-core`) and the two-stage proposal generator (`yollo-twostage`):
+//! box arithmetic and IoU, RPN-style anchor grids, the positive/negative
+//! anchor labelling rule with the paper's thresholds
+//! (ρ_high = 0.5, ρ_low = 0.25, §3.3), offset encode/decode, and greedy
+//! non-maximum suppression.
+//!
+//! ```
+//! use yollo_detect::BBox;
+//! let a = BBox::new(0.0, 0.0, 10.0, 10.0);
+//! let b = BBox::new(5.0, 5.0, 10.0, 10.0);
+//! assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-12);
+//! ```
+
+mod anchors;
+mod bbox;
+mod matcher;
+mod nms;
+
+pub use anchors::{AnchorGrid, AnchorSpec};
+pub use bbox::{BBox, OffsetEncoding};
+pub use matcher::{label_anchors, sample_minibatch, AnchorLabel, MatchConfig};
+pub use nms::nms;

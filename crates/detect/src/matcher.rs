@@ -1,0 +1,187 @@
+use crate::BBox;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The training label of an anchor (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnchorLabel {
+    /// IoU with the target ≥ ρ_high (or best-matching anchor): `p* = 1`.
+    Positive,
+    /// IoU with the target < ρ_low: `p* = 0`.
+    Negative,
+    /// In the grey zone `[ρ_low, ρ_high)`: excluded from the loss.
+    Ignore,
+}
+
+/// Anchor-labelling and mini-batch sampling configuration.
+///
+/// Paper values (§3.3): `N = 256`, `ρ_high = 0.5`, `ρ_low = 0.25`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// IoU at or above which an anchor is positive.
+    pub rho_high: f64,
+    /// IoU below which an anchor is negative.
+    pub rho_low: f64,
+    /// Anchors sampled per image for the loss.
+    pub sample_n: usize,
+    /// Always mark the highest-IoU anchor positive, even below ρ_high
+    /// (standard RPN practice; prevents images with zero positives).
+    pub force_best_positive: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            rho_high: 0.5,
+            rho_low: 0.25,
+            sample_n: 256,
+            force_best_positive: true,
+        }
+    }
+}
+
+/// Labels every anchor against a single target box.
+///
+/// # Panics
+/// Panics if `rho_low > rho_high` or `anchors` is empty.
+pub fn label_anchors(anchors: &[BBox], target: &BBox, cfg: &MatchConfig) -> Vec<AnchorLabel> {
+    assert!(cfg.rho_low <= cfg.rho_high, "rho_low must be <= rho_high");
+    assert!(!anchors.is_empty(), "no anchors to label");
+    let ious: Vec<f64> = anchors.iter().map(|a| a.iou(target)).collect();
+    let mut labels: Vec<AnchorLabel> = ious
+        .iter()
+        .map(|&iou| {
+            if iou >= cfg.rho_high {
+                AnchorLabel::Positive
+            } else if iou < cfg.rho_low {
+                AnchorLabel::Negative
+            } else {
+                AnchorLabel::Ignore
+            }
+        })
+        .collect();
+    if cfg.force_best_positive {
+        let mut best = 0;
+        for (i, &v) in ious.iter().enumerate() {
+            if v > ious[best] {
+                best = i;
+            }
+        }
+        if ious[best] > 0.0 {
+            labels[best] = AnchorLabel::Positive;
+        }
+    }
+    labels
+}
+
+/// Samples up to `cfg.sample_n` anchors for one loss mini-batch, keeping all
+/// positives (up to half the budget, as in RPN) and filling with random
+/// negatives. Returns `(positive_indices, negative_indices)`.
+pub fn sample_minibatch(
+    labels: &[AnchorLabel],
+    cfg: &MatchConfig,
+    rng: &mut impl Rng,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut pos: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| **l == AnchorLabel::Positive)
+        .map(|(i, _)| i)
+        .collect();
+    let mut neg: Vec<usize> = labels
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| **l == AnchorLabel::Negative)
+        .map(|(i, _)| i)
+        .collect();
+    pos.shuffle(rng);
+    neg.shuffle(rng);
+    let max_pos = (cfg.sample_n / 2).max(1);
+    pos.truncate(max_pos);
+    let budget = cfg.sample_n.saturating_sub(pos.len());
+    neg.truncate(budget);
+    (pos, neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnchorGrid, AnchorSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid() -> AnchorGrid {
+        AnchorGrid::generate(6, 9, &AnchorSpec::default())
+    }
+
+    #[test]
+    fn labels_partition_by_iou() {
+        let g = grid();
+        let target = BBox::from_center(36.0, 24.0, 24.0, 24.0);
+        let cfg = MatchConfig::default();
+        let labels = label_anchors(g.boxes(), &target, &cfg);
+        for (b, l) in g.boxes().iter().zip(&labels) {
+            let iou = b.iou(&target);
+            match l {
+                AnchorLabel::Positive => assert!(
+                    iou >= cfg.rho_high || iou > 0.0, // forced best allowed
+                ),
+                AnchorLabel::Negative => assert!(iou < cfg.rho_low),
+                AnchorLabel::Ignore => {
+                    assert!(iou >= cfg.rho_low && iou < cfg.rho_high)
+                }
+            }
+        }
+        assert!(labels.contains(&AnchorLabel::Positive));
+        assert!(labels.contains(&AnchorLabel::Negative));
+    }
+
+    #[test]
+    fn tiny_target_still_gets_a_positive() {
+        // smaller than any anchor scale: only force_best saves it
+        let g = grid();
+        let target = BBox::from_center(20.0, 20.0, 3.0, 3.0);
+        let labels = label_anchors(g.boxes(), &target, &MatchConfig::default());
+        assert!(labels.contains(&AnchorLabel::Positive));
+        let off = MatchConfig {
+            force_best_positive: false,
+            ..MatchConfig::default()
+        };
+        let labels = label_anchors(g.boxes(), &target, &off);
+        assert!(!labels.contains(&AnchorLabel::Positive));
+    }
+
+    #[test]
+    fn minibatch_respects_budget_and_balance() {
+        let g = grid();
+        let target = BBox::from_center(36.0, 24.0, 24.0, 24.0);
+        let cfg = MatchConfig {
+            sample_n: 32,
+            ..MatchConfig::default()
+        };
+        let labels = label_anchors(g.boxes(), &target, &cfg);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (pos, neg) = sample_minibatch(&labels, &cfg, &mut rng);
+        assert!(pos.len() + neg.len() <= 32);
+        assert!(pos.len() <= 16);
+        assert!(!pos.is_empty());
+        for i in &pos {
+            assert_eq!(labels[*i], AnchorLabel::Positive);
+        }
+        for i in &neg {
+            assert_eq!(labels[*i], AnchorLabel::Negative);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let g = grid();
+        let target = BBox::from_center(30.0, 20.0, 20.0, 16.0);
+        let cfg = MatchConfig::default();
+        let labels = label_anchors(g.boxes(), &target, &cfg);
+        let a = sample_minibatch(&labels, &cfg, &mut StdRng::seed_from_u64(9));
+        let b = sample_minibatch(&labels, &cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

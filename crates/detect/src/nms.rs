@@ -1,0 +1,108 @@
+use crate::BBox;
+
+/// Greedy non-maximum suppression.
+///
+/// Returns the indices of kept boxes, highest score first. A box is dropped
+/// when its IoU with an already-kept box exceeds `iou_threshold`. Used by
+/// the two-stage proposal generator (the one-stage YOLLO picks top-1
+/// directly, §3.3, and never needs this).
+///
+/// # Panics
+/// Panics if `boxes.len() != scores.len()`.
+pub fn nms(boxes: &[BBox], scores: &[f64], iou_threshold: f64, max_keep: usize) -> Vec<usize> {
+    assert_eq!(boxes.len(), scores.len(), "boxes/scores length mismatch");
+    let mut order: Vec<usize> = (0..boxes.len()).collect();
+    // sort by score descending; NaNs sink to the end
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut keep = Vec::new();
+    for &i in &order {
+        if keep.len() >= max_keep {
+            break;
+        }
+        if keep
+            .iter()
+            .all(|&k: &usize| boxes[i].iou(&boxes[k]) <= iou_threshold)
+        {
+            keep.push(i);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn suppresses_overlapping_lower_scores() {
+        let boxes = vec![
+            BBox::new(0.0, 0.0, 10.0, 10.0),
+            BBox::new(1.0, 1.0, 10.0, 10.0), // heavy overlap with 0
+            BBox::new(50.0, 50.0, 10.0, 10.0),
+        ];
+        let scores = vec![0.9, 0.8, 0.7];
+        let keep = nms(&boxes, &scores, 0.5, 10);
+        assert_eq!(keep, vec![0, 2]);
+    }
+
+    #[test]
+    fn respects_max_keep() {
+        let boxes: Vec<BBox> = (0..10)
+            .map(|i| BBox::new(i as f64 * 100.0, 0.0, 10.0, 10.0))
+            .collect();
+        let scores: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let keep = nms(&boxes, &scores, 0.5, 3);
+        assert_eq!(keep, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(nms(&[], &[], 0.5, 5).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn kept_boxes_are_mutually_non_overlapping(
+            n in 1usize..20, seed in 0u64..500, thr in 0.1..0.9f64,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let boxes: Vec<BBox> = (0..n)
+                .map(|_| BBox::new(
+                    rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0),
+                    rng.gen_range(1.0..20.0), rng.gen_range(1.0..20.0)))
+                .collect();
+            let scores: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+            let keep = nms(&boxes, &scores, thr, n);
+            for (a, &i) in keep.iter().enumerate() {
+                for &j in &keep[a + 1..] {
+                    prop_assert!(boxes[i].iou(&boxes[j]) <= thr + 1e-12);
+                }
+            }
+            // scores of kept sequence are non-increasing
+            for w in keep.windows(2) {
+                prop_assert!(scores[w[0]] >= scores[w[1]]);
+            }
+        }
+
+        #[test]
+        fn top_scorer_is_always_kept(n in 1usize..20, seed in 0u64..200) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let boxes: Vec<BBox> = (0..n)
+                .map(|_| BBox::new(
+                    rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0),
+                    rng.gen_range(1.0..20.0), rng.gen_range(1.0..20.0)))
+                .collect();
+            let scores: Vec<f64> = (0..n).map(|_| rng.gen()).collect();
+            let best = (0..n).max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap()).unwrap();
+            let keep = nms(&boxes, &scores, 0.5, n);
+            prop_assert_eq!(keep[0], best);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+use crate::IouMetrics;
+use std::collections::BTreeMap;
+
+/// Per-group IoU metrics — e.g. accuracy broken down by target category or
+/// query length, used by the error-analysis extensions.
+///
+/// ```
+/// use yollo_eval::GroupedMetrics;
+/// let mut g = GroupedMetrics::new();
+/// g.record("circle", 0.9);
+/// g.record("circle", 0.2);
+/// g.record("square", 0.7);
+/// assert_eq!(g.group(&"circle").unwrap().len(), 2);
+/// assert!((g.overall().acc_at(0.5) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupedMetrics<K: Ord> {
+    groups: BTreeMap<K, IouMetrics>,
+}
+
+impl<K: Ord> GroupedMetrics<K> {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        GroupedMetrics {
+            groups: BTreeMap::new(),
+        }
+    }
+
+    /// Records one sample's IoU under `key`.
+    pub fn record(&mut self, key: K, iou: f64) {
+        self.groups.entry(key).or_default().ious.push(iou);
+    }
+
+    /// The metrics of one group.
+    pub fn group(&self, key: &K) -> Option<&IouMetrics> {
+        self.groups.get(key)
+    }
+
+    /// Iterates groups in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &IouMetrics)> {
+        self.groups.iter()
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// All samples pooled together.
+    pub fn overall(&self) -> IouMetrics {
+        let mut all = IouMetrics::default();
+        for m in self.groups.values() {
+            all.extend(m);
+        }
+        all
+    }
+
+    /// The group with the lowest ACC@0.5 (ties: first key) — where the
+    /// model fails most.
+    pub fn weakest(&self, eta: f64) -> Option<(&K, f64)> {
+        self.groups
+            .iter()
+            .map(|(k, m)| (k, m.acc_at(eta)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+    }
+}
+
+/// Confidence-calibration bins: does a score of 0.9 mean 90% of those
+/// predictions are correct?
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationBins {
+    hits: Vec<usize>,
+    totals: Vec<usize>,
+    score_sums: Vec<f64>,
+}
+
+impl CalibrationBins {
+    /// Creates `n` equal-width bins over `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one bin");
+        CalibrationBins {
+            hits: vec![0; n],
+            totals: vec![0; n],
+            score_sums: vec![0.0; n],
+        }
+    }
+
+    /// Records a prediction with confidence `score` (clamped to `[0,1]`)
+    /// and whether it was correct.
+    pub fn record(&mut self, score: f64, correct: bool) {
+        let n = self.totals.len();
+        let bin = ((score.clamp(0.0, 1.0) * n as f64) as usize).min(n - 1);
+        self.totals[bin] += 1;
+        self.hits[bin] += correct as usize;
+        self.score_sums[bin] += score.clamp(0.0, 1.0);
+    }
+
+    /// `(mean confidence, accuracy, count)` per non-empty bin.
+    pub fn bins(&self) -> Vec<(f64, f64, usize)> {
+        (0..self.totals.len())
+            .filter(|&b| self.totals[b] > 0)
+            .map(|b| {
+                (
+                    self.score_sums[b] / self.totals[b] as f64,
+                    self.hits[b] as f64 / self.totals[b] as f64,
+                    self.totals[b],
+                )
+            })
+            .collect()
+    }
+
+    /// Expected calibration error: count-weighted mean |confidence −
+    /// accuracy|.
+    pub fn ece(&self) -> f64 {
+        let total: usize = self.totals.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.bins()
+            .into_iter()
+            .map(|(conf, acc, n)| (conf - acc).abs() * n as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouped_breakdown() {
+        let mut g = GroupedMetrics::new();
+        g.record("a", 0.9);
+        g.record("a", 0.8);
+        g.record("b", 0.1);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.group(&"a").unwrap().acc_at(0.5), 1.0);
+        assert_eq!(g.weakest(0.5), Some((&"b", 0.0)));
+        assert_eq!(g.overall().len(), 3);
+    }
+
+    #[test]
+    fn perfectly_calibrated_has_zero_ece() {
+        let mut c = CalibrationBins::new(10);
+        // 10 predictions at conf 0.8, 8 correct
+        for i in 0..10 {
+            c.record(0.8, i < 8);
+        }
+        assert!(c.ece() < 1e-9, "ece {}", c.ece());
+    }
+
+    #[test]
+    fn overconfident_model_has_high_ece() {
+        let mut c = CalibrationBins::new(10);
+        for _ in 0..10 {
+            c.record(0.95, false);
+        }
+        assert!(c.ece() > 0.9);
+        assert_eq!(c.bins().len(), 1);
+    }
+
+    #[test]
+    fn empty_bins_are_benign() {
+        let c = CalibrationBins::new(5);
+        assert_eq!(c.ece(), 0.0);
+        assert!(c.bins().is_empty());
+    }
+
+    #[test]
+    fn scores_clamp_to_unit_range() {
+        let mut c = CalibrationBins::new(4);
+        c.record(1.7, true);
+        c.record(-0.3, false);
+        assert_eq!(c.bins().iter().map(|b| b.2).sum::<usize>(), 2);
+    }
+}

@@ -1,0 +1,12 @@
+//! Evaluation utilities: grounding metrics (§4.3), wall-clock timing
+//! (§4.5 / Table 5) and markdown report tables.
+
+mod grouped;
+mod metrics;
+mod report;
+mod timing;
+
+pub use grouped::{CalibrationBins, GroupedMetrics};
+pub use metrics::IouMetrics;
+pub use report::{pct, Table};
+pub use timing::{time_inference, TimingStats};

@@ -1,0 +1,114 @@
+use serde::{Deserialize, Serialize};
+
+/// Per-sample IoUs of an evaluation run, with the metrics of §4.3:
+/// ACC@η, COCO-style averaged ACC, and MIOU.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct IouMetrics {
+    /// IoU between prediction and ground truth for every sample.
+    pub ious: Vec<f64>,
+}
+
+impl IouMetrics {
+    /// Wraps a list of per-sample IoUs.
+    pub fn new(ious: Vec<f64>) -> Self {
+        IouMetrics { ious }
+    }
+
+    /// Number of evaluated samples.
+    pub fn len(&self) -> usize {
+        self.ious.len()
+    }
+
+    /// True when nothing was evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.ious.is_empty()
+    }
+
+    /// Fraction of samples with IoU > `eta` ("if the IoU score … is greater
+    /// than a threshold η = 0.5, we consider this a correct prediction").
+    pub fn acc_at(&self, eta: f64) -> f64 {
+        if self.ious.is_empty() {
+            return 0.0;
+        }
+        self.ious.iter().filter(|&&i| i > eta).count() as f64 / self.ious.len() as f64
+    }
+
+    /// COCO-style ACC: mean of ACC@η for η ∈ {0.5, 0.55, …, 0.95} (Table 3).
+    pub fn acc_coco(&self) -> f64 {
+        let etas: Vec<f64> = (0..10).map(|i| 0.5 + 0.05 * i as f64).collect();
+        etas.iter().map(|&e| self.acc_at(e)).sum::<f64>() / etas.len() as f64
+    }
+
+    /// Mean IoU over all samples (MIOU, Table 3).
+    pub fn miou(&self) -> f64 {
+        if self.ious.is_empty() {
+            return 0.0;
+        }
+        self.ious.iter().sum::<f64>() / self.ious.len() as f64
+    }
+
+    /// Merges another run's samples into this one.
+    pub fn extend(&mut self, other: &IouMetrics) {
+        self.ious.extend_from_slice(&other.ious);
+    }
+}
+
+impl FromIterator<f64> for IouMetrics {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        IouMetrics::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn metric_formulas() {
+        let m = IouMetrics::new(vec![0.9, 0.6, 0.4, 0.0]);
+        assert!((m.acc_at(0.5) - 0.5).abs() < 1e-12);
+        assert!((m.acc_at(0.75) - 0.25).abs() < 1e-12);
+        assert!((m.miou() - 0.475).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero_everywhere() {
+        let m = IouMetrics::default();
+        assert_eq!(m.acc_at(0.5), 0.0);
+        assert_eq!(m.acc_coco(), 0.0);
+        assert_eq!(m.miou(), 0.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = IouMetrics::new(vec![1.0]);
+        a.extend(&IouMetrics::new(vec![0.0]));
+        assert_eq!(a.len(), 2);
+        assert!((a.acc_at(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn acc_is_monotone_in_eta(ious in proptest::collection::vec(0.0..1.0f64, 1..40)) {
+            let m = IouMetrics::new(ious);
+            let mut last = 1.0;
+            for i in 0..10 {
+                let acc = m.acc_at(0.5 + 0.05 * i as f64);
+                prop_assert!(acc <= last + 1e-12);
+                last = acc;
+            }
+            // coco acc is bounded by acc@0.5
+            prop_assert!(m.acc_coco() <= m.acc_at(0.5) + 1e-12);
+        }
+
+        #[test]
+        fn miou_is_bounded_by_extremes(ious in proptest::collection::vec(0.0..1.0f64, 1..40)) {
+            let m = IouMetrics::new(ious.clone());
+            let lo = ious.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = ious.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m.miou() >= lo - 1e-12 && m.miou() <= hi + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+use std::fmt;
+
+/// A simple markdown table builder for the experiment reports
+/// (EXPERIMENTS.md rows mirroring the paper's tables).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<width$}", width = widths[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals ("91.63").
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["Method", "ACC@0.5"]);
+        t.row(["YOLLO", "91.63"]);
+        t.row(["listener-long-name", "62.98"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Method"));
+        assert!(lines[1].starts_with("|-"));
+        // all lines have identical width
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn rows_are_padded_to_header_width() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.to_markdown().lines().nth(2).unwrap().matches('|').count() == 4);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.9163), "91.63");
+        assert_eq!(pct(0.0), "0.00");
+    }
+}

@@ -1,0 +1,101 @@
+use std::cell::RefCell;
+
+use crate::Parameter;
+use yollo_tensor::{Graph, Var};
+
+/// Connects [`Parameter`]s to one autodiff tape for a forward/backward pass.
+///
+/// Layers call [`Binder::var`] to obtain a tape [`Var`] for each parameter;
+/// after `loss.backward()`, [`Binder::harvest`] copies the tape gradients
+/// back into the parameters (accumulating, so gradient accumulation across
+/// micro-batches falls out naturally).
+///
+/// Binding the same parameter twice on one tape returns the same `Var`, so
+/// weight sharing (e.g. the stacked Rel2Att modules reusing an embedding)
+/// contributes a single, correctly-summed gradient.
+pub struct Binder<'g> {
+    graph: &'g Graph,
+    bound: RefCell<Vec<(usize, Parameter)>>,
+}
+
+impl std::fmt::Debug for Binder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Binder({} bound params)", self.bound.borrow().len())
+    }
+}
+
+impl<'g> Binder<'g> {
+    /// Creates a binder for `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        Binder {
+            graph,
+            bound: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The underlying tape.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Returns a tape variable holding the parameter's current value.
+    pub fn var(&self, p: &Parameter) -> Var<'g> {
+        let mut bound = self.bound.borrow_mut();
+        if let Some((id, _)) = bound.iter().find(|(_, q)| q.same_storage(p)) {
+            return self.graph.var_by_index(*id);
+        }
+        let v = self.graph.leaf(p.value());
+        bound.push((v.index(), p.clone()));
+        v
+    }
+
+    /// Copies every bound parameter's tape gradient back into the parameter
+    /// (accumulating with whatever is already there).
+    pub fn harvest(&self) {
+        for (id, p) in self.bound.borrow().iter() {
+            let g = self.graph.var_by_index(*id).grad();
+            p.accumulate_grad(&g);
+        }
+    }
+
+    /// Number of distinct parameters bound so far.
+    pub fn len(&self) -> usize {
+        self.bound.borrow().len()
+    }
+
+    /// True when no parameters have been bound.
+    pub fn is_empty(&self) -> bool {
+        self.bound.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yollo_tensor::Tensor;
+
+    #[test]
+    fn harvest_accumulates_into_parameter() {
+        let p = Parameter::new("w", Tensor::from_vec(vec![2.0], &[1]));
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let w = b.var(&p);
+        w.square().sum_all().backward();
+        b.harvest();
+        assert_eq!(p.grad().as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn rebinding_shares_one_var() {
+        let p = Parameter::new("w", Tensor::from_vec(vec![3.0], &[1]));
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let w1 = b.var(&p);
+        let w2 = b.var(&p);
+        assert_eq!(b.len(), 1);
+        // loss = w * w via two bindings → dL/dw = 2w = 6
+        (w1 * w2).sum_all().backward();
+        b.harvest();
+        assert_eq!(p.grad().as_slice(), &[6.0]);
+    }
+}

@@ -1,0 +1,149 @@
+use crate::{he_normal, Binder, Module, ParamList, Parameter};
+use rand::Rng;
+use yollo_tensor::{Conv2dSpec, Tensor, Var};
+
+/// A 2-D convolution layer over `[N,C,H,W]` inputs, He-initialised.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    w: Parameter,
+    b: Option<Parameter>,
+    spec: Conv2dSpec,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `kernel`, given `stride`/`pad`.
+    pub fn new(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        spec: Conv2dSpec,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let w = Parameter::new(
+            format!("{name}.w"),
+            he_normal(&[out_channels, in_channels, kernel, kernel], fan_in, rng),
+        );
+        let b = bias.then(|| Parameter::new(format!("{name}.b"), Tensor::zeros(&[out_channels])));
+        Conv2d {
+            w,
+            b,
+            spec,
+            in_channels,
+            out_channels,
+            kernel,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Convolution hyper-parameters.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// Applies the convolution (plus bias if configured).
+    ///
+    /// # Panics
+    /// Panics if the input channel count differs from `in_channels`.
+    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+        let dims = x.dims();
+        assert_eq!(dims.len(), 4, "conv input must be [N,C,H,W]");
+        assert_eq!(dims[1], self.in_channels, "conv channel mismatch");
+        let w = bind.var(&self.w);
+        let y = x.conv2d(w, self.spec);
+        match &self.b {
+            Some(b) => {
+                let bv = bind.var(b).reshape(&[1, self.out_channels, 1, 1]);
+                y.add(bv)
+            }
+            None => y,
+        }
+    }
+
+    /// Output spatial size for an `h`×`w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        self.spec.output_hw(h, w, self.kernel, self.kernel)
+    }
+}
+
+impl Module for Conv2d {
+    fn parameters(&self) -> ParamList {
+        let mut ps = vec![self.w.clone()];
+        if let Some(b) = &self.b {
+            ps.push(b.clone());
+        }
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yollo_tensor::Graph;
+
+    #[test]
+    fn conv_output_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = Conv2d::new(
+            "c",
+            3,
+            8,
+            3,
+            Conv2dSpec { stride: 2, pad: 1 },
+            true,
+            &mut rng,
+        );
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x = g.leaf(Tensor::ones(&[2, 3, 8, 12]));
+        let y = c.forward(&b, x);
+        assert_eq!(y.dims(), vec![2, 8, 4, 6]);
+        assert_eq!(c.output_hw(8, 12), (4, 6));
+    }
+
+    #[test]
+    fn conv_bias_shifts_output() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = Conv2d::new("c", 1, 1, 1, Conv2dSpec::default(), true, &mut rng);
+        c.parameters()[0].set_value(Tensor::zeros(&[1, 1, 1, 1]));
+        c.parameters()[1].set_value(Tensor::from_vec(vec![5.0], &[1]));
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x = g.leaf(Tensor::ones(&[1, 1, 2, 2]));
+        let y = c.forward(&b, x);
+        assert_eq!(y.value().as_slice(), &[5.0; 4]);
+    }
+
+    #[test]
+    fn conv_gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = Conv2d::new(
+            "c",
+            2,
+            4,
+            3,
+            Conv2dSpec { stride: 1, pad: 1 },
+            true,
+            &mut rng,
+        );
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x = g.leaf(Tensor::randn(&[1, 2, 5, 5], &mut rng));
+        c.forward(&b, x).square().mean_all().backward();
+        b.harvest();
+        for p in c.parameters() {
+            assert!(p.grad_norm() > 0.0, "no grad for {}", p.name());
+        }
+    }
+}

@@ -1,0 +1,82 @@
+use std::cell::RefCell;
+
+use crate::Binder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yollo_tensor::{Tensor, Var};
+
+/// Inverted dropout: during training, zeroes each element with probability
+/// `p` and scales survivors by `1/(1-p)`; at evaluation it is the identity.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f64,
+    training: std::cell::Cell<bool>,
+    rng: RefCell<StdRng>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1)");
+        Dropout {
+            p,
+            training: std::cell::Cell::new(true),
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Switches between training (dropping) and evaluation (identity).
+    pub fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+
+    /// Applies dropout.
+    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+        if !self.training.get() || self.p == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - self.p;
+        let mut rng = self.rng.borrow_mut();
+        let mask = Tensor::from_fn(&x.dims(), |_| {
+            if rng.gen::<f64>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        x.mul(bind.graph().leaf(mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yollo_tensor::Graph;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 0);
+        d.set_training(false);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x = g.leaf(Tensor::ones(&[4, 4]));
+        let y = d.forward(&b, x);
+        assert_eq!(y.value().as_slice(), &[1.0; 16]);
+    }
+
+    #[test]
+    fn training_mode_preserves_expectation() {
+        let d = Dropout::new(0.5, 1);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x = g.leaf(Tensor::ones(&[100, 100]));
+        let y = d.forward(&b, x).value();
+        let mean: f64 = y.as_slice().iter().sum::<f64>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // survivors are scaled by 2
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-12));
+    }
+}

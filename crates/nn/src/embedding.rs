@@ -1,0 +1,105 @@
+use crate::{Binder, Module, ParamList, Parameter};
+use rand::Rng;
+use yollo_tensor::{Tensor, Var};
+
+/// A token-embedding table `[vocab, dim]` with differentiable row lookup.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: Parameter,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Creates a table initialised from `N(0, 0.1)`.
+    pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        let table = Parameter::new(
+            format!("{name}.table"),
+            Tensor::randn(&[vocab, dim], rng).scale(0.1),
+        );
+        Embedding { table, vocab, dim }
+    }
+
+    /// Creates a table from pre-trained vectors (e.g. word2vec output).
+    ///
+    /// # Panics
+    /// Panics if `weights` is not rank 2.
+    pub fn from_pretrained(name: &str, weights: Tensor) -> Self {
+        assert_eq!(weights.rank(), 2, "embedding weights must be [vocab, dim]");
+        let (vocab, dim) = (weights.dims()[0], weights.dims()[1]);
+        Embedding {
+            table: Parameter::new(format!("{name}.table"), weights),
+            vocab,
+            dim,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up a sequence of token ids, returning `[len, dim]`.
+    ///
+    /// # Panics
+    /// Panics if any id is out of vocabulary.
+    pub fn forward<'g>(&self, bind: &Binder<'g>, ids: &[usize]) -> Var<'g> {
+        for &id in ids {
+            assert!(id < self.vocab, "token id {id} out of vocab {}", self.vocab);
+        }
+        bind.var(&self.table).gather_rows(ids)
+    }
+}
+
+impl Module for Embedding {
+    fn parameters(&self) -> ParamList {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yollo_tensor::Graph;
+
+    #[test]
+    fn lookup_shapes_and_rows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new("e", 10, 4, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let v = e.forward(&b, &[3, 3, 7]);
+        assert_eq!(v.dims(), vec![3, 4]);
+        let t = e.parameters()[0].value();
+        assert_eq!(v.value().slice(0, 0, 1).as_slice(), t.slice(0, 3, 1).as_slice());
+    }
+
+    #[test]
+    fn grads_only_touch_used_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = Embedding::new("e", 5, 2, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        e.forward(&b, &[1, 1]).sum_all().backward();
+        b.harvest();
+        let grad = e.parameters()[0].grad();
+        assert_eq!(grad.slice(0, 1, 1).as_slice(), &[2.0, 2.0]);
+        assert_eq!(grad.slice(0, 0, 1).as_slice(), &[0.0, 0.0]);
+        assert_eq!(grad.slice(0, 4, 1).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_pretrained_keeps_weights() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let e = Embedding::from_pretrained("e", w.clone());
+        assert_eq!(e.vocab(), 2);
+        assert_eq!(e.parameters()[0].value(), w);
+    }
+}

@@ -1,0 +1,159 @@
+use crate::{Binder, Linear, Module, ParamList};
+use rand::Rng;
+use yollo_tensor::{Tensor, Var};
+
+/// Hidden state of a [`Gru`], one row per batch element.
+#[derive(Debug, Clone, Copy)]
+pub struct GruState<'g>(pub Var<'g>);
+
+/// A gated recurrent unit (Cho et al. 2014), the sequence encoder used by
+/// the two-stage listener/speaker baselines.
+///
+/// Update equations per step (on `[batch, dim]` rows):
+/// `z = σ(x Wz + h Uz)`, `r = σ(x Wr + h Ur)`,
+/// `ĥ = tanh(x Wh + (r⊙h) Uh)`, `h' = (1−z)⊙h + z⊙ĥ`.
+#[derive(Debug, Clone)]
+pub struct Gru {
+    wx: Linear, // input → 3*hidden (z, r, h)
+    wh: Linear, // hidden → 3*hidden
+    hidden: usize,
+}
+
+impl Gru {
+    /// Creates a GRU with the given input and hidden sizes.
+    pub fn new(name: &str, input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Gru {
+            wx: Linear::new_uniform(&format!("{name}.wx"), input, 3 * hidden, true, rng),
+            wh: Linear::new_uniform(&format!("{name}.wh"), hidden, 3 * hidden, false, rng),
+            hidden,
+        }
+    }
+
+    /// Hidden-state dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Zero initial state for a batch of `batch` rows.
+    pub fn zero_state<'g>(&self, bind: &Binder<'g>, batch: usize) -> GruState<'g> {
+        GruState(bind.graph().leaf(Tensor::zeros(&[batch, self.hidden])))
+    }
+
+    /// One recurrence step. `x` is `[batch, input]`.
+    pub fn step<'g>(&self, bind: &Binder<'g>, x: Var<'g>, state: GruState<'g>) -> GruState<'g> {
+        let h = state.0;
+        let gx = self.wx.forward(bind, x); // [b, 3H]
+        let gh = self.wh.forward(bind, h); // [b, 3H]
+        let hs = self.hidden;
+        let z = (gx.slice(1, 0, hs) + gh.slice(1, 0, hs)).sigmoid();
+        let r = (gx.slice(1, hs, hs) + gh.slice(1, hs, hs)).sigmoid();
+        let cand = (gx.slice(1, 2 * hs, hs) + (r * h).matmul(self.wh_slice_h(bind))).tanh();
+        let one = bind.graph().ones(&z.dims());
+        GruState((one - z) * h + z * cand)
+    }
+
+    // the candidate gate needs Uh applied to r⊙h, not to h; expose the
+    // third block of wh's weight as its own matmul operand
+    fn wh_slice_h<'g>(&self, bind: &Binder<'g>) -> Var<'g> {
+        let w = bind.var(&self.wh.parameters()[0]); // [H, 3H]
+        w.slice(1, 2 * self.hidden, self.hidden) // [H, H]
+    }
+
+    /// Runs the full sequence `[len, input]` (batch of 1), returning all
+    /// hidden states `[len, hidden]` and the final state.
+    pub fn run_sequence<'g>(
+        &self,
+        bind: &Binder<'g>,
+        xs: Var<'g>,
+    ) -> (Var<'g>, GruState<'g>) {
+        let dims = xs.dims();
+        assert_eq!(dims.len(), 2, "run_sequence expects [len, input]");
+        let len = dims[0];
+        assert!(len > 0, "empty sequence");
+        let mut state = self.zero_state(bind, 1);
+        let mut outs = Vec::with_capacity(len);
+        for t in 0..len {
+            let x = xs.slice(0, t, 1); // [1, input]
+            state = self.step(bind, x, state);
+            outs.push(state.0);
+        }
+        (Var::concat(&outs, 0), state)
+    }
+}
+
+impl Module for Gru {
+    fn parameters(&self) -> ParamList {
+        let mut ps = self.wx.parameters();
+        ps.extend(self.wh.parameters());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yollo_tensor::Graph;
+
+    #[test]
+    fn step_and_sequence_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let gru = Gru::new("g", 3, 5, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let xs = g.leaf(Tensor::randn(&[4, 3], &mut rng));
+        let (hs, last) = gru.run_sequence(&b, xs);
+        assert_eq!(hs.dims(), vec![4, 5]);
+        assert_eq!(last.0.dims(), vec![1, 5]);
+        // final row of hs equals the final state
+        assert_eq!(
+            hs.value().slice(0, 3, 1).as_slice(),
+            last.0.value().as_slice()
+        );
+    }
+
+    #[test]
+    fn state_is_bounded_by_tanh_dynamics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gru = Gru::new("g", 2, 4, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let xs = g.leaf(Tensor::randn(&[50, 2], &mut rng).scale(10.0));
+        let (_, last) = gru.run_sequence(&b, xs);
+        assert!(last.0.value().as_slice().iter().all(|&h| h.abs() <= 1.0));
+    }
+
+    #[test]
+    fn learns_to_remember_first_token() {
+        // task: output = first input element, after 5 steps
+        let mut rng = StdRng::seed_from_u64(2);
+        let gru = Gru::new("g", 1, 8, &mut rng);
+        let head = Linear::new("head", 8, 1, true, &mut rng);
+        let mut params = gru.parameters();
+        params.extend(head.parameters());
+        let mut opt = Adam::new(params.clone(), 1e-2);
+        let mut losses = Vec::new();
+        for it in 0..150 {
+            let g = Graph::new();
+            let b = Binder::new(&g);
+            let first = if it % 2 == 0 { 1.0 } else { -1.0 };
+            let mut seq = vec![first];
+            seq.extend(std::iter::repeat(0.0).take(4));
+            let xs = g.leaf(Tensor::from_vec(seq, &[5, 1]));
+            let (_, last) = gru.run_sequence(&b, xs);
+            let y = head.forward(&b, last.0);
+            let t = g.leaf(Tensor::from_vec(vec![first], &[1, 1]));
+            let loss = (y - t).square().mean_all();
+            losses.push(loss.value().scalar());
+            opt.zero_grad();
+            loss.backward();
+            b.harvest();
+            opt.step();
+        }
+        let early: f64 = losses[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = losses[losses.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!(late < early * 0.2, "gru failed to learn: {early} → {late}");
+    }
+}

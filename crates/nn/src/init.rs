@@ -1,0 +1,70 @@
+//! Weight initialisers.
+
+use rand::Rng;
+use yollo_tensor::Tensor;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    assert!(fan_in + fan_out > 0, "zero fan");
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Tensor::rand_uniform(dims, -a, a, rng)
+}
+
+/// He/Kaiming normal initialisation: `N(0, sqrt(2 / fan_in))`, suited to
+/// ReLU networks (the backbones).
+///
+/// # Panics
+/// Panics if `fan_in == 0`.
+pub fn he_normal(dims: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    assert!(fan_in > 0, "zero fan_in");
+    let std = (2.0 / fan_in as f64).sqrt();
+    Tensor::randn(dims, rng).scale(std)
+}
+
+/// Uniform `U(-1/sqrt(fan_in), 1/sqrt(fan_in))` (PyTorch's default for
+/// linear/recurrent layers).
+///
+/// # Panics
+/// Panics if `fan_in == 0`.
+pub fn uniform_fan_in(dims: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    assert!(fan_in > 0, "zero fan_in");
+    let a = 1.0 / (fan_in as f64).sqrt();
+    Tensor::rand_uniform(dims, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform(&[64, 64], 64, 64, &mut rng);
+        let a = (6.0 / 128.0f64).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= a));
+        // not degenerate
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn he_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_normal(&[1000], 50, &mut rng);
+        let var: f64 = t.as_slice().iter().map(|x| x * x).sum::<f64>() / 1000.0;
+        let expected = 2.0 / 50.0;
+        assert!((var - expected).abs() < expected * 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_fan_in_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = uniform_fan_in(&[10, 10], 25, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= 0.2));
+    }
+}

@@ -1,0 +1,58 @@
+//! Neural-network building blocks on top of [`yollo_tensor`].
+//!
+//! Provides trainable [`Parameter`]s that outlive any single autodiff tape,
+//! a [`Binder`] that connects parameters to a [`yollo_tensor::Graph`] for one
+//! forward/backward pass, standard layers (linear, feed-forward,
+//! convolution, embedding, GRU, layer norm, dropout), initialisers,
+//! optimisers (SGD with momentum, Adam) and JSON checkpointing.
+//!
+//! # Training loop shape
+//!
+//! ```
+//! use yollo_nn::{Adam, Binder, Linear, Module, Optimizer};
+//! use yollo_tensor::{Graph, Tensor};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let layer = Linear::new("fc", 4, 1, true, &mut rng);
+//! let mut opt = Adam::new(layer.parameters(), 1e-2);
+//! for _ in 0..10 {
+//!     let g = Graph::new();
+//!     let b = Binder::new(&g);
+//!     let x = g.leaf(Tensor::ones(&[8, 4]));
+//!     let y = layer.forward(&b, x);
+//!     let loss = y.square().mean_all();
+//!     opt.zero_grad();
+//!     loss.backward();
+//!     b.harvest();
+//!     opt.step();
+//! }
+//! ```
+
+mod binder;
+mod conv_layer;
+mod dropout;
+mod embedding;
+mod gru;
+mod init;
+mod linear;
+mod module;
+mod norm;
+mod optim;
+mod param;
+mod schedule;
+mod serialize;
+
+pub use binder::Binder;
+pub use conv_layer::Conv2d;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use gru::{Gru, GruState};
+pub use init::{he_normal, uniform_fan_in, xavier_uniform};
+pub use linear::{Ffn, Linear};
+pub use module::{count_params, Module, ParamList};
+pub use norm::LayerNorm;
+pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use param::Parameter;
+pub use schedule::{ConstantLr, CosineDecay, LrSchedule, StepDecay};
+pub use serialize::{load_params, save_params, Checkpoint};

@@ -1,0 +1,215 @@
+use crate::{uniform_fan_in, xavier_uniform, Binder, Module, ParamList, Parameter};
+use rand::Rng;
+use yollo_tensor::{Tensor, Var};
+
+/// A fully-connected layer `y = x W + b`.
+///
+/// Accepts rank-2 `[rows, in]` or rank-3 `[batch, rows, in]` inputs; the
+/// weight is shared across leading dimensions.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Parameter,
+    b: Option<Parameter>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-uniform weights and zero bias.
+    pub fn new(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = Parameter::new(
+            format!("{name}.w"),
+            xavier_uniform(&[in_dim, out_dim], in_dim, out_dim, rng),
+        );
+        let b = bias.then(|| Parameter::new(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Creates a linear layer with fan-in uniform weights (recurrent style).
+    pub fn new_uniform(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = Parameter::new(
+            format!("{name}.w"),
+            uniform_fan_in(&[in_dim, out_dim], in_dim, rng),
+        );
+        let b = bias.then(|| Parameter::new(format!("{name}.b"), Tensor::zeros(&[out_dim])));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer.
+    ///
+    /// # Panics
+    /// Panics if the last input dimension differs from `in_dim`.
+    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+        let dims = x.dims();
+        assert_eq!(
+            *dims.last().expect("linear input must have rank >= 1"),
+            self.in_dim,
+            "linear input dim mismatch"
+        );
+        let w = bind.var(&self.w);
+        let y = x.matmul(w);
+        match &self.b {
+            Some(b) => y.add(bind.var(b)),
+            None => y,
+        }
+    }
+}
+
+impl Module for Linear {
+    fn parameters(&self) -> ParamList {
+        let mut ps = vec![self.w.clone()];
+        if let Some(b) = &self.b {
+            ps.push(b.clone());
+        }
+        ps
+    }
+}
+
+/// The paper's two-layer feed-forward network (`FFN(x, θ)` in Eq. 1–2):
+/// `y = ReLU(x W1 + b1) W2 + b2`.
+#[derive(Debug, Clone)]
+pub struct Ffn {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl Ffn {
+    /// Creates an FFN with the given input, hidden, and output sizes.
+    pub fn new(
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Ffn {
+            fc1: Linear::new(&format!("{name}.fc1"), in_dim, hidden, true, rng),
+            fc2: Linear::new(&format!("{name}.fc2"), hidden, out_dim, true, rng),
+        }
+    }
+
+    /// Output feature dimension.
+    pub fn out_dim(&self) -> usize {
+        self.fc2.out_dim()
+    }
+
+    /// Applies the two layers with a ReLU between.
+    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+        self.fc2.forward(bind, self.fc1.forward(bind, x).relu())
+    }
+}
+
+impl Module for Ffn {
+    fn parameters(&self) -> ParamList {
+        let mut ps = self.fc1.parameters();
+        ps.extend(self.fc2.parameters());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yollo_tensor::Graph;
+
+    #[test]
+    fn linear_shapes_2d_and_3d() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new("l", 4, 3, true, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x2 = g.leaf(Tensor::ones(&[5, 4]));
+        assert_eq!(l.forward(&b, x2).dims(), vec![5, 3]);
+        let x3 = g.leaf(Tensor::ones(&[2, 5, 4]));
+        assert_eq!(l.forward(&b, x3).dims(), vec![2, 5, 3]);
+    }
+
+    #[test]
+    fn linear_gradients_reach_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::new("l", 3, 2, true, &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x = g.leaf(Tensor::ones(&[4, 3]));
+        let loss = l.forward(&b, x).square().mean_all();
+        loss.backward();
+        b.harvest();
+        for p in l.parameters() {
+            assert!(p.grad_norm() > 0.0, "param {} got no gradient", p.name());
+        }
+    }
+
+    #[test]
+    fn ffn_reduces_loss_under_sgd() {
+        use crate::{Optimizer, Sgd};
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = Ffn::new("f", 2, 8, 1, &mut rng);
+        let x = Tensor::rand_uniform(&[16, 2], -1.0, 1.0, &mut rng);
+        // target: y = x0 + x1
+        let t = Tensor::from_fn(&[16, 1], |i| x.at(&[i, 0]) + x.at(&[i, 1]));
+        let mut opt = Sgd::new(f.parameters(), 0.1, 0.9);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..100 {
+            let g = Graph::new();
+            let b = Binder::new(&g);
+            let xv = g.leaf(x.clone());
+            let y = f.forward(&b, xv);
+            let loss = (y - g.leaf(t.clone())).square().mean_all();
+            last = loss.value().scalar();
+            first.get_or_insert(last);
+            opt.zero_grad();
+            loss.backward();
+            b.harvest();
+            opt.step();
+        }
+        let first = first.unwrap();
+        assert!(
+            last < first * 0.05,
+            "ffn failed to fit: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn parameters_are_stable_handles() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = Ffn::new("f", 2, 4, 2, &mut rng);
+        assert_eq!(f.parameters().len(), 4);
+        assert_eq!(f.num_params(), 2 * 4 + 4 + 4 * 2 + 2);
+        assert!(f.parameters()[0].same_storage(&f.parameters()[0]));
+    }
+}

@@ -1,0 +1,54 @@
+use crate::Parameter;
+
+/// A collection of named parameters.
+pub type ParamList = Vec<Parameter>;
+
+/// Anything holding trainable parameters.
+///
+/// Layers implement this so optimisers and checkpointers can enumerate the
+/// weights. Forward passes are *not* part of the trait: each layer exposes a
+/// concretely-typed `forward` whose signature matches its input shape
+/// (sequence, image, token ids, …).
+pub trait Module {
+    /// Handles to every trainable parameter, in a stable order.
+    fn parameters(&self) -> ParamList;
+
+    /// Total number of scalar weights.
+    fn num_params(&self) -> usize {
+        self.parameters().iter().map(Parameter::numel).sum()
+    }
+
+    /// Clears all accumulated gradients.
+    fn zero_grad(&self) {
+        for p in self.parameters() {
+            p.zero_grad();
+        }
+    }
+}
+
+impl Module for ParamList {
+    fn parameters(&self) -> ParamList {
+        self.clone()
+    }
+}
+
+/// Sums the parameter counts of several modules.
+pub fn count_params(modules: &[&dyn Module]) -> usize {
+    modules.iter().map(|m| m.num_params()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yollo_tensor::Tensor;
+
+    #[test]
+    fn param_list_is_a_module() {
+        let ps: ParamList = vec![
+            Parameter::new("a", Tensor::zeros(&[2, 3])),
+            Parameter::new("b", Tensor::zeros(&[5])),
+        ];
+        assert_eq!(ps.num_params(), 11);
+        assert_eq!(count_params(&[&ps]), 11);
+    }
+}

@@ -1,0 +1,90 @@
+use crate::{Binder, Module, ParamList, Parameter};
+use yollo_tensor::{Tensor, Var};
+
+/// Layer normalisation over the last dimension, with learned gain and bias.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Parameter,
+    beta: Parameter,
+    dim: usize,
+    eps: f64,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm for feature dimension `dim`.
+    pub fn new(name: &str, dim: usize) -> Self {
+        LayerNorm {
+            gamma: Parameter::new(format!("{name}.gamma"), Tensor::ones(&[dim])),
+            beta: Parameter::new(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalises the last dimension of `x` (any rank ≥ 1).
+    ///
+    /// # Panics
+    /// Panics if the last dimension differs from `dim`.
+    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+        let dims = x.dims();
+        let last = *dims.last().expect("layernorm input must have rank >= 1");
+        assert_eq!(last, self.dim, "layernorm dim mismatch");
+        let axis = dims.len() - 1;
+        let mut keep = dims.clone();
+        keep[axis] = 1;
+        let mean = x.mean_axis(axis).reshape(&keep);
+        let centered = x - mean;
+        let var = centered.square().mean_axis(axis).reshape(&keep);
+        let normed = centered / (var.add_scalar(self.eps)).sqrt();
+        normed * bind.var(&self.gamma) + bind.var(&self.beta)
+    }
+}
+
+impl Module for LayerNorm {
+    fn parameters(&self) -> ParamList {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yollo_tensor::{check_gradients, GradCheck, Graph};
+
+    #[test]
+    fn output_rows_are_standardised() {
+        let ln = LayerNorm::new("ln", 6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let x = g.leaf(Tensor::randn(&[3, 6], &mut rng).scale(7.0));
+        let y = ln.forward(&b, x).value();
+        for r in 0..3 {
+            let row: Vec<f64> = (0..6).map(|c| y.at(&[r, c])).collect();
+            let mean: f64 = row.iter().sum::<f64>() / 6.0;
+            let var: f64 = row.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 6.0;
+            assert!(mean.abs() < 1e-9, "row {r} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
+        }
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        check_gradients(&[x], GradCheck { eps: 1e-5, tol: 1e-4 }, |v| {
+            // inline the normalisation with constant gamma/beta
+            let dims = v[0].dims();
+            let axis = dims.len() - 1;
+            let mut keep = dims.clone();
+            keep[axis] = 1;
+            let mean = v[0].mean_axis(axis).reshape(&keep);
+            let c = v[0] - mean;
+            let var = c.square().mean_axis(axis).reshape(&keep);
+            (c / var.add_scalar(1e-5).sqrt()).square().sum_all()
+        })
+        .unwrap();
+    }
+}

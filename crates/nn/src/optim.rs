@@ -1,0 +1,283 @@
+use crate::Parameter;
+use yollo_tensor::Tensor;
+
+/// A first-order optimiser over a fixed set of parameters.
+pub trait Optimizer {
+    /// Applies one update using the parameters' accumulated gradients.
+    fn step(&mut self);
+
+    /// The parameters this optimiser updates.
+    fn parameters(&self) -> &[Parameter];
+
+    /// Clears all accumulated gradients.
+    fn zero_grad(&self) {
+        for p in self.parameters() {
+            p.zero_grad();
+        }
+    }
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Parameter>,
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    ///
+    /// # Panics
+    /// Panics unless `lr > 0` and `0 <= momentum < 1`.
+    pub fn new(params: Vec<Parameter>, lr: f64, momentum: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        let velocity = params.iter().map(|p| Tensor::zeros(&p.dims())).collect();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
+            let g = p.grad();
+            // v <- momentum * v + g ; w <- w - lr * v
+            *v = &v.scale(self.momentum) + &g;
+            let upd = v.scale(self.lr);
+            p.update(|w, _| {
+                for (wi, ui) in w.as_mut_slice().iter_mut().zip(upd.as_slice()) {
+                    *wi -= ui;
+                }
+            });
+        }
+    }
+
+    fn parameters(&self) -> &[Parameter] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba 2014) — the optimiser the paper trains YOLLO with
+/// (learning rate 5e-5 in §4.2).
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Parameter>,
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    /// Panics unless `lr > 0`.
+    pub fn new(params: Vec<Parameter>, lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        let m = params.iter().map(|p| Tensor::zeros(&p.dims())).collect();
+        let v = params.iter().map(|p| Tensor::zeros(&p.dims())).collect();
+        Adam {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m,
+            v,
+        }
+    }
+
+    /// Enables AdamW-style decoupled weight decay.
+    ///
+    /// # Panics
+    /// Panics if `wd < 0`.
+    pub fn with_weight_decay(mut self, wd: f64) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            let g = p.grad();
+            for ((mi, vi), gi) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice().iter_mut())
+                .zip(g.as_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let (lr, eps, wd) = (self.lr, self.eps, self.weight_decay);
+            let (ms, vs) = (m.as_slice().to_vec(), v.as_slice().to_vec());
+            p.update(|w, _| {
+                for ((wi, mi), vi) in w.as_mut_slice().iter_mut().zip(&ms).zip(&vs) {
+                    let mhat = mi / bc1;
+                    let vhat = vi / bc2;
+                    // decoupled decay (AdamW): applied to the weight itself
+                    *wi -= lr * (mhat / (vhat.sqrt() + eps) + wd * *wi);
+                }
+            });
+        }
+    }
+
+    fn parameters(&self) -> &[Parameter] {
+        &self.params
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the norm before clipping.
+///
+/// # Panics
+/// Panics unless `max_norm > 0`.
+pub fn clip_global_norm(params: &[Parameter], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total: f64 = params
+        .iter()
+        .map(|p| {
+            let n = p.grad_norm();
+            n * n
+        })
+        .sum::<f64>()
+        .sqrt();
+    if total > max_norm {
+        let scale = max_norm / total;
+        for p in params {
+            let scaled = p.grad().scale(scale);
+            p.zero_grad();
+            p.accumulate_grad(&scaled);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step(opt: &mut dyn Optimizer, p: &Parameter) -> f64 {
+        // loss = 0.5 * w^2  → grad = w
+        opt.zero_grad();
+        p.accumulate_grad(&p.value());
+        opt.step();
+        p.value().norm()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Parameter::new("w", Tensor::from_vec(vec![5.0, -3.0], &[2]));
+        let mut opt = Sgd::new(vec![p.clone()], 0.2, 0.0);
+        let mut n = f64::INFINITY;
+        for _ in 0..50 {
+            n = quadratic_step(&mut opt, &p);
+        }
+        assert!(n < 1e-3, "norm after sgd: {n}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mom: f64| {
+            let p = Parameter::new("w", Tensor::from_vec(vec![5.0], &[1]));
+            let mut opt = Sgd::new(vec![p.clone()], 0.01, mom);
+            for _ in 0..60 {
+                quadratic_step(&mut opt, &p);
+            }
+            p.value().norm()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Parameter::new("w", Tensor::from_vec(vec![5.0, -3.0, 0.5], &[3]));
+        let mut opt = Adam::new(vec![p.clone()], 0.3);
+        let mut n = f64::INFINITY;
+        for _ in 0..200 {
+            n = quadratic_step(&mut opt, &p);
+        }
+        assert!(n < 1e-2, "norm after adam: {n}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_weights() {
+        let p = Parameter::new("w", Tensor::from_vec(vec![10.0], &[1]));
+        let mut opt = Adam::new(vec![p.clone()], 0.1).with_weight_decay(0.1);
+        for _ in 0..50 {
+            opt.zero_grad(); // zero gradient: only decay acts
+            opt.step();
+        }
+        assert!(p.value().scalar() < 10.0 * 0.7, "decay had no effect");
+        // and without decay the weight is untouched
+        let q = Parameter::new("q", Tensor::from_vec(vec![10.0], &[1]));
+        let mut opt2 = Adam::new(vec![q.clone()], 0.1);
+        opt2.zero_grad();
+        opt2.step();
+        assert_eq!(q.value().scalar(), 10.0);
+    }
+
+    #[test]
+    fn lr_schedule_hooks() {
+        let p = Parameter::new("w", Tensor::zeros(&[1]));
+        let mut opt = Adam::new(vec![p], 1e-3);
+        assert_eq!(opt.learning_rate(), 1e-3);
+        opt.set_learning_rate(1e-4);
+        assert_eq!(opt.learning_rate(), 1e-4);
+    }
+
+    #[test]
+    fn clip_scales_down_only_when_needed() {
+        let p = Parameter::new("w", Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let before = clip_global_norm(&[p.clone()], 1.0);
+        assert!((before - 5.0).abs() < 1e-12);
+        assert!((p.grad_norm() - 1.0).abs() < 1e-12);
+        // already small: untouched
+        let q = Parameter::new("q", Tensor::zeros(&[1]));
+        q.accumulate_grad(&Tensor::from_vec(vec![0.1], &[1]));
+        clip_global_norm(&[q.clone()], 1.0);
+        assert!((q.grad_norm() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use yollo_tensor::Tensor;
+
+struct ParamInner {
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A named, trainable tensor that outlives any single autodiff tape.
+///
+/// `Parameter` is a cheap reference-counted handle: cloning it clones the
+/// handle, not the weights, so a layer, its optimiser and a checkpointer can
+/// all address the same storage. Gradients accumulate into the parameter via
+/// [`Binder::harvest`](crate::Binder::harvest) after each backward pass and
+/// are consumed by an [`Optimizer`](crate::Optimizer).
+///
+/// Parameters are intentionally single-threaded (`Rc`); training in this
+/// reproduction parallelises across *processes/experiments*, never within a
+/// model instance.
+#[derive(Clone)]
+pub struct Parameter {
+    name: Rc<str>,
+    inner: Rc<RefCell<ParamInner>>,
+}
+
+impl Parameter {
+    /// Creates a parameter from an initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Parameter {
+            name: Rc::from(name.into()),
+            inner: Rc::new(RefCell::new(ParamInner { value, grad })),
+        }
+    }
+
+    /// The parameter's name (used by checkpointing).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A clone of the current weights.
+    pub fn value(&self) -> Tensor {
+        self.inner.borrow().value.clone()
+    }
+
+    /// Replaces the weights.
+    ///
+    /// # Panics
+    /// Panics if the new shape differs from the old.
+    pub fn set_value(&self, value: Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        assert_eq!(
+            inner.value.dims(),
+            value.dims(),
+            "parameter {} shape change",
+            self.name
+        );
+        inner.value = value;
+        // grad keeps its shape; no reset needed
+    }
+
+    /// A clone of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        self.inner.borrow_mut().grad.add_assign(g);
+    }
+
+    /// Clears the accumulated gradient to zero.
+    pub fn zero_grad(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let dims = inner.value.dims().to_vec();
+        inner.grad = Tensor::zeros(&dims);
+    }
+
+    /// Applies an in-place update `value <- f(value, grad)`.
+    pub(crate) fn update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
+        let mut inner = self.inner.borrow_mut();
+        let ParamInner { value, grad } = &mut *inner;
+        f(value, grad);
+    }
+
+    /// Number of scalar weights.
+    pub fn numel(&self) -> usize {
+        self.inner.borrow().value.numel()
+    }
+
+    /// Dimension sizes of the weights.
+    pub fn dims(&self) -> Vec<usize> {
+        self.inner.borrow().value.dims().to_vec()
+    }
+
+    /// True when both handles address the same storage.
+    pub fn same_storage(&self, other: &Parameter) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Global L2 norm of the gradient.
+    pub fn grad_norm(&self) -> f64 {
+        self.inner.borrow().grad.norm()
+    }
+}
+
+impl fmt::Debug for Parameter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Parameter({} {:?})", self.name, self.dims())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let p = Parameter::new("w", Tensor::zeros(&[2, 2]));
+        let q = p.clone();
+        q.set_value(Tensor::ones(&[2, 2]));
+        assert_eq!(p.value().as_slice(), &[1.0; 4]);
+        assert!(p.same_storage(&q));
+    }
+
+    #[test]
+    fn grad_accumulates_and_zeroes() {
+        let p = Parameter::new("w", Tensor::zeros(&[3]));
+        p.accumulate_grad(&Tensor::ones(&[3]));
+        p.accumulate_grad(&Tensor::ones(&[3]));
+        assert_eq!(p.grad().as_slice(), &[2.0; 3]);
+        p.zero_grad();
+        assert_eq!(p.grad().as_slice(), &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape change")]
+    fn set_value_rejects_shape_change() {
+        let p = Parameter::new("w", Tensor::zeros(&[3]));
+        p.set_value(Tensor::zeros(&[4]));
+    }
+}

@@ -1,0 +1,146 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with a constant 5e-5 (§4.2); these schedules back the
+//! longer laptop-scale runs where a warmup + decay profile converges
+//! noticeably faster.
+
+use crate::Optimizer;
+
+/// A learning-rate schedule: maps a 0-based step index to a rate.
+pub trait LrSchedule {
+    /// The learning rate to use at `step`.
+    fn lr_at(&self, step: usize) -> f64;
+
+    /// Applies the schedule to an optimiser for the given step.
+    fn apply(&self, opt: &mut dyn Optimizer, step: usize)
+    where
+        Self: Sized,
+    {
+        opt.set_learning_rate(self.lr_at(step));
+    }
+}
+
+/// A constant rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLr(pub f64);
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _step: usize) -> f64 {
+        self.0
+    }
+}
+
+/// Multiplies the rate by `factor` every `every` steps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    /// Initial rate.
+    pub base: f64,
+    /// Multiplier applied at each boundary (e.g. 0.5).
+    pub factor: f64,
+    /// Steps between boundaries.
+    pub every: usize,
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, step: usize) -> f64 {
+        self.base * self.factor.powi((step / self.every.max(1)) as i32)
+    }
+}
+
+/// Cosine annealing from `base` to `min` over `total` steps, with an
+/// optional linear warmup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineDecay {
+    /// Peak rate.
+    pub base: f64,
+    /// Final rate.
+    pub min: f64,
+    /// Steps over which to anneal.
+    pub total: usize,
+    /// Linear warmup steps from 0 to `base`.
+    pub warmup: usize,
+}
+
+impl LrSchedule for CosineDecay {
+    fn lr_at(&self, step: usize) -> f64 {
+        if step < self.warmup {
+            return self.base * (step + 1) as f64 / self.warmup as f64;
+        }
+        let t = (step - self.warmup) as f64 / (self.total.saturating_sub(self.warmup)).max(1) as f64;
+        let t = t.clamp(0.0, 1.0);
+        self.min + 0.5 * (self.base - self.min) * (1.0 + (std::f64::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantLr(1e-3);
+        assert_eq!(s.lr_at(0), 1e-3);
+        assert_eq!(s.lr_at(10_000), 1e-3);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = StepDecay {
+            base: 1.0,
+            factor: 0.5,
+            every: 100,
+        };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(99), 1.0);
+        assert_eq!(s.lr_at(100), 0.5);
+        assert_eq!(s.lr_at(250), 0.25);
+    }
+
+    #[test]
+    fn cosine_warms_up_then_anneals() {
+        let s = CosineDecay {
+            base: 1.0,
+            min: 0.1,
+            total: 100,
+            warmup: 10,
+        };
+        assert!(s.lr_at(0) < s.lr_at(5));
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-9);
+        // midpoint of annealing ≈ (base+min)/2
+        assert!((s.lr_at(55) - 0.55).abs() < 0.02);
+        // end stays at min
+        assert!((s.lr_at(100) - 0.1).abs() < 1e-9);
+        assert!((s.lr_at(5000) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedule_drives_optimizer() {
+        use crate::{Adam, Parameter};
+        use yollo_tensor::Tensor;
+        let p = Parameter::new("w", Tensor::zeros(&[1]));
+        let mut opt = Adam::new(vec![p], 1.0);
+        let s = StepDecay {
+            base: 1.0,
+            factor: 0.1,
+            every: 1,
+        };
+        s.apply(&mut opt, 2);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_is_monotone_after_warmup() {
+        let s = CosineDecay {
+            base: 2e-3,
+            min: 1e-4,
+            total: 200,
+            warmup: 20,
+        };
+        let mut last = f64::INFINITY;
+        for step in (20..200).step_by(10) {
+            let lr = s.lr_at(step);
+            assert!(lr <= last + 1e-12, "not monotone at {step}");
+            last = lr;
+        }
+    }
+}

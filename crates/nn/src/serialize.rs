@@ -1,0 +1,113 @@
+//! JSON checkpointing of parameter sets.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::Parameter;
+use serde::{Deserialize, Serialize};
+use yollo_tensor::Tensor;
+
+/// A serialisable snapshot of named weights.
+#[derive(Debug, Clone, Serialize, Deserialize, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Parameter name → weights.
+    pub tensors: BTreeMap<String, Tensor>,
+}
+
+impl Checkpoint {
+    /// Captures the current values of `params`.
+    ///
+    /// # Panics
+    /// Panics if two parameters share a name (checkpoints must be
+    /// unambiguous).
+    pub fn capture(params: &[Parameter]) -> Self {
+        let mut tensors = BTreeMap::new();
+        for p in params {
+            let prev = tensors.insert(p.name().to_string(), p.value());
+            assert!(prev.is_none(), "duplicate parameter name {}", p.name());
+        }
+        Checkpoint { tensors }
+    }
+
+    /// Restores weights into `params`, matching by name.
+    ///
+    /// # Errors
+    /// Returns the missing name if a parameter has no entry.
+    pub fn restore(&self, params: &[Parameter]) -> Result<(), String> {
+        for p in params {
+            match self.tensors.get(p.name()) {
+                Some(t) => p.set_value(t.clone()),
+                None => return Err(format!("checkpoint missing parameter {}", p.name())),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Saves `params` as JSON at `path`.
+///
+/// # Errors
+/// Returns any I/O or serialisation error.
+pub fn save_params(path: impl AsRef<Path>, params: &[Parameter]) -> io::Result<()> {
+    let ckpt = Checkpoint::capture(params);
+    let json = serde_json::to_string(&ckpt).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Loads weights from a JSON checkpoint into `params` (matched by name).
+///
+/// # Errors
+/// Returns I/O, parse, or missing-parameter errors.
+pub fn load_params(path: impl AsRef<Path>, params: &[Parameter]) -> io::Result<()> {
+    let json = fs::read_to_string(path)?;
+    let ckpt: Checkpoint = serde_json::from_str(&json).map_err(io::Error::other)?;
+    ckpt.restore(params).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let p = Parameter::new("w", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let q = Parameter::new("b", Tensor::from_vec(vec![3.0], &[1]));
+        let ckpt = Checkpoint::capture(&[p.clone(), q.clone()]);
+        p.set_value(Tensor::zeros(&[2]));
+        q.set_value(Tensor::zeros(&[1]));
+        ckpt.restore(&[p.clone(), q.clone()]).unwrap();
+        assert_eq!(p.value().as_slice(), &[1.0, 2.0]);
+        assert_eq!(q.value().as_slice(), &[3.0]);
+    }
+
+    #[test]
+    fn restore_reports_missing() {
+        let ckpt = Checkpoint::default();
+        let p = Parameter::new("w", Tensor::zeros(&[1]));
+        let err = ckpt.restore(&[p]).unwrap_err();
+        assert!(err.contains("w"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("yollo_nn_ckpt_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let p = Parameter::new("layer.w", Tensor::from_vec(vec![0.5; 6], &[2, 3]));
+        save_params(&path, &[p.clone()]).unwrap();
+        p.set_value(Tensor::zeros(&[2, 3]));
+        load_params(&path, &[p.clone()]).unwrap();
+        assert_eq!(p.value().as_slice(), &[0.5; 6]);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let p = Parameter::new("w", Tensor::zeros(&[1]));
+        let q = Parameter::new("w", Tensor::zeros(&[1]));
+        Checkpoint::capture(&[p, q]);
+    }
+}

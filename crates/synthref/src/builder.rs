@@ -1,0 +1,120 @@
+use crate::{ColorName, Scene, SceneObject, ShapeKind};
+use yollo_detect::BBox;
+
+/// Builds [`Scene`]s by hand — the public API for applications that ground
+/// queries against their own layouts (see the `ground_custom_scene`
+/// example) and for tests that need precise object placement.
+///
+/// ```
+/// use yollo_synthref::{SceneBuilder, ShapeKind, ColorName};
+/// let scene = SceneBuilder::new(72, 48)
+///     .object(ShapeKind::Circle, ColorName::Red, 10.0, 10.0, 14.0, 14.0)
+///     .object(ShapeKind::Square, ColorName::Blue, 44.0, 24.0, 16.0, 16.0)
+///     .build();
+/// assert_eq!(scene.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneBuilder {
+    width: usize,
+    height: usize,
+    objects: Vec<SceneObject>,
+}
+
+impl SceneBuilder {
+    /// Starts a scene of the given pixel size.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "scene must have positive size");
+        SceneBuilder {
+            width,
+            height,
+            objects: Vec::new(),
+        }
+    }
+
+    /// Adds an object at `(x, y)` (top-left) with size `w`×`h`, clipped to
+    /// the canvas.
+    pub fn object(
+        mut self,
+        kind: ShapeKind,
+        color: ColorName,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+    ) -> Self {
+        let bbox = BBox::new(x, y, w, h).clip_to(self.width as f64, self.height as f64);
+        self.objects.push(SceneObject { kind, color, bbox });
+        self
+    }
+
+    /// Adds an object centred at `(cx, cy)`.
+    pub fn object_centered(
+        self,
+        kind: ShapeKind,
+        color: ColorName,
+        cx: f64,
+        cy: f64,
+        w: f64,
+        h: f64,
+    ) -> Self {
+        self.object(kind, color, cx - w / 2.0, cy - h / 2.0, w, h)
+    }
+
+    /// Number of objects added so far.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects have been added.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Finalises the scene.
+    pub fn build(self) -> Scene {
+        Scene {
+            width: self.width,
+            height: self.height,
+            objects: self.objects,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_scene_with_clipped_objects() {
+        let scene = SceneBuilder::new(72, 48)
+            .object(ShapeKind::Circle, ColorName::Red, -5.0, -5.0, 20.0, 20.0)
+            .object_centered(ShapeKind::Square, ColorName::Blue, 36.0, 24.0, 10.0, 10.0)
+            .build();
+        assert_eq!(scene.len(), 2);
+        // first object clipped to canvas
+        assert!(scene.objects[0].bbox.x >= 0.0 && scene.objects[0].bbox.y >= 0.0);
+        // second object centred
+        assert_eq!(scene.objects[1].bbox.center(), (36.0, 24.0));
+    }
+
+    #[test]
+    fn built_scene_renders() {
+        let scene = SceneBuilder::new(32, 24)
+            .object(ShapeKind::Diamond, ColorName::Cyan, 8.0, 6.0, 12.0, 12.0)
+            .build();
+        let img = scene.render();
+        assert_eq!(img.dims(), &[5, 24, 32]);
+        // the diamond's centre pixel is cyan: low red, high green/blue
+        assert!(img.at(&[1, 12, 14]) > 0.7);
+        assert!(img.at(&[0, 12, 14]) < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn zero_size_rejected() {
+        SceneBuilder::new(0, 48);
+    }
+}

@@ -1,0 +1,479 @@
+use crate::{QueryGen, QueryStyle, Scene, SceneConfig, ShapeKind};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use yollo_detect::BBox;
+use yollo_text::{tokenize, Vocab};
+
+/// Which benchmark a generated dataset imitates (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// RefCOCO-like: short queries, location words allowed, ~3.9 same-kind
+    /// objects.
+    SynthRef,
+    /// RefCOCO+-like: short queries, *no* location words.
+    SynthRefPlus,
+    /// RefCOCOg-like: longer relational sentences, ~1.6 same-kind objects.
+    SynthRefG,
+}
+
+impl DatasetKind {
+    /// All kinds, in paper order.
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::SynthRef,
+        DatasetKind::SynthRefPlus,
+        DatasetKind::SynthRefG,
+    ];
+
+    /// The query grammar this dataset uses.
+    pub fn query_style(self) -> QueryStyle {
+        match self {
+            DatasetKind::SynthRef => QueryStyle::Spatial,
+            DatasetKind::SynthRefPlus => QueryStyle::AttributeOnly,
+            DatasetKind::SynthRefG => QueryStyle::Relational,
+        }
+    }
+
+    /// The scene distribution this dataset draws from.
+    pub fn scene_config(self) -> SceneConfig {
+        match self {
+            // RefCOCO(+): ~3.9 objects of the target's type
+            DatasetKind::SynthRef | DatasetKind::SynthRefPlus => SceneConfig::default(),
+            // RefCOCOg: ~1.6 objects of the target's type
+            DatasetKind::SynthRefG => SceneConfig {
+                same_kind_bias: 0.45,
+                ..SceneConfig::default()
+            },
+        }
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::SynthRef => "SynthRef",
+            DatasetKind::SynthRefPlus => "SynthRef+",
+            DatasetKind::SynthRefG => "SynthRefG",
+        }
+    }
+}
+
+/// Dataset splits, mirroring the paper: testA holds samples whose *target*
+/// is the agent category (circle ↔ person), testB the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Split {
+    /// Training samples.
+    Train,
+    /// Validation samples.
+    Val,
+    /// Agent-category targets.
+    TestA,
+    /// Non-agent targets.
+    TestB,
+}
+
+impl Split {
+    /// All splits in report order.
+    pub const ALL: [Split; 4] = [Split::Train, Split::Val, Split::TestA, Split::TestB];
+
+    /// Name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Split::Train => "train",
+            Split::Val => "val",
+            Split::TestA => "testA",
+            Split::TestB => "testB",
+        }
+    }
+}
+
+/// Generation parameters for a [`Dataset`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Which benchmark to imitate.
+    pub kind: DatasetKind,
+    /// Scenes in the training split.
+    pub train_images: usize,
+    /// Scenes in the validation split.
+    pub val_images: usize,
+    /// Scenes in each of testA and testB.
+    pub test_images: usize,
+    /// Distinct target objects referenced per scene (≈2.5 in RefCOCO).
+    pub targets_per_image: usize,
+    /// Query wordings generated per target (≈2.8 in RefCOCO).
+    pub queries_per_target: usize,
+    /// Master seed; every split derives its own stream from it.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// A laptop-scale preset used by the experiment binaries.
+    pub fn standard(kind: DatasetKind, seed: u64) -> Self {
+        DatasetConfig {
+            kind,
+            train_images: 300,
+            val_images: 60,
+            test_images: 40,
+            targets_per_image: 2,
+            queries_per_target: 2,
+            seed,
+        }
+    }
+
+    /// A minimal preset for unit tests.
+    pub fn tiny(kind: DatasetKind, seed: u64) -> Self {
+        DatasetConfig {
+            kind,
+            train_images: 12,
+            val_images: 4,
+            test_images: 3,
+            targets_per_image: 1,
+            queries_per_target: 1,
+            seed,
+        }
+    }
+}
+
+/// One grounding sample: a scene, a target object and a query describing it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundingSample {
+    /// Index into [`Dataset::scenes`].
+    pub scene_idx: usize,
+    /// Index of the target within the scene's object list.
+    pub target_idx: usize,
+    /// The natural-language query.
+    pub sentence: String,
+    /// The tokenised query.
+    pub tokens: Vec<String>,
+}
+
+/// Counts reported in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of distinct scenes ("# images").
+    pub images: usize,
+    /// Number of queries ("# queries").
+    pub queries: usize,
+    /// Number of distinct (scene, target) pairs ("# targets").
+    pub targets: usize,
+    /// Mean query length in words.
+    pub avg_query_len: f64,
+}
+
+/// A fully-materialised synthetic referring-expression dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    config: DatasetConfig,
+    scenes: Vec<Scene>,
+    train: Vec<GroundingSample>,
+    val: Vec<GroundingSample>,
+    test_a: Vec<GroundingSample>,
+    test_b: Vec<GroundingSample>,
+}
+
+impl Dataset {
+    /// Generates the dataset described by `config`. Deterministic: the same
+    /// config yields the same dataset.
+    pub fn generate(config: DatasetConfig) -> Dataset {
+        let mut ds = Dataset {
+            config,
+            scenes: Vec::new(),
+            train: Vec::new(),
+            val: Vec::new(),
+            test_a: Vec::new(),
+            test_b: Vec::new(),
+        };
+        let gen = QueryGen::new(config.kind.query_style());
+        let scene_cfg = config.kind.scene_config();
+        let jobs: [(Split, usize, u64); 4] = [
+            (Split::Train, config.train_images, 1),
+            (Split::Val, config.val_images, 2),
+            (Split::TestA, config.test_images, 3),
+            (Split::TestB, config.test_images, 4),
+        ];
+        for (split, n_images, stream) in jobs {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream));
+            let mut made = 0;
+            let mut guard = 0;
+            while made < n_images && guard < n_images * 50 {
+                guard += 1;
+                let scene = Scene::generate(&scene_cfg, &mut rng);
+                let samples = Self::samples_for_scene(&gen, &scene, split, &config, &mut rng);
+                if samples.is_empty() {
+                    continue;
+                }
+                let scene_idx = ds.scenes.len();
+                ds.scenes.push(scene);
+                let bucket = match split {
+                    Split::Train => &mut ds.train,
+                    Split::Val => &mut ds.val,
+                    Split::TestA => &mut ds.test_a,
+                    Split::TestB => &mut ds.test_b,
+                };
+                for (target_idx, sentence) in samples {
+                    let tokens = tokenize(&sentence);
+                    bucket.push(GroundingSample {
+                        scene_idx,
+                        target_idx,
+                        sentence,
+                        tokens,
+                    });
+                }
+                made += 1;
+            }
+            assert!(
+                made == n_images,
+                "could not generate {n_images} scenes for {split:?} (made {made})"
+            );
+        }
+        ds
+    }
+
+    fn samples_for_scene(
+        gen: &QueryGen,
+        scene: &Scene,
+        split: Split,
+        config: &DatasetConfig,
+        rng: &mut StdRng,
+    ) -> Vec<(usize, String)> {
+        // candidate targets, filtered by the split's category rule
+        let mut candidates: Vec<usize> = (0..scene.len())
+            .filter(|&i| match split {
+                Split::TestA => scene.objects[i].kind == ShapeKind::Circle,
+                Split::TestB => scene.objects[i].kind != ShapeKind::Circle,
+                _ => true,
+            })
+            .collect();
+        candidates.shuffle(rng);
+        let mut out = Vec::new();
+        let mut used = 0;
+        for idx in candidates {
+            if used >= config.targets_per_image {
+                break;
+            }
+            let mut queries = Vec::new();
+            for _ in 0..config.queries_per_target {
+                if let Some((_, sentence)) = gen.generate(scene, idx, rng) {
+                    if !queries.contains(&sentence) {
+                        queries.push(sentence);
+                    }
+                }
+            }
+            if queries.is_empty() {
+                continue;
+            }
+            used += 1;
+            out.extend(queries.into_iter().map(|q| (idx, q)));
+        }
+        out
+    }
+
+    /// The generation config.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// All scenes, shared across splits' samples.
+    pub fn scenes(&self) -> &[Scene] {
+        &self.scenes
+    }
+
+    /// Samples of one split.
+    pub fn samples(&self, split: Split) -> &[GroundingSample] {
+        match split {
+            Split::Train => &self.train,
+            Split::Val => &self.val,
+            Split::TestA => &self.test_a,
+            Split::TestB => &self.test_b,
+        }
+    }
+
+    /// The scene a sample lives in.
+    pub fn scene_of(&self, sample: &GroundingSample) -> &Scene {
+        &self.scenes[sample.scene_idx]
+    }
+
+    /// Ground-truth box of a sample's target, in image pixels.
+    pub fn target_bbox(&self, sample: &GroundingSample) -> BBox {
+        self.scene_of(sample).objects[sample.target_idx].bbox
+    }
+
+    /// Builds the vocabulary from the *training* queries (as the paper does;
+    /// val/test out-of-vocabulary words fall back to UNK).
+    pub fn build_vocab(&self) -> Vocab {
+        Vocab::build(
+            self.train
+                .iter()
+                .map(|s| s.tokens.iter().map(String::as_str)),
+            1,
+        )
+    }
+
+    /// Longest query (in tokens) across all splits — queries are padded to
+    /// this length, following §4.2.
+    pub fn max_query_len(&self) -> usize {
+        Split::ALL
+            .iter()
+            .flat_map(|s| self.samples(*s))
+            .map(|s| s.tokens.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Table-1 statistics over all splits.
+    pub fn stats(&self) -> DatasetStats {
+        let all: Vec<&GroundingSample> = Split::ALL
+            .iter()
+            .flat_map(|s| self.samples(*s))
+            .collect();
+        let mut targets: Vec<(usize, usize)> = all
+            .iter()
+            .map(|s| (s.scene_idx, s.target_idx))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let total_len: usize = all.iter().map(|s| s.tokens.len()).sum();
+        DatasetStats {
+            images: self.scenes.len(),
+            queries: all.len(),
+            targets: targets.len(),
+            avg_query_len: if all.is_empty() {
+                0.0
+            } else {
+                total_len as f64 / all.len() as f64
+            },
+        }
+    }
+
+    /// Draws a random training mini-batch of sample indices.
+    pub fn sample_batch(&self, batch: usize, rng: &mut impl Rng) -> Vec<&GroundingSample> {
+        (0..batch)
+            .map(|_| &self.train[rng.gen_range(0..self.train.len())])
+            .collect()
+    }
+
+    /// Saves the full dataset (scenes + all splits) as JSON, so a generated
+    /// benchmark can be shipped or archived byte-exactly.
+    ///
+    /// # Errors
+    /// Returns any I/O or serialisation error.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a dataset saved by [`Dataset::save`].
+    ///
+    /// # Errors
+    /// Returns I/O or parse errors.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Dataset> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_have_requested_image_counts() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+        let cfg = ds.config();
+        assert_eq!(
+            ds.scenes().len(),
+            cfg.train_images + cfg.val_images + 2 * cfg.test_images
+        );
+        assert!(!ds.samples(Split::Train).is_empty());
+        assert!(!ds.samples(Split::TestA).is_empty());
+    }
+
+    #[test]
+    fn test_a_targets_are_circles_test_b_are_not() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 1));
+        for s in ds.samples(Split::TestA) {
+            assert_eq!(ds.scene_of(s).objects[s.target_idx].kind, ShapeKind::Circle);
+        }
+        for s in ds.samples(Split::TestB) {
+            assert_ne!(ds.scene_of(s).objects[s.target_idx].kind, ShapeKind::Circle);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRefG, 5));
+        let b = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRefG, 5));
+        assert_eq!(a.samples(Split::Train), b.samples(Split::Train));
+        assert_eq!(a.scenes(), b.scenes());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 1));
+        let b = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 2));
+        assert_ne!(a.scenes(), b.scenes());
+    }
+
+    #[test]
+    fn vocab_covers_training_tokens() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRefPlus, 3));
+        let vocab = ds.build_vocab();
+        for s in ds.samples(Split::Train) {
+            for t in &s.tokens {
+                assert!(vocab.id(t).is_some(), "token '{t}' missing from vocab");
+            }
+        }
+        assert!(ds.max_query_len() >= 2);
+    }
+
+    #[test]
+    fn stats_count_consistently() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 4));
+        let st = ds.stats();
+        assert_eq!(st.images, ds.scenes().len());
+        assert!(st.targets <= st.queries);
+        assert!(st.avg_query_len > 1.0);
+    }
+
+    #[test]
+    fn refg_queries_are_longer_than_refcoco() {
+        let a = Dataset::generate(DatasetConfig::standard(DatasetKind::SynthRef, 6));
+        let g = Dataset::generate(DatasetConfig::standard(DatasetKind::SynthRefG, 6));
+        assert!(
+            g.stats().avg_query_len > a.stats().avg_query_len + 1.5,
+            "G {} vs RefCOCO {}",
+            g.stats().avg_query_len,
+            a.stats().avg_query_len,
+        );
+    }
+
+    #[test]
+    fn target_bbox_matches_scene_object() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 7));
+        let s = &ds.samples(Split::Val)[0];
+        assert_eq!(
+            ds.target_bbox(s),
+            ds.scene_of(s).objects[s.target_idx].bbox
+        );
+    }
+}
+
+#[cfg(test)]
+mod io_tests {
+    use super::*;
+
+    #[test]
+    fn dataset_json_roundtrip() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 77));
+        let dir = std::env::temp_dir().join("yollo_dataset_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        ds.save(&path).unwrap();
+        let back = Dataset::load(&path).unwrap();
+        assert_eq!(back.scenes(), ds.scenes());
+        for split in Split::ALL {
+            assert_eq!(back.samples(split), ds.samples(split));
+        }
+        std::fs::remove_file(path).ok();
+    }
+}

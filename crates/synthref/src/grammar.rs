@@ -1,0 +1,489 @@
+//! Referring-expression generation.
+//!
+//! Queries are built in two stages: first a structured [`QuerySpec`] with
+//! formal semantics ([`QuerySpec::matches`]), checked to identify its target
+//! *uniquely* within the scene; then a natural-language wording sampled from
+//! templates. This mirrors the three benchmarks (§4.1):
+//!
+//! * [`QueryStyle::Spatial`] (SynthRef ≈ RefCOCO): short phrases, location
+//!   words allowed ("left red circle").
+//! * [`QueryStyle::AttributeOnly`] (SynthRef+ ≈ RefCOCO+): no location
+//!   words; colour/size/category only.
+//! * [`QueryStyle::Relational`] (SynthRefG ≈ RefCOCOg): full sentences with
+//!   relations to a second object ("the big red circle that is above the
+//!   blue square in the picture").
+
+use crate::{ColorName, Scene, ShapeKind, SizeClass};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which benchmark's query distribution to imitate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryStyle {
+    /// Short phrases, location words allowed (RefCOCO-like).
+    Spatial,
+    /// Short phrases, *no* location words (RefCOCO+-like).
+    AttributeOnly,
+    /// Longer relational sentences (RefCOCOg-like).
+    Relational,
+}
+
+/// A side of the image / a spatial relation axis direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+enum Dir {
+    Left,
+    Right,
+    Top,
+    Bottom,
+}
+
+/// Attribute constraints: category plus optional colour and size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct AttrSpec {
+    kind: ShapeKind,
+    color: Option<ColorName>,
+    size: Option<SizeClass>,
+}
+
+impl AttrSpec {
+    fn matches(&self, scene: &Scene, idx: usize) -> bool {
+        let o = &scene.objects[idx];
+        o.kind == self.kind
+            && self.color.map_or(true, |c| o.color == c)
+            && self
+                .size
+                .map_or(true, |s| o.size_class(scene.median_area()) == s)
+    }
+
+    fn words(&self, out: &mut Vec<&'static str>) {
+        if let Some(s) = self.size {
+            out.push(s.word());
+        }
+        if let Some(c) = self.color {
+            out.push(c.word());
+        }
+        out.push(self.kind.word());
+    }
+}
+
+/// The formal meaning of a query. `matches` defines exactly which objects a
+/// query describes, so generation can guarantee a unique referent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    attrs: AttrSpec,
+    qualifier: Qualifier,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Qualifier {
+    /// Attributes alone.
+    None,
+    /// The extreme object in `dir` among those matching the attributes.
+    Extreme(Dir),
+    /// Related to the (unique) anchor object: target lies in `dir` of it.
+    Rel { dir: Dir, anchor: AttrSpec },
+}
+
+/// Margin (pixels) a relation must hold by at generation time.
+const GEN_MARGIN: f64 = 4.0;
+
+fn rel_holds(scene: &Scene, idx: usize, anchor_idx: usize, dir: Dir, margin: f64) -> bool {
+    let (tx, ty) = scene.objects[idx].bbox.center();
+    let (ax, ay) = scene.objects[anchor_idx].bbox.center();
+    match dir {
+        Dir::Left => tx <= ax - margin,
+        Dir::Right => tx >= ax + margin,
+        Dir::Top => ty <= ay - margin,
+        Dir::Bottom => ty >= ay + margin,
+    }
+}
+
+impl QuerySpec {
+    /// True when object `idx` satisfies this query in `scene`.
+    pub fn matches(&self, scene: &Scene, idx: usize) -> bool {
+        if !self.attrs.matches(scene, idx) {
+            return false;
+        }
+        match &self.qualifier {
+            Qualifier::None => true,
+            Qualifier::Extreme(dir) => {
+                let key = |i: usize| {
+                    let (cx, cy) = scene.objects[i].bbox.center();
+                    match dir {
+                        Dir::Left => cx,
+                        Dir::Right => -cx,
+                        Dir::Top => cy,
+                        Dir::Bottom => -cy,
+                    }
+                };
+                (0..scene.len())
+                    .filter(|&i| i != idx && self.attrs.matches(scene, i))
+                    .all(|i| key(idx) < key(i))
+            }
+            Qualifier::Rel { dir, anchor } => {
+                // the anchor phrase must denote a unique object
+                let anchors: Vec<usize> = (0..scene.len())
+                    .filter(|&i| anchor.matches(scene, i))
+                    .collect();
+                match anchors.as_slice() {
+                    [a] if *a != idx => rel_holds(scene, idx, *a, *dir, 0.0),
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// The indices this query describes.
+    pub fn referents(&self, scene: &Scene) -> Vec<usize> {
+        (0..scene.len()).filter(|&i| self.matches(scene, i)).collect()
+    }
+
+    /// True when exactly `idx` matches.
+    pub fn unique_for(&self, scene: &Scene, idx: usize) -> bool {
+        self.referents(scene) == [idx]
+    }
+}
+
+/// Referring-expression generator for one [`QueryStyle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryGen {
+    style: QueryStyle,
+}
+
+impl QueryGen {
+    /// Creates a generator for `style`.
+    pub fn new(style: QueryStyle) -> Self {
+        QueryGen { style }
+    }
+
+    /// The style this generator imitates.
+    pub fn style(&self) -> QueryStyle {
+        self.style
+    }
+
+    /// Produces a query uniquely identifying `target_idx`, or `None` when
+    /// the style's vocabulary cannot disambiguate it (callers then pick a
+    /// different target or scene).
+    ///
+    /// # Panics
+    /// Panics if `target_idx` is out of range.
+    pub fn generate(
+        &self,
+        scene: &Scene,
+        target_idx: usize,
+        rng: &mut impl Rng,
+    ) -> Option<(QuerySpec, String)> {
+        assert!(target_idx < scene.len(), "target index out of range");
+        let specs = self.candidate_specs(scene, target_idx);
+        let valid: Vec<QuerySpec> = specs
+            .into_iter()
+            .filter(|s| s.unique_for(scene, target_idx))
+            .collect();
+        let spec = valid.choose(rng)?.clone();
+        let sentence = self.word(&spec, rng);
+        Some((spec, sentence))
+    }
+
+    fn candidate_specs(&self, scene: &Scene, idx: usize) -> Vec<QuerySpec> {
+        let o = &scene.objects[idx];
+        let size = o.size_class(scene.median_area());
+        let kind_only = AttrSpec {
+            kind: o.kind,
+            color: None,
+            size: None,
+        };
+        let color_kind = AttrSpec {
+            kind: o.kind,
+            color: Some(o.color),
+            size: None,
+        };
+        let full = AttrSpec {
+            kind: o.kind,
+            color: Some(o.color),
+            size: Some(size),
+        };
+        let mut specs = vec![
+            QuerySpec {
+                attrs: kind_only,
+                qualifier: Qualifier::None,
+            },
+            QuerySpec {
+                attrs: color_kind,
+                qualifier: Qualifier::None,
+            },
+            QuerySpec {
+                attrs: full,
+                qualifier: Qualifier::None,
+            },
+        ];
+        match self.style {
+            QueryStyle::AttributeOnly => specs,
+            QueryStyle::Spatial => {
+                for dir in [Dir::Left, Dir::Right, Dir::Top, Dir::Bottom] {
+                    specs.push(QuerySpec {
+                        attrs: kind_only,
+                        qualifier: Qualifier::Extreme(dir),
+                    });
+                    specs.push(QuerySpec {
+                        attrs: color_kind,
+                        qualifier: Qualifier::Extreme(dir),
+                    });
+                }
+                specs
+            }
+            QueryStyle::Relational => {
+                // relate to any object that is itself colour+kind unique
+                for (ai, a) in scene.objects.iter().enumerate() {
+                    if ai == idx {
+                        continue;
+                    }
+                    let anchor = AttrSpec {
+                        kind: a.kind,
+                        color: Some(a.color),
+                        size: None,
+                    };
+                    let unique_anchor = (0..scene.len())
+                        .filter(|&i| anchor.matches(scene, i))
+                        .count()
+                        == 1;
+                    if !unique_anchor {
+                        continue;
+                    }
+                    for dir in [Dir::Left, Dir::Right, Dir::Top, Dir::Bottom] {
+                        if rel_holds(scene, idx, ai, dir, GEN_MARGIN) {
+                            for attrs in [color_kind, full] {
+                                specs.push(QuerySpec {
+                                    attrs,
+                                    qualifier: Qualifier::Rel { dir, anchor },
+                                });
+                            }
+                        }
+                    }
+                }
+                specs
+            }
+        }
+    }
+
+    fn word(&self, spec: &QuerySpec, rng: &mut impl Rng) -> String {
+        let mut attr_words = Vec::new();
+        spec.attrs.words(&mut attr_words);
+        let attrs = attr_words.join(" ");
+        match (&spec.qualifier, self.style) {
+            (Qualifier::None, QueryStyle::Relational) => {
+                // RefCOCOg queries are full sentences even when attributes
+                // suffice — pad with sentence templates
+                let templates = [
+                    format!("the {attrs} that you can see in the picture"),
+                    format!("there is a {attrs} in the image"),
+                    format!("the {attrs} shown somewhere in this scene"),
+                ];
+                templates.choose(rng).expect("non-empty").clone()
+            }
+            (Qualifier::None, _) => {
+                let templates = [attrs.clone(), format!("the {attrs}")];
+                templates.choose(rng).expect("non-empty").clone()
+            }
+            (Qualifier::Extreme(dir), _) => {
+                let d = match dir {
+                    Dir::Left => "left",
+                    Dir::Right => "right",
+                    Dir::Top => "top",
+                    Dir::Bottom => "bottom",
+                };
+                let templates = [
+                    format!("{d} {attrs}"),
+                    format!("{d} most {attrs}"),
+                    format!("the {attrs} on the {d}"),
+                ];
+                templates.choose(rng).expect("non-empty").clone()
+            }
+            (Qualifier::Rel { dir, anchor }, _) => {
+                let mut anchor_words = Vec::new();
+                anchor.words(&mut anchor_words);
+                let aw = anchor_words.join(" ");
+                let r = match dir {
+                    Dir::Left => "to the left of",
+                    Dir::Right => "to the right of",
+                    Dir::Top => "above",
+                    Dir::Bottom => "below",
+                };
+                let templates = [
+                    format!("the {attrs} that is {r} the {aw}"),
+                    format!("the {attrs} located {r} the {aw} in the picture"),
+                    format!("find the {attrs} sitting {r} the {aw}"),
+                ];
+                templates.choose(rng).expect("non-empty").clone()
+            }
+        }
+    }
+}
+
+/// Words that [`QueryStyle::AttributeOnly`] must never emit (§4.1: RefCOCO+
+/// queries contain no location words).
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) const LOCATION_WORDS: [&str; 8] = [
+    "left", "right", "top", "bottom", "above", "below", "most", "of",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SceneConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scenes(n: usize, seed: u64) -> Vec<Scene> {
+        let cfg = SceneConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Scene::generate(&cfg, &mut rng)).collect()
+    }
+
+    #[test]
+    fn generated_queries_are_unique_referents() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for style in [
+            QueryStyle::Spatial,
+            QueryStyle::AttributeOnly,
+            QueryStyle::Relational,
+        ] {
+            let gen = QueryGen::new(style);
+            let mut produced = 0;
+            for scene in scenes(40, 7) {
+                for idx in 0..scene.len() {
+                    if let Some((spec, sentence)) = gen.generate(&scene, idx, &mut rng) {
+                        produced += 1;
+                        assert!(
+                            spec.unique_for(&scene, idx),
+                            "{style:?}: '{sentence}' ambiguous in {scene:?}"
+                        );
+                        assert!(!sentence.is_empty());
+                    }
+                }
+            }
+            assert!(produced > 50, "{style:?} produced only {produced} queries");
+        }
+    }
+
+    #[test]
+    fn attribute_only_never_uses_location_words() {
+        let gen = QueryGen::new(QueryStyle::AttributeOnly);
+        let mut rng = StdRng::seed_from_u64(2);
+        for scene in scenes(40, 8) {
+            for idx in 0..scene.len() {
+                if let Some((_, s)) = gen.generate(&scene, idx, &mut rng) {
+                    for w in s.split_whitespace() {
+                        assert!(
+                            !LOCATION_WORDS.contains(&w),
+                            "location word '{w}' in attribute-only query '{s}'"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relational_queries_are_longer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let avg_len = |style| {
+            let gen = QueryGen::new(style);
+            let mut total = 0usize;
+            let mut count = 0usize;
+            for scene in scenes(60, 9) {
+                for idx in 0..scene.len() {
+                    if let Some((_, s)) = gen.generate(&scene, idx, &mut StdRng::seed_from_u64(idx as u64)) {
+                        total += s.split_whitespace().count();
+                        count += 1;
+                    }
+                }
+            }
+            total as f64 / count as f64
+        };
+        let _ = &mut rng;
+        let spatial = avg_len(QueryStyle::Spatial);
+        let relational = avg_len(QueryStyle::Relational);
+        assert!(
+            relational > spatial + 2.0,
+            "relational {relational} vs spatial {spatial}"
+        );
+        assert!(spatial < 5.5, "spatial queries too long: {spatial}");
+    }
+
+    #[test]
+    fn extreme_spec_semantics() {
+        use crate::SceneObject;
+        use yollo_detect::BBox;
+        let mk = |x: f64| SceneObject {
+            kind: ShapeKind::Circle,
+            color: ColorName::Red,
+            bbox: BBox::new(x, 10.0, 10.0, 10.0),
+        };
+        let scene = Scene {
+            width: 72,
+            height: 48,
+            objects: vec![mk(0.0), mk(30.0), mk(60.0)],
+        };
+        let spec = QuerySpec {
+            attrs: AttrSpec {
+                kind: ShapeKind::Circle,
+                color: Some(ColorName::Red),
+                size: None,
+            },
+            qualifier: Qualifier::Extreme(Dir::Left),
+        };
+        assert_eq!(spec.referents(&scene), vec![0]);
+        let spec_r = QuerySpec {
+            qualifier: Qualifier::Extreme(Dir::Right),
+            ..spec
+        };
+        assert_eq!(spec_r.referents(&scene), vec![2]);
+    }
+
+    #[test]
+    fn rel_spec_requires_unique_anchor() {
+        use crate::SceneObject;
+        use yollo_detect::BBox;
+        let obj = |x: f64, kind, color| SceneObject {
+            kind,
+            color,
+            bbox: BBox::new(x, 10.0, 10.0, 10.0),
+        };
+        // two blue squares → anchor "blue square" is ambiguous → no match
+        let scene = Scene {
+            width: 72,
+            height: 48,
+            objects: vec![
+                obj(0.0, ShapeKind::Circle, ColorName::Red),
+                obj(30.0, ShapeKind::Square, ColorName::Blue),
+                obj(60.0, ShapeKind::Square, ColorName::Blue),
+            ],
+        };
+        let spec = QuerySpec {
+            attrs: AttrSpec {
+                kind: ShapeKind::Circle,
+                color: Some(ColorName::Red),
+                size: None,
+            },
+            qualifier: Qualifier::Rel {
+                dir: Dir::Left,
+                anchor: AttrSpec {
+                    kind: ShapeKind::Square,
+                    color: Some(ColorName::Blue),
+                    size: None,
+                },
+            },
+        };
+        assert!(spec.referents(&scene).is_empty());
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let gen = QueryGen::new(QueryStyle::Spatial);
+        let scene = &scenes(1, 11)[0];
+        let a = gen.generate(scene, 0, &mut StdRng::seed_from_u64(5));
+        let b = gen.generate(scene, 0, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

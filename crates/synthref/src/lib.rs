@@ -1,0 +1,39 @@
+//! Synthetic referring-expression datasets: the stand-in for
+//! RefCOCO / RefCOCO+ / RefCOCOg (§4.1 of the paper).
+//!
+//! The real benchmarks pair MS-COCO photographs with crowd-sourced
+//! referring expressions. Neither asset is available offline, so this crate
+//! generates the closest synthetic equivalent that exercises the same code
+//! paths and the same *task structure*:
+//!
+//! * [`Scene`]s contain coloured geometric objects with bounding boxes;
+//!   [`render`](Scene::render) rasterises them into a `[5, H, W]` tensor
+//!   (RGB plus two CoordConv-style position channels, so spatial language
+//!   is learnable from the pixels alone).
+//! * [`QueryGen`] produces referring expressions from a compositional
+//!   grammar, with a uniqueness guarantee: each query identifies its target
+//!   unambiguously, via attributes, spatial extremes, or relations to a
+//!   second object — mirroring how RefCOCO annotators disambiguate.
+//! * [`Dataset`] materialises the three benchmark flavours
+//!   ([`DatasetKind::SynthRef`] / [`SynthRefPlus`](DatasetKind::SynthRefPlus)
+//!   / [`SynthRefG`](DatasetKind::SynthRefG)) with the paper's split scheme:
+//!   train / val / testA (targets of the privileged "agent" category — the
+//!   stand-in for RefCOCO's person-only testA) / testB (everything else).
+//!
+//! Everything is deterministic under a seed.
+
+mod builder;
+mod dataset;
+mod grammar;
+mod object;
+mod render;
+mod scene;
+
+pub use builder::SceneBuilder;
+pub use dataset::{
+    Dataset, DatasetConfig, DatasetKind, DatasetStats, GroundingSample, Split,
+};
+pub use grammar::{QueryGen, QueryStyle};
+pub use object::{ColorName, SceneObject, ShapeKind, SizeClass};
+pub use render::{render_ppm, Overlay};
+pub use scene::{Scene, SceneConfig};

@@ -1,0 +1,188 @@
+use serde::{Deserialize, Serialize};
+use yollo_detect::BBox;
+
+/// Object categories. [`ShapeKind::Circle`] is the privileged "agent"
+/// category: scenes whose *target* is a circle go to the testA split, the
+/// way images containing people define RefCOCO's TestA (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeKind {
+    /// Filled disc (the "person"-analogue agent category).
+    Circle,
+    /// Filled axis-aligned square.
+    Square,
+    /// Filled upward triangle.
+    Triangle,
+    /// Plus-shaped cross.
+    Cross,
+    /// Filled rotated square.
+    Diamond,
+}
+
+impl ShapeKind {
+    /// All categories, in a stable order.
+    pub const ALL: [ShapeKind; 5] = [
+        ShapeKind::Circle,
+        ShapeKind::Square,
+        ShapeKind::Triangle,
+        ShapeKind::Cross,
+        ShapeKind::Diamond,
+    ];
+
+    /// The word used in queries.
+    pub fn word(self) -> &'static str {
+        match self {
+            ShapeKind::Circle => "circle",
+            ShapeKind::Square => "square",
+            ShapeKind::Triangle => "triangle",
+            ShapeKind::Cross => "cross",
+            ShapeKind::Diamond => "diamond",
+        }
+    }
+}
+
+/// Object colours, each with a distinct RGB rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColorName {
+    /// Pure red.
+    Red,
+    /// Pure green.
+    Green,
+    /// Pure blue.
+    Blue,
+    /// Red + green.
+    Yellow,
+    /// Red + blue.
+    Magenta,
+    /// Green + blue.
+    Cyan,
+    /// Red + half green.
+    Orange,
+    /// All channels high.
+    White,
+}
+
+impl ColorName {
+    /// All colours, in a stable order.
+    pub const ALL: [ColorName; 8] = [
+        ColorName::Red,
+        ColorName::Green,
+        ColorName::Blue,
+        ColorName::Yellow,
+        ColorName::Magenta,
+        ColorName::Cyan,
+        ColorName::Orange,
+        ColorName::White,
+    ];
+
+    /// The word used in queries.
+    pub fn word(self) -> &'static str {
+        match self {
+            ColorName::Red => "red",
+            ColorName::Green => "green",
+            ColorName::Blue => "blue",
+            ColorName::Yellow => "yellow",
+            ColorName::Magenta => "magenta",
+            ColorName::Cyan => "cyan",
+            ColorName::Orange => "orange",
+            ColorName::White => "white",
+        }
+    }
+
+    /// RGB rendering in `[0, 1]`.
+    pub fn rgb(self) -> [f64; 3] {
+        match self {
+            ColorName::Red => [0.9, 0.1, 0.1],
+            ColorName::Green => [0.1, 0.9, 0.1],
+            ColorName::Blue => [0.1, 0.1, 0.9],
+            ColorName::Yellow => [0.9, 0.9, 0.1],
+            ColorName::Magenta => [0.9, 0.1, 0.9],
+            ColorName::Cyan => [0.1, 0.9, 0.9],
+            ColorName::Orange => [0.9, 0.5, 0.1],
+            ColorName::White => [0.95, 0.95, 0.95],
+        }
+    }
+}
+
+/// Coarse size class, derived from box area relative to the scene's
+/// median object area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// Below the median area.
+    Small,
+    /// At or above the median area.
+    Large,
+}
+
+impl SizeClass {
+    /// The word used in queries.
+    pub fn word(self) -> &'static str {
+        match self {
+            SizeClass::Small => "small",
+            SizeClass::Large => "big",
+        }
+    }
+}
+
+/// One object in a [`Scene`](crate::Scene).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneObject {
+    /// Category.
+    pub kind: ShapeKind,
+    /// Colour.
+    pub color: ColorName,
+    /// Bounding box in image pixels.
+    pub bbox: BBox,
+}
+
+impl SceneObject {
+    /// Size class relative to a reference area (the scene median).
+    pub fn size_class(&self, median_area: f64) -> SizeClass {
+        if self.bbox.area() < median_area {
+            SizeClass::Small
+        } else {
+            SizeClass::Large
+        }
+    }
+
+    /// True when kind and colour both match.
+    pub fn same_attrs(&self, other: &SceneObject) -> bool {
+        self.kind == other.kind && self.color == other.color
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_lowercase_singletons() {
+        for k in ShapeKind::ALL {
+            assert!(k.word().chars().all(|c| c.is_ascii_lowercase()));
+        }
+        for c in ColorName::ALL {
+            assert!(c.word().chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn rgb_values_are_unit_range_and_distinct() {
+        let mut seen = Vec::new();
+        for c in ColorName::ALL {
+            let rgb = c.rgb();
+            assert!(rgb.iter().all(|v| (0.0..=1.0).contains(v)));
+            assert!(!seen.contains(&rgb), "duplicate rgb for {c:?}");
+            seen.push(rgb);
+        }
+    }
+
+    #[test]
+    fn size_class_splits_on_median() {
+        let o = SceneObject {
+            kind: ShapeKind::Square,
+            color: ColorName::Red,
+            bbox: BBox::new(0.0, 0.0, 4.0, 4.0),
+        };
+        assert_eq!(o.size_class(20.0), SizeClass::Small);
+        assert_eq!(o.size_class(16.0), SizeClass::Large);
+    }
+}

@@ -1,0 +1,250 @@
+//! Rasterisation of [`Scene`]s into input tensors, and PPM export for the
+//! qualitative figures (Figure 5).
+
+use crate::{Scene, SceneObject, ShapeKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, Write};
+use std::path::Path;
+use yollo_detect::BBox;
+use yollo_tensor::Tensor;
+
+/// Number of channels produced by [`Scene::render`]: RGB plus two
+/// normalised coordinate channels.
+///
+/// The coordinate channels are this reproduction's stand-in for the
+/// implicit positional information a deep pretrained CNN carries (padding
+/// artefacts, large receptive fields); without them, spatial words like
+/// "left" would be unlearnable from 5 shallow conv layers.
+pub const RENDER_CHANNELS: usize = 5;
+
+impl Scene {
+    /// Rasterises the scene into a `[5, H, W]` tensor: RGB in `[0,1]` over
+    /// a dark background with seeded pixel noise, then x/y coordinate
+    /// channels in `[-1, 1]`.
+    pub fn render(&self) -> Tensor {
+        let (w, h) = (self.width, self.height);
+        let mut data = vec![0.0; RENDER_CHANNELS * h * w];
+        // deterministic per-scene noise so the same sample always renders
+        // identically (keyed on object layout)
+        let key = self
+            .objects
+            .iter()
+            .fold(0u64, |acc, o| {
+                acc.wrapping_mul(1_000_003)
+                    .wrapping_add((o.bbox.x * 7.0 + o.bbox.y * 13.0 + o.bbox.w) as u64)
+            });
+        let mut rng = StdRng::seed_from_u64(key);
+        for c in 0..3 {
+            for p in 0..h * w {
+                data[c * h * w + p] = 0.12 + 0.02 * rng.gen::<f64>();
+            }
+        }
+        for obj in &self.objects {
+            let rgb = obj.color.rgb();
+            for py in 0..h {
+                for px in 0..w {
+                    if covers(obj, px as f64 + 0.5, py as f64 + 0.5) {
+                        for c in 0..3 {
+                            data[c * h * w + py * w + px] = rgb[c];
+                        }
+                    }
+                }
+            }
+        }
+        // coordinate channels
+        for py in 0..h {
+            for px in 0..w {
+                data[3 * h * w + py * w + px] = 2.0 * (px as f64 + 0.5) / w as f64 - 1.0;
+                data[4 * h * w + py * w + px] = 2.0 * (py as f64 + 0.5) / h as f64 - 1.0;
+            }
+        }
+        Tensor::from_vec(data, &[RENDER_CHANNELS, h, w])
+    }
+}
+
+/// True when pixel centre `(px, py)` is inside the object's shape.
+fn covers(obj: &SceneObject, px: f64, py: f64) -> bool {
+    let b = &obj.bbox;
+    if !b.contains_point(px, py) {
+        return false;
+    }
+    let (cx, cy) = b.center();
+    // normalised offsets in [-1, 1]
+    let dx = (px - cx) / (b.w / 2.0);
+    let dy = (py - cy) / (b.h / 2.0);
+    match obj.kind {
+        ShapeKind::Square => true,
+        ShapeKind::Circle => dx * dx + dy * dy <= 1.0,
+        ShapeKind::Diamond => dx.abs() + dy.abs() <= 1.0,
+        ShapeKind::Cross => dx.abs() <= 0.34 || dy.abs() <= 0.34,
+        // upward triangle: full width at the bottom, apex at the top
+        ShapeKind::Triangle => {
+            let t = (dy + 1.0) / 2.0; // 0 at top, 1 at bottom
+            dx.abs() <= t
+        }
+    }
+}
+
+/// A drawing overlaid on a PPM export.
+#[derive(Debug, Clone)]
+pub enum Overlay {
+    /// An attention heat map over the feature grid `[fh, fw]`, blended in
+    /// red (Figure 5's highlighted areas).
+    Heat {
+        /// Per-cell weights (any non-negative scale; normalised internally).
+        values: Vec<f64>,
+        /// Feature-grid height.
+        fh: usize,
+        /// Feature-grid width.
+        fw: usize,
+    },
+    /// A box outline in the given RGB colour (Figure 5's red prediction box).
+    Box {
+        /// The box, in image pixels.
+        bbox: BBox,
+        /// Outline colour, `[0,1]` RGB.
+        rgb: [f64; 3],
+    },
+}
+
+/// Writes the scene (plus overlays) as a binary PPM image.
+///
+/// # Errors
+/// Returns any I/O error from writing `path`.
+pub fn render_ppm(scene: &Scene, overlays: &[Overlay], path: impl AsRef<Path>) -> io::Result<()> {
+    let (w, h) = (scene.width, scene.height);
+    let img = scene.render();
+    let mut rgb: Vec<f64> = Vec::with_capacity(3 * h * w);
+    rgb.extend_from_slice(&img.as_slice()[..3 * h * w]);
+    for ov in overlays {
+        match ov {
+            Overlay::Heat { values, fh, fw } => {
+                let max = values.iter().copied().fold(f64::MIN, f64::max).max(1e-12);
+                for py in 0..h {
+                    for px in 0..w {
+                        let fy = (py * fh / h).min(fh - 1);
+                        let fx = (px * fw / w).min(fw - 1);
+                        let a = (values[fy * fw + fx] / max).clamp(0.0, 1.0) * 0.6;
+                        let p = py * w + px;
+                        rgb[p] = rgb[p] * (1.0 - a) + a; // toward red
+                        rgb[h * w + p] *= 1.0 - a;
+                        rgb[2 * h * w + p] *= 1.0 - a;
+                    }
+                }
+            }
+            Overlay::Box { bbox, rgb: col } => {
+                let (x1, y1) = (bbox.x.round() as isize, bbox.y.round() as isize);
+                let (x2, y2) = (bbox.x2().round() as isize, bbox.y2().round() as isize);
+                for py in y1..=y2 {
+                    for px in x1..=x2 {
+                        let edge = py == y1 || py == y2 || px == x1 || px == x2;
+                        if edge && px >= 0 && py >= 0 && (px as usize) < w && (py as usize) < h {
+                            let p = py as usize * w + px as usize;
+                            for c in 0..3 {
+                                rgb[c * h * w + p] = col[c];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(3 * h * w + 32);
+    write!(out, "P6\n{w} {h}\n255\n")?;
+    for p in 0..h * w {
+        for c in 0..3 {
+            out.push((rgb[c * h * w + p].clamp(0.0, 1.0) * 255.0) as u8);
+        }
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColorName, SceneConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn one_object_scene(kind: ShapeKind) -> Scene {
+        Scene {
+            width: 32,
+            height: 24,
+            objects: vec![SceneObject {
+                kind,
+                color: ColorName::Red,
+                bbox: BBox::new(8.0, 4.0, 16.0, 16.0),
+            }],
+        }
+    }
+
+    #[test]
+    fn render_shape_and_channels() {
+        let s = one_object_scene(ShapeKind::Square);
+        let t = s.render();
+        assert_eq!(t.dims(), &[5, 24, 32]);
+        // centre pixel is red
+        assert!(t.at(&[0, 12, 16]) > 0.8);
+        assert!(t.at(&[1, 12, 16]) < 0.3);
+        // background pixel is dark
+        assert!(t.at(&[0, 1, 1]) < 0.2);
+        // coordinate channels span [-1, 1]
+        assert!(t.at(&[3, 0, 0]) < -0.9);
+        assert!(t.at(&[3, 0, 31]) > 0.9);
+        assert!(t.at(&[4, 23, 0]) > 0.9);
+    }
+
+    #[test]
+    fn circle_has_empty_corners_square_does_not() {
+        let sq = one_object_scene(ShapeKind::Square).render();
+        let ci = one_object_scene(ShapeKind::Circle).render();
+        // corner of the bbox: inside square, outside circle
+        assert!(sq.at(&[0, 5, 9]) > 0.8);
+        assert!(ci.at(&[0, 5, 9]) < 0.3);
+    }
+
+    #[test]
+    fn triangle_is_wider_at_bottom() {
+        let tr = one_object_scene(ShapeKind::Triangle).render();
+        // near the top of the box, off-centre x is background
+        assert!(tr.at(&[0, 6, 10]) < 0.3);
+        // near the bottom, same x is filled
+        assert!(tr.at(&[0, 18, 10]) > 0.8);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let cfg = SceneConfig::default();
+        let s = Scene::generate(&cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(s.render(), s.render());
+    }
+
+    #[test]
+    fn ppm_export_writes_valid_header() {
+        let s = one_object_scene(ShapeKind::Circle);
+        let dir = std::env::temp_dir().join("yollo_render_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scene.ppm");
+        render_ppm(
+            &s,
+            &[
+                Overlay::Heat {
+                    values: vec![1.0; 12],
+                    fh: 3,
+                    fw: 4,
+                },
+                Overlay::Box {
+                    bbox: BBox::new(8.0, 4.0, 16.0, 16.0),
+                    rgb: [1.0, 0.0, 0.0],
+                },
+            ],
+            &path,
+        )
+        .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n32 24\n255\n"));
+        assert_eq!(bytes.len(), 13 + 3 * 32 * 24);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,279 @@
+//! Finite-difference gradient checking.
+//!
+//! Used throughout the workspace's test suites to validate that every
+//! backward closure computes the true derivative of its forward pass.
+
+use crate::{Graph, Tensor, Var};
+
+/// Configuration for [`check_gradients`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheck {
+    /// Central-difference step size.
+    pub eps: f64,
+    /// Allowed absolute-plus-relative tolerance.
+    pub tol: f64,
+}
+
+impl Default for GradCheck {
+    fn default() -> Self {
+        GradCheck {
+            eps: 1e-5,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// Checks the analytic gradient of `f` at `inputs` against central finite
+/// differences.
+///
+/// `f` receives leaves created from `inputs` (in order) and must return a
+/// scalar loss variable. Returns `Ok(())` when every component of every
+/// gradient matches within tolerance, otherwise an error message naming the
+/// first offending component.
+///
+/// # Errors
+/// Returns a description of the first mismatching gradient component.
+///
+/// # Example
+/// ```
+/// use yollo_tensor::{check_gradients, GradCheck, Tensor};
+/// let x = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[3]);
+/// check_gradients(&[x], GradCheck::default(), |vars| {
+///     vars[0].sigmoid().square().sum_all()
+/// }).unwrap();
+/// ```
+pub fn check_gradients<F>(inputs: &[Tensor], cfg: GradCheck, f: F) -> Result<(), String>
+where
+    F: for<'g> Fn(&[Var<'g>]) -> Var<'g>,
+{
+    // analytic gradients
+    let graph = Graph::new();
+    let vars: Vec<Var<'_>> = inputs.iter().map(|t| graph.leaf(t.clone())).collect();
+    let loss = f(&vars);
+    if loss.numel() != 1 {
+        return Err(format!(
+            "loss must be scalar, got shape {:?}",
+            loss.dims()
+        ));
+    }
+    loss.backward();
+    let analytic: Vec<Tensor> = vars.iter().map(|v| v.grad()).collect();
+
+    // numeric gradients
+    for (vi, input) in inputs.iter().enumerate() {
+        for ei in 0..input.numel() {
+            let eval = |delta: f64| -> f64 {
+                let mut perturbed: Vec<Tensor> = inputs.to_vec();
+                perturbed[vi].as_mut_slice()[ei] += delta;
+                let g = Graph::new();
+                let vs: Vec<Var<'_>> = perturbed.iter().map(|t| g.leaf(t.clone())).collect();
+                f(&vs).value().scalar()
+            };
+            let numeric = (eval(cfg.eps) - eval(-cfg.eps)) / (2.0 * cfg.eps);
+            let got = analytic[vi].as_slice()[ei];
+            let denom = 1.0 + numeric.abs().max(got.abs());
+            if (numeric - got).abs() > cfg.tol * denom {
+                return Err(format!(
+                    "input {vi} element {ei}: analytic {got} vs numeric {numeric}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Conv2dSpec, Pool2dSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn catches_wrong_gradient() {
+        // relu gradient at a positive point is 1; a deliberately wrong op
+        // would fail — emulate by comparing against detach (zero grad).
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let err = check_gradients(&[x], GradCheck::default(), |v| {
+            v[0].detach().square().sum_all()
+        });
+        assert!(err.is_err(), "detached input must fail the grad check");
+    }
+
+    #[test]
+    fn elementwise_chain() {
+        let x = Tensor::from_vec(vec![0.5, -1.3, 2.0, 0.01], &[4]);
+        check_gradients(&[x], GradCheck::default(), |v| {
+            (v[0].tanh().square() + v[0].sigmoid()).sum_all()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn exp_log_sqrt() {
+        let x = Tensor::from_vec(vec![0.5, 1.3, 2.0], &[3]);
+        check_gradients(&[x], GradCheck::default(), |v| {
+            (v[0].log() + v[0].sqrt() + v[0].exp()).sum_all()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn div_and_mul_broadcast() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![0.5, 1.5, 2.5], &[3]);
+        check_gradients(&[a, b], GradCheck::default(), |v| {
+            (v[0] / v[1]).square().sum_all()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn matmul_2d() {
+        let mut r = rng();
+        let a = Tensor::randn(&[3, 4], &mut r);
+        let b = Tensor::randn(&[4, 2], &mut r);
+        check_gradients(&[a, b], GradCheck::default(), |v| {
+            v[0].matmul(v[1]).square().sum_all()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn matmul_batched() {
+        let mut r = rng();
+        let a = Tensor::randn(&[2, 3, 4], &mut r);
+        let b = Tensor::randn(&[2, 4, 2], &mut r);
+        check_gradients(&[a, b], GradCheck::default(), |v| {
+            v[0].matmul(v[1]).square().sum_all()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn matmul_3d_by_2d() {
+        let mut r = rng();
+        let a = Tensor::randn(&[2, 3, 4], &mut r);
+        let b = Tensor::randn(&[4, 2], &mut r);
+        check_gradients(&[a, b], GradCheck::default(), |v| {
+            v[0].matmul(v[1]).square().sum_all()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn softmax_and_log_softmax() {
+        let mut r = rng();
+        let x = Tensor::randn(&[2, 5], &mut r);
+        check_gradients(&[x.clone()], GradCheck::default(), |v| {
+            v[0].softmax_lastdim().square().sum_all()
+        })
+        .unwrap();
+        check_gradients(&[x], GradCheck::default(), |v| {
+            v[0].log_softmax_lastdim().slice(1, 1, 2).sum_all()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn reductions() {
+        let mut r = rng();
+        let x = Tensor::randn(&[3, 4], &mut r);
+        check_gradients(&[x.clone()], GradCheck::default(), |v| {
+            v[0].sum_axis(0).square().sum_all()
+        })
+        .unwrap();
+        check_gradients(&[x.clone()], GradCheck::default(), |v| {
+            v[0].mean_axis(1).square().sum_all()
+        })
+        .unwrap();
+        check_gradients(&[x], GradCheck::default(), |v| v[0].mean_all()).unwrap();
+    }
+
+    #[test]
+    fn fused_losses() {
+        let mut r = rng();
+        let x = Tensor::randn(&[2, 4], &mut r);
+        let t = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0], &[2, 4]);
+        check_gradients(&[x.clone()], GradCheck::default(), |v| {
+            v[0].bce_with_logits(&t)
+        })
+        .unwrap();
+        let dist = Tensor::from_vec(
+            vec![0.25, 0.25, 0.25, 0.25, 0.0, 0.5, 0.5, 0.0],
+            &[2, 4],
+        );
+        check_gradients(&[x.clone()], GradCheck::default(), |v| {
+            v[0].softmax_xent_rows(&dist)
+        })
+        .unwrap();
+        let target = Tensor::randn(&[2, 4], &mut r);
+        check_gradients(&[x], GradCheck { eps: 1e-6, tol: 1e-5 }, |v| {
+            v[0].smooth_l1(&target, 1.0)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn conv2d_gradients() {
+        let mut r = rng();
+        let x = Tensor::randn(&[2, 2, 5, 5], &mut r);
+        let w = Tensor::randn(&[3, 2, 3, 3], &mut r);
+        let spec = Conv2dSpec { stride: 2, pad: 1 };
+        check_gradients(&[x, w], GradCheck { eps: 1e-5, tol: 1e-5 }, |v| {
+            v[0].conv2d(v[1], spec).square().sum_all()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn max_pool_gradients() {
+        let mut r = rng();
+        let x = Tensor::randn(&[1, 2, 6, 6], &mut r);
+        check_gradients(&[x], GradCheck::default(), |v| {
+            v[0].max_pool2d(Pool2dSpec { kernel: 2, stride: 2 })
+                .square()
+                .sum_all()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn structural_ops() {
+        let mut r = rng();
+        let a = Tensor::randn(&[2, 3], &mut r);
+        let b = Tensor::randn(&[2, 2], &mut r);
+        check_gradients(&[a.clone(), b], GradCheck::default(), |v| {
+            Var::concat(&[v[0], v[1]], 1).square().sum_all()
+        })
+        .unwrap();
+        check_gradients(&[a.clone()], GradCheck::default(), |v| {
+            v[0].transpose().slice(0, 1, 2).square().sum_all()
+        })
+        .unwrap();
+        check_gradients(&[a], GradCheck::default(), |v| {
+            v[0].reshape(&[6]).gather_rows(&[0, 0, 5]).square().sum_all()
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn deep_composition_like_rel2att() {
+        // miniature of the Rel2Att computation: relation map + mean masks
+        let mut r = rng();
+        let v = Tensor::randn(&[4, 3], &mut r);
+        let t = Tensor::randn(&[2, 3], &mut r);
+        check_gradients(&[v, t], GradCheck { eps: 1e-5, tol: 1e-5 }, |vars| {
+            let x1 = Var::concat(&[vars[0], vars[1]], 0); // [6,3]
+            let rel = x1.matmul(x1.transpose()).mul_scalar(1.0 / 3.0f64.sqrt());
+            let att = rel.mean_axis(0) + rel.mean_axis(1);
+            let att_v = att.slice(0, 0, 4).sigmoid().reshape(&[4, 1]);
+            (vars[0] * att_v).square().sum_all()
+        })
+        .unwrap();
+    }
+}

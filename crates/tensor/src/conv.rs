@@ -1,0 +1,197 @@
+//! im2col / col2im helpers and convolution/pooling hyper-parameter specs.
+
+use crate::Tensor;
+
+/// Stride and padding of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Step between kernel applications, in pixels (same for H and W).
+    pub stride: usize,
+    /// Zero padding added on every side.
+    pub pad: usize,
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec { stride: 1, pad: 0 }
+    }
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an `h`×`w` input and a `kh`×`kw` kernel.
+    ///
+    /// # Panics
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn output_hw(&self, h: usize, w: usize, kh: usize, kw: usize) -> (usize, usize) {
+        let hp = h + 2 * self.pad;
+        let wp = w + 2 * self.pad;
+        assert!(hp >= kh && wp >= kw, "kernel larger than padded input");
+        ((hp - kh) / self.stride + 1, (wp - kw) / self.stride + 1)
+    }
+}
+
+/// Kernel size and stride of a 2-D pooling operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2dSpec {
+    /// Square pooling window size.
+    pub kernel: usize,
+    /// Step between windows.
+    pub stride: usize,
+}
+
+impl Pool2dSpec {
+    /// Output spatial size (ceil-free, windows must start inside the input).
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h.saturating_sub(self.kernel)) / self.stride + 1,
+            (w.saturating_sub(self.kernel)) / self.stride + 1,
+        )
+    }
+}
+
+/// Unfolds `[N,C,H,W]` into column matrix `[N, C*kh*kw, OH*OW]`.
+///
+/// # Panics
+/// Panics if `x` is not rank 4.
+pub fn im2col(x: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(x.rank(), 4, "im2col input must be [N,C,H,W]");
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (oh, ow) = spec.output_hw(h, w, kh, kw);
+    let l = oh * ow;
+    let mut out = vec![0.0; n * c * kh * kw * l];
+    let xs = x.as_slice();
+    for b in 0..n {
+        for ch in 0..c {
+            let xbase = (b * c + ch) * h * w;
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ch * kh + ki) * kw + kj;
+                    let obase = (b * c * kh * kw + row) * l;
+                    for i in 0..oh {
+                        let y = (i * spec.stride + ki) as isize - spec.pad as isize;
+                        for j in 0..ow {
+                            let xcol = (j * spec.stride + kj) as isize - spec.pad as isize;
+                            let v = if y >= 0 && (y as usize) < h && xcol >= 0 && (xcol as usize) < w
+                            {
+                                xs[xbase + y as usize * w + xcol as usize]
+                            } else {
+                                0.0
+                            };
+                            out[obase + i * ow + j] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c * kh * kw, l])
+}
+
+/// Folds a column matrix `[N, C*kh*kw, OH*OW]` back into `[N,C,H,W]`
+/// (accumulating overlaps). Exact adjoint of [`im2col`].
+///
+/// # Panics
+/// Panics if shapes are inconsistent with `x_dims`.
+pub fn col2im(cols: &Tensor, x_dims: &[usize], kh: usize, kw: usize, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(x_dims.len(), 4, "col2im target must be [N,C,H,W]");
+    let (n, c, h, w) = (x_dims[0], x_dims[1], x_dims[2], x_dims[3]);
+    let (oh, ow) = spec.output_hw(h, w, kh, kw);
+    let l = oh * ow;
+    assert_eq!(cols.dims(), &[n, c * kh * kw, l], "col2im shape mismatch");
+    let mut out = Tensor::zeros(x_dims);
+    let cs = cols.as_slice();
+    let om = out.as_mut_slice();
+    for b in 0..n {
+        for ch in 0..c {
+            let xbase = (b * c + ch) * h * w;
+            for ki in 0..kh {
+                for kj in 0..kw {
+                    let row = (ch * kh + ki) * kw + kj;
+                    let cbase = (b * c * kh * kw + row) * l;
+                    for i in 0..oh {
+                        let y = (i * spec.stride + ki) as isize - spec.pad as isize;
+                        if y < 0 || y as usize >= h {
+                            continue;
+                        }
+                        for j in 0..ow {
+                            let xcol = (j * spec.stride + kj) as isize - spec.pad as isize;
+                            if xcol >= 0 && (xcol as usize) < w {
+                                om[xbase + y as usize * w + xcol as usize] +=
+                                    cs[cbase + i * ow + j];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_hw_basic() {
+        let s = Conv2dSpec { stride: 2, pad: 1 };
+        assert_eq!(s.output_hw(8, 12, 3, 3), (4, 6));
+        let p = Pool2dSpec { kernel: 2, stride: 2 };
+        assert_eq!(p.output_hw(8, 12), (4, 6));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: columns are just the flattened image
+        let x = Tensor::from_vec((0..12).map(|v| v as f64).collect(), &[1, 2, 2, 3]);
+        let cols = im2col(&x, 1, 1, Conv2dSpec::default());
+        assert_eq!(cols.dims(), &[1, 2, 6]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_extracts_patches() {
+        let x = Tensor::from_vec((0..16).map(|v| v as f64).collect(), &[1, 1, 4, 4]);
+        let cols = im2col(&x, 2, 2, Conv2dSpec { stride: 2, pad: 0 });
+        assert_eq!(cols.dims(), &[1, 4, 4]);
+        // first output location patch = [0,1,4,5]
+        assert_eq!(cols.at(&[0, 0, 0]), 0.0);
+        assert_eq!(cols.at(&[0, 1, 0]), 1.0);
+        assert_eq!(cols.at(&[0, 2, 0]), 4.0);
+        assert_eq!(cols.at(&[0, 3, 0]), 5.0);
+    }
+
+    #[test]
+    fn padding_reads_zero() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let cols = im2col(&x, 3, 3, Conv2dSpec { stride: 1, pad: 1 });
+        // top-left output's top-left kernel tap lies in the pad region
+        assert_eq!(cols.at(&[0, 0, 0]), 0.0);
+        assert_eq!(cols.at(&[0, 4, 0]), 1.0); // centre tap on real pixel
+    }
+
+    proptest! {
+        /// col2im is the exact adjoint of im2col:
+        /// <im2col(x), y> == <x, col2im(y)> for all x, y.
+        #[test]
+        fn col2im_is_adjoint_of_im2col(
+            h in 3usize..7, w in 3usize..7,
+            k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+            let spec = Conv2dSpec { stride, pad };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = Tensor::randn(&[1, 2, h, w], &mut rng);
+            let cx = im2col(&x, k, k, spec);
+            let y = Tensor::randn(cx.dims(), &mut rng);
+            let lhs: f64 = cx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+            let xy = col2im(&y, x.dims(), k, k, spec);
+            let rhs: f64 = x.as_slice().iter().zip(xy.as_slice()).map(|(a, b)| a * b).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Error produced by tensor operations.
+///
+/// Most tensor routines panic on shape mismatches (programming errors inside
+/// a fixed model architecture), but the fallible entry points used at API
+/// boundaries return this type instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes could not be combined (element-wise op or broadcast).
+    ShapeMismatch {
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+        /// Operation name for context.
+        op: &'static str,
+    },
+    /// A reshape target had a different number of elements.
+    BadReshape {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+    /// The data length did not match the product of the dimensions.
+    DataLength {
+        /// Provided data length.
+        len: usize,
+        /// Expected number of elements.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::BadReshape { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::DataLength { len, expected } => {
+                write!(f, "data length {len} does not match {expected} elements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4],
+            op: "add",
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("shape mismatch"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,255 @@
+use crate::Tensor;
+use std::cell::RefCell;
+
+/// Backward function: given the gradient flowing into a node, produce
+/// `(parent id, gradient contribution)` pairs.
+pub(crate) type BackFn = Box<dyn FnOnce(&Tensor) -> Vec<(usize, Tensor)>>;
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    backward: Option<BackFn>,
+}
+
+/// A reverse-mode automatic-differentiation tape.
+///
+/// Every differentiable operation on a [`Var`] appends a node to the tape;
+/// [`Var::backward`] replays the tape in reverse, accumulating gradients.
+/// A `Graph` is intended to live for a single forward/backward pass; model
+/// parameters live outside (see `yollo-nn`) and read their gradients back
+/// via [`Var::grad`] after the backward pass.
+///
+/// `Graph` is single-threaded (`!Sync`) by design: training in this
+/// reproduction is data-parallel at a higher level, never within one tape.
+///
+/// # Example
+/// ```
+/// use yollo_tensor::{Graph, Tensor};
+/// let g = Graph::new();
+/// let x = g.leaf(Tensor::from_scalar(3.0));
+/// let y = x.square(); // y = x^2
+/// y.backward();
+/// assert_eq!(x.grad().scalar(), 6.0); // dy/dx = 2x
+/// ```
+#[derive(Default)]
+pub struct Graph {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph({} nodes)", self.nodes.borrow().len())
+    }
+}
+
+/// Opaque identifier of a node on a [`Graph`] tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// A handle to a differentiable value on a [`Graph`].
+///
+/// `Var` is `Copy`; all arithmetic builds new tape nodes. See the crate-level
+/// documentation for a usage example.
+#[derive(Clone, Copy)]
+pub struct Var<'g> {
+    pub(crate) graph: &'g Graph,
+    pub(crate) id: usize,
+}
+
+impl std::fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Var#{}({:?})", self.id, self.value().dims())
+    }
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers a leaf (input) value and returns its handle.
+    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+        let id = self.push(value, None);
+        Var { graph: self, id }
+    }
+
+    /// Registers a scalar leaf.
+    pub fn scalar(&self, value: f64) -> Var<'_> {
+        self.leaf(Tensor::from_scalar(value))
+    }
+
+    /// Re-creates a [`Var`] handle from a raw tape index.
+    ///
+    /// # Panics
+    /// Panics if `index` is not a node on this tape.
+    pub fn var_by_index(&self, index: usize) -> Var<'_> {
+        assert!(index < self.len(), "var index {index} out of range");
+        Var { graph: self, id: index }
+    }
+
+    pub(crate) fn push(&self, value: Tensor, backward: Option<BackFn>) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(Node {
+            value,
+            grad: None,
+            backward,
+        });
+        nodes.len() - 1
+    }
+
+    pub(crate) fn value_of(&self, id: usize) -> Tensor {
+        self.nodes.borrow()[id].value.clone()
+    }
+
+    pub(crate) fn grad_of(&self, id: usize) -> Tensor {
+        let nodes = self.nodes.borrow();
+        let node = &nodes[id];
+        node.grad
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(node.value.dims()))
+    }
+
+    /// Runs the backward pass from node `root`, seeding its gradient with
+    /// ones. Gradients accumulate across multiple `backward_from` calls on
+    /// the same tape.
+    pub(crate) fn backward_from(&self, root: usize) {
+        {
+            let mut nodes = self.nodes.borrow_mut();
+            let seed = Tensor::ones(nodes[root].value.dims());
+            accumulate(&mut nodes[root].grad, seed);
+        }
+        for id in (0..=root).rev() {
+            let (grad, back) = {
+                let mut nodes = self.nodes.borrow_mut();
+                let node = &mut nodes[id];
+                if node.grad.is_none() || node.backward.is_none() {
+                    continue;
+                }
+                (node.grad.clone().expect("checked above"), node.backward.take())
+            };
+            if let Some(back) = back {
+                // run outside the borrow: backward closures only capture
+                // cloned tensors, never the graph itself
+                let contributions = back(&grad);
+                let mut nodes = self.nodes.borrow_mut();
+                for (pid, g) in contributions {
+                    debug_assert!(pid < id, "tape must be topologically ordered");
+                    debug_assert_eq!(
+                        g.dims(),
+                        nodes[pid].value.dims(),
+                        "gradient shape must match value shape"
+                    );
+                    accumulate(&mut nodes[pid].grad, g);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(slot: &mut Option<Tensor>, g: Tensor) {
+    match slot {
+        Some(acc) => acc.add_assign(&g),
+        None => *slot = Some(g),
+    }
+}
+
+impl<'g> Var<'g> {
+    /// The tape this variable lives on.
+    pub fn graph(self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Stable identifier of this variable on its tape.
+    pub fn id(self) -> VarId {
+        VarId(self.id)
+    }
+
+    /// Raw tape index (usable with [`Graph::var_by_index`]).
+    pub fn index(self) -> usize {
+        self.id
+    }
+
+    /// A clone of the node's current value.
+    pub fn value(self) -> Tensor {
+        self.graph.value_of(self.id)
+    }
+
+    /// A clone of the node's accumulated gradient (zeros before `backward`).
+    pub fn grad(self) -> Tensor {
+        self.graph.grad_of(self.id)
+    }
+
+    /// Runs reverse-mode differentiation from this node.
+    ///
+    /// The gradient seed is a tensor of ones with this node's shape, so for
+    /// the common case of a scalar loss this computes `d loss / d leaf` for
+    /// every leaf on the tape.
+    pub fn backward(self) {
+        self.graph.backward_from(self.id);
+    }
+
+    /// Shape of the node's value.
+    pub fn dims(self) -> Vec<usize> {
+        self.graph.nodes.borrow()[self.id].value.dims().to_vec()
+    }
+
+    /// Number of elements in the node's value.
+    pub fn numel(self) -> usize {
+        self.graph.nodes.borrow()[self.id].value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let g = Graph::new();
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let v = g.leaf(t.clone());
+        assert_eq!(v.value(), t);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn grad_is_zero_before_backward() {
+        let g = Graph::new();
+        let v = g.leaf(Tensor::ones(&[3]));
+        assert_eq!(v.grad().as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn chained_backward_accumulates() {
+        let g = Graph::new();
+        let x = g.scalar(2.0);
+        let y = x.square();
+        y.backward();
+        assert_eq!(x.grad().scalar(), 4.0);
+        // a second loss on the same tape accumulates into x.grad
+        let z = x.mul_scalar(3.0);
+        z.backward();
+        assert_eq!(x.grad().scalar(), 7.0);
+    }
+
+    #[test]
+    fn diamond_dependency_sums_gradients() {
+        // y = x*x + x  =>  dy/dx = 2x + 1
+        let g = Graph::new();
+        let x = g.scalar(5.0);
+        let y = (x * x) + x;
+        y.backward();
+        assert_eq!(x.grad().scalar(), 11.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Dense `f64` tensors with reverse-mode automatic differentiation.
+//!
+//! This crate is the computational substrate of the YOLLO reproduction: a
+//! minimal tensor library providing the operators the paper's model needs —
+//! matrix multiplication, 2-D convolution, softmax, reductions, gathering —
+//! together with a tape-based autodiff [`Graph`] that computes exact
+//! gradients for all of them.
+//!
+//! # Quick example
+//!
+//! ```
+//! use yollo_tensor::{Graph, Tensor};
+//!
+//! let g = Graph::new();
+//! let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+//! let w = g.leaf(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+//! let y = (x * w).sum_all(); // y = 1*3 + 2*4 = 11
+//! assert_eq!(y.value().scalar(), 11.0);
+//! y.backward();
+//! assert_eq!(x.grad().as_slice(), &[3.0, 4.0]); // dy/dx = w
+//! ```
+
+mod check;
+mod conv;
+mod error;
+mod graph;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use check::{check_gradients, GradCheck};
+pub use conv::{col2im, im2col, Conv2dSpec, Pool2dSpec};
+pub use error::TensorError;
+pub use graph::{Graph, Var, VarId};
+pub use shape::{broadcast_shapes, Shape};
+pub use tensor::Tensor;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,794 @@
+//! Differentiable operations on [`Var`] handles.
+//!
+//! Every method records a node on the owning [`Graph`] whose backward
+//! closure produces exact gradients. Shapes follow the conventions of
+//! [`Tensor`]: broadcasting for elementwise ops, 2-D / batched 3-D matmul.
+
+use crate::conv::{col2im, im2col, Conv2dSpec, Pool2dSpec};
+use crate::graph::BackFn;
+use crate::{Graph, Tensor, Var};
+
+impl<'g> Var<'g> {
+    fn push(self, value: Tensor, back: BackFn) -> Var<'g> {
+        let id = self.graph.push(value, Some(back));
+        Var {
+            graph: self.graph,
+            id,
+        }
+    }
+
+    // ----- elementwise binary -----
+
+    fn binop(
+        self,
+        rhs: Var<'g>,
+        f: impl Fn(f64, f64) -> f64,
+        back: impl Fn(&Tensor, &Tensor, &Tensor) -> (Tensor, Tensor) + 'static,
+    ) -> Var<'g> {
+        let a = self.value();
+        let b = rhs.value();
+        let out = a.zip_broadcast(&b, f);
+        let (ia, ib) = (self.id, rhs.id);
+        let (da, db) = (a.dims().to_vec(), b.dims().to_vec());
+        self.push(
+            out,
+            Box::new(move |g| {
+                let (ga, gb) = back(g, &a, &b);
+                vec![(ia, ga.reduce_to(&da)), (ib, gb.reduce_to(&db))]
+            }),
+        )
+    }
+
+    /// Elementwise (broadcasting) addition.
+    pub fn add(self, rhs: Var<'g>) -> Var<'g> {
+        self.binop(rhs, |a, b| a + b, |g, _, _| (g.clone(), g.clone()))
+    }
+
+    /// Elementwise (broadcasting) subtraction.
+    pub fn sub(self, rhs: Var<'g>) -> Var<'g> {
+        self.binop(rhs, |a, b| a - b, |g, _, _| (g.clone(), g.scale(-1.0)))
+    }
+
+    /// Elementwise (broadcasting) multiplication.
+    pub fn mul(self, rhs: Var<'g>) -> Var<'g> {
+        self.binop(
+            rhs,
+            |a, b| a * b,
+            |g, a, b| (g.zip_broadcast(b, |x, y| x * y), g.zip_broadcast(a, |x, y| x * y)),
+        )
+    }
+
+    /// Elementwise (broadcasting) division.
+    pub fn div(self, rhs: Var<'g>) -> Var<'g> {
+        self.binop(
+            rhs,
+            |a, b| a / b,
+            |g, a, b| {
+                let ga = g.zip_broadcast(b, |x, y| x / y);
+                let gb = g
+                    .zip_broadcast(a, |x, y| x * y)
+                    .zip_broadcast(b, |x, y| -x / (y * y));
+                (ga, gb)
+            },
+        )
+    }
+
+    // ----- elementwise unary -----
+
+    fn unary(
+        self,
+        f: impl Fn(f64) -> f64,
+        dfdx: impl Fn(f64, f64) -> f64 + 'static, // (x, y=f(x)) -> derivative
+    ) -> Var<'g> {
+        let x = self.value();
+        let y = x.map(f);
+        let yc = y.clone();
+        let id = self.id;
+        self.push(
+            y,
+            Box::new(move |g| {
+                let mut gx = x.clone();
+                let gs = g.as_slice();
+                let ys = yc.as_slice();
+                for (i, v) in gx.as_mut_slice().iter_mut().enumerate() {
+                    *v = gs[i] * dfdx(*v, ys[i]);
+                }
+                vec![(id, gx)]
+            }),
+        )
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Var<'g> {
+        self.mul_scalar(-1.0)
+    }
+
+    /// Adds a scalar constant.
+    pub fn add_scalar(self, c: f64) -> Var<'g> {
+        self.unary(move |x| x + c, |_, _| 1.0)
+    }
+
+    /// Multiplies by a scalar constant.
+    pub fn mul_scalar(self, c: f64) -> Var<'g> {
+        self.unary(move |x| x * c, move |_, _| c)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'g> {
+        self.unary(|x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(self, alpha: f64) -> Var<'g> {
+        self.unary(
+            move |x| if x > 0.0 { x } else { alpha * x },
+            move |x, _| if x > 0.0 { 1.0 } else { alpha },
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'g> {
+        self.unary(|x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Var<'g> {
+        self.unary(f64::tanh, |_, y| 1.0 - y * y)
+    }
+
+    /// Natural exponential.
+    pub fn exp(self) -> Var<'g> {
+        self.unary(f64::exp, |_, y| y)
+    }
+
+    /// Natural logarithm (caller must keep inputs positive).
+    pub fn log(self) -> Var<'g> {
+        self.unary(f64::ln, |x, _| 1.0 / x)
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Var<'g> {
+        self.unary(f64::sqrt, |_, y| 0.5 / y)
+    }
+
+    /// Elementwise square.
+    pub fn square(self) -> Var<'g> {
+        self.unary(|x| x * x, |x, _| 2.0 * x)
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the kink).
+    pub fn abs(self) -> Var<'g> {
+        self.unary(f64::abs, |x, _| x.signum())
+    }
+
+    /// Clamps values into `[lo, hi]`; gradient passes through inside the
+    /// range and is zero outside.
+    pub fn clamp(self, lo: f64, hi: f64) -> Var<'g> {
+        self.unary(
+            move |x| x.clamp(lo, hi),
+            move |x, _| if x > lo && x < hi { 1.0 } else { 0.0 },
+        )
+    }
+
+    // ----- shape -----
+
+    /// Reshape (same number of elements).
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn reshape(self, dims: &[usize]) -> Var<'g> {
+        let x = self.value();
+        let old = x.dims().to_vec();
+        let y = x.reshape(dims);
+        let id = self.id;
+        self.push(y, Box::new(move |g| vec![(id, g.reshape(&old))]))
+    }
+
+    /// Transpose of the last two axes.
+    pub fn transpose(self) -> Var<'g> {
+        let y = self.value().transpose();
+        let id = self.id;
+        self.push(y, Box::new(move |g| vec![(id, g.transpose())]))
+    }
+
+    /// Slice along `axis` (see [`Tensor::slice`]); backward zero-pads.
+    pub fn slice(self, axis: usize, start: usize, len: usize) -> Var<'g> {
+        let x = self.value();
+        let full = x.dims().to_vec();
+        let y = x.slice(axis, start, len);
+        let id = self.id;
+        self.push(
+            y,
+            Box::new(move |g| {
+                let mut padded = Tensor::zeros(&full);
+                // place g back into position [start, start+len) along axis
+                let outer: usize = full[..axis].iter().product();
+                let mid = full[axis];
+                let inner: usize = full[axis + 1..].iter().product();
+                let gs = g.as_slice();
+                let ps = padded.as_mut_slice();
+                for o in 0..outer {
+                    for l in 0..len {
+                        let src = (o * len + l) * inner;
+                        let dst = (o * mid + start + l) * inner;
+                        ps[dst..dst + inner].copy_from_slice(&gs[src..src + inner]);
+                    }
+                }
+                vec![(id, padded)]
+            }),
+        )
+    }
+
+    /// Gathers rows by index along axis 0; backward scatter-adds.
+    pub fn gather_rows(self, indices: &[usize]) -> Var<'g> {
+        let x = self.value();
+        let rows = x.dims()[0];
+        let y = x.gather_rows(indices);
+        let idx = indices.to_vec();
+        let id = self.id;
+        self.push(
+            y,
+            Box::new(move |g| vec![(id, Tensor::scatter_add_rows(g, &idx, rows))]),
+        )
+    }
+
+    /// Concatenates variables along `axis`.
+    ///
+    /// # Panics
+    /// Panics if the list is empty, mixes graphs, or shapes disagree
+    /// off-axis.
+    pub fn concat(vars: &[Var<'g>], axis: usize) -> Var<'g> {
+        assert!(!vars.is_empty(), "concat of empty list");
+        let graph = vars[0].graph;
+        let values: Vec<Tensor> = vars.iter().map(|v| v.value()).collect();
+        let refs: Vec<&Tensor> = values.iter().collect();
+        let out = Tensor::concat(&refs, axis);
+        let ids: Vec<usize> = vars.iter().map(|v| v.id).collect();
+        let lens: Vec<usize> = values.iter().map(|v| v.dims()[axis]).collect();
+        let id = graph.push(
+            out,
+            Some(Box::new(move |g| {
+                let mut start = 0;
+                let mut grads = Vec::with_capacity(ids.len());
+                for (i, &pid) in ids.iter().enumerate() {
+                    grads.push((pid, g.slice(axis, start, lens[i])));
+                    start += lens[i];
+                }
+                grads
+            })),
+        );
+        Var { graph, id }
+    }
+
+    // ----- linear algebra -----
+
+    /// Matrix multiplication (`[m,k]×[k,n]`, `[b,m,k]×[b,k,n]`, or
+    /// `[b,m,k]×[k,n]`).
+    ///
+    /// # Panics
+    /// Panics on incompatible shapes.
+    pub fn matmul(self, rhs: Var<'g>) -> Var<'g> {
+        let a = self.value();
+        let b = rhs.value();
+        let out = a.matmul(&b);
+        let (ia, ib) = (self.id, rhs.id);
+        let ranks = (a.rank(), b.rank());
+        self.push(
+            out,
+            Box::new(move |g| {
+                match ranks {
+                    (2, 2) | (3, 3) => {
+                        let ga = g.matmul(&b.transpose());
+                        let gb = a.transpose().matmul(g);
+                        vec![(ia, ga), (ib, gb)]
+                    }
+                    (3, 2) => {
+                        let ga = g.matmul(&b.transpose());
+                        // sum over batch: fold [b,k,m]x[b,m,n] -> [k,n]
+                        let bt = a.transpose().matmul(g); // [b,k,n]
+                        let gb = bt.sum_axis(0);
+                        vec![(ia, ga), (ib, gb)]
+                    }
+                    _ => unreachable!("matmul validated ranks in forward"),
+                }
+            }),
+        )
+    }
+
+    // ----- reductions -----
+
+    /// Sum of all elements (rank-0 result).
+    pub fn sum_all(self) -> Var<'g> {
+        let x = self.value();
+        let dims = x.dims().to_vec();
+        let id = self.id;
+        self.push(
+            x.sum_all(),
+            Box::new(move |g| {
+                let s = g.scalar();
+                vec![(id, Tensor::full(&dims, s))]
+            }),
+        )
+    }
+
+    /// Mean of all elements (rank-0 result).
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn mean_all(self) -> Var<'g> {
+        let n = self.numel();
+        assert!(n > 0, "mean of empty tensor");
+        self.sum_all().mul_scalar(1.0 / n as f64)
+    }
+
+    /// Sums along `axis`, removing it.
+    pub fn sum_axis(self, axis: usize) -> Var<'g> {
+        let x = self.value();
+        let dims = x.dims().to_vec();
+        let y = x.sum_axis(axis);
+        let id = self.id;
+        self.push(
+            y,
+            Box::new(move |g| {
+                // broadcast g back along the removed axis
+                let mut expand_dims = dims.clone();
+                expand_dims[axis] = 1;
+                let ge = g.reshape(&expand_dims);
+                let ones = Tensor::ones(&dims);
+                vec![(id, ones.zip_broadcast(&ge, |_, b| b))]
+            }),
+        )
+    }
+
+    /// Means along `axis`, removing it.
+    pub fn mean_axis(self, axis: usize) -> Var<'g> {
+        let n = self.dims()[axis];
+        assert!(n > 0, "mean over empty axis");
+        self.sum_axis(axis).mul_scalar(1.0 / n as f64)
+    }
+
+    // ----- softmax family -----
+
+    /// Softmax over the last axis.
+    pub fn softmax_lastdim(self) -> Var<'g> {
+        let x = self.value();
+        let y = x.softmax_lastdim();
+        let yc = y.clone();
+        let id = self.id;
+        self.push(
+            y,
+            Box::new(move |g| {
+                // dx = y * (g - sum_j(g_j * y_j)) per row
+                let r = yc.rank();
+                let n = yc.dims()[r - 1];
+                let rows = yc.numel() / n;
+                let mut gx = vec![0.0; yc.numel()];
+                let ys = yc.as_slice();
+                let gs = g.as_slice();
+                for row in 0..rows {
+                    let o = row * n;
+                    let dot: f64 = (0..n).map(|j| gs[o + j] * ys[o + j]).sum();
+                    for j in 0..n {
+                        gx[o + j] = ys[o + j] * (gs[o + j] - dot);
+                    }
+                }
+                vec![(id, Tensor::from_vec(gx, yc.dims()))]
+            }),
+        )
+    }
+
+    /// Log-softmax over the last axis (numerically stable).
+    pub fn log_softmax_lastdim(self) -> Var<'g> {
+        let x = self.value();
+        let sm = x.softmax_lastdim();
+        let y = sm.map(|p| p.max(1e-300).ln());
+        let id = self.id;
+        self.push(
+            y,
+            Box::new(move |g| {
+                // dx = g - softmax(x) * sum_j g_j per row
+                let r = sm.rank();
+                let n = sm.dims()[r - 1];
+                let rows = sm.numel() / n;
+                let mut gx = vec![0.0; sm.numel()];
+                let ss = sm.as_slice();
+                let gs = g.as_slice();
+                for row in 0..rows {
+                    let o = row * n;
+                    let total: f64 = (0..n).map(|j| gs[o + j]).sum();
+                    for j in 0..n {
+                        gx[o + j] = gs[o + j] - ss[o + j] * total;
+                    }
+                }
+                vec![(id, Tensor::from_vec(gx, sm.dims()))]
+            }),
+        )
+    }
+
+    // ----- fused losses -----
+
+    /// Binary cross-entropy with logits against a constant target tensor,
+    /// averaged over all elements. Numerically stable.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn bce_with_logits(self, targets: &Tensor) -> Var<'g> {
+        let x = self.value();
+        assert_eq!(x.dims(), targets.dims(), "bce target shape mismatch");
+        let n = x.numel() as f64;
+        let mut loss = 0.0;
+        for (&xi, &ti) in x.as_slice().iter().zip(targets.as_slice()) {
+            loss += xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln();
+        }
+        let t = targets.clone();
+        let id = self.id;
+        self.push(
+            Tensor::from_scalar(loss / n),
+            Box::new(move |g| {
+                let s = g.scalar() / n;
+                let gx = x.zip_broadcast(&t, |xi, ti| s * (1.0 / (1.0 + (-xi).exp()) - ti));
+                vec![(id, gx)]
+            }),
+        )
+    }
+
+    /// Cross-entropy between row-softmax of `self` and constant target
+    /// distributions, averaged over rows. Targets need not be one-hot
+    /// (the paper's attention loss, Eq. 6, uses a box-uniform distribution).
+    ///
+    /// # Panics
+    /// Panics if shapes differ or rank < 1.
+    pub fn softmax_xent_rows(self, targets: &Tensor) -> Var<'g> {
+        let x = self.value();
+        assert_eq!(x.dims(), targets.dims(), "xent target shape mismatch");
+        let r = x.rank();
+        assert!(r >= 1, "xent requires rank >= 1");
+        let n = x.dims()[r - 1];
+        let rows = x.numel() / n;
+        let sm = x.softmax_lastdim();
+        let mut loss = 0.0;
+        for (p, &t) in sm.as_slice().iter().zip(targets.as_slice()) {
+            if t != 0.0 {
+                loss -= t * p.max(1e-300).ln();
+            }
+        }
+        let t = targets.clone();
+        let id = self.id;
+        self.push(
+            Tensor::from_scalar(loss / rows as f64),
+            Box::new(move |g| {
+                let s = g.scalar() / rows as f64;
+                // per-row: grad = (softmax - t * sum_t) where sum_t is the
+                // row mass of the target (1 for distributions)
+                let n = sm.dims()[sm.rank() - 1];
+                let rows = sm.numel() / n;
+                let mut gx = vec![0.0; sm.numel()];
+                let ss = sm.as_slice();
+                let ts = t.as_slice();
+                for row in 0..rows {
+                    let o = row * n;
+                    let mass: f64 = (0..n).map(|j| ts[o + j]).sum();
+                    for j in 0..n {
+                        gx[o + j] = s * (ss[o + j] * mass - ts[o + j]);
+                    }
+                }
+                vec![(id, Tensor::from_vec(gx, sm.dims()))]
+            }),
+        )
+    }
+
+    /// Smooth-L1 (Huber) loss against a constant target, averaged over all
+    /// elements, with transition point `beta`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ or `beta <= 0`.
+    pub fn smooth_l1(self, targets: &Tensor, beta: f64) -> Var<'g> {
+        assert!(beta > 0.0, "beta must be positive");
+        let x = self.value();
+        assert_eq!(x.dims(), targets.dims(), "smooth_l1 target shape mismatch");
+        let n = x.numel() as f64;
+        let mut loss = 0.0;
+        for (&xi, &ti) in x.as_slice().iter().zip(targets.as_slice()) {
+            let d = (xi - ti).abs();
+            loss += if d < beta {
+                0.5 * d * d / beta
+            } else {
+                d - 0.5 * beta
+            };
+        }
+        let t = targets.clone();
+        let id = self.id;
+        self.push(
+            Tensor::from_scalar(loss / n),
+            Box::new(move |g| {
+                let s = g.scalar() / n;
+                let gx = x.zip_broadcast(&t, |xi, ti| {
+                    let d = xi - ti;
+                    s * if d.abs() < beta { d / beta } else { d.signum() }
+                });
+                vec![(id, gx)]
+            }),
+        )
+    }
+
+    // ----- convolution / pooling -----
+
+    /// 2-D convolution: `self` is `[N,C,H,W]`, `weight` is `[O,C,kh,kw]`.
+    /// Output is `[N,O,OH,OW]`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or when the kernel exceeds the padded input.
+    pub fn conv2d(self, weight: Var<'g>, spec: Conv2dSpec) -> Var<'g> {
+        let x = self.value();
+        let w = weight.value();
+        assert_eq!(x.rank(), 4, "conv2d input must be [N,C,H,W]");
+        assert_eq!(w.rank(), 4, "conv2d weight must be [O,C,kh,kw]");
+        let (n, c, h, wd) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (o, c2, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+        assert_eq!(c, c2, "conv2d channel mismatch");
+        let (oh, ow) = spec.output_hw(h, wd, kh, kw);
+        // cols: [N, C*kh*kw, OH*OW]; out[b] = wmat [O, ckk] × cols[b] [ckk, L]
+        let cols = im2col(&x, kh, kw, spec);
+        let wmat = w.reshape(&[o, c * kh * kw]);
+        let l = oh * ow;
+        let mut out_data = vec![0.0; n * o * l];
+        for b in 0..n {
+            let colb = cols.slice(0, b, 1).reshape(&[c * kh * kw, l]);
+            let ob = wmat.matmul(&colb);
+            out_data[b * o * l..(b + 1) * o * l].copy_from_slice(ob.as_slice());
+        }
+        let out = Tensor::from_vec(out_data, &[n, o, oh, ow]);
+        let (ix, iw) = (self.id, weight.id);
+        let x_dims = x.dims().to_vec();
+        self.push(
+            out,
+            Box::new(move |g| {
+                // g: [N,O,OH,OW]
+                let mut gw = Tensor::zeros(&[o, c * kh * kw]);
+                let mut gcols = Tensor::zeros(&[n, c * kh * kw, l]);
+                for b in 0..n {
+                    let gb = g.slice(0, b, 1).reshape(&[o, l]);
+                    let colb = cols.slice(0, b, 1).reshape(&[c * kh * kw, l]);
+                    gw.add_assign(&gb.matmul(&colb.transpose()));
+                    let gc = wmat.transpose().matmul(&gb); // [ckk, L]
+                    let dst = &mut gcols.as_mut_slice()
+                        [b * c * kh * kw * l..(b + 1) * c * kh * kw * l];
+                    dst.copy_from_slice(gc.as_slice());
+                }
+                let gx = col2im(&gcols, &x_dims, kh, kw, spec);
+                vec![(ix, gx), (iw, gw.reshape(&[o, c, kh, kw]))]
+            }),
+        )
+    }
+
+    /// 2-D max pooling over `[N,C,H,W]`.
+    ///
+    /// # Panics
+    /// Panics if input is not rank 4.
+    pub fn max_pool2d(self, spec: Pool2dSpec) -> Var<'g> {
+        let x = self.value();
+        assert_eq!(x.rank(), 4, "max_pool2d input must be [N,C,H,W]");
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (oh, ow) = spec.output_hw(h, w);
+        let mut out = vec![f64::NEG_INFINITY; n * c * oh * ow];
+        let mut arg = vec![0usize; n * c * oh * ow];
+        let xs = x.as_slice();
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let oidx = ((b * c + ch) * oh + i) * ow + j;
+                        for ki in 0..spec.kernel {
+                            for kj in 0..spec.kernel {
+                                let y = i * spec.stride + ki;
+                                let xcol = j * spec.stride + kj;
+                                if y < h && xcol < w {
+                                    let v = xs[base + y * w + xcol];
+                                    if v > out[oidx] {
+                                        out[oidx] = v;
+                                        arg[oidx] = base + y * w + xcol;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let id = self.id;
+        let in_dims = x.dims().to_vec();
+        self.push(
+            Tensor::from_vec(out, &[n, c, oh, ow]),
+            Box::new(move |g| {
+                let mut gx = Tensor::zeros(&in_dims);
+                let gs = g.as_slice();
+                let gm = gx.as_mut_slice();
+                for (oidx, &src) in arg.iter().enumerate() {
+                    gm[src] += gs[oidx];
+                }
+                vec![(id, gx)]
+            }),
+        )
+    }
+
+    /// Global average pool over the spatial dims of `[N,C,H,W]` → `[N,C]`.
+    pub fn global_avg_pool(self) -> Var<'g> {
+        let d = self.dims();
+        assert_eq!(d.len(), 4, "global_avg_pool input must be [N,C,H,W]");
+        self.reshape(&[d[0], d[1], d[2] * d[3]]).mean_axis(2)
+    }
+
+    /// Detaches the value from the tape: output is a new leaf, no gradient
+    /// flows back through it.
+    pub fn detach(self) -> Var<'g> {
+        self.graph.leaf(self.value())
+    }
+}
+
+/// Convenience constructors on [`Graph`] mirroring the `Var` API.
+impl Graph {
+    /// Leaf filled with zeros.
+    pub fn zeros(&self, dims: &[usize]) -> Var<'_> {
+        self.leaf(Tensor::zeros(dims))
+    }
+
+    /// Leaf filled with ones.
+    pub fn ones(&self, dims: &[usize]) -> Var<'_> {
+        self.leaf(Tensor::ones(dims))
+    }
+}
+
+macro_rules! impl_var_binop {
+    ($trait:ident, $method:ident) => {
+        impl<'g> std::ops::$trait for Var<'g> {
+            type Output = Var<'g>;
+            fn $method(self, rhs: Var<'g>) -> Var<'g> {
+                Var::$method(self, rhs)
+            }
+        }
+    };
+}
+
+impl_var_binop!(Add, add);
+impl_var_binop!(Sub, sub);
+impl_var_binop!(Mul, mul);
+impl_var_binop!(Div, div);
+
+impl<'g> std::ops::Neg for Var<'g> {
+    type Output = Var<'g>;
+    fn neg(self) -> Var<'g> {
+        Var::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn add_broadcast_backward_reduces() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::ones(&[2, 3]));
+        let b = g.leaf(Tensor::ones(&[3]));
+        let y = (a + b).sum_all();
+        y.backward();
+        assert_eq!(a.grad().dims(), &[2, 3]);
+        assert_eq!(b.grad().as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_match_manual() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = g.leaf(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]));
+        let y = a.matmul(b).sum_all();
+        y.backward();
+        // d/dA sum(AB) = 1 * B^T rows summed: each grad_A[i,j] = sum_n B[j,n]
+        assert_eq!(a.grad().as_slice(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad().as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_grad_sums_to_zero() {
+        let g = Graph::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = g.leaf(Tensor::randn(&[3, 5], &mut rng));
+        // loss = first column of softmax summed
+        let y = x.softmax_lastdim().slice(1, 0, 1).sum_all();
+        y.backward();
+        // each row's softmax grad sums to ~0
+        let gr = x.grad();
+        for r in 0..3 {
+            let s: f64 = (0..5).map(|c| gr.at(&[r, c])).sum();
+            assert!(s.abs() < 1e-12, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn bce_matches_closed_form() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.0, 2.0], &[2]));
+        let t = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let loss = x.bce_with_logits(&t);
+        let expected = (0.5f64.ln() * -1.0 + (1.0 + (2.0f64).exp()).ln()) / 2.0;
+        assert!(approx(loss.value().scalar(), expected, 1e-12));
+        loss.backward();
+        let gr = x.grad();
+        assert!(approx(gr.at(&[0]), (0.5 - 1.0) / 2.0, 1e-12));
+    }
+
+    #[test]
+    fn smooth_l1_quadratic_and_linear_regions() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![0.1, 3.0], &[2]));
+        let t = Tensor::zeros(&[2]);
+        let loss = x.smooth_l1(&t, 1.0);
+        let expected = (0.5 * 0.01 + (3.0 - 0.5)) / 2.0;
+        assert!(approx(loss.value().scalar(), expected, 1e-12));
+        loss.backward();
+        let gr = x.grad();
+        assert!(approx(gr.at(&[0]), 0.1 / 2.0, 1e-12)); // quadratic region: d/β
+        assert!(approx(gr.at(&[1]), 1.0 / 2.0, 1e-12)); // linear region: sign
+    }
+
+    #[test]
+    fn gather_rows_backward_scatters() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]));
+        let y = x.gather_rows(&[0, 0, 2]).sum_all();
+        y.backward();
+        assert_eq!(x.grad().as_slice(), &[2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn slice_backward_pads() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]));
+        let y = x.slice(0, 1, 2).sum_all();
+        y.backward();
+        assert_eq!(x.grad().as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_backward_splits() {
+        let g = Graph::new();
+        let a = g.leaf(Tensor::ones(&[2, 2]));
+        let b = g.leaf(Tensor::ones(&[3, 2]));
+        let y = Var::concat(&[a, b], 0);
+        assert_eq!(y.dims(), vec![5, 2]);
+        y.mul_scalar(2.0).sum_all().backward();
+        assert_eq!(a.grad().as_slice(), &[2.0; 4]);
+        assert_eq!(b.grad().as_slice(), &[2.0; 6]);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let g = Graph::new();
+        let x = g.scalar(2.0);
+        let y = x.square().detach().mul_scalar(3.0);
+        y.backward();
+        assert_eq!(x.grad().scalar(), 0.0);
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        ));
+        let y = x.max_pool2d(Pool2dSpec { kernel: 2, stride: 2 });
+        assert_eq!(y.value().as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+        y.sum_all().backward();
+        let gr = x.grad();
+        assert_eq!(gr.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(gr.at(&[0, 0, 0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A tensor shape: an ordered list of dimension sizes, row-major layout.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Returns the dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions (rank). A scalar has rank 0.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat offset.
+    ///
+    /// # Panics
+    /// Panics if `idx` has the wrong rank or any coordinate is out of range.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.rank(), "index rank mismatch");
+        let strides = self.strides();
+        let mut off = 0;
+        for (i, (&x, &s)) in idx.iter().zip(strides.iter()).enumerate() {
+            assert!(x < self.0[i], "index {x} out of range for dim {i}");
+            off += x * s;
+        }
+        off
+    }
+
+    /// Validates an axis, returning it or an error.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
+    pub fn check_axis(&self, axis: usize) -> Result<usize> {
+        if axis < self.rank() {
+            Ok(axis)
+        } else {
+            Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            })
+        }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+/// Computes the NumPy-style broadcast of two shapes.
+///
+/// Dimensions are aligned from the right; a dimension of size 1 broadcasts
+/// against any size.
+///
+/// # Errors
+/// Returns [`TensorError::ShapeMismatch`] when a pair of dimensions is
+/// incompatible (neither equal nor 1).
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Result<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < rank - a.len() {
+            1
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            1
+        } else {
+            b[i - (rank - b.len())]
+        };
+        out[i] = if da == db {
+            da
+        } else if da == 1 {
+            db
+        } else if db == 1 {
+            da
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                lhs: a.to_vec(),
+                rhs: b.to_vec(),
+                op: "broadcast",
+            });
+        };
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.offset(&[1, 2, 3]), 23);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 4]).unwrap(), vec![2, 4]);
+        assert_eq!(broadcast_shapes(&[], &[5]).unwrap(), vec![5]);
+        assert!(broadcast_shapes(&[2, 3], &[4]).is_err());
+    }
+
+    #[test]
+    fn check_axis_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.check_axis(1).unwrap(), 1);
+        assert!(s.check_axis(2).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn broadcast_is_commutative(a in proptest::collection::vec(1usize..5, 0..4),
+                                    b in proptest::collection::vec(1usize..5, 0..4)) {
+            // compare successful shapes only: error payloads carry lhs/rhs
+            // in call order, which legitimately differ
+            let ab = broadcast_shapes(&a, &b).ok();
+            let ba = broadcast_shapes(&b, &a).ok();
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn broadcast_with_self_is_identity(a in proptest::collection::vec(1usize..6, 0..5)) {
+            prop_assert_eq!(broadcast_shapes(&a, &a).unwrap(), a);
+        }
+
+        #[test]
+        fn offsets_are_unique_and_dense(dims in proptest::collection::vec(1usize..4, 1..4)) {
+            let s = Shape::new(&dims);
+            let mut seen = vec![false; s.numel()];
+            let mut idx = vec![0usize; dims.len()];
+            loop {
+                let off = s.offset(&idx);
+                prop_assert!(!seen[off]);
+                seen[off] = true;
+                // increment multi-index
+                let mut d = dims.len();
+                loop {
+                    if d == 0 { break; }
+                    d -= 1;
+                    idx[d] += 1;
+                    if idx[d] < dims[d] { break; }
+                    idx[d] = 0;
+                    if d == 0 { d = usize::MAX; break; }
+                }
+                if d == usize::MAX { break; }
+            }
+            prop_assert!(seen.iter().all(|&x| x));
+        }
+    }
+}

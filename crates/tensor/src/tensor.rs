@@ -1,0 +1,910 @@
+use crate::shape::{broadcast_shapes, Shape};
+use crate::{Result, TensorError};
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major tensor of `f64` values.
+///
+/// `Tensor` is the plain value type of the crate; differentiable computation
+/// is expressed on [`crate::Var`] handles inside a [`crate::Graph`], whose
+/// nodes store `Tensor`s.
+///
+/// # Example
+/// ```
+/// use yollo_tensor::Tensor;
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::eye(2);
+/// let c = a.matmul(&b);
+/// assert_eq!(c.as_slice(), a.as_slice());
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    // ----- constructors -----
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![0.0; dims.iter().product()],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f64) -> Self {
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![value; dims.iter().product()],
+        }
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn from_scalar(value: f64) -> Self {
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
+    }
+
+    /// Creates a tensor from a flat vector and a shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the product of `dims`.
+    pub fn from_vec(data: Vec<f64>, dims: &[usize]) -> Self {
+        Tensor::try_from_vec(data, dims).expect("data length must match shape")
+    }
+
+    /// Fallible version of [`Tensor::from_vec`].
+    ///
+    /// # Errors
+    /// Returns [`TensorError::DataLength`] if the data length does not match.
+    pub fn try_from_vec(data: Vec<f64>, dims: &[usize]) -> Result<Self> {
+        let expected: usize = dims.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::DataLength {
+                len: data.len(),
+                expected,
+            });
+        }
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data,
+        })
+    }
+
+    /// Creates a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f64) -> Self {
+        let n: usize = dims.iter().product();
+        Tensor {
+            shape: Shape::new(dims),
+            data: (0..n).map(&mut f).collect(),
+        }
+    }
+
+    /// Identity matrix of size `n`×`n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Standard-normal random tensor (Box–Muller over the supplied RNG).
+    pub fn randn(dims: &[usize], rng: &mut impl Rng) -> Self {
+        let normal = StandardNormal;
+        Tensor::from_fn(dims, |_| normal.sample(rng))
+    }
+
+    /// Uniform random tensor in `[lo, hi)`.
+    pub fn rand_uniform(dims: &[usize], lo: f64, hi: f64, rng: &mut impl Rng) -> Self {
+        Tensor::from_fn(dims, |_| rng.gen_range(lo..hi))
+    }
+
+    // ----- access -----
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Flat view of the data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn at(&self, idx: &[usize]) -> f64 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn set(&mut self, idx: &[usize], value: f64) {
+        let off = self.shape.offset(idx);
+        self.data[off] = value;
+    }
+
+    /// The single value of a rank-0 or one-element tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn scalar(&self) -> f64 {
+        assert_eq!(self.numel(), 1, "scalar() on tensor with {} elements", self.numel());
+        self.data[0]
+    }
+
+    // ----- shape manipulation -----
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        self.try_reshape(dims).expect("reshape must preserve numel")
+    }
+
+    /// Fallible version of [`Tensor::reshape`].
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BadReshape`] on element-count mismatch.
+    pub fn try_reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let expected: usize = dims.iter().product();
+        if expected != self.numel() {
+            return Err(TensorError::BadReshape {
+                from: self.dims().to_vec(),
+                to: dims.to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data: self.data.clone(),
+        })
+    }
+
+    /// Transposes the last two axes (works on rank ≥ 2; batched for rank 3+).
+    ///
+    /// # Panics
+    /// Panics if rank < 2.
+    pub fn transpose(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 2, "transpose requires rank >= 2");
+        let dims = self.dims();
+        let (m, n) = (dims[r - 2], dims[r - 1]);
+        let batch: usize = dims[..r - 2].iter().product();
+        let mut out_dims = dims.to_vec();
+        out_dims.swap(r - 2, r - 1);
+        let mut out = vec![0.0; self.numel()];
+        for b in 0..batch {
+            let base = b * m * n;
+            for i in 0..m {
+                for j in 0..n {
+                    out[base + j * m + i] = self.data[base + i * n + j];
+                }
+            }
+        }
+        Tensor {
+            shape: Shape::new(&out_dims),
+            data: out,
+        }
+    }
+
+    // ----- elementwise -----
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place elementwise update.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Broadcasting binary operation.
+    ///
+    /// # Panics
+    /// Panics if the shapes are not broadcast-compatible.
+    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        if self.dims() == other.dims() {
+            // fast path: identical shapes
+            let data = self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor {
+                shape: self.shape.clone(),
+                data,
+            };
+        }
+        let out_dims =
+            broadcast_shapes(self.dims(), other.dims()).expect("broadcast-incompatible shapes");
+        let out_shape = Shape::new(&out_dims);
+        let n = out_shape.numel();
+        let mut data = vec![0.0; n];
+        let sa = padded_strides(self.dims(), &out_dims);
+        let sb = padded_strides(other.dims(), &out_dims);
+        let strides = out_shape.strides();
+        for (flat, slot) in data.iter_mut().enumerate() {
+            let mut off_a = 0;
+            let mut off_b = 0;
+            let mut rem = flat;
+            for d in 0..out_dims.len() {
+                let coord = rem / strides[d];
+                rem %= strides[d];
+                off_a += coord * sa[d];
+                off_b += coord * sb[d];
+            }
+            *slot = f(self.data[off_a], other.data[off_b]);
+        }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
+    }
+
+    /// Sums this tensor down to `dims` (inverse of broadcasting).
+    ///
+    /// Used by autodiff to reduce an upstream gradient back to the shape of
+    /// a broadcast operand.
+    ///
+    /// # Panics
+    /// Panics if `dims` cannot be broadcast to this tensor's shape.
+    pub fn reduce_to(&self, dims: &[usize]) -> Tensor {
+        if self.dims() == dims {
+            return self.clone();
+        }
+        let out_shape = Shape::new(dims);
+        let mut out = vec![0.0; out_shape.numel()];
+        let strides_src = self.shape.strides();
+        let starget = padded_strides(dims, self.dims());
+        for flat in 0..self.numel() {
+            let mut rem = flat;
+            let mut off_t = 0;
+            for d in 0..self.rank() {
+                let coord = rem / strides_src[d];
+                rem %= strides_src[d];
+                off_t += coord * starget[d];
+            }
+            out[off_t] += self.data[flat];
+        }
+        Tensor {
+            shape: out_shape,
+            data: out,
+        }
+    }
+
+    /// Elementwise addition into `self` (same shape only).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.dims(), other.dims(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f64) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    // ----- linear algebra -----
+
+    /// Matrix multiplication.
+    ///
+    /// Supports `[m,k] × [k,n]` and batched `[b,m,k] × [b,k,n]` (plus a 2-D
+    /// right operand broadcast across the batch).
+    ///
+    /// # Panics
+    /// Panics on rank/shape mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        match (self.rank(), other.rank()) {
+            (2, 2) => {
+                let (m, k) = (self.dims()[0], self.dims()[1]);
+                let (k2, n) = (other.dims()[0], other.dims()[1]);
+                assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; m * n];
+                matmul_kernel(&self.data, &other.data, &mut out, m, k, n);
+                Tensor::from_vec(out, &[m, n])
+            }
+            (3, 3) => {
+                let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+                let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+                assert_eq!(b, b2, "batched matmul batch dims: {b} vs {b2}");
+                assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; b * m * n];
+                for i in 0..b {
+                    matmul_kernel(
+                        &self.data[i * m * k..(i + 1) * m * k],
+                        &other.data[i * k * n..(i + 1) * k * n],
+                        &mut out[i * m * n..(i + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            (3, 2) => {
+                let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+                let (k2, n) = (other.dims()[0], other.dims()[1]);
+                assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                let mut out = vec![0.0; b * m * n];
+                for i in 0..b {
+                    matmul_kernel(
+                        &self.data[i * m * k..(i + 1) * m * k],
+                        &other.data,
+                        &mut out[i * m * n..(i + 1) * m * n],
+                        m,
+                        k,
+                        n,
+                    );
+                }
+                Tensor::from_vec(out, &[b, m, n])
+            }
+            (ra, rb) => panic!("matmul unsupported ranks: {ra} and {rb}"),
+        }
+    }
+
+    // ----- reductions -----
+
+    /// Sum of all elements, as a rank-0 tensor.
+    pub fn sum_all(&self) -> Tensor {
+        Tensor::from_scalar(self.data.iter().sum())
+    }
+
+    /// Mean of all elements, as a rank-0 tensor. Empty tensors yield 0.
+    pub fn mean_all(&self) -> Tensor {
+        if self.data.is_empty() {
+            Tensor::from_scalar(0.0)
+        } else {
+            Tensor::from_scalar(self.data.iter().sum::<f64>() / self.data.len() as f64)
+        }
+    }
+
+    /// Maximum element. Empty tensors yield negative infinity.
+    pub fn max_all(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sums along `axis`, removing that axis.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank`.
+    pub fn sum_axis(&self, axis: usize) -> Tensor {
+        assert!(axis < self.rank(), "axis {axis} out of range");
+        let dims = self.dims();
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out_dims = dims.to_vec();
+        out_dims.remove(axis);
+        let mut out = vec![0.0; outer * inner];
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                for i in 0..inner {
+                    out[o * inner + i] += self.data[base + i];
+                }
+            }
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Means along `axis`, removing that axis.
+    ///
+    /// # Panics
+    /// Panics if `axis >= rank` or the axis has size 0.
+    pub fn mean_axis(&self, axis: usize) -> Tensor {
+        let n = self.dims()[axis];
+        assert!(n > 0, "mean over empty axis");
+        self.sum_axis(axis).scale(1.0 / n as f64)
+    }
+
+    /// Row-wise softmax over the last axis.
+    pub fn softmax_lastdim(&self) -> Tensor {
+        let r = self.rank();
+        assert!(r >= 1, "softmax requires rank >= 1");
+        let n = self.dims()[r - 1];
+        let rows = self.numel() / n.max(1);
+        let mut out = self.data.clone();
+        for row in 0..rows {
+            let s = &mut out[row * n..(row + 1) * n];
+            let mx = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            for x in s.iter_mut() {
+                *x = (*x - mx).exp();
+                z += *x;
+            }
+            for x in s.iter_mut() {
+                *x /= z;
+            }
+        }
+        Tensor {
+            shape: self.shape.clone(),
+            data: out,
+        }
+    }
+
+    // ----- structural -----
+
+    /// Concatenates tensors along `axis`.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or shapes disagree off-axis.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+        assert!(!tensors.is_empty(), "concat of empty list");
+        let first = tensors[0];
+        let rank = first.rank();
+        assert!(axis < rank, "concat axis out of range");
+        let mut axis_total = 0;
+        for t in tensors {
+            assert_eq!(t.rank(), rank, "concat rank mismatch");
+            for d in 0..rank {
+                if d != axis {
+                    assert_eq!(t.dims()[d], first.dims()[d], "concat off-axis dim mismatch");
+                }
+            }
+            axis_total += t.dims()[axis];
+        }
+        let mut out_dims = first.dims().to_vec();
+        out_dims[axis] = axis_total;
+        let outer: usize = first.dims()[..axis].iter().product();
+        let inner: usize = first.dims()[axis + 1..].iter().product();
+        let mut out = Vec::with_capacity(out_dims.iter().product());
+        for o in 0..outer {
+            for t in tensors {
+                let mid = t.dims()[axis];
+                let start = o * mid * inner;
+                out.extend_from_slice(&t.data[start..start + mid * inner]);
+            }
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Slice of length `len` starting at `start` along `axis`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the axis size.
+    pub fn slice(&self, axis: usize, start: usize, len: usize) -> Tensor {
+        let dims = self.dims();
+        assert!(axis < self.rank(), "slice axis out of range");
+        assert!(start + len <= dims[axis], "slice range out of bounds");
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out_dims = dims.to_vec();
+        out_dims[axis] = len;
+        let mut out = Vec::with_capacity(outer * len * inner);
+        for o in 0..outer {
+            let base = (o * mid + start) * inner;
+            out.extend_from_slice(&self.data[base..base + len * inner]);
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Gathers rows (axis 0) by index. Indices may repeat.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range or the tensor is rank 0.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        assert!(self.rank() >= 1, "gather_rows on scalar");
+        let rows = self.dims()[0];
+        let inner: usize = self.dims()[1..].iter().product();
+        let mut out = Vec::with_capacity(indices.len() * inner);
+        for &i in indices {
+            assert!(i < rows, "gather index {i} out of range {rows}");
+            out.extend_from_slice(&self.data[i * inner..(i + 1) * inner]);
+        }
+        let mut out_dims = self.dims().to_vec();
+        out_dims[0] = indices.len();
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Scatter-adds `src` rows into a zero tensor of `rows` rows (inverse of
+    /// [`Tensor::gather_rows`]).
+    ///
+    /// # Panics
+    /// Panics if `src.dims()[0] != indices.len()` or an index is out of range.
+    pub fn scatter_add_rows(src: &Tensor, indices: &[usize], rows: usize) -> Tensor {
+        assert_eq!(src.dims()[0], indices.len(), "scatter rows mismatch");
+        let inner: usize = src.dims()[1..].iter().product();
+        let mut out_dims = src.dims().to_vec();
+        out_dims[0] = rows;
+        let mut out = vec![0.0; rows * inner];
+        for (r, &i) in indices.iter().enumerate() {
+            assert!(i < rows, "scatter index {i} out of range {rows}");
+            for c in 0..inner {
+                out[i * inner + c] += src.data[r * inner + c];
+            }
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Stacks tensors of identical shape along a new leading axis.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or shapes differ.
+    pub fn stack(tensors: &[&Tensor]) -> Tensor {
+        assert!(!tensors.is_empty(), "stack of empty list");
+        let dims = tensors[0].dims();
+        let mut data = Vec::with_capacity(tensors.len() * tensors[0].numel());
+        for t in tensors {
+            assert_eq!(t.dims(), dims, "stack shape mismatch");
+            data.extend_from_slice(t.as_slice());
+        }
+        let mut out_dims = vec![tensors.len()];
+        out_dims.extend_from_slice(dims);
+        Tensor::from_vec(data, &out_dims)
+    }
+
+    /// Frobenius / L2 norm of all elements.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Index of the maximum element (flat). Ties resolve to the first.
+    ///
+    /// # Panics
+    /// Panics on an empty tensor.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// True when all elements are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.dims(), other.dims(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::from_scalar(0.0)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.dims())?;
+        if self.numel() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, …; n={}]",
+                self.data[0],
+                self.data[1],
+                self.numel()
+            )
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Strides of `dims` padded/aligned (from the right) against `target`,
+/// with broadcast dimensions getting stride 0.
+fn padded_strides(dims: &[usize], target: &[usize]) -> Vec<usize> {
+    let shape = Shape::new(dims);
+    let strides = shape.strides();
+    let offset = target.len() - dims.len();
+    let mut out = vec![0usize; target.len()];
+    for d in 0..dims.len() {
+        out[offset + d] = if dims[d] == 1 { 0 } else { strides[d] };
+    }
+    out
+}
+
+/// Cache-friendly i-k-j matmul kernel: `out[m,n] += a[m,k] * b[k,n]`.
+fn matmul_kernel(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $f:expr) => {
+        impl std::ops::$trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.zip_broadcast(rhs, $f)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, |a, b| a + b);
+impl_binop!(Sub, sub, |a, b| a - b);
+impl_binop!(Mul, mul, |a, b| a * b);
+impl_binop!(Div, div, |a, b| a / b);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.dims(), &[2, 3]);
+        let mut t = t;
+        t.set(&[0, 1], 9.0);
+        assert_eq!(t.at(&[0, 1]), 9.0);
+    }
+
+    #[test]
+    fn matmul_2d() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_batched() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f64).collect(), &[2, 2, 3]);
+        let b = Tensor::from_vec((0..18).map(|x| x as f64).collect(), &[2, 3, 3]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2, 3]);
+        // manual check for batch 0, row 0: [0,1,2] x cols of b0
+        assert_eq!(c.at(&[0, 0, 0]), 0.0 * 0.0 + 1.0 * 3.0 + 2.0 * 6.0);
+    }
+
+    #[test]
+    fn matmul_3d_by_2d_broadcasts_rhs() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f64).collect(), &[2, 2, 3]);
+        let b = Tensor::eye(3);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn transpose_2d_and_batched() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), 6.0);
+        let b = Tensor::from_vec((0..12).map(|x| x as f64).collect(), &[2, 2, 3]);
+        let bt = b.transpose();
+        assert_eq!(bt.dims(), &[2, 3, 2]);
+        assert_eq!(bt.at(&[1, 2, 0]), b.at(&[1, 0, 2]));
+    }
+
+    #[test]
+    fn broadcasting_add() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let c = &a + &b;
+        assert_eq!(c.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        let col = Tensor::from_vec(vec![100.0, 200.0], &[2, 1]);
+        let d = &a + &col;
+        assert_eq!(d.as_slice(), &[101.0, 102.0, 103.0, 204.0, 205.0, 206.0]);
+    }
+
+    #[test]
+    fn reduce_to_inverts_broadcast() {
+        let g = Tensor::ones(&[2, 3]);
+        let r = g.reduce_to(&[3]);
+        assert_eq!(r.as_slice(), &[2.0, 2.0, 2.0]);
+        let r2 = g.reduce_to(&[2, 1]);
+        assert_eq!(r2.as_slice(), &[3.0, 3.0]);
+        let r3 = g.reduce_to(&[]);
+        assert_eq!(r3.scalar(), 6.0);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.sum_axis(0).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.sum_axis(1).as_slice(), &[6.0, 15.0]);
+        assert_eq!(a.mean_axis(1).as_slice(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let s = a.softmax_lastdim();
+        for row in 0..2 {
+            let sum: f64 = (0..3).map(|j| s.at(&[row, j])).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        assert!(s.is_finite());
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0], &[1, 2]);
+        let c = Tensor::concat(&[&a, &b], 0);
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.slice(0, 0, 2).as_slice(), a.as_slice());
+        assert_eq!(c.slice(0, 2, 1).as_slice(), b.as_slice());
+
+        let d = Tensor::concat(&[&a, &a], 1);
+        assert_eq!(d.dims(), &[2, 4]);
+        assert_eq!(d.slice(1, 2, 2).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.as_slice(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let s = Tensor::scatter_add_rows(&g, &[2, 0, 2], 3);
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 0.0, 0.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn stack_adds_leading_axis() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let s = Tensor::stack(&[&a, &b]);
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let nested = Tensor::stack(&[&s]);
+        assert_eq!(nested.dims(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn randn_is_seeded_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = Tensor::randn(&[4, 4], &mut r1);
+        let b = Tensor::randn(&[4, 4], &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        let a = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.0], &[4]);
+        assert_eq!(a.argmax(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_identity(rows in 1usize..5, cols in 1usize..5,
+                           seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&[rows, cols], &mut rng);
+            let c = a.matmul(&Tensor::eye(cols));
+            prop_assert!(a.max_abs_diff(&c) < 1e-12);
+        }
+
+        #[test]
+        fn matmul_distributes_over_add(m in 1usize..4, k in 1usize..4, n in 1usize..4,
+                                       seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let c = Tensor::randn(&[k, n], &mut rng);
+            let lhs = a.matmul(&(&b + &c));
+            let rhs = &a.matmul(&b) + &a.matmul(&c);
+            prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+        }
+
+        #[test]
+        fn transpose_is_involution(m in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&[m, n], &mut rng);
+            prop_assert_eq!(a.transpose().transpose(), a);
+        }
+
+        #[test]
+        fn sum_axis_total_matches_sum_all(m in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&[m, n], &mut rng);
+            let by_axis = a.sum_axis(0).sum_all().scalar();
+            prop_assert!((by_axis - a.sum_all().scalar()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn reduce_to_conserves_mass(m in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Tensor::randn(&[m, n], &mut rng);
+            let r = a.reduce_to(&[n]);
+            prop_assert!((r.sum_all().scalar() - a.sum_all().scalar()).abs() < 1e-9);
+        }
+    }
+}
+
+/// Standard-normal distribution via Box–Muller (avoids rand_distr dependency).
+struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Language substrate: tokenizer, vocabulary, skip-gram word2vec
+//! pretraining and positional encodings.
+//!
+//! The paper pre-trains 512-d Word2Vec embeddings on the LM-1B corpus
+//! (§4.2). That corpus is unavailable here, so [`Word2Vec`] implements
+//! skip-gram with negative sampling from scratch and trains on a corpus
+//! sampled from the synthetic query grammar — the same code path
+//! (pre-trained distributed representations, fine-tuned downstream), at
+//! laptop scale.
+//!
+//! ```
+//! use yollo_text::{tokenize, Vocab};
+//! let toks = tokenize("The left red Ball!");
+//! assert_eq!(toks, vec!["the", "left", "red", "ball"]);
+//! let vocab = Vocab::build([toks.iter().map(String::as_str)], 1);
+//! assert!(vocab.id("red").is_some());
+//! ```
+
+mod position;
+mod token;
+mod vocab;
+mod word2vec;
+
+pub use position::sinusoidal_encoding;
+pub use token::tokenize;
+pub use vocab::{Vocab, PAD_TOKEN, UNK_TOKEN};
+pub use word2vec::{Word2Vec, Word2VecConfig};

@@ -1,0 +1,63 @@
+use yollo_tensor::Tensor;
+
+/// Sinusoidal absolute-position encoding `[max_len, dim]` (Vaswani et al.
+/// 2017, which §3.1 cites for the "sense of order" position embeddings).
+///
+/// The grounding models default to *learned* position embeddings (an
+/// `Embedding` over positions); this fixed variant is used as their
+/// initialisation and in tests as a reference.
+///
+/// # Panics
+/// Panics if `dim` is zero or odd.
+pub fn sinusoidal_encoding(max_len: usize, dim: usize) -> Tensor {
+    assert!(dim > 0 && dim % 2 == 0, "dim must be positive and even");
+    Tensor::from_fn(&[max_len, dim], |flat| {
+        let pos = (flat / dim) as f64;
+        let i = flat % dim;
+        let freq = 1.0 / 10_000f64.powf((i / 2 * 2) as f64 / dim as f64);
+        if i % 2 == 0 {
+            (pos * freq).sin()
+        } else {
+            (pos * freq).cos()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_row_is_sin0_cos0() {
+        let e = sinusoidal_encoding(4, 6);
+        for i in 0..6 {
+            let expected = if i % 2 == 0 { 0.0 } else { 1.0 };
+            assert!((e.at(&[0, i]) - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let e = sinusoidal_encoding(50, 16);
+        assert!(e.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn rows_are_distinct() {
+        let e = sinusoidal_encoding(10, 8);
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let d: f64 = (0..8)
+                    .map(|j| (e.at(&[a, j]) - e.at(&[b, j])).abs())
+                    .sum();
+                assert!(d > 1e-6, "rows {a} and {b} identical");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_dim_rejected() {
+        sinusoidal_encoding(4, 3);
+    }
+}

@@ -1,0 +1,53 @@
+/// Lower-cases and splits a query into word tokens.
+///
+/// Splits on any non-alphanumeric character, so punctuation vanishes:
+/// `"man, blue-shirt"` → `["man", "blue", "shirt"]`.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_splitting() {
+        assert_eq!(
+            tokenize("Left-most toilet, near the  sink."),
+            vec!["left", "most", "toilet", "near", "the", "sink"]
+        );
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!,.").is_empty());
+    }
+
+    #[test]
+    fn digits_survive() {
+        assert_eq!(tokenize("2nd ball"), vec!["2nd", "ball"]);
+    }
+
+    proptest! {
+        #[test]
+        fn tokens_never_contain_separators(s in ".{0,60}") {
+            for t in tokenize(&s) {
+                prop_assert!(t.chars().all(char::is_alphanumeric));
+                prop_assert!(!t.is_empty());
+            }
+        }
+
+        #[test]
+        fn idempotent_on_own_output(s in "[a-z ]{0,40}") {
+            let once = tokenize(&s);
+            let rejoined = once.join(" ");
+            prop_assert_eq!(tokenize(&rejoined), once);
+        }
+    }
+}

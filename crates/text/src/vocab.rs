@@ -1,0 +1,193 @@
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The padding token (§4.2: queries are padded to the dataset's maximum
+/// length with a PAD token). Always id 0.
+pub const PAD_TOKEN: &str = "<pad>";
+/// The unknown token (§4.2: out-of-vocabulary words map to UNK). Always id 1.
+pub const UNK_TOKEN: &str = "<unk>";
+
+/// A fixed word↔id mapping with PAD/UNK specials.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq, Default)]
+pub struct Vocab {
+    words: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from tokenised sentences, keeping words that
+    /// occur at least `min_count` times. Word order is deterministic
+    /// (by count descending, then alphabetical).
+    pub fn build<'a, S, I>(sentences: I, min_count: usize) -> Self
+    where
+        S: IntoIterator<Item = &'a str>,
+        I: IntoIterator<Item = S>,
+    {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for sent in sentences {
+            for tok in sent {
+                *counts.entry(tok.to_owned()).or_default() += 1;
+            }
+        }
+        let mut kept: Vec<(String, usize)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= min_count)
+            .collect();
+        kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut words = vec![PAD_TOKEN.to_owned(), UNK_TOKEN.to_owned()];
+        words.extend(kept.into_iter().map(|(w, _)| w));
+        Vocab::from_words(words)
+    }
+
+    fn from_words(words: Vec<String>) -> Self {
+        let index = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        Vocab { words, index }
+    }
+
+    /// Rebuilds the (non-serialised) reverse index after deserialisation.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+    }
+
+    /// Number of entries, including PAD and UNK.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when only specials exist.
+    pub fn is_empty(&self) -> bool {
+        self.words.len() <= 2
+    }
+
+    /// Id of `word`, if in vocabulary.
+    pub fn id(&self, word: &str) -> Option<usize> {
+        self.index.get(word).copied()
+    }
+
+    /// Id of `word`, falling back to UNK.
+    pub fn id_or_unk(&self, word: &str) -> usize {
+        self.id(word).unwrap_or(Vocab::unk_id())
+    }
+
+    /// The word for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn word(&self, id: usize) -> &str {
+        &self.words[id]
+    }
+
+    /// Id of PAD (always 0).
+    pub fn pad_id() -> usize {
+        0
+    }
+
+    /// Id of UNK (always 1).
+    pub fn unk_id() -> usize {
+        1
+    }
+
+    /// Encodes tokens into ids, padding/truncating to exactly `max_len`.
+    pub fn encode_padded(&self, tokens: &[String], max_len: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = tokens
+            .iter()
+            .take(max_len)
+            .map(|t| self.id_or_unk(t))
+            .collect();
+        ids.resize(max_len, Vocab::pad_id());
+        ids
+    }
+
+    /// Decodes ids back into words, dropping padding.
+    pub fn decode(&self, ids: &[usize]) -> Vec<&str> {
+        ids.iter()
+            .filter(|&&i| i != Vocab::pad_id())
+            .map(|&i| self.word(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vocab {
+        let sents = [
+            vec!["red", "ball", "left"],
+            vec!["red", "square"],
+            vec!["red", "ball"],
+        ];
+        Vocab::build(
+            sents.iter().map(|s| s.iter().copied()),
+            1,
+        )
+    }
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = sample();
+        assert_eq!(v.id(PAD_TOKEN), Some(0));
+        assert_eq!(v.id(UNK_TOKEN), Some(1));
+    }
+
+    #[test]
+    fn most_frequent_first() {
+        let v = sample();
+        assert_eq!(v.word(2), "red"); // 3 occurrences
+        assert_eq!(v.word(3), "ball"); // 2 occurrences
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let sents = [vec!["a", "a", "b"]];
+        let v = Vocab::build(sents.iter().map(|s| s.iter().copied()), 2);
+        assert!(v.id("a").is_some());
+        assert!(v.id("b").is_none());
+        assert_eq!(v.id_or_unk("b"), Vocab::unk_id());
+    }
+
+    #[test]
+    fn encode_pads_and_truncates() {
+        let v = sample();
+        let toks: Vec<String> = vec!["red".into(), "ball".into()];
+        let ids = v.encode_padded(&toks, 4);
+        assert_eq!(ids.len(), 4);
+        assert_eq!(&ids[2..], &[0, 0]);
+        let long: Vec<String> = vec!["red".into(); 10];
+        assert_eq!(v.encode_padded(&long, 3).len(), 3);
+    }
+
+    #[test]
+    fn decode_drops_pad_and_roundtrips() {
+        let v = sample();
+        let toks: Vec<String> = vec!["red".into(), "zzz".into()];
+        let ids = v.encode_padded(&toks, 5);
+        let back = v.decode(&ids);
+        assert_eq!(back, vec!["red", UNK_TOKEN]);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        assert_eq!(sample(), sample());
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let v = sample();
+        let json = serde_json::to_string(&v).unwrap();
+        let mut w: Vocab = serde_json::from_str(&json).unwrap();
+        w.rebuild_index();
+        assert_eq!(v, w);
+        assert_eq!(w.id("red"), v.id("red"));
+    }
+}

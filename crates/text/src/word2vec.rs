@@ -1,0 +1,265 @@
+//! Skip-gram word2vec with negative sampling (Mikolov et al. 2013),
+//! implemented directly (hand-written SGD; no autodiff tape needed for this
+//! shallow model).
+
+use rand::Rng;
+use yollo_tensor::Tensor;
+
+/// Training hyper-parameters for [`Word2Vec`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Word2VecConfig {
+    /// Embedding dimension (paper: 512; scaled down here).
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Word2VecConfig {
+            dim: 32,
+            window: 2,
+            negatives: 5,
+            epochs: 5,
+            lr: 0.05,
+        }
+    }
+}
+
+/// A trained skip-gram model; [`Word2Vec::input_embeddings`] yields the
+/// matrix used to initialise the grounding models' word-embedding layers.
+#[derive(Debug, Clone)]
+pub struct Word2Vec {
+    input: Vec<f64>,  // [vocab, dim]
+    output: Vec<f64>, // [vocab, dim]
+    vocab: usize,
+    dim: usize,
+}
+
+impl Word2Vec {
+    /// Trains on a corpus of id-encoded sentences.
+    ///
+    /// Ids 0 (PAD) and 1 (UNK) participate like normal words if present;
+    /// callers typically strip padding first.
+    ///
+    /// # Panics
+    /// Panics if `vocab < 2` or the config has a zero dimension.
+    pub fn train(
+        corpus: &[Vec<usize>],
+        vocab: usize,
+        cfg: Word2VecConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(vocab >= 2, "vocabulary too small");
+        assert!(cfg.dim > 0, "dim must be positive");
+        let mut model = Word2Vec {
+            input: (0..vocab * cfg.dim)
+                .map(|_| (rng.gen::<f64>() - 0.5) / cfg.dim as f64)
+                .collect(),
+            output: vec![0.0; vocab * cfg.dim],
+            vocab,
+            dim: cfg.dim,
+        };
+        // unigram^(3/4) negative-sampling table
+        let mut counts = vec![1.0f64; vocab];
+        for sent in corpus {
+            for &w in sent {
+                counts[w] += 1.0;
+            }
+        }
+        let weights: Vec<f64> = counts.iter().map(|c| c.powf(0.75)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cumulative = Vec::with_capacity(vocab);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        let draw = |rng: &mut dyn rand::RngCore| -> usize {
+            let r: f64 = rng.gen();
+            cumulative.partition_point(|&c| c < r).min(vocab - 1)
+        };
+
+        let d = cfg.dim;
+        for _ in 0..cfg.epochs {
+            for sent in corpus {
+                for (pos, &center) in sent.iter().enumerate() {
+                    let lo = pos.saturating_sub(cfg.window);
+                    let hi = (pos + cfg.window + 1).min(sent.len());
+                    for ctx_pos in lo..hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = sent[ctx_pos];
+                        // positive update + negatives
+                        let mut grad_in = vec![0.0; d];
+                        for k in 0..=cfg.negatives {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0)
+                            } else {
+                                (draw(rng), 0.0)
+                            };
+                            if k > 0 && target == context {
+                                continue;
+                            }
+                            let (ci, to) = (center * d, target * d);
+                            let mut dot = 0.0;
+                            for j in 0..d {
+                                dot += model.input[ci + j] * model.output[to + j];
+                            }
+                            let pred = 1.0 / (1.0 + (-dot).exp());
+                            let g = cfg.lr * (pred - label);
+                            for j in 0..d {
+                                grad_in[j] += g * model.output[to + j];
+                                model.output[to + j] -= g * model.input[ci + j];
+                            }
+                        }
+                        let ci = center * d;
+                        for j in 0..d {
+                            model.input[ci + j] -= grad_in[j];
+                        }
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The input-side embedding matrix `[vocab, dim]`.
+    pub fn input_embeddings(&self) -> Tensor {
+        Tensor::from_vec(self.input.clone(), &[self.vocab, self.dim])
+    }
+
+    /// The `k` most similar words to `id` (by input-embedding cosine),
+    /// excluding `id` itself, best first.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn most_similar(&self, id: usize, k: usize) -> Vec<(usize, f64)> {
+        assert!(id < self.vocab, "id out of range");
+        let mut sims: Vec<(usize, f64)> = (0..self.vocab)
+            .filter(|&j| j != id)
+            .map(|j| (j, self.cosine(id, j)))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("cosines are finite"));
+        sims.truncate(k);
+        sims
+    }
+
+    /// Cosine similarity between two word ids.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    pub fn cosine(&self, a: usize, b: usize) -> f64 {
+        assert!(a < self.vocab && b < self.vocab, "id out of range");
+        let (oa, ob) = (a * self.dim, b * self.dim);
+        let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
+        for j in 0..self.dim {
+            let (x, y) = (self.input[oa + j], self.input[ob + j]);
+            dot += x * y;
+            na += x * x;
+            nb += y * y;
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Corpus with two interchangeable word pairs: (2,3) appear in identical
+    /// contexts, as do (4,5). Skip-gram should place 2 closer to 3 than to 4.
+    fn toy_corpus(rng: &mut StdRng) -> Vec<Vec<usize>> {
+        use rand::Rng;
+        let mut corpus = Vec::new();
+        for _ in 0..300 {
+            let a = if rng.gen() { 2 } else { 3 };
+            let b = if rng.gen() { 4 } else { 5 };
+            // template: [6, a, 7] and [8, b, 9]
+            corpus.push(vec![6, a, 7]);
+            corpus.push(vec![8, b, 9]);
+        }
+        corpus
+    }
+
+    #[test]
+    fn distributional_similarity_emerges() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let corpus = toy_corpus(&mut rng);
+        let w2v = Word2Vec::train(&corpus, 10, Word2VecConfig::default(), &mut rng);
+        let same = w2v.cosine(2, 3);
+        let diff = w2v.cosine(2, 4);
+        assert!(
+            same > diff + 0.2,
+            "expected sim(2,3)={same} >> sim(2,4)={diff}"
+        );
+    }
+
+    #[test]
+    fn embeddings_shape_and_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let corpus = vec![vec![2, 3, 4], vec![4, 3, 2]];
+        let cfg = Word2VecConfig {
+            dim: 8,
+            epochs: 2,
+            ..Word2VecConfig::default()
+        };
+        let w2v = Word2Vec::train(&corpus, 5, cfg, &mut rng);
+        let e = w2v.input_embeddings();
+        assert_eq!(e.dims(), &[5, 8]);
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn training_is_deterministic_under_seed() {
+        let corpus = vec![vec![2, 3, 4, 2, 3], vec![3, 2, 4]];
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            Word2Vec::train(&corpus, 5, Word2VecConfig::default(), &mut rng).input_embeddings()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn most_similar_ranks_the_distributional_twin_first() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let corpus = toy_corpus(&mut rng);
+        let w2v = Word2Vec::train(&corpus, 10, Word2VecConfig::default(), &mut rng);
+        let top = w2v.most_similar(2, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 3, "expected word 3 as nearest neighbour of 2: {top:?}");
+        // sorted descending
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn cosine_is_reflexive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let corpus = vec![vec![2, 3, 2, 3]];
+        let w2v = Word2Vec::train(&corpus, 4, Word2VecConfig::default(), &mut rng);
+        assert!((w2v.cosine(2, 2) - 1.0).abs() < 1e-9);
+    }
+}

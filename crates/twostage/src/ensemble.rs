@@ -1,0 +1,112 @@
+use crate::{ProposalFeature, ProposalScorer};
+
+/// Combines several stage-ii scorers by averaging their z-scored outputs —
+/// the "speaker+listener" (and "+MMI ensemble") rows of Tables 2 and 5.
+pub struct EnsembleScorer<'a> {
+    members: Vec<&'a dyn ProposalScorer>,
+}
+
+impl std::fmt::Debug for EnsembleScorer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EnsembleScorer({})", self.name())
+    }
+}
+
+impl<'a> EnsembleScorer<'a> {
+    /// Creates an ensemble over `members`.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<&'a dyn ProposalScorer>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        EnsembleScorer { members }
+    }
+}
+
+fn zscore(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let sd = var.sqrt().max(1e-9);
+    xs.iter().map(|x| (x - mean) / sd).collect()
+}
+
+impl ProposalScorer for EnsembleScorer<'_> {
+    fn score_proposals(&self, proposals: &[ProposalFeature], query: &[usize]) -> Vec<f64> {
+        let mut total = vec![0.0; proposals.len()];
+        for m in &self.members {
+            let scores = m.score_proposals(proposals, query);
+            // member score scales differ wildly (cosine vs log-prob):
+            // z-score before averaging so neither dominates
+            for (t, z) in total.iter_mut().zip(zscore(&scores)) {
+                *t += z;
+            }
+        }
+        for t in &mut total {
+            *t /= self.members.len() as f64;
+        }
+        total
+    }
+
+    fn name(&self) -> String {
+        self.members
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yollo_detect::BBox;
+    use yollo_tensor::Tensor;
+
+    struct Const(Vec<f64>, &'static str);
+    impl ProposalScorer for Const {
+        fn score_proposals(&self, _p: &[ProposalFeature], _q: &[usize]) -> Vec<f64> {
+            self.0.clone()
+        }
+        fn name(&self) -> String {
+            self.1.into()
+        }
+    }
+
+    fn feats(n: usize) -> Vec<ProposalFeature> {
+        (0..n)
+            .map(|i| ProposalFeature {
+                bbox: BBox::new(i as f64, 0.0, 1.0, 1.0),
+                objectness: 1.0,
+                vector: Tensor::zeros(&[3]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agreeing_members_keep_the_winner() {
+        let a = Const(vec![0.1, 0.9, 0.2], "a");
+        let b = Const(vec![100.0, 900.0, 200.0], "b"); // same ranking, other scale
+        let e = EnsembleScorer::new(vec![&a, &b]);
+        let s = e.score_proposals(&feats(3), &[]);
+        let best = (0..3).max_by(|&i, &j| s[i].partial_cmp(&s[j]).unwrap()).unwrap();
+        assert_eq!(best, 1);
+        assert_eq!(e.name(), "a+b");
+    }
+
+    #[test]
+    fn zscore_neutralises_scale() {
+        let z = zscore(&[10.0, 20.0, 30.0]);
+        assert!((z[1]).abs() < 1e-12);
+        assert!((z[0] + z[2]).abs() < 1e-12);
+        // constant scores do not explode
+        let z = zscore(&[5.0, 5.0]);
+        assert!(z.iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        EnsembleScorer::new(vec![]);
+    }
+}

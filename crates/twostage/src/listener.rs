@@ -1,0 +1,279 @@
+use crate::pipeline::strip_pad;
+use crate::{CandidateCache, ProposalFeature, ProposalScorer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use yollo_nn::{Adam, Binder, Embedding, Gru, Linear, Module, Optimizer, ParamList};
+use yollo_synthref::{Dataset, Split};
+use yollo_tensor::{Graph, Var};
+use yollo_text::Vocab;
+
+/// Listener hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ListenerConfig {
+    /// Word-embedding dimension.
+    pub word_dim: usize,
+    /// GRU hidden size.
+    pub gru_hidden: usize,
+    /// Joint-embedding dimension.
+    pub embed: usize,
+    /// Region feature-vector length ([`RoiExtractor::feat_dim`]).
+    pub feat_dim: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Cosine-similarity temperature.
+    pub temperature: f64,
+    /// When set, adds [42]'s MMI-style contrastive margin against the
+    /// hardest in-scene negative ("+MMI" rows of Table 2).
+    pub mmi_margin: Option<f64>,
+}
+
+impl ListenerConfig {
+    /// A laptop-scale default for the given feature/vocab sizes.
+    pub fn small(feat_dim: usize, vocab_size: usize) -> Self {
+        ListenerConfig {
+            word_dim: 24,
+            gru_hidden: 32,
+            embed: 32,
+            feat_dim,
+            vocab_size,
+            lr: 2e-3,
+            temperature: 8.0,
+            mmi_margin: None,
+        }
+    }
+}
+
+/// The joint-embedding "listener" of [42]: a GRU encodes the query, a
+/// projection encodes each region, and the cosine similarity between the
+/// two embeddings is the matching score. Trained with a softmax ranking
+/// loss over the scene's ground-truth candidates.
+#[derive(Debug)]
+pub struct Listener {
+    cfg: ListenerConfig,
+    word_emb: Embedding,
+    gru: Gru,
+    q_proj: Linear,
+    f_proj: Linear,
+}
+
+impl Listener {
+    /// Builds an untrained listener.
+    pub fn new(cfg: ListenerConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Listener {
+            cfg,
+            word_emb: Embedding::new("listener.word", cfg.vocab_size, cfg.word_dim, &mut rng),
+            gru: Gru::new("listener.gru", cfg.word_dim, cfg.gru_hidden, &mut rng),
+            q_proj: Linear::new("listener.qproj", cfg.gru_hidden, cfg.embed, true, &mut rng),
+            f_proj: Linear::new("listener.fproj", cfg.feat_dim, cfg.embed, true, &mut rng),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ListenerConfig {
+        &self.cfg
+    }
+
+    fn normalize<'g>(x: Var<'g>) -> Var<'g> {
+        // x: [1, e] → x / ||x||
+        let n = x.square().sum_axis(1).add_scalar(1e-8).sqrt().reshape(&[1, 1]);
+        x.div(n)
+    }
+
+    fn embed_query<'g>(&self, bind: &Binder<'g>, ids: &[usize]) -> Var<'g> {
+        let ids = if ids.is_empty() {
+            vec![Vocab::unk_id()]
+        } else {
+            ids.to_vec()
+        };
+        let emb = self.word_emb.forward(bind, &ids); // [n, d]
+        let (_, last) = self.gru.run_sequence(bind, emb);
+        Listener::normalize(self.q_proj.forward(bind, last.0))
+    }
+
+    fn embed_feature<'g>(&self, bind: &Binder<'g>, f: &ProposalFeature) -> Var<'g> {
+        let x = bind
+            .graph()
+            .leaf(f.vector.reshape(&[1, self.cfg.feat_dim]));
+        Listener::normalize(self.f_proj.forward(bind, x).relu().add_scalar(0.0))
+    }
+
+    /// Differentiable scores for a candidate set: `[1, K]`.
+    fn score_candidates<'g>(
+        &self,
+        bind: &Binder<'g>,
+        cands: &[ProposalFeature],
+        query_ids: &[usize],
+    ) -> Var<'g> {
+        let q = self.embed_query(bind, query_ids); // [1, e]
+        let embs: Vec<Var<'g>> = cands
+            .iter()
+            .map(|f| self.embed_feature(bind, f))
+            .collect();
+        let fmat = Var::concat(&embs, 0); // [K, e]
+        fmat.matmul(q.transpose())
+            .mul_scalar(self.cfg.temperature)
+            .transpose() // [1, K]
+    }
+
+    /// Trains on ground-truth candidates. Returns the mean loss of the last
+    /// 10 iterations.
+    ///
+    /// # Panics
+    /// Panics if the cache is empty.
+    pub fn train(
+        &mut self,
+        ds: &Dataset,
+        vocab: &Vocab,
+        cache: &CandidateCache,
+        iterations: usize,
+        seed: u64,
+    ) -> f64 {
+        assert!(!cache.is_empty(), "empty candidate cache");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = Adam::new(self.parameters(), self.cfg.lr);
+        let train = ds.samples(Split::Train);
+        let mut tail = Vec::new();
+        for it in 0..iterations {
+            let s = &train[rng.gen_range(0..train.len())];
+            let cands = cache.candidates(s.scene_idx);
+            if cands.len() < 2 {
+                continue;
+            }
+            let query: Vec<usize> = s.tokens.iter().map(|t| vocab.id_or_unk(t)).collect();
+            let g = Graph::new();
+            let bind = Binder::new(&g);
+            let scores = self.score_candidates(&bind, cands, &query);
+            let k = cands.len();
+            let onehot = yollo_tensor::Tensor::from_fn(&[1, k], |i| {
+                if i == s.target_idx {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+            let mut loss = scores.softmax_xent_rows(&onehot);
+            if let Some(margin) = self.cfg.mmi_margin {
+                // smooth-max over negatives via log-sum-exp
+                let pos = scores.slice(1, s.target_idx, 1).reshape(&[1, 1]);
+                let neg_mask = yollo_tensor::Tensor::from_fn(&[1, k], |i| {
+                    if i == s.target_idx {
+                        -1e9
+                    } else {
+                        0.0
+                    }
+                });
+                let masked = scores.add(g.leaf(neg_mask));
+                let lse = masked.exp().sum_axis(1).add_scalar(1e-12).log().reshape(&[1, 1]);
+                loss = loss + (lse - pos).add_scalar(margin).relu().mean_all();
+            }
+            opt.zero_grad();
+            loss.backward();
+            bind.harvest();
+            opt.step();
+            if it + 10 >= iterations {
+                tail.push(loss.value().scalar());
+            }
+        }
+        tail.iter().sum::<f64>() / tail.len().max(1) as f64
+    }
+}
+
+impl Module for Listener {
+    fn parameters(&self) -> ParamList {
+        let mut ps = self.word_emb.parameters();
+        ps.extend(self.gru.parameters());
+        ps.extend(self.q_proj.parameters());
+        ps.extend(self.f_proj.parameters());
+        ps
+    }
+}
+
+impl ProposalScorer for Listener {
+    fn score_proposals(&self, proposals: &[ProposalFeature], query: &[usize]) -> Vec<f64> {
+        let ids = strip_pad(query);
+        // the query is embedded once, then *each proposal separately* —
+        // the per-proposal cost structure of stage ii (§1, Table 5)
+        let g = Graph::new();
+        let bind = Binder::new(&g);
+        let q = self.embed_query(&bind, &ids).value();
+        proposals
+            .iter()
+            .map(|p| {
+                let g = Graph::new();
+                let bind = Binder::new(&g);
+                let f = self.embed_feature(&bind, p).value();
+                let dot: f64 = q
+                    .as_slice()
+                    .iter()
+                    .zip(f.as_slice())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                dot * self.cfg.temperature
+            })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        if self.cfg.mmi_margin.is_some() {
+            "listener+MMI".into()
+        } else {
+            "listener".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProposalConfig, ProposalNetwork, RoiExtractor};
+    use yollo_synthref::{DatasetConfig, DatasetKind};
+
+    fn setup() -> (Dataset, ProposalNetwork, CandidateCache, RoiExtractor) {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+        let rpn = ProposalNetwork::new(ProposalConfig::default(), 0);
+        let roi = RoiExtractor::new(8, 2);
+        let cache = CandidateCache::build(&rpn, roi, &ds);
+        (ds, rpn, cache, roi)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (ds, rpn, cache, roi) = setup();
+        let feat_dim = roi.feat_dim(rpn.backbone().out_channels());
+        let vocab = ds.build_vocab();
+        let mut listener = Listener::new(ListenerConfig::small(feat_dim, vocab.len()), 1);
+        // capture an early loss by training twice with the same seed
+        let early = {
+            let mut l2 = Listener::new(ListenerConfig::small(feat_dim, vocab.len()), 1);
+            l2.train(&ds, &vocab, &cache, 10, 7)
+        };
+        let late = listener.train(&ds, &vocab, &cache, 120, 7);
+        assert!(late < early, "listener loss {early} -> {late}");
+    }
+
+    #[test]
+    fn scores_have_one_entry_per_proposal() {
+        let (ds, rpn, cache, roi) = setup();
+        let feat_dim = roi.feat_dim(rpn.backbone().out_channels());
+        let vocab = ds.build_vocab();
+        let listener = Listener::new(ListenerConfig::small(feat_dim, vocab.len()), 1);
+        let cands = cache.candidates(ds.samples(Split::Train)[0].scene_idx);
+        let q = vocab.encode_padded(&ds.samples(Split::Train)[0].tokens, 8);
+        let scores = listener.score_proposals(cands, &q);
+        assert_eq!(scores.len(), cands.len());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn mmi_flag_changes_name() {
+        let cfg = ListenerConfig {
+            mmi_margin: Some(0.5),
+            ..ListenerConfig::small(10, 10)
+        };
+        assert_eq!(Listener::new(cfg, 0).name(), "listener+MMI");
+    }
+}

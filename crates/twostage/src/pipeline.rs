@@ -1,0 +1,186 @@
+use crate::{ProposalFeature, RoiExtractor};
+use yollo_detect::BBox;
+use yollo_eval::IouMetrics;
+use yollo_synthref::{Dataset, Scene, Split};
+use yollo_tensor::Tensor;
+use yollo_text::Vocab;
+
+/// Stage i of the two-stage pipeline: something that proposes candidate
+/// boxes and supplies a feature map for RoI pooling. Implemented by the
+/// learned [`ProposalNetwork`](crate::ProposalNetwork) (the Faster-R-CNN
+/// stand-in) and by the training-free
+/// [`GridProposals`](crate::GridProposals) heuristic.
+pub trait Proposer {
+    /// Proposals (best first) plus the `[1, C, fh, fw]` feature map the
+    /// RoI extractor pools from.
+    fn propose_with_features(&self, scene: &Scene) -> (Vec<(BBox, f64)>, Tensor);
+
+    /// Channel count `C` of the returned feature map.
+    fn feature_channels(&self) -> usize;
+}
+
+/// Stage ii of the two-stage pipeline: something that scores each proposal
+/// against the query. Implementations deliberately process proposals one by
+/// one — the per-proposal cost is the inefficiency §1 criticises and
+/// Table 5 measures.
+pub trait ProposalScorer {
+    /// One matching score per proposal (higher = better match). `query`
+    /// is a padded id sequence; implementations strip PAD themselves.
+    fn score_proposals(&self, proposals: &[ProposalFeature], query: &[usize]) -> Vec<f64>;
+
+    /// Row label for the report tables.
+    fn name(&self) -> String;
+}
+
+/// The complete two-stage grounding pipeline: propose, pool, score, argmax.
+#[derive(Clone, Copy)]
+pub struct TwoStageGrounder<'a> {
+    proposer: &'a dyn Proposer,
+    roi: RoiExtractor,
+    scorer: &'a dyn ProposalScorer,
+    vocab: &'a Vocab,
+    max_query_len: usize,
+}
+
+impl std::fmt::Debug for TwoStageGrounder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TwoStageGrounder({})", self.scorer.name())
+    }
+}
+
+impl<'a> TwoStageGrounder<'a> {
+    /// Assembles a pipeline from trained parts.
+    pub fn new(
+        proposer: &'a dyn Proposer,
+        roi: RoiExtractor,
+        scorer: &'a dyn ProposalScorer,
+        vocab: &'a Vocab,
+        max_query_len: usize,
+    ) -> Self {
+        TwoStageGrounder {
+            proposer,
+            roi,
+            scorer,
+            vocab,
+            max_query_len,
+        }
+    }
+
+    /// The stage-ii scorer's label.
+    pub fn name(&self) -> String {
+        self.scorer.name()
+    }
+
+    /// Grounds a tokenised query in a scene: runs stage i (proposals) and
+    /// stage ii (per-proposal matching), returns the best box and score.
+    /// Falls back to the whole image if stage i proposes nothing.
+    pub fn ground(&self, scene: &Scene, tokens: &[String]) -> (BBox, f64) {
+        let (proposals, feat_map) = self.proposer.propose_with_features(scene);
+        if proposals.is_empty() {
+            return (
+                BBox::new(0.0, 0.0, scene.width as f64, scene.height as f64),
+                0.0,
+            );
+        }
+        let feats: Vec<ProposalFeature> = proposals
+            .iter()
+            .map(|(b, s)| self.roi.extract(&feat_map, *b, *s, scene.width, scene.height))
+            .collect();
+        let query = self.vocab.encode_padded(tokens, self.max_query_len);
+        let scores = self.scorer.score_proposals(&feats, &query);
+        let mut best = 0;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        (feats[best].bbox, scores[best])
+    }
+
+    /// Evaluates the pipeline over a split (proposals cached per scene).
+    pub fn evaluate(&self, ds: &Dataset, split: Split) -> IouMetrics {
+        let mut ious = Vec::new();
+        let mut last_scene = usize::MAX;
+        let mut cached: Vec<ProposalFeature> = Vec::new();
+        for s in ds.samples(split) {
+            let scene = ds.scene_of(s);
+            if s.scene_idx != last_scene {
+                let (proposals, feat_map) = self.proposer.propose_with_features(scene);
+                cached = proposals
+                    .iter()
+                    .map(|(b, sc)| {
+                        self.roi
+                            .extract(&feat_map, *b, *sc, scene.width, scene.height)
+                    })
+                    .collect();
+                last_scene = s.scene_idx;
+            }
+            let target = ds.target_bbox(s);
+            if cached.is_empty() {
+                ious.push(0.0);
+                continue;
+            }
+            let query = self.vocab.encode_padded(&s.tokens, self.max_query_len);
+            let scores = self.scorer.score_proposals(&cached, &query);
+            let mut best = 0;
+            for (i, &sc) in scores.iter().enumerate() {
+                if sc > scores[best] {
+                    best = i;
+                }
+            }
+            ious.push(cached[best].bbox.iou(&target));
+        }
+        IouMetrics::new(ious)
+    }
+}
+
+/// Strips PAD ids from a padded query (shared by the stage-ii scorers).
+pub(crate) fn strip_pad(query: &[usize]) -> Vec<usize> {
+    query
+        .iter()
+        .copied()
+        .filter(|&id| id != Vocab::pad_id())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scorer that prefers large proposals — enough to test the pipeline
+    /// plumbing without trained weights.
+    struct AreaScorer;
+
+    impl ProposalScorer for AreaScorer {
+        fn score_proposals(&self, proposals: &[ProposalFeature], _q: &[usize]) -> Vec<f64> {
+            proposals.iter().map(|p| p.bbox.area()).collect()
+        }
+        fn name(&self) -> String {
+            "area".into()
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end_untrained() {
+        use crate::{ProposalConfig, ProposalNetwork};
+        use yollo_synthref::{DatasetConfig, DatasetKind};
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+        let rpn = ProposalNetwork::new(ProposalConfig::default(), 0);
+        let roi = RoiExtractor::new(8, 2);
+        let vocab = ds.build_vocab();
+        let scorer = AreaScorer;
+        let g = TwoStageGrounder::new(&rpn, roi, &scorer, &vocab, ds.max_query_len());
+        let m = g.evaluate(&ds, Split::Val);
+        assert_eq!(m.len(), ds.samples(Split::Val).len());
+        assert!(m.ious.iter().all(|i| (0.0..=1.0).contains(i)));
+        let s = &ds.samples(Split::Val)[0];
+        let (bbox, _) = g.ground(ds.scene_of(s), &s.tokens);
+        assert!(bbox.w > 0.0 && bbox.h > 0.0);
+    }
+
+    #[test]
+    fn strip_pad_removes_only_pad() {
+        assert_eq!(strip_pad(&[2, 0, 3, 0, 0]), vec![2, 3]);
+        assert!(strip_pad(&[0, 0]).is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use yollo_backbone::{Backbone, BackboneKind};
+use yollo_detect::{
+    label_anchors, nms, sample_minibatch, AnchorGrid, AnchorSpec, BBox, MatchConfig,
+    OffsetEncoding,
+};
+use yollo_nn::{Adam, Binder, Conv2d, Module, Optimizer, ParamList};
+use yollo_synthref::{Dataset, Scene, Split};
+use yollo_tensor::{Conv2dSpec, Graph, Tensor, Var};
+
+/// Configuration of the stage-i proposal network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProposalConfig {
+    /// Backbone variant (the paper's stage-i uses a ResNet-50 Faster R-CNN).
+    pub backbone: BackboneKind,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Anchor layout.
+    pub anchors: AnchorSpec,
+    /// Anchor labelling for training.
+    pub matcher: MatchConfig,
+    /// Box-offset encoding.
+    pub offset_encoding: OffsetEncoding,
+    /// Proposals kept after NMS ("tens or even hundreds", §1).
+    pub proposals_per_image: usize,
+    /// NMS IoU threshold.
+    pub nms_iou: f64,
+}
+
+impl Default for ProposalConfig {
+    fn default() -> Self {
+        ProposalConfig {
+            backbone: BackboneKind::TinyResNet,
+            in_channels: 5,
+            anchors: AnchorSpec::default(),
+            matcher: MatchConfig {
+                sample_n: 64,
+                ..MatchConfig::default()
+            },
+            offset_encoding: OffsetEncoding::RcnnLog,
+            proposals_per_image: 100,
+            nms_iou: 0.7,
+        }
+    }
+}
+
+/// The query-agnostic region proposal network: backbone + objectness/
+/// regression head over a dense anchor grid. This is stage i of the
+/// two-stage baselines — it knows nothing about the query, which is exactly
+/// the structural weakness §1 identifies.
+#[derive(Debug)]
+pub struct ProposalNetwork {
+    cfg: ProposalConfig,
+    backbone: Backbone,
+    conv: Conv2d,
+    cls: Conv2d,
+    reg: Conv2d,
+}
+
+impl ProposalNetwork {
+    /// Builds an untrained proposal network.
+    pub fn new(cfg: ProposalConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let backbone = Backbone::new(cfg.backbone, cfg.in_channels, &mut rng);
+        let hidden = 24;
+        let k = cfg.anchors.per_cell();
+        let s3 = Conv2dSpec { stride: 1, pad: 1 };
+        let s1 = Conv2dSpec { stride: 1, pad: 0 };
+        let conv = Conv2d::new("rpn.conv", backbone.out_channels(), hidden, 3, s3, true, &mut rng);
+        let cls = Conv2d::new("rpn.cls", hidden, k, 1, s1, true, &mut rng);
+        let reg = Conv2d::new("rpn.reg", hidden, 4 * k, 1, s1, true, &mut rng);
+        ProposalNetwork {
+            cfg,
+            backbone,
+            conv,
+            cls,
+            reg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProposalConfig {
+        &self.cfg
+    }
+
+    /// The backbone (shared with the RoI extractor at inference).
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+
+    fn head<'g>(&self, bind: &Binder<'g>, feat: Var<'g>) -> (Var<'g>, Var<'g>) {
+        let h = self.conv.forward(bind, feat).relu();
+        let d = h.dims();
+        let (b, l) = (d[0], d[2] * d[3]);
+        let k = self.cfg.anchors.per_cell();
+        let scores = self
+            .cls
+            .forward(bind, h)
+            .reshape(&[b, k, l])
+            .transpose()
+            .reshape(&[b, l * k]);
+        let offsets = self
+            .reg
+            .forward(bind, h)
+            .reshape(&[b, 4 * k, l])
+            .transpose()
+            .reshape(&[b, l * k, 4]);
+        (scores, offsets)
+    }
+
+    fn anchor_grid(&self, scene: &Scene) -> AnchorGrid {
+        AnchorGrid::generate(
+            scene.height / self.cfg.anchors.stride,
+            scene.width / self.cfg.anchors.stride,
+            &self.cfg.anchors,
+        )
+    }
+
+    /// Trains on all object boxes of the dataset's training scenes
+    /// (class-agnostic detection). Returns the mean loss of the final 10
+    /// iterations.
+    pub fn train(&mut self, ds: &Dataset, iterations: usize, batch: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = self.parameters();
+        let mut opt = Adam::new(params.clone(), 2e-3);
+        let scenes = ds.scenes();
+        // restrict to scenes reachable from the training split
+        let train_scene_ids: Vec<usize> = {
+            let mut ids: Vec<usize> = ds
+                .samples(Split::Train)
+                .iter()
+                .map(|s| s.scene_idx)
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        let mut tail = Vec::new();
+        for it in 0..iterations {
+            // one scene per step, `batch` anchor minibatches are inside the
+            // sampled loss anyway
+            let mut loss_total = 0.0;
+            let g = Graph::new();
+            let bind = Binder::new(&g);
+            let mut total = g.scalar(0.0);
+            for _ in 0..batch {
+                let scene = &scenes[train_scene_ids[rng.gen_range(0..train_scene_ids.len())]];
+                let (loss, l) = self.scene_loss(&bind, scene, &mut rng);
+                total = total + loss;
+                loss_total += l;
+            }
+            let total = total.mul_scalar(1.0 / batch as f64);
+            opt.zero_grad();
+            total.backward();
+            bind.harvest();
+            opt.step();
+            if it + 10 >= iterations {
+                tail.push(loss_total / batch as f64);
+            }
+        }
+        tail.iter().sum::<f64>() / tail.len().max(1) as f64
+    }
+
+    fn scene_loss<'g>(
+        &self,
+        bind: &Binder<'g>,
+        scene: &Scene,
+        rng: &mut StdRng,
+    ) -> (Var<'g>, f64) {
+        let g = bind.graph();
+        let img = scene
+            .render()
+            .reshape(&[1, self.cfg.in_channels, scene.height, scene.width]);
+        let feat = self.backbone.forward(bind, g.leaf(img));
+        let (scores, offsets) = self.head(bind, feat);
+        let grid = self.anchor_grid(scene);
+        let a = grid.len();
+
+        // label each anchor against its best-IoU object
+        let mut sel = Vec::new();
+        let mut labels = Vec::new();
+        let mut pos = Vec::new();
+        let mut reg_t = Vec::new();
+        // per-object labelling keeps every object represented
+        for obj in &scene.objects {
+            let l = label_anchors(grid.boxes(), &obj.bbox, &self.cfg.matcher);
+            let (p, n) = sample_minibatch(&l, &self.cfg.matcher, rng);
+            for &i in &p {
+                sel.push(i);
+                labels.push(1.0);
+                pos.push(i);
+                reg_t.extend_from_slice(&obj.bbox.encode(
+                    &grid.boxes()[i],
+                    self.cfg.offset_encoding,
+                ));
+            }
+            // cap negatives per object to keep balance
+            for &i in n.iter().take(p.len().max(4) * 3) {
+                // skip negatives that actually overlap another object well
+                let iou_any = scene
+                    .objects
+                    .iter()
+                    .map(|o| o.bbox.iou(&grid.boxes()[i]))
+                    .fold(0.0, f64::max);
+                if iou_any < self.cfg.matcher.rho_low {
+                    sel.push(i);
+                    labels.push(0.0);
+                }
+            }
+        }
+        let flat_scores = scores.reshape(&[a]);
+        let picked = flat_scores.gather_rows(&sel);
+        let cls = picked.bce_with_logits(&Tensor::from_vec(labels, &[sel.len()]));
+        let reg = if pos.is_empty() {
+            g.scalar(0.0)
+        } else {
+            let flat_off = offsets.reshape(&[a, 4]);
+            let po = flat_off.gather_rows(&pos);
+            po.smooth_l1(&Tensor::from_vec(reg_t, &[pos.len(), 4]), 1.0)
+        };
+        let total = cls + reg;
+        let v = total.value().scalar();
+        (total, v)
+    }
+
+    /// Stage-i inference: proposes up to `proposals_per_image` boxes with
+    /// objectness scores, NMS-filtered, best first. Also returns the C4
+    /// feature map `[1, C, fh, fw]` for RoI pooling.
+    pub fn propose(&self, scene: &Scene) -> (Vec<(BBox, f64)>, Tensor) {
+        let g = Graph::new();
+        let bind = Binder::new(&g);
+        let img = scene
+            .render()
+            .reshape(&[1, self.cfg.in_channels, scene.height, scene.width]);
+        let feat = self.backbone.forward(&bind, g.leaf(img));
+        let (scores, offsets) = self.head(&bind, feat);
+        let grid = self.anchor_grid(scene);
+        let s = scores.value();
+        let o = offsets.value();
+        let a = grid.len();
+        let off = o.reshape(&[a, 4]);
+        let mut boxes = Vec::with_capacity(a);
+        let mut probs = Vec::with_capacity(a);
+        for (i, anchor) in grid.boxes().iter().enumerate() {
+            let row = off.slice(0, i, 1);
+            let t = [
+                row.as_slice()[0],
+                row.as_slice()[1],
+                row.as_slice()[2],
+                row.as_slice()[3],
+            ];
+            let b = BBox::decode(anchor, t, self.cfg.offset_encoding)
+                .clip_to(scene.width as f64, scene.height as f64);
+            boxes.push(b);
+            probs.push(1.0 / (1.0 + (-s.as_slice()[i]).exp()));
+        }
+        let keep = nms(&boxes, &probs, self.cfg.nms_iou, self.cfg.proposals_per_image);
+        let proposals = keep.into_iter().map(|i| (boxes[i], probs[i])).collect();
+        (proposals, feat.value())
+    }
+
+    /// Side length of the per-region crop fed to the backbone by
+    /// [`ProposalNetwork::crop_features`].
+    pub const CROP_SIZE: usize = 24;
+
+    /// Feature length produced by [`ProposalNetwork::crop_features`].
+    pub fn crop_feat_dim(&self) -> usize {
+        self.backbone.out_channels() + 5
+    }
+
+    /// Per-region CNN features, the way the original speaker/listener
+    /// baselines [42] actually computed them: each proposal is cropped from
+    /// the image, resized, and pushed through the backbone *separately*.
+    /// This is the cost structure behind Table 5's slow stage-ii times —
+    /// `O(#proposals)` full CNN passes (the shared-map
+    /// [`RoiExtractor`](crate::RoiExtractor) is the modern fast alternative
+    /// used for the accuracy experiments).
+    pub fn crop_features(
+        &self,
+        scene: &Scene,
+        proposals: &[(BBox, f64)],
+    ) -> Vec<crate::ProposalFeature> {
+        let image = scene.render();
+        proposals
+            .iter()
+            .map(|(bbox, objectness)| {
+                let crop = crate::roi::crop_resize(&image, *bbox, Self::CROP_SIZE).reshape(&[
+                    1,
+                    self.cfg.in_channels,
+                    Self::CROP_SIZE,
+                    Self::CROP_SIZE,
+                ]);
+                let g = Graph::new();
+                let bind = Binder::new(&g);
+                let pooled = self
+                    .backbone
+                    .forward(&bind, g.leaf(crop))
+                    .global_avg_pool()
+                    .value();
+                let mut vector = pooled.into_vec();
+                let (cx, cy) = bbox.center();
+                vector.push(cx / scene.width as f64);
+                vector.push(cy / scene.height as f64);
+                vector.push(bbox.w / scene.width as f64);
+                vector.push(bbox.h / scene.height as f64);
+                vector.push(bbox.area() / (scene.width * scene.height) as f64);
+                let dim = vector.len();
+                crate::ProposalFeature {
+                    bbox: *bbox,
+                    objectness: *objectness,
+                    vector: Tensor::from_vec(vector, &[dim]),
+                }
+            })
+            .collect()
+    }
+
+    /// Recall of stage i on a split: the fraction of targets covered by at
+    /// least one proposal with IoU > `eta`. When a target is missed here,
+    /// stage ii *cannot* succeed — §1's "the object detector may even miss
+    /// the target".
+    pub fn target_recall(&self, ds: &Dataset, split: Split, eta: f64) -> f64 {
+        let samples = ds.samples(split);
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut hit = 0;
+        let mut last_scene = usize::MAX;
+        let mut cached: Vec<(BBox, f64)> = Vec::new();
+        for s in samples {
+            if s.scene_idx != last_scene {
+                cached = self.propose(ds.scene_of(s)).0;
+                last_scene = s.scene_idx;
+            }
+            let target = ds.target_bbox(s);
+            if cached.iter().any(|(b, _)| b.iou(&target) > eta) {
+                hit += 1;
+            }
+        }
+        hit as f64 / samples.len() as f64
+    }
+}
+
+impl crate::Proposer for ProposalNetwork {
+    fn propose_with_features(&self, scene: &Scene) -> (Vec<(BBox, f64)>, Tensor) {
+        self.propose(scene)
+    }
+
+    fn feature_channels(&self) -> usize {
+        self.backbone.out_channels()
+    }
+}
+
+impl Module for ProposalNetwork {
+    fn parameters(&self) -> ParamList {
+        let mut ps = self.backbone.parameters();
+        ps.extend(self.conv.parameters());
+        ps.extend(self.cls.parameters());
+        ps.extend(self.reg.parameters());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yollo_synthref::{DatasetConfig, DatasetKind};
+
+    fn tiny_ds() -> Dataset {
+        Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 9))
+    }
+
+    #[test]
+    fn propose_respects_limits_and_nms() {
+        let ds = tiny_ds();
+        let cfg = ProposalConfig {
+            proposals_per_image: 10,
+            nms_iou: 0.5,
+            ..ProposalConfig::default()
+        };
+        let rpn = ProposalNetwork::new(cfg, 0);
+        let scene = &ds.scenes()[0];
+        let (props, feat) = rpn.propose(scene);
+        assert!(props.len() <= 10);
+        assert_eq!(
+            feat.dims(),
+            &[
+                1,
+                rpn.backbone().out_channels(),
+                scene.height / 8,
+                scene.width / 8
+            ]
+        );
+        for i in 0..props.len() {
+            for j in (i + 1)..props.len() {
+                assert!(props[i].0.iou(&props[j].0) <= 0.5 + 1e-9, "nms violated");
+            }
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = tiny_ds();
+        let early = {
+            let mut rpn = ProposalNetwork::new(ProposalConfig::default(), 1);
+            rpn.train(&ds, 10, 2, 2)
+        };
+        let mut rpn = ProposalNetwork::new(ProposalConfig::default(), 1);
+        let late = rpn.train(&ds, 80, 2, 2);
+        assert!(late < early, "rpn loss {early:.3} -> {late:.3}");
+    }
+
+    #[test]
+    fn propose_is_deterministic() {
+        let ds = tiny_ds();
+        let rpn = ProposalNetwork::new(ProposalConfig::default(), 4);
+        let scene = &ds.scenes()[1];
+        assert_eq!(rpn.propose(scene).0, rpn.propose(scene).0);
+    }
+
+    #[test]
+    fn recall_monotone_in_eta() {
+        let ds = tiny_ds();
+        let rpn = ProposalNetwork::new(ProposalConfig::default(), 5);
+        let r30 = rpn.target_recall(&ds, Split::Val, 0.3);
+        let r70 = rpn.target_recall(&ds, Split::Val, 0.7);
+        assert!(r70 <= r30 + 1e-12, "recall must fall as eta rises");
+    }
+
+    #[test]
+    fn parameters_cover_backbone_and_heads() {
+        let rpn = ProposalNetwork::new(ProposalConfig::default(), 6);
+        let n_backbone = rpn.backbone().num_params();
+        assert!(rpn.num_params() > n_backbone, "head parameters missing");
+    }
+}

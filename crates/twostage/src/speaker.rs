@@ -1,0 +1,239 @@
+use crate::pipeline::strip_pad;
+use crate::{CandidateCache, ProposalFeature, ProposalScorer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use yollo_nn::{Adam, Binder, Embedding, Gru, GruState, Linear, Module, Optimizer, ParamList};
+use yollo_synthref::{Dataset, Split};
+use yollo_tensor::{Graph, Var};
+use yollo_text::Vocab;
+
+/// Speaker hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeakerConfig {
+    /// Word-embedding dimension.
+    pub word_dim: usize,
+    /// GRU hidden size.
+    pub hidden: usize,
+    /// Region feature-vector length.
+    pub feat_dim: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// When set, adds the MMI contrastive margin: the query must be more
+    /// likely under the target region than under a random in-scene
+    /// negative ("+MMI" training of [42]/[25]).
+    pub mmi_margin: Option<f64>,
+}
+
+impl SpeakerConfig {
+    /// A laptop-scale default for the given feature/vocab sizes.
+    pub fn small(feat_dim: usize, vocab_size: usize) -> Self {
+        SpeakerConfig {
+            word_dim: 24,
+            hidden: 32,
+            feat_dim,
+            vocab_size,
+            lr: 2e-3,
+            mmi_margin: None,
+        }
+    }
+}
+
+/// The "speaker" of [42]: a conditional GRU language model that scores a
+/// proposal by the likelihood of *generating the query as its caption*
+/// (the CNN-LSTM reverse-captioning view of VG, §2). Scoring a proposal
+/// means running the LM over the whole query — the most expensive stage-ii
+/// matcher, as Table 5 shows.
+#[derive(Debug)]
+pub struct Speaker {
+    cfg: SpeakerConfig,
+    word_emb: Embedding,
+    init_proj: Linear,
+    gru: Gru,
+    out: Linear,
+}
+
+impl Speaker {
+    /// Builds an untrained speaker.
+    pub fn new(cfg: SpeakerConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Speaker {
+            cfg,
+            word_emb: Embedding::new("speaker.word", cfg.vocab_size, cfg.word_dim, &mut rng),
+            init_proj: Linear::new("speaker.init", cfg.feat_dim, cfg.hidden, true, &mut rng),
+            gru: Gru::new("speaker.gru", cfg.word_dim, cfg.hidden, &mut rng),
+            out: Linear::new("speaker.out", cfg.hidden, cfg.vocab_size, true, &mut rng),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SpeakerConfig {
+        &self.cfg
+    }
+
+    /// Length-normalised log-likelihood `log P(query | region) / n` as a
+    /// differentiable scalar. PAD (id 0) acts as the BOS token.
+    fn log_likelihood<'g>(
+        &self,
+        bind: &Binder<'g>,
+        feat: &ProposalFeature,
+        ids: &[usize],
+    ) -> Var<'g> {
+        let g = bind.graph();
+        let ids = if ids.is_empty() {
+            vec![Vocab::unk_id()]
+        } else {
+            ids.to_vec()
+        };
+        let f = g.leaf(feat.vector.reshape(&[1, self.cfg.feat_dim]));
+        let mut state = GruState(self.init_proj.forward(bind, f).tanh());
+        // inputs are the shifted sequence: BOS(=PAD), t1, …, t_{n-1}
+        let mut inputs = vec![Vocab::pad_id()];
+        inputs.extend_from_slice(&ids[..ids.len() - 1]);
+        let emb = self.word_emb.forward(bind, &inputs); // [n, d]
+        let mut total = g.scalar(0.0);
+        for (t, &tok) in ids.iter().enumerate() {
+            let x = emb.slice(0, t, 1); // [1, d]
+            state = self.gru.step(bind, x, state);
+            let logits = self.out.forward(bind, state.0); // [1, V]
+            let logp = logits.log_softmax_lastdim().slice(1, tok, 1);
+            total = total + logp.reshape(&[]);
+        }
+        total.mul_scalar(1.0 / ids.len() as f64)
+    }
+
+    /// Trains with teacher forcing on ground-truth candidates. Returns the
+    /// mean loss of the last 10 iterations.
+    ///
+    /// # Panics
+    /// Panics if the cache is empty.
+    pub fn train(
+        &mut self,
+        ds: &Dataset,
+        vocab: &Vocab,
+        cache: &CandidateCache,
+        iterations: usize,
+        seed: u64,
+    ) -> f64 {
+        assert!(!cache.is_empty(), "empty candidate cache");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = Adam::new(self.parameters(), self.cfg.lr);
+        let train = ds.samples(Split::Train);
+        let mut tail = Vec::new();
+        for it in 0..iterations {
+            let s = &train[rng.gen_range(0..train.len())];
+            let cands = cache.candidates(s.scene_idx);
+            let ids: Vec<usize> = s.tokens.iter().map(|t| vocab.id_or_unk(t)).collect();
+            let g = Graph::new();
+            let bind = Binder::new(&g);
+            let pos = self.log_likelihood(&bind, &cands[s.target_idx], &ids);
+            let mut loss = pos.neg();
+            if let Some(margin) = self.cfg.mmi_margin {
+                if cands.len() > 1 {
+                    let mut neg_idx = rng.gen_range(0..cands.len());
+                    if neg_idx == s.target_idx {
+                        neg_idx = (neg_idx + 1) % cands.len();
+                    }
+                    let neg = self.log_likelihood(&bind, &cands[neg_idx], &ids);
+                    loss = loss + (neg - pos).add_scalar(margin).relu();
+                }
+            }
+            opt.zero_grad();
+            loss.backward();
+            bind.harvest();
+            opt.step();
+            if it + 10 >= iterations {
+                tail.push(loss.value().scalar());
+            }
+        }
+        tail.iter().sum::<f64>() / tail.len().max(1) as f64
+    }
+
+    /// Plain (non-differentiable) log-likelihood for inference.
+    pub fn score_one(&self, feat: &ProposalFeature, ids: &[usize]) -> f64 {
+        let g = Graph::new();
+        let bind = Binder::new(&g);
+        self.log_likelihood(&bind, feat, ids).value().scalar()
+    }
+}
+
+impl Module for Speaker {
+    fn parameters(&self) -> ParamList {
+        let mut ps = self.word_emb.parameters();
+        ps.extend(self.init_proj.parameters());
+        ps.extend(self.gru.parameters());
+        ps.extend(self.out.parameters());
+        ps
+    }
+}
+
+impl ProposalScorer for Speaker {
+    fn score_proposals(&self, proposals: &[ProposalFeature], query: &[usize]) -> Vec<f64> {
+        let ids = strip_pad(query);
+        // the LM runs once per proposal — the dominant stage-ii cost
+        proposals.iter().map(|p| self.score_one(p, &ids)).collect()
+    }
+
+    fn name(&self) -> String {
+        if self.cfg.mmi_margin.is_some() {
+            "speaker+MMI".into()
+        } else {
+            "speaker".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProposalConfig, ProposalNetwork, RoiExtractor};
+    use yollo_synthref::{DatasetConfig, DatasetKind};
+
+    fn setup() -> (Dataset, CandidateCache, usize, Vocab) {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+        let rpn = ProposalNetwork::new(ProposalConfig::default(), 0);
+        let roi = RoiExtractor::new(8, 2);
+        let cache = CandidateCache::build(&rpn, roi, &ds);
+        let feat_dim = roi.feat_dim(rpn.backbone().out_channels());
+        let vocab = ds.build_vocab();
+        (ds, cache, feat_dim, vocab)
+    }
+
+    #[test]
+    fn likelihoods_are_negative_log_probs() {
+        let (ds, cache, feat_dim, vocab) = setup();
+        let speaker = Speaker::new(SpeakerConfig::small(feat_dim, vocab.len()), 1);
+        let s = &ds.samples(Split::Train)[0];
+        let ids: Vec<usize> = s.tokens.iter().map(|t| vocab.id_or_unk(t)).collect();
+        let lp = speaker.score_one(&cache.candidates(s.scene_idx)[s.target_idx], &ids);
+        assert!(lp < 0.0, "log-likelihood must be negative, got {lp}");
+        assert!(lp.is_finite());
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (ds, cache, feat_dim, vocab) = setup();
+        let early = {
+            let mut sp = Speaker::new(SpeakerConfig::small(feat_dim, vocab.len()), 1);
+            sp.train(&ds, &vocab, &cache, 10, 7)
+        };
+        let mut sp = Speaker::new(SpeakerConfig::small(feat_dim, vocab.len()), 1);
+        let late = sp.train(&ds, &vocab, &cache, 150, 7);
+        assert!(late < early, "speaker loss {early} -> {late}");
+    }
+
+    #[test]
+    fn mmi_training_also_runs() {
+        let (ds, cache, feat_dim, vocab) = setup();
+        let cfg = SpeakerConfig {
+            mmi_margin: Some(0.5),
+            ..SpeakerConfig::small(feat_dim, vocab.len())
+        };
+        let mut sp = Speaker::new(cfg, 1);
+        assert_eq!(sp.name(), "speaker+MMI");
+        let loss = sp.train(&ds, &vocab, &cache, 20, 3);
+        assert!(loss.is_finite());
+    }
+}

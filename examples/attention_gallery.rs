@@ -1,0 +1,91 @@
+//! Figure-5-style qualitative gallery: trains a model, then renders scenes
+//! with the Rel2Att attention heat map and the predicted box to PPM images,
+//! including query-swap pairs on the same image ("left circle" vs
+//! "right circle").
+//!
+//! Run with: `cargo run --release --example attention_gallery`
+//! Images land in `target/gallery/`.
+
+use yollo::prelude::*;
+use yollo::synthref::{render_ppm, Overlay};
+
+fn main() -> std::io::Result<()> {
+    let ds = Dataset::generate(DatasetConfig {
+        train_images: 150,
+        val_images: 30,
+        test_images: 10,
+        targets_per_image: 2,
+        queries_per_target: 2,
+        kind: DatasetKind::SynthRef,
+        seed: 11,
+    });
+    let mut model = Yollo::for_dataset(&ds, 3);
+    println!("training…");
+    Trainer::new(TrainConfig {
+        iterations: 350,
+        batch_size: 12,
+        eval_every: 0,
+        ..TrainConfig::default()
+    })
+    .train(&mut model, &ds);
+
+    let dir = std::path::Path::new("target/gallery");
+    std::fs::create_dir_all(dir)?;
+    let (fh, fw) = (model.config().feat_h(), model.config().feat_w());
+
+    // a few validation samples
+    for (i, sample) in ds.samples(Split::Val).iter().take(6).enumerate() {
+        let scene = ds.scene_of(sample);
+        let pred = model.predict_scene_query(scene, &sample.sentence);
+        let path = dir.join(format!("val_{i}.ppm"));
+        render_ppm(
+            scene,
+            &[
+                Overlay::Heat {
+                    values: pred.attention.clone(),
+                    fh,
+                    fw,
+                },
+                Overlay::Box {
+                    bbox: pred.bbox,
+                    rgb: [1.0, 0.0, 0.0],
+                },
+                Overlay::Box {
+                    bbox: ds.target_bbox(sample),
+                    rgb: [1.0, 1.0, 1.0],
+                },
+            ],
+            &path,
+        )?;
+        println!(
+            "{}  \"{}\"  IoU={:.2}",
+            path.display(),
+            sample.sentence,
+            pred.bbox.iou(&ds.target_bbox(sample))
+        );
+    }
+
+    // query-swap on one scene: same image, different query, box should move
+    let scene = ds.scene_of(&ds.samples(Split::Val)[0]);
+    for (i, query) in ["left circle", "right circle"].iter().enumerate() {
+        let pred = model.predict_scene_query(scene, query);
+        let path = dir.join(format!("swap_{i}.ppm"));
+        render_ppm(
+            scene,
+            &[
+                Overlay::Heat {
+                    values: pred.attention.clone(),
+                    fh,
+                    fw,
+                },
+                Overlay::Box {
+                    bbox: pred.bbox,
+                    rgb: [1.0, 0.0, 0.0],
+                },
+            ],
+            &path,
+        )?;
+        println!("{}  \"{query}\" -> {:?}", path.display(), pred.bbox);
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Model persistence: train briefly, save to JSON, reload, and verify the
+//! reloaded model grounds identically — the deployment path for a trained
+//! grounder.
+//!
+//! Run with: `cargo run --release --example checkpointing`
+
+use yollo::prelude::*;
+
+fn main() -> std::io::Result<()> {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRefPlus, 3));
+    let mut model = Yollo::for_dataset(&ds, 1);
+    Trainer::new(TrainConfig {
+        iterations: 60,
+        batch_size: 8,
+        eval_every: 0,
+        ..TrainConfig::default()
+    })
+    .train(&mut model, &ds);
+
+    let dir = std::path::Path::new("target/checkpoints");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("yollo_synthref_plus.json");
+    model.save(&path)?;
+    println!(
+        "saved {} parameters to {}",
+        model.num_params(),
+        path.display()
+    );
+
+    let restored = Yollo::load(&path)?;
+    let sample = &ds.samples(Split::Val)[0];
+    let scene = ds.scene_of(sample);
+    let a = model.predict_scene_query(scene, &sample.sentence);
+    let b = restored.predict_scene_query(scene, &sample.sentence);
+    assert_eq!(a.bbox, b.bbox, "restored model must predict identically");
+    println!(
+        "restored model reproduces prediction {:?} for \"{}\"",
+        b.bbox, sample.sentence
+    );
+    Ok(())
+}

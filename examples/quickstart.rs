@@ -1,0 +1,61 @@
+//! Quickstart: generate a synthetic referring-expression dataset, train a
+//! small YOLLO model for a few hundred steps, and ground some queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use yollo::prelude::*;
+
+fn main() {
+    // 1. data: a small RefCOCO-like synthetic dataset (deterministic)
+    let ds = Dataset::generate(DatasetConfig {
+        train_images: 120,
+        val_images: 30,
+        test_images: 10,
+        targets_per_image: 2,
+        queries_per_target: 2,
+        kind: DatasetKind::SynthRef,
+        seed: 7,
+    });
+    println!(
+        "dataset: {} scenes, {} training queries, vocab {}",
+        ds.scenes().len(),
+        ds.samples(Split::Train).len(),
+        ds.build_vocab().len()
+    );
+
+    // 2. model + training (word2vec-initialised embeddings, Adam)
+    let mut model = Yollo::for_dataset(&ds, 42);
+    let trainer = Trainer::new(TrainConfig {
+        iterations: 300,
+        batch_size: 12,
+        eval_every: 100,
+        ..TrainConfig::default()
+    });
+    println!("training YOLLO ({} parameters)…", model.num_params());
+    let log = trainer.train(&mut model, &ds);
+    for (it, acc) in log.val_curve() {
+        println!("  iter {it:>4}: val ACC@0.5 = {acc:.3}");
+    }
+
+    // 3. evaluate
+    let val = model.evaluate(&ds, Split::Val);
+    println!(
+        "val: ACC@0.5 = {:.3}, ACC@0.75 = {:.3}, MIOU = {:.3}",
+        val.acc_at(0.5),
+        val.acc_at(0.75),
+        val.miou()
+    );
+
+    // 4. ground a free-form sentence on a validation scene
+    let sample = &ds.samples(Split::Val)[0];
+    let scene = ds.scene_of(sample);
+    let pred = model.predict_scene_query(scene, &sample.sentence);
+    let gt = ds.target_bbox(sample);
+    println!("\nquery: \"{}\"", sample.sentence);
+    println!(
+        "predicted {:?} (score {:.2}) — IoU with ground truth: {:.2}",
+        pred.bbox,
+        pred.score,
+        pred.bbox.iou(&gt)
+    );
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerates every paper table/figure at the current YOLLO_SCALE.
+set -e
+cd "$(dirname "$0")"
+mkdir -p target/experiments
+run() {
+  echo "=== $1 ==="
+  cargo run --release -p yollo-bench --bin "$1" \
+    > "target/experiments/$2_report.md" 2> "target/experiments/$2_progress.log"
+}
+run exp_fig4_curves fig4
+run exp_table2_main table2
+run exp_table3_metrics table3
+run exp_fig5_visualize fig5
+run exp_table1_stats table1
+run exp_table5_speed table5
+run exp_table4_ablation table4
+run exp_error_analysis error_analysis
+run exp_extensions extensions
+run exp_proposers proposers
+echo ALL_EXPERIMENTS_DONE

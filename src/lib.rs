@@ -1,0 +1,61 @@
+//! # YOLLO — You Only Look & Listen Once (Rust reproduction)
+//!
+//! An end-to-end, from-scratch Rust reproduction of the one-stage visual
+//! grounding system of *"You Only Look & Listen Once: Towards Fast and
+//! Accurate Visual Grounding"*, including every substrate the paper
+//! depends on: a tensor/autodiff engine, neural-network layers, CNN
+//! backbones, word2vec, synthetic referring-expression datasets, detection
+//! geometry, the YOLLO model itself, and the two-stage speaker/listener
+//! baselines it is compared against.
+//!
+//! This umbrella crate re-exports the whole workspace behind one
+//! dependency. The typical flow:
+//!
+//! ```
+//! use yollo::prelude::*;
+//!
+//! // 1. generate a synthetic RefCOCO-like dataset
+//! let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 7));
+//! // 2. build and (briefly) train a YOLLO model
+//! let mut model = Yollo::for_dataset(&ds, 42);
+//! let log = Trainer::new(TrainConfig::quick()).train(&mut model, &ds);
+//! assert!(log.points.len() > 0);
+//! // 3. ground a free-form query in a scene
+//! let scene = &ds.scenes()[0];
+//! let pred = model.predict_scene_query(scene, "the red circle");
+//! assert!(pred.bbox.w > 0.0);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory, `EXPERIMENTS.md` for the
+//! paper-vs-measured results, and `examples/` for runnable programs.
+
+pub use yollo_backbone as backbone;
+pub use yollo_core as core;
+pub use yollo_detect as detect;
+pub use yollo_eval as eval;
+pub use yollo_nn as nn;
+pub use yollo_synthref as synthref;
+pub use yollo_tensor as tensor;
+pub use yollo_text as text;
+pub use yollo_twostage as twostage;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use yollo_backbone::{Backbone, BackboneKind};
+    pub use yollo_core::{
+        AttentionAblation, GroundingPrediction, TrainConfig, Trainer, Yollo, YolloConfig,
+    };
+    pub use yollo_detect::{AnchorGrid, AnchorSpec, BBox, MatchConfig};
+    pub use yollo_eval::{time_inference, IouMetrics, Table};
+    pub use yollo_nn::{Adam, Binder, Module, Optimizer};
+    pub use yollo_synthref::{
+        Dataset, DatasetConfig, DatasetKind, GroundingSample, Scene, SceneConfig, Split,
+    };
+    pub use yollo_tensor::{Graph, Tensor};
+    pub use yollo_text::{tokenize, Vocab};
+    pub use yollo_twostage::{
+        CandidateCache, EnsembleScorer, GridProposals, Listener, ListenerConfig,
+        ProposalConfig, ProposalNetwork, ProposalScorer, Proposer, RoiExtractor, Speaker,
+        SpeakerConfig, TwoStageGrounder,
+    };
+}

@@ -1,0 +1,123 @@
+//! End-to-end integration: dataset → YOLLO training → evaluation →
+//! sentence-level inference, across every crate of the workspace.
+
+use yollo::prelude::*;
+
+fn tiny_dataset(kind: DatasetKind, seed: u64) -> Dataset {
+    Dataset::generate(DatasetConfig::tiny(kind, seed))
+}
+
+#[test]
+fn training_reduces_loss_on_every_dataset_kind() {
+    for kind in DatasetKind::ALL {
+        let ds = tiny_dataset(kind, 3);
+        let mut model = Yollo::for_dataset(&ds, 1);
+        let log = Trainer::new(TrainConfig {
+            iterations: 25,
+            batch_size: 4,
+            eval_every: 0,
+            word2vec_init: false,
+            pretrain_backbone_steps: 0,
+            ..TrainConfig::default()
+        })
+        .train(&mut model, &ds);
+        assert!(
+            log.late_loss(5) < log.early_loss(5),
+            "{kind:?}: loss {:.3} -> {:.3}",
+            log.early_loss(5),
+            log.late_loss(5)
+        );
+    }
+}
+
+#[test]
+fn full_pipeline_is_deterministic_under_seeds() {
+    let run = || {
+        let ds = tiny_dataset(DatasetKind::SynthRef, 9);
+        let mut model = Yollo::for_dataset(&ds, 4);
+        Trainer::new(TrainConfig {
+            iterations: 10,
+            batch_size: 4,
+            eval_every: 0,
+            word2vec_init: true,
+            pretrain_backbone_steps: 5,
+            ..TrainConfig::default()
+        })
+        .train(&mut model, &ds);
+        model.evaluate(&ds, Split::Val).ious
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn evaluation_covers_every_sample_and_is_bounded() {
+    let ds = tiny_dataset(DatasetKind::SynthRefPlus, 5);
+    let model = Yollo::for_dataset(&ds, 2);
+    for split in [Split::Val, Split::TestA, Split::TestB] {
+        let m = model.evaluate(&ds, split);
+        assert_eq!(m.len(), ds.samples(split).len());
+        assert!(m.ious.iter().all(|i| (0.0..=1.0).contains(i)));
+    }
+}
+
+#[test]
+fn sentence_inference_accepts_unknown_words() {
+    let ds = tiny_dataset(DatasetKind::SynthRef, 6);
+    let model = Yollo::for_dataset(&ds, 3);
+    let scene = &ds.scenes()[0];
+    // words never seen in training map to UNK but must not crash
+    let pred = model.predict_scene_query(scene, "the zorbly flumph near the whatsit");
+    assert!(pred.bbox.w >= 0.0 && pred.score.is_finite());
+}
+
+#[test]
+fn model_roundtrips_through_disk() {
+    let ds = tiny_dataset(DatasetKind::SynthRef, 7);
+    let mut model = Yollo::for_dataset(&ds, 5);
+    Trainer::new(TrainConfig {
+        iterations: 8,
+        batch_size: 4,
+        eval_every: 0,
+        word2vec_init: false,
+        pretrain_backbone_steps: 0,
+        ..TrainConfig::default()
+    })
+    .train(&mut model, &ds);
+    let dir = std::env::temp_dir().join("yollo_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("e2e.json");
+    model.save(&path).unwrap();
+    let loaded = Yollo::load(&path).unwrap();
+    let a = model.evaluate(&ds, Split::Val).ious;
+    let b = loaded.evaluate(&ds, Split::Val).ious;
+    assert_eq!(a, b);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn word2vec_embeddings_flow_into_the_model() {
+    use yollo::text::{Word2Vec, Word2VecConfig};
+    let ds = tiny_dataset(DatasetKind::SynthRef, 8);
+    let vocab = ds.build_vocab();
+    let corpus: Vec<Vec<usize>> = ds
+        .samples(Split::Train)
+        .iter()
+        .map(|s| s.tokens.iter().map(|t| vocab.id_or_unk(t)).collect())
+        .collect();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+    let w2v = Word2Vec::train(
+        &corpus,
+        vocab.len(),
+        Word2VecConfig {
+            dim: YolloConfig::for_dataset(&ds).d_rel,
+            epochs: 1,
+            ..Word2VecConfig::default()
+        },
+        &mut rng,
+    );
+    let mut model = Yollo::for_dataset(&ds, 1);
+    model.encoder_mut().load_word_embeddings(w2v.input_embeddings());
+    // model still functions after adopting pretrained embeddings
+    let pred = model.predict_scene_query(&ds.scenes()[0], "red circle");
+    assert!(pred.score.is_finite());
+}

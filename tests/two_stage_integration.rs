@@ -1,0 +1,117 @@
+//! Integration of the two-stage baseline family: proposal RPN → RoI
+//! features → listener / speaker / MMI / ensemble → full grounder.
+
+use yollo::prelude::*;
+
+fn setup() -> (Dataset, ProposalNetwork, CandidateCache, RoiExtractor, Vocab) {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 21));
+    let mut rpn = ProposalNetwork::new(ProposalConfig::default(), 1);
+    rpn.train(&ds, 25, 2, 3);
+    let roi = RoiExtractor::new(8, 2);
+    let cache = CandidateCache::build(&rpn, roi, &ds);
+    let vocab = ds.build_vocab();
+    (ds, rpn, cache, roi, vocab)
+}
+
+#[test]
+fn rpn_training_improves_target_recall() {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 22));
+    let untrained = ProposalNetwork::new(ProposalConfig::default(), 5);
+    let r0 = untrained.target_recall(&ds, Split::Val, 0.5);
+    let mut rpn = ProposalNetwork::new(ProposalConfig::default(), 5);
+    rpn.train(&ds, 60, 2, 3);
+    let r1 = rpn.target_recall(&ds, Split::Val, 0.5);
+    assert!(
+        r1 > r0 || r1 > 0.5,
+        "recall did not improve: {r0:.2} -> {r1:.2}"
+    );
+}
+
+#[test]
+fn proposals_stay_inside_the_image() {
+    let (ds, rpn, _, _, _) = setup();
+    let scene = &ds.scenes()[0];
+    let (proposals, feat) = rpn.propose(scene);
+    assert!(!proposals.is_empty());
+    assert!(proposals.len() <= rpn.config().proposals_per_image);
+    assert_eq!(feat.dims()[1], rpn.backbone().out_channels());
+    for (b, s) in &proposals {
+        assert!((0.0..=1.0).contains(s));
+        assert!(b.x >= -1e-9 && b.y >= -1e-9);
+        assert!(b.x2() <= scene.width as f64 + 1e-9);
+        assert!(b.y2() <= scene.height as f64 + 1e-9);
+    }
+    // scores are sorted descending (NMS keeps best first)
+    for w in proposals.windows(2) {
+        assert!(w[0].1 >= w[1].1);
+    }
+}
+
+#[test]
+fn trained_listener_beats_untrained_on_gt_candidates() {
+    let (ds, rpn, cache, roi, vocab) = setup();
+    let feat_dim = roi.feat_dim(rpn.backbone().out_channels());
+    let cfg = ListenerConfig::small(feat_dim, vocab.len());
+
+    let eval_on_gt = |listener: &Listener| {
+        let mut correct = 0;
+        let mut total = 0;
+        for s in ds.samples(Split::Train) {
+            let cands = cache.candidates(s.scene_idx);
+            let q = vocab.encode_padded(&s.tokens, ds.max_query_len());
+            let scores = listener.score_proposals(cands, &q);
+            let best = (0..scores.len())
+                .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap())
+                .unwrap();
+            correct += (best == s.target_idx) as usize;
+            total += 1;
+        }
+        correct as f64 / total as f64
+    };
+
+    let untrained = Listener::new(cfg, 3);
+    let acc0 = eval_on_gt(&untrained);
+    let mut trained = Listener::new(cfg, 3);
+    trained.train(&ds, &vocab, &cache, 250, 4);
+    let acc1 = eval_on_gt(&trained);
+    assert!(acc1 > acc0, "listener did not improve: {acc0:.2} -> {acc1:.2}");
+}
+
+#[test]
+fn ensemble_and_mmi_pipelines_run() {
+    let (ds, rpn, cache, roi, vocab) = setup();
+    let feat_dim = roi.feat_dim(rpn.backbone().out_channels());
+    let mut listener = Listener::new(ListenerConfig::small(feat_dim, vocab.len()), 3);
+    listener.train(&ds, &vocab, &cache, 40, 4);
+    let mut speaker = Speaker::new(
+        SpeakerConfig {
+            mmi_margin: Some(0.5),
+            ..SpeakerConfig::small(feat_dim, vocab.len())
+        },
+        3,
+    );
+    speaker.train(&ds, &vocab, &cache, 40, 4);
+    let ensemble = EnsembleScorer::new(vec![&listener, &speaker]);
+    assert_eq!(ensemble.name(), "listener+speaker+MMI");
+    let grounder = TwoStageGrounder::new(&rpn, roi, &ensemble, &vocab, ds.max_query_len());
+    let metrics = grounder.evaluate(&ds, Split::Val);
+    assert_eq!(metrics.len(), ds.samples(Split::Val).len());
+    assert!(metrics.ious.iter().all(|i| i.is_finite()));
+}
+
+#[test]
+fn two_stage_accuracy_is_capped_by_stage_one_recall() {
+    // structural property from §1: if stage i misses the target, stage ii
+    // cannot recover — pipeline ACC@0.5 <= proposal recall@0.5
+    let (ds, rpn, cache, roi, vocab) = setup();
+    let feat_dim = roi.feat_dim(rpn.backbone().out_channels());
+    let mut listener = Listener::new(ListenerConfig::small(feat_dim, vocab.len()), 3);
+    listener.train(&ds, &vocab, &cache, 120, 4);
+    let grounder = TwoStageGrounder::new(&rpn, roi, &listener, &vocab, ds.max_query_len());
+    let recall = rpn.target_recall(&ds, Split::Val, 0.5);
+    let acc = grounder.evaluate(&ds, Split::Val).acc_at(0.5);
+    assert!(
+        acc <= recall + 1e-9,
+        "pipeline accuracy {acc:.3} exceeded stage-i recall {recall:.3}"
+    );
+}
