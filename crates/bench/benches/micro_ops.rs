@@ -6,18 +6,54 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use yollo_detect::{label_anchors, nms, AnchorGrid, AnchorSpec, BBox, MatchConfig};
-use yollo_tensor::{im2col, Conv2dSpec, Graph, Tensor};
+use yollo_tensor::{conv2d_forward, im2col, matmul_naive, Conv2dSpec, ConvScratch, Graph, Tensor};
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let mut g = c.benchmark_group("matmul");
-    for &(m, k, n) in &[(54usize, 48usize, 48usize), (64, 64, 64), (128, 128, 128)] {
+    // small sizes stay on the serial path; 64x256x64 and up exercise the
+    // blocked (and, on multi-core hosts, parallel) kernel
+    for &(m, k, n) in &[
+        (54usize, 48usize, 48usize),
+        (64, 64, 64),
+        (128, 128, 128),
+        (64, 256, 64),
+        (256, 1024, 256),
+    ] {
         let a = Tensor::randn(&[m, k], &mut rng);
         let b = Tensor::randn(&[k, n], &mut rng);
+        if m * k * n > 1 << 22 {
+            g.sample_size(10);
+        }
         g.bench_function(format!("{m}x{k}x{n}"), |bench| {
             bench.iter(|| black_box(a.matmul(&b)))
         });
     }
+    // naive reference at the headline size, so the blocked speedup is
+    // visible side by side in criterion output
+    {
+        let (m, k, n) = (256usize, 1024usize, 256usize);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        g.sample_size(10);
+        g.bench_function(format!("{m}x{k}x{n}_naive_ref"), |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0; m * n];
+                matmul_naive(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("matmul_batched");
+    g.sample_size(10);
+    let (bt, m, k, n) = (8usize, 64usize, 256usize, 64usize);
+    let a = Tensor::randn(&[bt, m, k], &mut rng);
+    let b = Tensor::randn(&[bt, k, n], &mut rng);
+    g.bench_function(format!("{bt}x{m}x{k}x{n}"), |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
     g.finish();
 }
 
@@ -36,6 +72,14 @@ fn bench_conv(c: &mut Criterion) {
             let wv = g.leaf(w.clone());
             black_box(xv.conv2d(wv, spec).value())
         })
+    });
+    // heavier 3x3 conv on a mid-network shape, graph-free with scratch reuse
+    let xh = Tensor::randn(&[2, 32, 32, 32], &mut rng);
+    let wh = Tensor::randn(&[64, 32, 3, 3], &mut rng);
+    let spec1 = Conv2dSpec { stride: 1, pad: 1 };
+    let mut scratch = ConvScratch::new();
+    c.bench_function("conv3x3_32c_64c_32x32", |b| {
+        b.iter(|| black_box(conv2d_forward(&xh, &wh, spec1, &mut scratch)))
     });
 }
 
@@ -60,7 +104,13 @@ fn bench_detection_geometry(c: &mut Criterion) {
     let grid = AnchorGrid::generate(6, 9, &AnchorSpec::default());
     let target = BBox::from_center(36.0, 24.0, 20.0, 16.0);
     c.bench_function("label_486_anchors", |b| {
-        b.iter(|| black_box(label_anchors(grid.boxes(), &target, &MatchConfig::default())))
+        b.iter(|| {
+            black_box(label_anchors(
+                grid.boxes(),
+                &target,
+                &MatchConfig::default(),
+            ))
+        })
     });
     let mut rng = StdRng::seed_from_u64(3);
     let boxes: Vec<BBox> = (0..486)

@@ -1,0 +1,159 @@
+//! **Tensor backend speed.** Times the blocked/parallel compute paths
+//! against the retained naive reference kernel on fixed seeds and writes
+//! `BENCH_tensor.json` at the repository root — one record per (op, shape,
+//! threads) with ns/iter — seeding the repo's performance trajectory.
+//!
+//! Run with `cargo run --release -p yollo-bench --bin exp_tensor_speed`.
+//! `YOLLO_TENSOR_REPS=<n>` overrides the repetition count.
+
+use std::time::Instant;
+use yollo_tensor::{
+    conv2d_forward, im2col_into, matmul_blocked, matmul_naive, parallel, Conv2dSpec, ConvScratch,
+    Tensor,
+};
+
+struct Record {
+    op: &'static str,
+    shape: String,
+    threads: usize,
+    ns_per_iter: f64,
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds (min filters scheduler
+/// noise better than the mean at these durations).
+fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: page in buffers, prime caches
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn randn_vec(len: usize, seed: u64) -> Vec<f64> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(&[len], &mut rng).into_vec()
+}
+
+fn main() {
+    let reps: usize = std::env::var("YOLLO_TENSOR_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let ambient = parallel::num_threads();
+    let mut records: Vec<Record> = Vec::new();
+    let mut push = |op, shape: String, threads, ns| {
+        eprintln!("{op:>16} {shape:>18} threads={threads}: {:.0} ns/iter", ns);
+        records.push(Record {
+            op,
+            shape,
+            threads,
+            ns_per_iter: ns,
+        });
+    };
+
+    // --- matmul: naive reference vs blocked, serial and ambient ---
+    for &(m, k, n) in &[(64usize, 256usize, 64usize), (256, 1024, 256)] {
+        let a = randn_vec(m * k, 11);
+        let b = randn_vec(k * n, 13);
+        let shape = format!("{m}x{k}x{n}");
+        let mut out = vec![0.0; m * n];
+
+        let ns = time_ns(reps, || {
+            out.fill(0.0);
+            matmul_naive(&a, &b, &mut out, m, k, n);
+        });
+        push("matmul_naive", shape.clone(), 1, ns);
+
+        for &threads in &[1usize, ambient] {
+            let ns = time_ns(reps, || {
+                out.fill(0.0);
+                matmul_blocked(&a, &b, &mut out, m, k, n, threads);
+            });
+            push("matmul_blocked", shape.clone(), threads, ns);
+            if threads == ambient {
+                break; // ambient may itself be 1
+            }
+        }
+    }
+
+    // --- batched matmul through the public Tensor API ---
+    {
+        let (bt, m, k, n) = (8usize, 64usize, 256usize, 64usize);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(17);
+        let a = Tensor::randn(&[bt, m, k], &mut rng);
+        let b = Tensor::randn(&[bt, k, n], &mut rng);
+        let ns = time_ns(reps, || {
+            std::hint::black_box(a.matmul(&b));
+        });
+        push("matmul_batched", format!("{bt}x{m}x{k}x{n}"), ambient, ns);
+    }
+
+    // --- conv 3x3: per-call allocation vs scratch reuse ---
+    {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(19);
+        let x = Tensor::randn(&[2, 32, 32, 32], &mut rng);
+        let w = Tensor::randn(&[64, 32, 3, 3], &mut rng);
+        let spec = Conv2dSpec { stride: 1, pad: 1 };
+        let mut scratch = ConvScratch::new();
+        let ns = time_ns(reps, || {
+            std::hint::black_box(conv2d_forward(&x, &w, spec, &mut scratch));
+        });
+        push("conv3x3_scratch", "2x32x32x32_o64".to_string(), ambient, ns);
+
+        let mut cols = Vec::new();
+        let ns = time_ns(reps, || {
+            std::hint::black_box(im2col_into(&x, 3, 3, spec, &mut cols));
+        });
+        push("im2col", "2x32x32x32_k3".to_string(), ambient, ns);
+    }
+
+    // --- large elementwise map (above the fan-out threshold) ---
+    {
+        let n = 1 << 20;
+        let t = Tensor::from_vec(randn_vec(n, 23), &[n]);
+        let ns = time_ns(reps, || {
+            std::hint::black_box(t.map(|v| v * 1.0001 + 0.5));
+        });
+        push("map", format!("{n}"), ambient, ns);
+        let ns = time_ns(reps, || {
+            std::hint::black_box(t.sum_all());
+        });
+        push("sum_all", format!("{n}"), ambient, ns);
+    }
+
+    // headline ratio the acceptance criteria track
+    let ns_of = |op: &str, shape: &str| {
+        records
+            .iter()
+            .find(|r| r.op == op && r.shape == shape)
+            .map(|r| r.ns_per_iter)
+    };
+    if let (Some(naive), Some(blocked)) = (
+        ns_of("matmul_naive", "256x1024x256"),
+        ns_of("matmul_blocked", "256x1024x256"),
+    ) {
+        println!(
+            "256x1024x256 blocked speedup vs naive: {:.2}x",
+            naive / blocked
+        );
+    }
+
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"op\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.0}}}",
+                r.op, r.shape, r.threads, r.ns_per_iter
+            )
+        })
+        .collect();
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_tensor.json");
+    std::fs::write(&path, json).expect("can write BENCH_tensor.json");
+    println!("wrote {}", path.display());
+}

@@ -70,24 +70,31 @@ impl Yollo {
             self.config().image_width as f64,
             self.config().image_height as f64,
         );
+        // read the batch rows through flat indexing — slice/reshape would
+        // copy every row of every tensor per sample
+        let ss = scores.as_slice();
+        let os = offsets.as_slice();
+        let ats = att.as_slice();
+        let m = att.numel() / b;
         (0..b)
             .map(|bi| {
-                let row = scores.slice(0, bi, 1);
-                let best = row.argmax();
-                let logit = row.as_slice()[best];
-                let off_row = offsets.slice(0, bi, 1).reshape(&[a, 4]).slice(0, best, 1);
-                let t = [
-                    off_row.as_slice()[0],
-                    off_row.as_slice()[1],
-                    off_row.as_slice()[2],
-                    off_row.as_slice()[3],
-                ];
+                let row = &ss[bi * a..(bi + 1) * a];
+                // first-maximum argmax, matching Tensor::argmax's tie rule
+                let mut best = 0;
+                for (i, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = i;
+                    }
+                }
+                let logit = row[best];
+                let off = &os[(bi * a + best) * 4..(bi * a + best) * 4 + 4];
+                let t = [off[0], off[1], off[2], off[3]];
                 let anchor = self.anchors().boxes()[best];
                 let bbox = BBox::decode(&anchor, t, self.config().offset_encoding).clip_to(w, h);
                 GroundingPrediction {
                     bbox,
                     score: 1.0 / (1.0 + (-logit).exp()),
-                    attention: att.slice(0, bi, 1).into_vec(),
+                    attention: ats[bi * m..(bi + 1) * m].to_vec(),
                 }
             })
             .collect()
@@ -134,33 +141,28 @@ impl Yollo {
             self.config().image_width as f64,
             self.config().image_height as f64,
         );
+        let ss = scores.as_slice();
+        let os = offsets.as_slice();
+        let ats = att.as_slice();
+        let m = att.numel() / b;
         (0..b)
             .map(|bi| {
-                let row = scores.slice(0, bi, 1);
+                let row = &ss[bi * a..(bi + 1) * a];
                 let mut order: Vec<usize> = (0..a).collect();
-                order.sort_by(|&x, &y| {
-                    row.as_slice()[y]
-                        .partial_cmp(&row.as_slice()[x])
-                        .expect("finite logits")
-                });
-                let attention = att.slice(0, bi, 1).into_vec();
+                order.sort_by(|&x, &y| row[y].partial_cmp(&row[x]).expect("finite logits"));
+                let attention = &ats[bi * m..(bi + 1) * m];
                 order
                     .into_iter()
                     .take(k)
                     .map(|idx| {
-                        let off = offsets.slice(0, bi, 1).reshape(&[a, 4]).slice(0, idx, 1);
-                        let t = [
-                            off.as_slice()[0],
-                            off.as_slice()[1],
-                            off.as_slice()[2],
-                            off.as_slice()[3],
-                        ];
+                        let off = &os[(bi * a + idx) * 4..(bi * a + idx) * 4 + 4];
+                        let t = [off[0], off[1], off[2], off[3]];
                         let anchor = self.anchors().boxes()[idx];
                         GroundingPrediction {
                             bbox: BBox::decode(&anchor, t, self.config().offset_encoding)
                                 .clip_to(w, h),
-                            score: 1.0 / (1.0 + (-row.as_slice()[idx]).exp()),
-                            attention: attention.clone(),
+                            score: 1.0 / (1.0 + (-row[idx]).exp()),
+                            attention: attention.to_vec(),
                         }
                     })
                     .collect()
@@ -183,12 +185,10 @@ impl Yollo {
         let ids = self
             .vocab()
             .encode_padded(&tokens, self.config().max_query_len);
-        let img = scene.render().reshape(&[
-            1,
-            self.config().in_channels,
-            scene.height,
-            scene.width,
-        ]);
+        let img =
+            scene
+                .render()
+                .reshape(&[1, self.config().in_channels, scene.height, scene.width]);
         self.predict_batch(img, &[ids])
             .pop()
             .expect("one prediction")

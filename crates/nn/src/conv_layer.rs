@@ -1,6 +1,6 @@
 use crate::{he_normal, Binder, Module, ParamList, Parameter};
 use rand::Rng;
-use yollo_tensor::{Conv2dSpec, Tensor, Var};
+use yollo_tensor::{conv2d_forward, Conv2dSpec, ConvScratch, Tensor, Var};
 
 /// A 2-D convolution layer over `[N,C,H,W]` inputs, He-initialised.
 #[derive(Debug, Clone)]
@@ -69,6 +69,26 @@ impl Conv2d {
         }
     }
 
+    /// Graph-free forward for inference: same math as [`Conv2d::forward`]
+    /// but records nothing on a tape, and reuses the column buffers in
+    /// `scratch` so repeated calls stop allocating per-call im2col
+    /// matrices.
+    ///
+    /// # Panics
+    /// Panics if the input channel count differs from `in_channels`.
+    pub fn forward_infer(&self, x: &Tensor, scratch: &mut ConvScratch) -> Tensor {
+        assert_eq!(x.rank(), 4, "conv input must be [N,C,H,W]");
+        assert_eq!(x.dims()[1], self.in_channels, "conv channel mismatch");
+        let y = conv2d_forward(x, &self.w.value(), self.spec, scratch);
+        match &self.b {
+            Some(b) => {
+                let bv = b.value().reshape(&[1, self.out_channels, 1, 1]);
+                y.zip_broadcast(&bv, |a, c| a + c)
+            }
+            None => y,
+        }
+    }
+
     /// Output spatial size for an `h`×`w` input.
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
         self.spec.output_hw(h, w, self.kernel, self.kernel)
@@ -123,6 +143,33 @@ mod tests {
         let x = g.leaf(Tensor::ones(&[1, 1, 2, 2]));
         let y = c.forward(&b, x);
         assert_eq!(y.value().as_slice(), &[5.0; 4]);
+    }
+
+    #[test]
+    fn forward_infer_matches_graph_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Conv2d::new(
+            "c",
+            3,
+            5,
+            3,
+            Conv2dSpec { stride: 2, pad: 1 },
+            true,
+            &mut rng,
+        );
+        let x = Tensor::randn(&[2, 3, 9, 7], &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let want = c.forward(&b, g.leaf(x.clone())).value();
+        let mut scratch = ConvScratch::new();
+        let got = c.forward_infer(&x, &mut scratch);
+        assert_eq!(got.dims(), want.dims());
+        assert!(got.max_abs_diff(&want) < 1e-12);
+        // buffer is retained across calls
+        let cap = scratch.capacity();
+        let again = c.forward_infer(&x, &mut scratch);
+        assert_eq!(scratch.capacity(), cap);
+        assert!(again.max_abs_diff(&want) < 1e-12);
     }
 
     #[test]

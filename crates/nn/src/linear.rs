@@ -16,13 +16,7 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a linear layer with Xavier-uniform weights and zero bias.
-    pub fn new(
-        name: &str,
-        in_dim: usize,
-        out_dim: usize,
-        bias: bool,
-        rng: &mut impl Rng,
-    ) -> Self {
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, bias: bool, rng: &mut impl Rng) -> Self {
         let w = Parameter::new(
             format!("{name}.w"),
             xavier_uniform(&[in_dim, out_dim], in_dim, out_dim, rng),
@@ -85,6 +79,24 @@ impl Linear {
             None => y,
         }
     }
+
+    /// Graph-free forward for inference: same math as [`Linear::forward`]
+    /// without recording on a tape.
+    ///
+    /// # Panics
+    /// Panics if the last input dimension differs from `in_dim`.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            *x.dims().last().expect("linear input must have rank >= 1"),
+            self.in_dim,
+            "linear input dim mismatch"
+        );
+        let y = x.matmul(&self.w.value());
+        match &self.b {
+            Some(b) => y.zip_broadcast(&b.value(), |a, c| a + c),
+            None => y,
+        }
+    }
 }
 
 impl Module for Linear {
@@ -129,6 +141,12 @@ impl Ffn {
     pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
         self.fc2.forward(bind, self.fc1.forward(bind, x).relu())
     }
+
+    /// Graph-free forward for inference (see [`Linear::forward_infer`]).
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        self.fc2
+            .forward_infer(&self.fc1.forward_infer(x).map(|v| v.max(0.0)))
+    }
 }
 
 impl Module for Ffn {
@@ -171,6 +189,20 @@ mod tests {
         for p in l.parameters() {
             assert!(p.grad_norm() > 0.0, "param {} got no gradient", p.name());
         }
+    }
+
+    #[test]
+    fn forward_infer_matches_graph_forward() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let l = Linear::new("l", 4, 3, true, &mut rng);
+        let f = Ffn::new("f", 4, 6, 2, &mut rng);
+        let x = Tensor::randn(&[2, 5, 4], &mut rng);
+        let g = Graph::new();
+        let b = Binder::new(&g);
+        let lw = l.forward(&b, g.leaf(x.clone())).value();
+        assert!(l.forward_infer(&x).max_abs_diff(&lw) < 1e-12);
+        let fw = f.forward(&b, g.leaf(x.clone())).value();
+        assert!(f.forward_infer(&x).max_abs_diff(&fw) < 1e-12);
     }
 
     #[test]

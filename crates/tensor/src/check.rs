@@ -51,10 +51,7 @@ where
     let vars: Vec<Var<'_>> = inputs.iter().map(|t| graph.leaf(t.clone())).collect();
     let loss = f(&vars);
     if loss.numel() != 1 {
-        return Err(format!(
-            "loss must be scalar, got shape {:?}",
-            loss.dims()
-        ));
+        return Err(format!("loss must be scalar, got shape {:?}", loss.dims()));
     }
     loss.backward();
     let analytic: Vec<Tensor> = vars.iter().map(|v| v.grad()).collect();
@@ -203,18 +200,20 @@ mod tests {
             v[0].bce_with_logits(&t)
         })
         .unwrap();
-        let dist = Tensor::from_vec(
-            vec![0.25, 0.25, 0.25, 0.25, 0.0, 0.5, 0.5, 0.0],
-            &[2, 4],
-        );
+        let dist = Tensor::from_vec(vec![0.25, 0.25, 0.25, 0.25, 0.0, 0.5, 0.5, 0.0], &[2, 4]);
         check_gradients(&[x.clone()], GradCheck::default(), |v| {
             v[0].softmax_xent_rows(&dist)
         })
         .unwrap();
         let target = Tensor::randn(&[2, 4], &mut r);
-        check_gradients(&[x], GradCheck { eps: 1e-6, tol: 1e-5 }, |v| {
-            v[0].smooth_l1(&target, 1.0)
-        })
+        check_gradients(
+            &[x],
+            GradCheck {
+                eps: 1e-6,
+                tol: 1e-5,
+            },
+            |v| v[0].smooth_l1(&target, 1.0),
+        )
         .unwrap();
     }
 
@@ -224,9 +223,14 @@ mod tests {
         let x = Tensor::randn(&[2, 2, 5, 5], &mut r);
         let w = Tensor::randn(&[3, 2, 3, 3], &mut r);
         let spec = Conv2dSpec { stride: 2, pad: 1 };
-        check_gradients(&[x, w], GradCheck { eps: 1e-5, tol: 1e-5 }, |v| {
-            v[0].conv2d(v[1], spec).square().sum_all()
-        })
+        check_gradients(
+            &[x, w],
+            GradCheck {
+                eps: 1e-5,
+                tol: 1e-5,
+            },
+            |v| v[0].conv2d(v[1], spec).square().sum_all(),
+        )
         .unwrap();
     }
 
@@ -235,9 +239,12 @@ mod tests {
         let mut r = rng();
         let x = Tensor::randn(&[1, 2, 6, 6], &mut r);
         check_gradients(&[x], GradCheck::default(), |v| {
-            v[0].max_pool2d(Pool2dSpec { kernel: 2, stride: 2 })
-                .square()
-                .sum_all()
+            v[0].max_pool2d(Pool2dSpec {
+                kernel: 2,
+                stride: 2,
+            })
+            .square()
+            .sum_all()
         })
         .unwrap();
     }
@@ -256,7 +263,10 @@ mod tests {
         })
         .unwrap();
         check_gradients(&[a], GradCheck::default(), |v| {
-            v[0].reshape(&[6]).gather_rows(&[0, 0, 5]).square().sum_all()
+            v[0].reshape(&[6])
+                .gather_rows(&[0, 0, 5])
+                .square()
+                .sum_all()
         })
         .unwrap();
     }
@@ -267,13 +277,20 @@ mod tests {
         let mut r = rng();
         let v = Tensor::randn(&[4, 3], &mut r);
         let t = Tensor::randn(&[2, 3], &mut r);
-        check_gradients(&[v, t], GradCheck { eps: 1e-5, tol: 1e-5 }, |vars| {
-            let x1 = Var::concat(&[vars[0], vars[1]], 0); // [6,3]
-            let rel = x1.matmul(x1.transpose()).mul_scalar(1.0 / 3.0f64.sqrt());
-            let att = rel.mean_axis(0) + rel.mean_axis(1);
-            let att_v = att.slice(0, 0, 4).sigmoid().reshape(&[4, 1]);
-            (vars[0] * att_v).square().sum_all()
-        })
+        check_gradients(
+            &[v, t],
+            GradCheck {
+                eps: 1e-5,
+                tol: 1e-5,
+            },
+            |vars| {
+                let x1 = Var::concat(&[vars[0], vars[1]], 0); // [6,3]
+                let rel = x1.matmul(x1.transpose()).mul_scalar(1.0 / 3.0f64.sqrt());
+                let att = rel.mean_axis(0) + rel.mean_axis(1);
+                let att_v = att.slice(0, 0, 4).sigmoid().reshape(&[4, 1]);
+                (vars[0] * att_v).square().sum_all()
+            },
+        )
         .unwrap();
     }
 }

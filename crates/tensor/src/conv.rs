@@ -1,5 +1,14 @@
 //! im2col / col2im helpers and convolution/pooling hyper-parameter specs.
+//!
+//! Both unfold directions parallelise over `(batch, channel)` slices — each
+//! slice owns a disjoint region of the output buffer — and both offer
+//! `_into` variants that reuse a caller-provided buffer, so hot loops (conv
+//! forward/backward, batched inference) stop re-allocating column matrices
+//! on every call. [`conv2d_forward`] bundles the whole graph-free
+//! convolution with a [`ConvScratch`].
 
+use crate::parallel;
+use crate::tensor::matmul_blocked;
 use crate::Tensor;
 
 /// Stride and padding of a 2-D convolution.
@@ -41,11 +50,30 @@ pub struct Pool2dSpec {
 
 impl Pool2dSpec {
     /// Output spatial size (ceil-free, windows must start inside the input).
+    ///
+    /// # Panics
+    /// Panics if the window does not fit in the input — matching
+    /// [`Conv2dSpec::output_hw`]'s contract rather than silently producing
+    /// a bogus 1×1 output.
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.kernel && w >= self.kernel,
+            "pool window larger than input"
+        );
         (
-            (h.saturating_sub(self.kernel)) / self.stride + 1,
-            (w.saturating_sub(self.kernel)) / self.stride + 1,
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
         )
+    }
+}
+
+/// Worker count for an unfold touching `elems` output elements across
+/// `slices` independent `(batch, channel)` slices.
+fn unfold_threads(elems: usize, slices: usize) -> usize {
+    if elems < parallel::PAR_ELEMWISE_MIN || slices < 2 {
+        1
+    } else {
+        parallel::num_threads()
     }
 }
 
@@ -54,37 +82,55 @@ impl Pool2dSpec {
 /// # Panics
 /// Panics if `x` is not rank 4.
 pub fn im2col(x: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Tensor {
+    let mut out = Vec::new();
+    let dims = im2col_into(x, kh, kw, spec, &mut out);
+    Tensor::from_vec(out, &dims)
+}
+
+/// [`im2col`] into a reusable buffer (cleared and resized); returns the
+/// column-matrix shape `[N, C*kh*kw, OH*OW]`.
+///
+/// # Panics
+/// Panics if `x` is not rank 4.
+pub fn im2col_into(
+    x: &Tensor,
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    out: &mut Vec<f64>,
+) -> [usize; 3] {
     assert_eq!(x.rank(), 4, "im2col input must be [N,C,H,W]");
     let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
     let (oh, ow) = spec.output_hw(h, w, kh, kw);
     let l = oh * ow;
-    let mut out = vec![0.0; n * c * kh * kw * l];
+    out.clear();
+    out.resize(n * c * kh * kw * l, 0.0);
     let xs = x.as_slice();
-    for b in 0..n {
-        for ch in 0..c {
-            let xbase = (b * c + ch) * h * w;
-            for ki in 0..kh {
-                for kj in 0..kw {
-                    let row = (ch * kh + ki) * kw + kj;
-                    let obase = (b * c * kh * kw + row) * l;
-                    for i in 0..oh {
-                        let y = (i * spec.stride + ki) as isize - spec.pad as isize;
-                        for j in 0..ow {
-                            let xcol = (j * spec.stride + kj) as isize - spec.pad as isize;
-                            let v = if y >= 0 && (y as usize) < h && xcol >= 0 && (xcol as usize) < w
-                            {
-                                xs[xbase + y as usize * w + xcol as usize]
-                            } else {
-                                0.0
-                            };
-                            out[obase + i * ow + j] = v;
-                        }
+    // one chunk per (batch, channel): rows [ch*kh*kw, (ch+1)*kh*kw) of
+    // batch b's column matrix, a contiguous kh*kw*l run
+    let threads = unfold_threads(out.len(), n * c);
+    parallel::for_each_chunk_in(threads, out, (kh * kw * l).max(1), |bc, chunk| {
+        let (b, ch) = (bc / c, bc % c);
+        let xbase = (b * c + ch) * h * w;
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let rbase = (ki * kw + kj) * l;
+                for i in 0..oh {
+                    let y = (i * spec.stride + ki) as isize - spec.pad as isize;
+                    for j in 0..ow {
+                        let xcol = (j * spec.stride + kj) as isize - spec.pad as isize;
+                        let v = if y >= 0 && (y as usize) < h && xcol >= 0 && (xcol as usize) < w {
+                            xs[xbase + y as usize * w + xcol as usize]
+                        } else {
+                            0.0
+                        };
+                        chunk[rbase + i * ow + j] = v;
                     }
                 }
             }
         }
-    }
-    Tensor::from_vec(out, &[n, c * kh * kw, l])
+    });
+    [n, c * kh * kw, l]
 }
 
 /// Folds a column matrix `[N, C*kh*kw, OH*OW]` back into `[N,C,H,W]`
@@ -93,39 +139,127 @@ pub fn im2col(x: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Tensor {
 /// # Panics
 /// Panics if shapes are inconsistent with `x_dims`.
 pub fn col2im(cols: &Tensor, x_dims: &[usize], kh: usize, kw: usize, spec: Conv2dSpec) -> Tensor {
+    let mut out = Tensor::zeros(x_dims);
+    col2im_accumulate(cols.as_slice(), cols.dims(), x_dims, kh, kw, spec, &mut out);
+    out
+}
+
+/// [`col2im`] into a reusable tensor (must already have shape `x_dims`;
+/// zeroed before accumulation).
+///
+/// # Panics
+/// Panics if shapes are inconsistent.
+pub fn col2im_into(
+    cols: &Tensor,
+    x_dims: &[usize],
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    out: &mut Tensor,
+) {
+    assert_eq!(out.dims(), x_dims, "col2im_into target shape mismatch");
+    out.as_mut_slice().fill(0.0);
+    col2im_accumulate(cols.as_slice(), cols.dims(), x_dims, kh, kw, spec, out);
+}
+
+/// Shared col2im core: accumulates `cols` into `out` (not zeroed here).
+pub(crate) fn col2im_accumulate(
+    cs: &[f64],
+    cols_dims: &[usize],
+    x_dims: &[usize],
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+    out: &mut Tensor,
+) {
     assert_eq!(x_dims.len(), 4, "col2im target must be [N,C,H,W]");
     let (n, c, h, w) = (x_dims[0], x_dims[1], x_dims[2], x_dims[3]);
     let (oh, ow) = spec.output_hw(h, w, kh, kw);
     let l = oh * ow;
-    assert_eq!(cols.dims(), &[n, c * kh * kw, l], "col2im shape mismatch");
-    let mut out = Tensor::zeros(x_dims);
-    let cs = cols.as_slice();
+    assert_eq!(cols_dims, &[n, c * kh * kw, l], "col2im shape mismatch");
     let om = out.as_mut_slice();
-    for b in 0..n {
-        for ch in 0..c {
-            let xbase = (b * c + ch) * h * w;
-            for ki in 0..kh {
-                for kj in 0..kw {
-                    let row = (ch * kh + ki) * kw + kj;
-                    let cbase = (b * c * kh * kw + row) * l;
-                    for i in 0..oh {
-                        let y = (i * spec.stride + ki) as isize - spec.pad as isize;
-                        if y < 0 || y as usize >= h {
-                            continue;
-                        }
-                        for j in 0..ow {
-                            let xcol = (j * spec.stride + kj) as isize - spec.pad as isize;
-                            if xcol >= 0 && (xcol as usize) < w {
-                                om[xbase + y as usize * w + xcol as usize] +=
-                                    cs[cbase + i * ow + j];
-                            }
+    // one chunk per (batch, channel) image plane: writes stay inside the
+    // plane, reads stay inside that plane's kh*kw column rows
+    let threads = unfold_threads(om.len().max(cs.len()), n * c);
+    parallel::for_each_chunk_in(threads, om, (h * w).max(1), |bc, plane| {
+        let (b, ch) = (bc / c, bc % c);
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let cbase = (b * c * kh * kw + row) * l;
+                for i in 0..oh {
+                    let y = (i * spec.stride + ki) as isize - spec.pad as isize;
+                    if y < 0 || y as usize >= h {
+                        continue;
+                    }
+                    for j in 0..ow {
+                        let xcol = (j * spec.stride + kj) as isize - spec.pad as isize;
+                        if xcol >= 0 && (xcol as usize) < w {
+                            plane[y as usize * w + xcol as usize] += cs[cbase + i * ow + j];
                         }
                     }
                 }
             }
         }
+    });
+}
+
+/// Reusable buffers for repeated convolutions: the unfolded column matrix
+/// survives between calls, so steady-state inference does no per-call
+/// column allocation.
+#[derive(Debug, Default, Clone)]
+pub struct ConvScratch {
+    cols: Vec<f64>,
+}
+
+impl ConvScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        ConvScratch::default()
     }
-    out
+
+    /// Current scratch footprint in elements (diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.cols.capacity()
+    }
+}
+
+/// Graph-free convolution forward: `x [N,C,H,W] ⊛ w [O,C,kh,kw]` →
+/// `[N,O,OH,OW]`, with column buffers reused from `scratch`. Same math as
+/// the differentiable `Var::conv2d`, minus the tape.
+///
+/// # Panics
+/// Panics on rank/shape mismatch or when the kernel exceeds the padded
+/// input.
+pub fn conv2d_forward(
+    x: &Tensor,
+    w: &Tensor,
+    spec: Conv2dSpec,
+    scratch: &mut ConvScratch,
+) -> Tensor {
+    assert_eq!(x.rank(), 4, "conv2d input must be [N,C,H,W]");
+    assert_eq!(w.rank(), 4, "conv2d weight must be [O,C,kh,kw]");
+    let (n, c) = (x.dims()[0], x.dims()[1]);
+    let (o, c2, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+    assert_eq!(c, c2, "conv2d channel mismatch");
+    let (oh, ow) = spec.output_hw(x.dims()[2], x.dims()[3], kh, kw);
+    let [_, ckk, l] = im2col_into(x, kh, kw, spec, &mut scratch.cols);
+    // the weight is already the row-major [O, C*kh*kw] matrix — no reshape
+    let wmat = w.as_slice();
+    let threads = parallel::num_threads();
+    let mut out = vec![0.0; n * o * l];
+    for bi in 0..n {
+        matmul_blocked(
+            wmat,
+            &scratch.cols[bi * ckk * l..(bi + 1) * ckk * l],
+            &mut out[bi * o * l..(bi + 1) * o * l],
+            o,
+            ckk,
+            l,
+            threads,
+        );
+    }
+    Tensor::from_vec(out, &[n, o, oh, ow])
 }
 
 #[cfg(test)]
@@ -139,8 +273,21 @@ mod tests {
     fn output_hw_basic() {
         let s = Conv2dSpec { stride: 2, pad: 1 };
         assert_eq!(s.output_hw(8, 12, 3, 3), (4, 6));
-        let p = Pool2dSpec { kernel: 2, stride: 2 };
+        let p = Pool2dSpec {
+            kernel: 2,
+            stride: 2,
+        };
         assert_eq!(p.output_hw(8, 12), (4, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "pool window larger than input")]
+    fn pool_rejects_window_larger_than_input() {
+        let p = Pool2dSpec {
+            kernel: 3,
+            stride: 1,
+        };
+        p.output_hw(2, 5);
     }
 
     #[test]
@@ -171,6 +318,49 @@ mod tests {
         // top-left output's top-left kernel tap lies in the pad region
         assert_eq!(cols.at(&[0, 0, 0]), 0.0);
         assert_eq!(cols.at(&[0, 4, 0]), 1.0); // centre tap on real pixel
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = Conv2dSpec { stride: 1, pad: 1 };
+        let mut buf = Vec::new();
+        for trial in 0..3 {
+            let x = Tensor::randn(&[2, 3, 5 + trial, 6], &mut rng);
+            let dims = im2col_into(&x, 3, 3, spec, &mut buf);
+            let fresh = im2col(&x, 3, 3, spec);
+            assert_eq!(dims.to_vec(), fresh.dims().to_vec());
+            assert_eq!(buf, fresh.as_slice());
+
+            let y = Tensor::randn(&dims, &mut rng);
+            let mut folded = Tensor::zeros(x.dims());
+            col2im_into(&y, x.dims(), 3, 3, spec, &mut folded);
+            assert_eq!(folded, col2im(&y, x.dims(), 3, 3, spec));
+        }
+    }
+
+    #[test]
+    fn conv2d_forward_matches_manual_columns() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let spec = Conv2dSpec { stride: 2, pad: 1 };
+        let x = Tensor::randn(&[2, 3, 8, 10], &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let mut scratch = ConvScratch::new();
+        let y = conv2d_forward(&x, &w, spec, &mut scratch);
+        assert_eq!(y.dims(), &[2, 4, 4, 5]);
+        // reference: explicit per-batch wmat × cols
+        let cols = im2col(&x, 3, 3, spec);
+        let wmat = w.reshape(&[4, 27]);
+        for b in 0..2 {
+            let colb = cols.slice(0, b, 1).reshape(&[27, 20]);
+            let yb = wmat.matmul(&colb);
+            let got = y.slice(0, b, 1).reshape(&[4, 20]);
+            assert!(got.max_abs_diff(&yb) < 1e-12);
+        }
+        // second call reuses the grown buffer
+        let cap = scratch.capacity();
+        let _ = conv2d_forward(&x, &w, spec, &mut scratch);
+        assert_eq!(scratch.capacity(), cap, "scratch should not regrow");
     }
 
     proptest! {

@@ -95,7 +95,10 @@ impl Graph {
     /// Panics if `index` is not a node on this tape.
     pub fn var_by_index(&self, index: usize) -> Var<'_> {
         assert!(index < self.len(), "var index {index} out of range");
-        Var { graph: self, id: index }
+        Var {
+            graph: self,
+            id: index,
+        }
     }
 
     pub(crate) fn push(&self, value: Tensor, backward: Option<BackFn>) -> usize {
@@ -136,7 +139,10 @@ impl Graph {
                 if node.grad.is_none() || node.backward.is_none() {
                     continue;
                 }
-                (node.grad.clone().expect("checked above"), node.backward.take())
+                (
+                    node.grad.clone().expect("checked above"),
+                    node.backward.take(),
+                )
             };
             if let Some(back) = back {
                 // run outside the borrow: backward closures only capture

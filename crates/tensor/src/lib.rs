@@ -6,6 +6,30 @@
 //! together with a tape-based autodiff [`Graph`] that computes exact
 //! gradients for all of them.
 //!
+//! # Threading model
+//!
+//! The autodiff tape is **single-threaded**: [`Graph`] is built on
+//! `RefCell` and is `!Sync`, ops are recorded and replayed in order, and no
+//! tape state ever crosses a thread. Parallelism is **intra-op**: large
+//! tensor operations (matmul, im2col/col2im, elementwise maps and
+//! reductions) fan their output buffer out over a scoped worker pool
+//! ([`parallel`]) and join before returning, so callers — including the
+//! tape's backward closures — never observe a thread.
+//!
+//! The pool width defaults to [`std::thread::available_parallelism`] and
+//! can be overridden with the `YOLLO_THREADS` environment variable;
+//! `YOLLO_THREADS=1` forces every op onto its serial reference path. Small
+//! tensors skip the pool entirely (see [`parallel::PAR_ELEMWISE_MIN`] and
+//! [`parallel::PAR_MATMUL_MIN_FLOPS`]), keeping scalar-heavy code fast.
+//!
+//! Matrix multiplication runs through a cache-blocked kernel
+//! ([`matmul_blocked`]) that packs panels of the right-hand operand for
+//! contiguous streaming; [`matmul_naive`] retains the textbook
+//! triple loop as the correctness reference that the equivalence property
+//! tests pin the blocked/parallel paths against. Convolutions can reuse
+//! column buffers across calls via [`ConvScratch`] / [`conv2d_forward`] and
+//! the `im2col_into` / `col2im_into` variants.
+//!
 //! # Quick example
 //!
 //! ```
@@ -25,15 +49,18 @@ mod conv;
 mod error;
 mod graph;
 mod ops;
+pub mod parallel;
 mod shape;
 mod tensor;
 
 pub use check::{check_gradients, GradCheck};
-pub use conv::{col2im, im2col, Conv2dSpec, Pool2dSpec};
+pub use conv::{
+    col2im, col2im_into, conv2d_forward, im2col, im2col_into, Conv2dSpec, ConvScratch, Pool2dSpec,
+};
 pub use error::TensorError;
 pub use graph::{Graph, Var, VarId};
 pub use shape::{broadcast_shapes, Shape};
-pub use tensor::Tensor;
+pub use tensor::{matmul_blocked, matmul_blocked_batched, matmul_naive, Tensor};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

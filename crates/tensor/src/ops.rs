@@ -6,6 +6,8 @@
 
 use crate::conv::{col2im, im2col, Conv2dSpec, Pool2dSpec};
 use crate::graph::BackFn;
+use crate::parallel;
+use crate::tensor::{matmul_blocked, matmul_nt, matmul_tn};
 use crate::{Graph, Tensor, Var};
 
 impl<'g> Var<'g> {
@@ -22,7 +24,7 @@ impl<'g> Var<'g> {
     fn binop(
         self,
         rhs: Var<'g>,
-        f: impl Fn(f64, f64) -> f64,
+        f: impl Fn(f64, f64) -> f64 + Sync,
         back: impl Fn(&Tensor, &Tensor, &Tensor) -> (Tensor, Tensor) + 'static,
     ) -> Var<'g> {
         let a = self.value();
@@ -54,7 +56,12 @@ impl<'g> Var<'g> {
         self.binop(
             rhs,
             |a, b| a * b,
-            |g, a, b| (g.zip_broadcast(b, |x, y| x * y), g.zip_broadcast(a, |x, y| x * y)),
+            |g, a, b| {
+                (
+                    g.zip_broadcast(b, |x, y| x * y),
+                    g.zip_broadcast(a, |x, y| x * y),
+                )
+            },
         )
     }
 
@@ -77,7 +84,7 @@ impl<'g> Var<'g> {
 
     fn unary(
         self,
-        f: impl Fn(f64) -> f64,
+        f: impl Fn(f64) -> f64 + Sync,
         dfdx: impl Fn(f64, f64) -> f64 + 'static, // (x, y=f(x)) -> derivative
     ) -> Var<'g> {
         let x = self.value();
@@ -527,15 +534,25 @@ impl<'g> Var<'g> {
         let (o, c2, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
         assert_eq!(c, c2, "conv2d channel mismatch");
         let (oh, ow) = spec.output_hw(h, wd, kh, kw);
-        // cols: [N, C*kh*kw, OH*OW]; out[b] = wmat [O, ckk] × cols[b] [ckk, L]
+        // cols: [N, C*kh*kw, OH*OW]; out[b] = w [O, ckk] × cols[b] [ckk, L].
+        // The [O,C,kh,kw] weight buffer is already the row-major [O, ckk]
+        // matrix, and each batch's columns are a contiguous run of `cols`,
+        // so everything feeds the flat kernels without reshape/slice copies.
         let cols = im2col(&x, kh, kw, spec);
-        let wmat = w.reshape(&[o, c * kh * kw]);
+        let ckk = c * kh * kw;
         let l = oh * ow;
+        let threads = parallel::num_threads();
         let mut out_data = vec![0.0; n * o * l];
         for b in 0..n {
-            let colb = cols.slice(0, b, 1).reshape(&[c * kh * kw, l]);
-            let ob = wmat.matmul(&colb);
-            out_data[b * o * l..(b + 1) * o * l].copy_from_slice(ob.as_slice());
+            matmul_blocked(
+                w.as_slice(),
+                &cols.as_slice()[b * ckk * l..(b + 1) * ckk * l],
+                &mut out_data[b * o * l..(b + 1) * o * l],
+                o,
+                ckk,
+                l,
+                threads,
+            );
         }
         let out = Tensor::from_vec(out_data, &[n, o, oh, ow]);
         let (ix, iw) = (self.id, weight.id);
@@ -543,20 +560,25 @@ impl<'g> Var<'g> {
         self.push(
             out,
             Box::new(move |g| {
-                // g: [N,O,OH,OW]
-                let mut gw = Tensor::zeros(&[o, c * kh * kw]);
-                let mut gcols = Tensor::zeros(&[n, c * kh * kw, l]);
+                // g: [N,O,OH,OW]; per batch, accumulate
+                //   gw   += g[b] [O,L] × cols[b]ᵀ [L,ckk]
+                //   gcols[b] = wᵀ [ckk,O] × g[b] [O,L]
+                // via the transposed-operand kernels (no materialised
+                // transposes, no per-batch slice copies)
+                let gs = g.as_slice();
+                let cs = cols.as_slice();
+                let ws = w.as_slice();
+                let mut gw = vec![0.0; o * ckk];
+                let mut gcols = Tensor::zeros(&[n, ckk, l]);
+                let gc = gcols.as_mut_slice();
                 for b in 0..n {
-                    let gb = g.slice(0, b, 1).reshape(&[o, l]);
-                    let colb = cols.slice(0, b, 1).reshape(&[c * kh * kw, l]);
-                    gw.add_assign(&gb.matmul(&colb.transpose()));
-                    let gc = wmat.transpose().matmul(&gb); // [ckk, L]
-                    let dst = &mut gcols.as_mut_slice()
-                        [b * c * kh * kw * l..(b + 1) * c * kh * kw * l];
-                    dst.copy_from_slice(gc.as_slice());
+                    let gb = &gs[b * o * l..(b + 1) * o * l];
+                    let colb = &cs[b * ckk * l..(b + 1) * ckk * l];
+                    matmul_nt(gb, colb, &mut gw, o, l, ckk);
+                    matmul_tn(ws, gb, &mut gc[b * ckk * l..(b + 1) * ckk * l], o, ckk, l);
                 }
                 let gx = col2im(&gcols, &x_dims, kh, kw, spec);
-                vec![(ix, gx), (iw, gw.reshape(&[o, c, kh, kw]))]
+                vec![(ix, gx), (iw, Tensor::from_vec(gw, &[o, c, kh, kw]))]
             }),
         )
     }
@@ -781,10 +803,16 @@ mod tests {
     fn max_pool_forward_and_backward() {
         let g = Graph::new();
         let x = g.leaf(Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         ));
-        let y = x.max_pool2d(Pool2dSpec { kernel: 2, stride: 2 });
+        let y = x.max_pool2d(Pool2dSpec {
+            kernel: 2,
+            stride: 2,
+        });
         assert_eq!(y.value().as_slice(), &[6.0, 8.0, 14.0, 16.0]);
         y.sum_all().backward();
         let gr = x.grad();

@@ -1,0 +1,222 @@
+//! Intra-op parallelism: a scoped worker pool over `std::thread`.
+//!
+//! The autodiff tape ([`crate::Graph`]) stays single-threaded by design;
+//! parallelism lives *inside* individual tensor operations, which fan work
+//! out over disjoint chunks of their output buffer and join before
+//! returning. Nothing concurrent ever escapes an op, so the tape never
+//! observes a thread.
+//!
+//! The pool width is [`num_threads`]: the `YOLLO_THREADS` environment
+//! variable when set to a positive integer, otherwise
+//! [`std::thread::available_parallelism`]. `YOLLO_THREADS=1` forces every
+//! op onto its serial path, which is also the reference behaviour the
+//! equivalence property tests pin the parallel paths against.
+//!
+//! Workers are scoped threads spawned per call ([`std::thread::scope`]),
+//! not a persistent pool: spawn cost is a few microseconds, so every op
+//! gates fan-out behind a size threshold ([`PAR_ELEMWISE_MIN`],
+//! [`PAR_MATMUL_MIN_FLOPS`]) below which it stays on the serial fast path.
+
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// Minimum number of output elements before an elementwise op fans out.
+pub const PAR_ELEMWISE_MIN: usize = 1 << 16;
+
+/// Minimum multiply-accumulate count before a matmul fans out.
+pub const PAR_MATMUL_MIN_FLOPS: usize = 1 << 21;
+
+fn hardware_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Parses a `YOLLO_THREADS`-style override. `None`, non-numeric values and
+/// `0` all mean "no override".
+pub fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// The worker-pool width: `YOLLO_THREADS` if set, else hardware parallelism.
+///
+/// Read per call (not cached) so tests and long-lived servers can retune.
+pub fn num_threads() -> usize {
+    parse_thread_override(std::env::var("YOLLO_THREADS").ok().as_deref())
+        .unwrap_or_else(hardware_threads)
+}
+
+/// Runs `f(chunk_index, chunk)` for every `chunk_len`-sized chunk of `data`
+/// (the last chunk may be shorter), distributing contiguous runs of chunks
+/// over `threads` scoped workers. `threads <= 1`, or a single chunk, runs
+/// inline with no spawn. Chunks are disjoint `&mut` views, so workers can
+/// write their output without synchronisation.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`, or if a worker panics.
+pub fn for_each_chunk_in(
+    threads: usize,
+    data: &mut [f64],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = threads.min(n_chunks);
+    if workers <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let per = n_chunks.div_ceil(workers); // whole chunks per worker
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut bands = Vec::with_capacity(workers);
+        let mut rest = data;
+        let mut first = 0;
+        while !rest.is_empty() {
+            let take = (per * chunk_len).min(rest.len());
+            let (band, tail) = rest.split_at_mut(take);
+            rest = tail;
+            bands.push((first, band));
+            first += per;
+        }
+        let mut bands = bands.into_iter();
+        let home = bands.next();
+        for (band_first, band) in bands {
+            scope.spawn(move || {
+                for (i, chunk) in band.chunks_mut(chunk_len).enumerate() {
+                    f(band_first + i, chunk);
+                }
+            });
+        }
+        // the calling thread works too, instead of idling at the join
+        if let Some((band_first, band)) = home {
+            for (i, chunk) in band.chunks_mut(chunk_len).enumerate() {
+                f(band_first + i, chunk);
+            }
+        }
+    });
+}
+
+/// [`for_each_chunk_in`] at the ambient pool width ([`num_threads`]).
+pub fn for_each_chunk(data: &mut [f64], chunk_len: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
+    for_each_chunk_in(num_threads(), data, chunk_len, f);
+}
+
+/// Parallel fold over the index range `0..n`: splits it into one contiguous
+/// sub-range per worker, folds each with `fold`, and combines the partial
+/// results in range order (so the result is deterministic for a fixed
+/// thread count). Returns `None` when `n == 0`.
+///
+/// # Panics
+/// Panics if a worker panics.
+pub fn par_fold_in<T, F, C>(threads: usize, n: usize, fold: F, combine: C) -> Option<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+    C: Fn(T, T) -> T,
+{
+    if n == 0 {
+        return None;
+    }
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return Some(fold(0..n));
+    }
+    let per = n.div_ceil(workers);
+    Some(std::thread::scope(|scope| {
+        let fold = &fold;
+        let handles: Vec<_> = (1..workers)
+            .map(|w| {
+                let range = (w * per).min(n)..((w + 1) * per).min(n);
+                scope.spawn(move || fold(range))
+            })
+            .collect();
+        let mut acc = fold(0..per.min(n));
+        for h in handles {
+            acc = combine(acc, h.join().expect("parallel fold worker panicked"));
+        }
+        acc
+    }))
+}
+
+/// The chunk length that hands each of `threads` workers one contiguous
+/// run of `n` elements.
+pub fn chunk_len_for(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn override_parsing() {
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("0")), None);
+        assert_eq!(parse_thread_override(Some("banana")), None);
+        assert_eq!(parse_thread_override(Some("4")), Some(4));
+        assert_eq!(parse_thread_override(Some(" 2 ")), Some(2));
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn chunks_cover_every_element_exactly_once() {
+        for &threads in &[1usize, 2, 3, 8] {
+            for &(len, chunk) in &[(0usize, 3usize), (1, 3), (7, 3), (9, 3), (100, 7), (64, 64)] {
+                let mut data = vec![0.0; len];
+                let touched = AtomicUsize::new(0);
+                for_each_chunk_in(threads, &mut data, chunk, |ci, c| {
+                    touched.fetch_add(c.len(), Ordering::Relaxed);
+                    for (i, v) in c.iter_mut().enumerate() {
+                        *v = (ci * chunk + i) as f64;
+                    }
+                });
+                assert_eq!(touched.load(Ordering::Relaxed), len);
+                for (i, v) in data.iter().enumerate() {
+                    assert_eq!(*v, i as f64, "len {len} chunk {chunk} threads {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_fold_matches_serial_sum() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let serial: f64 = data.iter().sum();
+        for &threads in &[1usize, 2, 5, 16] {
+            let par = par_fold_in(
+                threads,
+                data.len(),
+                |r| r.map(|i| data[i]).sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap();
+            assert_eq!(par, serial, "threads {threads}");
+        }
+        assert_eq!(
+            par_fold_in(4, 0, |_| 0.0f64, |a, b| a + b),
+            None,
+            "empty fold"
+        );
+    }
+
+    #[test]
+    fn chunk_len_hands_one_run_per_worker() {
+        assert_eq!(chunk_len_for(100, 4), 25);
+        assert_eq!(chunk_len_for(101, 4), 26);
+        assert_eq!(chunk_len_for(3, 8), 1);
+        assert_eq!(chunk_len_for(5, 0), 5);
+    }
+}

@@ -1,3 +1,4 @@
+use crate::parallel;
 use crate::shape::{broadcast_shapes, Shape};
 use crate::{Result, TensorError};
 use rand::distributions::Distribution;
@@ -171,7 +172,12 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor has more than one element.
     pub fn scalar(&self) -> f64 {
-        assert_eq!(self.numel(), 1, "scalar() on tensor with {} elements", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "scalar() on tensor with {} elements",
+            self.numel()
+        );
         self.data[0]
     }
 
@@ -232,34 +238,86 @@ impl Tensor {
 
     // ----- elementwise -----
 
+    /// Number of workers an elementwise op over `n` elements should use:
+    /// 1 (serial fast path) below the size threshold or when the pool is
+    /// a single thread.
+    fn elemwise_threads(n: usize) -> usize {
+        if n < parallel::PAR_ELEMWISE_MIN {
+            1
+        } else {
+            parallel::num_threads()
+        }
+    }
+
     /// Applies `f` to every element, producing a new tensor.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+    ///
+    /// Large tensors are processed by the worker pool (see [`crate::parallel`]),
+    /// hence the `Sync` bound.
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
+        let n = self.numel();
+        let threads = Tensor::elemwise_threads(n);
+        if threads <= 1 {
+            return Tensor {
+                shape: self.shape.clone(),
+                data: self.data.iter().map(|&x| f(x)).collect(),
+            };
+        }
+        let mut data = vec![0.0; n];
+        let chunk = parallel::chunk_len_for(n, threads);
+        let src = &self.data;
+        parallel::for_each_chunk_in(threads, &mut data, chunk, |ci, out| {
+            let off = ci * chunk;
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = f(src[off + i]);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
-    /// In-place elementwise update.
-    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+    /// In-place elementwise update (parallel above the size threshold).
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64 + Sync) {
+        let threads = Tensor::elemwise_threads(self.numel());
+        let chunk = parallel::chunk_len_for(self.data.len(), threads);
+        parallel::for_each_chunk_in(threads, &mut self.data, chunk, |_, out| {
+            for x in out.iter_mut() {
+                *x = f(*x);
+            }
+        });
     }
 
-    /// Broadcasting binary operation.
+    /// Broadcasting binary operation (parallel above the size threshold).
     ///
     /// # Panics
     /// Panics if the shapes are not broadcast-compatible.
-    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64 + Sync) -> Tensor {
         if self.dims() == other.dims() {
             // fast path: identical shapes
-            let data = self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            let n = self.numel();
+            let threads = Tensor::elemwise_threads(n);
+            if threads <= 1 {
+                let data = self
+                    .data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect();
+                return Tensor {
+                    shape: self.shape.clone(),
+                    data,
+                };
+            }
+            let mut data = vec![0.0; n];
+            let chunk = parallel::chunk_len_for(n, threads);
+            let (sa, sb) = (&self.data, &other.data);
+            parallel::for_each_chunk_in(threads, &mut data, chunk, |ci, out| {
+                let off = ci * chunk;
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = f(sa[off + i], sb[off + i]);
+                }
+            });
             return Tensor {
                 shape: self.shape.clone(),
                 data,
@@ -273,18 +331,24 @@ impl Tensor {
         let sa = padded_strides(self.dims(), &out_dims);
         let sb = padded_strides(other.dims(), &out_dims);
         let strides = out_shape.strides();
-        for (flat, slot) in data.iter_mut().enumerate() {
-            let mut off_a = 0;
-            let mut off_b = 0;
-            let mut rem = flat;
-            for d in 0..out_dims.len() {
-                let coord = rem / strides[d];
-                rem %= strides[d];
-                off_a += coord * sa[d];
-                off_b += coord * sb[d];
+        let threads = Tensor::elemwise_threads(n);
+        let chunk = parallel::chunk_len_for(n, threads);
+        let (da, db) = (&self.data, &other.data);
+        parallel::for_each_chunk_in(threads, &mut data, chunk, |ci, out| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let flat = ci * chunk + i;
+                let mut off_a = 0;
+                let mut off_b = 0;
+                let mut rem = flat;
+                for d in 0..out_dims.len() {
+                    let coord = rem / strides[d];
+                    rem %= strides[d];
+                    off_a += coord * sa[d];
+                    off_b += coord * sb[d];
+                }
+                *slot = f(da[off_a], db[off_b]);
             }
-            *slot = f(self.data[off_a], other.data[off_b]);
-        }
+        });
         Tensor {
             shape: out_shape,
             data,
@@ -328,9 +392,15 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.dims(), other.dims(), "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b;
-        }
+        let threads = Tensor::elemwise_threads(self.numel());
+        let chunk = parallel::chunk_len_for(self.data.len(), threads);
+        let src = &other.data;
+        parallel::for_each_chunk_in(threads, &mut self.data, chunk, |ci, out| {
+            let off = ci * chunk;
+            for (i, a) in out.iter_mut().enumerate() {
+                *a += src[off + i];
+            }
+        });
     }
 
     /// Scales every element by `s`.
@@ -348,13 +418,14 @@ impl Tensor {
     /// # Panics
     /// Panics on rank/shape mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let threads = parallel::num_threads();
         match (self.rank(), other.rank()) {
             (2, 2) => {
                 let (m, k) = (self.dims()[0], self.dims()[1]);
                 let (k2, n) = (other.dims()[0], other.dims()[1]);
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
                 let mut out = vec![0.0; m * n];
-                matmul_kernel(&self.data, &other.data, &mut out, m, k, n);
+                matmul_blocked(&self.data, &other.data, &mut out, m, k, n, threads);
                 Tensor::from_vec(out, &[m, n])
             }
             (3, 3) => {
@@ -363,16 +434,17 @@ impl Tensor {
                 assert_eq!(b, b2, "batched matmul batch dims: {b} vs {b2}");
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
                 let mut out = vec![0.0; b * m * n];
-                for i in 0..b {
-                    matmul_kernel(
-                        &self.data[i * m * k..(i + 1) * m * k],
-                        &other.data[i * k * n..(i + 1) * k * n],
-                        &mut out[i * m * n..(i + 1) * m * n],
-                        m,
-                        k,
-                        n,
-                    );
-                }
+                matmul_blocked_batched(
+                    &self.data,
+                    &other.data,
+                    &mut out,
+                    b,
+                    m,
+                    k,
+                    n,
+                    true,
+                    threads,
+                );
                 Tensor::from_vec(out, &[b, m, n])
             }
             (3, 2) => {
@@ -380,16 +452,17 @@ impl Tensor {
                 let (k2, n) = (other.dims()[0], other.dims()[1]);
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
                 let mut out = vec![0.0; b * m * n];
-                for i in 0..b {
-                    matmul_kernel(
-                        &self.data[i * m * k..(i + 1) * m * k],
-                        &other.data,
-                        &mut out[i * m * n..(i + 1) * m * n],
-                        m,
-                        k,
-                        n,
-                    );
-                }
+                matmul_blocked_batched(
+                    &self.data,
+                    &other.data,
+                    &mut out,
+                    b,
+                    m,
+                    k,
+                    n,
+                    false,
+                    threads,
+                );
                 Tensor::from_vec(out, &[b, m, n])
             }
             (ra, rb) => panic!("matmul unsupported ranks: {ra} and {rb}"),
@@ -399,8 +472,19 @@ impl Tensor {
     // ----- reductions -----
 
     /// Sum of all elements, as a rank-0 tensor.
+    ///
+    /// Parallel above the size threshold; partials combine in a fixed band
+    /// order, so results are deterministic for a given thread count.
     pub fn sum_all(&self) -> Tensor {
-        Tensor::from_scalar(self.data.iter().sum())
+        let threads = Tensor::elemwise_threads(self.numel());
+        let total = parallel::par_fold_in(
+            threads,
+            self.data.len(),
+            |r| self.data[r].iter().sum::<f64>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0);
+        Tensor::from_scalar(total)
     }
 
     /// Mean of all elements, as a rank-0 tensor. Empty tensors yield 0.
@@ -430,14 +514,22 @@ impl Tensor {
         let mut out_dims = dims.to_vec();
         out_dims.remove(axis);
         let mut out = vec![0.0; outer * inner];
-        for o in 0..outer {
+        let threads = if inner == 0 {
+            1
+        } else {
+            Tensor::elemwise_threads(self.numel())
+        };
+        let src = &self.data;
+        // one chunk per outer slice: disjoint writes, reads confined to the
+        // matching input stripe
+        parallel::for_each_chunk_in(threads, &mut out, inner.max(1), |o, slot| {
             for m in 0..mid {
                 let base = (o * mid + m) * inner;
-                for i in 0..inner {
-                    out[o * inner + i] += self.data[base + i];
+                for (i, s) in slot.iter_mut().enumerate() {
+                    *s += src[base + i];
                 }
             }
-        }
+        });
         Tensor::from_vec(out, &out_dims)
     }
 
@@ -451,15 +543,19 @@ impl Tensor {
         self.sum_axis(axis).scale(1.0 / n as f64)
     }
 
-    /// Row-wise softmax over the last axis.
+    /// Row-wise softmax over the last axis (rows fan out over the pool
+    /// above the size threshold).
     pub fn softmax_lastdim(&self) -> Tensor {
         let r = self.rank();
         assert!(r >= 1, "softmax requires rank >= 1");
         let n = self.dims()[r - 1];
-        let rows = self.numel() / n.max(1);
         let mut out = self.data.clone();
-        for row in 0..rows {
-            let s = &mut out[row * n..(row + 1) * n];
+        let threads = if n == 0 {
+            1
+        } else {
+            Tensor::elemwise_threads(self.numel())
+        };
+        parallel::for_each_chunk_in(threads, &mut out, n.max(1), |_, s| {
             let mx = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let mut z = 0.0;
             for x in s.iter_mut() {
@@ -469,7 +565,7 @@ impl Tensor {
             for x in s.iter_mut() {
                 *x /= z;
             }
-        }
+        });
         Tensor {
             shape: self.shape.clone(),
             data: out,
@@ -588,9 +684,17 @@ impl Tensor {
         Tensor::from_vec(data, &out_dims)
     }
 
-    /// Frobenius / L2 norm of all elements.
+    /// Frobenius / L2 norm of all elements (parallel above the threshold).
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        let threads = Tensor::elemwise_threads(self.numel());
+        parallel::par_fold_in(
+            threads,
+            self.data.len(),
+            |r| self.data[r].iter().map(|x| x * x).sum::<f64>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0)
+        .sqrt()
     }
 
     /// Index of the maximum element (flat). Ties resolve to the first.
@@ -669,18 +773,236 @@ fn padded_strides(dims: &[usize], target: &[usize]) -> Vec<usize> {
     out
 }
 
-/// Cache-friendly i-k-j matmul kernel: `out[m,n] += a[m,k] * b[k,n]`.
-fn matmul_kernel(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+// ----- matmul kernel suite -----
+//
+// The blocked kernel loops (kb, jb) panels of B, packs each panel into an
+// interleaved layout (quads of four consecutive k-rows), and streams it
+// against rows of A, so the innermost loop reads one contiguous buffer and
+// touches each output row once per four k-steps instead of once per step.
+// Row bands of the output fan out over the worker pool; each band is an
+// independent serial computation, so parallel and serial results are
+// identical for a given band split.
+
+/// Output rows per parallel band (and the band height the packed panel is
+/// reused across).
+const MC: usize = 64;
+/// Panel depth: k-rows of B packed per panel.
+const KC: usize = 128;
+/// Panel width: columns of B per panel (KC×NC×8 bytes ≈ 256 KiB, L2-sized).
+const NC: usize = 256;
+
+/// Naive triple-loop reference kernel: `out[m,n] += a[m,k] × b[k,n]`.
+///
+/// Deliberately unoptimised (i-j-k dot products, strided B reads). Retained
+/// as the correctness oracle for the equivalence property tests and the
+/// baseline that `exp_tensor_speed` measures [`matmul_blocked`] against.
+pub fn matmul_naive(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
     for i in 0..m {
-        for p in 0..k {
-            let av = a[i * k + p];
-            if av == 0.0 {
-                continue;
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
             }
-            let brow = &b[p * n..(p + 1) * n];
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+/// Serial cache-blocked kernel over one row band:
+/// `band += a[r0 .. r0+rows, :] × b`, where `band` holds `rows` full output
+/// rows. `panel` is caller-provided pack scratch (cleared and reused).
+fn matmul_band(
+    a: &[f64],
+    b: &[f64],
+    band: &mut [f64],
+    r0: usize,
+    k: usize,
+    n: usize,
+    panel: &mut Vec<f64>,
+) {
+    let rows = band.len() / n;
+    for kb in (0..k).step_by(KC) {
+        let kend = (kb + KC).min(k);
+        let kq = (kend - kb) & !3; // span handled by packed quads
+        for jb in (0..n).step_by(NC) {
+            let jend = (jb + NC).min(n);
+            let jw = jend - jb;
+            // pack B[kb..kb+kq, jb..jend] as interleaved quads: for each j,
+            // the four k-values sit adjacent, so the inner loop below is one
+            // forward stream
+            panel.clear();
+            panel.resize(kq * jw, 0.0);
+            for q in 0..kq / 4 {
+                let r = kb + q * 4;
+                let (b0, b1, b2, b3) = (
+                    &b[r * n + jb..r * n + jend],
+                    &b[(r + 1) * n + jb..(r + 1) * n + jend],
+                    &b[(r + 2) * n + jb..(r + 2) * n + jend],
+                    &b[(r + 3) * n + jb..(r + 3) * n + jend],
+                );
+                let dst = &mut panel[q * 4 * jw..(q + 1) * 4 * jw];
+                for j in 0..jw {
+                    dst[4 * j] = b0[j];
+                    dst[4 * j + 1] = b1[j];
+                    dst[4 * j + 2] = b2[j];
+                    dst[4 * j + 3] = b3[j];
+                }
+            }
+            for i in 0..rows {
+                let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
+                let orow = &mut band[i * n + jb..i * n + jend];
+                for q in 0..kq / 4 {
+                    let p = kb + q * 4;
+                    let (av0, av1, av2, av3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+                    let quad = &panel[q * 4 * jw..(q + 1) * 4 * jw];
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o += av0 * quad[4 * j]
+                            + av1 * quad[4 * j + 1]
+                            + av2 * quad[4 * j + 2]
+                            + av3 * quad[4 * j + 3];
+                    }
+                }
+                // k remainder (fewer than four rows left in this k-panel)
+                for p in kb + kq..kend {
+                    let av = arow[p];
+                    let brow = &b[p * n + jb..p * n + jend];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cache-blocked, pool-parallel matmul: `out[m,n] += a[m,k] × b[k,n]`.
+///
+/// Row bands of the output are distributed over `threads` workers; pass
+/// `threads = 1` for the deterministic serial path. Small problems (under
+/// [`parallel::PAR_MATMUL_MIN_FLOPS`] multiply-accumulates) stay serial
+/// regardless.
+///
+/// # Panics
+/// Panics if slice lengths do not match `m*k`, `k*n`, `m*n`.
+pub fn matmul_blocked(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "matmul_blocked: bad lhs length");
+    assert_eq!(b.len(), k * n, "matmul_blocked: bad rhs length");
+    assert_eq!(out.len(), m * n, "matmul_blocked: bad out length");
+    if n == 0 {
+        return;
+    }
+    if threads <= 1 || m * k * n < parallel::PAR_MATMUL_MIN_FLOPS || m < 2 {
+        let mut panel = Vec::new();
+        matmul_band(a, b, out, 0, k, n, &mut panel);
+        return;
+    }
+    parallel::for_each_chunk_in(threads, out, MC * n, |band_idx, band| {
+        let mut panel = Vec::new();
+        matmul_band(a, b, band, band_idx * MC, k, n, &mut panel);
+    });
+}
+
+/// Batched blocked matmul: `out[bi] += a[bi] × b[bi]` (or a shared 2-D `b`
+/// when `b_is_batched` is false). Whole batches fan out over the pool when
+/// there are enough of them; otherwise each batch parallelises over rows.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_blocked_batched(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    b_is_batched: bool,
+    threads: usize,
+) {
+    assert_eq!(a.len(), batch * m * k, "matmul_blocked_batched: bad lhs");
+    let b_stride = if b_is_batched { k * n } else { 0 };
+    assert_eq!(
+        b.len(),
+        if b_is_batched { batch * k * n } else { k * n },
+        "matmul_blocked_batched: bad rhs"
+    );
+    assert_eq!(out.len(), batch * m * n, "matmul_blocked_batched: bad out");
+    if batch == 0 || m * n == 0 {
+        return;
+    }
+    let big_enough = batch * m * k * n >= parallel::PAR_MATMUL_MIN_FLOPS;
+    if threads > 1 && big_enough && batch >= threads {
+        // enough batches to keep every worker busy: one batch per chunk
+        parallel::for_each_chunk_in(threads, out, m * n, |bi, chunk| {
+            let mut panel = Vec::new();
+            matmul_band(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[bi * b_stride..bi * b_stride + k * n],
+                chunk,
+                0,
+                k,
+                n,
+                &mut panel,
+            );
+        });
+    } else {
+        // few large batches: let each matmul parallelise over its rows
+        for bi in 0..batch {
+            matmul_blocked(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[bi * b_stride..bi * b_stride + k * n],
+                &mut out[bi * m * n..(bi + 1) * m * n],
+                m,
+                k,
+                n,
+                threads,
+            );
+        }
+    }
+}
+
+/// `out[m,n] += a[m,k] × b[n,k]ᵀ` — both operands row-major, so every dot
+/// product reads two contiguous runs. Used by conv2d backward (`∂W`).
+pub(crate) fn matmul_nt(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            // four partial accumulators so the reduction vectorises
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+            let quads = k & !3;
+            for p in (0..quads).step_by(4) {
+                s0 += arow[p] * brow[p];
+                s1 += arow[p + 1] * brow[p + 1];
+                s2 += arow[p + 2] * brow[p + 2];
+                s3 += arow[p + 3] * brow[p + 3];
+            }
+            let mut acc = (s0 + s1) + (s2 + s3);
+            for p in quads..k {
+                acc += arow[p] * brow[p];
+            }
+            *o += acc;
+        }
+    }
+}
+
+/// `out[m,n] += a[p,m]ᵀ × b[p,n]` — the transpose-free Aᵀ·B used by conv2d
+/// backward (`∂cols`): both operands stream row-major, no copies.
+pub(crate) fn matmul_tn(a: &[f64], b: &[f64], out: &mut [f64], p: usize, m: usize, n: usize) {
+    for r in 0..p {
+        let arow = &a[r * m..(r + 1) * m];
+        let brow = &b[r * n..(r + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
             let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
             }
         }
     }
@@ -845,6 +1167,109 @@ mod tests {
     fn argmax_first_tie() {
         let a = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.0], &[4]);
         assert_eq!(a.argmax(), 1);
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // shapes straddle the MC/KC/NC block edges and quad remainders
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (7, 3, 5),
+            (65, 130, 37),
+            (64, 128, 256),
+            (33, 257, 300),
+        ] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let mut reference = vec![0.0; m * n];
+            matmul_naive(a.as_slice(), b.as_slice(), &mut reference, m, k, n);
+            for &threads in &[1usize, 4] {
+                let mut out = vec![0.0; m * n];
+                matmul_blocked(a.as_slice(), b.as_slice(), &mut out, m, k, n, threads);
+                let worst = out
+                    .iter()
+                    .zip(&reference)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0, f64::max);
+                assert!(worst < 1e-11, "{m}x{k}x{n} threads {threads}: diff {worst}");
+            }
+        }
+    }
+
+    #[test]
+    fn nt_and_tn_kernels_match_transposed_matmul() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (m, k, n) = (9, 17, 6);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[n, k], &mut rng);
+        let mut out = vec![0.0; m * n];
+        matmul_nt(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+        let expected = a.matmul(&b.transpose());
+        let got = Tensor::from_vec(out, &[m, n]);
+        assert!(got.max_abs_diff(&expected) < 1e-12);
+
+        let (p, m2, n2) = (13, 5, 8);
+        let c = Tensor::randn(&[p, m2], &mut rng);
+        let d = Tensor::randn(&[p, n2], &mut rng);
+        let mut out2 = vec![0.0; m2 * n2];
+        matmul_tn(c.as_slice(), d.as_slice(), &mut out2, p, m2, n2);
+        let expected2 = c.transpose().matmul(&d);
+        let got2 = Tensor::from_vec(out2, &[m2, n2]);
+        assert!(got2.max_abs_diff(&expected2) < 1e-12);
+    }
+
+    #[test]
+    fn batched_kernel_handles_shared_and_batched_rhs() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (bsz, m, k, n) = (5, 4, 6, 3);
+        let a = Tensor::randn(&[bsz, m, k], &mut rng);
+        let b3 = Tensor::randn(&[bsz, k, n], &mut rng);
+        let b2 = Tensor::randn(&[k, n], &mut rng);
+        for &threads in &[1usize, 3] {
+            let mut out = vec![0.0; bsz * m * n];
+            matmul_blocked_batched(
+                a.as_slice(),
+                b3.as_slice(),
+                &mut out,
+                bsz,
+                m,
+                k,
+                n,
+                true,
+                threads,
+            );
+            let mut reference = vec![0.0; bsz * m * n];
+            for bi in 0..bsz {
+                matmul_naive(
+                    &a.as_slice()[bi * m * k..(bi + 1) * m * k],
+                    &b3.as_slice()[bi * k * n..(bi + 1) * k * n],
+                    &mut reference[bi * m * n..(bi + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            for (x, y) in out.iter().zip(&reference) {
+                assert!((x - y).abs() < 1e-12);
+            }
+            let mut out2 = vec![0.0; bsz * m * n];
+            matmul_blocked_batched(
+                a.as_slice(),
+                b2.as_slice(),
+                &mut out2,
+                bsz,
+                m,
+                k,
+                n,
+                false,
+                threads,
+            );
+            let expected = a.matmul(&b2);
+            for (x, y) in out2.iter().zip(expected.as_slice()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
     }
 
     proptest! {

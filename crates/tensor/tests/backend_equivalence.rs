@@ -1,0 +1,286 @@
+//! Property tests pinning the blocked/parallel compute paths to the naive
+//! reference kernels.
+//!
+//! The contract: for every shape — including awkward non-multiples of the
+//! block sizes — and every thread count (1 forces the serial path),
+//! `matmul_blocked` / `Tensor::matmul` / the parallel im2col and
+//! elementwise paths agree with an independent naive implementation to
+//! within summation-reordering tolerance (and bitwise where the op does
+//! not reorder sums).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use yollo_tensor::{
+    col2im, conv2d_forward, im2col, im2col_into, matmul_blocked, matmul_blocked_batched,
+    matmul_naive, parallel, Conv2dSpec, ConvScratch, Tensor,
+};
+
+fn randn_vec(len: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(&[len.max(1)], &mut rng).into_vec()[..len].to_vec()
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Tolerance scaled to the dot-product length: blocked summation reorders
+/// additions, so exact equality only holds for tiny k.
+fn matmul_tol(k: usize) -> f64 {
+    1e-12 * (k as f64 + 1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_matmul_matches_naive(
+        m in 1usize..80,
+        k in 1usize..140,
+        n in 1usize..90,
+        threads in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let a = randn_vec(m * k, seed);
+        let b = randn_vec(k * n, seed ^ 0x9e37);
+        let mut naive = vec![0.0; m * n];
+        matmul_naive(&a, &b, &mut naive, m, k, n);
+        let mut blocked = vec![0.0; m * n];
+        matmul_blocked(&a, &b, &mut blocked, m, k, n, threads);
+        prop_assert!(max_abs_diff(&naive, &blocked) < matmul_tol(k));
+    }
+
+    /// Shapes straddling the MC=64 / KC=128 / NC=256 block edges, where an
+    /// off-by-one in remainder handling would hide from small random shapes.
+    #[test]
+    fn blocked_matmul_at_block_edges(
+        dm in 0usize..3, dk in 0usize..3, dn in 0usize..3,
+        threads in 1usize..4,
+    ) {
+        let (m, k, n) = (63 + dm, 127 + dk, 255 + dn);
+        let a = randn_vec(m * k, 7);
+        let b = randn_vec(k * n, 8);
+        let mut naive = vec![0.0; m * n];
+        matmul_naive(&a, &b, &mut naive, m, k, n);
+        let mut blocked = vec![0.0; m * n];
+        matmul_blocked(&a, &b, &mut blocked, m, k, n, threads);
+        prop_assert!(max_abs_diff(&naive, &blocked) < matmul_tol(k));
+    }
+
+    #[test]
+    fn tensor_matmul_matches_naive_2d(
+        m in 1usize..40,
+        k in 1usize..60,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let y = a.matmul(&b);
+        let mut naive = vec![0.0; m * n];
+        matmul_naive(a.as_slice(), b.as_slice(), &mut naive, m, k, n);
+        prop_assert!(max_abs_diff(y.as_slice(), &naive) < matmul_tol(k));
+    }
+
+    #[test]
+    fn batched_matmul_matches_naive(
+        bt in 1usize..6,
+        m in 1usize..20,
+        k in 1usize..30,
+        n in 1usize..20,
+        shared_rhs in proptest::bool::ANY,
+        threads in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let a = randn_vec(bt * m * k, seed);
+        let blen = if shared_rhs { k * n } else { bt * k * n };
+        let b = randn_vec(blen, seed ^ 0x51f2);
+        let mut naive = vec![0.0; bt * m * n];
+        for bi in 0..bt {
+            let boff = if shared_rhs { 0 } else { bi * k * n };
+            matmul_naive(
+                &a[bi * m * k..(bi + 1) * m * k],
+                &b[boff..boff + k * n],
+                &mut naive[bi * m * n..(bi + 1) * m * n],
+                m, k, n,
+            );
+        }
+        let mut blocked = vec![0.0; bt * m * n];
+        matmul_blocked_batched(&a, &b, &mut blocked, bt, m, k, n, !shared_rhs, threads);
+        prop_assert!(max_abs_diff(&naive, &blocked) < matmul_tol(k));
+    }
+
+    /// im2col against an independent per-element naive unfold, plus the
+    /// `_into` buffer-reuse variant.
+    #[test]
+    fn im2col_matches_naive_unfold(
+        nb in 1usize..3, c in 1usize..4,
+        h in 2usize..8, w in 2usize..8,
+        kh in 1usize..4, kw in 1usize..4,
+        stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= kh && w + 2 * pad >= kw);
+        let spec = Conv2dSpec { stride, pad };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[nb, c, h, w], &mut rng);
+        let cols = im2col(&x, kh, kw, spec);
+
+        // independent naive unfold, written directly from the definition
+        let (oh, ow) = spec.output_hw(h, w, kh, kw);
+        let xs = x.as_slice();
+        let mut naive = vec![0.0; nb * c * kh * kw * oh * ow];
+        let mut idx = 0;
+        for b in 0..nb {
+            for ch in 0..c {
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        for i in 0..oh {
+                            for j in 0..ow {
+                                let y = (i * stride + ki) as isize - pad as isize;
+                                let xc = (j * stride + kj) as isize - pad as isize;
+                                naive[idx] = if y >= 0 && (y as usize) < h
+                                    && xc >= 0 && (xc as usize) < w
+                                {
+                                    xs[((b * c + ch) * h + y as usize) * w + xc as usize]
+                                } else {
+                                    0.0
+                                };
+                                idx += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // unfold moves data without arithmetic: must be bitwise equal
+        prop_assert_eq!(cols.as_slice(), &naive[..]);
+        prop_assert_eq!(cols.dims(), &[nb, c * kh * kw, oh * ow]);
+
+        let mut buf = vec![1.0; 3]; // non-empty: _into must clear stale data
+        let dims = im2col_into(&x, kh, kw, spec, &mut buf);
+        prop_assert_eq!(&dims[..], cols.dims());
+        prop_assert_eq!(&buf[..], cols.as_slice());
+    }
+
+    /// col2im adjoint identity over random shapes — exercises the parallel
+    /// fold path and pins it to im2col (any indexing drift breaks the
+    /// inner-product identity).
+    #[test]
+    fn col2im_adjoint_identity(
+        c in 1usize..4, h in 2usize..8, w in 2usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let spec = Conv2dSpec { stride, pad };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[2, c, h, w], &mut rng);
+        let cx = im2col(&x, k, k, spec);
+        let y = Tensor::randn(cx.dims(), &mut rng);
+        let lhs: f64 = cx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, x.dims(), k, k, spec);
+        let rhs: f64 = x.as_slice().iter().zip(folded.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{} vs {}", lhs, rhs);
+    }
+
+    /// Graph-free scratch conv equals the naive direct convolution sum.
+    #[test]
+    fn conv2d_forward_matches_direct_convolution(
+        c in 1usize..3, o in 1usize..3,
+        h in 3usize..7, w in 3usize..7,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let spec = Conv2dSpec { stride, pad };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[2, c, h, w], &mut rng);
+        let wt = Tensor::randn(&[o, c, k, k], &mut rng);
+        let mut scratch = ConvScratch::new();
+        let got = conv2d_forward(&x, &wt, spec, &mut scratch);
+
+        let (oh, ow) = spec.output_hw(h, w, k, k);
+        let xs = x.as_slice();
+        let ws = wt.as_slice();
+        for b in 0..2 {
+            for oc in 0..o {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut acc = 0.0;
+                        for ch in 0..c {
+                            for ki in 0..k {
+                                for kj in 0..k {
+                                    let y = (i * stride + ki) as isize - pad as isize;
+                                    let xc = (j * stride + kj) as isize - pad as isize;
+                                    if y >= 0 && (y as usize) < h && xc >= 0 && (xc as usize) < w {
+                                        acc += xs[((b * c + ch) * h + y as usize) * w + xc as usize]
+                                            * ws[((oc * c + ch) * k + ki) * k + kj];
+                                    }
+                                }
+                            }
+                        }
+                        let diff = (got.at(&[b, oc, i, j]) - acc).abs();
+                        prop_assert!(diff < 1e-10, "at [{},{},{},{}]: {}", b, oc, i, j, diff);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Elementwise map/zip/reduction parallel paths agree with a serial
+    /// scalar loop even above the fan-out threshold.
+    #[test]
+    fn elementwise_parallel_matches_serial(seed in 0u64..200) {
+        // comfortably above PAR_ELEMWISE_MIN so the pool engages when
+        // more than one hardware thread is available
+        let n = parallel::PAR_ELEMWISE_MIN + 4321;
+        let data = randn_vec(n, seed);
+        let t = Tensor::from_vec(data.clone(), &[n]);
+
+        let mapped = t.map(|v| v * 2.0 + 1.0);
+        for (got, want) in mapped.as_slice().iter().zip(&data) {
+            prop_assert_eq!(*got, *want * 2.0 + 1.0);
+        }
+
+        let u = Tensor::from_vec(randn_vec(n, seed ^ 0xabcd), &[n]);
+        let zipped = t.zip_broadcast(&u, |a, b| a * b);
+        for ((got, a), b) in zipped.as_slice().iter().zip(&data).zip(u.as_slice()) {
+            prop_assert_eq!(*got, *a * *b);
+        }
+
+        // parallel fold reorders additions: compare against a band-ordered
+        // serial sum with tolerance
+        let serial: f64 = data.iter().sum();
+        let total = t.sum_all().scalar();
+        prop_assert!((total - serial).abs() < 1e-9 * (n as f64));
+    }
+}
+
+/// The explicit-width kernel entry points are what `YOLLO_THREADS` feeds
+/// (via `parallel::num_threads`); width 1 must take the serial path and
+/// agree with the reference, and widening the pool must not change bits.
+/// (The override itself is exercised through the pure parser — setting the
+/// process env var here would race other test threads.)
+#[test]
+fn yollo_threads_one_is_serial_and_correct() {
+    assert_eq!(parallel::parse_thread_override(Some("1")), Some(1));
+    let (m, k, n) = (70, 150, 65);
+    let a = randn_vec(m * k, 42);
+    let b = randn_vec(k * n, 43);
+    let mut naive = vec![0.0; m * n];
+    matmul_naive(&a, &b, &mut naive, m, k, n);
+    let mut one = vec![0.0; m * n];
+    matmul_blocked(&a, &b, &mut one, m, k, n, 1);
+    let mut many = vec![0.0; m * n];
+    matmul_blocked(&a, &b, &mut many, m, k, n, 4);
+    assert!(max_abs_diff(&naive, &one) < 1e-10);
+    // each row band is computed by the same serial kernel regardless of
+    // the pool width, so thread count never changes the bits
+    assert_eq!(one, many);
+}

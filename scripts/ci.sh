@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + tests, then style/lint on the crates that own the
+# compute backend. Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --workspace
+
+echo "== tier-1: tests =="
+cargo test -q --workspace
+
+echo "== rustfmt (tensor, nn) =="
+cargo fmt --check -p yollo-tensor -p yollo-nn
+
+echo "== clippy -D warnings (tensor, nn) =="
+cargo clippy -p yollo-tensor -p yollo-nn --all-targets -- -D warnings
+
+echo "ci.sh: all gates passed"
