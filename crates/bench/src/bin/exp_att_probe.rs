@@ -42,7 +42,10 @@ fn main() {
         ..scale.train_config(42)
     };
     let trainer = Trainer::new(cfg);
-    eprintln!("probe: att-peak hit rate before training: {:.3}", att_peak_hit_rate(&model, &ds, 60));
+    eprintln!(
+        "probe: att-peak hit rate before training: {:.3}",
+        att_peak_hit_rate(&model, &ds, 60)
+    );
     let chunks = 4;
     let per_chunk = TrainConfig {
         iterations: cfg.iterations / chunks,
@@ -52,7 +55,11 @@ fn main() {
     for c in 0..chunks {
         let t = Trainer::new(TrainConfig {
             word2vec_init: per_chunk.word2vec_init && first,
-            pretrain_backbone_steps: if first { per_chunk.pretrain_backbone_steps } else { 0 },
+            pretrain_backbone_steps: if first {
+                per_chunk.pretrain_backbone_steps
+            } else {
+                0
+            },
             seed: 42 + c as u64,
             ..per_chunk
         });
@@ -61,7 +68,7 @@ fn main() {
         eprintln!(
             "after {} iters: loss {:.3} (att {:.3}) peak-hit {:.3} val-acc {:.3}",
             (c + 1) * per_chunk.iterations,
-            log.late_loss(10),
+            log.late_loss(10).unwrap_or(f64::NAN),
             log.points.last().expect("points").loss.att,
             att_peak_hit_rate(&model, &ds, 60),
             model

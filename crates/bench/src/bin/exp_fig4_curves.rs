@@ -27,8 +27,8 @@ fn main() {
         log.write_csv(&path).expect("can write curve CSV");
 
         let total_points = log.points.len();
-        let first = log.early_loss(10);
-        let last = log.late_loss(10);
+        let first = log.early_loss(10).expect("curve has applied steps");
+        let last = log.late_loss(10).expect("curve has applied steps");
         // iteration where half of the total loss drop is already achieved
         let target = first - (first - last) / 2.0;
         let half_iter = log
@@ -49,8 +49,8 @@ fn main() {
         for b in 0..buckets {
             let lo = b * total_points / buckets;
             let hi = ((b + 1) * total_points / buckets).max(lo + 1);
-            let mean: f64 = log.points[lo..hi].iter().map(|p| p.loss.total).sum::<f64>()
-                / (hi - lo) as f64;
+            let mean: f64 =
+                log.points[lo..hi].iter().map(|p| p.loss.total).sum::<f64>() / (hi - lo) as f64;
             let norm = ((mean - last) / (first - last).max(1e-9)).clamp(0.0, 1.0);
             line.push(match (norm * 4.0) as usize {
                 0 => '_',

@@ -118,8 +118,8 @@ pub fn train_yollo(scale: Scale, ds: &Dataset, seed: u64) -> (Yollo, yollo_core:
         "  trained YOLLO ({} iters) in {:.1}s; loss {:.3} -> {:.3}",
         log.points.len(),
         t0.elapsed().as_secs_f64(),
-        log.early_loss(10),
-        log.late_loss(10),
+        log.early_loss(10).unwrap_or(f64::NAN),
+        log.late_loss(10).unwrap_or(f64::NAN),
     );
     (model, log)
 }
@@ -142,7 +142,12 @@ fn log_cache_path(scale: Scale, kind: DatasetKind) -> std::path::PathBuf {
 
 /// Loads the cached trained model for `(scale, kind)` or trains and caches
 /// it (plus its training log). Returns the model and the training curve.
-pub fn load_or_train_yollo(scale: Scale, ds: &Dataset, kind: DatasetKind, seed: u64) -> (Yollo, yollo_core::TrainLog) {
+pub fn load_or_train_yollo(
+    scale: Scale,
+    ds: &Dataset,
+    kind: DatasetKind,
+    seed: u64,
+) -> (Yollo, yollo_core::TrainLog) {
     let path = model_cache_path(scale, kind, yollo_core::AttentionAblation::Full);
     let log_path = log_cache_path(scale, kind);
     if path.exists() && log_path.exists() {
@@ -155,8 +160,11 @@ pub fn load_or_train_yollo(scale: Scale, ds: &Dataset, kind: DatasetKind, seed: 
     }
     let (model, log) = train_yollo(scale, ds, seed);
     model.save(&path).expect("can cache model");
-    std::fs::write(&log_path, serde_json::to_string(&log).expect("serialisable"))
-        .expect("can cache log");
+    std::fs::write(
+        &log_path,
+        serde_json::to_string(&log).expect("serialisable"),
+    )
+    .expect("can cache log");
     (model, log)
 }
 
@@ -199,8 +207,8 @@ pub fn train_yollo_with_ablation(
         "  trained {} in {:.1}s; loss {:.3} -> {:.3}",
         ablation.name(),
         t0.elapsed().as_secs_f64(),
-        log.early_loss(10),
-        log.late_loss(10),
+        log.early_loss(10).unwrap_or(f64::NAN),
+        log.late_loss(10).unwrap_or(f64::NAN),
     );
     model.save(&path).expect("can cache model");
     model
@@ -301,8 +309,7 @@ pub fn train_baselines(scale: Scale, ds: &Dataset, seed: u64) -> Baselines {
 
 /// Directory where experiment outputs (CSV, PPM, JSON) are written.
 pub fn output_dir() -> std::path::PathBuf {
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("can create experiment output dir");
     dir
 }

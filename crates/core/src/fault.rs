@@ -1,0 +1,172 @@
+//! Deterministic fault injection for the training stack.
+//!
+//! A [`FaultPlan`] tells a [`crate::Trainer`] to poison specific steps with
+//! non-finite losses/gradients or to "crash" (return early, as if the
+//! process was killed) before specific iterations. Plans are either built
+//! explicitly or derived from a seed ([`FaultPlan::random`]), so every
+//! fault sequence is reproducible. The file corruptors
+//! ([`truncate_file`], [`bitflip_file`]) simulate the on-disk half of a
+//! crash: a checkpoint cut off mid-write or damaged by a flipped bit.
+//!
+//! Injections are *consumable*: each fires at most once per run, so a
+//! rollback that replays an iteration does not re-trip the same fault
+//! (which would otherwise pin the trainer in a recovery loop).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::TrainRng;
+use rand::Rng;
+
+/// A deterministic schedule of training faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    nan_loss: BTreeSet<usize>,
+    crash_before: BTreeSet<usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds iterations whose loss and gradients will be poisoned with NaN.
+    pub fn nan_loss_at(mut self, iters: impl IntoIterator<Item = usize>) -> Self {
+        self.nan_loss.extend(iters);
+        self
+    }
+
+    /// Adds a simulated process crash: the run returns early just before
+    /// executing iteration `iter`.
+    pub fn crash_before(mut self, iter: usize) -> Self {
+        self.crash_before.insert(iter);
+        self
+    }
+
+    /// A seed-derived plan: `nan_steps` poisoned iterations drawn uniformly
+    /// from `2..=iterations`, all reproducible from `seed`.
+    pub fn random(seed: u64, iterations: usize, nan_steps: usize) -> Self {
+        let mut rng = TrainRng::seed_from_u64(seed ^ 0xFA17_FA17);
+        let mut nan_loss = BTreeSet::new();
+        while nan_loss.len() < nan_steps.min(iterations.saturating_sub(1)) {
+            nan_loss.insert(rng.gen_range(2..=iterations.max(2)));
+        }
+        FaultPlan {
+            nan_loss,
+            crash_before: BTreeSet::new(),
+        }
+    }
+
+    /// True when no faults remain to fire.
+    pub fn is_empty(&self) -> bool {
+        self.nan_loss.is_empty() && self.crash_before.is_empty()
+    }
+
+    /// Consumes a NaN-loss injection for `iter`, if one is scheduled.
+    pub(crate) fn take_nan(&mut self, iter: usize) -> bool {
+        self.nan_loss.remove(&iter)
+    }
+
+    /// Consumes a crash injection for `iter`, if one is scheduled.
+    pub(crate) fn take_crash(&mut self, iter: usize) -> bool {
+        self.crash_before.remove(&iter)
+    }
+}
+
+/// Truncates the file at `path` to `keep_fraction` of its length (clamped
+/// to `[0, 1]`), simulating a write cut off by a crash. Returns the new
+/// length.
+///
+/// # Errors
+/// Returns any I/O error from reading or writing the file.
+pub fn truncate_file(path: impl AsRef<Path>, keep_fraction: f64) -> io::Result<u64> {
+    let path = path.as_ref();
+    let len = fs::metadata(path)?.len();
+    let keep = (len as f64 * keep_fraction.clamp(0.0, 1.0)) as u64;
+    let bytes = fs::read(path)?;
+    fs::write(path, &bytes[..keep as usize])?;
+    Ok(keep)
+}
+
+/// Flips one seed-chosen bit in the file at `path`, simulating silent
+/// storage corruption. Returns the byte offset that was damaged.
+///
+/// # Errors
+/// Returns any I/O error, or [`io::ErrorKind::InvalidData`] for an empty
+/// file (nothing to corrupt).
+pub fn bitflip_file(path: impl AsRef<Path>, seed: u64) -> io::Result<u64> {
+    let path = path.as_ref();
+    let mut bytes = fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "cannot corrupt an empty file",
+        ));
+    }
+    let mut rng = TrainRng::seed_from_u64(seed ^ 0xB17_F11B);
+    let offset = rng.gen_range(0..bytes.len());
+    let bit = rng.gen_range(0..8u32);
+    bytes[offset] ^= 1 << bit;
+    fs::write(path, &bytes)?;
+    Ok(offset as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injections_fire_once() {
+        let mut plan = FaultPlan::new().nan_loss_at([3, 5]).crash_before(7);
+        assert!(!plan.take_nan(2));
+        assert!(plan.take_nan(3));
+        assert!(!plan.take_nan(3), "nan injection must be consumable");
+        assert!(plan.take_crash(7));
+        assert!(!plan.take_crash(7), "crash injection must be consumable");
+        assert!(plan.take_nan(5));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = FaultPlan::random(9, 100, 4);
+        let b = FaultPlan::random(9, 100, 4);
+        let c = FaultPlan::random(10, 100, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.nan_loss.len(), 4);
+        assert!(a.nan_loss.iter().all(|&i| (2..=100).contains(&i)));
+    }
+
+    #[test]
+    fn corruptors_damage_files_deterministically() {
+        let dir = std::env::temp_dir().join(format!("yollo_fault_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        let original: Vec<u8> = (0..=255).collect();
+        fs::write(&path, &original).unwrap();
+
+        let off1 = bitflip_file(&path, 5).unwrap();
+        let damaged = fs::read(&path).unwrap();
+        assert_eq!(damaged.len(), original.len());
+        let diffs: Vec<usize> = damaged
+            .iter()
+            .zip(&original)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diffs, vec![off1 as usize], "exactly one byte flipped");
+        // same seed, same offset
+        fs::write(&path, &original).unwrap();
+        assert_eq!(bitflip_file(&path, 5).unwrap(), off1);
+
+        let kept = truncate_file(&path, 0.5).unwrap();
+        assert_eq!(kept, 128);
+        assert_eq!(fs::read(&path).unwrap().len(), 128);
+        fs::remove_dir_all(dir).ok();
+    }
+}

@@ -19,6 +19,14 @@
 //!    and top-1 [`inference`](Yollo::predict) (§3.3: "simply pick the top-1
 //!    scored region proposal", no NMS, no second stage).
 //!
+//! Training is fault-tolerant: full-state snapshots (weights, Adam
+//! moments, the serialisable [`TrainRng`], iteration and log) written
+//! crash-safely let [`Trainer::resume`] continue a killed run bit-for-bit;
+//! non-finite steps are skipped and, past a configurable streak, rolled
+//! back to the last checkpoint with a learning-rate backoff
+//! ([`RecoveryPolicy`]); a deterministic [`FaultPlan`] injects NaN steps,
+//! crashes and on-disk corruption to prove all of it.
+//!
 //! ```no_run
 //! use yollo_core::{Yollo, YolloConfig, Trainer, TrainConfig};
 //! use yollo_synthref::{Dataset, DatasetConfig, DatasetKind, Split};
@@ -33,16 +41,23 @@
 
 mod config;
 mod encoder;
+mod fault;
 mod head;
 mod infer;
 mod model;
 mod rel2att;
+mod rng;
 mod train;
 
 pub use config::{AttentionAblation, YolloConfig};
 pub use encoder::FeatureEncoder;
+pub use fault::{bitflip_file, truncate_file, FaultPlan};
 pub use head::DetectionHead;
 pub use infer::{EvalOutcome, GroundingPrediction};
 pub use model::{LossParts, Yollo, YolloOutput};
 pub use rel2att::Rel2AttLayer;
-pub use train::{TrainConfig, TrainLog, TrainPoint, Trainer};
+pub use rng::TrainRng;
+pub use train::{
+    RecoveryEvent, RecoveryPolicy, StepOutcome, TrainConfig, TrainLog, TrainOutcome, TrainPoint,
+    TrainState, Trainer, TRAIN_STATE_VERSION,
+};

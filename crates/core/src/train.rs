@@ -1,16 +1,64 @@
 //! End-to-end training (§4.2): Adam, mini-batches, optional word2vec
 //! initialisation of the embeddings, and the loss/accuracy curve logging
-//! behind Figure 4.
+//! behind Figure 4 — wrapped in a fault-tolerance layer.
+//!
+//! # Fault tolerance
+//!
+//! Long runs die and diverge; the trainer is built to survive both.
+//!
+//! - **Full training-state snapshots.** [`TrainState`] captures weights,
+//!   Adam moments and step count, the serialisable [`TrainRng`], the
+//!   iteration index, the current learning rate and the [`TrainLog`].
+//!   [`Trainer::resume`] therefore continues a run *bit-for-bit*
+//!   identically to one that was never interrupted.
+//! - **Crash-safe writes.** Snapshots go through
+//!   [`yollo_nn::CheckpointStore`]: CRC-checked atomic write/rename with a
+//!   retained-last-K rotation, and load-time fallback to the newest valid
+//!   file when the latest is truncated or corrupt.
+//! - **Non-finite guards.** After every backward pass the loss and all
+//!   gradients are scanned; a bad step is skipped (weights and optimiser
+//!   state untouched, [`StepOutcome::Skipped`] logged) and after
+//!   [`RecoveryPolicy::max_bad_steps`] consecutive bad steps the trainer
+//!   rolls back to the last checkpoint with a learning-rate reduction.
+//! - **Fault injection.** A [`crate::FaultPlan`] deterministically poisons
+//!   chosen steps or "crashes" the run, which is how all of the above is
+//!   tested (see `tests/fault_tolerance.rs` and `exp_fault_tolerance`).
 
-use crate::{LossParts, Yollo};
-use rand::rngs::StdRng;
+use crate::{FaultPlan, LossParts, TrainRng, Yollo};
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use yollo_nn::{clip_global_norm, Adam, Binder, Module, Optimizer};
+use std::io;
+use std::path::Path;
+use yollo_nn::{
+    clip_global_norm, Adam, Binder, Checkpoint, CheckpointStore, Module, OptimState, Optimizer,
+    Parameter,
+};
 use yollo_synthref::{Dataset, Split};
-use yollo_tensor::Graph;
+use yollo_tensor::{Graph, Tensor};
 use yollo_text::{Word2Vec, Word2VecConfig};
+
+/// What to do when training steps go non-finite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Consecutive skipped (non-finite) steps that trigger a rollback to
+    /// the last checkpoint.
+    pub max_bad_steps: usize,
+    /// Multiplier applied to the learning rate at each rollback.
+    pub lr_backoff: f64,
+    /// Rollbacks allowed per run before the trainer gives up and returns
+    /// early (guards against a deterministic divergence looping forever).
+    pub max_recoveries: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_bad_steps: 3,
+            lr_backoff: 0.5,
+            max_recoveries: 8,
+        }
+    }
+}
 
 /// Training hyper-parameters.
 ///
@@ -40,6 +88,20 @@ pub struct TrainConfig {
     pub pretrain_backbone_steps: usize,
     /// RNG seed for batching/anchor sampling.
     pub seed: u64,
+    /// Snapshot the full training state every this many iterations when a
+    /// checkpoint directory is in use (0 = final snapshot only).
+    #[serde(default)]
+    pub checkpoint_every: usize,
+    /// Checkpoints retained by the rotation policy.
+    #[serde(default = "default_keep_last")]
+    pub keep_last: usize,
+    /// Non-finite-step recovery knobs.
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
+}
+
+fn default_keep_last() -> usize {
+    3
 }
 
 impl Default for TrainConfig {
@@ -54,6 +116,9 @@ impl Default for TrainConfig {
             word2vec_init: true,
             pretrain_backbone_steps: 40,
             seed: 0,
+            checkpoint_every: 50,
+            keep_last: default_keep_last(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -68,9 +133,21 @@ impl TrainConfig {
             eval_samples: 8,
             word2vec_init: false,
             pretrain_backbone_steps: 0,
+            checkpoint_every: 4,
             ..TrainConfig::default()
         }
     }
+}
+
+/// How one gradient step ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StepOutcome {
+    /// The optimiser update was applied.
+    #[default]
+    Applied,
+    /// Loss or gradients were non-finite: the update was skipped and
+    /// weights/optimiser state left untouched.
+    Skipped,
 }
 
 /// One logged point of the training curve.
@@ -78,10 +155,27 @@ impl TrainConfig {
 pub struct TrainPoint {
     /// Gradient-step index (1-based).
     pub iteration: usize,
-    /// Loss components at this step.
+    /// Loss components at this step (zeroed for skipped steps, whose raw
+    /// values were non-finite).
     pub loss: LossParts,
     /// Validation ACC@0.5 when this step ran an eval.
     pub val_acc: Option<f64>,
+    /// Whether the step's update was applied or skipped.
+    #[serde(default)]
+    pub outcome: StepOutcome,
+}
+
+/// One rollback performed by the recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Iteration at which the bad-step streak tripped the policy.
+    pub at_iteration: usize,
+    /// Iteration of the checkpoint that was restored (equals
+    /// `at_iteration` when no checkpoint was available and only the
+    /// learning rate was reduced in place).
+    pub restored_iteration: usize,
+    /// Learning rate after the backoff.
+    pub lr: f64,
 }
 
 /// The full training curve (Figure 4's data).
@@ -89,23 +183,45 @@ pub struct TrainPoint {
 pub struct TrainLog {
     /// Per-iteration records.
     pub points: Vec<TrainPoint>,
+    /// Rollbacks performed by the recovery policy. Points past a restored
+    /// checkpoint are rewound on rollback; these events are what remains
+    /// of the discarded stretch.
+    #[serde(default)]
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl TrainLog {
-    /// Mean total loss over the first `n` iterations.
-    pub fn early_loss(&self, n: usize) -> f64 {
-        let k = n.min(self.points.len()).max(1);
-        self.points[..k].iter().map(|p| p.loss.total).sum::<f64>() / k as f64
+    /// Loss totals of applied (non-skipped) steps, in order.
+    fn applied_totals(&self) -> impl Iterator<Item = f64> + '_ {
+        self.points
+            .iter()
+            .filter(|p| p.outcome == StepOutcome::Applied)
+            .map(|p| p.loss.total)
     }
 
-    /// Mean total loss over the last `n` iterations.
-    pub fn late_loss(&self, n: usize) -> f64 {
-        let k = n.min(self.points.len()).max(1);
-        self.points[self.points.len() - k..]
-            .iter()
-            .map(|p| p.loss.total)
-            .sum::<f64>()
-            / k as f64
+    /// Mean total loss over the first `n` applied iterations, or `None`
+    /// when there are no applied points (an empty mean would read as
+    /// "converged to 0.0").
+    pub fn early_loss(&self, n: usize) -> Option<f64> {
+        let totals: Vec<f64> = self.applied_totals().take(n).collect();
+        if totals.is_empty() {
+            return None;
+        }
+        Some(totals.iter().sum::<f64>() / totals.len() as f64)
+    }
+
+    /// Mean total loss over the last `n` applied iterations, or `None`
+    /// when there are no applied points.
+    pub fn late_loss(&self, n: usize) -> Option<f64> {
+        if n == 0 {
+            return None;
+        }
+        let totals: Vec<f64> = self.applied_totals().collect();
+        if totals.is_empty() {
+            return None;
+        }
+        let k = n.min(totals.len());
+        Some(totals[totals.len() - k..].iter().sum::<f64>() / k as f64)
     }
 
     /// `(iteration, val_acc)` pairs of the mid-training evaluations.
@@ -116,19 +232,24 @@ impl TrainLog {
             .collect()
     }
 
-    /// Writes the curve as CSV (`iteration,att,cls,reg,total,val_acc`).
+    /// Writes the curve as CSV
+    /// (`iteration,att,cls,reg,total,val_acc,outcome`).
     ///
     /// # Errors
     /// Returns any I/O error.
     pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         use std::fmt::Write as _;
-        let mut out = String::from("iteration,att,cls,reg,total,val_acc\n");
+        let mut out = String::from("iteration,att,cls,reg,total,val_acc,outcome\n");
         for p in &self.points {
             let va = p.val_acc.map_or(String::new(), |v| format!("{v:.4}"));
+            let outcome = match p.outcome {
+                StepOutcome::Applied => "applied",
+                StepOutcome::Skipped => "skipped",
+            };
             writeln!(
                 out,
-                "{},{:.6},{:.6},{:.6},{:.6},{}",
-                p.iteration, p.loss.att, p.loss.cls, p.loss.reg, p.loss.total, va
+                "{},{:.6},{:.6},{:.6},{:.6},{},{}",
+                p.iteration, p.loss.att, p.loss.cls, p.loss.reg, p.loss.total, va, outcome
             )
             .expect("writing to string cannot fail");
         }
@@ -136,16 +257,69 @@ impl TrainLog {
     }
 }
 
+/// A complete, serialisable snapshot of a training run: everything needed
+/// to continue it bit-for-bit identically to an uninterrupted run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainState {
+    /// Snapshot format version.
+    pub version: u32,
+    /// The config the run was started with (resume validates against it).
+    pub config: TrainConfig,
+    /// Last completed iteration.
+    pub iteration: usize,
+    /// Learning rate in effect (differs from `config.lr` after rollbacks).
+    pub lr: f64,
+    /// Training RNG state at the end of `iteration`.
+    pub rng: TrainRng,
+    /// All model weights.
+    pub params: Checkpoint,
+    /// Optimiser moments and step count.
+    pub optimizer: OptimState,
+    /// The training curve so far.
+    pub log: TrainLog,
+}
+
+/// Current [`TrainState`] format version.
+pub const TRAIN_STATE_VERSION: u32 = 1;
+
+/// Result of a checkpointed training run.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// The training curve (restored + new points when resumed).
+    pub log: TrainLog,
+    /// `Some(iter)` when the run stopped early — a [`FaultPlan`] crash at
+    /// `iter`, or the recovery policy exhausting
+    /// [`RecoveryPolicy::max_recoveries`].
+    pub interrupted_at: Option<usize>,
+    /// Iteration of the checkpoint this run resumed from, if any.
+    pub resumed_from: Option<usize>,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
 /// Trains a [`Yollo`] model on a [`Dataset`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Trainer {
     cfg: TrainConfig,
+    plan: FaultPlan,
 }
 
 impl Trainer {
     /// Creates a trainer.
     pub fn new(cfg: TrainConfig) -> Self {
-        Trainer { cfg }
+        Trainer {
+            cfg,
+            plan: FaultPlan::new(),
+        }
+    }
+
+    /// Attaches a fault-injection plan (testing/benchmark harness).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
     }
 
     /// The trainer's config.
@@ -162,7 +336,7 @@ impl Trainer {
             .iter()
             .map(|s| s.tokens.iter().map(|t| vocab.id_or_unk(t)).collect())
             .collect();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TrainRng::seed_from_u64(seed);
         let w2v = Word2Vec::train(
             &corpus,
             vocab.len(),
@@ -179,65 +353,288 @@ impl Trainer {
     }
 
     /// Runs training and returns the curve. The model must already carry
-    /// the dataset's vocabulary.
+    /// the dataset's vocabulary. No checkpoints are written; for a
+    /// crash-safe run use [`Trainer::train_checkpointed`].
     ///
     /// # Panics
     /// Panics if the training split is empty or the vocabulary is missing.
     pub fn train(&self, model: &mut Yollo, ds: &Dataset) -> TrainLog {
-        assert!(
-            !ds.samples(Split::Train).is_empty(),
-            "empty training split"
-        );
+        self.run(model, ds, None, false)
+            .expect("training without a checkpoint store performs no I/O")
+            .log
+    }
+
+    /// Runs training with durable full-state snapshots in `dir` (every
+    /// [`TrainConfig::checkpoint_every`] iterations plus a final one,
+    /// rotated to the newest [`TrainConfig::keep_last`]).
+    ///
+    /// # Errors
+    /// Returns any checkpoint I/O error.
+    ///
+    /// # Panics
+    /// Panics if the training split is empty or the vocabulary is missing.
+    pub fn train_checkpointed(
+        &self,
+        model: &mut Yollo,
+        ds: &Dataset,
+        dir: impl AsRef<Path>,
+    ) -> io::Result<TrainOutcome> {
+        let store = CheckpointStore::open(dir.as_ref(), self.cfg.keep_last)?;
+        self.run(model, ds, Some(&store), false)
+    }
+
+    /// Resumes a run from the newest *valid* checkpoint in `dir` (corrupt
+    /// or truncated files are skipped) and trains up to
+    /// `config.iterations`. The continuation is bit-for-bit identical to a
+    /// run that was never interrupted. With no valid checkpoint the run
+    /// starts from scratch.
+    ///
+    /// # Errors
+    /// Returns checkpoint I/O errors, or [`io::ErrorKind::InvalidData`]
+    /// when the checkpoint was written under an incompatible config.
+    ///
+    /// # Panics
+    /// Panics if the training split is empty or the vocabulary is missing.
+    pub fn resume(
+        &self,
+        model: &mut Yollo,
+        ds: &Dataset,
+        dir: impl AsRef<Path>,
+    ) -> io::Result<TrainOutcome> {
+        let store = CheckpointStore::open(dir.as_ref(), self.cfg.keep_last)?;
+        self.run(model, ds, Some(&store), true)
+    }
+
+    /// Fields of two configs that must agree for a resumed run to continue
+    /// the same trajectory.
+    fn check_compatible(ours: &TrainConfig, saved: &TrainConfig) -> Result<(), String> {
+        let mismatch = |what: &str| Err(format!("checkpoint config mismatch: {what}"));
+        if ours.seed != saved.seed {
+            return mismatch("seed");
+        }
+        if ours.batch_size != saved.batch_size {
+            return mismatch("batch_size");
+        }
+        if ours.lr != saved.lr {
+            return mismatch("lr");
+        }
+        if ours.clip_norm != saved.clip_norm {
+            return mismatch("clip_norm");
+        }
+        Ok(())
+    }
+
+    /// Newest checkpoint in `store` that passes both CRC validation and
+    /// JSON parsing (older files are tried in turn).
+    fn load_newest_state(store: &CheckpointStore) -> io::Result<Option<(usize, TrainState)>> {
+        for (iter, path) in store.entries()?.into_iter().rev() {
+            let Ok(payload) = yollo_nn::read_validated(&path) else {
+                continue; // truncated/corrupt: fall back to an older one
+            };
+            let Ok(state) = serde_json::from_slice::<TrainState>(&payload) else {
+                continue;
+            };
+            return Ok(Some((iter, state)));
+        }
+        Ok(None)
+    }
+
+    /// Restores a snapshot into the live training loop.
+    fn apply_state(
+        state: &TrainState,
+        params: &[Parameter],
+        opt: &mut Adam,
+        rng: &mut TrainRng,
+        log: &mut TrainLog,
+    ) -> io::Result<()> {
+        state.params.restore(params).map_err(invalid)?;
+        opt.import_state(&state.optimizer).map_err(invalid)?;
+        *rng = state.rng.clone();
+        *log = state.log.clone();
+        Ok(())
+    }
+
+    /// The training loop shared by [`Trainer::train`],
+    /// [`Trainer::train_checkpointed`] and [`Trainer::resume`].
+    fn run(
+        &self,
+        model: &mut Yollo,
+        ds: &Dataset,
+        store: Option<&CheckpointStore>,
+        resume: bool,
+    ) -> io::Result<TrainOutcome> {
+        let cfg = self.cfg;
+        assert!(!ds.samples(Split::Train).is_empty(), "empty training split");
         assert!(
             model.vocab().len() >= 2,
             "model has no vocabulary; call set_vocab/for_dataset first"
         );
-        if self.cfg.word2vec_init {
-            Trainer::init_word_embeddings(model, ds, self.cfg.seed ^ 0x5EED_1234);
-        }
-        if self.cfg.pretrain_backbone_steps > 0 {
-            yollo_backbone::pretrain_shapes(
-                model.encoder().backbone(),
-                self.cfg.pretrain_backbone_steps,
-                8,
-                self.cfg.seed ^ 0x1AA6E,
-            );
-        }
         let params = model.parameters();
-        let mut opt = Adam::new(params.clone(), self.cfg.lr);
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut opt = Adam::new(params.clone(), cfg.lr);
+        let mut rng = TrainRng::seed_from_u64(cfg.seed);
         let mut log = TrainLog::default();
+        let mut cur_lr = cfg.lr;
+        let mut start_iter = 1usize;
+        let mut resumed_from = None;
 
-        // fixed validation subsample for comparable mid-training evals
+        if resume {
+            let store = store.expect("resume requires a checkpoint store");
+            if let Some((iter, state)) = Trainer::load_newest_state(store)? {
+                Trainer::check_compatible(&cfg, &state.config).map_err(invalid)?;
+                Trainer::apply_state(&state, &params, &mut opt, &mut rng, &mut log)?;
+                cur_lr = state.lr;
+                opt.set_learning_rate(cur_lr);
+                start_iter = iter + 1;
+                resumed_from = Some(iter);
+            }
+        }
+        if resumed_from.is_none() {
+            if cfg.word2vec_init {
+                Trainer::init_word_embeddings(model, ds, cfg.seed ^ 0x5EED_1234);
+            }
+            if cfg.pretrain_backbone_steps > 0 {
+                yollo_backbone::pretrain_shapes(
+                    model.encoder().backbone(),
+                    cfg.pretrain_backbone_steps,
+                    8,
+                    cfg.seed ^ 0x1AA6E,
+                );
+            }
+        }
+
+        // fixed validation subsample for comparable mid-training evals;
+        // drawn from a dedicated seed stream so it is identical on resume
+        // without consuming the training rng
+        let mut val_rng = TrainRng::seed_from_u64(cfg.seed ^ 0x7A11_9001);
         let mut val_pool: Vec<_> = ds.samples(Split::Val).to_vec();
-        val_pool.shuffle(&mut rng);
-        val_pool.truncate(self.cfg.eval_samples.max(1));
+        val_pool.shuffle(&mut val_rng);
+        val_pool.truncate(cfg.eval_samples.max(1));
 
-        for it in 1..=self.cfg.iterations {
-            let batch = ds.sample_batch(self.cfg.batch_size, &mut rng);
+        let mut plan = self.plan.clone();
+        let mut bad_streak = 0usize;
+        let mut recoveries_this_run = 0usize;
+        let mut it = start_iter;
+        while it <= cfg.iterations {
+            if plan.take_crash(it) {
+                return Ok(TrainOutcome {
+                    log,
+                    interrupted_at: Some(it),
+                    resumed_from,
+                });
+            }
+            let batch = ds.sample_batch(cfg.batch_size, &mut rng);
             let (images, queries, targets) = model.encode_batch(ds, &batch);
             let g = Graph::new();
             let bind = Binder::new(&g);
             let out = model.forward(&bind, g.leaf(images), &queries);
-            let (loss, parts) = model.loss(&bind, &out, &targets, &mut rng);
+            let (loss, mut parts) = model.loss(&bind, &out, &targets, &mut rng);
             opt.zero_grad();
             loss.backward();
             bind.harvest();
-            clip_global_norm(&params, self.cfg.clip_norm);
-            opt.step();
+            if plan.take_nan(it) {
+                // poison the step the way a divergence would: non-finite
+                // loss and at least one non-finite gradient
+                parts.total = f64::NAN;
+                let dims = params[0].dims();
+                params[0].accumulate_grad(&Tensor::full(&dims, f64::NAN));
+            }
 
-            let val_acc = if self.cfg.eval_every > 0 && it % self.cfg.eval_every == 0 {
+            // non-finite guard: loss total and every gradient
+            let healthy = parts.total.is_finite() && params.iter().all(Parameter::grad_is_finite);
+            if healthy {
+                clip_global_norm(&params, cfg.clip_norm);
+                opt.step();
+                bad_streak = 0;
+            } else {
+                bad_streak += 1;
+            }
+
+            // mid-training eval tolerates an empty Val split by skipping
+            let val_acc = if cfg.eval_every > 0 && it % cfg.eval_every == 0 && !val_pool.is_empty()
+            {
                 Some(model.evaluate_samples(ds, &val_pool).acc_at(0.5))
             } else {
                 None
             };
             log.points.push(TrainPoint {
                 iteration: it,
-                loss: parts,
+                // non-finite parts cannot survive into a JSON snapshot:
+                // skipped steps record zeroed parts plus the outcome marker
+                loss: if healthy { parts } else { LossParts::default() },
                 val_acc,
+                outcome: if healthy {
+                    StepOutcome::Applied
+                } else {
+                    StepOutcome::Skipped
+                },
             });
+
+            if !healthy && bad_streak >= cfg.recovery.max_bad_steps.max(1) {
+                if recoveries_this_run >= cfg.recovery.max_recoveries {
+                    return Ok(TrainOutcome {
+                        log,
+                        interrupted_at: Some(it),
+                        resumed_from,
+                    });
+                }
+                recoveries_this_run += 1;
+                bad_streak = 0;
+                let restored = match store {
+                    Some(s) => Trainer::load_newest_state(s)?,
+                    None => None,
+                };
+                match restored {
+                    Some((ck_iter, state)) => {
+                        // roll back weights, moments, rng and log, and retry
+                        // from the checkpoint with a reduced learning rate
+                        Trainer::apply_state(&state, &params, &mut opt, &mut rng, &mut log)?;
+                        cur_lr = state.lr * cfg.recovery.lr_backoff;
+                        opt.set_learning_rate(cur_lr);
+                        log.recoveries.push(RecoveryEvent {
+                            at_iteration: it,
+                            restored_iteration: ck_iter,
+                            lr: cur_lr,
+                        });
+                        it = ck_iter + 1;
+                        continue;
+                    }
+                    None => {
+                        // nothing to roll back to: reduce the LR in place
+                        cur_lr *= cfg.recovery.lr_backoff;
+                        opt.set_learning_rate(cur_lr);
+                        log.recoveries.push(RecoveryEvent {
+                            at_iteration: it,
+                            restored_iteration: it,
+                            lr: cur_lr,
+                        });
+                    }
+                }
+            }
+
+            if let Some(store) = store {
+                let due = cfg.checkpoint_every > 0 && it % cfg.checkpoint_every == 0;
+                if due || it == cfg.iterations {
+                    let state = TrainState {
+                        version: TRAIN_STATE_VERSION,
+                        config: cfg,
+                        iteration: it,
+                        lr: cur_lr,
+                        rng: rng.clone(),
+                        params: Checkpoint::capture(&params),
+                        optimizer: opt.export_state(),
+                        log: log.clone(),
+                    };
+                    let payload = serde_json::to_vec(&state).map_err(io::Error::other)?;
+                    store.save(it, &payload)?;
+                }
+            }
+            it += 1;
         }
-        log
+        Ok(TrainOutcome {
+            log,
+            interrupted_at: None,
+            resumed_from,
+        })
     }
 }
 
@@ -268,16 +665,13 @@ mod tests {
             batch_size: 4,
             eval_every: 0,
             word2vec_init: false,
+            pretrain_backbone_steps: 0,
             ..TrainConfig::default()
         })
         .train(&mut model, &ds);
         assert_eq!(log.points.len(), 30);
-        assert!(
-            log.late_loss(5) < log.early_loss(5),
-            "loss did not drop: {} -> {}",
-            log.early_loss(5),
-            log.late_loss(5)
-        );
+        let (early, late) = (log.early_loss(5).unwrap(), log.late_loss(5).unwrap());
+        assert!(late < early, "loss did not drop: {early} -> {late}");
     }
 
     #[test]
@@ -287,6 +681,50 @@ mod tests {
         let curve = log.val_curve();
         assert_eq!(curve.len(), 2); // 12 iters, eval every 6
         assert!(curve.iter().all(|(_, a)| (0.0..=1.0).contains(a)));
+    }
+
+    #[test]
+    fn empty_log_losses_are_none_not_zero() {
+        let log = TrainLog::default();
+        assert_eq!(log.early_loss(5), None);
+        assert_eq!(log.late_loss(5), None);
+        // a log holding only skipped points has no applied loss either
+        let skipped = TrainLog {
+            points: vec![TrainPoint {
+                iteration: 1,
+                loss: LossParts::default(),
+                val_acc: None,
+                outcome: StepOutcome::Skipped,
+            }],
+            recoveries: vec![],
+        };
+        assert_eq!(skipped.early_loss(5), None);
+        assert_eq!(skipped.late_loss(5), None);
+        assert_eq!(skipped.late_loss(0), None);
+    }
+
+    #[test]
+    fn empty_val_split_is_tolerated() {
+        let ds = Dataset::generate(DatasetConfig {
+            val_images: 0,
+            ..DatasetConfig::tiny(DatasetKind::SynthRef, 0)
+        });
+        assert!(
+            ds.samples(Split::Val).is_empty(),
+            "setup: val must be empty"
+        );
+        let cfg = YolloConfig {
+            d_rel: 12,
+            ffn_hidden: 16,
+            n_rel2att: 1,
+            ..YolloConfig::for_dataset(&ds)
+        };
+        let mut model = Yollo::new(cfg, 1);
+        model.set_vocab(ds.build_vocab());
+        // eval_every fires, but with no Val samples evals are skipped
+        let log = Trainer::new(TrainConfig::quick()).train(&mut model, &ds);
+        assert_eq!(log.points.len(), 12);
+        assert!(log.val_curve().is_empty());
     }
 
     #[test]
@@ -320,8 +758,9 @@ mod tests {
         let path = dir.join("curve.csv");
         log.write_csv(&path).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.starts_with("iteration,att,cls,reg,total,val_acc"));
+        assert!(text.starts_with("iteration,att,cls,reg,total,val_acc,outcome"));
         assert_eq!(text.lines().count(), 13);
+        assert!(text.lines().nth(1).unwrap().ends_with(",applied"));
         std::fs::remove_file(path).ok();
     }
 

@@ -1,0 +1,273 @@
+//! Fault-tolerance integration tests: crash/resume bit-equality, corrupted
+//! checkpoint fallback, non-finite step skipping and rollback recovery.
+
+use std::path::PathBuf;
+
+use yollo_core::{
+    truncate_file, FaultPlan, StepOutcome, TrainConfig, TrainLog, TrainState, Trainer, Yollo,
+    YolloConfig,
+};
+use yollo_nn::CheckpointStore;
+use yollo_synthref::{Dataset, DatasetConfig, DatasetKind};
+
+fn tiny_setup() -> (Yollo, Dataset) {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+    let cfg = YolloConfig {
+        d_rel: 12,
+        ffn_hidden: 16,
+        n_rel2att: 1,
+        ..YolloConfig::for_dataset(&ds)
+    };
+    let mut m = Yollo::new(cfg, 1);
+    m.set_vocab(ds.build_vocab());
+    (m, ds)
+}
+
+fn cfg() -> TrainConfig {
+    TrainConfig {
+        checkpoint_every: 4,
+        ..TrainConfig::quick() // 12 iters, eval every 6, no pre-training
+    }
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("yollo_ft_{}_{}", name, std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Bitwise comparison of two training curves (loss f64s compared by bits,
+/// so `0.0 == -0.0` or NaN quirks cannot mask a divergence).
+fn assert_logs_bit_equal(a: &TrainLog, b: &TrainLog) {
+    assert_eq!(a.points.len(), b.points.len(), "point counts differ");
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.iteration, y.iteration);
+        assert_eq!(x.outcome, y.outcome);
+        assert_eq!(
+            x.loss.total.to_bits(),
+            y.loss.total.to_bits(),
+            "loss diverged at iteration {}",
+            x.iteration
+        );
+        assert_eq!(
+            x.val_acc.map(f64::to_bits),
+            y.val_acc.map(f64::to_bits),
+            "val_acc diverged at iteration {}",
+            x.iteration
+        );
+    }
+    assert_eq!(a.val_curve(), b.val_curve());
+}
+
+fn assert_params_bit_equal(a: &Yollo, b: &Yollo) {
+    for (p, q) in a.parameters().iter().zip(&b.parameters()) {
+        assert_eq!(p.name(), q.name());
+        assert_eq!(p.value(), q.value(), "weights diverged in {}", p.name());
+    }
+}
+
+#[test]
+fn resume_after_crash_is_bit_identical_to_uninterrupted_run() {
+    let dir_a = fresh_dir("uninterrupted");
+    let dir_b = fresh_dir("crashed");
+
+    let (mut model_a, ds) = tiny_setup();
+    let full = Trainer::new(cfg())
+        .train_checkpointed(&mut model_a, &ds, &dir_a)
+        .unwrap();
+    assert_eq!(full.interrupted_at, None);
+
+    // same run, killed just before iteration 7 (past the it=4 checkpoint)
+    let (mut model_b, _) = tiny_setup();
+    let crashed = Trainer::new(cfg())
+        .with_fault_plan(FaultPlan::new().crash_before(7))
+        .train_checkpointed(&mut model_b, &ds, &dir_b)
+        .unwrap();
+    assert_eq!(crashed.interrupted_at, Some(7));
+
+    // resume into a *fresh* model: everything must come from the snapshot
+    let (mut model_c, _) = tiny_setup();
+    let resumed = Trainer::new(cfg())
+        .resume(&mut model_c, &ds, &dir_b)
+        .unwrap();
+    assert_eq!(resumed.resumed_from, Some(4));
+    assert_eq!(resumed.interrupted_at, None);
+
+    assert_logs_bit_equal(&full.log, &resumed.log);
+    assert_params_bit_equal(&model_a, &model_c);
+}
+
+#[test]
+fn resume_falls_back_to_older_checkpoint_when_newest_is_truncated() {
+    let dir_a = fresh_dir("trunc_ref");
+    let dir_b = fresh_dir("trunc_victim");
+
+    let (mut model_a, ds) = tiny_setup();
+    let full = Trainer::new(cfg())
+        .train_checkpointed(&mut model_a, &ds, &dir_a)
+        .unwrap();
+
+    let (mut model_b, _) = tiny_setup();
+    Trainer::new(cfg())
+        .with_fault_plan(FaultPlan::new().crash_before(11))
+        .train_checkpointed(&mut model_b, &ds, &dir_b)
+        .unwrap();
+
+    // cut the newest checkpoint (it=8) in half, as a mid-write crash would
+    let store = CheckpointStore::open(&dir_b, cfg().keep_last).unwrap();
+    let (newest, path) = store.entries().unwrap().into_iter().last().unwrap();
+    assert_eq!(newest, 8);
+    truncate_file(&path, 0.5).unwrap();
+
+    let (mut model_c, _) = tiny_setup();
+    let resumed = Trainer::new(cfg())
+        .resume(&mut model_c, &ds, &dir_b)
+        .unwrap();
+    assert_eq!(
+        resumed.resumed_from,
+        Some(4),
+        "must skip the damaged it=8 file"
+    );
+
+    assert_logs_bit_equal(&full.log, &resumed.log);
+    assert_params_bit_equal(&model_a, &model_c);
+}
+
+#[test]
+fn extending_a_finished_run_matches_one_long_run() {
+    // train(2N) == train(N) -> save -> load -> train(N)
+    let long_cfg = cfg();
+    let short_cfg = TrainConfig {
+        iterations: 6,
+        ..cfg()
+    };
+    let dir = fresh_dir("extend");
+
+    let (mut model_long, ds) = tiny_setup();
+    let long = Trainer::new(long_cfg).train(&mut model_long, &ds);
+
+    let (mut model_short, _) = tiny_setup();
+    Trainer::new(short_cfg)
+        .train_checkpointed(&mut model_short, &ds, &dir)
+        .unwrap();
+    let (mut model_ext, _) = tiny_setup();
+    let extended = Trainer::new(long_cfg)
+        .resume(&mut model_ext, &ds, &dir)
+        .unwrap();
+    assert_eq!(extended.resumed_from, Some(6));
+
+    assert_logs_bit_equal(&long, &extended.log);
+    assert_params_bit_equal(&model_long, &model_ext);
+}
+
+#[test]
+fn nan_step_is_skipped_and_leaves_weights_and_moments_untouched() {
+    // run A stops at iteration 4; run B does one extra step that is poisoned
+    // with NaN. The skipped step must leave weights and Adam moments exactly
+    // as they were after iteration 4.
+    let dir_a = fresh_dir("nan_ref");
+    let dir_b = fresh_dir("nan_poisoned");
+    let base = TrainConfig {
+        checkpoint_every: 0, // final snapshot only
+        eval_every: 0,
+        ..cfg()
+    };
+
+    let (mut model_a, ds) = tiny_setup();
+    Trainer::new(TrainConfig {
+        iterations: 4,
+        ..base
+    })
+    .train_checkpointed(&mut model_a, &ds, &dir_a)
+    .unwrap();
+
+    let (mut model_b, _) = tiny_setup();
+    let poisoned = Trainer::new(TrainConfig {
+        iterations: 5,
+        ..base
+    })
+    .with_fault_plan(FaultPlan::new().nan_loss_at([5]))
+    .train_checkpointed(&mut model_b, &ds, &dir_b)
+    .unwrap();
+
+    let point = poisoned.log.points.last().unwrap();
+    assert_eq!(point.iteration, 5);
+    assert_eq!(point.outcome, StepOutcome::Skipped);
+    assert_eq!(point.loss.total, 0.0, "skipped steps log zeroed parts");
+    assert_eq!(
+        poisoned.log.late_loss(1),
+        Some(poisoned.log.points[3].loss.total),
+        "late_loss must ignore the skipped point"
+    );
+
+    let load = |dir: &PathBuf| -> TrainState {
+        let store = CheckpointStore::open(dir, 3).unwrap();
+        let (_, payload) = store.load_latest_valid().unwrap().unwrap();
+        serde_json::from_slice(&payload).unwrap()
+    };
+    let (a, b) = (load(&dir_a), load(&dir_b));
+    assert_eq!(
+        a.params, b.params,
+        "weights must be untouched by a NaN step"
+    );
+    assert_eq!(
+        a.optimizer, b.optimizer,
+        "Adam moments and step count must be untouched by a NaN step"
+    );
+    assert_ne!(a.rng, b.rng, "the extra iteration does consume the rng");
+}
+
+#[test]
+fn bad_step_streak_rolls_back_to_checkpoint_with_lr_backoff() {
+    let dir = fresh_dir("rollback");
+    let c = cfg(); // max_bad_steps = 3, lr_backoff = 0.5, checkpoints at 4, 8, 12
+    let (mut model, ds) = tiny_setup();
+    let out = Trainer::new(c)
+        .with_fault_plan(FaultPlan::new().nan_loss_at([6, 7, 8]))
+        .train_checkpointed(&mut model, &ds, &dir)
+        .unwrap();
+
+    assert_eq!(out.interrupted_at, None, "run must complete after recovery");
+    assert_eq!(out.log.recoveries.len(), 1);
+    let rec = out.log.recoveries[0];
+    assert_eq!(rec.at_iteration, 8, "streak trips on the third bad step");
+    assert_eq!(rec.restored_iteration, 4, "rolls back to the it=4 snapshot");
+    assert_eq!(rec.lr, c.lr * c.recovery.lr_backoff);
+
+    // the rewound-and-replayed curve has no skipped points left
+    assert_eq!(out.log.points.len(), c.iterations);
+    assert!(out
+        .log
+        .points
+        .iter()
+        .all(|p| p.outcome == StepOutcome::Applied && p.loss.total.is_finite()));
+}
+
+#[test]
+fn resume_rejects_incompatible_config() {
+    let dir = fresh_dir("mismatch");
+    let (mut model, ds) = tiny_setup();
+    Trainer::new(cfg())
+        .train_checkpointed(&mut model, &ds, &dir)
+        .unwrap();
+
+    let (mut other, _) = tiny_setup();
+    let err = Trainer::new(TrainConfig { seed: 99, ..cfg() })
+        .resume(&mut other, &ds, &dir)
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("seed"), "unexpected error: {err}");
+}
+
+#[test]
+fn resume_with_no_checkpoints_starts_fresh() {
+    let dir = fresh_dir("fresh");
+    let (mut model_a, ds) = tiny_setup();
+    let plain = Trainer::new(cfg()).train(&mut model_a, &ds);
+
+    let (mut model_b, _) = tiny_setup();
+    std::fs::remove_dir_all(&dir).ok();
+    let resumed = Trainer::new(cfg()).resume(&mut model_b, &ds, &dir).unwrap();
+    assert_eq!(resumed.resumed_from, None);
+    assert_logs_bit_equal(&plain, &resumed.log);
+}

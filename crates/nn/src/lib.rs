@@ -4,7 +4,10 @@
 //! a [`Binder`] that connects parameters to a [`yollo_tensor::Graph`] for one
 //! forward/backward pass, standard layers (linear, feed-forward,
 //! convolution, embedding, GRU, layer norm, dropout), initialisers,
-//! optimisers (SGD with momentum, Adam) and JSON checkpointing.
+//! optimisers (SGD with momentum, Adam — both with exportable state for
+//! training-state snapshots) and crash-safe JSON checkpointing: CRC-checked
+//! atomic writes plus a rotating [`CheckpointStore`] that falls back to the
+//! newest valid file when the latest is truncated or corrupt.
 //!
 //! # Training loop shape
 //!
@@ -52,7 +55,9 @@ pub use init::{he_normal, uniform_fan_in, xavier_uniform};
 pub use linear::{Ffn, Linear};
 pub use module::{count_params, Module, ParamList};
 pub use norm::LayerNorm;
-pub use optim::{clip_global_norm, Adam, Optimizer, Sgd};
+pub use optim::{clip_global_norm, Adam, OptimState, Optimizer, Sgd};
 pub use param::Parameter;
 pub use schedule::{ConstantLr, CosineDecay, LrSchedule, StepDecay};
-pub use serialize::{load_params, save_params, Checkpoint};
+pub use serialize::{
+    crc32, load_params, read_validated, save_params, write_durable, Checkpoint, CheckpointStore,
+};

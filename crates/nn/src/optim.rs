@@ -1,5 +1,54 @@
 use crate::Parameter;
+use serde::{Deserialize, Serialize};
 use yollo_tensor::Tensor;
+
+/// Serialisable snapshot of an optimiser's mutable state (moment buffers,
+/// step count, learning rate). Captured into training checkpoints so a
+/// resumed run continues bit-for-bit identically to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OptimState {
+    /// [`Sgd`] state: learning rate and per-parameter velocity buffers.
+    Sgd {
+        /// Current learning rate.
+        lr: f64,
+        /// Momentum velocity, one tensor per parameter (in parameter order).
+        velocity: Vec<Tensor>,
+    },
+    /// [`Adam`] state: learning rate, step count and both moment buffers.
+    Adam {
+        /// Current learning rate.
+        lr: f64,
+        /// Bias-correction step count.
+        t: u64,
+        /// First moments, one tensor per parameter (in parameter order).
+        m: Vec<Tensor>,
+        /// Second moments, one tensor per parameter (in parameter order).
+        v: Vec<Tensor>,
+    },
+}
+
+/// Checks that `bufs` lines up one-to-one (and shape-for-shape) with
+/// `params`; `what` names the buffer in error messages.
+fn check_buffers(params: &[Parameter], bufs: &[Tensor], what: &str) -> Result<(), String> {
+    if bufs.len() != params.len() {
+        return Err(format!(
+            "optimizer state has {} {what} buffers for {} parameters",
+            bufs.len(),
+            params.len()
+        ));
+    }
+    for (p, b) in params.iter().zip(bufs) {
+        if p.dims() != b.dims() {
+            return Err(format!(
+                "optimizer {what} buffer for {} has shape {:?}, parameter has {:?}",
+                p.name(),
+                b.dims(),
+                p.dims()
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// A first-order optimiser over a fixed set of parameters.
 pub trait Optimizer {
@@ -21,6 +70,16 @@ pub trait Optimizer {
 
     /// Replaces the learning rate (for schedules).
     fn set_learning_rate(&mut self, lr: f64);
+
+    /// Snapshots the optimiser's mutable state for checkpointing.
+    fn export_state(&self) -> OptimState;
+
+    /// Restores state captured by [`Optimizer::export_state`].
+    ///
+    /// # Errors
+    /// Returns a message naming the offending parameter/buffer when the
+    /// state's variant, buffer count, or any buffer shape does not match.
+    fn import_state(&mut self, state: &OptimState) -> Result<(), String>;
 }
 
 /// Stochastic gradient descent with classical momentum.
@@ -75,6 +134,25 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f64) {
         self.lr = lr;
+    }
+
+    fn export_state(&self) -> OptimState {
+        OptimState::Sgd {
+            lr: self.lr,
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimState) -> Result<(), String> {
+        match state {
+            OptimState::Sgd { lr, velocity } => {
+                check_buffers(&self.params, velocity, "velocity")?;
+                self.lr = *lr;
+                self.velocity = velocity.clone();
+                Ok(())
+            }
+            OptimState::Adam { .. } => Err("cannot import Adam state into Sgd".into()),
+        }
     }
 }
 
@@ -131,7 +209,12 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in self
+            .params
+            .iter()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             let g = p.grad();
             for ((mi, vi), gi) in m
                 .as_mut_slice()
@@ -165,6 +248,30 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f64) {
         self.lr = lr;
+    }
+
+    fn export_state(&self) -> OptimState {
+        OptimState::Adam {
+            lr: self.lr,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: &OptimState) -> Result<(), String> {
+        match state {
+            OptimState::Adam { lr, t, m, v } => {
+                check_buffers(&self.params, m, "first-moment")?;
+                check_buffers(&self.params, v, "second-moment")?;
+                self.lr = *lr;
+                self.t = *t;
+                self.m = m.clone();
+                self.v = v.clone();
+                Ok(())
+            }
+            OptimState::Sgd { .. } => Err("cannot import Sgd state into Adam".into()),
+        }
     }
 }
 
@@ -265,6 +372,70 @@ mod tests {
         assert_eq!(opt.learning_rate(), 1e-3);
         opt.set_learning_rate(1e-4);
         assert_eq!(opt.learning_rate(), 1e-4);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_reproduces_trajectory() {
+        // run A: 10 steps straight through
+        let p = Parameter::new("w", Tensor::from_vec(vec![5.0, -3.0], &[2]));
+        let mut opt = Adam::new(vec![p.clone()], 0.1);
+        for _ in 0..10 {
+            quadratic_step(&mut opt, &p);
+        }
+        // run B: 5 steps, export, import into a fresh optimiser, 5 more
+        let q = Parameter::new("w", Tensor::from_vec(vec![5.0, -3.0], &[2]));
+        let mut opt_b = Adam::new(vec![q.clone()], 0.1);
+        for _ in 0..5 {
+            quadratic_step(&mut opt_b, &q);
+        }
+        let state = opt_b.export_state();
+        let mut opt_c = Adam::new(vec![q.clone()], 0.9); // wrong lr on purpose
+        opt_c.import_state(&state).unwrap();
+        assert_eq!(opt_c.learning_rate(), 0.1, "lr must come from the state");
+        for _ in 0..5 {
+            quadratic_step(&mut opt_c, &q);
+        }
+        // bit-identical: same f64 sequence on both paths
+        assert_eq!(p.value().as_slice(), q.value().as_slice());
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_preserves_velocity() {
+        let p = Parameter::new("w", Tensor::from_vec(vec![4.0], &[1]));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.9);
+        for _ in 0..3 {
+            quadratic_step(&mut opt, &p);
+        }
+        let state = opt.export_state();
+        let mut opt2 = Sgd::new(vec![p.clone()], 0.5, 0.9);
+        opt2.import_state(&state).unwrap();
+        assert_eq!(opt2.export_state(), state);
+    }
+
+    #[test]
+    fn import_state_rejects_mismatches() {
+        let p = Parameter::new("w", Tensor::zeros(&[2]));
+        let mut adam = Adam::new(vec![p.clone()], 0.1);
+        // wrong variant
+        let sgd_state = Sgd::new(vec![p.clone()], 0.1, 0.0).export_state();
+        assert!(adam.import_state(&sgd_state).unwrap_err().contains("Sgd"));
+        // wrong buffer shape
+        let bad = OptimState::Adam {
+            lr: 0.1,
+            t: 1,
+            m: vec![Tensor::zeros(&[3])],
+            v: vec![Tensor::zeros(&[3])],
+        };
+        let err = adam.import_state(&bad).unwrap_err();
+        assert!(err.contains('w') && err.contains("[3]"), "{err}");
+        // wrong buffer count
+        let short = OptimState::Adam {
+            lr: 0.1,
+            t: 1,
+            m: vec![],
+            v: vec![],
+        };
+        assert!(adam.import_state(&short).is_err());
     }
 
     #[test]

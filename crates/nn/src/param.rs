@@ -51,15 +51,29 @@ impl Parameter {
     /// # Panics
     /// Panics if the new shape differs from the old.
     pub fn set_value(&self, value: Tensor) {
+        self.try_set_value(value)
+            .unwrap_or_else(|e| panic!("parameter {e}"));
+    }
+
+    /// Fallible version of [`Parameter::set_value`]: rejects a shape change
+    /// with a message naming the parameter and both shapes instead of
+    /// panicking (used by checkpoint restore to surface mismatches).
+    ///
+    /// # Errors
+    /// Returns the parameter name plus the stored and offered shapes.
+    pub fn try_set_value(&self, value: Tensor) -> Result<(), String> {
         let mut inner = self.inner.borrow_mut();
-        assert_eq!(
-            inner.value.dims(),
-            value.dims(),
-            "parameter {} shape change",
-            self.name
-        );
+        if inner.value.dims() != value.dims() {
+            return Err(format!(
+                "{} shape change: expected {:?}, got {:?}",
+                self.name,
+                inner.value.dims(),
+                value.dims()
+            ));
+        }
         inner.value = value;
         // grad keeps its shape; no reset needed
+        Ok(())
     }
 
     /// A clone of the accumulated gradient.
@@ -108,6 +122,18 @@ impl Parameter {
     pub fn grad_norm(&self) -> f64 {
         self.inner.borrow().grad.norm()
     }
+
+    /// True when every element of the accumulated gradient is finite.
+    /// Scans in place (no clone) — cheap enough to run after every
+    /// backward pass as the trainer's non-finite guard.
+    pub fn grad_is_finite(&self) -> bool {
+        self.inner.borrow().grad.is_finite()
+    }
+
+    /// True when every weight is finite.
+    pub fn value_is_finite(&self) -> bool {
+        self.inner.borrow().value.is_finite()
+    }
 }
 
 impl fmt::Debug for Parameter {
@@ -144,5 +170,30 @@ mod tests {
     fn set_value_rejects_shape_change() {
         let p = Parameter::new("w", Tensor::zeros(&[3]));
         p.set_value(Tensor::zeros(&[4]));
+    }
+
+    #[test]
+    fn try_set_value_reports_name_and_shapes() {
+        let p = Parameter::new("layer.w", Tensor::zeros(&[2, 3]));
+        let err = p.try_set_value(Tensor::zeros(&[3, 2])).unwrap_err();
+        assert!(err.contains("layer.w"), "missing name: {err}");
+        assert!(err.contains("[2, 3]") && err.contains("[3, 2]"), "{err}");
+        // value untouched on failure
+        assert_eq!(p.dims(), vec![2, 3]);
+        p.try_set_value(Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(p.value().as_slice(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn finite_scans_cover_grad_and_value() {
+        let p = Parameter::new("w", Tensor::zeros(&[2]));
+        assert!(p.grad_is_finite() && p.value_is_finite());
+        p.accumulate_grad(&Tensor::from_vec(vec![f64::NAN, 0.0], &[2]));
+        assert!(!p.grad_is_finite());
+        assert!(p.value_is_finite());
+        p.zero_grad();
+        assert!(p.grad_is_finite());
+        p.set_value(Tensor::from_vec(vec![1.0, f64::INFINITY], &[2]));
+        assert!(!p.value_is_finite());
     }
 }

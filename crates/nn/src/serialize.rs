@@ -1,9 +1,31 @@
-//! JSON checkpointing of parameter sets.
+//! Checkpointing: JSON parameter snapshots, crash-safe durable writes with
+//! an embedded CRC-32, and a rotating on-disk checkpoint store.
+//!
+//! # Durable checkpoint format (v1)
+//!
+//! A durable checkpoint file is a one-line ASCII header followed by the raw
+//! payload bytes:
+//!
+//! ```text
+//! YOLLO-CKPT v1 crc32=9bd366ae len=1234\n
+//! <payload bytes…>
+//! ```
+//!
+//! The header carries the CRC-32 (IEEE) and exact byte length of the
+//! payload, so truncation (a crash mid-write, a full disk) and bit-level
+//! corruption are both detected at load time. Writes go to a temporary
+//! sibling file, are fsynced, and are renamed into place, so a reader never
+//! observes a half-written checkpoint under the final name.
+//!
+//! [`CheckpointStore`] layers versioned `ckpt-{iter}.json` rotation with a
+//! retained-last-K policy on top, and falls back to the newest *valid* file
+//! when the latest one fails validation.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 use crate::Parameter;
 use serde::{Deserialize, Serialize};
@@ -31,44 +53,296 @@ impl Checkpoint {
         Checkpoint { tensors }
     }
 
-    /// Restores weights into `params`, matching by name.
+    /// Restores weights into `params`, matching by name. Every entry is
+    /// shape-checked before any write, so a mismatch reports the offending
+    /// parameter's name and both shapes instead of panicking mid-restore
+    /// with the model half-overwritten.
     ///
     /// # Errors
-    /// Returns the missing name if a parameter has no entry.
+    /// Returns the missing name if a parameter has no entry, or the
+    /// name/shape pair of the first shape mismatch.
     pub fn restore(&self, params: &[Parameter]) -> Result<(), String> {
+        // validate everything first: restore is all-or-nothing
         for p in params {
             match self.tensors.get(p.name()) {
-                Some(t) => p.set_value(t.clone()),
+                Some(t) if t.dims() != p.dims() => {
+                    return Err(format!(
+                        "checkpoint shape mismatch for {}: checkpoint has {:?}, model has {:?}",
+                        p.name(),
+                        t.dims(),
+                        p.dims()
+                    ))
+                }
+                Some(_) => {}
                 None => return Err(format!("checkpoint missing parameter {}", p.name())),
             }
+        }
+        for p in params {
+            let t = self.tensors[p.name()].clone();
+            p.try_set_value(t).map_err(|e| format!("parameter {e}"))?;
         }
         Ok(())
     }
 }
 
-/// Saves `params` as JSON at `path`.
+// ----- CRC-32 (IEEE 802.3) -----
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE polynomial, as used by zip/png) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ----- durable writes -----
+
+const HEADER_MAGIC: &str = "YOLLO-CKPT v1";
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes `payload` to `path` crash-safely: CRC-32 header + payload go to a
+/// temporary sibling (`<name>.tmp`), the file is fsynced, renamed over
+/// `path`, and the parent directory is fsynced, so a crash at any point
+/// leaves either the old file or the new one — never a torn mix.
+///
+/// # Errors
+/// Returns any I/O error from the write, sync, or rename.
+pub fn write_durable(path: impl AsRef<Path>, payload: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+    let path = path.as_ref();
+    let header = format!(
+        "{HEADER_MAGIC} crc32={:08x} len={}\n",
+        crc32(payload),
+        payload.len()
+    );
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(header.as_bytes())?;
+        f.write_all(payload)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // fsync the directory so the rename itself is durable (best-effort:
+    // some filesystems refuse to sync a directory handle)
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        }) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads a durable checkpoint written by [`write_durable`], validating the
+/// header, the payload length, and the CRC-32. A file without the
+/// `YOLLO-CKPT` magic is treated as a legacy bare payload and returned
+/// whole (pre-v1 checkpoints carried no envelope).
+///
+/// # Errors
+/// Returns [`io::ErrorKind::InvalidData`] for a malformed header, a
+/// truncated or over-long payload, or a checksum mismatch, and any
+/// underlying I/O error.
+pub fn read_validated(path: impl AsRef<Path>) -> io::Result<Vec<u8>> {
+    let bytes = fs::read(path)?;
+    if !bytes.starts_with(HEADER_MAGIC.as_bytes()) {
+        return Ok(bytes); // legacy bare payload
+    }
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| invalid("checkpoint header has no newline (truncated?)"))?;
+    let header =
+        std::str::from_utf8(&bytes[..nl]).map_err(|_| invalid("checkpoint header is not UTF-8"))?;
+    let mut crc: Option<u32> = None;
+    let mut len: Option<usize> = None;
+    for field in header.split_whitespace() {
+        if let Some(v) = field.strip_prefix("crc32=") {
+            crc = u32::from_str_radix(v, 16).ok();
+        } else if let Some(v) = field.strip_prefix("len=") {
+            len = v.parse().ok();
+        }
+    }
+    let (crc, len) = match (crc, len) {
+        (Some(c), Some(l)) => (c, l),
+        _ => return Err(invalid(format!("malformed checkpoint header: {header:?}"))),
+    };
+    let payload = &bytes[nl + 1..];
+    if payload.len() != len {
+        return Err(invalid(format!(
+            "checkpoint payload truncated: header says {len} bytes, file has {}",
+            payload.len()
+        )));
+    }
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(invalid(format!(
+            "checkpoint checksum mismatch: header {crc:08x}, payload {actual:08x}"
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+// ----- rotating checkpoint store -----
+
+/// A directory of versioned, durable checkpoints (`ckpt-{iter:08}.json`)
+/// with a retained-last-K rotation policy and corruption-tolerant loading:
+/// [`CheckpointStore::load_latest_valid`] walks files newest-first and
+/// returns the first one that passes CRC validation, so a checkpoint
+/// truncated by a mid-write crash falls back to its predecessor instead of
+/// killing the resume.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep_last: usize,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory that retains the
+    /// last `keep_last` checkpoints (minimum 1).
+    ///
+    /// # Errors
+    /// Returns any error from creating the directory.
+    pub fn open(dir: impl Into<PathBuf>, keep_last: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore {
+            dir,
+            keep_last: keep_last.max(1),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the checkpoint file for iteration `iter`.
+    pub fn path_for(&self, iter: usize) -> PathBuf {
+        self.dir.join(format!("ckpt-{iter:08}.json"))
+    }
+
+    /// All checkpoint files present, as `(iteration, path)` sorted by
+    /// iteration ascending. Non-checkpoint files are ignored.
+    ///
+    /// # Errors
+    /// Returns any error from listing the directory.
+    pub fn entries(&self) -> io::Result<Vec<(usize, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if let Some(iter) = name
+                .strip_prefix("ckpt-")
+                .and_then(|s| s.strip_suffix(".json"))
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                out.push((iter, path));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Durably writes `payload` as the checkpoint for iteration `iter`,
+    /// then rotates: all but the newest `keep_last` checkpoints are
+    /// deleted.
+    ///
+    /// # Errors
+    /// Returns any I/O error from the write or the rotation scan.
+    pub fn save(&self, iter: usize, payload: &[u8]) -> io::Result<PathBuf> {
+        let path = self.path_for(iter);
+        write_durable(&path, payload)?;
+        let entries = self.entries()?;
+        if entries.len() > self.keep_last {
+            for (_, old) in &entries[..entries.len() - self.keep_last] {
+                fs::remove_file(old)?;
+            }
+        }
+        Ok(path)
+    }
+
+    /// Loads the newest checkpoint that passes CRC validation, returning
+    /// its iteration and payload. Corrupt or truncated files are skipped
+    /// (newest-first); returns `Ok(None)` when no valid checkpoint exists.
+    ///
+    /// # Errors
+    /// Returns any error from listing the directory (per-file validation
+    /// failures are skipped, not returned).
+    pub fn load_latest_valid(&self) -> io::Result<Option<(usize, Vec<u8>)>> {
+        for (iter, path) in self.entries()?.into_iter().rev() {
+            match read_validated(&path) {
+                Ok(payload) => return Ok(Some((iter, payload))),
+                Err(_) => continue, // corrupt/truncated: fall back further
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Saves `params` as a durable (CRC-checked, atomically renamed) JSON
+/// checkpoint at `path`.
 ///
 /// # Errors
 /// Returns any I/O or serialisation error.
 pub fn save_params(path: impl AsRef<Path>, params: &[Parameter]) -> io::Result<()> {
     let ckpt = Checkpoint::capture(params);
-    let json = serde_json::to_string(&ckpt).map_err(io::Error::other)?;
-    fs::write(path, json)
+    let json = serde_json::to_vec(&ckpt).map_err(io::Error::other)?;
+    write_durable(path, &json)
 }
 
-/// Loads weights from a JSON checkpoint into `params` (matched by name).
+/// Loads weights from a checkpoint into `params` (matched by name).
+/// Accepts both durable (v1 header) and legacy bare-JSON files.
 ///
 /// # Errors
-/// Returns I/O, parse, or missing-parameter errors.
+/// Returns I/O, validation, parse, or missing-parameter/shape errors.
 pub fn load_params(path: impl AsRef<Path>, params: &[Parameter]) -> io::Result<()> {
-    let json = fs::read_to_string(path)?;
-    let ckpt: Checkpoint = serde_json::from_str(&json).map_err(io::Error::other)?;
+    let payload = read_validated(path)?;
+    let ckpt: Checkpoint = serde_json::from_slice(&payload).map_err(io::Error::other)?;
     ckpt.restore(params).map_err(io::Error::other)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("yollo_nn_{name}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
 
     #[test]
     fn capture_restore_roundtrip() {
@@ -91,9 +365,23 @@ mod tests {
     }
 
     #[test]
+    fn restore_reports_shape_mismatch_without_writing() {
+        let good = Parameter::new("a", Tensor::ones(&[2]));
+        let bad = Parameter::new("b", Tensor::ones(&[2, 2]));
+        let ckpt = Checkpoint::capture(&[good.clone(), bad.clone()]);
+        // model now disagrees on b's shape
+        let model_a = Parameter::new("a", Tensor::zeros(&[2]));
+        let model_b = Parameter::new("b", Tensor::zeros(&[4]));
+        let err = ckpt.restore(&[model_a.clone(), model_b]).unwrap_err();
+        assert!(err.contains('b'), "{err}");
+        assert!(err.contains("[2, 2]") && err.contains("[4]"), "{err}");
+        // all-or-nothing: a was validated but never written
+        assert_eq!(model_a.value().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
     fn file_roundtrip() {
-        let dir = std::env::temp_dir().join("yollo_nn_ckpt_test");
-        fs::create_dir_all(&dir).unwrap();
+        let dir = tmpdir("ckpt");
         let path = dir.join("model.json");
         let p = Parameter::new("layer.w", Tensor::from_vec(vec![0.5; 6], &[2, 3]));
         save_params(&path, &[p.clone()]).unwrap();
@@ -104,10 +392,136 @@ mod tests {
     }
 
     #[test]
+    fn legacy_bare_json_still_loads() {
+        let dir = tmpdir("legacy");
+        let path = dir.join("legacy.json");
+        let p = Parameter::new("w", Tensor::from_vec(vec![7.0], &[1]));
+        let json = serde_json::to_vec(&Checkpoint::capture(&[p.clone()])).unwrap();
+        fs::write(&path, json).unwrap(); // no header, pre-v1 style
+        p.set_value(Tensor::zeros(&[1]));
+        load_params(&path, &[p.clone()]).unwrap();
+        assert_eq!(p.value().as_slice(), &[7.0]);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
     #[should_panic(expected = "duplicate parameter name")]
     fn duplicate_names_rejected() {
         let p = Parameter::new("w", Tensor::zeros(&[1]));
         let q = Parameter::new("w", Tensor::zeros(&[1]));
         Checkpoint::capture(&[p, q]);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // standard check value for "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn read_validated_detects_truncation_and_bitflips() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("c.json");
+        let payload = b"{\"hello\": [1, 2, 3, 4, 5]}";
+        write_durable(&path, payload).unwrap();
+        assert_eq!(read_validated(&path).unwrap(), payload);
+
+        // truncation: drop the tail
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let err = read_validated(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        // bit flip in the payload
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        let err = read_validated(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn store_rotates_and_falls_back_to_newest_valid() {
+        let dir = tmpdir("store");
+        let store = CheckpointStore::open(dir.join("run"), 2).unwrap();
+        for it in [10usize, 20, 30] {
+            store.save(it, format!("payload-{it}").as_bytes()).unwrap();
+        }
+        // keep_last = 2: ckpt-10 rotated away
+        let iters: Vec<usize> = store.entries().unwrap().iter().map(|e| e.0).collect();
+        assert_eq!(iters, vec![20, 30]);
+        let (it, payload) = store.load_latest_valid().unwrap().unwrap();
+        assert_eq!((it, payload.as_slice()), (30, b"payload-30".as_slice()));
+
+        // truncate the newest: loader falls back to ckpt-20
+        let newest = store.path_for(30);
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let (it, payload) = store.load_latest_valid().unwrap().unwrap();
+        assert_eq!((it, payload.as_slice()), (20, b"payload-20".as_slice()));
+
+        // corrupt both: no valid checkpoint remains
+        let older = store.path_for(20);
+        let mut bytes = fs::read(&older).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&older, &bytes).unwrap();
+        assert!(store.load_latest_valid().unwrap().is_none());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn write_durable_leaves_no_tmp_file() {
+        let dir = tmpdir("tmpclean");
+        let path = dir.join("x.json");
+        write_durable(&path, b"abc").unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("x.json.tmp").exists());
+        fs::remove_dir_all(dir).ok();
+    }
+
+    proptest! {
+        /// Checkpoint save→load round-trips arbitrary parameter sets
+        /// bit-for-bit (serde_json's float_roundtrip feature guarantees
+        /// exact f64 round-trips for finite values).
+        #[test]
+        fn durable_roundtrip_is_bit_exact(
+            sets in prop::collection::vec(
+                (1usize..5, 1usize..5,
+                 prop::collection::vec(-1e12f64..1e12, 16)),
+                1..4,
+            )
+        ) {
+            let dir = tmpdir("prop");
+            let path = dir.join("p.json");
+            let params: Vec<Parameter> = sets
+                .iter()
+                .enumerate()
+                .map(|(i, (r, c, vals))| {
+                    let data: Vec<f64> = (0..r * c).map(|j| vals[j % vals.len()]).collect();
+                    Parameter::new(format!("p{i}"), Tensor::from_vec(data, &[*r, *c]))
+                })
+                .collect();
+            let before: Vec<Vec<u64>> = params
+                .iter()
+                .map(|p| p.value().as_slice().iter().map(|x| x.to_bits()).collect())
+                .collect();
+            save_params(&path, &params).unwrap();
+            for p in &params {
+                let dims = p.dims();
+                p.set_value(Tensor::zeros(&dims));
+            }
+            load_params(&path, &params).unwrap();
+            for (p, bits) in params.iter().zip(&before) {
+                let after: Vec<u64> =
+                    p.value().as_slice().iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(&after, bits);
+            }
+            fs::remove_file(&path).ok();
+        }
     }
 }

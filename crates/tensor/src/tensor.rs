@@ -712,9 +712,23 @@ impl Tensor {
         best
     }
 
+    /// Number of non-finite (NaN or ±∞) elements (parallel above the
+    /// elementwise threshold). The non-finite guard of the training loop
+    /// scans every gradient with this after each backward pass.
+    pub fn non_finite_count(&self) -> usize {
+        let threads = Tensor::elemwise_threads(self.numel());
+        parallel::par_fold_in(
+            threads,
+            self.data.len(),
+            |r| self.data[r].iter().filter(|x| !x.is_finite()).count(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0)
+    }
+
     /// True when all elements are finite.
     pub fn is_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        self.non_finite_count() == 0
     }
 
     /// Maximum absolute difference against another tensor of the same shape.
@@ -1161,6 +1175,22 @@ mod tests {
         let a = Tensor::randn(&[4, 4], &mut r1);
         let b = Tensor::randn(&[4, 4], &mut r2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_finite_count_finds_nan_and_inf() {
+        let mut t = Tensor::zeros(&[4, 3]);
+        assert_eq!(t.non_finite_count(), 0);
+        assert!(t.is_finite());
+        t.set(&[1, 2], f64::NAN);
+        t.set(&[3, 0], f64::INFINITY);
+        t.set(&[0, 0], f64::NEG_INFINITY);
+        assert_eq!(t.non_finite_count(), 3);
+        assert!(!t.is_finite());
+        // large tensor exercises the parallel fold path
+        let mut big = Tensor::ones(&[1 << 17]);
+        big.as_mut_slice()[77777] = f64::NAN;
+        assert_eq!(big.non_finite_count(), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 build + tests, then style/lint on the crates that own the
-# compute backend. Run from anywhere; operates on the workspace root.
+# compute backend and the fault-tolerant training stack. Run from anywhere;
+# operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,10 +11,22 @@ cargo build --release --workspace
 echo "== tier-1: tests =="
 cargo test -q --workspace
 
-echo "== rustfmt (tensor, nn) =="
-cargo fmt --check -p yollo-tensor -p yollo-nn
+echo "== fault-injection suite =="
+# crash/resume bit-equality, corrupted-checkpoint fallback, NaN skip and
+# rollback recovery — run explicitly so a filtered-out suite fails loudly
+cargo test -q -p yollo-core --test fault_tolerance
 
-echo "== clippy -D warnings (tensor, nn) =="
-cargo clippy -p yollo-tensor -p yollo-nn --all-targets -- -D warnings
+echo "== no ignored recovery tests =="
+# recovery tests must never be parked behind #[ignore]
+if grep -rn --include='*.rs' '#\[ignore' crates/core/tests crates/core/src/fault.rs crates/core/src/train.rs; then
+    echo "error: ignored test(s) in the fault-tolerance suite" >&2
+    exit 1
+fi
+
+echo "== rustfmt (tensor, nn, core) =="
+cargo fmt --check -p yollo-tensor -p yollo-nn -p yollo-core
+
+echo "== clippy -D warnings (tensor, nn, core) =="
+cargo clippy -p yollo-tensor -p yollo-nn -p yollo-core --all-targets -- -D warnings
 
 echo "ci.sh: all gates passed"

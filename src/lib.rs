@@ -43,7 +43,8 @@ pub use yollo_twostage as twostage;
 pub mod prelude {
     pub use yollo_backbone::{Backbone, BackboneKind};
     pub use yollo_core::{
-        AttentionAblation, GroundingPrediction, TrainConfig, Trainer, Yollo, YolloConfig,
+        AttentionAblation, FaultPlan, GroundingPrediction, RecoveryPolicy, TrainConfig,
+        TrainOutcome, Trainer, Yollo, YolloConfig,
     };
     pub use yollo_detect::{AnchorGrid, AnchorSpec, BBox, MatchConfig};
     pub use yollo_eval::{time_inference, IouMetrics, Table};
@@ -54,8 +55,8 @@ pub mod prelude {
     pub use yollo_tensor::{Graph, Tensor};
     pub use yollo_text::{tokenize, Vocab};
     pub use yollo_twostage::{
-        CandidateCache, EnsembleScorer, GridProposals, Listener, ListenerConfig,
-        ProposalConfig, ProposalNetwork, ProposalScorer, Proposer, RoiExtractor, Speaker,
-        SpeakerConfig, TwoStageGrounder,
+        CandidateCache, EnsembleScorer, GridProposals, Listener, ListenerConfig, ProposalConfig,
+        ProposalNetwork, ProposalScorer, Proposer, RoiExtractor, Speaker, SpeakerConfig,
+        TwoStageGrounder,
     };
 }

@@ -133,7 +133,10 @@ fn co_attention_matters_on_disambiguation_queries() {
     let scene = ds.scene_of(s);
     let a = blind.predict_scene_query(scene, "red circle");
     let b = blind.predict_scene_query(scene, "blue square");
-    assert_eq!(a.bbox, b.bbox, "no-co-attention model must ignore the query");
+    assert_eq!(
+        a.bbox, b.bbox,
+        "no-co-attention model must ignore the query"
+    );
     let fa = full.predict_scene_query(scene, "the red circle on the left");
     let fb = full.predict_scene_query(scene, "the blue square on the right");
     // the full model is allowed to (and in practice does) move
@@ -155,7 +158,10 @@ fn training_loss_drops_on_all_flavours() {
             ..TrainConfig::default()
         })
         .train(&mut model, &ds);
-        let (early, late) = (log.early_loss(10), log.late_loss(10));
+        let (early, late) = (
+            log.early_loss(10).expect("run produced applied steps"),
+            log.late_loss(10).expect("run produced applied steps"),
+        );
         assert!(
             late < early * 0.8,
             "{kind:?}: insufficient convergence {early:.3} -> {late:.3}"
