@@ -15,7 +15,7 @@
 
 use yollo_bench::{dataset, output_dir, Scale};
 use yollo_core::{truncate_file, FaultPlan, StepOutcome, TrainConfig, TrainLog, Trainer, Yollo};
-use yollo_nn::CheckpointStore;
+use yollo_nn::{CheckpointStore, Module};
 use yollo_synthref::{Dataset, DatasetKind};
 
 fn fresh_model(ds: &Dataset) -> Yollo {

@@ -5,9 +5,10 @@
 //! convergence on all three datasets.
 //!
 //! Here: trains one YOLLO per synthetic dataset, writes per-iteration
-//! loss/accuracy CSVs to `target/experiments/fig4_<dataset>.csv`, and
-//! prints a coarse ASCII rendition plus the convergence evidence (early vs
-//! late loss, iteration at which half the total loss drop was reached).
+//! loss/accuracy curves to `target/experiments/fig4_<dataset>.csv` and
+//! `fig4_<dataset>.jsonl` (the machine-readable twin), and prints a coarse
+//! ASCII rendition plus the convergence evidence (early vs late loss,
+//! iteration at which half the total loss drop was reached).
 
 use yollo_bench::{dataset, load_or_train_yollo, output_dir, Scale};
 use yollo_synthref::DatasetKind;
@@ -20,11 +21,11 @@ fn main() {
         let ds = dataset(scale, kind);
         eprintln!("training on {}…", kind.name());
         let (_, log) = load_or_train_yollo(scale, &ds, kind, 42);
-        let path = dir.join(format!(
-            "fig4_{}.csv",
-            kind.name().to_lowercase().replace('+', "plus")
-        ));
+        let slug = kind.name().to_lowercase().replace('+', "plus");
+        let path = dir.join(format!("fig4_{slug}.csv"));
         log.write_csv(&path).expect("can write curve CSV");
+        let jsonl_path = dir.join(format!("fig4_{slug}.jsonl"));
+        log.write_jsonl(&jsonl_path).expect("can write curve JSONL");
 
         let total_points = log.points.len();
         let first = log.early_loss(10).expect("curve has applied steps");
@@ -37,7 +38,7 @@ fn main() {
             .find(|p| p.loss.total <= target)
             .map_or(total_points, |p| p.iteration);
         println!("## {}", kind.name());
-        println!("- curve: {}", path.display());
+        println!("- curve: {} (+ {})", path.display(), jsonl_path.display());
         println!("- loss: {first:.3} → {last:.3} over {total_points} iterations");
         println!(
             "- half of the total loss drop reached by iteration {half_iter} ({:.0}% of the run)",

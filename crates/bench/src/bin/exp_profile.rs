@@ -1,0 +1,180 @@
+//! **Profiling harness** — traces one training step and times repeated
+//! inference passes, writing `BENCH_obs.json` at the repository root plus a
+//! Chrome `trace_event` file loadable in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`.
+//!
+//! The trace of the training step must contain spans for the encoder, every
+//! Rel2Att layer, the detection head, the matmul kernels and the optimizer
+//! step; the binary exits non-zero if any of them is missing (a regression
+//! in the instrumentation). `YOLLO_TRACE_PATH` overrides the trace output
+//! location; `YOLLO_SCALE` selects the usual tiny/standard/full preset.
+
+use std::collections::HashSet;
+
+use yollo_bench::{dataset, output_dir, Scale};
+use yollo_core::{TrainConfig, Trainer, Yollo};
+use yollo_eval::time_inference;
+use yollo_obs::Snapshot;
+use yollo_synthref::{DatasetKind, Split};
+
+/// Spans that one traced training step must contain (plus one `rel2att.{i}`
+/// per layer, appended in `main`).
+const REQUIRED_SPANS: &[&str] = &[
+    "train.step",
+    "model.forward",
+    "model.encoder",
+    "encoder.image",
+    "encoder.query",
+    "model.rel2att",
+    "head.forward",
+    "tensor.matmul",
+    "tensor.graph.backward",
+    "optim.adam.step",
+];
+
+fn main() {
+    yollo_obs::set_enabled(true);
+    let scale = Scale::from_env();
+    let ds = dataset(scale, DatasetKind::SynthRef);
+    let mut model = Yollo::for_dataset(&ds, 7);
+
+    // dataset generation and model init record too; start the profile clean
+    yollo_obs::registry().reset();
+    let _ = yollo_obs::drain_spans();
+
+    // --- one traced training step ---
+    eprintln!("tracing one training step…");
+    Trainer::new(TrainConfig {
+        iterations: 1,
+        batch_size: 4,
+        eval_every: 0,
+        checkpoint_every: 0,
+        word2vec_init: false,
+        pretrain_backbone_steps: 0,
+        seed: 7,
+        ..TrainConfig::default()
+    })
+    .train(&mut model, &ds);
+    let train_spans = yollo_obs::drain_spans();
+    let train_snapshot = yollo_obs::registry().snapshot();
+
+    let mut required: Vec<String> = REQUIRED_SPANS.iter().map(|s| s.to_string()).collect();
+    for i in 0..model.config().n_rel2att {
+        required.push(format!("rel2att.{i}"));
+    }
+    let have: HashSet<&str> = train_spans.iter().map(|e| e.name.as_ref()).collect();
+    let missing: Vec<&String> = required
+        .iter()
+        .filter(|r| !have.contains(r.as_str()))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("missing required spans in the training-step trace: {missing:?}");
+        std::process::exit(1);
+    }
+
+    // --- timed inference passes ---
+    let (warmup, reps) = match scale {
+        Scale::Tiny => (1, 5),
+        Scale::Standard => (3, 20),
+        Scale::Full => (5, 50),
+    };
+    eprintln!("timing {reps} inference passes…");
+    yollo_obs::registry().reset();
+    let sample = &ds.samples(Split::Val)[0];
+    let (images, queries, _) = model.encode_batch(&ds, &[sample]);
+    let stats = time_inference(
+        || {
+            model.predict_batch(images.clone(), &queries);
+        },
+        warmup,
+        reps,
+    );
+    let infer_snapshot = yollo_obs::registry().snapshot();
+    let infer_spans = yollo_obs::drain_spans();
+
+    // --- Chrome trace: the training step followed by the inference passes ---
+    let trace_path =
+        yollo_obs::trace_path_from_env().unwrap_or_else(|| output_dir().join("trace_profile.json"));
+    let train_span_count = train_spans.len();
+    let mut events = train_spans;
+    events.extend(infer_spans);
+    yollo_obs::write_chrome_trace(&trace_path, &events).expect("can write trace");
+
+    // --- BENCH_obs.json ---
+    let stage = |name: &str| -> serde_json::Value {
+        match infer_snapshot.histogram(name) {
+            Some(h) => serde_json::json!({
+                "count": h.count,
+                "mean_ns": h.mean,
+                "p50_ns": h.p50,
+                "p95_ns": h.p95,
+                "p99_ns": h.p99,
+            }),
+            None => serde_json::Value::Null,
+        }
+    };
+    let counters = |snap: &Snapshot| -> serde_json::Value {
+        serde_json::Value::Object(
+            snap.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), serde_json::json!(*v)))
+                .collect(),
+        )
+    };
+    let stages = serde_json::json!({
+        "encoder": stage("model.encoder_ns"),
+        "rel2att": stage("model.rel2att_ns"),
+        "head": stage("model.head_ns"),
+        "batch": stage("infer.batch_ns"),
+        "matmul": stage("tensor.matmul_ns"),
+    });
+    let inference = serde_json::json!({
+        "reps": stats.reps,
+        "mean_s": stats.mean_s,
+        "p50_s": stats.p50_s,
+        "p95_s": stats.p95_s,
+        "p99_s": stats.p99_s,
+        "min_s": stats.min_s,
+        "stages": stages,
+        "counters": counters(&infer_snapshot),
+    });
+    let train_step = serde_json::json!({
+        "spans": train_span_count,
+        "counters": counters(&train_snapshot),
+    });
+    let results = serde_json::json!({
+        "scale": format!("{scale:?}"),
+        "trace_path": trace_path.display().to_string(),
+        "trace_events": events.len(),
+        "inference": inference,
+        "train_step": train_step,
+    });
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&results).expect("serialisable"),
+    )
+    .expect("can write BENCH_obs.json");
+
+    println!("# Profile ({scale:?} scale)\n");
+    println!(
+        "inference over {} reps: mean {:.4}s, p50 {:.4}s, p95 {:.4}s, p99 {:.4}s",
+        stats.reps, stats.mean_s, stats.p50_s, stats.p95_s, stats.p99_s
+    );
+    for (label, name) in [
+        ("encoder", "model.encoder_ns"),
+        ("rel2att", "model.rel2att_ns"),
+        ("head", "model.head_ns"),
+    ] {
+        if let Some(h) = infer_snapshot.histogram(name) {
+            println!(
+                "  {label:>8}: p50 {:.3}ms  p95 {:.3}ms  ({} calls)",
+                h.p50 as f64 / 1e6,
+                h.p95 as f64 / 1e6,
+                h.count
+            );
+        }
+    }
+    println!("trace ({} events): {}", events.len(), trace_path.display());
+    println!("raw results: {}", path.display());
+}

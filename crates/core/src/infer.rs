@@ -106,9 +106,14 @@ impl Yollo {
         images: Tensor,
         queries: &[Vec<usize>],
     ) -> Vec<GroundingPrediction> {
+        let _span = yollo_obs::span!("infer.predict_batch");
+        let _lat = yollo_obs::time_hist!("infer.batch_ns");
+        yollo_obs::counter!("infer.batches").incr();
+        yollo_obs::counter!("infer.samples").add(queries.len() as u64);
         let g = Graph::new();
         let bind = Binder::new(&g);
         let out = self.forward(&bind, g.leaf(images), queries);
+        let _decode = yollo_obs::span!("infer.decode");
         self.predictions_from_output(&out)
     }
 

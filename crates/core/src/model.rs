@@ -145,23 +145,43 @@ impl Yollo {
         images: Var<'g>,
         queries: &[Vec<usize>],
     ) -> YolloOutput<'g> {
+        let _fwd = yollo_obs::span!("model.forward");
         let b = images.dims()[0];
         assert_eq!(b, queries.len(), "batch size mismatch");
-        let mut v = self.encoder.encode_image(bind, images);
-        let mut t = self.encoder.encode_query(bind, queries);
-        let pad_mask = self.encoder.pad_mask(queries);
+        let (mut v, mut t, pad_mask) = {
+            let _span = yollo_obs::span!("model.encoder");
+            let _lat = yollo_obs::time_hist!("model.encoder_ns");
+            let v = {
+                let _s = yollo_obs::span!("encoder.image");
+                self.encoder.encode_image(bind, images)
+            };
+            let t = {
+                let _s = yollo_obs::span!("encoder.query");
+                self.encoder.encode_query(bind, queries)
+            };
+            (v, t, self.encoder.pad_mask(queries))
+        };
         let mut att_layers = Vec::with_capacity(self.layers.len());
-        for layer in &self.layers {
-            let out = layer.forward(bind, v, t, Some(&pad_mask));
-            v = out.v;
-            t = out.t;
-            att_layers.push(out.att_v);
+        {
+            let _span = yollo_obs::span!("model.rel2att");
+            let _lat = yollo_obs::time_hist!("model.rel2att_ns");
+            for layer in &self.layers {
+                let _s = yollo_obs::span_dyn(layer.trace_name());
+                let out = layer.forward(bind, v, t, Some(&pad_mask));
+                v = out.v;
+                t = out.t;
+                att_layers.push(out.att_v);
+            }
         }
         // reconstruct M̃ = [B, d, fh, fw] from Ṽ = [B, m, d]
-        let feat = v
-            .transpose()
-            .reshape(&[b, self.cfg.d_rel, self.cfg.feat_h(), self.cfg.feat_w()]);
-        let (scores, offsets) = self.head.forward(bind, feat);
+        let feat =
+            v.transpose()
+                .reshape(&[b, self.cfg.d_rel, self.cfg.feat_h(), self.cfg.feat_w()]);
+        let (scores, offsets) = {
+            let _span = yollo_obs::span!("head.forward");
+            let _lat = yollo_obs::time_hist!("model.head_ns");
+            self.head.forward(bind, feat)
+        };
         YolloOutput {
             scores,
             offsets,
@@ -285,10 +305,7 @@ impl Yollo {
         ds: &Dataset,
         samples: &[&GroundingSample],
     ) -> (Tensor, Vec<Vec<usize>>, Vec<BBox>) {
-        let imgs: Vec<Tensor> = samples
-            .iter()
-            .map(|s| ds.scene_of(s).render())
-            .collect();
+        let imgs: Vec<Tensor> = samples.iter().map(|s| ds.scene_of(s).render()).collect();
         let refs: Vec<&Tensor> = imgs.iter().collect();
         let images = Tensor::concat(&refs, 0).reshape(&[
             samples.len(),
@@ -325,8 +342,7 @@ impl Yollo {
     /// Returns I/O, parse, or missing-parameter errors.
     pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        let mut saved: SavedModel =
-            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        let mut saved: SavedModel = serde_json::from_str(&json).map_err(std::io::Error::other)?;
         saved.vocab.rebuild_index();
         let mut model = Yollo::new(saved.config, 0);
         model.vocab = saved.vocab;
@@ -380,7 +396,10 @@ mod tests {
         assert_eq!(out.scores.dims(), vec![2, a]);
         assert_eq!(out.offsets.dims(), vec![2, a, 4]);
         assert_eq!(out.att_layers.len(), 2);
-        assert_eq!(out.att_layers[0].dims(), vec![2, model.config().num_regions()]);
+        assert_eq!(
+            out.att_layers[0].dims(),
+            vec![2, model.config().num_regions()]
+        );
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub struct Rel2AttLayer {
     /// §3.2: "in the last Rel2Att module we only compute the new image
     /// feature sequence Ṽ" — when false, `t` passes through untouched.
     compute_t: bool,
+    /// Name used for trace spans (e.g. `rel2att.0`).
+    trace_name: String,
 }
 
 /// Output of one Rel2Att layer.
@@ -89,7 +91,13 @@ impl Rel2AttLayer {
             d_rel,
             ablation,
             compute_t,
+            trace_name: name.to_string(),
         }
+    }
+
+    /// Name this layer reports in trace spans.
+    pub(crate) fn trace_name(&self) -> &str {
+        &self.trace_name
     }
 
     /// The quadrant mask for `k = m + n` elements: 1 where the relation is
@@ -176,7 +184,7 @@ impl Rel2AttLayer {
         };
         let att = (quad_means(rel).add(quad_means(rel.transpose()))).mul(gain); // [B, k]
         let att_v = att.slice(1, 0, m); // [B, m]
-        // multiplicative attention (Eq. 4): softmax mask, identity-on-average
+                                        // multiplicative attention (Eq. 4): softmax mask, identity-on-average
         let gate_v = att_v
             .softmax_lastdim()
             .mul_scalar(m as f64)
@@ -350,8 +358,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let x = g.leaf(Tensor::randn(&[2, 5, 8], &mut rng).scale(100.0));
         let y = rms_norm(x).value();
-        let ms: f64 =
-            y.as_slice().iter().map(|v| v * v).sum::<f64>() / y.numel() as f64;
+        let ms: f64 = y.as_slice().iter().map(|v| v * v).sum::<f64>() / y.numel() as f64;
         assert!((ms - 1.0).abs() < 1e-6, "mean square {ms}");
     }
 }

@@ -255,6 +255,31 @@ impl TrainLog {
         }
         std::fs::write(path, out)
     }
+
+    /// Renders the log as JSON Lines: one `{"kind":"point",...}` object per
+    /// training point followed by one `{"kind":"recovery",...}` object per
+    /// rollback. Machine-readable counterpart of [`TrainLog::write_csv`],
+    /// consumed by the analysis notebooks and the `exp_fig4_curves` bench.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for p in &self.points {
+            let data = serde_json::to_string(p).expect("TrainPoint serialises");
+            out.push_str(&format!("{{\"kind\":\"point\",\"data\":{data}}}\n"));
+        }
+        for r in &self.recoveries {
+            let data = serde_json::to_string(r).expect("RecoveryEvent serialises");
+            out.push_str(&format!("{{\"kind\":\"recovery\",\"data\":{data}}}\n"));
+        }
+        out
+    }
+
+    /// Writes [`TrainLog::to_jsonl`] to `path`.
+    ///
+    /// # Errors
+    /// Returns any I/O error.
+    pub fn write_jsonl(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
 }
 
 /// A complete, serialisable snapshot of a training run: everything needed
@@ -510,6 +535,13 @@ impl Trainer {
         val_pool.shuffle(&mut val_rng);
         val_pool.truncate(cfg.eval_samples.max(1));
 
+        // optional periodic metrics export: YOLLO_METRICS_PATH names a JSONL
+        // file that receives a registry snapshot every 16 iterations
+        let mut snapshotter = std::env::var("YOLLO_METRICS_PATH")
+            .ok()
+            .and_then(|p| yollo_obs::JsonlFileSink::create(p).ok())
+            .map(|sink| yollo_obs::PeriodicSnapshotter::new(16, sink));
+
         let mut plan = self.plan.clone();
         let mut bad_streak = 0usize;
         let mut recoveries_this_run = 0usize;
@@ -522,15 +554,23 @@ impl Trainer {
                     resumed_from,
                 });
             }
+            let _step_span = yollo_obs::span!("train.step");
+            let _step_lat = yollo_obs::time_hist!("train.step_ns");
             let batch = ds.sample_batch(cfg.batch_size, &mut rng);
             let (images, queries, targets) = model.encode_batch(ds, &batch);
             let g = Graph::new();
             let bind = Binder::new(&g);
             let out = model.forward(&bind, g.leaf(images), &queries);
-            let (loss, mut parts) = model.loss(&bind, &out, &targets, &mut rng);
+            let (loss, mut parts) = {
+                let _s = yollo_obs::span!("train.loss");
+                model.loss(&bind, &out, &targets, &mut rng)
+            };
             opt.zero_grad();
-            loss.backward();
-            bind.harvest();
+            {
+                let _s = yollo_obs::span!("train.backward");
+                loss.backward();
+                bind.harvest();
+            }
             if plan.take_nan(it) {
                 // poison the step the way a divergence would: non-finite
                 // loss and at least one non-finite gradient
@@ -542,16 +582,24 @@ impl Trainer {
             // non-finite guard: loss total and every gradient
             let healthy = parts.total.is_finite() && params.iter().all(Parameter::grad_is_finite);
             if healthy {
-                clip_global_norm(&params, cfg.clip_norm);
+                let gnorm = clip_global_norm(&params, cfg.clip_norm);
+                yollo_obs::gauge!("train.grad_norm").set(gnorm);
+                yollo_obs::gauge!("train.loss.total").set(parts.total);
+                yollo_obs::gauge!("train.loss.att").set(parts.att);
+                yollo_obs::gauge!("train.loss.cls").set(parts.cls);
+                yollo_obs::gauge!("train.loss.reg").set(parts.reg);
                 opt.step();
+                yollo_obs::counter!("train.steps.applied").incr();
                 bad_streak = 0;
             } else {
+                yollo_obs::counter!("train.steps.skipped").incr();
                 bad_streak += 1;
             }
 
             // mid-training eval tolerates an empty Val split by skipping
             let val_acc = if cfg.eval_every > 0 && it % cfg.eval_every == 0 && !val_pool.is_empty()
             {
+                let _s = yollo_obs::span!("train.eval");
                 Some(model.evaluate_samples(ds, &val_pool).acc_at(0.5))
             } else {
                 None
@@ -578,6 +626,7 @@ impl Trainer {
                     });
                 }
                 recoveries_this_run += 1;
+                yollo_obs::counter!("train.recoveries").incr();
                 bad_streak = 0;
                 let restored = match store {
                     Some(s) => Trainer::load_newest_state(s)?,
@@ -611,9 +660,15 @@ impl Trainer {
                 }
             }
 
+            if let Some(snap) = snapshotter.as_mut() {
+                // metrics export is best-effort; never fail training over it
+                let _ = snap.tick();
+            }
+
             if let Some(store) = store {
                 let due = cfg.checkpoint_every > 0 && it % cfg.checkpoint_every == 0;
                 if due || it == cfg.iterations {
+                    let _s = yollo_obs::span!("train.checkpoint");
                     let state = TrainState {
                         version: TRAIN_STATE_VERSION,
                         config: cfg,
@@ -701,6 +756,50 @@ mod tests {
         assert_eq!(skipped.early_loss(5), None);
         assert_eq!(skipped.late_loss(5), None);
         assert_eq!(skipped.late_loss(0), None);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_valid_object_per_line() {
+        let log = TrainLog {
+            points: vec![
+                TrainPoint {
+                    iteration: 1,
+                    loss: LossParts {
+                        att: 0.5,
+                        cls: 0.25,
+                        reg: 0.25,
+                        total: 1.0,
+                    },
+                    val_acc: Some(0.125),
+                    outcome: StepOutcome::Applied,
+                },
+                TrainPoint {
+                    iteration: 2,
+                    loss: LossParts::default(),
+                    val_acc: None,
+                    outcome: StepOutcome::Skipped,
+                },
+            ],
+            recoveries: vec![RecoveryEvent {
+                at_iteration: 2,
+                restored_iteration: 1,
+                lr: 5e-4,
+            }],
+        };
+        let text = log.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["kind"].is_string());
+            assert!(v["data"].is_object());
+        }
+        let first: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first["kind"], "point");
+        assert_eq!(first["data"]["iteration"], 1);
+        let last: serde_json::Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(last["kind"], "recovery");
+        assert_eq!(last["data"]["restored_iteration"], 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use yollo_core::{
     truncate_file, FaultPlan, StepOutcome, TrainConfig, TrainLog, TrainState, Trainer, Yollo,
     YolloConfig,
 };
-use yollo_nn::CheckpointStore;
+use yollo_nn::{CheckpointStore, Module};
 use yollo_synthref::{Dataset, DatasetConfig, DatasetKind};
 
 fn tiny_setup() -> (Yollo, Dataset) {

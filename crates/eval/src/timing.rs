@@ -8,6 +8,12 @@ pub struct TimingStats {
     pub mean_s: f64,
     /// Median seconds per run.
     pub p50_s: f64,
+    /// 95th-percentile seconds per run (nearest rank).
+    #[serde(default)]
+    pub p95_s: f64,
+    /// 99th-percentile seconds per run (nearest rank).
+    #[serde(default)]
+    pub p99_s: f64,
     /// Fastest run.
     pub min_s: f64,
     /// Number of measured runs.
@@ -39,15 +45,25 @@ pub fn time_inference(mut f: impl FnMut(), warmup: usize, reps: usize) -> Timing
     for _ in 0..reps {
         let t0 = Instant::now();
         f();
-        times.push(t0.elapsed().as_secs_f64());
+        let dt = t0.elapsed();
+        yollo_obs::histogram!("eval.inference_ns").record(dt.as_nanos() as u64);
+        times.push(dt.as_secs_f64());
     }
     times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
     TimingStats {
         mean_s: times.iter().sum::<f64>() / reps as f64,
-        p50_s: times[reps / 2],
+        p50_s: nearest_rank(&times, 0.50),
+        p95_s: nearest_rank(&times, 0.95),
+        p99_s: nearest_rank(&times, 0.99),
         min_s: times[0],
         reps,
     }
+}
+
+/// Nearest-rank quantile of an ascending-sorted non-empty slice.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 #[cfg(test)]
@@ -63,7 +79,19 @@ mod tests {
         );
         assert!(stats.mean_s >= 0.002);
         assert!(stats.min_s <= stats.p50_s);
+        assert!(stats.p50_s <= stats.p95_s);
+        assert!(stats.p95_s <= stats.p99_s);
         assert_eq!(stats.reps, 5);
+    }
+
+    #[test]
+    fn nearest_rank_quantiles() {
+        let times: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(nearest_rank(&times, 0.50), 50.0);
+        assert_eq!(nearest_rank(&times, 0.95), 95.0);
+        assert_eq!(nearest_rank(&times, 0.99), 99.0);
+        assert_eq!(nearest_rank(&[7.0], 0.5), 7.0);
+        assert_eq!(nearest_rank(&[7.0], 0.99), 7.0);
     }
 
     #[test]
@@ -71,12 +99,16 @@ mod tests {
         let fast = TimingStats {
             mean_s: 0.01,
             p50_s: 0.01,
+            p95_s: 0.01,
+            p99_s: 0.01,
             min_s: 0.01,
             reps: 1,
         };
         let slow = TimingStats {
             mean_s: 0.25,
             p50_s: 0.25,
+            p95_s: 0.25,
+            p99_s: 0.25,
             min_s: 0.25,
             reps: 1,
         };

@@ -111,6 +111,9 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self) {
+        let _span = yollo_obs::span!("optim.sgd.step");
+        let _lat = yollo_obs::time_hist!("optim.step_ns");
+        yollo_obs::counter!("optim.step.calls").incr();
         for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
             let g = p.grad();
             // v <- momentum * v + g ; w <- w - lr * v
@@ -206,6 +209,9 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self) {
+        let _span = yollo_obs::span!("optim.adam.step");
+        let _lat = yollo_obs::time_hist!("optim.step_ns");
+        yollo_obs::counter!("optim.step.calls").incr();
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

@@ -1,0 +1,589 @@
+//! Atomic metric primitives and the global registry.
+//!
+//! All updates are relaxed atomic operations on `&'static` handles; the
+//! registry mutex is touched only at first registration and at snapshot
+//! time, so the steady-state fast path is lock-free.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// Number of log2-scaled histogram buckets (one per power of two of the
+/// recorded value — covers the full `u64` nanosecond range).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A monotonically increasing event/quantity counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n`. A relaxed `fetch_add` when recording is on; an inlined
+    /// no-op when the `enabled` feature is compiled out.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        if crate::enabled() {
+            self.value.fetch_add(n, Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Adds one.
+    #[inline(always)]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Relaxed);
+    }
+}
+
+/// A last-value-wins `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+impl Gauge {
+    /// A fresh gauge at `0.0`.
+    pub const fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores `v` (relaxed; no-op when the `enabled` feature is off).
+    #[inline(always)]
+    pub fn set(&self, v: f64) {
+        #[cfg(feature = "enabled")]
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Last stored value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0, Relaxed);
+    }
+}
+
+/// A log2-bucketed distribution, sized for nanosecond latencies: bucket
+/// `i` holds values whose integer log2 is `i`, so quantiles are exact to
+/// within a factor of two across the whole `u64` range at 64×8 bytes of
+/// storage per histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Index of the bucket holding `v` (0 and 1 share bucket 0).
+#[inline]
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        v.ilog2() as usize
+    }
+}
+
+/// Representative value of bucket `i`: the geometric middle of `[2^i,
+/// 2^(i+1))`, capped to stay in `u64`.
+fn bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i >= 63 {
+        u64::MAX / 2 + 1
+    } else {
+        (1u64 << i) + (1u64 << (i - 1))
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation (three relaxed `fetch_add`s; an inlined
+    /// no-op when the `enabled` feature is compiled out).
+    #[inline(always)]
+    pub fn record(&self, value: u64) {
+        #[cfg(feature = "enabled")]
+        if crate::enabled() {
+            self.buckets[bucket_of(value)].fetch_add(1, Relaxed);
+            self.count.fetch_add(1, Relaxed);
+            self.sum.fetch_add(value, Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = value;
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline(always)]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / c as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`): the representative value
+    /// of the bucket the nearest-rank quantile falls in — exact to within
+    /// a factor of two. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Relaxed);
+            if cum >= target {
+                return bucket_mid(i);
+            }
+        }
+        bucket_mid(HIST_BUCKETS - 1)
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+    }
+}
+
+/// RAII timer recording its lifetime into a [`Histogram`] on drop
+/// (nanoseconds). Constructed via the [`crate::time_hist!`] macro.
+pub struct HistTimer {
+    #[cfg(feature = "enabled")]
+    inner: Option<(&'static Histogram, Instant)>,
+}
+
+impl HistTimer {
+    /// Starts the timer (a unit value when recording is off).
+    #[inline(always)]
+    pub fn new(hist: &'static Histogram) -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            HistTimer {
+                inner: crate::enabled().then(|| (hist, Instant::now())),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = hist;
+            HistTimer {}
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        if let Some((hist, t0)) = self.inner.take() {
+            hist.record_duration(t0.elapsed());
+        }
+    }
+}
+
+/// The process-wide metric registry. Handles are `&'static` (registered
+/// metrics live for the process); the maps are only locked on first
+/// registration, [`Registry::snapshot`] and [`Registry::reset`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static R: OnceLock<Registry> = OnceLock::new();
+    R.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// The counter registered as `name` (registering it on first use).
+    /// With the `enabled` feature off this returns a shared no-op handle
+    /// without touching the registry.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            static NOOP: Counter = Counter::new();
+            &NOOP
+        }
+        #[cfg(feature = "enabled")]
+        {
+            let mut map = self.counters.lock().expect("metric registry poisoned");
+            if let Some(c) = map.get(name) {
+                return c;
+            }
+            let leaked: &'static Counter = Box::leak(Box::default());
+            map.insert(name.to_owned(), leaked);
+            leaked
+        }
+    }
+
+    /// The gauge registered as `name` (see [`Registry::counter`]).
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            static NOOP: Gauge = Gauge::new();
+            &NOOP
+        }
+        #[cfg(feature = "enabled")]
+        {
+            let mut map = self.gauges.lock().expect("metric registry poisoned");
+            if let Some(g) = map.get(name) {
+                return g;
+            }
+            let leaked: &'static Gauge = Box::leak(Box::default());
+            map.insert(name.to_owned(), leaked);
+            leaked
+        }
+    }
+
+    /// The histogram registered as `name` (see [`Registry::counter`]).
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            static NOOP: OnceLock<Histogram> = OnceLock::new();
+            NOOP.get_or_init(Histogram::new)
+        }
+        #[cfg(feature = "enabled")]
+        {
+            let mut map = self.histograms.lock().expect("metric registry poisoned");
+            if let Some(h) = map.get(name) {
+                return h;
+            }
+            let leaked: &'static Histogram = Box::leak(Box::default());
+            map.insert(name.to_owned(), leaked);
+            leaked
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("metric registry poisoned")
+            .iter()
+            .map(|(n, h)| HistogramSnapshot {
+                name: n.clone(),
+                count: h.count(),
+                sum: h.sum(),
+                mean: h.mean(),
+                p50: h.quantile(0.50),
+                p95: h.quantile(0.95),
+                p99: h.quantile(0.99),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zeroes every registered metric (handles stay valid). Profiling
+    /// binaries use this to separate phases, e.g. training vs inference.
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            c.reset();
+        }
+        for g in self
+            .gauges
+            .lock()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            g.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("metric registry poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+/// Aggregated view of one histogram inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Mean observed value.
+    pub mean: f64,
+    /// Median (bucket-resolution, see [`Histogram::quantile`]).
+    pub p50: u64,
+    /// 95th percentile (bucket-resolution).
+    pub p95: u64,
+    /// 99th percentile (bucket-resolution).
+    pub p99: u64,
+}
+
+/// A point-in-time copy of the registry, name-sorted.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, total)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// One aggregate per histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The snapshotted total of counter `name`.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The snapshotted value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The snapshotted aggregate of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serialises the snapshot as one JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{..}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            crate::push_json_escaped(&mut out, name);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            crate::push_json_escaped(&mut out, name);
+            out.push_str(&format!("\":{}", crate::json_f64(*v)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            crate::push_json_escaped(&mut out, &h.name);
+            out.push_str(&format!(
+                "\":{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count,
+                h.sum,
+                crate::json_f64(h.mean),
+                h.p50,
+                h.p95,
+                h.p99
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        crate::set_enabled(true);
+        let c = registry().counter("test.metrics.counter_accumulates");
+        let before = c.get();
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), before + 4);
+    }
+
+    #[test]
+    fn macro_returns_same_handle_as_registry() {
+        crate::set_enabled(true);
+        let a = crate::counter!("test.metrics.same_handle");
+        let b = registry().counter("test.metrics.same_handle");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        crate::set_enabled(true);
+        let g = registry().gauge("test.metrics.gauge");
+        g.set(1.25);
+        g.set(-7.5);
+        assert_eq!(g.get(), -7.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_accurate() {
+        crate::set_enabled(true);
+        let h = Histogram::new();
+        // 90 small values (~100) and 10 large ones (~100_000)
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 90 * 100 + 10 * 100_000);
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        // bucket-resolution: within a factor of two of the true value
+        assert!((64..256).contains(&p50), "p50 = {p50}");
+        assert!((65_536..262_144).contains(&p95), "p95 = {p95}");
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_and_escaped() {
+        crate::set_enabled(true);
+        let snap = Snapshot {
+            counters: vec![("weird \"name\"\n".to_owned(), 3)],
+            gauges: vec![("g".to_owned(), f64::NAN)],
+            histograms: vec![HistogramSnapshot {
+                name: "h_ns".to_owned(),
+                count: 2,
+                sum: 10,
+                mean: 5.0,
+                p50: 6,
+                p95: 6,
+                p99: 6,
+            }],
+        };
+        let parsed: serde_json::Value = serde_json::from_str(&snap.to_json()).expect("valid JSON");
+        assert_eq!(parsed["counters"]["weird \"name\"\n"], 3);
+        assert!(
+            parsed["gauges"]["g"].is_null(),
+            "NaN must serialise as null"
+        );
+        assert_eq!(parsed["histograms"]["h_ns"]["count"], 2);
+    }
+}

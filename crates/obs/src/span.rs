@@ -1,0 +1,421 @@
+//! RAII trace spans, per-thread ring buffers and the Chrome-trace writer.
+//!
+//! Each thread records finished spans into its own ring buffer behind its
+//! own mutex — pushes are uncontended; only [`drain_spans`] briefly locks
+//! each buffer, so records are never torn even under heavy cross-thread
+//! span traffic (see `tests/contention.rs`). Buffers are recycled when
+//! threads exit, so short-lived worker threads (the tensor pool spawns
+//! scoped workers per op) do not grow the buffer list without bound.
+
+use std::borrow::Cow;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+#[cfg(feature = "enabled")]
+use std::cell::RefCell;
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+#[cfg(feature = "enabled")]
+use std::sync::{Arc, Mutex, OnceLock};
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// Finished spans retained per thread buffer; when a buffer is full the
+/// oldest events are overwritten (and `obs.spans.dropped` counts them).
+pub const RING_CAPACITY: usize = 1 << 16;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (static for `span!`, owned for dynamic names).
+    pub name: Cow<'static, str>,
+    /// Process-local thread id (assigned in first-span order, from 1).
+    pub tid: u64,
+    /// Unique span id (from 1).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for roots.
+    pub parent: u64,
+    /// Start time in nanoseconds since the process's trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[cfg(feature = "enabled")]
+struct RingBuf {
+    slots: Vec<SpanEvent>,
+    /// Index of the oldest slot once the buffer has wrapped.
+    head: usize,
+}
+
+#[cfg(feature = "enabled")]
+struct Ring {
+    inner: Mutex<RingBuf>,
+}
+
+#[cfg(feature = "enabled")]
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            inner: Mutex::new(RingBuf {
+                slots: Vec::new(),
+                head: 0,
+            }),
+        }
+    }
+
+    fn push(&self, ev: SpanEvent) {
+        let mut buf = self.inner.lock().expect("span ring poisoned");
+        if buf.slots.len() < RING_CAPACITY {
+            buf.slots.push(ev);
+        } else {
+            let head = buf.head;
+            buf.slots[head] = ev;
+            buf.head = (head + 1) % RING_CAPACITY;
+            drop(buf);
+            crate::counter!("obs.spans.dropped").incr();
+        }
+    }
+
+    fn take(&self) -> Vec<SpanEvent> {
+        let mut buf = self.inner.lock().expect("span ring poisoned");
+        let head = buf.head;
+        buf.head = 0;
+        let mut slots = std::mem::take(&mut buf.slots);
+        // restore chronological order after a wrap
+        slots.rotate_left(head);
+        slots
+    }
+}
+
+#[cfg(feature = "enabled")]
+struct Globals {
+    /// Every ring ever created, for draining.
+    rings: Mutex<Vec<Arc<Ring>>>,
+    /// Rings whose thread has exited, available for reuse.
+    free: Mutex<Vec<Arc<Ring>>>,
+    next_tid: AtomicU64,
+    next_id: AtomicU64,
+    epoch: Instant,
+}
+
+#[cfg(feature = "enabled")]
+fn globals() -> &'static Globals {
+    static G: OnceLock<Globals> = OnceLock::new();
+    G.get_or_init(|| Globals {
+        rings: Mutex::new(Vec::new()),
+        free: Mutex::new(Vec::new()),
+        next_tid: AtomicU64::new(0),
+        next_id: AtomicU64::new(0),
+        epoch: Instant::now(),
+    })
+}
+
+/// Monotonic nanoseconds since the process's trace epoch (the first call
+/// into the span layer). Returns 0 when the `enabled` feature is off.
+#[cfg(feature = "enabled")]
+pub fn now_ns() -> u64 {
+    globals().epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Monotonic nanoseconds since the trace epoch (0 with the feature off).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn now_ns() -> u64 {
+    0
+}
+
+#[cfg(feature = "enabled")]
+struct Local {
+    ring: Arc<Ring>,
+    tid: u64,
+    /// Ids of the currently open spans on this thread (innermost last).
+    stack: Vec<u64>,
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for Local {
+    fn drop(&mut self) {
+        // recycle the ring (its recorded events survive for draining)
+        if let Ok(mut free) = globals().free.lock() {
+            free.push(self.ring.clone());
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+#[cfg(feature = "enabled")]
+fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> R {
+    LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let local = slot.get_or_insert_with(|| {
+            let g = globals();
+            let ring = g
+                .free
+                .lock()
+                .expect("span registry poisoned")
+                .pop()
+                .unwrap_or_else(|| {
+                    let r = Arc::new(Ring::new());
+                    g.rings
+                        .lock()
+                        .expect("span registry poisoned")
+                        .push(r.clone());
+                    r
+                });
+            Local {
+                ring,
+                tid: g.next_tid.fetch_add(1, Relaxed) + 1,
+                stack: Vec::new(),
+            }
+        });
+        f(local)
+    })
+}
+
+#[cfg(feature = "enabled")]
+struct SpanRec {
+    name: Cow<'static, str>,
+    id: u64,
+    parent: u64,
+    start_ns: u64,
+}
+
+/// An open scoped timer; dropping it records a [`SpanEvent`]. Spans are
+/// strictly LIFO per thread (the natural shape of RAII guards), which is
+/// what makes parent tracking a simple thread-local stack.
+pub struct Span {
+    #[cfg(feature = "enabled")]
+    rec: Option<SpanRec>,
+}
+
+impl Span {
+    #[cfg(feature = "enabled")]
+    fn enter(name: Cow<'static, str>) -> Span {
+        if !crate::enabled() {
+            return Span { rec: None };
+        }
+        let g = globals();
+        let id = g.next_id.fetch_add(1, Relaxed) + 1;
+        let parent = with_local(|l| {
+            let parent = l.stack.last().copied().unwrap_or(0);
+            l.stack.push(id);
+            parent
+        });
+        Span {
+            rec: Some(SpanRec {
+                name,
+                id,
+                parent,
+                start_ns: now_ns(),
+            }),
+        }
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[inline(always)]
+    fn enter(_name: Cow<'static, str>) -> Span {
+        Span {}
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            let end = now_ns();
+            with_local(|l| {
+                debug_assert_eq!(
+                    l.stack.last().copied(),
+                    Some(rec.id),
+                    "spans must drop in LIFO order"
+                );
+                l.stack.pop();
+                l.ring.push(SpanEvent {
+                    name: rec.name,
+                    tid: l.tid,
+                    id: rec.id,
+                    parent: rec.parent,
+                    start_ns: rec.start_ns,
+                    dur_ns: end.saturating_sub(rec.start_ns),
+                });
+            });
+        }
+    }
+}
+
+/// Opens a span with a static name (the [`crate::span!`] macro's body).
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span::enter(Cow::Borrowed(name))
+}
+
+/// Opens a span with an owned dynamic name.
+#[inline]
+pub fn span_owned(name: String) -> Span {
+    Span::enter(Cow::Owned(name))
+}
+
+/// Opens a span with a borrowed dynamic name, cloning it only when
+/// recording is actually on (hot paths with per-instance names).
+#[inline]
+pub fn span_dyn(name: &str) -> Span {
+    if crate::enabled() {
+        Span::enter(Cow::Owned(name.to_owned()))
+    } else {
+        Span::enter(Cow::Borrowed(""))
+    }
+}
+
+/// Collects (and clears) every thread's recorded spans, sorted by start
+/// time. Threads may keep recording concurrently; their new events land in
+/// the next drain.
+pub fn drain_spans() -> Vec<SpanEvent> {
+    #[cfg(feature = "enabled")]
+    {
+        let rings: Vec<Arc<Ring>> = globals()
+            .rings
+            .lock()
+            .expect("span registry poisoned")
+            .clone();
+        let mut out: Vec<SpanEvent> = rings.iter().flat_map(|r| r.take()).collect();
+        out.sort_by_key(|e| (e.start_ns, e.id));
+        out
+    }
+    #[cfg(not(feature = "enabled"))]
+    Vec::new()
+}
+
+/// The trace output path from `YOLLO_TRACE_PATH`, if set.
+pub fn trace_path_from_env() -> Option<PathBuf> {
+    std::env::var("YOLLO_TRACE_PATH").ok().map(PathBuf::from)
+}
+
+/// Writes events as a Chrome `trace_event` JSON array — one complete
+/// `"ph":"X"` event object per line, with the surrounding brackets on
+/// their own lines, so the file is simultaneously line-oriented and a
+/// single valid JSON document Perfetto / `chrome://tracing` can open.
+///
+/// # Errors
+/// Returns any I/O error.
+pub fn write_chrome_trace(path: impl AsRef<Path>, events: &[SpanEvent]) -> io::Result<()> {
+    let mut f = BufWriter::new(File::create(path)?);
+    writeln!(f, "[")?;
+    for (i, e) in events.iter().enumerate() {
+        let mut name = String::new();
+        crate::push_json_escaped(&mut name, &e.name);
+        let comma = if i + 1 == events.len() { "" } else { "," };
+        writeln!(
+            f,
+            "{{\"name\":\"{}\",\"cat\":\"yollo\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}{}",
+            name,
+            e.tid,
+            e.start_ns as f64 / 1000.0,
+            e.dur_ns as f64 / 1000.0,
+            e.id,
+            e.parent,
+            comma
+        )?;
+    }
+    writeln!(f, "]")?;
+    f.flush()
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    /// Draining is global, so every drain-dependent check runs inside this
+    /// one test (parallel tests would steal each other's events).
+    #[test]
+    fn span_recording_and_drain() {
+        crate::set_enabled(true);
+
+        // -- nesting records parentage and containment --
+        {
+            let _outer = crate::span!("test.span.outer");
+            let _inner = crate::span!("test.span.inner");
+        }
+        let events = drain_spans();
+        let inner = events
+            .iter()
+            .find(|e| e.name == "test.span.inner")
+            .expect("inner span recorded");
+        let outer = events
+            .iter()
+            .find(|e| e.name == "test.span.outer")
+            .expect("outer span recorded");
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.tid, outer.tid);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+
+        // -- dynamic names --
+        drop(span_owned(format!("test.span.dyn.{}", 7)));
+        drop(span_dyn("test.span.dyn.borrowed"));
+        let events = drain_spans();
+        assert!(events.iter().any(|e| e.name == "test.span.dyn.7"));
+        assert!(events.iter().any(|e| e.name == "test.span.dyn.borrowed"));
+
+        // -- ring overflow keeps the newest events --
+        std::thread::spawn(|| {
+            for i in 0..RING_CAPACITY + 10 {
+                drop(span_owned(format!("test.span.overflow.{i}")));
+            }
+        })
+        .join()
+        .expect("overflow thread panicked");
+        let events = drain_spans();
+        let mine: Vec<_> = events
+            .iter()
+            .filter(|e| e.name.starts_with("test.span.overflow."))
+            .collect();
+        assert_eq!(mine.len(), RING_CAPACITY);
+        let last = format!("test.span.overflow.{}", RING_CAPACITY + 9);
+        assert!(mine.iter().any(|e| e.name == last.as_str()));
+        assert!(!mine.iter().any(|e| e.name == "test.span.overflow.0"));
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_as_json() {
+        crate::set_enabled(true);
+        let events = vec![
+            SpanEvent {
+                name: Cow::Borrowed("a \"quoted\" name"),
+                tid: 1,
+                id: 1,
+                parent: 0,
+                start_ns: 1000,
+                dur_ns: 500,
+            },
+            SpanEvent {
+                name: Cow::Borrowed("b"),
+                tid: 2,
+                id: 2,
+                parent: 1,
+                start_ns: 1200,
+                dur_ns: 100,
+            },
+        ];
+        let dir = std::env::temp_dir().join("yollo_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace_roundtrip.json");
+        write_chrome_trace(&path, &events).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let arr = parsed.as_array().expect("top-level array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["name"], "a \"quoted\" name");
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[1]["args"]["parent"], 1);
+        // one event object per line between the brackets
+        assert_eq!(text.lines().count(), 2 + events.len());
+        std::fs::remove_file(path).ok();
+    }
+}

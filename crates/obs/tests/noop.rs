@@ -1,0 +1,57 @@
+//! Compiled-out behaviour: with the `enabled` feature off (build with
+//! `--no-default-features`) every recording call must be an inert no-op —
+//! no registration, no accumulation, no span events.
+
+#![cfg(not(feature = "enabled"))]
+
+#[test]
+fn enabled_is_false_and_cannot_be_turned_on() {
+    assert!(!yollo_obs::enabled());
+    yollo_obs::set_enabled(true);
+    assert!(!yollo_obs::enabled());
+}
+
+#[test]
+fn metrics_do_not_record() {
+    let c = yollo_obs::counter!("noop.counter");
+    c.add(5);
+    c.incr();
+    assert_eq!(c.get(), 0);
+
+    let g = yollo_obs::gauge!("noop.gauge");
+    g.set(3.5);
+    assert_eq!(g.get(), 0.0);
+
+    let h = yollo_obs::histogram!("noop.hist_ns");
+    h.record(123);
+    {
+        let _t = yollo_obs::time_hist!("noop.hist_ns");
+    }
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.quantile(0.5), 0);
+}
+
+#[test]
+fn registry_hands_out_shared_noop_handles_and_empty_snapshots() {
+    let a = yollo_obs::registry().counter("noop.a");
+    let b = yollo_obs::registry().counter("noop.b");
+    assert!(std::ptr::eq(a, b), "feature-off counters share one no-op");
+
+    let snap = yollo_obs::registry().snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.histograms.is_empty());
+    yollo_obs::registry().reset();
+}
+
+#[test]
+fn spans_record_nothing() {
+    {
+        let _a = yollo_obs::span!("noop.outer");
+        let _b = yollo_obs::span_owned("noop.inner".to_owned());
+        let _c = yollo_obs::span_dyn("noop.dyn");
+    }
+    assert!(yollo_obs::drain_spans().is_empty());
+    assert_eq!(yollo_obs::now_ns(), 0);
+}

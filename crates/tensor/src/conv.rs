@@ -100,6 +100,8 @@ pub fn im2col_into(
     out: &mut Vec<f64>,
 ) -> [usize; 3] {
     assert_eq!(x.rank(), 4, "im2col input must be [N,C,H,W]");
+    let _lat = yollo_obs::time_hist!("tensor.im2col_ns");
+    yollo_obs::counter!("tensor.im2col.calls").incr();
     let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
     let (oh, ow) = spec.output_hw(h, w, kh, kw);
     let l = oh * ow;
@@ -239,6 +241,9 @@ pub fn conv2d_forward(
 ) -> Tensor {
     assert_eq!(x.rank(), 4, "conv2d input must be [N,C,H,W]");
     assert_eq!(w.rank(), 4, "conv2d weight must be [O,C,kh,kw]");
+    let _span = yollo_obs::span!("tensor.conv2d_forward");
+    let _lat = yollo_obs::time_hist!("tensor.conv2d_forward_ns");
+    yollo_obs::counter!("tensor.conv2d.calls").incr();
     let (n, c) = (x.dims()[0], x.dims()[1]);
     let (o, c2, kh, kw) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
     assert_eq!(c, c2, "conv2d channel mismatch");

@@ -102,6 +102,8 @@ impl Graph {
     }
 
     pub(crate) fn push(&self, value: Tensor, backward: Option<BackFn>) -> usize {
+        yollo_obs::counter!("tensor.graph.nodes").incr();
+        yollo_obs::counter!("tensor.graph.bytes").add((value.numel() * 8) as u64);
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node {
             value,
@@ -127,6 +129,8 @@ impl Graph {
     /// ones. Gradients accumulate across multiple `backward_from` calls on
     /// the same tape.
     pub(crate) fn backward_from(&self, root: usize) {
+        let _span = yollo_obs::span!("tensor.graph.backward");
+        let _lat = yollo_obs::time_hist!("tensor.graph.backward_ns");
         {
             let mut nodes = self.nodes.borrow_mut();
             let seed = Tensor::ones(nodes[root].value.dims());
@@ -145,6 +149,7 @@ impl Graph {
                 )
             };
             if let Some(back) = back {
+                yollo_obs::counter!("tensor.graph.backward_ops").incr();
                 // run outside the borrow: backward closures only capture
                 // cloned tensors, never the graph itself
                 let contributions = back(&grad);

@@ -30,6 +30,17 @@
 //! column buffers across calls via [`ConvScratch`] / [`conv2d_forward`] and
 //! the `im2col_into` / `col2im_into` variants.
 //!
+//! # Telemetry
+//!
+//! The hot entry points (matmul, im2col, conv2d, tape push/backward, pool
+//! fan-out) are instrumented with `yollo-obs` counters, latency histograms
+//! and trace spans (`tensor.matmul`, `tensor.pool.worker`, …). The default
+//! `obs` cargo feature compiles the instrumentation in; it is further gated
+//! at runtime by the `YOLLO_OBS` environment variable, and building with
+//! `--no-default-features` compiles every probe down to a no-op — the
+//! `obs_overhead` integration test holds that variant to uninstrumented
+//! matmul performance.
+//!
 //! # Quick example
 //!
 //! ```

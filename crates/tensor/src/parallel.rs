@@ -68,11 +68,14 @@ pub fn for_each_chunk_in(
     let n_chunks = data.len().div_ceil(chunk_len);
     let workers = threads.min(n_chunks);
     if workers <= 1 {
+        yollo_obs::counter!("tensor.pool.serial").incr();
         for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(i, chunk);
         }
         return;
     }
+    yollo_obs::counter!("tensor.pool.fanouts").incr();
+    yollo_obs::gauge!("tensor.pool.last_fanout").set(workers as f64);
     let per = n_chunks.div_ceil(workers); // whole chunks per worker
     std::thread::scope(|scope| {
         let f = &f;
@@ -90,6 +93,8 @@ pub fn for_each_chunk_in(
         let home = bands.next();
         for (band_first, band) in bands {
             scope.spawn(move || {
+                let _busy = yollo_obs::time_hist!("tensor.pool.worker_busy_ns");
+                let _span = yollo_obs::span!("tensor.pool.worker");
                 for (i, chunk) in band.chunks_mut(chunk_len).enumerate() {
                     f(band_first + i, chunk);
                 }
@@ -97,6 +102,7 @@ pub fn for_each_chunk_in(
         }
         // the calling thread works too, instead of idling at the join
         if let Some((band_first, band)) = home {
+            let _busy = yollo_obs::time_hist!("tensor.pool.worker_busy_ns");
             for (i, chunk) in band.chunks_mut(chunk_len).enumerate() {
                 f(band_first + i, chunk);
             }
@@ -127,18 +133,28 @@ where
     }
     let workers = threads.min(n);
     if workers <= 1 {
+        yollo_obs::counter!("tensor.pool.serial").incr();
         return Some(fold(0..n));
     }
+    yollo_obs::counter!("tensor.pool.fanouts").incr();
+    yollo_obs::gauge!("tensor.pool.last_fanout").set(workers as f64);
     let per = n.div_ceil(workers);
     Some(std::thread::scope(|scope| {
         let fold = &fold;
         let handles: Vec<_> = (1..workers)
             .map(|w| {
                 let range = (w * per).min(n)..((w + 1) * per).min(n);
-                scope.spawn(move || fold(range))
+                scope.spawn(move || {
+                    let _busy = yollo_obs::time_hist!("tensor.pool.worker_busy_ns");
+                    let _span = yollo_obs::span!("tensor.pool.worker");
+                    fold(range)
+                })
             })
             .collect();
-        let mut acc = fold(0..per.min(n));
+        let mut acc = {
+            let _busy = yollo_obs::time_hist!("tensor.pool.worker_busy_ns");
+            fold(0..per.min(n))
+        };
         for h in handles {
             acc = combine(acc, h.join().expect("parallel fold worker panicked"));
         }

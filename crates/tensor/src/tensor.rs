@@ -419,11 +419,15 @@ impl Tensor {
     /// Panics on rank/shape mismatch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         let threads = parallel::num_threads();
+        let _span = yollo_obs::span!("tensor.matmul");
+        let _lat = yollo_obs::time_hist!("tensor.matmul_ns");
+        yollo_obs::counter!("tensor.matmul.calls").incr();
         match (self.rank(), other.rank()) {
             (2, 2) => {
                 let (m, k) = (self.dims()[0], self.dims()[1]);
                 let (k2, n) = (other.dims()[0], other.dims()[1]);
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                yollo_obs::counter!("tensor.matmul.flops").add(2 * (m * k * n) as u64);
                 let mut out = vec![0.0; m * n];
                 matmul_blocked(&self.data, &other.data, &mut out, m, k, n, threads);
                 Tensor::from_vec(out, &[m, n])
@@ -433,6 +437,7 @@ impl Tensor {
                 let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
                 assert_eq!(b, b2, "batched matmul batch dims: {b} vs {b2}");
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                yollo_obs::counter!("tensor.matmul.flops").add(2 * (b * m * k * n) as u64);
                 let mut out = vec![0.0; b * m * n];
                 matmul_blocked_batched(
                     &self.data,
@@ -451,6 +456,7 @@ impl Tensor {
                 let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
                 let (k2, n) = (other.dims()[0], other.dims()[1]);
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+                yollo_obs::counter!("tensor.matmul.flops").add(2 * (b * m * k * n) as u64);
                 let mut out = vec![0.0; b * m * n];
                 matmul_blocked_batched(
                     &self.data,

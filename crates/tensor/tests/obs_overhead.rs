@@ -1,0 +1,78 @@
+//! Guard: with the `obs` feature compiled out, the instrumented
+//! [`Tensor::matmul`] entry point must not be measurably slower than
+//! calling the underlying blocked kernel directly — every probe must have
+//! compiled down to a no-op.
+//!
+//! Build/run with `cargo test -p yollo-tensor --no-default-features`; under
+//! the default features this whole file is compiled out (timing the enabled
+//! probes is the profiler's job, not a pass/fail gate).
+#![cfg(not(feature = "obs"))]
+
+use std::time::Instant;
+use yollo_tensor::{matmul_blocked, Tensor};
+
+/// 64×256×64 = 2^20 MACs, below `PAR_MATMUL_MIN_FLOPS` (2^21), so both the
+/// instrumented path and the reference stay on the serial kernel and the
+/// comparison never races the thread pool.
+const M: usize = 64;
+const K: usize = 256;
+const N: usize = 64;
+
+fn inputs() -> (Tensor, Tensor) {
+    let a = Tensor::from_fn(&[M, K], |i| (i % 17) as f64 * 0.25 - 2.0);
+    let b = Tensor::from_fn(&[K, N], |i| (i % 13) as f64 * 0.5 - 3.0);
+    (a, b)
+}
+
+/// Best-of-`reps` wall time of `f` in nanoseconds, after `warmup` calls.
+fn best_of(reps: usize, warmup: usize, mut f: impl FnMut() -> Tensor) -> u64 {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+#[test]
+fn compiled_out_probes_add_no_matmul_overhead() {
+    let (a, b) = inputs();
+
+    let instr = best_of(30, 5, || a.matmul(&b));
+    let reference = best_of(30, 5, || {
+        let mut out = vec![0.0; M * N];
+        matmul_blocked(a.as_slice(), b.as_slice(), &mut out, M, K, N, 1);
+        Tensor::from_vec(out, &[M, N])
+    });
+
+    // identical math either way
+    let via_api = a.matmul(&b);
+    let mut direct = vec![0.0; M * N];
+    matmul_blocked(a.as_slice(), b.as_slice(), &mut direct, M, K, N, 1);
+    assert_eq!(via_api.as_slice(), &direct[..]);
+
+    // <2% relative overhead, plus a 20µs absolute slack so scheduler noise
+    // on a fast machine cannot flake the ratio
+    let limit = reference + reference / 50 + 20_000;
+    assert!(
+        instr <= limit,
+        "instrumented matmul too slow with obs compiled out: \
+         {instr}ns vs reference {reference}ns (limit {limit}ns)"
+    );
+}
+
+#[test]
+fn compiled_out_obs_records_nothing() {
+    let (a, b) = inputs();
+    yollo_obs::set_enabled(true); // must be a no-op without the feature
+    assert!(!yollo_obs::enabled());
+    let _ = a.matmul(&b);
+    let snap = yollo_obs::registry().snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.histograms.is_empty());
+    assert!(yollo_obs::drain_spans().is_empty());
+}

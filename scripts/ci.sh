@@ -23,10 +23,29 @@ if grep -rn --include='*.rs' '#\[ignore' crates/core/tests crates/core/src/fault
     exit 1
 fi
 
-echo "== rustfmt (tensor, nn, core) =="
-cargo fmt --check -p yollo-tensor -p yollo-nn -p yollo-core
+echo "== obs: compiled-out feature builds =="
+# the telemetry crate must work with its probes compiled out, and the
+# tensor crate must pass its overhead guard in that configuration
+cargo test -q -p yollo-obs --no-default-features
+cargo test -q -p yollo-tensor --no-default-features
 
-echo "== clippy -D warnings (tensor, nn, core) =="
-cargo clippy -p yollo-tensor -p yollo-nn -p yollo-core --all-targets -- -D warnings
+echo "== obs: profiling smoke =="
+TRACE_PATH=target/experiments/trace_ci.json
+YOLLO_SCALE=tiny YOLLO_TRACE_PATH="$TRACE_PATH" cargo run --release -q -p yollo-bench --bin exp_profile
+python3 -m json.tool BENCH_obs.json > /dev/null
+python3 -m json.tool "$TRACE_PATH" > /dev/null
+
+echo "== obs: no stray printing in the telemetry crate =="
+# the obs crate must never write to stdout; sinks and trace files only
+if grep -rn --include='*.rs' 'println!' crates/obs/src; then
+    echo "error: println! in crates/obs/src" >&2
+    exit 1
+fi
+
+echo "== rustfmt (tensor, nn, core, obs) =="
+cargo fmt --check -p yollo-tensor -p yollo-nn -p yollo-core -p yollo-obs
+
+echo "== clippy -D warnings (tensor, nn, core, obs) =="
+cargo clippy -p yollo-tensor -p yollo-nn -p yollo-core -p yollo-obs --all-targets -- -D warnings
 
 echo "ci.sh: all gates passed"

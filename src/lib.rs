@@ -34,6 +34,7 @@ pub use yollo_core as core;
 pub use yollo_detect as detect;
 pub use yollo_eval as eval;
 pub use yollo_nn as nn;
+pub use yollo_obs as obs;
 pub use yollo_synthref as synthref;
 pub use yollo_tensor as tensor;
 pub use yollo_text as text;
