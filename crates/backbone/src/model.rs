@@ -179,7 +179,7 @@ impl Backbone {
         assert_eq!(dims.len(), 4, "backbone input must be [N,C,H,W]");
         assert_eq!(dims[1], self.in_channels, "backbone channel mismatch");
         assert!(
-            dims[2] % self.stride() == 0 && dims[3] % self.stride() == 0,
+            dims[2].is_multiple_of(self.stride()) && dims[3].is_multiple_of(self.stride()),
             "input H/W must be divisible by stride {}",
             self.stride()
         );
@@ -255,8 +255,11 @@ mod tests {
     fn parameter_names_are_unique() {
         let mut rng = StdRng::seed_from_u64(4);
         let bb = Backbone::new(BackboneKind::DeepResNet, 5, &mut rng);
-        let mut names: Vec<String> =
-            bb.parameters().iter().map(|p| p.name().to_owned()).collect();
+        let mut names: Vec<String> = bb
+            .parameters()
+            .iter()
+            .map(|p| p.name().to_owned())
+            .collect();
         let before = names.len();
         names.sort();
         names.dedup();

@@ -1,0 +1,239 @@
+//! **Serving load test** — measures the dynamic-batching server against a
+//! naive serial client and writes `BENCH_serve.json` at the repository
+//! root: throughput and p50/p95/p99 request latency at several offered
+//! loads, the batch-size histogram, and the speedup over serial inference.
+//!
+//! The workload models serving traffic with a *hot set*: requests cycle
+//! through `K` distinct (scene, query) pairs, the way production grounding
+//! traffic repeats popular scenes and phrasings. Each offered load is
+//! measured twice — once with the response cache disabled (`cache: "off"`,
+//! isolating the batching path) and once with it enabled at production
+//! capacity (`cache: "on"`, the full serving stack). On a single-core host
+//! batching alone is roughly throughput-neutral (per-image model cost is
+//! flat in batch size), so the cold numbers hover near 1×; the serving win
+//! comes from coalescing + caching, and both rows land in the JSON so the
+//! report never conflates them.
+//!
+//! The serial baseline is end-to-end: render + encode + predict for one
+//! request at a time over the same request sequence, no cache — what a
+//! naive client loop would do. Offered load is modelled closed-loop: `L`
+//! outstanding requests are kept in flight; each completion immediately
+//! funds the next submission. `YOLLO_SCALE` selects tiny/standard/full.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use yollo_bench::{dataset, Scale};
+use yollo_core::Yollo;
+use yollo_obs::Snapshot;
+use yollo_serve::{ServeConfig, Server};
+use yollo_synthref::{DatasetKind, Scene, Split};
+
+struct LoadResult {
+    offered: usize,
+    cache_capacity: usize,
+    requests: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+    snapshot: Snapshot,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_load(
+    model_factory: impl Fn() -> Yollo + Send + Sync + Clone + 'static,
+    vocab: yollo_text::Vocab,
+    cfg_template: &ServeConfig,
+    scenes: &[Scene],
+    queries: &[String],
+    hot_set: &[(usize, usize)],
+    offered: usize,
+    total: usize,
+    workers: usize,
+    cache_capacity: usize,
+) -> LoadResult {
+    yollo_obs::registry().reset();
+    let cfg = ServeConfig {
+        queue_capacity: offered.max(1),
+        cache_capacity,
+        workers,
+        ..cfg_template.clone()
+    };
+    let server = Server::start(cfg, vocab, model_factory);
+    let started = Instant::now();
+    let mut pending = VecDeque::new();
+    for i in 0..total {
+        if pending.len() >= offered {
+            let resp: yollo_serve::Response = pending.pop_front().unwrap();
+            resp.wait().expect("request grounded");
+        }
+        let (si, qi) = hot_set[i % hot_set.len()];
+        pending.push_back(
+            server
+                .submit(&scenes[si], &queries[qi])
+                .expect("queue has room"),
+        );
+    }
+    for resp in pending {
+        resp.wait().expect("request grounded");
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    drop(server);
+    LoadResult {
+        offered,
+        cache_capacity,
+        requests: total,
+        wall_s,
+        throughput_rps: total as f64 / wall_s,
+        snapshot: yollo_obs::registry().snapshot(),
+    }
+}
+
+fn hist_json(snap: &Snapshot, name: &str) -> serde_json::Value {
+    match snap.histogram(name) {
+        Some(h) => serde_json::json!({
+            "count": h.count,
+            "mean": h.mean,
+            "p50": h.p50,
+            "p95": h.p95,
+            "p99": h.p99,
+        }),
+        None => serde_json::Value::Null,
+    }
+}
+
+fn main() {
+    yollo_obs::set_enabled(true);
+    let scale = Scale::from_env();
+    let ds = dataset(scale, DatasetKind::SynthRef);
+    let model = Yollo::for_dataset(&ds, 7);
+    let model_cfg = model.config().clone();
+    let vocab = model.vocab().clone();
+    let serve_template = ServeConfig::for_model(&model_cfg);
+
+    let (total, loads, workers, serial_n, hot) = match scale {
+        Scale::Tiny => (32usize, vec![4usize, 8], 2usize, 16usize, 8usize),
+        Scale::Standard => (256, vec![8, 64], 2, 64, 32),
+        Scale::Full => (1024, vec![8, 64, 256], 2, 64, 64),
+    };
+
+    let scenes: Vec<Scene> = ds.scenes().to_vec();
+    let queries: Vec<String> = ds
+        .samples(Split::Train)
+        .iter()
+        .take(64)
+        .map(|s| s.sentence.clone())
+        .collect();
+    // The hot set: K distinct (scene, query) pairs the traffic cycles over.
+    // Strides keep the pairs distinct even when K exceeds one of the pools.
+    let hot_set: Vec<(usize, usize)> = (0..hot)
+        .map(|i| (i % scenes.len(), (i * 3 + i / queries.len()) % queries.len()))
+        .collect();
+
+    // --- serial baseline: a naive client, one end-to-end request at a
+    // time (render + encode + predict), over the same request sequence ---
+    eprintln!("serial baseline: {serial_n} single-request passes…");
+    let train = ds.samples(Split::Train);
+    let serial_started = Instant::now();
+    for i in 0..serial_n {
+        let (si, _) = hot_set[i % hot_set.len()];
+        // encode_batch renders the scene and tokenizes the sentence; pick
+        // any sample from the hot scene so the image cost is representative
+        let sample = train
+            .iter()
+            .find(|s| s.scene_idx == si)
+            .unwrap_or(&train[0]);
+        let (images, ids, _) = model.encode_batch(&ds, &[sample]);
+        let preds = model.predict_batch(images, &ids);
+        assert_eq!(preds.len(), 1);
+    }
+    let serial_wall_s = serial_started.elapsed().as_secs_f64();
+    let serial_rps = serial_n as f64 / serial_wall_s;
+    eprintln!("serial: {serial_rps:.1} req/s");
+
+    // --- batched server at each offered load, cache off then on ---
+    let mut load_reports = Vec::new();
+    let mut load_lines = Vec::new();
+    for &offered in &loads {
+        for cache_capacity in [0usize, 2 * hot] {
+            let mode = if cache_capacity == 0 { "off" } else { "on" };
+            eprintln!("offered load {offered} (cache {mode}): {total} requests…");
+            let ds_vocab = vocab.clone();
+            let factory_cfg = model_cfg.clone();
+            let factory = move || {
+                let mut m = Yollo::new(factory_cfg.clone(), 7);
+                m.set_vocab(ds_vocab.clone());
+                m
+            };
+            let result = run_load(
+                factory,
+                vocab.clone(),
+                &serve_template,
+                &scenes,
+                &queries,
+                &hot_set,
+                offered,
+                total,
+                workers,
+                cache_capacity,
+            );
+            let speedup = result.throughput_rps / serial_rps;
+            let latency = hist_json(&result.snapshot, "serve.request_ns");
+            let batch_ns = hist_json(&result.snapshot, "serve.batch_ns");
+            let batch_size = hist_json(&result.snapshot, "serve.batch_size");
+            let counter = |name: &str| result.snapshot.counter(name).unwrap_or(0);
+            let report = serde_json::json!({
+                "offered_load": result.offered,
+                "cache": mode,
+                "cache_capacity": result.cache_capacity,
+                "requests": result.requests,
+                "wall_s": result.wall_s,
+                "throughput_rps": result.throughput_rps,
+                "speedup_vs_serial": speedup,
+                "latency_ns": latency,
+                "batch_ns": batch_ns,
+                "batch_size": batch_size,
+                "batches": counter("serve.batches"),
+                "shed": counter("serve.shed"),
+                "cache_hits": counter("serve.cache.hits"),
+                "worker_panics": counter("serve.worker_panics"),
+            });
+            load_reports.push(report);
+            let line = format!(
+                "offered {offered} (cache {mode}): {:.1} req/s ({speedup:.2}x serial, {} hits)",
+                result.throughput_rps,
+                counter("serve.cache.hits"),
+            );
+            eprintln!("{line}");
+            load_lines.push(line);
+        }
+    }
+
+    let serial = serde_json::json!({
+        "requests": serial_n,
+        "wall_s": serial_wall_s,
+        "throughput_rps": serial_rps,
+    });
+    let loads_json = serde_json::Value::Array(load_reports);
+    let results = serde_json::json!({
+        "scale": format!("{scale:?}"),
+        "workers": workers,
+        "max_batch": serve_template.max_batch,
+        "max_wait_ns": serve_template.max_wait_ns,
+        "hot_set": hot,
+        "serial": serial,
+        "loads": loads_json,
+    });
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&results).expect("serialisable"),
+    )
+    .expect("can write BENCH_serve.json");
+
+    println!("# Serving load test ({scale:?} scale)\n");
+    println!("serial baseline: {serial_rps:.1} req/s over {serial_n} requests");
+    for line in &load_lines {
+        println!("{line}");
+    }
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,229 @@
+//! Serving-side batch helpers: strict query padding, image stacking and
+//! hashable `(scene, query)` request keys.
+//!
+//! These live in `yollo-core` rather than `yollo-serve` because they define
+//! the *contract* between a batching front-end and
+//! [`Yollo::predict_batch`](crate::Yollo::predict_batch): what a padded
+//! query batch looks like, and which two requests are allowed to share a
+//! cached prediction. [`encode_query_strict`] deliberately differs from
+//! [`Vocab::encode_padded`], which silently truncates over-long queries — a
+//! server must refuse such a request with a typed error instead of quietly
+//! grounding a clipped sentence.
+
+use std::error::Error;
+use std::fmt;
+
+use yollo_synthref::Scene;
+use yollo_tensor::Tensor;
+use yollo_text::{tokenize, Vocab};
+
+/// A query exceeded the maximum token budget of the model.
+///
+/// Returned by [`encode_query_strict`]; unlike
+/// [`Vocab::encode_padded`] the over-long query is rejected, never
+/// silently truncated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryTooLong {
+    /// Tokens in the offending query.
+    pub tokens: usize,
+    /// The maximum the model accepts.
+    pub max_tokens: usize,
+}
+
+impl fmt::Display for QueryTooLong {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query has {} tokens but the model accepts at most {}",
+            self.tokens, self.max_tokens
+        )
+    }
+}
+
+impl Error for QueryTooLong {}
+
+/// Tokenises and encodes `query`, padding with PAD to exactly `max_tokens`.
+///
+/// # Errors
+/// Returns [`QueryTooLong`] when the query tokenises to more than
+/// `max_tokens` tokens (instead of truncating, as
+/// [`Vocab::encode_padded`] would).
+pub fn encode_query_strict(
+    vocab: &Vocab,
+    query: &str,
+    max_tokens: usize,
+) -> Result<Vec<usize>, QueryTooLong> {
+    let tokens = tokenize(query);
+    if tokens.len() > max_tokens {
+        return Err(QueryTooLong {
+            tokens: tokens.len(),
+            max_tokens,
+        });
+    }
+    let mut ids: Vec<usize> = tokens.iter().map(|t| vocab.id_or_unk(t)).collect();
+    ids.resize(max_tokens, Vocab::pad_id());
+    Ok(ids)
+}
+
+/// The canonical form of a query for cache lookup: lowercase word tokens
+/// joined by single spaces, so `"The  red circle!"` and `"the red circle"`
+/// key the same cache entry.
+pub fn normalize_query(query: &str) -> String {
+    tokenize(query).join(" ")
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Order-sensitive 64-bit FNV-1a content hash of a scene: dimensions plus
+/// every object's kind, colour and exact box bits. Two scenes hash equal
+/// iff they render identically (same size, same objects in the same
+/// order), which is exactly the equivalence a prediction cache needs.
+pub fn scene_hash(scene: &Scene) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, &(scene.width as u64).to_le_bytes());
+    fnv1a(&mut h, &(scene.height as u64).to_le_bytes());
+    for o in &scene.objects {
+        fnv1a(&mut h, &(o.kind as u64).to_le_bytes());
+        fnv1a(&mut h, &(o.color as u64).to_le_bytes());
+        for v in [o.bbox.x, o.bbox.y, o.bbox.w, o.bbox.h] {
+            fnv1a(&mut h, &v.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+/// A hashable cache key identifying one grounding request: the scene's
+/// content hash paired with the normalised query text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequestKey {
+    /// [`scene_hash`] of the request's scene.
+    pub scene: u64,
+    /// [`normalize_query`] of the request's sentence.
+    pub query: String,
+}
+
+impl RequestKey {
+    /// Builds the key for a scene/sentence pair.
+    pub fn new(scene: &Scene, query: &str) -> Self {
+        RequestKey {
+            scene: scene_hash(scene),
+            query: normalize_query(query),
+        }
+    }
+}
+
+/// Stacks equal-shaped `[c*h*w]` image rows into one `[B, c, h, w]` batch
+/// tensor, the image-side input of
+/// [`Yollo::predict_batch`](crate::Yollo::predict_batch).
+///
+/// # Panics
+/// Panics if `rows` is empty or any row's length differs from `c*h*w`.
+pub fn stack_images(rows: &[Vec<f64>], c: usize, h: usize, w: usize) -> Tensor {
+    assert!(!rows.is_empty(), "cannot stack an empty image batch");
+    let per = c * h * w;
+    let mut data = Vec::with_capacity(rows.len() * per);
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            per,
+            "image row {i} has {} values, expected {per} ({c}x{h}x{w})",
+            row.len()
+        );
+        data.extend_from_slice(row);
+    }
+    Tensor::from_vec(data, &[rows.len(), c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yollo_synthref::SceneBuilder;
+    use yollo_synthref::{ColorName, ShapeKind};
+
+    fn vocab() -> Vocab {
+        let toks = tokenize("the red circle left of the square");
+        Vocab::build([toks.iter().map(String::as_str)], 1)
+    }
+
+    fn scene() -> Scene {
+        SceneBuilder::new(72, 48)
+            .object(ShapeKind::Circle, ColorName::Red, 10.0, 10.0, 12.0, 12.0)
+            .object(ShapeKind::Square, ColorName::Blue, 40.0, 20.0, 14.0, 14.0)
+            .build()
+    }
+
+    #[test]
+    fn strict_encoding_pads_but_never_truncates() {
+        let v = vocab();
+        let ids = encode_query_strict(&v, "the red circle", 5).unwrap();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[3], Vocab::pad_id());
+        // exactly at the limit is fine
+        assert!(encode_query_strict(&v, "the red circle", 3).is_ok());
+        // one over the limit is a typed error, not a silent clip
+        let err = encode_query_strict(&v, "the red circle", 2).unwrap_err();
+        assert_eq!(
+            err,
+            QueryTooLong {
+                tokens: 3,
+                max_tokens: 2
+            }
+        );
+    }
+
+    #[test]
+    fn normalisation_collapses_case_space_and_punctuation() {
+        assert_eq!(normalize_query("The  RED circle!"), "the red circle");
+        assert_eq!(normalize_query("the red circle"), "the red circle");
+        assert_ne!(normalize_query("red circle"), normalize_query("circle red"));
+    }
+
+    #[test]
+    fn scene_hash_is_content_sensitive() {
+        let a = scene();
+        let b = scene();
+        assert_eq!(scene_hash(&a), scene_hash(&b), "identical scenes");
+        let mut moved = a.clone();
+        moved.objects[0].bbox.x += 1.0;
+        assert_ne!(scene_hash(&a), scene_hash(&moved), "moved object");
+        let mut recoloured = a.clone();
+        recoloured.objects[1].color = ColorName::Green;
+        assert_ne!(scene_hash(&a), scene_hash(&recoloured), "recoloured");
+    }
+
+    #[test]
+    fn request_keys_unify_equivalent_requests() {
+        let s = scene();
+        assert_eq!(
+            RequestKey::new(&s, "The red circle."),
+            RequestKey::new(&s, "the  red circle")
+        );
+        assert_ne!(
+            RequestKey::new(&s, "the red circle"),
+            RequestKey::new(&s, "the blue square")
+        );
+    }
+
+    #[test]
+    fn stack_images_concatenates_rows_in_order() {
+        let rows = vec![vec![1.0; 6], vec![2.0; 6]];
+        let t = stack_images(&rows, 1, 2, 3);
+        assert_eq!(t.dims(), vec![2, 1, 2, 3]);
+        assert_eq!(&t.as_slice()[..6], &[1.0; 6]);
+        assert_eq!(&t.as_slice()[6..], &[2.0; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 6")]
+    fn stack_images_rejects_ragged_rows() {
+        stack_images(&[vec![0.0; 6], vec![0.0; 5]], 1, 2, 3);
+    }
+}

@@ -134,8 +134,8 @@ impl YolloConfig {
     /// # Errors
     /// Returns a description of the first inconsistency.
     pub fn validate(&self) -> Result<(), String> {
-        if self.image_width % self.anchors.stride != 0
-            || self.image_height % self.anchors.stride != 0
+        if !self.image_width.is_multiple_of(self.anchors.stride)
+            || !self.image_height.is_multiple_of(self.anchors.stride)
         {
             return Err("image size must be divisible by the anchor stride".into());
         }

@@ -26,7 +26,13 @@ impl FeatureEncoder {
     /// Builds the encoder from a config.
     pub fn new(cfg: &YolloConfig, rng: &mut impl Rng) -> Self {
         let backbone = Backbone::new(cfg.backbone, cfg.in_channels, rng);
-        let proj = Linear::new("encoder.proj", backbone.out_channels(), cfg.d_rel, true, rng);
+        let proj = Linear::new(
+            "encoder.proj",
+            backbone.out_channels(),
+            cfg.d_rel,
+            true,
+            rng,
+        );
         let word_emb = Embedding::new("encoder.word", cfg.vocab_size, cfg.d_rel, rng);
         let pos_emb = Embedding::from_pretrained(
             "encoder.pos",

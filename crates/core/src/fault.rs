@@ -66,12 +66,17 @@ impl FaultPlan {
     }
 
     /// Consumes a NaN-loss injection for `iter`, if one is scheduled.
-    pub(crate) fn take_nan(&mut self, iter: usize) -> bool {
+    ///
+    /// Public so that non-training harnesses (e.g. `yollo-serve`'s faulted
+    /// inference workers) can reuse the same deterministic schedules; the
+    /// trainer calls this internally.
+    pub fn take_nan(&mut self, iter: usize) -> bool {
         self.nan_loss.remove(&iter)
     }
 
-    /// Consumes a crash injection for `iter`, if one is scheduled.
-    pub(crate) fn take_crash(&mut self, iter: usize) -> bool {
+    /// Consumes a crash injection for `iter`, if one is scheduled (see
+    /// [`FaultPlan::take_nan`] on visibility).
+    pub fn take_crash(&mut self, iter: usize) -> bool {
         self.crash_before.remove(&iter)
     }
 }

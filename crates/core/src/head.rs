@@ -36,7 +36,10 @@ impl DetectionHead {
     /// scores are `[B, A]` logits and offsets `[B, A, 4]`, with
     /// `A = fh·fw·K` in anchor-grid order (cell-major, then anchor index).
     pub fn forward<'g>(&self, bind: &Binder<'g>, feat: Var<'g>) -> (Var<'g>, Var<'g>) {
-        let h = self.conv2.forward(bind, self.conv1.forward(bind, feat).relu()).relu();
+        let h = self
+            .conv2
+            .forward(bind, self.conv1.forward(bind, feat).relu())
+            .relu();
         let d = h.dims();
         let (b, l) = (d[0], d[2] * d[3]);
         let k = self.anchors_per_cell;

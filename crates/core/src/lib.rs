@@ -39,6 +39,7 @@
 //! println!("val ACC@0.5 = {acc:.3}, curve: {} points", log.points.len());
 //! ```
 
+mod batch;
 mod config;
 mod encoder;
 mod fault;
@@ -49,6 +50,9 @@ mod rel2att;
 mod rng;
 mod train;
 
+pub use batch::{
+    encode_query_strict, normalize_query, scene_hash, stack_images, QueryTooLong, RequestKey,
+};
 pub use config::{AttentionAblation, YolloConfig};
 pub use encoder::FeatureEncoder;
 pub use fault::{bitflip_file, truncate_file, FaultPlan};

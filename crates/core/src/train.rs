@@ -597,7 +597,9 @@ impl Trainer {
             }
 
             // mid-training eval tolerates an empty Val split by skipping
-            let val_acc = if cfg.eval_every > 0 && it % cfg.eval_every == 0 && !val_pool.is_empty()
+            let val_acc = if cfg.eval_every > 0
+                && it.is_multiple_of(cfg.eval_every)
+                && !val_pool.is_empty()
             {
                 let _s = yollo_obs::span!("train.eval");
                 Some(model.evaluate_samples(ds, &val_pool).acc_at(0.5))
@@ -666,7 +668,7 @@ impl Trainer {
             }
 
             if let Some(store) = store {
-                let due = cfg.checkpoint_every > 0 && it % cfg.checkpoint_every == 0;
+                let due = cfg.checkpoint_every > 0 && it.is_multiple_of(cfg.checkpoint_every);
                 if due || it == cfg.iterations {
                     let _s = yollo_obs::span!("train.checkpoint");
                     let state = TrainState {

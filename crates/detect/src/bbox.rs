@@ -79,14 +79,22 @@ impl BBox {
         ix * iy
     }
 
-    /// Intersection over union, in `[0, 1]`. Degenerate pairs yield 0.
+    /// Intersection over union, in `[0, 1]`. Degenerate pairs yield 0;
+    /// identical non-degenerate boxes yield exactly 1.
     pub fn iou(&self, other: &BBox) -> f64 {
+        // The intersection width is computed as `(x + w) − x`, which can
+        // round differently than `w` itself, so the ratio of a box with
+        // (a copy of) itself would land a few ulps off 1. Answer the
+        // identical case exactly and clamp the rest into range.
+        if self == other {
+            return if self.area() > 0.0 { 1.0 } else { 0.0 };
+        }
         let inter = self.intersection(other);
         let union = self.area() + other.area() - inter;
         if union <= 0.0 {
             0.0
         } else {
-            inter / union
+            (inter / union).clamp(0.0, 1.0)
         }
     }
 

@@ -1,0 +1,177 @@
+//! Property tests for the detection geometry invariants:
+//!
+//! * `nms` output is a subset of its input indices (unique, in range),
+//!   sorted by descending score, and mutually non-overlapping above the
+//!   IoU threshold;
+//! * `iou` is symmetric, bounded to `[0, 1]`, and equals 1.0 iff the two
+//!   boxes are identical.
+//!
+//! Each property is expressed once and driven twice: by proptest, and by a
+//! plain seeded-RNG loop so the invariants are exercised even where the
+//! proptest harness is unavailable.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yollo_detect::{nms, BBox};
+
+// ---------------------------------------------------------------- properties
+
+fn check_nms_invariants(boxes: &[BBox], scores: &[f64], threshold: f64, max_keep: usize) {
+    let keep = nms(boxes, scores, threshold, max_keep);
+
+    assert!(keep.len() <= max_keep, "kept more than max_keep");
+    // Subset of the input: every index valid, no index twice.
+    let mut seen = vec![false; boxes.len()];
+    for &i in &keep {
+        assert!(i < boxes.len(), "index {i} out of range");
+        assert!(!seen[i], "index {i} kept twice");
+        seen[i] = true;
+    }
+    // Sorted by descending score.
+    for w in keep.windows(2) {
+        assert!(
+            scores[w[0]] >= scores[w[1]],
+            "kept order not score-sorted: {} before {}",
+            scores[w[0]],
+            scores[w[1]]
+        );
+    }
+    // Mutually non-overlapping above the threshold.
+    for (a, &i) in keep.iter().enumerate() {
+        for &j in &keep[a + 1..] {
+            let iou = boxes[i].iou(&boxes[j]);
+            assert!(
+                iou <= threshold,
+                "kept boxes {i} and {j} overlap at IoU {iou} > {threshold}"
+            );
+        }
+    }
+    // Greedy completeness: with room to spare, a dropped box must overlap
+    // some kept box (nothing is dropped for no reason).
+    if keep.len() < max_keep {
+        for i in 0..boxes.len() {
+            if !seen[i] {
+                assert!(
+                    keep.iter().any(|&k| boxes[i].iou(&boxes[k]) > threshold),
+                    "box {i} dropped without a suppressing neighbour"
+                );
+            }
+        }
+    }
+}
+
+fn check_iou_invariants(a: &BBox, b: &BBox) {
+    let ab = a.iou(b);
+    let ba = b.iou(a);
+    assert!(
+        (ab - ba).abs() < 1e-12,
+        "iou not symmetric: {ab} vs {ba} for {a:?} / {b:?}"
+    );
+    assert!((0.0..=1.0).contains(&ab), "iou {ab} outside [0, 1]");
+
+    let identical = a.x == b.x && a.y == b.y && a.w == b.w && a.h == b.h;
+    if identical && a.w > 0.0 && a.h > 0.0 {
+        assert!(
+            (ab - 1.0).abs() < 1e-12,
+            "identical non-degenerate boxes must have IoU 1.0, got {ab}"
+        );
+    }
+    if !identical {
+        assert!(
+            ab < 1.0,
+            "distinct boxes {a:?} / {b:?} must have IoU < 1.0, got {ab}"
+        );
+    }
+    // Self-IoU of a non-degenerate box is exactly 1.
+    if a.w > 0.0 && a.h > 0.0 {
+        assert_eq!(a.iou(a), 1.0);
+    }
+}
+
+// ----------------------------------------------------------------- proptest
+
+fn arb_box() -> impl Strategy<Value = BBox> {
+    (0.0f64..100.0, 0.0f64..100.0, 0.1f64..40.0, 0.1f64..40.0)
+        .prop_map(|(x, y, w, h)| BBox::new(x, y, w, h))
+}
+
+proptest! {
+    #[test]
+    fn nms_keeps_a_sorted_nonoverlapping_subset(
+        entries in proptest::collection::vec((arb_box(), 0.0f64..1.0), 0..24),
+        threshold in 0.05f64..0.95,
+        max_keep in 1usize..16,
+    ) {
+        let boxes: Vec<BBox> = entries.iter().map(|(b, _)| *b).collect();
+        let scores: Vec<f64> = entries.iter().map(|(_, s)| *s).collect();
+        check_nms_invariants(&boxes, &scores, threshold, max_keep);
+    }
+
+    #[test]
+    fn iou_is_symmetric_bounded_and_discriminates(a in arb_box(), b in arb_box()) {
+        check_iou_invariants(&a, &b);
+    }
+
+    #[test]
+    fn iou_is_one_iff_identical(a in arb_box(), dx in -5.0f64..5.0) {
+        check_iou_invariants(&a, &a);
+        // Any perturbation of at least 1e-6 must break exact identity.
+        if dx.abs() >= 1e-6 {
+            let moved = BBox::new(a.x + dx, a.y, a.w, a.h);
+            prop_assert!(a.iou(&moved) < 1.0);
+        }
+    }
+}
+
+// --------------------------------------------------------- seeded fallbacks
+
+fn random_box(rng: &mut StdRng) -> BBox {
+    BBox::new(
+        rng.gen_range(0.0..100.0),
+        rng.gen_range(0.0..100.0),
+        rng.gen_range(0.1..40.0),
+        rng.gen_range(0.1..40.0),
+    )
+}
+
+#[test]
+fn nms_invariants_hold_over_seeded_inputs() {
+    let mut rng = StdRng::seed_from_u64(0xDE7EC7);
+    for _ in 0..250 {
+        let n = rng.gen_range(0..24);
+        let boxes: Vec<BBox> = (0..n).map(|_| random_box(&mut rng)).collect();
+        let scores: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let threshold = rng.gen_range(0.05..0.95);
+        let max_keep = rng.gen_range(1..16);
+        check_nms_invariants(&boxes, &scores, threshold, max_keep);
+    }
+}
+
+#[test]
+fn iou_invariants_hold_over_seeded_pairs() {
+    let mut rng = StdRng::seed_from_u64(0x10_0B0C);
+    for _ in 0..500 {
+        let a = random_box(&mut rng);
+        let b = random_box(&mut rng);
+        check_iou_invariants(&a, &b);
+        check_iou_invariants(&a, &a);
+        // Minimal detectable perturbation: IoU must drop below 1.
+        let eps = 1e-6;
+        let moved = BBox::new(a.x + eps, a.y, a.w, a.h);
+        assert!(a.iou(&moved) < 1.0, "1e-6 shift left IoU at 1.0 for {a:?}");
+    }
+}
+
+#[test]
+fn nms_degenerate_inputs() {
+    // Empty input: empty output.
+    assert!(nms(&[], &[], 0.5, 5).is_empty());
+    // All-identical boxes: exactly one survivor at any threshold < 1.
+    let boxes = vec![BBox::new(5.0, 5.0, 10.0, 10.0); 6];
+    let scores = vec![0.3, 0.9, 0.1, 0.5, 0.7, 0.2];
+    let keep = nms(&boxes, &scores, 0.5, 10);
+    assert_eq!(keep, vec![1], "highest-scored duplicate wins");
+    // max_keep = 0 keeps nothing.
+    assert!(nms(&boxes, &scores, 0.5, 0).is_empty());
+}

@@ -77,6 +77,9 @@ mod tests {
         let mean: f64 = y.as_slice().iter().sum::<f64>() / 10_000.0;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         // survivors are scaled by 2
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-12));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-12));
     }
 }

@@ -78,7 +78,10 @@ mod tests {
         let v = e.forward(&b, &[3, 3, 7]);
         assert_eq!(v.dims(), vec![3, 4]);
         let t = e.parameters()[0].value();
-        assert_eq!(v.value().slice(0, 0, 1).as_slice(), t.slice(0, 3, 1).as_slice());
+        assert_eq!(
+            v.value().slice(0, 0, 1).as_slice(),
+            t.slice(0, 3, 1).as_slice()
+        );
     }
 
     #[test]

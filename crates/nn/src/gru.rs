@@ -61,11 +61,7 @@ impl Gru {
 
     /// Runs the full sequence `[len, input]` (batch of 1), returning all
     /// hidden states `[len, hidden]` and the final state.
-    pub fn run_sequence<'g>(
-        &self,
-        bind: &Binder<'g>,
-        xs: Var<'g>,
-    ) -> (Var<'g>, GruState<'g>) {
+    pub fn run_sequence<'g>(&self, bind: &Binder<'g>, xs: Var<'g>) -> (Var<'g>, GruState<'g>) {
         let dims = xs.dims();
         assert_eq!(dims.len(), 2, "run_sequence expects [len, input]");
         let len = dims[0];
@@ -140,7 +136,7 @@ mod tests {
             let b = Binder::new(&g);
             let first = if it % 2 == 0 { 1.0 } else { -1.0 };
             let mut seq = vec![first];
-            seq.extend(std::iter::repeat(0.0).take(4));
+            seq.extend(std::iter::repeat_n(0.0, 4));
             let xs = g.leaf(Tensor::from_vec(seq, &[5, 1]));
             let (_, last) = gru.run_sequence(&b, xs);
             let y = head.forward(&b, last.0);

@@ -74,17 +74,24 @@ mod tests {
     fn layernorm_gradcheck() {
         let mut rng = StdRng::seed_from_u64(1);
         let x = Tensor::randn(&[2, 4], &mut rng);
-        check_gradients(&[x], GradCheck { eps: 1e-5, tol: 1e-4 }, |v| {
-            // inline the normalisation with constant gamma/beta
-            let dims = v[0].dims();
-            let axis = dims.len() - 1;
-            let mut keep = dims.clone();
-            keep[axis] = 1;
-            let mean = v[0].mean_axis(axis).reshape(&keep);
-            let c = v[0] - mean;
-            let var = c.square().mean_axis(axis).reshape(&keep);
-            (c / var.add_scalar(1e-5).sqrt()).square().sum_all()
-        })
+        check_gradients(
+            &[x],
+            GradCheck {
+                eps: 1e-5,
+                tol: 1e-4,
+            },
+            |v| {
+                // inline the normalisation with constant gamma/beta
+                let dims = v[0].dims();
+                let axis = dims.len() - 1;
+                let mut keep = dims.clone();
+                keep[axis] = 1;
+                let mean = v[0].mean_axis(axis).reshape(&keep);
+                let c = v[0] - mean;
+                let var = c.square().mean_axis(axis).reshape(&keep);
+                (c / var.add_scalar(1e-5).sqrt()).square().sum_all()
+            },
+        )
         .unwrap();
     }
 }

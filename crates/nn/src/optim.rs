@@ -448,13 +448,13 @@ mod tests {
     fn clip_scales_down_only_when_needed() {
         let p = Parameter::new("w", Tensor::zeros(&[2]));
         p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2]));
-        let before = clip_global_norm(&[p.clone()], 1.0);
+        let before = clip_global_norm(std::slice::from_ref(&p), 1.0);
         assert!((before - 5.0).abs() < 1e-12);
         assert!((p.grad_norm() - 1.0).abs() < 1e-12);
         // already small: untouched
         let q = Parameter::new("q", Tensor::zeros(&[1]));
         q.accumulate_grad(&Tensor::from_vec(vec![0.1], &[1]));
-        clip_global_norm(&[q.clone()], 1.0);
+        clip_global_norm(std::slice::from_ref(&q), 1.0);
         assert!((q.grad_norm() - 0.1).abs() < 1e-12);
     }
 }

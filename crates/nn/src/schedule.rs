@@ -66,7 +66,8 @@ impl LrSchedule for CosineDecay {
         if step < self.warmup {
             return self.base * (step + 1) as f64 / self.warmup as f64;
         }
-        let t = (step - self.warmup) as f64 / (self.total.saturating_sub(self.warmup)).max(1) as f64;
+        let t =
+            (step - self.warmup) as f64 / (self.total.saturating_sub(self.warmup)).max(1) as f64;
         let t = t.clamp(0.0, 1.0);
         self.min + 0.5 * (self.base - self.min) * (1.0 + (std::f64::consts::PI * t).cos())
     }

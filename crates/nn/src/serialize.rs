@@ -384,9 +384,9 @@ mod tests {
         let dir = tmpdir("ckpt");
         let path = dir.join("model.json");
         let p = Parameter::new("layer.w", Tensor::from_vec(vec![0.5; 6], &[2, 3]));
-        save_params(&path, &[p.clone()]).unwrap();
+        save_params(&path, std::slice::from_ref(&p)).unwrap();
         p.set_value(Tensor::zeros(&[2, 3]));
-        load_params(&path, &[p.clone()]).unwrap();
+        load_params(&path, std::slice::from_ref(&p)).unwrap();
         assert_eq!(p.value().as_slice(), &[0.5; 6]);
         fs::remove_file(path).ok();
     }
@@ -396,10 +396,10 @@ mod tests {
         let dir = tmpdir("legacy");
         let path = dir.join("legacy.json");
         let p = Parameter::new("w", Tensor::from_vec(vec![7.0], &[1]));
-        let json = serde_json::to_vec(&Checkpoint::capture(&[p.clone()])).unwrap();
+        let json = serde_json::to_vec(&Checkpoint::capture(std::slice::from_ref(&p))).unwrap();
         fs::write(&path, json).unwrap(); // no header, pre-v1 style
         p.set_value(Tensor::zeros(&[1]));
-        load_params(&path, &[p.clone()]).unwrap();
+        load_params(&path, std::slice::from_ref(&p)).unwrap();
         assert_eq!(p.value().as_slice(), &[7.0]);
         fs::remove_file(path).ok();
     }

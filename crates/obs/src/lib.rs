@@ -42,15 +42,18 @@
 //!
 //! - **Counters** count events or summed quantities and end in a plural
 //!   noun: `tensor.matmul.calls`, `tensor.matmul.flops`,
-//!   `tensor.graph.bytes`, `train.steps.skipped`.
+//!   `tensor.graph.bytes`, `train.steps.skipped`, `serve.requests`,
+//!   `serve.cache.hits`.
 //! - **Gauges** hold the last written value and are named for the value
 //!   itself: `train.grad_norm`, `train.loss.total`,
 //!   `tensor.pool.last_fanout`.
 //! - **Histograms** record distributions and carry an explicit unit
-//!   suffix: `tensor.matmul_ns`, `model.encoder_ns`, `infer.batch_ns`.
+//!   suffix (`_ns` for durations, none for dimensionless counts):
+//!   `tensor.matmul_ns`, `model.encoder_ns`, `infer.batch_ns`,
+//!   `serve.request_ns`, `serve.batch_size`.
 //! - **Spans** reuse the same dotted style without a unit suffix
 //!   (durations are implicit): `model.forward`, `rel2att.2`,
-//!   `optim.adam.step`.
+//!   `optim.adam.step`, `serve.batch`.
 //!
 //! Per-instance names (e.g. one per Rel2Att layer) put the instance index
 //! last: `rel2att.0`, `rel2att.1`, …

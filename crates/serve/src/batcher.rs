@@ -1,0 +1,210 @@
+//! The dynamic-batching state machine.
+//!
+//! [`Batcher`] is pure and synchronous: it owns pending items and answers
+//! two questions — "is a batch due at time `t`?" and "when is the next
+//! deadline?". It never sleeps, spawns, or reads a clock; callers feed it
+//! timestamps from a [`crate::Clock`]. That makes the exact flush schedule
+//! a deterministic function of the arrival script, which the virtual-clock
+//! tests and the 100-run determinism harness rely on.
+//!
+//! Flush policy: a batch is emitted as soon as **either**
+//! * `max_batch` items are pending (reason [`FlushReason::Full`]), or
+//! * the oldest pending item has waited `max_wait_ns` (reason
+//!   [`FlushReason::Deadline`]).
+
+/// Why a batch was flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// `max_batch` items were pending.
+    Full,
+    /// The oldest pending item reached its `max_wait_ns` deadline.
+    Deadline,
+    /// The caller forced a flush (shutdown / drain).
+    Forced,
+}
+
+/// A flushed batch of items plus its provenance.
+#[derive(Debug)]
+pub struct Batch<T> {
+    /// The items, in arrival order.
+    pub items: Vec<T>,
+    /// Why the batch was emitted.
+    pub reason: FlushReason,
+    /// Clock reading at which the flush happened.
+    pub flushed_at_ns: u64,
+}
+
+/// A compact record of one flush, for determinism checks and telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchBoundary {
+    /// Clock reading at which the flush happened.
+    pub at_ns: u64,
+    /// Number of items in the batch.
+    pub size: usize,
+    /// Why the batch was emitted.
+    pub reason: FlushReason,
+}
+
+#[derive(Debug)]
+struct Pending<T> {
+    item: T,
+    enqueued_ns: u64,
+}
+
+/// The batching state machine. See the module docs for the flush policy.
+#[derive(Debug)]
+pub struct Batcher<T> {
+    max_batch: usize,
+    max_wait_ns: u64,
+    pending: Vec<Pending<T>>,
+}
+
+impl<T> Batcher<T> {
+    /// A batcher flushing at `max_batch` items or `max_wait_ns` of waiting,
+    /// whichever comes first.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is 0.
+    pub fn new(max_batch: usize, max_wait_ns: u64) -> Self {
+        assert!(max_batch > 0, "max_batch must be at least 1");
+        Batcher {
+            max_batch,
+            max_wait_ns,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Items currently pending.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Enqueues an item at time `now_ns`. Returns `true` when the batch is
+    /// now full and should be flushed immediately.
+    pub fn push(&mut self, item: T, now_ns: u64) -> bool {
+        self.pending.push(Pending {
+            item,
+            enqueued_ns: now_ns,
+        });
+        self.pending.len() >= self.max_batch
+    }
+
+    /// The absolute time at which the oldest pending item must be flushed,
+    /// or `None` when nothing is pending. With a full batch the deadline is
+    /// effectively "now" — [`Batcher::poll`] flushes regardless of time.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        self.pending
+            .first()
+            .map(|p| p.enqueued_ns.saturating_add(self.max_wait_ns))
+    }
+
+    /// Flushes a batch if one is due at `now_ns`: full batches always, a
+    /// partial batch only once the oldest item's deadline has passed.
+    pub fn poll(&mut self, now_ns: u64) -> Option<Batch<T>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        if self.pending.len() >= self.max_batch {
+            return Some(self.take(self.max_batch, FlushReason::Full, now_ns));
+        }
+        match self.next_deadline_ns() {
+            Some(deadline) if now_ns >= deadline => {
+                let n = self.pending.len();
+                Some(self.take(n, FlushReason::Deadline, now_ns))
+            }
+            _ => None,
+        }
+    }
+
+    /// Unconditionally flushes all pending items (shutdown / drain),
+    /// or `None` when empty.
+    pub fn flush_all(&mut self, now_ns: u64) -> Option<Batch<T>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let n = self.pending.len();
+        Some(self.take(n, FlushReason::Forced, now_ns))
+    }
+
+    fn take(&mut self, n: usize, reason: FlushReason, now_ns: u64) -> Batch<T> {
+        let items = self.pending.drain(..n).map(|p| p.item).collect();
+        Batch {
+            items,
+            reason,
+            flushed_at_ns: now_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nothing_flushes_before_the_deadline() {
+        let mut b = Batcher::new(4, 1_000);
+        assert!(!b.push("a", 0));
+        assert_eq!(b.next_deadline_ns(), Some(1_000));
+        assert!(b.poll(999).is_none(), "999 ns is before the deadline");
+        let batch = b.poll(1_000).expect("deadline reached");
+        assert_eq!(batch.items, vec!["a"]);
+        assert_eq!(batch.reason, FlushReason::Deadline);
+        assert_eq!(batch.flushed_at_ns, 1_000);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn deadline_tracks_the_oldest_item() {
+        let mut b = Batcher::new(4, 1_000);
+        b.push("a", 100);
+        b.push("b", 900);
+        // The deadline belongs to "a", not "b".
+        assert_eq!(b.next_deadline_ns(), Some(1_100));
+        let batch = b.poll(1_100).unwrap();
+        assert_eq!(batch.items, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn full_batch_flushes_immediately() {
+        let mut b = Batcher::new(2, 1_000_000);
+        assert!(!b.push(1, 0));
+        assert!(b.push(2, 0), "second push reaches max_batch");
+        let batch = b.poll(0).unwrap();
+        assert_eq!(batch.reason, FlushReason::Full);
+        assert_eq!(batch.items, vec![1, 2]);
+    }
+
+    #[test]
+    fn overfull_queue_flushes_in_max_batch_chunks() {
+        let mut b = Batcher::new(2, 1_000);
+        for i in 0..5 {
+            b.push(i, 0);
+        }
+        assert_eq!(b.poll(0).unwrap().items, vec![0, 1]);
+        assert_eq!(b.poll(0).unwrap().items, vec![2, 3]);
+        assert!(b.poll(0).is_none(), "remainder waits for its deadline");
+        assert_eq!(b.poll(1_000).unwrap().items, vec![4]);
+    }
+
+    #[test]
+    fn flush_all_drains_everything() {
+        let mut b = Batcher::new(8, 1_000);
+        b.push("x", 0);
+        b.push("y", 1);
+        let batch = b.flush_all(5).unwrap();
+        assert_eq!(batch.reason, FlushReason::Forced);
+        assert_eq!(batch.items, vec!["x", "y"]);
+        assert!(b.flush_all(5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be at least 1")]
+    fn zero_max_batch_is_rejected() {
+        let _ = Batcher::<u8>::new(0, 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! A small, allocation-friendly LRU cache for grounding responses.
+//!
+//! Keys are [`yollo_core::RequestKey`]s (scene content hash + normalised
+//! query), so two textually different but semantically identical requests
+//! ("the red circle" vs "The  RED circle!") share one entry. The
+//! implementation is a `HashMap` into a slab of nodes threaded on an
+//! index-based doubly-linked list — no unsafe, no pointer juggling, O(1)
+//! get/insert/evict.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::mem;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+///
+/// `get` bumps the entry to most-recently-used; `insert` evicts the
+/// least-recently-used entry once `capacity` is exceeded. A capacity of 0
+/// disables caching entirely (every `get` misses, every `insert` is
+/// dropped).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(&self.nodes[idx].value)
+    }
+
+    /// Inserts or replaces `key`, evicting the least-recently-used entry if
+    /// the cache is full. Returns the evicted `(key, value)`, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.nodes[idx].value = value;
+            self.detach(idx);
+            self.attach_front(idx);
+            return None;
+        }
+        if self.map.len() >= self.capacity {
+            // Reuse the least-recently-used slot for the new entry.
+            let slot = self.tail;
+            self.detach(slot);
+            let old = mem::replace(
+                &mut self.nodes[slot],
+                Node {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                },
+            );
+            self.map.remove(&old.key);
+            self.map.insert(key, slot);
+            self.attach_front(slot);
+            return Some((old.key, old.value));
+        }
+        self.nodes.push(Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        let idx = self.nodes.len() - 1;
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        None
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_hit_and_miss() {
+        let mut c = LruCache::new(2);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(c.get(&1).is_some());
+        let evicted = c.insert(3, "three");
+        assert_eq!(evicted, Some((2, "two")));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), Some(&"three"));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.insert(1, "uno"), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(&"uno"));
+        // 1 was bumped by the reinsert, so 2 is evicted next.
+        assert_eq!(c.insert(3, "three"), Some((2, "two")));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.insert(1, "one"), None);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+    }
+
+    /// Reference model: a Vec ordered most-recent-first.
+    #[derive(Default)]
+    struct NaiveLru {
+        capacity: usize,
+        entries: Vec<(u8, u32)>,
+    }
+
+    impl NaiveLru {
+        fn get(&mut self, key: u8) -> Option<u32> {
+            let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+            let e = self.entries.remove(pos);
+            let v = e.1;
+            self.entries.insert(0, e);
+            Some(v)
+        }
+
+        fn insert(&mut self, key: u8, value: u32) {
+            if self.capacity == 0 {
+                return;
+            }
+            if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+                self.entries.remove(pos);
+            } else if self.entries.len() >= self.capacity {
+                self.entries.pop();
+            }
+            self.entries.insert(0, (key, value));
+        }
+    }
+
+    /// Drives both implementations with the same op sequence. Also run as a
+    /// plain seeded test below so the property executes even where the
+    /// proptest harness is unavailable.
+    fn check_against_model(capacity: usize, ops: &[(bool, u8, u32)]) {
+        let mut real = LruCache::new(capacity);
+        let mut model = NaiveLru {
+            capacity,
+            ..NaiveLru::default()
+        };
+        for &(is_insert, key, value) in ops {
+            if is_insert {
+                real.insert(key, value);
+                model.insert(key, value);
+            } else {
+                assert_eq!(real.get(&key).copied(), model.get(key));
+            }
+            assert_eq!(real.len(), model.entries.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_model(
+            capacity in 0usize..5,
+            ops in proptest::collection::vec((any::<bool>(), 0u8..8, any::<u32>()), 0..64),
+        ) {
+            check_against_model(capacity, &ops);
+        }
+    }
+
+    #[test]
+    fn matches_naive_model_seeded() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xCAC4E);
+        for _ in 0..200 {
+            let capacity = rng.gen_range(0..5);
+            let n = rng.gen_range(0..64);
+            let ops: Vec<(bool, u8, u32)> = (0..n)
+                .map(|_| (rng.gen(), rng.gen_range(0..8), rng.gen()))
+                .collect();
+            check_against_model(capacity, &ops);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+use yollo_core::QueryTooLong;
+
+/// Typed failure modes of the serving stack.
+///
+/// Every accepted request terminates in exactly one `Ok` prediction or one
+/// of these errors — the server never drops a response on the floor, even
+/// when a worker panics mid-batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is full: the request was shed at admission, before
+    /// any work was done on it (load-shedding backpressure).
+    Overloaded {
+        /// Requests currently admitted but not yet answered.
+        inflight: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The query tokenises to more tokens than the model accepts. Rejected
+    /// outright — the server never silently truncates a query.
+    QueryTooLong {
+        /// Tokens in the offending query.
+        tokens: usize,
+        /// The maximum the model accepts.
+        max_tokens: usize,
+    },
+    /// The scene's dimensions differ from the model's input size, so it
+    /// cannot join a batch.
+    SceneMismatch {
+        /// The offending scene's `(width, height)`.
+        got: (usize, usize),
+        /// The configured `(width, height)`.
+        want: (usize, usize),
+    },
+    /// The worker processing this request's batch failed (e.g. panicked);
+    /// the whole batch is answered with this error.
+    WorkerFailed {
+        /// Human-readable failure description.
+        detail: String,
+    },
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { inflight, capacity } => {
+                write!(f, "overloaded: {inflight}/{capacity} requests in flight")
+            }
+            ServeError::QueryTooLong { tokens, max_tokens } => {
+                write!(f, "query has {tokens} tokens, limit is {max_tokens}")
+            }
+            ServeError::SceneMismatch { got, want } => write!(
+                f,
+                "scene is {}x{}, server expects {}x{}",
+                got.0, got.1, want.0, want.1
+            ),
+            ServeError::WorkerFailed { detail } => write!(f, "worker failed: {detail}"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<QueryTooLong> for ServeError {
+    fn from(e: QueryTooLong) -> Self {
+        ServeError::QueryTooLong {
+            tokens: e.tokens,
+            max_tokens: e.max_tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::Overloaded {
+            inflight: 8,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("8/8"));
+        let e: ServeError = QueryTooLong {
+            tokens: 20,
+            max_tokens: 16,
+        }
+        .into();
+        assert_eq!(
+            e,
+            ServeError::QueryTooLong {
+                tokens: 20,
+                max_tokens: 16
+            }
+        );
+    }
+}

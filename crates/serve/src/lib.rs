@@ -1,0 +1,59 @@
+//! `yollo-serve` — a dynamic-batching inference server for YOLLO.
+//!
+//! Visual grounding is one forward pass per request (the paper's whole
+//! point), which makes serving throughput a batching problem: single
+//! requests waste the batched forward pass, but waiting forever for a full
+//! batch wastes latency. This crate implements the standard dynamic
+//! batching compromise — flush at `max_batch` requests **or** after the
+//! oldest request has waited `max_wait`, whichever comes first — plus the
+//! operational trimmings a server needs:
+//!
+//! * **bounded admission**: at most `queue_capacity` requests in flight;
+//!   beyond that, requests are shed with [`ServeError::Overloaded`] rather
+//!   than queued without bound;
+//! * **strict input validation**: queries longer than `max_tokens` are
+//!   rejected ([`ServeError::QueryTooLong`]), never silently truncated;
+//! * **response caching**: an [`LruCache`] keyed by
+//!   [`yollo_core::RequestKey`] (scene content hash + normalised query)
+//!   answers repeats without touching the model;
+//! * **fault isolation**: a worker panic fails its batch with
+//!   [`ServeError::WorkerFailed`] — every accepted request is answered
+//!   exactly once, and the pool keeps serving.
+//!
+//! The scheduler is built against [`Clock`]/[`Waker`] traits, so the exact
+//! flush schedule is testable with a [`VirtualClock`] and no sleeps:
+//! [`ServerCore`] is the deterministic single-threaded driver,
+//! [`Simulation`] replays arrival scripts through it, and [`Server`] is
+//! the threaded production pool on the same state machine.
+//!
+//! ```no_run
+//! use yollo_core::{Yollo, YolloConfig};
+//! use yollo_serve::{ServeConfig, Server};
+//! use yollo_synthref::{SceneBuilder, ShapeKind, ColorName};
+//!
+//! let cfg = YolloConfig::default();
+//! let model = Yollo::new(cfg.clone(), 42);
+//! let vocab = model.vocab().clone();
+//! let server = Server::start(ServeConfig::for_model(&cfg), vocab, move || {
+//!     Yollo::new(cfg.clone(), 42)
+//! });
+//! let scene = SceneBuilder::new(72, 48)
+//!     .object(ShapeKind::Circle, ColorName::Red, 10.0, 10.0, 12.0, 12.0)
+//!     .build();
+//! let answer = server.submit(&scene, "the red circle").unwrap().wait();
+//! println!("{:?}", answer.map(|p| p.bbox));
+//! ```
+
+mod batcher;
+mod cache;
+mod clock;
+mod error;
+mod server;
+mod sim;
+
+pub use batcher::{Batch, BatchBoundary, Batcher, FlushReason};
+pub use cache::LruCache;
+pub use clock::{Clock, CountingWaker, NoopWaker, SystemClock, VirtualClock, Waker};
+pub use error::ServeError;
+pub use server::{GroundingModel, Response, ServeConfig, ServeResult, Server, ServerCore};
+pub use sim::{Arrival, SimReport, Simulation};

@@ -1,0 +1,600 @@
+//! The serving engine: admission → dynamic batcher → model → responses.
+//!
+//! Two drivers share the same admission and batch-execution logic:
+//!
+//! * [`ServerCore`] — single-threaded and inline, driven by explicit
+//!   [`ServerCore::tick`] calls against any [`Clock`]. This is the
+//!   deterministic form used by the virtual-clock tests and the
+//!   [`crate::Simulation`] harness.
+//! * [`Server`] — the production form: a worker pool blocking on a
+//!   condvar, flushing batches as deadlines expire or batches fill.
+//!
+//! Every accepted request is answered exactly once — with a prediction, or
+//! with [`ServeError::WorkerFailed`] if the worker processing its batch
+//! panicked (the panic is caught; the pool keeps serving).
+
+use std::mem;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use yollo_core::{
+    encode_query_strict, scene_hash, stack_images, GroundingPrediction, RequestKey, Yollo,
+    YolloConfig,
+};
+use yollo_obs::{counter, histogram};
+use yollo_synthref::Scene;
+use yollo_tensor::Tensor;
+use yollo_text::Vocab;
+
+use crate::batcher::{Batch, BatchBoundary, Batcher};
+use crate::cache::LruCache;
+use crate::clock::{Clock, NoopWaker, SystemClock, Waker};
+use crate::error::ServeError;
+
+/// The result of one grounding request.
+pub type ServeResult = Result<GroundingPrediction, ServeError>;
+
+/// Anything that can ground a padded batch. [`Yollo`] is the real
+/// implementation; tests substitute deterministic or faulty stubs.
+pub trait GroundingModel {
+    /// Grounds `queries.len()` samples; `images` is `[B, C, H, W]`.
+    fn predict_batch(&self, images: Tensor, queries: &[Vec<usize>]) -> Vec<GroundingPrediction>;
+}
+
+impl GroundingModel for Yollo {
+    fn predict_batch(&self, images: Tensor, queries: &[Vec<usize>]) -> Vec<GroundingPrediction> {
+        Yollo::predict_batch(self, images, queries)
+    }
+}
+
+/// Tunables of the serving stack.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Flush a batch as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Flush a partial batch once its oldest request has waited this long.
+    pub max_wait_ns: u64,
+    /// Maximum accepted-but-unanswered requests before shedding
+    /// ([`ServeError::Overloaded`]).
+    pub queue_capacity: usize,
+    /// LRU response-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Maximum query length in tokens; longer queries are rejected, never
+    /// truncated.
+    pub max_tokens: usize,
+    /// Rendered scene channels.
+    pub in_channels: usize,
+    /// Expected scene width.
+    pub image_width: usize,
+    /// Expected scene height.
+    pub image_height: usize,
+    /// Worker threads in the [`Server`] pool (ignored by [`ServerCore`]).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let model = YolloConfig::default();
+        ServeConfig {
+            max_batch: 8,
+            max_wait_ns: 2_000_000, // 2 ms
+            queue_capacity: 64,
+            cache_capacity: 128,
+            max_tokens: model.max_query_len,
+            in_channels: model.in_channels,
+            image_width: model.image_width,
+            image_height: model.image_height,
+            workers: 2,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config whose input contract (image size, channels, query length)
+    /// matches `model`.
+    pub fn for_model(model: &YolloConfig) -> Self {
+        ServeConfig {
+            max_tokens: model.max_query_len,
+            in_channels: model.in_channels,
+            image_width: model.image_width,
+            image_height: model.image_height,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// One admitted request travelling through the batcher.
+struct Job {
+    image: Vec<f64>,
+    ids: Vec<usize>,
+    key: RequestKey,
+    tx: Sender<ServeResult>,
+    enqueued_ns: u64,
+}
+
+/// A handle to one request's eventual result.
+pub struct Response {
+    rx: Receiver<ServeResult>,
+}
+
+impl Response {
+    /// Blocks until the result arrives.
+    pub fn wait(self) -> ServeResult {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerFailed {
+            detail: "response channel closed".to_owned(),
+        }))
+    }
+
+    /// The result if it is already available (cache hits are immediate).
+    pub fn try_now(&self) -> Option<ServeResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Mutable serving state shared by both drivers (and guarded by a mutex in
+/// the threaded one).
+struct ServeState {
+    batcher: Batcher<Job>,
+    cache: LruCache<RequestKey, GroundingPrediction>,
+    inflight: usize,
+    boundaries: Vec<BatchBoundary>,
+    shutdown: bool,
+}
+
+impl ServeState {
+    fn new(cfg: &ServeConfig) -> Self {
+        ServeState {
+            batcher: Batcher::new(cfg.max_batch, cfg.max_wait_ns),
+            cache: LruCache::new(cfg.cache_capacity),
+            inflight: 0,
+            boundaries: Vec::new(),
+            shutdown: false,
+        }
+    }
+}
+
+/// Validates and enqueues one request at time `now_ns`. On a cache hit the
+/// response is already resolved and nothing is enqueued. Returns the
+/// response handle and whether the push filled the batch.
+fn admit(
+    cfg: &ServeConfig,
+    vocab: &Vocab,
+    state: &mut ServeState,
+    now_ns: u64,
+    scene: &Scene,
+    query: &str,
+) -> Result<(Response, bool), ServeError> {
+    counter!("serve.requests").incr();
+    if state.shutdown {
+        return Err(ServeError::ShuttingDown);
+    }
+    if (scene.width, scene.height) != (cfg.image_width, cfg.image_height) {
+        return Err(ServeError::SceneMismatch {
+            got: (scene.width, scene.height),
+            want: (cfg.image_width, cfg.image_height),
+        });
+    }
+    let ids = encode_query_strict(vocab, query, cfg.max_tokens)?;
+    let key = RequestKey::new(scene, query);
+    let (tx, rx) = channel();
+    if let Some(pred) = state.cache.get(&key) {
+        counter!("serve.cache.hits").incr();
+        counter!("serve.responses").incr();
+        let _ = tx.send(Ok(pred.clone()));
+        return Ok((Response { rx }, false));
+    }
+    counter!("serve.cache.misses").incr();
+    if state.inflight >= cfg.queue_capacity {
+        counter!("serve.shed").incr();
+        return Err(ServeError::Overloaded {
+            inflight: state.inflight,
+            capacity: cfg.queue_capacity,
+        });
+    }
+    state.inflight += 1;
+    let image = scene.render().into_vec();
+    let full = state.batcher.push(
+        Job {
+            image,
+            ids,
+            key,
+            tx,
+            enqueued_ns: now_ns,
+        },
+        now_ns,
+    );
+    Ok((Response { rx }, full))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_owned()
+    }
+}
+
+/// What running one batch produced: the answer for every job, plus the
+/// cache entries to insert (empty when the worker failed — failures are
+/// never cached).
+struct BatchOutcome {
+    responses: Vec<(Sender<ServeResult>, ServeResult)>,
+    inserts: Vec<(RequestKey, GroundingPrediction)>,
+    size: usize,
+}
+
+impl BatchOutcome {
+    /// Delivers every response. Call only after the serving state
+    /// (inflight count, cache) reflects this batch, so that a client
+    /// observing its answer also observes the freed queue slot.
+    fn deliver(self) {
+        for (tx, result) in self.responses {
+            counter!("serve.responses").incr();
+            let _ = tx.send(result);
+        }
+    }
+}
+
+/// Runs the model on a flushed batch. The caller applies the outcome to
+/// the serving state and then delivers the responses.
+fn run_batch<M: GroundingModel + ?Sized>(
+    model: &M,
+    cfg: &ServeConfig,
+    clock: &dyn Clock,
+    batch: Batch<Job>,
+) -> BatchOutcome {
+    counter!("serve.batches").incr();
+    histogram!("serve.batch_size").record(batch.items.len() as u64);
+    let _span = yollo_obs::span!("serve.batch");
+    let started = clock.now_ns();
+    let mut jobs = batch.items;
+    let rows: Vec<Vec<f64>> = jobs.iter_mut().map(|j| mem::take(&mut j.image)).collect();
+    let images = stack_images(&rows, cfg.in_channels, cfg.image_height, cfg.image_width);
+    let queries: Vec<Vec<usize>> = jobs.iter().map(|j| j.ids.clone()).collect();
+    let outcome = catch_unwind(AssertUnwindSafe(|| model.predict_batch(images, &queries)));
+    let finished = clock.now_ns();
+    histogram!("serve.batch_ns").record(finished.saturating_sub(started));
+    let size = jobs.len();
+    for job in &jobs {
+        histogram!("serve.request_ns").record(finished.saturating_sub(job.enqueued_ns));
+    }
+    let detail = match outcome {
+        Ok(preds) if preds.len() == jobs.len() => {
+            let mut responses = Vec::with_capacity(size);
+            let mut inserts = Vec::with_capacity(size);
+            for (job, pred) in jobs.into_iter().zip(preds) {
+                responses.push((job.tx, Ok(pred.clone())));
+                inserts.push((job.key, pred));
+            }
+            return BatchOutcome {
+                responses,
+                inserts,
+                size,
+            };
+        }
+        Ok(preds) => format!(
+            "model returned {} predictions for {} requests",
+            preds.len(),
+            jobs.len()
+        ),
+        Err(payload) => panic_message(payload),
+    };
+    counter!("serve.worker_panics").incr();
+    let responses = jobs
+        .into_iter()
+        .map(|job| {
+            let err = ServeError::WorkerFailed {
+                detail: detail.clone(),
+            };
+            (job.tx, Err(err))
+        })
+        .collect();
+    BatchOutcome {
+        responses,
+        inserts: Vec::new(),
+        size,
+    }
+}
+
+/// The deterministic, single-threaded serving engine.
+///
+/// Nothing happens between calls: [`ServerCore::submit`] only admits and
+/// enqueues, [`ServerCore::tick`] flushes and executes whatever batches are
+/// due at the current clock reading. With a [`crate::VirtualClock`] the
+/// whole flush schedule is an exact function of the submitted arrival
+/// script — run it twice, get identical [`BatchBoundary`] sequences.
+pub struct ServerCore<M: GroundingModel> {
+    model: M,
+    vocab: Vocab,
+    cfg: ServeConfig,
+    clock: Arc<dyn Clock>,
+    waker: Arc<dyn Waker>,
+    state: ServeState,
+}
+
+impl<M: GroundingModel> ServerCore<M> {
+    /// A core on the system clock (no wake-ups observed).
+    pub fn new(model: M, vocab: Vocab, cfg: ServeConfig) -> Self {
+        ServerCore::with_clock(
+            model,
+            vocab,
+            cfg,
+            Arc::new(SystemClock::new()),
+            Arc::new(NoopWaker),
+        )
+    }
+
+    /// A core on an explicit clock and waker — the test entry point.
+    pub fn with_clock(
+        model: M,
+        vocab: Vocab,
+        cfg: ServeConfig,
+        clock: Arc<dyn Clock>,
+        waker: Arc<dyn Waker>,
+    ) -> Self {
+        let state = ServeState::new(&cfg);
+        ServerCore {
+            model,
+            vocab,
+            cfg,
+            clock,
+            waker,
+            state,
+        }
+    }
+
+    /// Admits one request at the current clock reading. The waker fires
+    /// when the push filled a batch or armed a fresh deadline.
+    pub fn submit(&mut self, scene: &Scene, query: &str) -> Result<Response, ServeError> {
+        let now = self.clock.now_ns();
+        let (resp, full) = admit(&self.cfg, &self.vocab, &mut self.state, now, scene, query)?;
+        if full || self.state.batcher.len() == 1 {
+            self.waker.wake();
+        }
+        Ok(resp)
+    }
+
+    /// Flushes and executes every batch due at the current clock reading.
+    /// Returns how many batches ran.
+    pub fn tick(&mut self) -> usize {
+        let mut ran = 0;
+        loop {
+            let now = self.clock.now_ns();
+            match self.state.batcher.poll(now) {
+                Some(batch) => {
+                    self.finish(batch);
+                    ran += 1;
+                }
+                None => return ran,
+            }
+        }
+    }
+
+    /// Forces out all pending requests regardless of deadlines (drain /
+    /// shutdown). Returns how many batches ran.
+    pub fn drain(&mut self) -> usize {
+        let mut ran = 0;
+        let now = self.clock.now_ns();
+        while let Some(batch) = self.state.batcher.flush_all(now) {
+            self.finish(batch);
+            ran += 1;
+        }
+        ran
+    }
+
+    fn finish(&mut self, batch: Batch<Job>) {
+        let size = batch.items.len();
+        self.state.boundaries.push(BatchBoundary {
+            at_ns: batch.flushed_at_ns,
+            size,
+            reason: batch.reason,
+        });
+        let mut outcome = run_batch(&self.model, &self.cfg, self.clock.as_ref(), batch);
+        for (k, v) in mem::take(&mut outcome.inserts) {
+            self.state.cache.insert(k, v);
+        }
+        self.state.inflight -= size;
+        outcome.deliver();
+    }
+
+    /// Every flush so far, in order — the determinism fingerprint.
+    pub fn boundaries(&self) -> &[BatchBoundary] {
+        &self.state.boundaries
+    }
+
+    /// Accepted-but-unanswered requests.
+    pub fn inflight(&self) -> usize {
+        self.state.inflight
+    }
+
+    /// When the oldest pending request must flush, if anything is pending.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        self.state.batcher.next_deadline_ns()
+    }
+
+    /// The content hash the cache uses for `scene` (exposed for tests).
+    pub fn scene_key(scene: &Scene) -> u64 {
+        scene_hash(scene)
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    vocab: Vocab,
+    clock: Arc<dyn Clock>,
+    state: Mutex<ServeState>,
+    cond: Condvar,
+}
+
+/// The threaded production server: a pool of workers each owning its own
+/// model instance (models are not `Send`, so each worker builds one from
+/// the factory on its own thread).
+///
+/// Dropping the server shuts it down: pending requests are force-flushed
+/// and answered, then the workers exit.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts `cfg.workers` workers on the system clock. `factory` is
+    /// called once per worker thread to build that worker's model.
+    pub fn start<M, F>(cfg: ServeConfig, vocab: Vocab, factory: F) -> Self
+    where
+        M: GroundingModel,
+        F: Fn() -> M + Send + Sync + 'static,
+    {
+        Server::start_with_clock(cfg, vocab, Arc::new(SystemClock::new()), factory)
+    }
+
+    /// Starts the pool on an explicit clock (tests use short real waits or
+    /// batch-size-triggered flushes with a virtual clock).
+    pub fn start_with_clock<M, F>(
+        cfg: ServeConfig,
+        vocab: Vocab,
+        clock: Arc<dyn Clock>,
+        factory: F,
+    ) -> Self
+    where
+        M: GroundingModel,
+        F: Fn() -> M + Send + Sync + 'static,
+    {
+        let n = cfg.workers.max(1);
+        let state = ServeState::new(&cfg);
+        let shared = Arc::new(Shared {
+            cfg,
+            vocab,
+            clock,
+            state: Mutex::new(state),
+            cond: Condvar::new(),
+        });
+        let factory = Arc::new(factory);
+        let workers = (0..n)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let factory = Arc::clone(&factory);
+                thread::Builder::new()
+                    .name(format!("yollo-serve-{i}"))
+                    .spawn(move || {
+                        let model = factory();
+                        worker_loop(&shared, &model);
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// Admits one request; the worker pool answers it asynchronously.
+    pub fn submit(&self, scene: &Scene, query: &str) -> Result<Response, ServeError> {
+        let now = self.shared.clock.now_ns();
+        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        let (resp, _full) = admit(
+            &self.shared.cfg,
+            &self.shared.vocab,
+            &mut st,
+            now,
+            scene,
+            query,
+        )?;
+        drop(st);
+        self.shared.cond.notify_one();
+        Ok(resp)
+    }
+
+    /// Accepted-but-unanswered requests right now.
+    pub fn inflight(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("serve state poisoned")
+            .inflight
+    }
+
+    /// Every flush so far, in order.
+    pub fn boundaries(&self) -> Vec<BatchBoundary> {
+        self.shared
+            .state
+            .lock()
+            .expect("serve state poisoned")
+            .boundaries
+            .clone()
+    }
+
+    /// Stops accepting requests, force-flushes the queue (every pending
+    /// request is still answered) and joins the workers.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("serve state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<M: GroundingModel>(shared: &Shared, model: &M) {
+    // Cap timed waits so progress does not depend on the clock being the
+    // wall clock (a virtual clock advances between waits, not during them).
+    const MAX_WAIT: Duration = Duration::from_millis(1);
+    let mut st = shared.state.lock().expect("serve state poisoned");
+    loop {
+        let now = shared.clock.now_ns();
+        let due = st.batcher.poll(now).or_else(|| {
+            if st.shutdown {
+                st.batcher.flush_all(now)
+            } else {
+                None
+            }
+        });
+        if let Some(batch) = due {
+            st.boundaries.push(BatchBoundary {
+                at_ns: batch.flushed_at_ns,
+                size: batch.items.len(),
+                reason: batch.reason,
+            });
+            drop(st);
+            let mut outcome = run_batch(model, &shared.cfg, shared.clock.as_ref(), batch);
+            // More work may have queued while the model ran.
+            shared.cond.notify_one();
+            st = shared.state.lock().expect("serve state poisoned");
+            for (k, v) in mem::take(&mut outcome.inserts) {
+                st.cache.insert(k, v);
+            }
+            st.inflight -= outcome.size;
+            drop(st);
+            // State reflects the batch before anyone sees an answer.
+            outcome.deliver();
+            st = shared.state.lock().expect("serve state poisoned");
+            continue;
+        }
+        if st.shutdown {
+            return;
+        }
+        st = match st.batcher.next_deadline_ns() {
+            None => shared.cond.wait(st).expect("serve state poisoned"),
+            Some(deadline) => {
+                let remaining = Duration::from_nanos(deadline.saturating_sub(now).max(1));
+                shared
+                    .cond
+                    .wait_timeout(st, remaining.min(MAX_WAIT))
+                    .expect("serve state poisoned")
+                    .0
+            }
+        };
+    }
+}

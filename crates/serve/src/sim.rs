@@ -1,0 +1,136 @@
+//! A deterministic load-script driver.
+//!
+//! [`Simulation`] replays a fixed [`Arrival`] script against a
+//! [`ServerCore`] on a [`VirtualClock`]: between arrivals it advances time
+//! deadline-by-deadline, so batches flush at the exact nanosecond the
+//! policy dictates. The returned [`BatchBoundary`] sequence is the run's
+//! fingerprint — the determinism acceptance test replays one script 100
+//! times and demands identical fingerprints.
+
+use std::sync::Arc;
+
+use yollo_synthref::Scene;
+use yollo_text::Vocab;
+
+use crate::batcher::BatchBoundary;
+use crate::clock::{Clock, NoopWaker, VirtualClock};
+use crate::error::ServeError;
+use crate::server::{GroundingModel, ServeConfig, ServerCore};
+
+/// One scripted request: at `at_ns`, submit `query` against scene
+/// `scene` (an index into the scene list given to [`Simulation::run`]).
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Absolute virtual time of the submission.
+    pub at_ns: u64,
+    /// Index into the scene list.
+    pub scene: usize,
+    /// The referring expression.
+    pub query: String,
+}
+
+impl Arrival {
+    /// Convenience constructor.
+    pub fn new(at_ns: u64, scene: usize, query: impl Into<String>) -> Self {
+        Arrival {
+            at_ns,
+            scene,
+            query: query.into(),
+        }
+    }
+}
+
+/// What one simulated run did.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Every flush, in order.
+    pub boundaries: Vec<BatchBoundary>,
+    /// Requests answered from the cache (resolved without batching).
+    pub cache_hits: usize,
+    /// Requests rejected at admission, by error.
+    pub rejected: Vec<ServeError>,
+}
+
+/// Replays arrival scripts against a [`ServerCore`] on a virtual clock.
+pub struct Simulation<M: GroundingModel> {
+    core: ServerCore<M>,
+    clock: Arc<VirtualClock>,
+}
+
+impl<M: GroundingModel> Simulation<M> {
+    /// A simulation starting at virtual t = 0.
+    pub fn new(model: M, vocab: Vocab, cfg: ServeConfig) -> Self {
+        let clock = Arc::new(VirtualClock::new());
+        let core = ServerCore::with_clock(
+            model,
+            vocab,
+            cfg,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Arc::new(NoopWaker),
+        );
+        Simulation { core, clock }
+    }
+
+    /// Replays `arrivals` (must be sorted by `at_ns`) against `scenes`,
+    /// advancing the virtual clock through every intervening deadline, then
+    /// drains the tail. Every accepted request is answered before this
+    /// returns.
+    ///
+    /// # Panics
+    /// Panics if the script is not time-sorted or indexes a missing scene.
+    pub fn run(&mut self, scenes: &[Scene], arrivals: &[Arrival]) -> SimReport {
+        let mut cache_hits = 0;
+        let mut rejected = Vec::new();
+        for arrival in arrivals {
+            assert!(
+                arrival.at_ns >= self.clock.now_ns(),
+                "arrival script must be sorted by time"
+            );
+            self.advance_until(arrival.at_ns);
+            let scene = &scenes[arrival.scene];
+            match self.core.submit(scene, &arrival.query) {
+                Ok(resp) => {
+                    if resp.try_now().is_some() {
+                        cache_hits += 1;
+                    }
+                }
+                Err(e) => rejected.push(e),
+            }
+            // A full batch flushes at the arrival instant.
+            self.core.tick();
+        }
+        while let Some(deadline) = self.core.next_deadline_ns() {
+            if deadline > self.clock.now_ns() {
+                self.clock.set(deadline);
+            }
+            self.core.tick();
+        }
+        SimReport {
+            boundaries: self.core.boundaries().to_vec(),
+            cache_hits,
+            rejected,
+        }
+    }
+
+    /// Fires every deadline strictly before `t_ns`, then sets the clock to
+    /// `t_ns`.
+    fn advance_until(&mut self, t_ns: u64) {
+        while let Some(deadline) = self.core.next_deadline_ns() {
+            if deadline > t_ns {
+                break;
+            }
+            if deadline > self.clock.now_ns() {
+                self.clock.set(deadline);
+            }
+            self.core.tick();
+        }
+        if t_ns > self.clock.now_ns() {
+            self.clock.set(t_ns);
+        }
+    }
+
+    /// The underlying core (for inspecting boundaries or inflight count).
+    pub fn core(&self) -> &ServerCore<M> {
+        &self.core
+    }
+}

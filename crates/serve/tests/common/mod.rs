@@ -1,0 +1,74 @@
+//! Shared fixtures for the serve integration tests.
+#![allow(dead_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use yollo_core::GroundingPrediction;
+use yollo_detect::BBox;
+use yollo_serve::GroundingModel;
+use yollo_synthref::{ColorName, Scene, SceneBuilder, ShapeKind};
+use yollo_tensor::Tensor;
+use yollo_text::{tokenize, Vocab};
+
+/// A fast, deterministic model: the prediction is a pure function of the
+/// image pixels and token ids, and every batch bumps a shared call
+/// counter so tests can prove the model was (not) invoked.
+pub struct StubModel {
+    pub calls: Arc<AtomicUsize>,
+}
+
+impl StubModel {
+    pub fn new() -> Self {
+        StubModel {
+            calls: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+}
+
+impl GroundingModel for StubModel {
+    fn predict_batch(&self, images: Tensor, queries: &[Vec<usize>]) -> Vec<GroundingPrediction> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        let b = queries.len();
+        let per = images.numel() / b.max(1);
+        let data = images.as_slice();
+        (0..b)
+            .map(|i| {
+                let img_sum: f64 = data[i * per..(i + 1) * per].iter().sum();
+                let q_sum = queries[i].iter().sum::<usize>() as f64;
+                GroundingPrediction {
+                    bbox: BBox {
+                        x: q_sum,
+                        y: img_sum % 13.0,
+                        w: 5.0,
+                        h: 5.0,
+                    },
+                    score: ((q_sum + img_sum).sin()).abs(),
+                    attention: vec![q_sum, img_sum],
+                }
+            })
+            .collect()
+    }
+}
+
+/// A vocabulary covering the words the tests use.
+pub fn vocab() -> Vocab {
+    let toks =
+        tokenize("the a red blue green circle square triangle left right of above below item");
+    Vocab::build([toks.iter().map(String::as_str)], 1)
+}
+
+/// A 72x48 scene matching `ServeConfig::default()` dimensions.
+pub fn scene() -> Scene {
+    SceneBuilder::new(72, 48)
+        .object(ShapeKind::Circle, ColorName::Red, 10.0, 10.0, 12.0, 12.0)
+        .object(ShapeKind::Square, ColorName::Blue, 40.0, 20.0, 14.0, 14.0)
+        .build()
+}
+
+/// A second, different scene (different content hash).
+pub fn other_scene() -> Scene {
+    SceneBuilder::new(72, 48)
+        .object(ShapeKind::Triangle, ColorName::Green, 22.0, 8.0, 10.0, 10.0)
+        .build()
+}

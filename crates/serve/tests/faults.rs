@@ -1,0 +1,117 @@
+//! Fault tolerance: every accepted request is answered exactly once even
+//! when workers panic mid-batch, and the pool keeps serving afterwards.
+
+mod common;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use common::{scene, vocab, StubModel};
+use yollo_core::FaultPlan;
+use yollo_serve::{GroundingModel, ServeConfig, ServeError, Server};
+
+/// Wraps the stub model with a deterministic crash schedule: the N-th
+/// batch (globally, across all workers) panics if the plan says so.
+struct FaultyModel {
+    inner: StubModel,
+    plan: Arc<Mutex<FaultPlan>>,
+    batches: Arc<AtomicUsize>,
+}
+
+impl GroundingModel for FaultyModel {
+    fn predict_batch(
+        &self,
+        images: yollo_tensor::Tensor,
+        queries: &[Vec<usize>],
+    ) -> Vec<yollo_core::GroundingPrediction> {
+        let n = self.batches.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.plan.lock().unwrap().take_crash(n) {
+            panic!("injected crash before batch {n}");
+        }
+        self.inner.predict_batch(images, queries)
+    }
+}
+
+#[test]
+fn every_accepted_request_is_answered_despite_worker_panics() {
+    let plan = Arc::new(Mutex::new(FaultPlan::new().crash_before(2).crash_before(4)));
+    let batches = Arc::new(AtomicUsize::new(0));
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait_ns: 500_000, // 0.5 ms
+        queue_capacity: 64,
+        cache_capacity: 0, // no cache: every request must reach a worker
+        max_tokens: 6,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let (plan_f, batches_f) = (Arc::clone(&plan), Arc::clone(&batches));
+    let mut server = Server::start(cfg, vocab(), move || FaultyModel {
+        inner: StubModel::new(),
+        plan: Arc::clone(&plan_f),
+        batches: Arc::clone(&batches_f),
+    });
+
+    let s = scene();
+    let queries = [
+        "the red circle",
+        "the blue square",
+        "the green triangle",
+        "a red square",
+    ];
+    let responses: Vec<_> = (0..32)
+        .map(|i| {
+            server
+                .submit(&s, queries[i % queries.len()])
+                .expect("queue has room for the whole load")
+        })
+        .collect();
+
+    let mut ok = 0;
+    let mut failed = 0;
+    for r in responses {
+        match r.wait() {
+            Ok(_) => ok += 1,
+            Err(ServeError::WorkerFailed { detail }) => {
+                assert!(detail.contains("injected crash"), "unexpected: {detail}");
+                failed += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    assert_eq!(ok + failed, 32, "exactly one response per request");
+    assert!(failed > 0, "the crash schedule must have fired");
+    assert!(ok > 0, "the pool must keep serving after a panic");
+    assert!(
+        plan.lock().unwrap().is_empty(),
+        "both injected crashes fired"
+    );
+    assert_eq!(server.inflight(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_answers_pending_requests() {
+    let cfg = ServeConfig {
+        max_batch: 64,             // never fills
+        max_wait_ns: u64::MAX / 2, // deadline effectively never fires
+        queue_capacity: 8,
+        cache_capacity: 0,
+        max_tokens: 6,
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(cfg, vocab(), StubModel::new);
+    let s = scene();
+    let pending: Vec<_> = (0..3)
+        .map(|_| server.submit(&s, "the red circle").unwrap())
+        .collect();
+    server.shutdown();
+    for r in pending {
+        assert!(r.wait().is_ok(), "drain answers pending requests");
+    }
+    assert_eq!(
+        server.submit(&s, "the red circle").err(),
+        Some(ServeError::ShuttingDown)
+    );
+}

@@ -1,0 +1,71 @@
+//! End-to-end: the serving stack in front of a real (tiny) YOLLO model
+//! agrees exactly with direct single-request inference.
+
+use yollo_core::{Yollo, YolloConfig};
+use yollo_serve::{ServeConfig, Server, ServerCore};
+use yollo_synthref::{Dataset, DatasetConfig, DatasetKind};
+
+fn tiny() -> (Yollo, Dataset) {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+    let cfg = YolloConfig {
+        d_rel: 12,
+        ffn_hidden: 16,
+        n_rel2att: 1,
+        ..YolloConfig::for_dataset(&ds)
+    };
+    let mut model = Yollo::new(cfg, 1);
+    model.set_vocab(ds.build_vocab());
+    (model, ds)
+}
+
+#[test]
+fn served_predictions_match_direct_inference_exactly() {
+    let (model, ds) = tiny();
+    let scene = ds.scenes()[0].clone();
+    let query = "the red circle";
+    let expected = model.predict_scene_query(&scene, query);
+
+    let cfg = ServeConfig::for_model(model.config());
+    let vocab = model.vocab().clone();
+    let mut core = ServerCore::new(model, vocab, cfg);
+    let resp = core.submit(&scene, query).unwrap();
+    core.drain();
+    let served = resp.wait().unwrap();
+    assert_eq!(
+        served, expected,
+        "batched serving must be bit-identical to direct inference"
+    );
+}
+
+#[test]
+fn threaded_server_grounds_real_queries() {
+    let (model, ds) = tiny();
+    let model_cfg = model.config().clone();
+    let vocab = model.vocab().clone();
+    let ds_vocab = ds.build_vocab();
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait_ns: 200_000, // 0.2 ms
+        workers: 2,
+        ..ServeConfig::for_model(&model_cfg)
+    };
+    drop(model);
+    let server = Server::start(cfg, vocab, move || {
+        let mut m = Yollo::new(model_cfg.clone(), 1);
+        m.set_vocab(ds_vocab.clone());
+        m
+    });
+    let scenes: Vec<_> = ds.scenes().iter().take(2).cloned().collect();
+    let queries = ["the red circle", "the blue square"];
+    let responses: Vec<_> = (0..6)
+        .map(|i| {
+            server
+                .submit(&scenes[i % scenes.len()], queries[i % queries.len()])
+                .unwrap()
+        })
+        .collect();
+    for r in responses {
+        let pred = r.wait().expect("request grounded");
+        assert!(pred.bbox.w > 0.0 && pred.score.is_finite());
+    }
+}

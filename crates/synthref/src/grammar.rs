@@ -50,10 +50,10 @@ impl AttrSpec {
     fn matches(&self, scene: &Scene, idx: usize) -> bool {
         let o = &scene.objects[idx];
         o.kind == self.kind
-            && self.color.map_or(true, |c| o.color == c)
+            && self.color.is_none_or(|c| o.color == c)
             && self
                 .size
-                .map_or(true, |s| o.size_class(scene.median_area()) == s)
+                .is_none_or(|s| o.size_class(scene.median_area()) == s)
     }
 
     fn words(&self, out: &mut Vec<&'static str>) {
@@ -136,7 +136,9 @@ impl QuerySpec {
 
     /// The indices this query describes.
     pub fn referents(&self, scene: &Scene) -> Vec<usize> {
-        (0..scene.len()).filter(|&i| self.matches(scene, i)).collect()
+        (0..scene.len())
+            .filter(|&i| self.matches(scene, i))
+            .collect()
     }
 
     /// True when exactly `idx` matches.
@@ -393,7 +395,9 @@ mod tests {
             let mut count = 0usize;
             for scene in scenes(60, 9) {
                 for idx in 0..scene.len() {
-                    if let Some((_, s)) = gen.generate(&scene, idx, &mut StdRng::seed_from_u64(idx as u64)) {
+                    if let Some((_, s)) =
+                        gen.generate(&scene, idx, &mut StdRng::seed_from_u64(idx as u64))
+                    {
                         total += s.split_whitespace().count();
                         count += 1;
                     }

@@ -166,7 +166,7 @@ mod tests {
     fn softmax_and_log_softmax() {
         let mut r = rng();
         let x = Tensor::randn(&[2, 5], &mut r);
-        check_gradients(&[x.clone()], GradCheck::default(), |v| {
+        check_gradients(std::slice::from_ref(&x), GradCheck::default(), |v| {
             v[0].softmax_lastdim().square().sum_all()
         })
         .unwrap();
@@ -180,11 +180,11 @@ mod tests {
     fn reductions() {
         let mut r = rng();
         let x = Tensor::randn(&[3, 4], &mut r);
-        check_gradients(&[x.clone()], GradCheck::default(), |v| {
+        check_gradients(std::slice::from_ref(&x), GradCheck::default(), |v| {
             v[0].sum_axis(0).square().sum_all()
         })
         .unwrap();
-        check_gradients(&[x.clone()], GradCheck::default(), |v| {
+        check_gradients(std::slice::from_ref(&x), GradCheck::default(), |v| {
             v[0].mean_axis(1).square().sum_all()
         })
         .unwrap();
@@ -196,12 +196,12 @@ mod tests {
         let mut r = rng();
         let x = Tensor::randn(&[2, 4], &mut r);
         let t = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0], &[2, 4]);
-        check_gradients(&[x.clone()], GradCheck::default(), |v| {
+        check_gradients(std::slice::from_ref(&x), GradCheck::default(), |v| {
             v[0].bce_with_logits(&t)
         })
         .unwrap();
         let dist = Tensor::from_vec(vec![0.25, 0.25, 0.25, 0.25, 0.0, 0.5, 0.5, 0.0], &[2, 4]);
-        check_gradients(&[x.clone()], GradCheck::default(), |v| {
+        check_gradients(std::slice::from_ref(&x), GradCheck::default(), |v| {
             v[0].softmax_xent_rows(&dist)
         })
         .unwrap();
@@ -258,7 +258,7 @@ mod tests {
             Var::concat(&[v[0], v[1]], 1).square().sum_all()
         })
         .unwrap();
-        check_gradients(&[a.clone()], GradCheck::default(), |v| {
+        check_gradients(std::slice::from_ref(&a), GradCheck::default(), |v| {
             v[0].transpose().slice(0, 1, 2).square().sum_all()
         })
         .unwrap();
@@ -267,6 +267,59 @@ mod tests {
                 .gather_rows(&[0, 0, 5])
                 .square()
                 .sum_all()
+        })
+        .unwrap();
+    }
+
+    /// One GRU recurrence step, inlined from primitive ops exactly as
+    /// `yollo_nn::Gru::step` composes them: `z = σ(xWz + hUz)`,
+    /// `r = σ(xWr + hUr)`, `ĥ = tanh(xWh + (r⊙h)Uh)`,
+    /// `h' = h + z⊙(ĥ − h)`. Gradients flow into the input, the previous
+    /// state, and every weight block — including Uh, which enters through
+    /// the gated product `r⊙h`.
+    #[test]
+    fn gru_step_gradients() {
+        let mut r = rng();
+        let (batch, input, hidden) = (2, 3, 4);
+        let x = Tensor::randn(&[batch, input], &mut r);
+        let h = Tensor::randn(&[batch, hidden], &mut r);
+        let wx = Tensor::randn(&[input, 3 * hidden], &mut r);
+        let bx = Tensor::randn(&[3 * hidden], &mut r);
+        let wh = Tensor::randn(&[hidden, 3 * hidden], &mut r);
+        check_gradients(&[x, h, wx, bx, wh], GradCheck::default(), |v| {
+            let (x, h, wx, bx, wh) = (v[0], v[1], v[2], v[3], v[4]);
+            let gx = x.matmul(wx) + bx; // [b, 3H]
+            let gh = h.matmul(wh); // [b, 3H]
+            let z = (gx.slice(1, 0, hidden) + gh.slice(1, 0, hidden)).sigmoid();
+            let r = (gx.slice(1, hidden, hidden) + gh.slice(1, hidden, hidden)).sigmoid();
+            let uh = wh.slice(1, 2 * hidden, hidden); // [H, H]
+            let cand = (gx.slice(1, 2 * hidden, hidden) + (r * h).matmul(uh)).tanh();
+            (h + z * (cand - h)).square().sum_all()
+        })
+        .unwrap();
+    }
+
+    /// Layer normalisation with its affine parameters, inlined exactly as
+    /// `yollo_nn::LayerNorm::forward` composes it (mean/variance over the
+    /// last axis, `eps = 1e-5`, then `·γ + β`). Checks gradients through
+    /// the normalisation into x, γ, and β at the default 1e-6 tolerance.
+    #[test]
+    fn layernorm_affine_gradients() {
+        let mut r = rng();
+        let x = Tensor::randn(&[3, 5], &mut r);
+        let gamma = Tensor::randn(&[5], &mut r);
+        let beta = Tensor::randn(&[5], &mut r);
+        check_gradients(&[x, gamma, beta], GradCheck::default(), |v| {
+            let (x, gamma, beta) = (v[0], v[1], v[2]);
+            let dims = x.dims();
+            let axis = dims.len() - 1;
+            let mut keep = dims.clone();
+            keep[axis] = 1;
+            let mean = x.mean_axis(axis).reshape(&keep);
+            let centered = x - mean;
+            let var = centered.square().mean_axis(axis).reshape(&keep);
+            let normed = centered / var.add_scalar(1e-5).sqrt();
+            (normed * gamma + beta).square().sum_all()
         })
         .unwrap();
     }

@@ -10,6 +10,9 @@ use crate::parallel;
 use crate::tensor::{matmul_blocked, matmul_nt, matmul_tn};
 use crate::{Graph, Tensor, Var};
 
+// The named add/sub/mul/div/neg methods are the primitive autodiff API;
+// the std operator impls below delegate to them, not the other way round.
+#[allow(clippy::should_implement_trait)]
 impl<'g> Var<'g> {
     fn push(self, value: Tensor, back: BackFn) -> Var<'g> {
         let id = self.graph.push(value, Some(back));
@@ -739,7 +742,7 @@ mod tests {
         let x = g.leaf(Tensor::from_vec(vec![0.0, 2.0], &[2]));
         let t = Tensor::from_vec(vec![1.0, 0.0], &[2]);
         let loss = x.bce_with_logits(&t);
-        let expected = (0.5f64.ln() * -1.0 + (1.0 + (2.0f64).exp()).ln()) / 2.0;
+        let expected = (-(0.5f64.ln()) + (1.0 + (2.0f64).exp()).ln()) / 2.0;
         assert!(approx(loss.value().scalar(), expected, 1e-12));
         loss.backward();
         let gr = x.grad();

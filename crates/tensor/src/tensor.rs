@@ -1044,6 +1044,21 @@ impl_binop!(Sub, sub, |a, b| a - b);
 impl_binop!(Mul, mul, |a, b| a * b);
 impl_binop!(Div, div, |a, b| a / b);
 
+/// Standard-normal distribution via Box–Muller (avoids rand_distr dependency).
+struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1351,21 +1366,6 @@ mod tests {
             let a = Tensor::randn(&[m, n], &mut rng);
             let r = a.reduce_to(&[n]);
             prop_assert!((r.sum_all().scalar() - a.sum_all().scalar()).abs() < 1e-9);
-        }
-    }
-}
-
-/// Standard-normal distribution via Box–Muller (avoids rand_distr dependency).
-struct StandardNormal;
-
-impl Distribution<f64> for StandardNormal {
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        loop {
-            let u1: f64 = rng.gen::<f64>();
-            let u2: f64 = rng.gen::<f64>();
-            if u1 > f64::MIN_POSITIVE {
-                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-            }
         }
     }
 }

@@ -10,12 +10,15 @@ use yollo_tensor::Tensor;
 /// # Panics
 /// Panics if `dim` is zero or odd.
 pub fn sinusoidal_encoding(max_len: usize, dim: usize) -> Tensor {
-    assert!(dim > 0 && dim % 2 == 0, "dim must be positive and even");
+    assert!(
+        dim > 0 && dim.is_multiple_of(2),
+        "dim must be positive and even"
+    );
     Tensor::from_fn(&[max_len, dim], |flat| {
         let pos = (flat / dim) as f64;
         let i = flat % dim;
         let freq = 1.0 / 10_000f64.powf((i / 2 * 2) as f64 / dim as f64);
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             (pos * freq).sin()
         } else {
             (pos * freq).cos()
@@ -47,9 +50,7 @@ mod tests {
         let e = sinusoidal_encoding(10, 8);
         for a in 0..10 {
             for b in (a + 1)..10 {
-                let d: f64 = (0..8)
-                    .map(|j| (e.at(&[a, j]) - e.at(&[b, j])).abs())
-                    .sum();
+                let d: f64 = (0..8).map(|j| (e.at(&[a, j]) - e.at(&[b, j])).abs()).sum();
                 assert!(d > 1e-6, "rows {a} and {b} identical");
             }
         }

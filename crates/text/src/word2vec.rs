@@ -92,11 +92,10 @@ impl Word2Vec {
                 for (pos, &center) in sent.iter().enumerate() {
                     let lo = pos.saturating_sub(cfg.window);
                     let hi = (pos + cfg.window + 1).min(sent.len());
-                    for ctx_pos in lo..hi {
+                    for (ctx_pos, &context) in sent.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == pos {
                             continue;
                         }
-                        let context = sent[ctx_pos];
                         // positive update + negatives
                         let mut grad_in = vec![0.0; d];
                         for k in 0..=cfg.negatives {
@@ -115,14 +114,14 @@ impl Word2Vec {
                             }
                             let pred = 1.0 / (1.0 + (-dot).exp());
                             let g = cfg.lr * (pred - label);
-                            for j in 0..d {
-                                grad_in[j] += g * model.output[to + j];
+                            for (j, gi) in grad_in.iter_mut().enumerate() {
+                                *gi += g * model.output[to + j];
                                 model.output[to + j] -= g * model.input[ci + j];
                             }
                         }
                         let ci = center * d;
-                        for j in 0..d {
-                            model.input[ci + j] -= grad_in[j];
+                        for (j, &gi) in grad_in.iter().enumerate() {
+                            model.input[ci + j] -= gi;
                         }
                     }
                 }
@@ -250,7 +249,10 @@ mod tests {
         let w2v = Word2Vec::train(&corpus, 10, Word2VecConfig::default(), &mut rng);
         let top = w2v.most_similar(2, 3);
         assert_eq!(top.len(), 3);
-        assert_eq!(top[0].0, 3, "expected word 3 as nearest neighbour of 2: {top:?}");
+        assert_eq!(
+            top[0].0, 3,
+            "expected word 3 as nearest neighbour of 2: {top:?}"
+        );
         // sorted descending
         assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
     }

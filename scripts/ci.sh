@@ -23,6 +23,35 @@ if grep -rn --include='*.rs' '#\[ignore' crates/core/tests crates/core/src/fault
     exit 1
 fi
 
+echo "== serve: batching, fault and determinism suites =="
+# virtual-clock flush exactness, backpressure, cache identity, worker-panic
+# isolation and the 100-run determinism fingerprint — run explicitly so a
+# filtered-out suite fails loudly
+cargo test -q -p yollo-serve
+
+echo "== serve: load-test smoke =="
+YOLLO_SCALE=tiny cargo run --release -q -p yollo-bench --bin exp_serve
+python3 - <<'EOF'
+import json
+with open("BENCH_serve.json") as f:
+    bench = json.load(f)
+assert bench["serial"]["throughput_rps"] > 0, "serial throughput must be nonzero"
+assert bench["loads"], "at least one offered load"
+for load in bench["loads"]:
+    assert load["throughput_rps"] > 0, "batched throughput must be nonzero"
+    assert load["requests"] > 0 and load["worker_panics"] == 0
+print("BENCH_serve.json ok:",
+      ", ".join(f"{l['offered_load']}/cache-{l['cache']}->{l['throughput_rps']:.1f} rps"
+                for l in bench["loads"]))
+EOF
+
+echo "== serve: no stray printing in the serving crate =="
+# the serve crate must never write to stdout; responses travel on channels
+if grep -rn --include='*.rs' 'println!' crates/serve/src; then
+    echo "error: println! in crates/serve/src" >&2
+    exit 1
+fi
+
 echo "== obs: compiled-out feature builds =="
 # the telemetry crate must work with its probes compiled out, and the
 # tensor crate must pass its overhead guard in that configuration
@@ -42,10 +71,10 @@ if grep -rn --include='*.rs' 'println!' crates/obs/src; then
     exit 1
 fi
 
-echo "== rustfmt (tensor, nn, core, obs) =="
-cargo fmt --check -p yollo-tensor -p yollo-nn -p yollo-core -p yollo-obs
+echo "== rustfmt (tensor, nn, core, obs, serve) =="
+cargo fmt --check -p yollo-tensor -p yollo-nn -p yollo-core -p yollo-obs -p yollo-serve
 
-echo "== clippy -D warnings (tensor, nn, core, obs) =="
-cargo clippy -p yollo-tensor -p yollo-nn -p yollo-core -p yollo-obs --all-targets -- -D warnings
+echo "== clippy -D warnings (tensor, nn, core, obs, serve) =="
+cargo clippy -p yollo-tensor -p yollo-nn -p yollo-core -p yollo-obs -p yollo-serve --all-targets -- -D warnings
 
 echo "ci.sh: all gates passed"

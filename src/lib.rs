@@ -35,6 +35,7 @@ pub use yollo_detect as detect;
 pub use yollo_eval as eval;
 pub use yollo_nn as nn;
 pub use yollo_obs as obs;
+pub use yollo_serve as serve;
 pub use yollo_synthref as synthref;
 pub use yollo_tensor as tensor;
 pub use yollo_text as text;
@@ -50,6 +51,7 @@ pub mod prelude {
     pub use yollo_detect::{AnchorGrid, AnchorSpec, BBox, MatchConfig};
     pub use yollo_eval::{time_inference, IouMetrics, Table};
     pub use yollo_nn::{Adam, Binder, Module, Optimizer};
+    pub use yollo_serve::{ServeConfig, ServeError, Server};
     pub use yollo_synthref::{
         Dataset, DatasetConfig, DatasetKind, GroundingSample, Scene, SceneConfig, Split,
     };
