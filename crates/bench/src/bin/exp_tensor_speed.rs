@@ -8,8 +8,8 @@
 
 use std::time::Instant;
 use yollo_tensor::{
-    conv2d_forward, im2col_into, matmul_blocked, matmul_naive, parallel, Conv2dSpec, ConvScratch,
-    Tensor,
+    conv2d_forward, im2col_into, matmul_blocked, matmul_naive, matmul_nt, matmul_tn, parallel,
+    Conv2dSpec, ConvScratch, Graph, TapeArena, Tensor,
 };
 
 struct Record {
@@ -81,6 +81,97 @@ fn main() {
         }
     }
 
+    // --- matmul backward: materialised-transpose reference vs the fused
+    // nt/tn kernels the tape actually uses (∂A = ∂Y·Bᵀ, ∂B = Aᵀ·∂Y) ---
+    for &(m, k, n) in &[(64usize, 256usize, 64usize), (256, 1024, 256)] {
+        let a = randn_vec(m * k, 29);
+        let b = randn_vec(k * n, 31);
+        let gy = randn_vec(m * n, 37);
+        let shape = format!("{m}x{k}x{n}");
+        let mut ga = vec![0.0; m * k];
+        let mut gb = vec![0.0; k * n];
+
+        // pre-optimisation strategy: transpose each operand into a scratch
+        // buffer, then run the plain blocked kernel on the copies
+        let mut bt = vec![0.0; n * k];
+        let mut at = vec![0.0; k * m];
+        let ns = time_ns(reps, || {
+            for r in 0..k {
+                for c in 0..n {
+                    bt[c * k + r] = b[r * n + c];
+                }
+            }
+            ga.fill(0.0);
+            matmul_blocked(&gy, &bt, &mut ga, m, n, k, 1);
+            for r in 0..m {
+                for c in 0..k {
+                    at[c * m + r] = a[r * k + c];
+                }
+            }
+            gb.fill(0.0);
+            matmul_blocked(&at, &gy, &mut gb, k, m, n, 1);
+        });
+        push("matmul_bwd_transposed", shape.clone(), 1, ns);
+
+        for &threads in &[1usize, ambient] {
+            let ns = time_ns(reps, || {
+                ga.fill(0.0);
+                matmul_nt(&gy, &b, &mut ga, m, n, k, threads);
+                gb.fill(0.0);
+                matmul_tn(&a, &gy, &mut gb, m, k, n, threads);
+            });
+            push("matmul_bwd_fused", shape.clone(), threads, ns);
+            if threads == ambient {
+                break;
+            }
+        }
+    }
+
+    // --- full tape round trip: forward + backward through Graph, with a
+    // fresh tape per iteration vs an arena recycling tape buffers ---
+    {
+        let (m, k, n) = (128usize, 256usize, 128usize);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(41);
+        let ta = Tensor::randn(&[m, k], &mut rng);
+        let tb = Tensor::randn(&[k, n], &mut rng);
+        let shape = format!("{m}x{k}x{n}");
+
+        let ns = time_ns(reps, || {
+            let g = Graph::new();
+            let a = g.leaf(ta.clone());
+            let b = g.leaf(tb.clone());
+            a.matmul(b).sum_all().backward();
+            std::hint::black_box(g.len());
+        });
+        push("matmul_fwd_bwd", shape.clone(), ambient, ns);
+
+        let arena = TapeArena::new();
+        let ns = time_ns(reps, || {
+            let g = Graph::with_arena(arena.clone());
+            let a = g.leaf(ta.clone());
+            let b = g.leaf(tb.clone());
+            a.matmul(b).sum_all().backward();
+            std::hint::black_box(g.len());
+        });
+        push("matmul_fwd_bwd_arena", shape, ambient, ns);
+    }
+
+    // --- conv2d forward + backward through the tape ---
+    {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(43);
+        let x = Tensor::randn(&[2, 8, 16, 16], &mut rng);
+        let w = Tensor::randn(&[16, 8, 3, 3], &mut rng);
+        let spec = Conv2dSpec { stride: 1, pad: 1 };
+        let ns = time_ns(reps, || {
+            let g = Graph::new();
+            let xv = g.leaf(x.clone());
+            let wv = g.leaf(w.clone());
+            xv.conv2d(wv, spec).sum_all().backward();
+            std::hint::black_box(g.len());
+        });
+        push("conv2d_fwd_bwd", "2x8x16x16_o16".to_string(), ambient, ns);
+    }
+
     // --- batched matmul through the public Tensor API ---
     {
         let (bt, m, k, n) = (8usize, 64usize, 256usize, 64usize);
@@ -140,6 +231,15 @@ fn main() {
         println!(
             "256x1024x256 blocked speedup vs naive: {:.2}x",
             naive / blocked
+        );
+    }
+    if let (Some(transposed), Some(fused)) = (
+        ns_of("matmul_bwd_transposed", "256x1024x256"),
+        ns_of("matmul_bwd_fused", "256x1024x256"),
+    ) {
+        println!(
+            "256x1024x256 fused backward speedup vs transposed: {:.2}x",
+            transposed / fused
         );
     }
 

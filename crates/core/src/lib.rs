@@ -49,6 +49,7 @@ mod model;
 mod rel2att;
 mod rng;
 mod train;
+mod train_parallel;
 
 pub use batch::{
     encode_query_strict, normalize_query, scene_hash, stack_images, QueryTooLong, RequestKey,

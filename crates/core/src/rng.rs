@@ -46,6 +46,18 @@ impl TrainRng {
     pub fn state(&self) -> [u64; 4] {
         self.s
     }
+
+    /// Deals an independent child generator off this stream.
+    ///
+    /// Consumes exactly one `u64` of the parent stream and expands it
+    /// through SplitMix64 (the same initialisation as
+    /// [`TrainRng::seed_from_u64`]), so the parent's consumption per fork
+    /// is fixed — the property the data-parallel trainer's bit-for-bit
+    /// resume rests on — and the child's stream is decorrelated from the
+    /// parent's continuation.
+    pub fn fork(&mut self) -> TrainRng {
+        TrainRng::seed_from_u64(self.next_u64())
+    }
 }
 
 impl RngCore for TrainRng {
@@ -159,6 +171,19 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..20).collect::<Vec<_>>());
         assert_ne!(v, sorted, "20 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn fork_consumes_one_draw_and_decorrelates() {
+        let mut a = TrainRng::seed_from_u64(5);
+        let mut b = TrainRng::seed_from_u64(5);
+        let mut child = a.fork();
+        let skip = b.next_u64(); // fork costs exactly one parent draw
+        assert_eq!(a.state(), b.state());
+        assert_eq!(child.state(), TrainRng::seed_from_u64(skip).state());
+        let cs: Vec<u64> = (0..16).map(|_| child.next_u64()).collect();
+        let ps: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        assert_ne!(cs, ps, "child must not mirror the parent stream");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!   chosen steps or "crashes" the run, which is how all of the above is
 //!   tested (see `tests/fault_tolerance.rs` and `exp_fault_tolerance`).
 
+use crate::train_parallel::{ShardPool, ShardTask};
 use crate::{FaultPlan, LossParts, TrainRng, Yollo};
 use rand::seq::SliceRandom;
 use serde::{Deserialize, Serialize};
@@ -88,6 +89,13 @@ pub struct TrainConfig {
     pub pretrain_backbone_steps: usize,
     /// RNG seed for batching/anchor sampling.
     pub seed: u64,
+    /// Data-parallel shards per training step. `1` (the default) is the
+    /// serial trainer; `n > 1` splits every batch into `n` contiguous
+    /// shards whose forward/backward run on replica worker threads (see
+    /// the crate docs on determinism: results depend on `num_shards` but
+    /// never on how many threads service the shards).
+    #[serde(default = "default_num_shards")]
+    pub num_shards: usize,
     /// Snapshot the full training state every this many iterations when a
     /// checkpoint directory is in use (0 = final snapshot only).
     #[serde(default)]
@@ -104,6 +112,10 @@ fn default_keep_last() -> usize {
     3
 }
 
+fn default_num_shards() -> usize {
+    1
+}
+
 impl Default for TrainConfig {
     fn default() -> Self {
         TrainConfig {
@@ -116,6 +128,7 @@ impl Default for TrainConfig {
             word2vec_init: true,
             pretrain_backbone_steps: 40,
             seed: 0,
+            num_shards: default_num_shards(),
             checkpoint_every: 50,
             keep_last: default_keep_last(),
             recovery: RecoveryPolicy::default(),
@@ -329,6 +342,7 @@ fn invalid(msg: String) -> io::Error {
 pub struct Trainer {
     cfg: TrainConfig,
     plan: FaultPlan,
+    worker_threads: Option<usize>,
 }
 
 impl Trainer {
@@ -337,6 +351,7 @@ impl Trainer {
         Trainer {
             cfg,
             plan: FaultPlan::new(),
+            worker_threads: None,
         }
     }
 
@@ -344,6 +359,21 @@ impl Trainer {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.plan = plan;
+        self
+    }
+
+    /// Pins the number of shard-worker threads the data-parallel trainer
+    /// may use (default: `min(num_shards, ambient pool width)`). This is a
+    /// wall-clock knob only — the determinism contract guarantees the
+    /// trained weights are bit-identical for every value of it. Ignored
+    /// when `num_shards <= 1`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn with_worker_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "worker thread count must be positive");
+        self.worker_threads = Some(n);
         self
     }
 
@@ -446,6 +476,11 @@ impl Trainer {
         if ours.clip_norm != saved.clip_norm {
             return mismatch("clip_norm");
         }
+        if ours.num_shards != saved.num_shards {
+            // sharding changes the step's floating-point trajectory, so a
+            // resume under a different shard count would silently diverge
+            return mismatch("num_shards");
+        }
         Ok(())
     }
 
@@ -527,6 +562,19 @@ impl Trainer {
             }
         }
 
+        // data-parallel shard pool: one long-lived replica thread per
+        // worker. The serial path (num_shards <= 1) never touches it and
+        // keeps its exact pre-existing step trajectory.
+        let pool = if cfg.num_shards > 1 {
+            let workers = self
+                .worker_threads
+                .unwrap_or_else(yollo_tensor::parallel::num_threads)
+                .clamp(1, cfg.num_shards);
+            Some(ShardPool::spawn(model.config(), model.vocab(), workers))
+        } else {
+            None
+        };
+
         // fixed validation subsample for comparable mid-training evals;
         // drawn from a dedicated seed stream so it is identical on resume
         // without consuming the training rng
@@ -557,20 +605,49 @@ impl Trainer {
             let _step_span = yollo_obs::span!("train.step");
             let _step_lat = yollo_obs::time_hist!("train.step_ns");
             let batch = ds.sample_batch(cfg.batch_size, &mut rng);
-            let (images, queries, targets) = model.encode_batch(ds, &batch);
-            let g = Graph::new();
-            let bind = Binder::new(&g);
-            let out = model.forward(&bind, g.leaf(images), &queries);
-            let (loss, mut parts) = {
-                let _s = yollo_obs::span!("train.loss");
-                model.loss(&bind, &out, &targets, &mut rng)
-            };
             opt.zero_grad();
-            {
+            let mut parts = if let Some(pool) = &pool {
+                // fork every shard's rng off the training stream up front:
+                // consumption per step is fixed by the config alone, which
+                // is what lets a resumed run replay the same forks
+                let shards = cfg.num_shards.min(batch.len()).max(1);
+                let forks: Vec<TrainRng> = (0..shards).map(|_| rng.fork()).collect();
+                let (base, rem) = (batch.len() / shards, batch.len() % shards);
+                let mut tasks = Vec::with_capacity(shards);
+                let mut start = 0usize;
+                for (i, fork) in forks.into_iter().enumerate() {
+                    let len = base + usize::from(i < rem);
+                    let shard = &batch[start..start + len];
+                    start += len;
+                    let (images, queries, targets) = model.encode_batch(ds, shard);
+                    tasks.push(ShardTask {
+                        index: i,
+                        images,
+                        queries,
+                        targets,
+                        rng: fork,
+                        weight: len as f64 / batch.len() as f64,
+                    });
+                }
+                let weights: Vec<Tensor> = params.iter().map(Parameter::value).collect();
                 let _s = yollo_obs::span!("train.backward");
-                loss.backward();
-                bind.harvest();
-            }
+                pool.step(&params, weights, tasks)
+            } else {
+                let (images, queries, targets) = model.encode_batch(ds, &batch);
+                let g = Graph::new();
+                let bind = Binder::new(&g);
+                let out = model.forward(&bind, g.leaf(images), &queries);
+                let (loss, parts) = {
+                    let _s = yollo_obs::span!("train.loss");
+                    model.loss(&bind, &out, &targets, &mut rng)
+                };
+                {
+                    let _s = yollo_obs::span!("train.backward");
+                    loss.backward();
+                    bind.harvest();
+                }
+                parts
+            };
             if plan.take_nan(it) {
                 // poison the step the way a divergence would: non-finite
                 // loss and at least one non-finite gradient

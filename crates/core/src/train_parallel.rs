@@ -1,0 +1,232 @@
+//! Data-parallel gradient computation: one model replica per worker thread.
+//!
+//! The autodiff tape ([`yollo_tensor::Graph`]) is single-threaded by
+//! design, so training parallelises *across* tapes: each step the batch is
+//! split into `num_shards` contiguous shards, every shard runs its own
+//! forward + backward on a private tape inside a long-lived worker thread,
+//! and the per-parameter shard gradients are reduced on the main thread.
+//!
+//! # Determinism contract
+//!
+//! For a fixed [`crate::TrainConfig`] (including `num_shards`), the
+//! resulting weights are **bit-identical regardless of how many worker
+//! threads service the shards**:
+//!
+//! - every worker pins intra-op parallelism to one thread
+//!   ([`yollo_tensor::parallel::with_threads`]), so a shard's floating-point
+//!   work never depends on the machine's core count;
+//! - each shard draws its anchor-sampling RNG from a per-shard seed the
+//!   main thread dealt out of the training RNG stream (fixed consumption:
+//!   exactly `num_shards` draws per step, so checkpoint resume replays the
+//!   same seeds);
+//! - the reduction folds shard gradients into the parameters in ascending
+//!   shard order, one shard at a time, on the main thread.
+//!
+//! Shard-to-worker assignment is static (`shard i → worker i mod W`), but
+//! because each shard's computation is self-contained and the reduction
+//! order is fixed, assignment affects wall-clock only, never bits. The
+//! serial trainer (`num_shards <= 1`) does not go through this module at
+//! all and keeps its exact pre-existing trajectory.
+//!
+//! Replicas are built once per run from the model's config + vocabulary
+//! (both plain `Send` data — [`yollo_nn::Parameter`] itself is `Rc`-based
+//! and never crosses a thread); weights are broadcast to workers each step
+//! as an `Arc<Vec<Tensor>>` snapshot.
+
+use crate::{LossParts, TrainRng, Yollo, YolloConfig};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use yollo_detect::BBox;
+use yollo_nn::{Binder, Module, Parameter};
+use yollo_tensor::{parallel, Graph, TapeArena, Tensor};
+use yollo_text::Vocab;
+
+/// One shard of a training batch, ready for a worker.
+pub(crate) struct ShardTask {
+    /// Shard index in `0..num_shards`; fixes the reduction order.
+    pub index: usize,
+    /// Rendered scenes `[n, C, H, W]` for this shard's samples.
+    pub images: Tensor,
+    /// Padded query token ids, one row per sample.
+    pub queries: Vec<Vec<usize>>,
+    /// Ground-truth boxes, one per sample.
+    pub targets: Vec<BBox>,
+    /// This shard's private anchor-sampling RNG, forked off the training
+    /// stream by the main thread.
+    pub rng: TrainRng,
+    /// This shard's fraction of the batch (`n / batch_size`); scales its
+    /// gradients and loss parts in the reduction.
+    pub weight: f64,
+}
+
+/// What a worker sends back per shard.
+struct ShardResult {
+    grads: Vec<Tensor>,
+    parts: LossParts,
+    weight: f64,
+}
+
+enum WorkerMsg {
+    Step {
+        weights: Arc<Vec<Tensor>>,
+        tasks: Vec<ShardTask>,
+    },
+    Shutdown,
+}
+
+/// A persistent pool of model-replica worker threads for one training run.
+pub(crate) struct ShardPool {
+    txs: Vec<Sender<WorkerMsg>>,
+    rx: Receiver<(usize, ShardResult)>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl ShardPool {
+    /// Spawns `workers` replica threads (each builds its own [`Yollo`] from
+    /// `cfg` + `vocab`; the random init is overwritten by the first
+    /// broadcast).
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` or a thread fails to spawn.
+    pub fn spawn(cfg: &YolloConfig, vocab: &Vocab, workers: usize) -> ShardPool {
+        assert!(workers >= 1, "shard pool needs at least one worker");
+        let (res_tx, res_rx) = channel();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<WorkerMsg>();
+            let (cfg, vocab, res) = (cfg.clone(), vocab.clone(), res_tx.clone());
+            let handle = std::thread::Builder::new()
+                .name(format!("yollo-shard-{w}"))
+                .spawn(move || worker_loop(cfg, vocab, rx, res))
+                .expect("failed to spawn shard worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        ShardPool {
+            txs,
+            rx: res_rx,
+            handles,
+            workers,
+        }
+    }
+
+    /// Runs one data-parallel step: broadcasts `weights`, executes `tasks`
+    /// across the pool, then folds each shard's gradients into `params`
+    /// (which the caller has zeroed) in ascending shard order. Returns the
+    /// shard-weighted loss parts.
+    ///
+    /// # Panics
+    /// Panics if a worker has died.
+    pub fn step(
+        &self,
+        params: &[Parameter],
+        weights: Vec<Tensor>,
+        tasks: Vec<ShardTask>,
+    ) -> LossParts {
+        let n = tasks.len();
+        assert!(n >= 1, "a step needs at least one shard");
+        let weights = Arc::new(weights);
+        let mut per_worker: Vec<Vec<ShardTask>> = (0..self.workers).map(|_| Vec::new()).collect();
+        for t in tasks {
+            per_worker[t.index % self.workers].push(t);
+        }
+        for (w, batch) in per_worker.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.txs[w]
+                    .send(WorkerMsg::Step {
+                        weights: weights.clone(),
+                        tasks: batch,
+                    })
+                    .expect("shard worker hung up");
+            }
+        }
+        let mut results: Vec<Option<ShardResult>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (idx, res) = self.rx.recv().expect("shard worker died mid-step");
+            results[idx] = Some(res);
+        }
+        // fixed reduction order: ascending shard index, whole shards at a
+        // time — this is what makes the result worker-count independent
+        let _lat = yollo_obs::time_hist!("train.reduce_ns");
+        let _span = yollo_obs::span!("train.reduce");
+        let mut parts = LossParts::default();
+        for res in results
+            .into_iter()
+            .map(|r| r.expect("every shard reports once"))
+        {
+            for (p, g) in params.iter().zip(&res.grads) {
+                p.accumulate_grad_scaled(g, res.weight);
+            }
+            parts.att += res.weight * res.parts.att;
+            parts.cls += res.weight * res.parts.cls;
+            parts.reg += res.weight * res.parts.reg;
+            parts.total += res.weight * res.parts.total;
+        }
+        parts
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        for tx in &self.txs {
+            // a dead worker already dropped its receiver; nothing to signal
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    cfg: YolloConfig,
+    vocab: Vocab,
+    rx: Receiver<WorkerMsg>,
+    out: Sender<(usize, ShardResult)>,
+) {
+    // the replica and its tape arena live for the whole run; weights are
+    // refreshed by every broadcast, so the init seed is irrelevant
+    let mut model = Yollo::new(cfg, 0);
+    model.set_vocab(vocab);
+    let replica_params = model.parameters();
+    let arena = TapeArena::new();
+    while let Ok(msg) = rx.recv() {
+        let WorkerMsg::Step { weights, tasks } = msg else {
+            break;
+        };
+        // pin intra-op fan-out to one thread: shard math must not depend
+        // on how many cores the machine has (and W replicas running
+        // multi-threaded ops would oversubscribe it anyway)
+        parallel::with_threads(1, || {
+            for (p, w) in replica_params.iter().zip(weights.iter()) {
+                p.set_value(w.clone());
+            }
+            for task in tasks {
+                let _lat = yollo_obs::time_hist!("train.shard_ns");
+                let _span = yollo_obs::span!("train.shard");
+                for p in &replica_params {
+                    p.zero_grad();
+                }
+                let mut rng = task.rng.clone();
+                let g = Graph::with_arena(arena.clone());
+                let bind = Binder::new(&g);
+                let fwd = model.forward(&bind, g.leaf(task.images), &task.queries);
+                let (loss, parts) = model.loss(&bind, &fwd, &task.targets, &mut rng);
+                loss.backward();
+                bind.harvest();
+                let grads = replica_params.iter().map(Parameter::grad).collect();
+                let result = ShardResult {
+                    grads,
+                    parts,
+                    weight: task.weight,
+                };
+                if out.send((task.index, result)).is_err() {
+                    return; // main thread is gone; shut down quietly
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,201 @@
+//! Data-parallel trainer determinism: for a fixed `num_shards`, training is
+//! bit-identical no matter how many worker threads service the shards, and
+//! the PR-2 crash/resume bit-equality guarantee carries over to the
+//! parallel trainer.
+
+use std::path::PathBuf;
+
+use yollo_core::{FaultPlan, TrainConfig, TrainLog, Trainer, Yollo, YolloConfig};
+use yollo_nn::Module;
+use yollo_synthref::{Dataset, DatasetConfig, DatasetKind};
+
+fn tiny_setup() -> (Yollo, Dataset) {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 0));
+    let cfg = YolloConfig {
+        d_rel: 12,
+        ffn_hidden: 16,
+        n_rel2att: 1,
+        ..YolloConfig::for_dataset(&ds)
+    };
+    let mut m = Yollo::new(cfg, 1);
+    m.set_vocab(ds.build_vocab());
+    (m, ds)
+}
+
+fn cfg(num_shards: usize) -> TrainConfig {
+    TrainConfig {
+        iterations: 6,
+        eval_every: 3,
+        num_shards,
+        ..TrainConfig::quick() // batch 4, no pre-training
+    }
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("yollo_pt_{}_{}", name, std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Every weight of every parameter, as raw bits.
+fn weight_bits(model: &Yollo) -> Vec<Vec<u64>> {
+    model
+        .parameters()
+        .iter()
+        .map(|p| p.value().as_slice().iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+fn assert_logs_bit_equal(a: &TrainLog, b: &TrainLog, what: &str) {
+    assert_eq!(a.points.len(), b.points.len(), "{what}: point counts");
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(
+            x.loss.total.to_bits(),
+            y.loss.total.to_bits(),
+            "{what}: loss diverged at iteration {}",
+            x.iteration
+        );
+        assert_eq!(
+            x.val_acc.map(f64::to_bits),
+            y.val_acc.map(f64::to_bits),
+            "{what}: val_acc diverged at iteration {}",
+            x.iteration
+        );
+    }
+}
+
+/// The determinism contract: with `num_shards` fixed, 1, 2 and 4 worker
+/// threads produce bit-identical weights, gradients and training curves.
+#[test]
+fn worker_thread_count_never_changes_the_bits() {
+    let run = |workers: usize| {
+        let (mut model, ds) = tiny_setup();
+        let log = Trainer::new(cfg(4))
+            .with_worker_threads(workers)
+            .train(&mut model, &ds);
+        (weight_bits(&model), log)
+    };
+    let (w1, log1) = run(1);
+    let (w2, log2) = run(2);
+    let (w4, log4) = run(4);
+    assert_eq!(w1, w2, "1 vs 2 worker threads");
+    assert_eq!(w1, w4, "1 vs 4 worker threads");
+    assert_logs_bit_equal(&log1, &log2, "1 vs 2 worker threads");
+    assert_logs_bit_equal(&log1, &log4, "1 vs 4 worker threads");
+}
+
+/// Per-step gradients are bit-identical across worker-thread counts: after
+/// exactly one optimiser step (whose input is the reduced gradient), the
+/// weights agree bit-for-bit at 1, 2 and 4 threads.
+#[test]
+fn single_step_gradients_are_bitwise_thread_count_independent() {
+    let one_step = |workers: usize| {
+        let (mut model, ds) = tiny_setup();
+        let mut c = cfg(4);
+        c.iterations = 1;
+        c.eval_every = 0;
+        Trainer::new(c)
+            .with_worker_threads(workers)
+            .train(&mut model, &ds);
+        weight_bits(&model)
+    };
+    let (g1, g2, g4) = (one_step(1), one_step(2), one_step(4));
+    assert_eq!(g1, g2, "reduced gradient diverged at 2 threads");
+    assert_eq!(g1, g4, "reduced gradient diverged at 4 threads");
+}
+
+/// The parallel trainer still trains: loss drops over a short run.
+#[test]
+fn parallel_training_reduces_loss() {
+    let (mut model, ds) = tiny_setup();
+    let log = Trainer::new(TrainConfig {
+        iterations: 30,
+        eval_every: 0,
+        num_shards: 2,
+        batch_size: 4,
+        word2vec_init: false,
+        pretrain_backbone_steps: 0,
+        ..TrainConfig::default()
+    })
+    .train(&mut model, &ds);
+    let (early, late) = (log.early_loss(5).unwrap(), log.late_loss(5).unwrap());
+    assert!(late < early, "loss did not drop: {early} -> {late}");
+}
+
+/// More shards than samples: the shard count clamps to the batch size
+/// instead of scheduling empty shards.
+#[test]
+fn shard_count_clamps_to_batch_size() {
+    let (mut model, ds) = tiny_setup();
+    let mut c = cfg(16); // batch_size is 4
+    c.iterations = 2;
+    c.eval_every = 0;
+    let log = Trainer::new(c).train(&mut model, &ds);
+    assert_eq!(log.points.len(), 2);
+    assert!(log.points.iter().all(|p| p.loss.total.is_finite()));
+}
+
+/// PR-2 guarantee under the parallel trainer: a run crashed mid-way and
+/// resumed from its checkpoint is bit-identical to one that never stopped —
+/// even when the resumed run uses a different worker-thread count.
+#[test]
+fn parallel_resume_after_crash_is_bit_identical() {
+    let dir = fresh_dir("resume");
+    let config = TrainConfig {
+        checkpoint_every: 2,
+        ..cfg(2)
+    };
+
+    let (mut uninterrupted, ds) = tiny_setup();
+    let full = Trainer::new(config)
+        .with_worker_threads(2)
+        .train(&mut uninterrupted, &ds);
+
+    let (mut crashed, ds2) = tiny_setup();
+    let outcome = Trainer::new(config)
+        .with_fault_plan(FaultPlan::new().crash_before(5))
+        .with_worker_threads(2)
+        .train_checkpointed(&mut crashed, &ds2, &dir)
+        .unwrap();
+    assert_eq!(outcome.interrupted_at, Some(5));
+
+    // resume with a different thread count: bits must not change
+    let (mut resumed, ds3) = tiny_setup();
+    let resumed_outcome = Trainer::new(config)
+        .with_worker_threads(1)
+        .resume(&mut resumed, &ds3, &dir)
+        .unwrap();
+    assert_eq!(resumed_outcome.resumed_from, Some(4));
+    assert_logs_bit_equal(&full, &resumed_outcome.log, "resume vs uninterrupted");
+    assert_eq!(
+        weight_bits(&uninterrupted),
+        weight_bits(&resumed),
+        "resumed weights diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resuming under a different `num_shards` is refused: sharding is part of
+/// the floating-point trajectory, so continuing silently would diverge.
+#[test]
+fn resume_rejects_shard_count_change() {
+    let dir = fresh_dir("reject");
+    let (mut model, ds) = tiny_setup();
+    Trainer::new(TrainConfig {
+        checkpoint_every: 2,
+        ..cfg(2)
+    })
+    .train_checkpointed(&mut model, &ds, &dir)
+    .unwrap();
+
+    let (mut other, ds2) = tiny_setup();
+    let err = Trainer::new(cfg(4))
+        .resume(&mut other, &ds2, &dir)
+        .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("num_shards"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -49,12 +49,17 @@ impl<'g> Binder<'g> {
         v
     }
 
-    /// Copies every bound parameter's tape gradient back into the parameter
-    /// (accumulating with whatever is already there).
+    /// Folds every bound parameter's tape gradient back into the parameter
+    /// (accumulating with whatever is already there). Reads the tape grads
+    /// in place — no clone per parameter — and skips parameters the
+    /// backward pass never reached.
     pub fn harvest(&self) {
         for (id, p) in self.bound.borrow().iter() {
-            let g = self.graph.var_by_index(*id).grad();
-            p.accumulate_grad(&g);
+            self.graph.var_by_index(*id).with_grad(|g| {
+                if let Some(g) = g {
+                    p.accumulate_grad(g);
+                }
+            });
         }
     }
 

@@ -89,6 +89,16 @@ impl Parameter {
         self.inner.borrow_mut().grad.add_assign(g);
     }
 
+    /// Adds `scale * g` into the accumulated gradient in one fused pass
+    /// (no scaled temporary). The data-parallel trainer reduces shard
+    /// gradients with this, folding in each shard's batch-fraction weight.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn accumulate_grad_scaled(&self, g: &Tensor, scale: f64) {
+        self.inner.borrow_mut().grad.add_scaled_assign(g, scale);
+    }
+
     /// Clears the accumulated gradient to zero.
     pub fn zero_grad(&self) {
         let mut inner = self.inner.borrow_mut();

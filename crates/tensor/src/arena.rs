@@ -1,0 +1,155 @@
+//! Buffer recycling for the autodiff tape.
+//!
+//! A training loop builds and drops one [`crate::Graph`] per step, and every
+//! node on that tape owns at least one heap buffer (its value, plus a
+//! gradient once backward has run). The shapes repeat exactly from step to
+//! step, so instead of returning those buffers to the allocator a [`Graph`]
+//! created with [`crate::Graph::with_arena`] hands them back to a
+//! [`TapeArena`] on drop, and the next step's tape draws from the pool.
+//!
+//! The arena is deliberately simple: a per-length free list with a global
+//! element budget. It is single-threaded (`Rc` + `RefCell`), like the tape
+//! itself — in data-parallel training every worker thread owns a private
+//! arena alongside its private tape.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Pooled buffers kept per distinct length.
+const MAX_PER_LEN: usize = 64;
+
+/// Total pooled elements across all lengths (8 Mi f64 = 64 MiB).
+const MAX_TOTAL_ELEMS: usize = 8 << 20;
+
+/// A free list of `Vec<f64>` buffers, keyed by exact length.
+///
+/// `take_zeroed` / `take_filled` pop and re-initialise a pooled buffer (a
+/// *hit*) or fall back to a fresh allocation (a *miss*); [`TapeArena::give`]
+/// returns a buffer to the pool, dropping it instead when the per-length or
+/// total budget is full. Hit/miss counts are exposed for tests and probes.
+#[derive(Default)]
+pub struct TapeArena {
+    pools: RefCell<HashMap<usize, Vec<Vec<f64>>>>,
+    pooled_elems: Cell<usize>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl TapeArena {
+    /// Creates an empty arena behind the `Rc` handle [`crate::Graph`] wants.
+    pub fn new() -> Rc<TapeArena> {
+        Rc::new(TapeArena::default())
+    }
+
+    /// A buffer of `len` zeros, recycled when the pool has one.
+    pub fn take_zeroed(&self, len: usize) -> Vec<f64> {
+        self.take_filled(len, 0.0)
+    }
+
+    /// A buffer of `len` copies of `value`, recycled when the pool has one.
+    pub fn take_filled(&self, len: usize, value: f64) -> Vec<f64> {
+        let pooled = self.pools.borrow_mut().get_mut(&len).and_then(Vec::pop);
+        match pooled {
+            Some(mut buf) => {
+                self.pooled_elems.set(self.pooled_elems.get() - len);
+                self.hits.set(self.hits.get() + 1);
+                yollo_obs::counter!("tensor.arena.hits").incr();
+                buf.fill(value);
+                buf
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                yollo_obs::counter!("tensor.arena.misses").incr();
+                vec![value; len]
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse. Zero-length buffers and
+    /// buffers over budget are dropped instead.
+    pub fn give(&self, buf: Vec<f64>) {
+        let len = buf.len();
+        if len == 0 || self.pooled_elems.get() + len > MAX_TOTAL_ELEMS {
+            return;
+        }
+        let mut pools = self.pools.borrow_mut();
+        let pool = pools.entry(len).or_default();
+        if pool.len() >= MAX_PER_LEN {
+            return;
+        }
+        pool.push(buf);
+        self.pooled_elems.set(self.pooled_elems.get() + len);
+    }
+
+    /// Buffers served from the pool so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Buffers that had to be freshly allocated so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Elements currently parked in the pool.
+    pub fn pooled_elems(&self) -> usize {
+        self.pooled_elems.get()
+    }
+}
+
+impl std::fmt::Debug for TapeArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TapeArena({} elems pooled, {} hits / {} misses)",
+            self.pooled_elems.get(),
+            self.hits.get(),
+            self.misses.get()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_matching_lengths() {
+        let a = TapeArena::new();
+        let b1 = a.take_zeroed(16);
+        assert_eq!((a.hits(), a.misses()), (0, 1));
+        a.give(b1);
+        assert_eq!(a.pooled_elems(), 16);
+        let b2 = a.take_filled(16, 1.5);
+        assert_eq!((a.hits(), a.misses()), (1, 1));
+        assert_eq!(b2, vec![1.5; 16]);
+        assert_eq!(a.pooled_elems(), 0);
+        // different length misses
+        let _ = a.take_zeroed(8);
+        assert_eq!((a.hits(), a.misses()), (1, 2));
+    }
+
+    #[test]
+    fn reused_buffers_come_back_zeroed() {
+        let a = TapeArena::new();
+        let mut b = a.take_zeroed(4);
+        b.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        a.give(b);
+        assert_eq!(a.take_zeroed(4), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn budget_caps_are_enforced() {
+        let a = TapeArena::new();
+        a.give(Vec::new()); // zero-length is dropped
+        assert_eq!(a.pooled_elems(), 0);
+        for _ in 0..(MAX_PER_LEN + 10) {
+            a.give(vec![0.0; 2]);
+        }
+        assert_eq!(a.pooled_elems(), MAX_PER_LEN * 2);
+        // a buffer that would blow the total budget is dropped, not pooled
+        a.give(vec![0.0; MAX_TOTAL_ELEMS]);
+        assert_eq!(a.pooled_elems(), MAX_PER_LEN * 2);
+    }
+}

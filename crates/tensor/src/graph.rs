@@ -1,5 +1,7 @@
+use crate::arena::TapeArena;
 use crate::Tensor;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 /// Backward function: given the gradient flowing into a node, produce
 /// `(parent id, gradient contribution)` pairs.
@@ -34,6 +36,8 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: RefCell<Vec<Node>>,
+    arena: Option<Rc<TapeArena>>,
+    tape_allocs: Cell<usize>,
 }
 
 impl std::fmt::Debug for Graph {
@@ -66,6 +70,31 @@ impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Graph::default()
+    }
+
+    /// Creates an empty tape that recycles its buffers through `arena`.
+    ///
+    /// When the graph is dropped, every node's value and gradient buffer is
+    /// handed back to the arena, and the backward seed draws from it — so a
+    /// training loop that builds one tape per step with the same arena stops
+    /// allocating once shapes have been seen once.
+    pub fn with_arena(arena: Rc<TapeArena>) -> Self {
+        Graph {
+            nodes: RefCell::new(Vec::new()),
+            arena: Some(arena),
+            tape_allocs: Cell::new(0),
+        }
+    }
+
+    /// Tensor allocations made by the tape machinery itself during backward
+    /// passes on this graph (gradient seeds and zero-gradient reads; the
+    /// gradients produced *by* backward closures are not machinery).
+    ///
+    /// This is the regression surface for the clone-free backward: one
+    /// backward pass costs exactly one machinery allocation (the seed), and
+    /// zero when an arena hit serves the seed.
+    pub fn tape_alloc_count(&self) -> usize {
+        self.tape_allocs.get()
     }
 
     /// Number of nodes currently on the tape.
@@ -118,11 +147,43 @@ impl Graph {
     }
 
     pub(crate) fn grad_of(&self, id: usize) -> Tensor {
-        let nodes = self.nodes.borrow();
-        let node = &nodes[id];
-        node.grad
-            .clone()
-            .unwrap_or_else(|| Tensor::zeros(node.value.dims()))
+        let dims = {
+            let nodes = self.nodes.borrow();
+            let node = &nodes[id];
+            if let Some(g) = &node.grad {
+                return g.clone();
+            }
+            node.value.dims().to_vec()
+        };
+        self.machinery_filled(&dims, 0.0)
+    }
+
+    /// Calls `f` with a borrow of the node's accumulated gradient (`None`
+    /// before any backward pass reaches it), without cloning. This is the
+    /// allocation-free read path `Binder::harvest` in `yollo-nn` uses to
+    /// fold tape gradients into parameters.
+    pub(crate) fn with_grad_of<R>(&self, id: usize, f: impl FnOnce(Option<&Tensor>) -> R) -> R {
+        f(self.nodes.borrow()[id].grad.as_ref())
+    }
+
+    /// A `value`-filled tensor created by the tape machinery: drawn from the
+    /// arena when one is attached, and counted in [`Graph::tape_alloc_count`]
+    /// when it had to touch the allocator.
+    fn machinery_filled(&self, dims: &[usize], value: f64) -> Tensor {
+        match &self.arena {
+            Some(a) => {
+                let misses = a.misses();
+                let buf = a.take_filled(dims.iter().product(), value);
+                if a.misses() > misses {
+                    self.tape_allocs.set(self.tape_allocs.get() + 1);
+                }
+                Tensor::from_vec(buf, dims)
+            }
+            None => {
+                self.tape_allocs.set(self.tape_allocs.get() + 1);
+                Tensor::full(dims, value)
+            }
+        }
     }
 
     /// Runs the backward pass from node `root`, seeding its gradient with
@@ -132,9 +193,9 @@ impl Graph {
         let _span = yollo_obs::span!("tensor.graph.backward");
         let _lat = yollo_obs::time_hist!("tensor.graph.backward_ns");
         {
-            let mut nodes = self.nodes.borrow_mut();
-            let seed = Tensor::ones(nodes[root].value.dims());
-            accumulate(&mut nodes[root].grad, seed);
+            let dims = self.nodes.borrow()[root].value.dims().to_vec();
+            let seed = self.machinery_filled(&dims, 1.0);
+            accumulate(&mut self.nodes.borrow_mut()[root].grad, seed);
         }
         for id in (0..=root).rev() {
             let (grad, back) = {
@@ -143,8 +204,10 @@ impl Graph {
                 if node.grad.is_none() || node.backward.is_none() {
                     continue;
                 }
+                // take the accumulated grad out of its slot instead of
+                // cloning it; it is restored right after the closure runs
                 (
-                    node.grad.clone().expect("checked above"),
+                    node.grad.take().expect("checked above"),
                     node.backward.take(),
                 )
             };
@@ -154,6 +217,7 @@ impl Graph {
                 // cloned tensors, never the graph itself
                 let contributions = back(&grad);
                 let mut nodes = self.nodes.borrow_mut();
+                nodes[id].grad = Some(grad);
                 for (pid, g) in contributions {
                     debug_assert!(pid < id, "tape must be topologically ordered");
                     debug_assert_eq!(
@@ -162,6 +226,19 @@ impl Graph {
                         "gradient shape must match value shape"
                     );
                     accumulate(&mut nodes[pid].grad, g);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Graph {
+    fn drop(&mut self) {
+        if let Some(arena) = self.arena.take() {
+            for node in self.nodes.get_mut().drain(..) {
+                arena.give(node.value.into_vec());
+                if let Some(g) = node.grad {
+                    arena.give(g.into_vec());
                 }
             }
         }
@@ -199,6 +276,12 @@ impl<'g> Var<'g> {
     /// A clone of the node's accumulated gradient (zeros before `backward`).
     pub fn grad(self) -> Tensor {
         self.graph.grad_of(self.id)
+    }
+
+    /// Borrows the node's accumulated gradient without cloning; `None` when
+    /// no backward pass has reached this node yet.
+    pub fn with_grad<R>(self, f: impl FnOnce(Option<&Tensor>) -> R) -> R {
+        self.graph.with_grad_of(self.id, f)
     }
 
     /// Runs reverse-mode differentiation from this node.
@@ -262,5 +345,63 @@ mod tests {
         let y = (x * x) + x;
         y.backward();
         assert_eq!(x.grad().scalar(), 11.0);
+    }
+
+    #[test]
+    fn with_grad_borrows_without_cloning() {
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert!(x.with_grad(|g| g.is_none()));
+        x.square().sum_all().backward();
+        let sum = x.with_grad(|g| g.expect("grad after backward").sum_all());
+        assert_eq!(sum.scalar(), 6.0);
+    }
+
+    #[test]
+    fn backward_machinery_allocates_only_the_seed() {
+        // A deep chain: pre-refactor the tape cloned the incoming gradient
+        // at every op, so machinery allocations grew with depth. Now the
+        // whole backward pass costs exactly one (the seed), regardless of
+        // how many ops are on the tape.
+        let g = Graph::new();
+        let x = g.leaf(Tensor::from_vec(vec![1.0; 64], &[64]));
+        let mut y = x;
+        for _ in 0..100 {
+            y = y.mul_scalar(1.01);
+        }
+        let loss = y.sum_all();
+        assert_eq!(g.tape_alloc_count(), 0, "forward must not touch machinery");
+        loss.backward();
+        assert_eq!(g.tape_alloc_count(), 1, "backward allocates the seed only");
+        // reading an existing grad clones but does not re-allocate zeros
+        let _ = x.grad();
+        assert_eq!(g.tape_alloc_count(), 1);
+        // reading a grad that was never written costs one zeros tensor
+        let untouched = g.leaf(Tensor::ones(&[4]));
+        let _ = untouched.grad();
+        assert_eq!(g.tape_alloc_count(), 2);
+    }
+
+    #[test]
+    fn arena_recycles_tape_buffers_across_steps() {
+        let arena = crate::TapeArena::new();
+        let run_step = || {
+            let g = Graph::with_arena(arena.clone());
+            let x = g.leaf(Tensor::from_vec(vec![2.0; 32], &[32]));
+            let loss = x.square().sum_all();
+            loss.backward();
+            (x.grad().as_slice().to_vec(), g.tape_alloc_count())
+        };
+        let (g1, _) = run_step();
+        let hits_after_first = arena.hits();
+        let (g2, allocs2) = run_step();
+        assert_eq!(g1, g2, "arena reuse must not change results");
+        assert!(
+            arena.hits() > hits_after_first,
+            "second step must recycle buffers (hits {} -> {})",
+            hits_after_first,
+            arena.hits()
+        );
+        assert_eq!(allocs2, 0, "recycled seed is not a machinery allocation");
     }
 }

@@ -55,6 +55,7 @@
 //! assert_eq!(x.grad().as_slice(), &[3.0, 4.0]); // dy/dx = w
 //! ```
 
+mod arena;
 mod check;
 mod conv;
 mod error;
@@ -64,6 +65,7 @@ pub mod parallel;
 mod shape;
 mod tensor;
 
+pub use arena::TapeArena;
 pub use check::{check_gradients, GradCheck};
 pub use conv::{
     col2im, col2im_into, conv2d_forward, im2col, im2col_into, Conv2dSpec, ConvScratch, Pool2dSpec,
@@ -71,7 +73,10 @@ pub use conv::{
 pub use error::TensorError;
 pub use graph::{Graph, Var, VarId};
 pub use shape::{broadcast_shapes, Shape};
-pub use tensor::{matmul_blocked, matmul_blocked_batched, matmul_naive, Tensor};
+pub use tensor::{
+    block_reduce, matmul_blocked, matmul_blocked_batched, matmul_naive, matmul_nt, matmul_tn,
+    Tensor,
+};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

@@ -275,6 +275,13 @@ impl<'g> Var<'g> {
     /// Matrix multiplication (`[m,k]×[k,n]`, `[b,m,k]×[b,k,n]`, or
     /// `[b,m,k]×[k,n]`).
     ///
+    /// The backward pass runs through the transposed-operand kernels
+    /// ([`matmul_nt`] for `∂A = ∂Y·Bᵀ`, [`matmul_tn`] for `∂B = Aᵀ·∂Y`), so
+    /// no operand is ever transposed in memory; for the `[b,m,k]×[k,n]`
+    /// case the batch reduction of `∂B` falls out of `matmul_tn`'s
+    /// accumulate-into-output semantics instead of a materialised `[b,k,n]`
+    /// intermediate plus `sum_axis`.
+    ///
     /// # Panics
     /// Panics on incompatible shapes.
     pub fn matmul(self, rhs: Var<'g>) -> Var<'g> {
@@ -286,21 +293,41 @@ impl<'g> Var<'g> {
         self.push(
             out,
             Box::new(move |g| {
-                match ranks {
-                    (2, 2) | (3, 3) => {
-                        let ga = g.matmul(&b.transpose());
-                        let gb = a.transpose().matmul(g);
-                        vec![(ia, ga), (ib, gb)]
-                    }
-                    (3, 2) => {
-                        let ga = g.matmul(&b.transpose());
-                        // sum over batch: fold [b,k,m]x[b,m,n] -> [k,n]
-                        let bt = a.transpose().matmul(g); // [b,k,n]
-                        let gb = bt.sum_axis(0);
-                        vec![(ia, ga), (ib, gb)]
-                    }
-                    _ => unreachable!("matmul validated ranks in forward"),
+                let threads = parallel::num_threads();
+                let ad = a.dims();
+                let (batch, m) = match ranks.0 {
+                    2 => (1, ad[0]),
+                    _ => (ad[0], ad[1]),
+                };
+                let k = *ad.last().expect("matmul lhs has a last dim");
+                let n = *b.dims().last().expect("matmul rhs has a last dim");
+                let (a_s, b_s, g_s) = (a.as_slice(), b.as_slice(), g.as_slice());
+                let mut ga = vec![0.0; batch * m * k];
+                let mut gb = vec![0.0; b.numel()];
+                let b_stride = if ranks.1 == 3 { k * n } else { 0 };
+                for bi in 0..batch {
+                    let gbi = &g_s[bi * m * n..(bi + 1) * m * n];
+                    let abi = &a_s[bi * m * k..(bi + 1) * m * k];
+                    let bbi = &b_s[bi * b_stride..bi * b_stride + k * n];
+                    // ∂A[bi] += ∂Y[bi] × B[bi]ᵀ
+                    matmul_nt(
+                        gbi,
+                        bbi,
+                        &mut ga[bi * m * k..(bi + 1) * m * k],
+                        m,
+                        n,
+                        k,
+                        threads,
+                    );
+                    // ∂B[bi] += A[bi]ᵀ × ∂Y[bi]; with a shared 2-D rhs the
+                    // per-batch calls accumulate straight into the one [k,n]
+                    let gb_out = &mut gb[bi * b_stride..bi * b_stride + k * n];
+                    matmul_tn(abi, gbi, gb_out, m, k, n, threads);
                 }
+                vec![
+                    (ia, Tensor::from_vec(ga, a.dims())),
+                    (ib, Tensor::from_vec(gb, b.dims())),
+                ]
             }),
         )
     }
@@ -568,6 +595,7 @@ impl<'g> Var<'g> {
                 //   gcols[b] = wᵀ [ckk,O] × g[b] [O,L]
                 // via the transposed-operand kernels (no materialised
                 // transposes, no per-batch slice copies)
+                let threads = parallel::num_threads();
                 let gs = g.as_slice();
                 let cs = cols.as_slice();
                 let ws = w.as_slice();
@@ -577,8 +605,9 @@ impl<'g> Var<'g> {
                 for b in 0..n {
                     let gb = &gs[b * o * l..(b + 1) * o * l];
                     let colb = &cs[b * ckk * l..(b + 1) * ckk * l];
-                    matmul_nt(gb, colb, &mut gw, o, l, ckk);
-                    matmul_tn(ws, gb, &mut gc[b * ckk * l..(b + 1) * ckk * l], o, ckk, l);
+                    matmul_nt(gb, colb, &mut gw, o, l, ckk, threads);
+                    let gcb = &mut gc[b * ckk * l..(b + 1) * ckk * l];
+                    matmul_tn(ws, gb, gcb, o, ckk, l, threads);
                 }
                 let gx = col2im(&gcols, &x_dims, kh, kw, spec);
                 vec![(ix, gx), (iw, Tensor::from_vec(gw, &[o, c, kh, kw]))]

@@ -17,6 +17,7 @@
 //! gates fan-out behind a size threshold ([`PAR_ELEMWISE_MIN`],
 //! [`PAR_MATMUL_MIN_FLOPS`]) below which it stays on the serial fast path.
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::sync::OnceLock;
 
@@ -42,12 +43,47 @@ pub fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
         .filter(|&n| n >= 1)
 }
 
-/// The worker-pool width: `YOLLO_THREADS` if set, else hardware parallelism.
+thread_local! {
+    /// Per-thread pool-width cap installed by [`with_threads`].
+    static THREAD_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The worker-pool width: a [`with_threads`] override on the current thread
+/// if one is active, else `YOLLO_THREADS` if set, else hardware parallelism.
 ///
 /// Read per call (not cached) so tests and long-lived servers can retune.
 pub fn num_threads() -> usize {
+    if let Some(cap) = THREAD_CAP.with(Cell::get) {
+        return cap;
+    }
     parse_thread_override(std::env::var("YOLLO_THREADS").ok().as_deref())
         .unwrap_or_else(hardware_threads)
+}
+
+/// Runs `f` with the ambient pool width pinned to `n` on the current thread.
+///
+/// This is how higher-level parallelism (e.g. the data-parallel trainer in
+/// `yollo-core`, which runs one model replica per worker thread) stops
+/// intra-op fan-out from oversubscribing the machine: each replica thread
+/// wraps its forward/backward in `with_threads(1, ..)` so every tensor op
+/// inside takes its serial path. The override is thread-local and restored
+/// on exit (including on panic), and it does not propagate into threads
+/// spawned by `f` — scoped pool workers spawned under an override therefore
+/// see the ambient width, which is why callers pin to 1 rather than some
+/// smaller budget.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "with_threads requires a positive width");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_CAP.with(|c| c.replace(Some(n))));
+    f()
 }
 
 /// Runs `f(chunk_index, chunk)` for every `chunk_len`-sized chunk of `data`
@@ -226,6 +262,34 @@ mod tests {
             None,
             "empty fold"
         );
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let ambient = num_threads();
+        let inner = with_threads(1, || {
+            assert_eq!(num_threads(), 1);
+            // nesting shadows, then restores the outer override
+            with_threads(3, || assert_eq!(num_threads(), 3));
+            num_threads()
+        });
+        assert_eq!(inner, 1);
+        assert_eq!(num_threads(), ambient, "override must not leak");
+        // spawned threads never inherit the cap
+        with_threads(1, || {
+            let seen = std::thread::scope(|s| s.spawn(num_threads).join().unwrap());
+            assert!(seen >= 1);
+            assert_eq!(num_threads(), 1);
+            assert_eq!(seen, ambient, "override is thread-local");
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let ambient = num_threads();
+        let caught = std::panic::catch_unwind(|| with_threads(1, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(num_threads(), ambient);
     }
 
     #[test]

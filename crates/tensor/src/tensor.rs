@@ -403,6 +403,29 @@ impl Tensor {
         });
     }
 
+    /// Fused `self += s * other` (same shape only): one pass, no scaled
+    /// temporary. This is the gradient-reduction primitive of the
+    /// data-parallel trainer.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, s: f64) {
+        assert_eq!(
+            self.dims(),
+            other.dims(),
+            "add_scaled_assign shape mismatch"
+        );
+        let threads = Tensor::elemwise_threads(self.numel());
+        let chunk = parallel::chunk_len_for(self.data.len(), threads);
+        let src = &other.data;
+        parallel::for_each_chunk_in(threads, &mut self.data, chunk, |ci, out| {
+            let off = ci * chunk;
+            for (i, a) in out.iter_mut().enumerate() {
+                *a += s * src[off + i];
+            }
+        });
+    }
+
     /// Scales every element by `s`.
     pub fn scale(&self, s: f64) -> Tensor {
         self.map(|x| x * s)
@@ -479,18 +502,13 @@ impl Tensor {
 
     /// Sum of all elements, as a rank-0 tensor.
     ///
-    /// Parallel above the size threshold; partials combine in a fixed band
-    /// order, so results are deterministic for a given thread count.
+    /// Parallel above the size threshold. The reduction runs over
+    /// fixed-size blocks ([`block_reduce`]) whose partials combine in block
+    /// order, so the result is bitwise identical for any thread count —
+    /// not just for a fixed one.
     pub fn sum_all(&self) -> Tensor {
         let threads = Tensor::elemwise_threads(self.numel());
-        let total = parallel::par_fold_in(
-            threads,
-            self.data.len(),
-            |r| self.data[r].iter().sum::<f64>(),
-            |a, b| a + b,
-        )
-        .unwrap_or(0.0);
-        Tensor::from_scalar(total)
+        Tensor::from_scalar(block_reduce(&self.data, threads, |b| b.iter().sum::<f64>()))
     }
 
     /// Mean of all elements, as a rank-0 tensor. Empty tensors yield 0.
@@ -691,15 +709,16 @@ impl Tensor {
     }
 
     /// Frobenius / L2 norm of all elements (parallel above the threshold).
+    ///
+    /// Like [`Tensor::sum_all`], the square-sum reduces over fixed-size
+    /// blocks, so the norm — and anything derived from it, such as the
+    /// trainer's global gradient clip — is bitwise identical for any
+    /// thread count.
     pub fn norm(&self) -> f64 {
         let threads = Tensor::elemwise_threads(self.numel());
-        parallel::par_fold_in(
-            threads,
-            self.data.len(),
-            |r| self.data[r].iter().map(|x| x * x).sum::<f64>(),
-            |a, b| a + b,
-        )
-        .unwrap_or(0.0)
+        block_reduce(&self.data, threads, |b| {
+            b.iter().map(|x| x * x).sum::<f64>()
+        })
         .sqrt()
     }
 
@@ -987,45 +1006,232 @@ pub fn matmul_blocked_batched(
     }
 }
 
-/// `out[m,n] += a[m,k] × b[n,k]ᵀ` — both operands row-major, so every dot
-/// product reads two contiguous runs. Used by conv2d backward (`∂W`).
-pub(crate) fn matmul_nt(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let brow = &b[j * k..(j + 1) * k];
-            // four partial accumulators so the reduction vectorises
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-            let quads = k & !3;
-            for p in (0..quads).step_by(4) {
-                s0 += arow[p] * brow[p];
-                s1 += arow[p + 1] * brow[p + 1];
-                s2 += arow[p + 2] * brow[p + 2];
-                s3 += arow[p + 3] * brow[p + 3];
-            }
-            let mut acc = (s0 + s1) + (s2 + s3);
-            for p in quads..k {
-                acc += arow[p] * brow[p];
-            }
-            *o += acc;
+/// Fixed block length of [`block_reduce`] partials. Small enough that a
+/// block's sum stays in cache, large enough that the serial combine over
+/// partials is negligible.
+const REDUCE_BLOCK: usize = 4096;
+
+/// Thread-count-independent parallel reduction: folds every
+/// [`REDUCE_BLOCK`]-sized block of `data` with `fold`, then sums the block
+/// partials serially in block order. Workers write disjoint partial slots,
+/// so — unlike a per-worker-band fold — the floating-point combine order is
+/// a function of the data length only, and the result is bitwise identical
+/// for any `threads`.
+pub fn block_reduce(data: &[f64], threads: usize, fold: impl Fn(&[f64]) -> f64 + Sync) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    if threads <= 1 || data.len() <= REDUCE_BLOCK {
+        return data.chunks(REDUCE_BLOCK).map(&fold).sum();
+    }
+    let mut partials = vec![0.0; data.len().div_ceil(REDUCE_BLOCK)];
+    let per_worker = parallel::chunk_len_for(partials.len(), threads);
+    parallel::for_each_chunk_in(threads, &mut partials, per_worker, move |ci, band| {
+        for (i, slot) in band.iter_mut().enumerate() {
+            let start = (ci * per_worker + i) * REDUCE_BLOCK;
+            let end = (start + REDUCE_BLOCK).min(data.len());
+            *slot = fold(&data[start..end]);
         }
+    });
+    partials.iter().sum()
+}
+
+/// One dot product of [`matmul_nt`], split into four partial accumulators
+/// so the reduction vectorises. Every caller must use this exact pattern:
+/// it fixes the floating-point accumulation order of the kernel.
+#[inline(always)]
+fn nt_dot(arow: &[f64], brow: &[f64], k: usize) -> f64 {
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let quads = k & !3;
+    for p in (0..quads).step_by(4) {
+        s0 += arow[p] * brow[p];
+        s1 += arow[p + 1] * brow[p + 1];
+        s2 += arow[p + 2] * brow[p + 2];
+        s3 += arow[p + 3] * brow[p + 3];
+    }
+    let mut acc = (s0 + s1) + (s2 + s3);
+    for p in quads..k {
+        acc += arow[p] * brow[p];
+    }
+    acc
+}
+
+/// One output row of [`matmul_nt`]: `orow[n] += arow[k] · b[n,k]ᵀ`.
+///
+/// Four `b` rows are processed per pass so `arow` is loaded once per quad
+/// and the four independent dot chains fill the FMA pipeline; each dot
+/// keeps the [`nt_dot`] accumulation order, so the output is bitwise
+/// identical to the one-row-at-a-time loop.
+fn matmul_nt_row(arow: &[f64], b: &[f64], orow: &mut [f64], k: usize) {
+    let n = orow.len();
+    let jquads = n & !3;
+    for j in (0..jquads).step_by(4) {
+        let b0 = &b[j * k..(j + 1) * k];
+        let b1 = &b[(j + 1) * k..(j + 2) * k];
+        let b2 = &b[(j + 2) * k..(j + 3) * k];
+        let b3 = &b[(j + 3) * k..(j + 4) * k];
+        let (mut s0, mut s1, mut s2, mut s3) = ([0.0; 4], [0.0; 4], [0.0; 4], [0.0; 4]);
+        let quads = k & !3;
+        for p in (0..quads).step_by(4) {
+            for u in 0..4 {
+                s0[u] += arow[p + u] * b0[p + u];
+                s1[u] += arow[p + u] * b1[p + u];
+                s2[u] += arow[p + u] * b2[p + u];
+                s3[u] += arow[p + u] * b3[p + u];
+            }
+        }
+        let mut acc = [
+            (s0[0] + s0[1]) + (s0[2] + s0[3]),
+            (s1[0] + s1[1]) + (s1[2] + s1[3]),
+            (s2[0] + s2[1]) + (s2[2] + s2[3]),
+            (s3[0] + s3[1]) + (s3[2] + s3[3]),
+        ];
+        for p in quads..k {
+            acc[0] += arow[p] * b0[p];
+            acc[1] += arow[p] * b1[p];
+            acc[2] += arow[p] * b2[p];
+            acc[3] += arow[p] * b3[p];
+        }
+        for u in 0..4 {
+            orow[j + u] += acc[u];
+        }
+    }
+    for (j, o) in orow.iter_mut().enumerate().skip(jquads) {
+        *o += nt_dot(arow, &b[j * k..(j + 1) * k], k);
     }
 }
 
-/// `out[m,n] += a[p,m]ᵀ × b[p,n]` — the transpose-free Aᵀ·B used by conv2d
-/// backward (`∂cols`): both operands stream row-major, no copies.
-pub(crate) fn matmul_tn(a: &[f64], b: &[f64], out: &mut [f64], p: usize, m: usize, n: usize) {
-    for r in 0..p {
-        let arow = &a[r * m..(r + 1) * m];
-        let brow = &b[r * n..(r + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+/// `out[m,n] += a[m,k] × b[n,k]ᵀ` — both operands row-major, so every dot
+/// product reads two contiguous runs; neither operand is ever transposed in
+/// memory. This is the `∂A = ∂Y·Bᵀ` kernel of matmul backward and the `∂W`
+/// kernel of conv2d backward.
+///
+/// Row bands of `out` fan out over `threads` workers above
+/// [`parallel::PAR_MATMUL_MIN_FLOPS`]; every output element is produced by
+/// exactly one worker with a fixed accumulation order, so the result is
+/// bitwise identical for any thread count.
+///
+/// # Panics
+/// Panics if slice lengths do not match `m*k`, `n*k`, `m*n`.
+pub fn matmul_nt(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "matmul_nt: bad lhs length");
+    assert_eq!(b.len(), n * k, "matmul_nt: bad rhs length");
+    assert_eq!(out.len(), m * n, "matmul_nt: bad out length");
+    if n == 0 {
+        return;
+    }
+    let workers = if m * k * n < parallel::PAR_MATMUL_MIN_FLOPS {
+        1
+    } else {
+        threads
+    };
+    // cache tiling: a panel of NT_JB b-rows is reused across a band of
+    // NT_IB a-rows before moving on, so b streams from memory m/NT_IB
+    // times instead of m times. Each dot product is untouched, so the
+    // result is bitwise identical to the untiled loop.
+    const NT_IB: usize = 16;
+    const NT_JB: usize = 32;
+    parallel::for_each_chunk_in(workers, out, NT_IB * n, |ci, oband| {
+        let rows = oband.len() / n;
+        for j0 in (0..n).step_by(NT_JB) {
+            let jt = NT_JB.min(n - j0);
+            for ii in 0..rows {
+                let arow = &a[(ci * NT_IB + ii) * k..(ci * NT_IB + ii + 1) * k];
+                let opanel = &mut oband[ii * n + j0..ii * n + j0 + jt];
+                matmul_nt_row(arow, &b[j0 * k..(j0 + jt) * k], opanel, k);
             }
         }
+    });
+}
+
+/// `out[m,n] += a[p,m]ᵀ × b[p,n]` — the transpose-free Aᵀ·B: both operands
+/// stream row-major, no copies. This is the `∂B = Aᵀ·∂Y` kernel of matmul
+/// backward and the `∂cols` kernel of conv2d backward.
+///
+/// Parallelism is over row bands of `out` (each worker re-streams `a`'s
+/// column and `b`'s rows for its band); per output element the `p`
+/// accumulation order is identical on the serial and banded paths, so the
+/// result is bitwise identical for any thread count.
+///
+/// # Panics
+/// Panics if slice lengths do not match `p*m`, `p*n`, `m*n`.
+pub fn matmul_tn(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    p: usize,
+    m: usize,
+    n: usize,
+    threads: usize,
+) {
+    assert_eq!(a.len(), p * m, "matmul_tn: bad lhs length");
+    assert_eq!(b.len(), p * n, "matmul_tn: bad rhs length");
+    assert_eq!(out.len(), m * n, "matmul_tn: bad out length");
+    if n == 0 || m == 0 {
+        return;
     }
+    let workers = if p * m * n < parallel::PAR_MATMUL_MIN_FLOPS {
+        1
+    } else {
+        threads
+    };
+    // cache tiling: a band of TN_IB output rows stays hot across the whole
+    // `r` sweep, so `out` streams from memory once instead of `p` times and
+    // `b` once per band instead of once per output row. Every element still
+    // accumulates its `p` terms in ascending `r` order, so the result is
+    // bitwise identical for any thread count (and to the untiled loop).
+    const TN_IB: usize = 16;
+    parallel::for_each_chunk_in(workers, out, TN_IB * n, |ci, oband| {
+        let i0 = ci * TN_IB;
+        let rows = oband.len() / n;
+        // four `r` terms per pass: each output row is loaded and stored
+        // once per quad instead of once per `r`. The adds stay strictly
+        // sequential in ascending `r`, so every element's accumulation
+        // order — and therefore its bits — matches the one-`r`-at-a-time
+        // loop exactly.
+        let rquads = p & !3;
+        for r in (0..rquads).step_by(4) {
+            for ii in 0..rows {
+                let i = i0 + ii;
+                let (a0, a1, a2, a3) = (
+                    a[r * m + i],
+                    a[(r + 1) * m + i],
+                    a[(r + 2) * m + i],
+                    a[(r + 3) * m + i],
+                );
+                let b0 = &b[r * n..(r + 1) * n];
+                let b1 = &b[(r + 1) * n..(r + 2) * n];
+                let b2 = &b[(r + 2) * n..(r + 3) * n];
+                let b3 = &b[(r + 3) * n..(r + 4) * n];
+                let orow = &mut oband[ii * n..(ii + 1) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let mut t = *o + a0 * b0[j];
+                    t += a1 * b1[j];
+                    t += a2 * b2[j];
+                    t += a3 * b3[j];
+                    *o = t;
+                }
+            }
+        }
+        for r in rquads..p {
+            let acol = &a[r * m + i0..r * m + i0 + rows];
+            let brow = &b[r * n..(r + 1) * n];
+            for (ii, &av) in acol.iter().enumerate() {
+                let orow = &mut oband[ii * n..(ii + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    });
 }
 
 macro_rules! impl_binop {
@@ -1251,23 +1457,75 @@ mod tests {
     #[test]
     fn nt_and_tn_kernels_match_transposed_matmul() {
         let mut rng = StdRng::seed_from_u64(12);
-        let (m, k, n) = (9, 17, 6);
+        for &threads in &[1usize, 4] {
+            let (m, k, n) = (9, 17, 6);
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[n, k], &mut rng);
+            let mut out = vec![0.0; m * n];
+            matmul_nt(a.as_slice(), b.as_slice(), &mut out, m, k, n, threads);
+            let expected = a.matmul(&b.transpose());
+            let got = Tensor::from_vec(out, &[m, n]);
+            assert!(got.max_abs_diff(&expected) < 1e-12);
+
+            let (p, m2, n2) = (13, 5, 8);
+            let c = Tensor::randn(&[p, m2], &mut rng);
+            let d = Tensor::randn(&[p, n2], &mut rng);
+            let mut out2 = vec![0.0; m2 * n2];
+            matmul_tn(c.as_slice(), d.as_slice(), &mut out2, p, m2, n2, threads);
+            let expected2 = c.transpose().matmul(&d);
+            let got2 = Tensor::from_vec(out2, &[m2, n2]);
+            assert!(got2.max_abs_diff(&expected2) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_reductions_are_thread_count_independent() {
+        let mut rng = StdRng::seed_from_u64(15);
+        // crosses PAR_ELEMWISE_MIN so the parallel path actually runs
+        let t = Tensor::randn(&[1 << 17], &mut rng);
+        let serial_sum = parallel::with_threads(1, || t.sum_all().scalar());
+        let serial_norm = parallel::with_threads(1, || t.norm());
+        for &threads in &[2usize, 3, 8] {
+            let (s, n) = parallel::with_threads(threads, || (t.sum_all().scalar(), t.norm()));
+            assert_eq!(s.to_bits(), serial_sum.to_bits(), "sum threads {threads}");
+            assert_eq!(n.to_bits(), serial_norm.to_bits(), "norm threads {threads}");
+        }
+        // direct block_reduce: odd lengths, tail blocks
+        for len in [0usize, 1, 4095, 4096, 4097, 10_000] {
+            let d: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+            let one = block_reduce(&d, 1, |b| b.iter().sum());
+            for threads in [2usize, 5] {
+                let many = block_reduce(&d, threads, |b| b.iter().sum());
+                assert_eq!(one.to_bits(), many.to_bits(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn nt_and_tn_banded_paths_are_bitwise_equal_to_serial() {
+        // big enough to clear PAR_MATMUL_MIN_FLOPS so the banded path runs
+        let mut rng = StdRng::seed_from_u64(14);
+        let (m, k, n) = (96, 160, 160);
         let a = Tensor::randn(&[m, k], &mut rng);
         let b = Tensor::randn(&[n, k], &mut rng);
-        let mut out = vec![0.0; m * n];
-        matmul_nt(a.as_slice(), b.as_slice(), &mut out, m, k, n);
-        let expected = a.matmul(&b.transpose());
-        let got = Tensor::from_vec(out, &[m, n]);
-        assert!(got.max_abs_diff(&expected) < 1e-12);
+        let mut serial = vec![0.0; m * n];
+        matmul_nt(a.as_slice(), b.as_slice(), &mut serial, m, k, n, 1);
+        for &threads in &[2usize, 4, 7] {
+            let mut banded = vec![0.0; m * n];
+            matmul_nt(a.as_slice(), b.as_slice(), &mut banded, m, k, n, threads);
+            assert_eq!(serial, banded, "matmul_nt threads {threads}");
+        }
 
-        let (p, m2, n2) = (13, 5, 8);
+        let (p, m2, n2) = (160, 96, 160);
         let c = Tensor::randn(&[p, m2], &mut rng);
         let d = Tensor::randn(&[p, n2], &mut rng);
-        let mut out2 = vec![0.0; m2 * n2];
-        matmul_tn(c.as_slice(), d.as_slice(), &mut out2, p, m2, n2);
-        let expected2 = c.transpose().matmul(&d);
-        let got2 = Tensor::from_vec(out2, &[m2, n2]);
-        assert!(got2.max_abs_diff(&expected2) < 1e-12);
+        let mut serial2 = vec![0.0; m2 * n2];
+        matmul_tn(c.as_slice(), d.as_slice(), &mut serial2, p, m2, n2, 1);
+        for &threads in &[2usize, 4, 7] {
+            let mut banded = vec![0.0; m2 * n2];
+            matmul_tn(c.as_slice(), d.as_slice(), &mut banded, p, m2, n2, threads);
+            assert_eq!(serial2, banded, "matmul_tn threads {threads}");
+        }
     }
 
     #[test]

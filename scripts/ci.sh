@@ -23,6 +23,40 @@ if grep -rn --include='*.rs' '#\[ignore' crates/core/tests crates/core/src/fault
     exit 1
 fi
 
+echo "== parallel-trainer determinism suite =="
+# worker-thread-count bit-equality, crash/resume under the shard pool and
+# num_shards resume rejection — run explicitly so a filtered-out suite
+# fails loudly
+cargo test -q -p yollo-core --test parallel_train
+
+echo "== train-speed smoke =="
+YOLLO_SCALE=tiny cargo run --release -q -p yollo-bench --bin exp_train_speed
+python3 - <<'EOF'
+import json
+with open("BENCH_train.json") as f:
+    bench = json.load(f)
+assert bench["rows"], "at least one timed configuration"
+modes = {r["mode"] for r in bench["rows"]}
+assert modes == {"serial", "parallel"}, f"unexpected modes: {modes}"
+for row in bench["rows"]:
+    assert row["steps_per_s"] > 0, "throughput must be nonzero"
+    assert row["ns_per_step"] > 0
+det = bench["determinism"]
+assert det["weights_bitwise_equal"] is True, "worker threads changed the bits"
+assert det["worker_threads"] == [1, 2, 4]
+print("BENCH_train.json ok:",
+      ", ".join(f"{r['mode']}/w{r['worker_threads']}->{r['steps_per_s']:.2f} steps/s"
+                for r in bench["rows"]))
+EOF
+
+echo "== trainer: no stray printing in core =="
+# training progress goes through the log/obs layers, never raw stdout
+# (doc-comment examples are exempt)
+if grep -rn --include='*.rs' 'println!' crates/core/src | grep -vE ':\s*//'; then
+    echo "error: println! in crates/core/src" >&2
+    exit 1
+fi
+
 echo "== serve: batching, fault and determinism suites =="
 # virtual-clock flush exactness, backpressure, cache identity, worker-panic
 # isolation and the 100-run determinism fingerprint — run explicitly so a
