@@ -1,7 +1,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use yollo_nn::{Binder, Conv2d, Module, ParamList};
-use yollo_tensor::{Conv2dSpec, Var};
+use yollo_tensor::{Conv2dSpec, Element, Var};
 
 /// Which backbone architecture to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -42,11 +42,11 @@ impl BackboneKind {
 /// One backbone stage: a strided "projection" block followed by optional
 /// identity blocks. Residual variants add a 1×1 shortcut projection.
 #[derive(Debug)]
-struct Stage {
-    conv1: Conv2d,
-    conv2: Conv2d,
-    shortcut: Option<Conv2d>,
-    identities: Vec<(Conv2d, Conv2d)>,
+struct Stage<E: Element = f64> {
+    conv1: Conv2d<E>,
+    conv2: Conv2d<E>,
+    shortcut: Option<Conv2d<E>>,
+    identities: Vec<(Conv2d<E>, Conv2d<E>)>,
 }
 
 impl Stage {
@@ -85,19 +85,6 @@ impl Stage {
         }
     }
 
-    fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
-        let mut y = self.conv2.forward(bind, self.conv1.forward(bind, x).relu());
-        if let Some(sc) = &self.shortcut {
-            y = y + sc.forward(bind, x);
-        }
-        y = y.relu();
-        for (a, b) in &self.identities {
-            let z = b.forward(bind, a.forward(bind, y).relu());
-            y = (z + y).relu();
-        }
-        y
-    }
-
     fn parameters(&self) -> ParamList {
         let mut ps = self.conv1.parameters();
         ps.extend(self.conv2.parameters());
@@ -112,12 +99,40 @@ impl Stage {
     }
 }
 
+impl<E: Element> Stage<E> {
+    fn forward<'g>(&self, bind: &Binder<'g, E>, x: Var<'g, E>) -> Var<'g, E> {
+        let mut y = self.conv2.forward(bind, self.conv1.forward(bind, x).relu());
+        if let Some(sc) = &self.shortcut {
+            y = y + sc.forward(bind, x);
+        }
+        y = y.relu();
+        for (a, b) in &self.identities {
+            let z = b.forward(bind, a.forward(bind, y).relu());
+            y = (z + y).relu();
+        }
+        y
+    }
+
+    fn cast<F: Element>(&self) -> Stage<F> {
+        Stage {
+            conv1: self.conv1.cast(),
+            conv2: self.conv2.cast(),
+            shortcut: self.shortcut.as_ref().map(Conv2d::cast),
+            identities: self
+                .identities
+                .iter()
+                .map(|(a, b)| (a.cast(), b.cast()))
+                .collect(),
+        }
+    }
+}
+
 /// A stride-8 convolutional feature extractor over `[N, C_in, H, W]`
 /// images, producing `[N, C_out, H/8, W/8]` "C4" features.
 #[derive(Debug)]
-pub struct Backbone {
+pub struct Backbone<E: Element = f64> {
     kind: BackboneKind,
-    stages: Vec<Stage>,
+    stages: Vec<Stage<E>>,
     in_channels: usize,
     out_channels: usize,
 }
@@ -148,7 +163,9 @@ impl Backbone {
             out_channels: prev,
         }
     }
+}
 
+impl<E: Element> Backbone<E> {
     /// The architecture variant.
     pub fn kind(&self) -> BackboneKind {
         self.kind
@@ -174,7 +191,7 @@ impl Backbone {
     /// # Panics
     /// Panics unless `x` is `[N, in_channels, H, W]` with H, W divisible
     /// by the stride.
-    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+    pub fn forward<'g>(&self, bind: &Binder<'g, E>, x: Var<'g, E>) -> Var<'g, E> {
         let dims = x.dims();
         assert_eq!(dims.len(), 4, "backbone input must be [N,C,H,W]");
         assert_eq!(dims[1], self.in_channels, "backbone channel mismatch");
@@ -188,6 +205,16 @@ impl Backbone {
             y = s.forward(bind, y);
         }
         y
+    }
+
+    /// This backbone with every weight converted element-wise to dtype `F`.
+    pub fn cast<F: Element>(&self) -> Backbone<F> {
+        Backbone {
+            kind: self.kind,
+            stages: self.stages.iter().map(Stage::cast).collect(),
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+        }
     }
 }
 

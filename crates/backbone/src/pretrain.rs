@@ -51,7 +51,13 @@ pub fn pretrain_shapes(
         ..SceneConfig::default()
     };
     let n_classes = ShapeKind::ALL.len();
-    let head = Linear::new("pretrain.head", backbone.out_channels(), n_classes, true, &mut rng);
+    let head = Linear::new(
+        "pretrain.head",
+        backbone.out_channels(),
+        n_classes,
+        true,
+        &mut rng,
+    );
     let mut params = backbone.parameters();
     params.extend(head.parameters());
     let mut opt = Adam::new(params, 3e-3);
@@ -66,12 +72,8 @@ pub fn pretrain_shapes(
             labels.push(label);
         }
         let refs: Vec<&Tensor> = imgs.iter().collect();
-        let stacked = Tensor::concat(&refs, 0).reshape(&[
-            batch,
-            5,
-            scene_cfg.height,
-            scene_cfg.width,
-        ]);
+        let stacked =
+            Tensor::concat(&refs, 0).reshape(&[batch, 5, scene_cfg.height, scene_cfg.width]);
         let onehot = Tensor::from_fn(&[batch, n_classes], |flat| {
             if flat % n_classes == labels[flat / n_classes] {
                 1.0

@@ -81,10 +81,7 @@ fn bench_two_stage(c: &mut Criterion) {
         b.iter(|| black_box(speaker.score_proposals(&feats, &query)))
     });
     // the paper-faithful [42] pipeline: a CNN pass per proposal crop
-    let crop_listener = Listener::new(
-        ListenerConfig::small(rpn.crop_feat_dim(), vocab.len()),
-        3,
-    );
+    let crop_listener = Listener::new(ListenerConfig::small(rpn.crop_feat_dim(), vocab.len()), 3);
     g.bench_function("stage2_per_region_cnn_listener", |b| {
         b.iter(|| {
             let crop_feats = rpn.crop_features(scene, &proposals);

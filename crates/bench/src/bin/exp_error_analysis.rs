@@ -82,7 +82,10 @@ fn main() {
         "overall_acc50": by_kind.overall().acc_at(0.5),
         "overall_miou": by_kind.overall().miou(),
     });
-    std::fs::write(&path, serde_json::to_string_pretty(&blob).expect("serialisable"))
-        .expect("can write results");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&blob).expect("serialisable"),
+    )
+    .expect("can write results");
     println!("raw results: {}", path.display());
 }

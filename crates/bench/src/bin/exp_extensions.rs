@@ -46,7 +46,10 @@ fn main() {
     println!("# Extensions — future-work & footnote ablations ({scale:?} scale)\n");
 
     let variants: Vec<(String, YolloConfig)> = vec![
-        ("baseline (rho_high=0.5, RcnnLog, tiny ResNet)".into(), base.clone()),
+        (
+            "baseline (rho_high=0.5, RcnnLog, tiny ResNet)".into(),
+            base.clone(),
+        ),
         (
             "rho_high=0.7 (paper future work)".into(),
             YolloConfig {
@@ -83,8 +86,11 @@ fn main() {
     }
     println!("{table}");
     let path = output_dir().join("extensions_results.json");
-    std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialisable"))
-        .expect("can write results");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&results).expect("serialisable"),
+    )
+    .expect("can write results");
     println!("raw results: {}", path.display());
     println!("\nExpectations: rho_high=0.7 trades ACC@0.5 for ACC@0.75;");
     println!("VGG backbone shows no big drop (footnote); deep backbone ≈ tiny at higher cost;");

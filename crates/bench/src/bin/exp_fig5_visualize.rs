@@ -59,10 +59,7 @@ fn main() {
             .map(|(idx, _)| idx)
             .expect("non-empty attention");
         let (py, px) = (peak / fw, peak % fw);
-        let peak_point = (
-            (px as f64 + 0.5) * stride,
-            (py as f64 + 0.5) * stride,
-        );
+        let peak_point = ((px as f64 + 0.5) * stride, (py as f64 + 0.5) * stride);
         let inside = pred.bbox.contains_point(peak_point.0, peak_point.1);
         agree += inside as usize;
         total += 1;
@@ -74,9 +71,7 @@ fn main() {
             if inside { "inside" } else { "OUTSIDE" },
         );
     }
-    println!(
-        "\nattention-peak-inside-predicted-box: {agree}/{total} (paper: \"perfectly match\")"
-    );
+    println!("\nattention-peak-inside-predicted-box: {agree}/{total} (paper: \"perfectly match\")");
 
     // query swaps: same image, opposite queries — the Figure 5 pairs
     // ("left most toilet" vs "right urinal"). Sweep several scenes and

@@ -26,7 +26,7 @@ use std::time::Instant;
 use yollo_bench::{dataset, Scale};
 use yollo_core::Yollo;
 use yollo_obs::Snapshot;
-use yollo_serve::{ServeConfig, Server};
+use yollo_serve::{GroundingModel, ServeConfig, ServeDtype, Server, YolloBackend};
 use yollo_synthref::{DatasetKind, Scene, Split};
 
 struct LoadResult {
@@ -39,8 +39,8 @@ struct LoadResult {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_load(
-    model_factory: impl Fn() -> Yollo + Send + Sync + Clone + 'static,
+fn run_load<M: GroundingModel>(
+    model_factory: impl Fn() -> M + Send + Sync + Clone + 'static,
     vocab: yollo_text::Vocab,
     cfg_template: &ServeConfig,
     scenes: &[Scene],
@@ -126,7 +126,12 @@ fn main() {
     // The hot set: K distinct (scene, query) pairs the traffic cycles over.
     // Strides keep the pairs distinct even when K exceeds one of the pools.
     let hot_set: Vec<(usize, usize)> = (0..hot)
-        .map(|i| (i % scenes.len(), (i * 3 + i / queries.len()) % queries.len()))
+        .map(|i| {
+            (
+                i % scenes.len(),
+                (i * 3 + i / queries.len()) % queries.len(),
+            )
+        })
         .collect();
 
     // --- serial baseline: a naive client, one end-to-end request at a
@@ -208,6 +213,114 @@ fn main() {
         }
     }
 
+    // --- dtype fast path: served throughput at each precision, plus the
+    // f64-vs-f32 accuracy delta over the hot set (IoU where areas are
+    // positive, raw coordinate/score drift always) ---
+    let dtype_offered = *loads.last().expect("at least one offered load");
+    let mut dtype_rows = Vec::new();
+    let mut dtype_rps = [0.0f64; 2];
+    for (di, dtype) in [ServeDtype::F64, ServeDtype::F32].into_iter().enumerate() {
+        eprintln!(
+            "dtype {} at offered load {dtype_offered}: {total} requests…",
+            dtype.name()
+        );
+        let ds_vocab = vocab.clone();
+        let factory_cfg = model_cfg.clone();
+        let factory = move || {
+            let mut m = Yollo::new(factory_cfg.clone(), 7);
+            m.set_vocab(ds_vocab.clone());
+            YolloBackend::new(m, dtype)
+        };
+        let result = run_load(
+            factory,
+            vocab.clone(),
+            &serve_template,
+            &scenes,
+            &queries,
+            &hot_set,
+            dtype_offered,
+            total,
+            workers,
+            0, // cache off: measure the model path, not the cache
+        );
+        dtype_rps[di] = result.throughput_rps;
+        dtype_rows.push(serde_json::json!({
+            "dtype": dtype.name(),
+            "offered_load": result.offered,
+            "requests": result.requests,
+            "wall_s": result.wall_s,
+            "throughput_rps": result.throughput_rps,
+            "speedup_vs_serial": result.throughput_rps / serial_rps,
+            "latency_ns": hist_json(&result.snapshot, "serve.request_ns"),
+        }));
+        let line = format!(
+            "dtype {}: {:.1} req/s ({:.2}x serial)",
+            dtype.name(),
+            result.throughput_rps,
+            result.throughput_rps / serial_rps,
+        );
+        eprintln!("{line}");
+        load_lines.push(line);
+    }
+
+    let model32 = model.cast::<f32>();
+    let mut ious = Vec::new();
+    let mut max_coord_drift = 0.0f64;
+    let mut max_score_drift = 0.0f64;
+    let mut peak_agree = 0usize;
+    for &(si, _) in &hot_set {
+        let sample = train
+            .iter()
+            .find(|s| s.scene_idx == si)
+            .unwrap_or(&train[0]);
+        let (images, ids, _) = model.encode_batch(&ds, &[sample]);
+        let p64 = model.predict_batch(images.clone(), &ids).remove(0);
+        let p32 = model32.predict_batch(images.cast::<f32>(), &ids).remove(0);
+        if p64.bbox.w * p64.bbox.h > 0.0 {
+            ious.push(p64.bbox.iou(&p32.bbox));
+        }
+        for (a, b) in [
+            (p64.bbox.x, p32.bbox.x),
+            (p64.bbox.y, p32.bbox.y),
+            (p64.bbox.w, p32.bbox.w),
+            (p64.bbox.h, p32.bbox.h),
+        ] {
+            max_coord_drift = max_coord_drift.max((a - b).abs());
+        }
+        max_score_drift = max_score_drift.max((p64.score - p32.score).abs());
+        if p64.attention_peak() == p32.attention_peak() {
+            peak_agree += 1;
+        }
+    }
+    let mean_iou = if ious.is_empty() {
+        serde_json::Value::Null
+    } else {
+        serde_json::json!(ious.iter().sum::<f64>() / ious.len() as f64)
+    };
+    let accuracy = serde_json::json!({
+        "pairs": hot_set.len(),
+        "mean_iou_f32_vs_f64": mean_iou,
+        "iou_pairs": ious.len(),
+        "max_coord_drift_px": max_coord_drift,
+        "max_score_drift": max_score_drift,
+        "attention_peak_agreement": peak_agree as f64 / hot_set.len() as f64,
+    });
+    let acc_line = format!(
+        "f32 vs f64 accuracy: max coord drift {max_coord_drift:.2e} px, \
+         max score drift {max_score_drift:.2e}, peak agreement {peak_agree}/{}",
+        hot_set.len()
+    );
+    eprintln!("{acc_line}");
+    load_lines.push(acc_line);
+    load_lines.push(format!(
+        "f32 serve speedup vs f64: {:.2}x",
+        dtype_rps[1] / dtype_rps[0]
+    ));
+
+    let dtype_json = serde_json::json!({
+        "rows": serde_json::Value::Array(dtype_rows),
+        "accuracy": accuracy,
+    });
     let serial = serde_json::json!({
         "requests": serial_n,
         "wall_s": serial_wall_s,
@@ -222,6 +335,7 @@ fn main() {
         "hot_set": hot,
         "serial": serial,
         "loads": loads_json,
+        "dtype": dtype_json,
     });
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
     std::fs::write(

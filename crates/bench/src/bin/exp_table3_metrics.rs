@@ -39,8 +39,11 @@ fn main() {
     }
     println!("{table}");
     let path = output_dir().join("table3_results.json");
-    std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialisable"))
-        .expect("can write results");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&results).expect("serialisable"),
+    )
+    .expect("can write results");
     println!("raw results: {}", path.display());
     println!("\nPaper shape to match: ACC@0.5 > ACC > ACC@0.75 on every row");
     println!("(ACC@0.75 is depressed because anchors are only supervised to IoU ≥ ρ_high = 0.5).");

@@ -18,7 +18,13 @@ fn main() {
     let scale = Scale::from_env();
     println!("# Table 4 — Rel2Att ablations ({scale:?} scale)\n");
     let mut table = Table::new([
-        "Method", "SynthRef val", "testA", "testB", "SynthRef+ val", "testA", "testB",
+        "Method",
+        "SynthRef val",
+        "testA",
+        "testB",
+        "SynthRef+ val",
+        "testA",
+        "testB",
         "SynthRefG val",
     ]);
     let mut results = std::collections::BTreeMap::new();
@@ -58,8 +64,11 @@ fn main() {
     }
     println!("{table}");
     let path = output_dir().join("table4_results.json");
-    std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialisable"))
-        .expect("can write results");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&results).expect("serialisable"),
+    )
+    .expect("can write results");
     println!("raw results: {}", path.display());
     println!("\nPaper shape to match: Full > without-self-attention > without-co-attention,");
     println!("with the query-blind model still above chance (dataset bias, §4.4).");

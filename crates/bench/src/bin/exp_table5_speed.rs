@@ -117,8 +117,7 @@ fn main() {
     ]);
     println!("# Table 5 — inference speed ({scale:?} scale, CPU)\n");
     println!("{table}");
-    let full =
-        |t: &TimingStats| t.mean_s + stage1.mean_s; // total two-stage latency incl. stage i
+    let full = |t: &TimingStats| t.mean_s + stage1.mean_s; // total two-stage latency incl. stage i
     println!(
         "speedups over YOLLO (tiny backbone): speaker {:.1}x, listener {:.1}x, s+l {:.1}x",
         full(&t_speaker) / t_tiny.mean_s,
@@ -140,7 +139,10 @@ fn main() {
         "proposals": proposals.len(),
     });
     let path = output_dir().join("table5_results.json");
-    std::fs::write(&path, serde_json::to_string_pretty(&results).expect("serialisable"))
-        .expect("can write results");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&results).expect("serialisable"),
+    )
+    .expect("can write results");
     println!("raw results: {}", path.display());
 }

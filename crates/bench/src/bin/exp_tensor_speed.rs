@@ -1,7 +1,8 @@
 //! **Tensor backend speed.** Times the blocked/parallel compute paths
-//! against the retained naive reference kernel on fixed seeds and writes
-//! `BENCH_tensor.json` at the repository root — one record per (op, shape,
-//! threads) with ns/iter — seeding the repo's performance trajectory.
+//! against the retained naive reference kernel on fixed seeds — at both
+//! dtype instantiations (`f64` = reference, `f32` = serve fast path) —
+//! and writes `BENCH_tensor.json` at the repository root: one record per
+//! (op, dtype, shape, threads) with ns/iter.
 //!
 //! Run with `cargo run --release -p yollo-bench --bin exp_tensor_speed`.
 //! `YOLLO_TENSOR_REPS=<n>` overrides the repetition count.
@@ -9,11 +10,12 @@
 use std::time::Instant;
 use yollo_tensor::{
     conv2d_forward, im2col_into, matmul_blocked, matmul_naive, matmul_nt, matmul_tn, parallel,
-    Conv2dSpec, ConvScratch, Graph, TapeArena, Tensor,
+    Conv2dSpec, ConvScratch, Element, Graph, TapeArena, Tensor,
 };
 
 struct Record {
     op: &'static str,
+    dtype: &'static str,
     shape: String,
     threads: usize,
     ns_per_iter: f64,
@@ -32,24 +34,31 @@ fn time_ns(reps: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn randn_vec(len: usize, seed: u64) -> Vec<f64> {
+fn randn_vec<E: Element>(len: usize, seed: u64) -> Vec<E> {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(seed);
-    Tensor::randn(&[len], &mut rng).into_vec()
+    Tensor::<E>::randn(&[len], &mut rng).into_vec()
 }
 
-fn main() {
-    let reps: usize = std::env::var("YOLLO_TENSOR_REPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7);
+fn seeded_randn<E: Element>(dims: &[usize], seed: u64) -> Tensor<E> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::<E>::randn(dims, &mut rng)
+}
+
+/// Runs the full op suite at one dtype instantiation, appending
+/// dtype-tagged records. Identical shapes, seeds, and rep counts across
+/// dtypes, so rows are directly comparable.
+fn run_suite<E: Element>(reps: usize, records: &mut Vec<Record>) {
     let ambient = parallel::num_threads();
-    let mut records: Vec<Record> = Vec::new();
-    let mut push = |op, shape: String, threads, ns| {
-        eprintln!("{op:>16} {shape:>18} threads={threads}: {:.0} ns/iter", ns);
+    let dtype = E::DTYPE;
+    let mut push = |op: &'static str, shape: String, threads: usize, ns: f64| {
+        eprintln!("{op:>20} [{dtype}] {shape:>18} threads={threads}: {ns:.0} ns/iter");
         records.push(Record {
             op,
+            dtype,
             shape,
             threads,
             ns_per_iter: ns,
@@ -58,20 +67,20 @@ fn main() {
 
     // --- matmul: naive reference vs blocked, serial and ambient ---
     for &(m, k, n) in &[(64usize, 256usize, 64usize), (256, 1024, 256)] {
-        let a = randn_vec(m * k, 11);
-        let b = randn_vec(k * n, 13);
+        let a: Vec<E> = randn_vec(m * k, 11);
+        let b: Vec<E> = randn_vec(k * n, 13);
         let shape = format!("{m}x{k}x{n}");
-        let mut out = vec![0.0; m * n];
+        let mut out = vec![E::ZERO; m * n];
 
         let ns = time_ns(reps, || {
-            out.fill(0.0);
+            out.fill(E::ZERO);
             matmul_naive(&a, &b, &mut out, m, k, n);
         });
         push("matmul_naive", shape.clone(), 1, ns);
 
         for &threads in &[1usize, ambient] {
             let ns = time_ns(reps, || {
-                out.fill(0.0);
+                out.fill(E::ZERO);
                 matmul_blocked(&a, &b, &mut out, m, k, n, threads);
             });
             push("matmul_blocked", shape.clone(), threads, ns);
@@ -84,40 +93,40 @@ fn main() {
     // --- matmul backward: materialised-transpose reference vs the fused
     // nt/tn kernels the tape actually uses (∂A = ∂Y·Bᵀ, ∂B = Aᵀ·∂Y) ---
     for &(m, k, n) in &[(64usize, 256usize, 64usize), (256, 1024, 256)] {
-        let a = randn_vec(m * k, 29);
-        let b = randn_vec(k * n, 31);
-        let gy = randn_vec(m * n, 37);
+        let a: Vec<E> = randn_vec(m * k, 29);
+        let b: Vec<E> = randn_vec(k * n, 31);
+        let gy: Vec<E> = randn_vec(m * n, 37);
         let shape = format!("{m}x{k}x{n}");
-        let mut ga = vec![0.0; m * k];
-        let mut gb = vec![0.0; k * n];
+        let mut ga = vec![E::ZERO; m * k];
+        let mut gb = vec![E::ZERO; k * n];
 
         // pre-optimisation strategy: transpose each operand into a scratch
         // buffer, then run the plain blocked kernel on the copies
-        let mut bt = vec![0.0; n * k];
-        let mut at = vec![0.0; k * m];
+        let mut bt = vec![E::ZERO; n * k];
+        let mut at = vec![E::ZERO; k * m];
         let ns = time_ns(reps, || {
             for r in 0..k {
                 for c in 0..n {
                     bt[c * k + r] = b[r * n + c];
                 }
             }
-            ga.fill(0.0);
+            ga.fill(E::ZERO);
             matmul_blocked(&gy, &bt, &mut ga, m, n, k, 1);
             for r in 0..m {
                 for c in 0..k {
                     at[c * m + r] = a[r * k + c];
                 }
             }
-            gb.fill(0.0);
+            gb.fill(E::ZERO);
             matmul_blocked(&at, &gy, &mut gb, k, m, n, 1);
         });
         push("matmul_bwd_transposed", shape.clone(), 1, ns);
 
         for &threads in &[1usize, ambient] {
             let ns = time_ns(reps, || {
-                ga.fill(0.0);
+                ga.fill(E::ZERO);
                 matmul_nt(&gy, &b, &mut ga, m, n, k, threads);
-                gb.fill(0.0);
+                gb.fill(E::ZERO);
                 matmul_tn(&a, &gy, &mut gb, m, k, n, threads);
             });
             push("matmul_bwd_fused", shape.clone(), threads, ns);
@@ -131,13 +140,12 @@ fn main() {
     // fresh tape per iteration vs an arena recycling tape buffers ---
     {
         let (m, k, n) = (128usize, 256usize, 128usize);
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(41);
-        let ta = Tensor::randn(&[m, k], &mut rng);
-        let tb = Tensor::randn(&[k, n], &mut rng);
+        let ta: Tensor<E> = seeded_randn(&[m, k], 41);
+        let tb: Tensor<E> = seeded_randn(&[k, n], 42);
         let shape = format!("{m}x{k}x{n}");
 
         let ns = time_ns(reps, || {
-            let g = Graph::new();
+            let g = Graph::<E>::new();
             let a = g.leaf(ta.clone());
             let b = g.leaf(tb.clone());
             a.matmul(b).sum_all().backward();
@@ -145,7 +153,7 @@ fn main() {
         });
         push("matmul_fwd_bwd", shape.clone(), ambient, ns);
 
-        let arena = TapeArena::new();
+        let arena = TapeArena::<E>::new();
         let ns = time_ns(reps, || {
             let g = Graph::with_arena(arena.clone());
             let a = g.leaf(ta.clone());
@@ -158,12 +166,11 @@ fn main() {
 
     // --- conv2d forward + backward through the tape ---
     {
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(43);
-        let x = Tensor::randn(&[2, 8, 16, 16], &mut rng);
-        let w = Tensor::randn(&[16, 8, 3, 3], &mut rng);
+        let x: Tensor<E> = seeded_randn(&[2, 8, 16, 16], 43);
+        let w: Tensor<E> = seeded_randn(&[16, 8, 3, 3], 44);
         let spec = Conv2dSpec { stride: 1, pad: 1 };
         let ns = time_ns(reps, || {
-            let g = Graph::new();
+            let g = Graph::<E>::new();
             let xv = g.leaf(x.clone());
             let wv = g.leaf(w.clone());
             xv.conv2d(wv, spec).sum_all().backward();
@@ -175,9 +182,8 @@ fn main() {
     // --- batched matmul through the public Tensor API ---
     {
         let (bt, m, k, n) = (8usize, 64usize, 256usize, 64usize);
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(17);
-        let a = Tensor::randn(&[bt, m, k], &mut rng);
-        let b = Tensor::randn(&[bt, k, n], &mut rng);
+        let a: Tensor<E> = seeded_randn(&[bt, m, k], 17);
+        let b: Tensor<E> = seeded_randn(&[bt, k, n], 18);
         let ns = time_ns(reps, || {
             std::hint::black_box(a.matmul(&b));
         });
@@ -186,9 +192,8 @@ fn main() {
 
     // --- conv 3x3: per-call allocation vs scratch reuse ---
     {
-        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(19);
-        let x = Tensor::randn(&[2, 32, 32, 32], &mut rng);
-        let w = Tensor::randn(&[64, 32, 3, 3], &mut rng);
+        let x: Tensor<E> = seeded_randn(&[2, 32, 32, 32], 19);
+        let w: Tensor<E> = seeded_randn(&[64, 32, 3, 3], 20);
         let spec = Conv2dSpec { stride: 1, pad: 1 };
         let mut scratch = ConvScratch::new();
         let ns = time_ns(reps, || {
@@ -206,9 +211,11 @@ fn main() {
     // --- large elementwise map (above the fan-out threshold) ---
     {
         let n = 1 << 20;
-        let t = Tensor::from_vec(randn_vec(n, 23), &[n]);
+        let t = Tensor::from_vec(randn_vec::<E>(n, 23), &[n]);
+        let scale = E::from_f64(1.0001);
+        let shift = E::from_f64(0.5);
         let ns = time_ns(reps, || {
-            std::hint::black_box(t.map(|v| v * 1.0001 + 0.5));
+            std::hint::black_box(t.map(|v| v * scale + shift));
         });
         push("map", format!("{n}"), ambient, ns);
         let ns = time_ns(reps, || {
@@ -216,17 +223,27 @@ fn main() {
         });
         push("sum_all", format!("{n}"), ambient, ns);
     }
+}
 
-    // headline ratio the acceptance criteria track
-    let ns_of = |op: &str, shape: &str| {
+fn main() {
+    let reps: usize = std::env::var("YOLLO_TENSOR_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let mut records: Vec<Record> = Vec::new();
+    run_suite::<f64>(reps, &mut records);
+    run_suite::<f32>(reps, &mut records);
+
+    // headline ratios the acceptance criteria track
+    let ns_of = |op: &str, dtype: &str, shape: &str| {
         records
             .iter()
-            .find(|r| r.op == op && r.shape == shape)
+            .find(|r| r.op == op && r.dtype == dtype && r.shape == shape)
             .map(|r| r.ns_per_iter)
     };
     if let (Some(naive), Some(blocked)) = (
-        ns_of("matmul_naive", "256x1024x256"),
-        ns_of("matmul_blocked", "256x1024x256"),
+        ns_of("matmul_naive", "f64", "256x1024x256"),
+        ns_of("matmul_blocked", "f64", "256x1024x256"),
     ) {
         println!(
             "256x1024x256 blocked speedup vs naive: {:.2}x",
@@ -234,12 +251,21 @@ fn main() {
         );
     }
     if let (Some(transposed), Some(fused)) = (
-        ns_of("matmul_bwd_transposed", "256x1024x256"),
-        ns_of("matmul_bwd_fused", "256x1024x256"),
+        ns_of("matmul_bwd_transposed", "f64", "256x1024x256"),
+        ns_of("matmul_bwd_fused", "f64", "256x1024x256"),
     ) {
         println!(
             "256x1024x256 fused backward speedup vs transposed: {:.2}x",
             transposed / fused
+        );
+    }
+    if let (Some(f64_ns), Some(f32_ns)) = (
+        ns_of("matmul_blocked", "f64", "256x1024x256"),
+        ns_of("matmul_blocked", "f32", "256x1024x256"),
+    ) {
+        println!(
+            "256x1024x256 f32 blocked speedup vs f64: {:.2}x",
+            f64_ns / f32_ns
         );
     }
 
@@ -247,8 +273,8 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "  {{\"op\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.0}}}",
-                r.op, r.shape, r.threads, r.ns_per_iter
+                "  {{\"op\": \"{}\", \"dtype\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"ns_per_iter\": {:.0}}}",
+                r.op, r.dtype, r.shape, r.threads, r.ns_per_iter
             )
         })
         .collect();

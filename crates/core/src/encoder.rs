@@ -2,7 +2,7 @@ use crate::YolloConfig;
 use rand::Rng;
 use yollo_backbone::Backbone;
 use yollo_nn::{Binder, Embedding, Linear, Module, ParamList};
-use yollo_tensor::{Tensor, Var};
+use yollo_tensor::{Element, Tensor, Var};
 use yollo_text::{sinusoidal_encoding, Vocab};
 
 /// §3.1's feature encoder: image → region sequence `V`, query → word
@@ -14,11 +14,11 @@ use yollo_text::{sinusoidal_encoding, Vocab};
 /// learned absolute-position embeddings (initialised sinusoidally), then
 /// zeroes PAD positions.
 #[derive(Debug)]
-pub struct FeatureEncoder {
-    backbone: Backbone,
-    proj: Linear,
-    word_emb: Embedding,
-    pos_emb: Embedding,
+pub struct FeatureEncoder<E: Element = f64> {
+    backbone: Backbone<E>,
+    proj: Linear<E>,
+    word_emb: Embedding<E>,
+    pos_emb: Embedding<E>,
     max_query_len: usize,
 }
 
@@ -55,14 +55,27 @@ impl FeatureEncoder {
     pub fn load_word_embeddings(&mut self, weights: Tensor) {
         self.word_emb.parameters()[0].set_value(weights);
     }
+}
 
+impl<E: Element> FeatureEncoder<E> {
     /// The image backbone.
-    pub fn backbone(&self) -> &Backbone {
+    pub fn backbone(&self) -> &Backbone<E> {
         &self.backbone
     }
 
+    /// This encoder with every weight converted element-wise to dtype `F`.
+    pub fn cast<F: Element>(&self) -> FeatureEncoder<F> {
+        FeatureEncoder {
+            backbone: self.backbone.cast(),
+            proj: self.proj.cast(),
+            word_emb: self.word_emb.cast(),
+            pos_emb: self.pos_emb.cast(),
+            max_query_len: self.max_query_len,
+        }
+    }
+
     /// Encodes a batch of images `[B, C, H, W]` into `V = [B, m, d_rel]`.
-    pub fn encode_image<'g>(&self, bind: &Binder<'g>, images: Var<'g>) -> Var<'g> {
+    pub fn encode_image<'g>(&self, bind: &Binder<'g, E>, images: Var<'g, E>) -> Var<'g, E> {
         let feats = self.backbone.forward(bind, images); // [B, C, fh, fw]
         let d = feats.dims();
         let (b, c, m) = (d[0], d[1], d[2] * d[3]);
@@ -75,7 +88,7 @@ impl FeatureEncoder {
     ///
     /// # Panics
     /// Panics if any query's length differs from `max_query_len`.
-    pub fn encode_query<'g>(&self, bind: &Binder<'g>, queries: &[Vec<usize>]) -> Var<'g> {
+    pub fn encode_query<'g>(&self, bind: &Binder<'g, E>, queries: &[Vec<usize>]) -> Var<'g, E> {
         let b = queries.len();
         let n = self.max_query_len;
         let mut flat = Vec::with_capacity(b * n);
@@ -96,14 +109,14 @@ impl FeatureEncoder {
 
     /// The `[B, n, 1]` mask with 0 at PAD positions and 1 elsewhere,
     /// threaded through the Rel2Att stack to keep padding inert.
-    pub fn pad_mask(&self, queries: &[Vec<usize>]) -> Tensor {
+    pub fn pad_mask(&self, queries: &[Vec<usize>]) -> Tensor<E> {
         let n = self.max_query_len;
         Tensor::from_fn(&[queries.len(), n, 1], |flat_idx| {
             let (bi, ni) = (flat_idx / n, flat_idx % n);
             if queries[bi][ni] == Vocab::pad_id() {
-                0.0
+                E::ZERO
             } else {
-                1.0
+                E::ONE
             }
         })
     }

@@ -1,6 +1,6 @@
 use rand::Rng;
 use yollo_nn::{Binder, Conv2d, Module, ParamList};
-use yollo_tensor::{Conv2dSpec, Var};
+use yollo_tensor::{Conv2dSpec, Element, Var};
 
 /// §3.3's RPN-like target detection network.
 ///
@@ -9,11 +9,11 @@ use yollo_tensor::{Conv2dSpec, Var};
 /// layers" applied per sliding window) emit, for each of the `K` anchors at
 /// each cell, a confidence logit `p̂` and a box-offset tuple `ε`.
 #[derive(Debug)]
-pub struct DetectionHead {
-    conv1: Conv2d,
-    conv2: Conv2d,
-    cls: Conv2d,
-    reg: Conv2d,
+pub struct DetectionHead<E: Element = f64> {
+    conv1: Conv2d<E>,
+    conv2: Conv2d<E>,
+    cls: Conv2d<E>,
+    reg: Conv2d<E>,
     anchors_per_cell: usize,
 }
 
@@ -30,12 +30,14 @@ impl DetectionHead {
             anchors_per_cell: k,
         }
     }
+}
 
+impl<E: Element> DetectionHead<E> {
     /// Predicts `(scores, offsets)` from the attended feature map
     /// `[B, d_rel, fh, fw]`:
     /// scores are `[B, A]` logits and offsets `[B, A, 4]`, with
     /// `A = fh·fw·K` in anchor-grid order (cell-major, then anchor index).
-    pub fn forward<'g>(&self, bind: &Binder<'g>, feat: Var<'g>) -> (Var<'g>, Var<'g>) {
+    pub fn forward<'g>(&self, bind: &Binder<'g, E>, feat: Var<'g, E>) -> (Var<'g, E>, Var<'g, E>) {
         let h = self
             .conv2
             .forward(bind, self.conv1.forward(bind, feat).relu())
@@ -60,6 +62,17 @@ impl DetectionHead {
             .transpose()
             .reshape(&[b, l * k, 4]);
         (scores, offsets)
+    }
+
+    /// This head with every weight converted element-wise to dtype `F`.
+    pub(crate) fn cast<F: Element>(&self) -> DetectionHead<F> {
+        DetectionHead {
+            conv1: self.conv1.cast(),
+            conv2: self.conv2.cast(),
+            cls: self.cls.cast(),
+            reg: self.reg.cast(),
+            anchors_per_cell: self.anchors_per_cell,
+        }
     }
 }
 

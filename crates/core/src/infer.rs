@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use yollo_detect::BBox;
 use yollo_nn::Binder;
 use yollo_synthref::{Dataset, GroundingSample, Scene, Split};
-use yollo_tensor::{Graph, Tensor};
+use yollo_tensor::{Element, Graph, Tensor};
 use yollo_text::tokenize;
 
 /// A grounded box with its confidence and the final-layer attention map.
@@ -54,8 +54,8 @@ impl GroundingPrediction {
 /// live on [`yollo_eval::IouMetrics`]).
 pub type EvalOutcome = yollo_eval::IouMetrics;
 
-impl Yollo {
-    fn predictions_from_output(&self, out: &YolloOutput<'_>) -> Vec<GroundingPrediction> {
+impl<E: Element> Yollo<E> {
+    fn predictions_from_output(&self, out: &YolloOutput<'_, E>) -> Vec<GroundingPrediction> {
         let scores = out.scores.value();
         let offsets = out.offsets.value();
         let att = out
@@ -86,15 +86,23 @@ impl Yollo {
                         best = i;
                     }
                 }
-                let logit = row[best];
+                let logit = row[best].to_f64();
                 let off = &os[(bi * a + best) * 4..(bi * a + best) * 4 + 4];
-                let t = [off[0], off[1], off[2], off[3]];
+                let t = [
+                    off[0].to_f64(),
+                    off[1].to_f64(),
+                    off[2].to_f64(),
+                    off[3].to_f64(),
+                ];
                 let anchor = self.anchors().boxes()[best];
                 let bbox = BBox::decode(&anchor, t, self.config().offset_encoding).clip_to(w, h);
                 GroundingPrediction {
                     bbox,
                     score: 1.0 / (1.0 + (-logit).exp()),
-                    attention: ats[bi * m..(bi + 1) * m].to_vec(),
+                    attention: ats[bi * m..(bi + 1) * m]
+                        .iter()
+                        .map(|v| v.to_f64())
+                        .collect(),
                 }
             })
             .collect()
@@ -103,7 +111,7 @@ impl Yollo {
     /// Grounds a batch of pre-encoded inputs (no gradient bookkeeping).
     pub fn predict_batch(
         &self,
-        images: Tensor,
+        images: Tensor<E>,
         queries: &[Vec<usize>],
     ) -> Vec<GroundingPrediction> {
         let _span = yollo_obs::span!("infer.predict_batch");
@@ -125,7 +133,7 @@ impl Yollo {
     /// Panics if `k == 0`.
     pub fn predict_topk(
         &self,
-        images: Tensor,
+        images: Tensor<E>,
         queries: &[Vec<usize>],
         k: usize,
     ) -> Vec<Vec<GroundingPrediction>> {
@@ -161,20 +169,27 @@ impl Yollo {
                     .take(k)
                     .map(|idx| {
                         let off = &os[(bi * a + idx) * 4..(bi * a + idx) * 4 + 4];
-                        let t = [off[0], off[1], off[2], off[3]];
+                        let t = [
+                            off[0].to_f64(),
+                            off[1].to_f64(),
+                            off[2].to_f64(),
+                            off[3].to_f64(),
+                        ];
                         let anchor = self.anchors().boxes()[idx];
                         GroundingPrediction {
                             bbox: BBox::decode(&anchor, t, self.config().offset_encoding)
                                 .clip_to(w, h),
-                            score: 1.0 / (1.0 + (-row[idx]).exp()),
-                            attention: attention.to_vec(),
+                            score: 1.0 / (1.0 + (-row[idx].to_f64()).exp()),
+                            attention: attention.iter().map(|v| v.to_f64()).collect(),
                         }
                     })
                     .collect()
             })
             .collect()
     }
+}
 
+impl Yollo {
     /// Grounds one dataset sample.
     pub fn predict_sample(&self, ds: &Dataset, sample: &GroundingSample) -> GroundingPrediction {
         let (images, queries, _) = self.encode_batch(ds, &[sample]);

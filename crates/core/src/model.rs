@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use yollo_detect::{label_anchors, sample_minibatch, AnchorGrid, BBox};
 use yollo_nn::{Binder, Checkpoint, Module, ParamList};
 use yollo_synthref::{Dataset, GroundingSample};
-use yollo_tensor::{Tensor, Var};
+use yollo_tensor::{Element, Tensor, Var};
 use yollo_text::Vocab;
 
 /// The YOLLO one-stage visual-grounding model (Figure 2a).
@@ -13,23 +13,23 @@ use yollo_text::Vocab;
 /// See the crate-level documentation for the architecture walk-through and
 /// a usage example.
 #[derive(Debug)]
-pub struct Yollo {
+pub struct Yollo<E: Element = f64> {
     cfg: YolloConfig,
-    encoder: FeatureEncoder,
-    layers: Vec<Rel2AttLayer>,
-    head: DetectionHead,
+    encoder: FeatureEncoder<E>,
+    layers: Vec<Rel2AttLayer<E>>,
+    head: DetectionHead<E>,
     anchors: AnchorGrid,
     vocab: Vocab,
 }
 
 /// Differentiable outputs of one forward pass.
-pub struct YolloOutput<'g> {
+pub struct YolloOutput<'g, E: Element = f64> {
     /// Anchor confidence logits `[B, A]`.
-    pub scores: Var<'g>,
+    pub scores: Var<'g, E>,
     /// Anchor box offsets `[B, A, 4]`.
-    pub offsets: Var<'g>,
+    pub offsets: Var<'g, E>,
     /// Raw image-attention values per Rel2Att layer, each `[B, m]`.
-    pub att_layers: Vec<Var<'g>>,
+    pub att_layers: Vec<Var<'g, E>>,
 }
 
 /// Scalar loss components of Eq. (9).
@@ -102,6 +102,13 @@ impl Yollo {
         model
     }
 
+    /// The feature encoder (exposed for word2vec initialisation).
+    pub fn encoder_mut(&mut self) -> &mut FeatureEncoder {
+        &mut self.encoder
+    }
+}
+
+impl<E: Element> Yollo<E> {
     /// The model's configuration.
     pub fn config(&self) -> &YolloConfig {
         &self.cfg
@@ -110,6 +117,21 @@ impl Yollo {
     /// The vocabulary used for sentence-level inference.
     pub fn vocab(&self) -> &Vocab {
         &self.vocab
+    }
+
+    /// This model with every weight converted element-wise to dtype `F` —
+    /// the f32 serve fast path is `model.cast::<f32>()`. Training state
+    /// (gradients, optimiser moments) does not transfer; casting is for
+    /// inference.
+    pub fn cast<F: Element>(&self) -> Yollo<F> {
+        Yollo {
+            cfg: self.cfg.clone(),
+            encoder: self.encoder.cast(),
+            layers: self.layers.iter().map(Rel2AttLayer::cast).collect(),
+            head: self.head.cast(),
+            anchors: self.anchors.clone(),
+            vocab: self.vocab.clone(),
+        }
     }
 
     /// Replaces the vocabulary (must match `cfg.vocab_size`).
@@ -127,13 +149,8 @@ impl Yollo {
     }
 
     /// The feature encoder.
-    pub fn encoder(&self) -> &FeatureEncoder {
+    pub fn encoder(&self) -> &FeatureEncoder<E> {
         &self.encoder
-    }
-
-    /// The feature encoder (exposed for word2vec initialisation).
-    pub fn encoder_mut(&mut self) -> &mut FeatureEncoder {
-        &mut self.encoder
     }
 
     /// One differentiable forward pass over a batch.
@@ -141,10 +158,10 @@ impl Yollo {
     /// `images` is `[B, C, H, W]`; `queries` holds `B` padded id sequences.
     pub fn forward<'g>(
         &self,
-        bind: &Binder<'g>,
-        images: Var<'g>,
+        bind: &Binder<'g, E>,
+        images: Var<'g, E>,
         queries: &[Vec<usize>],
-    ) -> YolloOutput<'g> {
+    ) -> YolloOutput<'g, E> {
         let _fwd = yollo_obs::span!("model.forward");
         let b = images.dims()[0];
         assert_eq!(b, queries.len(), "batch size mismatch");
@@ -188,7 +205,9 @@ impl Yollo {
             att_layers,
         }
     }
+}
 
+impl Yollo {
     /// The Eq. (6) ground-truth attention mask for a batch of target boxes:
     /// uniform mass over the feature-map cells covered by each box.
     pub fn gt_attention_mask(&self, targets: &[BBox]) -> Tensor {

@@ -1,7 +1,7 @@
 use crate::AttentionAblation;
 use rand::Rng;
 use yollo_nn::{Binder, Ffn, Module, ParamList, Parameter};
-use yollo_tensor::{Tensor, Var};
+use yollo_tensor::{Element, Tensor, Var};
 
 /// One Relation-to-Attention module (§3.2, Figure 2b).
 ///
@@ -29,12 +29,12 @@ use yollo_tensor::{Tensor, Var};
 /// * PAD query positions are zeroed inside the relation map so padding
 ///   never dilutes the attention statistics.
 #[derive(Debug)]
-pub struct Rel2AttLayer {
-    ffn_v1: Ffn,
-    ffn_v2: Ffn,
-    ffn_t1: Ffn,
-    ffn_t2: Ffn,
-    gain: Parameter,
+pub struct Rel2AttLayer<E: Element = f64> {
+    ffn_v1: Ffn<E>,
+    ffn_v2: Ffn<E>,
+    ffn_t1: Ffn<E>,
+    ffn_t2: Ffn<E>,
+    gain: Parameter<E>,
     d_rel: usize,
     ablation: AttentionAblation,
     /// §3.2: "in the last Rel2Att module we only compute the new image
@@ -45,18 +45,18 @@ pub struct Rel2AttLayer {
 }
 
 /// Output of one Rel2Att layer.
-pub(crate) struct Rel2AttOutput<'g> {
+pub(crate) struct Rel2AttOutput<'g, E: Element = f64> {
     /// Updated image sequence `Ṽ = [B, m, d]`.
-    pub v: Var<'g>,
+    pub v: Var<'g, E>,
     /// Updated query sequence `T̃ = [B, n, d]`.
-    pub t: Var<'g>,
+    pub t: Var<'g, E>,
     /// Raw (pre-softmax) image attention logits `att_v = [B, m]`, used by
     /// the attention loss (Eq. 6) and the Figure 5 visualisations.
-    pub att_v: Var<'g>,
+    pub att_v: Var<'g, E>,
 }
 
 /// Per-sample RMS normalisation over positions *and* channels.
-fn rms_norm<'g>(x: Var<'g>) -> Var<'g> {
+fn rms_norm<'g, E: Element>(x: Var<'g, E>) -> Var<'g, E> {
     let dims = x.dims();
     let mut keep = dims.clone();
     for k in keep.iter_mut().skip(1) {
@@ -94,7 +94,9 @@ impl Rel2AttLayer {
             trace_name: name.to_string(),
         }
     }
+}
 
+impl<E: Element> Rel2AttLayer<E> {
     /// Name this layer reports in trace spans.
     pub(crate) fn trace_name(&self) -> &str {
         &self.trace_name
@@ -103,24 +105,24 @@ impl Rel2AttLayer {
     /// The quadrant mask for `k = m + n` elements: 1 where the relation is
     /// kept, 0 where the ablation wipes it out (Table 4: "we simply wipe
     /// out the corresponding blocks in the relation map").
-    fn quadrant_mask(&self, m: usize, n: usize) -> Option<Tensor> {
+    fn quadrant_mask(&self, m: usize, n: usize) -> Option<Tensor<E>> {
         let k = m + n;
         match self.ablation {
             AttentionAblation::Full => None,
             AttentionAblation::NoSelfAttention => Some(Tensor::from_fn(&[k, k], |flat| {
                 let (i, j) = (flat / k, flat % k);
                 if (i < m) == (j < m) {
-                    0.0
+                    E::ZERO
                 } else {
-                    1.0
+                    E::ONE
                 }
             })),
             AttentionAblation::NoCoAttention => Some(Tensor::from_fn(&[k, k], |flat| {
                 let (i, j) = (flat / k, flat % k);
                 if (i < m) == (j < m) {
-                    1.0
+                    E::ONE
                 } else {
-                    0.0
+                    E::ZERO
                 }
             })),
         }
@@ -132,11 +134,11 @@ impl Rel2AttLayer {
     /// when given, padded words are excluded from the relation map.
     pub(crate) fn forward<'g>(
         &self,
-        bind: &Binder<'g>,
-        v: Var<'g>,
-        t: Var<'g>,
-        pad_mask: Option<&Tensor>,
-    ) -> Rel2AttOutput<'g> {
+        bind: &Binder<'g, E>,
+        v: Var<'g, E>,
+        t: Var<'g, E>,
+        pad_mask: Option<&Tensor<E>>,
+    ) -> Rel2AttOutput<'g, E> {
         let (b, m) = (v.dims()[0], v.dims()[1]);
         let n = t.dims()[1];
         let g = bind.graph();
@@ -168,14 +170,19 @@ impl Rel2AttLayer {
             Some(mask) => {
                 let m2 = mask.reshape(&[b, n]);
                 Tensor::from_fn(&[b, 1], |bi| {
-                    let real: f64 = m2.slice(0, bi, 1).as_slice().iter().sum();
-                    1.0 / real.max(1.0)
+                    let real: f64 = m2
+                        .slice(0, bi, 1)
+                        .as_slice()
+                        .iter()
+                        .map(|v| v.to_f64())
+                        .sum();
+                    E::from_f64(1.0 / real.max(1.0))
                 })
             }
-            None => Tensor::full(&[b, 1], 1.0 / n as f64),
+            None => Tensor::full(&[b, 1], E::from_f64(1.0 / n as f64)),
         };
         let inv_real = g.leaf(inv_real);
-        let quad_means = |r: Var<'g>| -> Var<'g> {
+        let quad_means = |r: Var<'g, E>| -> Var<'g, E> {
             // r: [B, k, k]; mean over the V columns + pad-aware mean over
             // the T columns → [B, k]
             let v_mean = r.slice(2, 0, m).mean_axis(2);
@@ -208,6 +215,21 @@ impl Rel2AttLayer {
             v: v_out,
             t: t_out,
             att_v,
+        }
+    }
+
+    /// This layer with every weight converted element-wise to dtype `F`.
+    pub(crate) fn cast<F: Element>(&self) -> Rel2AttLayer<F> {
+        Rel2AttLayer {
+            ffn_v1: self.ffn_v1.cast(),
+            ffn_v2: self.ffn_v2.cast(),
+            ffn_t1: self.ffn_t1.cast(),
+            ffn_t2: self.ffn_t2.cast(),
+            gain: self.gain.cast(),
+            d_rel: self.d_rel,
+            ablation: self.ablation,
+            compute_t: self.compute_t,
+            trace_name: self.trace_name.clone(),
         }
     }
 }
@@ -354,7 +376,7 @@ mod tests {
 
     #[test]
     fn rms_norm_controls_scale() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let mut rng = StdRng::seed_from_u64(3);
         let x = g.leaf(Tensor::randn(&[2, 5, 8], &mut rng).scale(100.0));
         let y = rms_norm(x).value();

@@ -187,12 +187,22 @@ fn worker_loop(
     rx: Receiver<WorkerMsg>,
     out: Sender<(usize, ShardResult)>,
 ) {
-    // the replica and its tape arena live for the whole run; weights are
-    // refreshed by every broadcast, so the init seed is irrelevant
+    // the replica lives for the whole run; weights are refreshed by every
+    // broadcast, so the init seed is irrelevant
     let mut model = Yollo::new(cfg, 0);
     model.set_vocab(vocab);
     let replica_params = model.parameters();
-    let arena = TapeArena::new();
+    // Recycling tape buffers through a TapeArena is opt-in: the
+    // `matmul_fwd_bwd_arena` bench row shows the arena ~1.75x SLOWER than
+    // fresh per-step tapes for matmul-dominated graphs (the allocator
+    // already serves these sizes well, and the arena adds bookkeeping on
+    // every node). It only pays when a step allocates many small tape
+    // nodes and the allocator is the bottleneck — set YOLLO_TAPE_ARENA=1
+    // to measure on a given workload. Either way the math is identical.
+    let arena = match std::env::var("YOLLO_TAPE_ARENA") {
+        Ok(v) if v == "1" => Some(TapeArena::new()),
+        _ => None,
+    };
     while let Ok(msg) = rx.recv() {
         let WorkerMsg::Step { weights, tasks } = msg else {
             break;
@@ -211,7 +221,10 @@ fn worker_loop(
                     p.zero_grad();
                 }
                 let mut rng = task.rng.clone();
-                let g = Graph::with_arena(arena.clone());
+                let g = match &arena {
+                    Some(a) => Graph::with_arena(a.clone()),
+                    None => Graph::new(),
+                };
                 let bind = Binder::new(&g);
                 let fwd = model.forward(&bind, g.leaf(task.images), &task.queries);
                 let (loss, parts) = model.loss(&bind, &fwd, &task.targets, &mut rng);

@@ -157,7 +157,9 @@ mod tests {
         for py in (2..46).step_by(4) {
             for px in (2..70).step_by(4) {
                 assert!(
-                    g.boxes().iter().any(|b| b.contains_point(px as f64, py as f64)),
+                    g.boxes()
+                        .iter()
+                        .any(|b| b.contains_point(px as f64, py as f64)),
                     "uncovered point ({px},{py})"
                 );
             }

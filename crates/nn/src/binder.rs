@@ -1,7 +1,7 @@
 use std::cell::RefCell;
 
 use crate::Parameter;
-use yollo_tensor::{Graph, Var};
+use yollo_tensor::{Element, Graph, Var};
 
 /// Connects [`Parameter`]s to one autodiff tape for a forward/backward pass.
 ///
@@ -13,20 +13,20 @@ use yollo_tensor::{Graph, Var};
 /// Binding the same parameter twice on one tape returns the same `Var`, so
 /// weight sharing (e.g. the stacked Rel2Att modules reusing an embedding)
 /// contributes a single, correctly-summed gradient.
-pub struct Binder<'g> {
-    graph: &'g Graph,
-    bound: RefCell<Vec<(usize, Parameter)>>,
+pub struct Binder<'g, E: Element = f64> {
+    graph: &'g Graph<E>,
+    bound: RefCell<Vec<(usize, Parameter<E>)>>,
 }
 
-impl std::fmt::Debug for Binder<'_> {
+impl<E: Element> std::fmt::Debug for Binder<'_, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Binder({} bound params)", self.bound.borrow().len())
     }
 }
 
-impl<'g> Binder<'g> {
+impl<'g, E: Element> Binder<'g, E> {
     /// Creates a binder for `graph`.
-    pub fn new(graph: &'g Graph) -> Self {
+    pub fn new(graph: &'g Graph<E>) -> Self {
         Binder {
             graph,
             bound: RefCell::new(Vec::new()),
@@ -34,12 +34,12 @@ impl<'g> Binder<'g> {
     }
 
     /// The underlying tape.
-    pub fn graph(&self) -> &'g Graph {
+    pub fn graph(&self) -> &'g Graph<E> {
         self.graph
     }
 
     /// Returns a tape variable holding the parameter's current value.
-    pub fn var(&self, p: &Parameter) -> Var<'g> {
+    pub fn var(&self, p: &Parameter<E>) -> Var<'g, E> {
         let mut bound = self.bound.borrow_mut();
         if let Some((id, _)) = bound.iter().find(|(_, q)| q.same_storage(p)) {
             return self.graph.var_by_index(*id);

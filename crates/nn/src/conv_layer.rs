@@ -1,12 +1,12 @@
 use crate::{he_normal, Binder, Module, ParamList, Parameter};
 use rand::Rng;
-use yollo_tensor::{conv2d_forward, Conv2dSpec, ConvScratch, Tensor, Var};
+use yollo_tensor::{conv2d_forward, Conv2dSpec, ConvScratch, Element, Tensor, Var};
 
 /// A 2-D convolution layer over `[N,C,H,W]` inputs, He-initialised.
 #[derive(Debug, Clone)]
-pub struct Conv2d {
-    w: Parameter,
-    b: Option<Parameter>,
+pub struct Conv2d<E: Element = f64> {
+    w: Parameter<E>,
+    b: Option<Parameter<E>>,
     spec: Conv2dSpec,
     in_channels: usize,
     out_channels: usize,
@@ -39,7 +39,9 @@ impl Conv2d {
             kernel,
         }
     }
+}
 
+impl<E: Element> Conv2d<E> {
     /// Output channel count.
     pub fn out_channels(&self) -> usize {
         self.out_channels
@@ -54,7 +56,7 @@ impl Conv2d {
     ///
     /// # Panics
     /// Panics if the input channel count differs from `in_channels`.
-    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+    pub fn forward<'g>(&self, bind: &Binder<'g, E>, x: Var<'g, E>) -> Var<'g, E> {
         let dims = x.dims();
         assert_eq!(dims.len(), 4, "conv input must be [N,C,H,W]");
         assert_eq!(dims[1], self.in_channels, "conv channel mismatch");
@@ -76,7 +78,7 @@ impl Conv2d {
     ///
     /// # Panics
     /// Panics if the input channel count differs from `in_channels`.
-    pub fn forward_infer(&self, x: &Tensor, scratch: &mut ConvScratch) -> Tensor {
+    pub fn forward_infer(&self, x: &Tensor<E>, scratch: &mut ConvScratch<E>) -> Tensor<E> {
         assert_eq!(x.rank(), 4, "conv input must be [N,C,H,W]");
         assert_eq!(x.dims()[1], self.in_channels, "conv channel mismatch");
         let y = conv2d_forward(x, &self.w.value(), self.spec, scratch);
@@ -92,6 +94,18 @@ impl Conv2d {
     /// Output spatial size for an `h`×`w` input.
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
         self.spec.output_hw(h, w, self.kernel, self.kernel)
+    }
+
+    /// This layer with the weights converted element-wise to dtype `F`.
+    pub fn cast<F: Element>(&self) -> Conv2d<F> {
+        Conv2d {
+            w: self.w.cast(),
+            b: self.b.as_ref().map(Parameter::cast),
+            spec: self.spec,
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+        }
     }
 }
 

@@ -1,11 +1,11 @@
 use crate::{Binder, Module, ParamList, Parameter};
 use rand::Rng;
-use yollo_tensor::{Tensor, Var};
+use yollo_tensor::{Element, Tensor, Var};
 
 /// A token-embedding table `[vocab, dim]` with differentiable row lookup.
 #[derive(Debug, Clone)]
-pub struct Embedding {
-    table: Parameter,
+pub struct Embedding<E: Element = f64> {
+    table: Parameter<E>,
     vocab: usize,
     dim: usize,
 }
@@ -19,12 +19,14 @@ impl Embedding {
         );
         Embedding { table, vocab, dim }
     }
+}
 
+impl<E: Element> Embedding<E> {
     /// Creates a table from pre-trained vectors (e.g. word2vec output).
     ///
     /// # Panics
     /// Panics if `weights` is not rank 2.
-    pub fn from_pretrained(name: &str, weights: Tensor) -> Self {
+    pub fn from_pretrained(name: &str, weights: Tensor<E>) -> Self {
         assert_eq!(weights.rank(), 2, "embedding weights must be [vocab, dim]");
         let (vocab, dim) = (weights.dims()[0], weights.dims()[1]);
         Embedding {
@@ -48,11 +50,20 @@ impl Embedding {
     ///
     /// # Panics
     /// Panics if any id is out of vocabulary.
-    pub fn forward<'g>(&self, bind: &Binder<'g>, ids: &[usize]) -> Var<'g> {
+    pub fn forward<'g>(&self, bind: &Binder<'g, E>, ids: &[usize]) -> Var<'g, E> {
         for &id in ids {
             assert!(id < self.vocab, "token id {id} out of vocab {}", self.vocab);
         }
         bind.var(&self.table).gather_rows(ids)
+    }
+
+    /// This table with the weights converted element-wise to dtype `F`.
+    pub fn cast<F: Element>(&self) -> Embedding<F> {
+        Embedding {
+            table: self.table.cast(),
+            vocab: self.vocab,
+            dim: self.dim,
+        }
     }
 }
 

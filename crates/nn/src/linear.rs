@@ -1,15 +1,15 @@
 use crate::{uniform_fan_in, xavier_uniform, Binder, Module, ParamList, Parameter};
 use rand::Rng;
-use yollo_tensor::{Tensor, Var};
+use yollo_tensor::{Element, Tensor, Var};
 
 /// A fully-connected layer `y = x W + b`.
 ///
 /// Accepts rank-2 `[rows, in]` or rank-3 `[batch, rows, in]` inputs; the
 /// weight is shared across leading dimensions.
 #[derive(Debug, Clone)]
-pub struct Linear {
-    w: Parameter,
-    b: Option<Parameter>,
+pub struct Linear<E: Element = f64> {
+    w: Parameter<E>,
+    b: Option<Parameter<E>>,
     in_dim: usize,
     out_dim: usize,
 }
@@ -50,7 +50,9 @@ impl Linear {
             out_dim,
         }
     }
+}
 
+impl<E: Element> Linear<E> {
     /// Input feature dimension.
     pub fn in_dim(&self) -> usize {
         self.in_dim
@@ -65,7 +67,7 @@ impl Linear {
     ///
     /// # Panics
     /// Panics if the last input dimension differs from `in_dim`.
-    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+    pub fn forward<'g>(&self, bind: &Binder<'g, E>, x: Var<'g, E>) -> Var<'g, E> {
         let dims = x.dims();
         assert_eq!(
             *dims.last().expect("linear input must have rank >= 1"),
@@ -85,7 +87,7 @@ impl Linear {
     ///
     /// # Panics
     /// Panics if the last input dimension differs from `in_dim`.
-    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+    pub fn forward_infer(&self, x: &Tensor<E>) -> Tensor<E> {
         assert_eq!(
             *x.dims().last().expect("linear input must have rank >= 1"),
             self.in_dim,
@@ -95,6 +97,16 @@ impl Linear {
         match &self.b {
             Some(b) => y.zip_broadcast(&b.value(), |a, c| a + c),
             None => y,
+        }
+    }
+
+    /// This layer with the weights converted element-wise to dtype `F`.
+    pub fn cast<F: Element>(&self) -> Linear<F> {
+        Linear {
+            w: self.w.cast(),
+            b: self.b.as_ref().map(Parameter::cast),
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
         }
     }
 }
@@ -112,9 +124,9 @@ impl Module for Linear {
 /// The paper's two-layer feed-forward network (`FFN(x, θ)` in Eq. 1–2):
 /// `y = ReLU(x W1 + b1) W2 + b2`.
 #[derive(Debug, Clone)]
-pub struct Ffn {
-    fc1: Linear,
-    fc2: Linear,
+pub struct Ffn<E: Element = f64> {
+    fc1: Linear<E>,
+    fc2: Linear<E>,
 }
 
 impl Ffn {
@@ -131,21 +143,31 @@ impl Ffn {
             fc2: Linear::new(&format!("{name}.fc2"), hidden, out_dim, true, rng),
         }
     }
+}
 
+impl<E: Element> Ffn<E> {
     /// Output feature dimension.
     pub fn out_dim(&self) -> usize {
         self.fc2.out_dim()
     }
 
     /// Applies the two layers with a ReLU between.
-    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+    pub fn forward<'g>(&self, bind: &Binder<'g, E>, x: Var<'g, E>) -> Var<'g, E> {
         self.fc2.forward(bind, self.fc1.forward(bind, x).relu())
     }
 
     /// Graph-free forward for inference (see [`Linear::forward_infer`]).
-    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+    pub fn forward_infer(&self, x: &Tensor<E>) -> Tensor<E> {
         self.fc2
-            .forward_infer(&self.fc1.forward_infer(x).map(|v| v.max(0.0)))
+            .forward_infer(&self.fc1.forward_infer(x).map(|v| v.max(E::ZERO)))
+    }
+
+    /// This network with the weights converted element-wise to dtype `F`.
+    pub fn cast<F: Element>(&self) -> Ffn<F> {
+        Ffn {
+            fc1: self.fc1.cast(),
+            fc2: self.fc2.cast(),
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 use crate::Parameter;
 
 /// A collection of named parameters.
-pub type ParamList = Vec<Parameter>;
+pub type ParamList<E = f64> = Vec<Parameter<E>>;
 
 /// Anything holding trainable parameters.
 ///

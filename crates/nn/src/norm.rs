@@ -1,11 +1,11 @@
 use crate::{Binder, Module, ParamList, Parameter};
-use yollo_tensor::{Tensor, Var};
+use yollo_tensor::{Element, Tensor, Var};
 
 /// Layer normalisation over the last dimension, with learned gain and bias.
 #[derive(Debug, Clone)]
-pub struct LayerNorm {
-    gamma: Parameter,
-    beta: Parameter,
+pub struct LayerNorm<E: Element = f64> {
+    gamma: Parameter<E>,
+    beta: Parameter<E>,
     dim: usize,
     eps: f64,
 }
@@ -20,12 +20,14 @@ impl LayerNorm {
             eps: 1e-5,
         }
     }
+}
 
+impl<E: Element> LayerNorm<E> {
     /// Normalises the last dimension of `x` (any rank ≥ 1).
     ///
     /// # Panics
     /// Panics if the last dimension differs from `dim`.
-    pub fn forward<'g>(&self, bind: &Binder<'g>, x: Var<'g>) -> Var<'g> {
+    pub fn forward<'g>(&self, bind: &Binder<'g, E>, x: Var<'g, E>) -> Var<'g, E> {
         let dims = x.dims();
         let last = *dims.last().expect("layernorm input must have rank >= 1");
         assert_eq!(last, self.dim, "layernorm dim mismatch");
@@ -37,6 +39,16 @@ impl LayerNorm {
         let var = centered.square().mean_axis(axis).reshape(&keep);
         let normed = centered / (var.add_scalar(self.eps)).sqrt();
         normed * bind.var(&self.gamma) + bind.var(&self.beta)
+    }
+
+    /// This layer with the weights converted element-wise to dtype `F`.
+    pub fn cast<F: Element>(&self) -> LayerNorm<F> {
+        LayerNorm {
+            gamma: self.gamma.cast(),
+            beta: self.beta.cast(),
+            dim: self.dim,
+            eps: self.eps,
+        }
     }
 }
 
@@ -73,7 +85,7 @@ mod tests {
     #[test]
     fn layernorm_gradcheck() {
         let mut rng = StdRng::seed_from_u64(1);
-        let x = Tensor::randn(&[2, 4], &mut rng);
+        let x: Tensor = Tensor::randn(&[2, 4], &mut rng);
         check_gradients(
             &[x],
             GradCheck {

@@ -2,11 +2,11 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use yollo_tensor::Tensor;
+use yollo_tensor::{Element, Tensor};
 
-struct ParamInner {
-    value: Tensor,
-    grad: Tensor,
+struct ParamInner<E: Element> {
+    value: Tensor<E>,
+    grad: Tensor<E>,
 }
 
 /// A named, trainable tensor that outlives any single autodiff tape.
@@ -21,14 +21,14 @@ struct ParamInner {
 /// reproduction parallelises across *processes/experiments*, never within a
 /// model instance.
 #[derive(Clone)]
-pub struct Parameter {
+pub struct Parameter<E: Element = f64> {
     name: Rc<str>,
-    inner: Rc<RefCell<ParamInner>>,
+    inner: Rc<RefCell<ParamInner<E>>>,
 }
 
-impl Parameter {
+impl<E: Element> Parameter<E> {
     /// Creates a parameter from an initial value.
-    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+    pub fn new(name: impl Into<String>, value: Tensor<E>) -> Self {
         let grad = Tensor::zeros(value.dims());
         Parameter {
             name: Rc::from(name.into()),
@@ -42,7 +42,7 @@ impl Parameter {
     }
 
     /// A clone of the current weights.
-    pub fn value(&self) -> Tensor {
+    pub fn value(&self) -> Tensor<E> {
         self.inner.borrow().value.clone()
     }
 
@@ -50,7 +50,7 @@ impl Parameter {
     ///
     /// # Panics
     /// Panics if the new shape differs from the old.
-    pub fn set_value(&self, value: Tensor) {
+    pub fn set_value(&self, value: Tensor<E>) {
         self.try_set_value(value)
             .unwrap_or_else(|e| panic!("parameter {e}"));
     }
@@ -61,7 +61,7 @@ impl Parameter {
     ///
     /// # Errors
     /// Returns the parameter name plus the stored and offered shapes.
-    pub fn try_set_value(&self, value: Tensor) -> Result<(), String> {
+    pub fn try_set_value(&self, value: Tensor<E>) -> Result<(), String> {
         let mut inner = self.inner.borrow_mut();
         if inner.value.dims() != value.dims() {
             return Err(format!(
@@ -77,7 +77,7 @@ impl Parameter {
     }
 
     /// A clone of the accumulated gradient.
-    pub fn grad(&self) -> Tensor {
+    pub fn grad(&self) -> Tensor<E> {
         self.inner.borrow().grad.clone()
     }
 
@@ -85,7 +85,7 @@ impl Parameter {
     ///
     /// # Panics
     /// Panics if shapes differ.
-    pub fn accumulate_grad(&self, g: &Tensor) {
+    pub fn accumulate_grad(&self, g: &Tensor<E>) {
         self.inner.borrow_mut().grad.add_assign(g);
     }
 
@@ -95,8 +95,11 @@ impl Parameter {
     ///
     /// # Panics
     /// Panics if shapes differ.
-    pub fn accumulate_grad_scaled(&self, g: &Tensor, scale: f64) {
-        self.inner.borrow_mut().grad.add_scaled_assign(g, scale);
+    pub fn accumulate_grad_scaled(&self, g: &Tensor<E>, scale: f64) {
+        self.inner
+            .borrow_mut()
+            .grad
+            .add_scaled_assign(g, E::from_f64(scale));
     }
 
     /// Clears the accumulated gradient to zero.
@@ -107,7 +110,7 @@ impl Parameter {
     }
 
     /// Applies an in-place update `value <- f(value, grad)`.
-    pub(crate) fn update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
+    pub(crate) fn update(&self, f: impl FnOnce(&mut Tensor<E>, &Tensor<E>)) {
         let mut inner = self.inner.borrow_mut();
         let ParamInner { value, grad } = &mut *inner;
         f(value, grad);
@@ -124,13 +127,13 @@ impl Parameter {
     }
 
     /// True when both handles address the same storage.
-    pub fn same_storage(&self, other: &Parameter) -> bool {
+    pub fn same_storage(&self, other: &Parameter<E>) -> bool {
         Rc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Global L2 norm of the gradient.
     pub fn grad_norm(&self) -> f64 {
-        self.inner.borrow().grad.norm()
+        self.inner.borrow().grad.norm().to_f64()
     }
 
     /// True when every element of the accumulated gradient is finite.
@@ -144,9 +147,15 @@ impl Parameter {
     pub fn value_is_finite(&self) -> bool {
         self.inner.borrow().value.is_finite()
     }
+
+    /// A new parameter (fresh storage, zero gradient) with the same name
+    /// and the weights converted element-wise to dtype `F`.
+    pub fn cast<F: Element>(&self) -> Parameter<F> {
+        Parameter::new(self.name.to_string(), self.value().cast())
+    }
 }
 
-impl fmt::Debug for Parameter {
+impl<E: Element> fmt::Debug for Parameter<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Parameter({} {:?})", self.name, self.dims())
     }
@@ -158,7 +167,7 @@ mod tests {
 
     #[test]
     fn clone_shares_storage() {
-        let p = Parameter::new("w", Tensor::zeros(&[2, 2]));
+        let p: Parameter = Parameter::new("w", Tensor::zeros(&[2, 2]));
         let q = p.clone();
         q.set_value(Tensor::ones(&[2, 2]));
         assert_eq!(p.value().as_slice(), &[1.0; 4]);
@@ -167,7 +176,7 @@ mod tests {
 
     #[test]
     fn grad_accumulates_and_zeroes() {
-        let p = Parameter::new("w", Tensor::zeros(&[3]));
+        let p: Parameter = Parameter::new("w", Tensor::zeros(&[3]));
         p.accumulate_grad(&Tensor::ones(&[3]));
         p.accumulate_grad(&Tensor::ones(&[3]));
         assert_eq!(p.grad().as_slice(), &[2.0; 3]);
@@ -178,13 +187,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "shape change")]
     fn set_value_rejects_shape_change() {
-        let p = Parameter::new("w", Tensor::zeros(&[3]));
+        let p: Parameter = Parameter::new("w", Tensor::zeros(&[3]));
         p.set_value(Tensor::zeros(&[4]));
     }
 
     #[test]
     fn try_set_value_reports_name_and_shapes() {
-        let p = Parameter::new("layer.w", Tensor::zeros(&[2, 3]));
+        let p: Parameter = Parameter::new("layer.w", Tensor::zeros(&[2, 3]));
         let err = p.try_set_value(Tensor::zeros(&[3, 2])).unwrap_err();
         assert!(err.contains("layer.w"), "missing name: {err}");
         assert!(err.contains("[2, 3]") && err.contains("[3, 2]"), "{err}");
@@ -196,7 +205,7 @@ mod tests {
 
     #[test]
     fn finite_scans_cover_grad_and_value() {
-        let p = Parameter::new("w", Tensor::zeros(&[2]));
+        let p: Parameter = Parameter::new("w", Tensor::zeros(&[2]));
         assert!(p.grad_is_finite() && p.value_is_finite());
         p.accumulate_grad(&Tensor::from_vec(vec![f64::NAN, 0.0], &[2]));
         assert!(!p.grad_is_finite());

@@ -55,5 +55,8 @@ pub use batcher::{Batch, BatchBoundary, Batcher, FlushReason};
 pub use cache::LruCache;
 pub use clock::{Clock, CountingWaker, NoopWaker, SystemClock, VirtualClock, Waker};
 pub use error::ServeError;
-pub use server::{GroundingModel, Response, ServeConfig, ServeResult, Server, ServerCore};
+pub use server::{
+    GroundingModel, Response, ServeConfig, ServeDtype, ServeResult, Server, ServerCore,
+    YolloBackend,
+};
 pub use sim::{Arrival, SimReport, Simulation};

@@ -50,6 +50,77 @@ impl GroundingModel for Yollo {
     }
 }
 
+/// Numeric precision the serving backend runs the model at.
+///
+/// `F64` is the bitwise-reference path (identical to training numerics);
+/// `F32` casts the weights once at startup and each batch's pixels at
+/// entry, trading a bounded accuracy delta for kernel throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeDtype {
+    /// Full-precision reference path.
+    F64,
+    /// Single-precision fast path.
+    F32,
+}
+
+impl ServeDtype {
+    /// Parses `"f64"` / `"f32"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<ServeDtype> {
+        match s.to_ascii_lowercase().as_str() {
+            "f64" => Some(ServeDtype::F64),
+            "f32" => Some(ServeDtype::F32),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (`"f64"` / `"f32"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeDtype::F64 => "f64",
+            ServeDtype::F32 => "f32",
+        }
+    }
+}
+
+/// A [`Yollo`] model held at a serving precision. The [`GroundingModel`]
+/// boundary stays `f64`: the `F32` arm casts the incoming batch to `f32`,
+/// runs the single-precision kernels, and the predictions come back as
+/// `f64` coordinates either way.
+pub enum YolloBackend {
+    /// The reference model, weights as trained.
+    F64(Yollo),
+    /// The model with weights cast once to `f32` at construction.
+    F32(Yollo<f32>),
+}
+
+impl YolloBackend {
+    /// Wraps `model` at the requested precision (`F32` casts the weights
+    /// once, up front).
+    pub fn new(model: Yollo, dtype: ServeDtype) -> Self {
+        match dtype {
+            ServeDtype::F64 => YolloBackend::F64(model),
+            ServeDtype::F32 => YolloBackend::F32(model.cast()),
+        }
+    }
+
+    /// The precision this backend runs at.
+    pub fn dtype(&self) -> ServeDtype {
+        match self {
+            YolloBackend::F64(_) => ServeDtype::F64,
+            YolloBackend::F32(_) => ServeDtype::F32,
+        }
+    }
+}
+
+impl GroundingModel for YolloBackend {
+    fn predict_batch(&self, images: Tensor, queries: &[Vec<usize>]) -> Vec<GroundingPrediction> {
+        match self {
+            YolloBackend::F64(m) => m.predict_batch(images, queries),
+            YolloBackend::F32(m) => m.predict_batch(images.cast::<f32>(), queries),
+        }
+    }
+}
+
 /// Tunables of the serving stack.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {

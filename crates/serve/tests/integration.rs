@@ -2,7 +2,7 @@
 //! agrees exactly with direct single-request inference.
 
 use yollo_core::{Yollo, YolloConfig};
-use yollo_serve::{ServeConfig, Server, ServerCore};
+use yollo_serve::{ServeConfig, ServeDtype, Server, ServerCore, YolloBackend};
 use yollo_synthref::{Dataset, DatasetConfig, DatasetKind};
 
 fn tiny() -> (Yollo, Dataset) {
@@ -35,6 +35,77 @@ fn served_predictions_match_direct_inference_exactly() {
         served, expected,
         "batched serving must be bit-identical to direct inference"
     );
+}
+
+#[test]
+fn f32_backend_serves_within_iou_tolerance_of_f64() {
+    let (model, ds) = tiny();
+    let (model2, _) = tiny(); // deterministic seeds: same weights as `model`
+    let vocab = model.vocab().clone();
+    let cfg = ServeConfig::for_model(model.config());
+    let f64_backend = YolloBackend::new(model, ServeDtype::F64);
+    let f32_backend = YolloBackend::new(model2, ServeDtype::F32);
+    assert_eq!(f64_backend.dtype(), ServeDtype::F64);
+    assert_eq!(f32_backend.dtype(), ServeDtype::F32);
+
+    let mut ref_core = ServerCore::new(f64_backend, vocab.clone(), cfg.clone());
+    let mut fast_core = ServerCore::new(f32_backend, vocab, cfg);
+
+    let queries = ["the red circle", "the blue square"];
+    for (i, scene) in ds.scenes().iter().take(4).enumerate() {
+        let query = queries[i % queries.len()];
+        let r = ref_core.submit(scene, query).unwrap();
+        let f = fast_core.submit(scene, query).unwrap();
+        ref_core.drain();
+        fast_core.drain();
+        let reference = r.wait().unwrap();
+        let fast = f.wait().unwrap();
+        // IoU is the headline tolerance, but an untrained model can emit
+        // zero-area boxes after clipping (IoU degenerates to 0 even for
+        // identical boxes) — so also bound the raw coordinate drift.
+        if reference.bbox.w * reference.bbox.h > 0.0 {
+            let iou = reference.bbox.iou(&fast.bbox);
+            assert!(
+                iou > 0.99,
+                "scene {i}: f32 box diverged from f64 (IoU {iou:.4}): {:?} vs {:?}",
+                fast.bbox,
+                reference.bbox
+            );
+        }
+        for (a, b) in [
+            (reference.bbox.x, fast.bbox.x),
+            (reference.bbox.y, fast.bbox.y),
+            (reference.bbox.w, fast.bbox.w),
+            (reference.bbox.h, fast.bbox.h),
+        ] {
+            assert!(
+                (a - b).abs() < 0.05,
+                "scene {i}: coordinate drift {a} vs {b}: {:?} vs {:?}",
+                fast.bbox,
+                reference.bbox
+            );
+        }
+        assert!(
+            (reference.score - fast.score).abs() < 1e-3,
+            "scene {i}: score drifted: {} vs {}",
+            fast.score,
+            reference.score
+        );
+        assert_eq!(
+            reference.attention_peak(),
+            fast.attention_peak(),
+            "scene {i}: attention peak moved between dtypes"
+        );
+    }
+}
+
+#[test]
+fn serve_dtype_parses_and_names_round_trip() {
+    assert_eq!(ServeDtype::parse("f64"), Some(ServeDtype::F64));
+    assert_eq!(ServeDtype::parse("F32"), Some(ServeDtype::F32));
+    assert_eq!(ServeDtype::parse("bf16"), None);
+    assert_eq!(ServeDtype::F64.name(), "f64");
+    assert_eq!(ServeDtype::F32.name(), "f32");
 }
 
 #[test]

@@ -192,7 +192,8 @@ impl Dataset {
             (Split::TestB, config.test_images, 4),
         ];
         for (split, n_images, stream) in jobs {
-            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream));
+            let mut rng =
+                StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream));
             let mut made = 0;
             let mut guard = 0;
             while made < n_images && guard < n_images * 50 {
@@ -322,14 +323,9 @@ impl Dataset {
 
     /// Table-1 statistics over all splits.
     pub fn stats(&self) -> DatasetStats {
-        let all: Vec<&GroundingSample> = Split::ALL
-            .iter()
-            .flat_map(|s| self.samples(*s))
-            .collect();
-        let mut targets: Vec<(usize, usize)> = all
-            .iter()
-            .map(|s| (s.scene_idx, s.target_idx))
-            .collect();
+        let all: Vec<&GroundingSample> = Split::ALL.iter().flat_map(|s| self.samples(*s)).collect();
+        let mut targets: Vec<(usize, usize)> =
+            all.iter().map(|s| (s.scene_idx, s.target_idx)).collect();
         targets.sort_unstable();
         targets.dedup();
         let total_len: usize = all.iter().map(|s| s.tokens.len()).sum();
@@ -451,10 +447,7 @@ mod tests {
     fn target_bbox_matches_scene_object() {
         let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 7));
         let s = &ds.samples(Split::Val)[0];
-        assert_eq!(
-            ds.target_bbox(s),
-            ds.scene_of(s).objects[s.target_idx].bbox
-        );
+        assert_eq!(ds.target_bbox(s), ds.scene_of(s).objects[s.target_idx].bbox);
     }
 }
 

@@ -30,9 +30,7 @@ mod render;
 mod scene;
 
 pub use builder::SceneBuilder;
-pub use dataset::{
-    Dataset, DatasetConfig, DatasetKind, DatasetStats, GroundingSample, Split,
-};
+pub use dataset::{Dataset, DatasetConfig, DatasetKind, DatasetStats, GroundingSample, Split};
 pub use grammar::{QueryGen, QueryStyle};
 pub use object::{ColorName, SceneObject, ShapeKind, SizeClass};
 pub use render::{render_ppm, Overlay};

@@ -27,13 +27,10 @@ impl Scene {
         let mut data = vec![0.0; RENDER_CHANNELS * h * w];
         // deterministic per-scene noise so the same sample always renders
         // identically (keyed on object layout)
-        let key = self
-            .objects
-            .iter()
-            .fold(0u64, |acc, o| {
-                acc.wrapping_mul(1_000_003)
-                    .wrapping_add((o.bbox.x * 7.0 + o.bbox.y * 13.0 + o.bbox.w) as u64)
-            });
+        let key = self.objects.iter().fold(0u64, |acc, o| {
+            acc.wrapping_mul(1_000_003)
+                .wrapping_add((o.bbox.x * 7.0 + o.bbox.y * 13.0 + o.bbox.w) as u64)
+        });
         let mut rng = StdRng::seed_from_u64(key);
         for c in 0..3 {
             for p in 0..h * w {

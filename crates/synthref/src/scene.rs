@@ -174,9 +174,7 @@ mod tests {
             let s = Scene::generate(&cfg, &mut rng);
             for i in 0..s.len() {
                 for j in (i + 1)..s.len() {
-                    assert!(
-                        s.objects[i].bbox.iou(&s.objects[j].bbox) <= cfg.max_overlap + 1e-9
-                    );
+                    assert!(s.objects[i].bbox.iou(&s.objects[j].bbox) <= cfg.max_overlap + 1e-9);
                 }
             }
         }

@@ -16,39 +16,51 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use crate::Element;
+
 /// Pooled buffers kept per distinct length.
 const MAX_PER_LEN: usize = 64;
 
-/// Total pooled elements across all lengths (8 Mi f64 = 64 MiB).
+/// Total pooled elements across all lengths (8 Mi elements; 64 MiB at f64).
 const MAX_TOTAL_ELEMS: usize = 8 << 20;
 
-/// A free list of `Vec<f64>` buffers, keyed by exact length.
+/// A free list of `Vec<E>` buffers, keyed by exact length.
 ///
 /// `take_zeroed` / `take_filled` pop and re-initialise a pooled buffer (a
 /// *hit*) or fall back to a fresh allocation (a *miss*); [`TapeArena::give`]
 /// returns a buffer to the pool, dropping it instead when the per-length or
 /// total budget is full. Hit/miss counts are exposed for tests and probes.
-#[derive(Default)]
-pub struct TapeArena {
-    pools: RefCell<HashMap<usize, Vec<Vec<f64>>>>,
+pub struct TapeArena<E: Element = f64> {
+    pools: RefCell<HashMap<usize, Vec<Vec<E>>>>,
     pooled_elems: Cell<usize>,
     hits: Cell<u64>,
     misses: Cell<u64>,
 }
 
-impl TapeArena {
+impl<E: Element> Default for TapeArena<E> {
+    fn default() -> Self {
+        TapeArena {
+            pools: RefCell::new(HashMap::new()),
+            pooled_elems: Cell::new(0),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+}
+
+impl<E: Element> TapeArena<E> {
     /// Creates an empty arena behind the `Rc` handle [`crate::Graph`] wants.
-    pub fn new() -> Rc<TapeArena> {
+    pub fn new() -> Rc<TapeArena<E>> {
         Rc::new(TapeArena::default())
     }
 
     /// A buffer of `len` zeros, recycled when the pool has one.
-    pub fn take_zeroed(&self, len: usize) -> Vec<f64> {
-        self.take_filled(len, 0.0)
+    pub fn take_zeroed(&self, len: usize) -> Vec<E> {
+        self.take_filled(len, E::ZERO)
     }
 
     /// A buffer of `len` copies of `value`, recycled when the pool has one.
-    pub fn take_filled(&self, len: usize, value: f64) -> Vec<f64> {
+    pub fn take_filled(&self, len: usize, value: E) -> Vec<E> {
         let pooled = self.pools.borrow_mut().get_mut(&len).and_then(Vec::pop);
         match pooled {
             Some(mut buf) => {
@@ -68,7 +80,7 @@ impl TapeArena {
 
     /// Returns a buffer to the pool for reuse. Zero-length buffers and
     /// buffers over budget are dropped instead.
-    pub fn give(&self, buf: Vec<f64>) {
+    pub fn give(&self, buf: Vec<E>) {
         let len = buf.len();
         if len == 0 || self.pooled_elems.get() + len > MAX_TOTAL_ELEMS {
             return;
@@ -98,7 +110,7 @@ impl TapeArena {
     }
 }
 
-impl std::fmt::Debug for TapeArena {
+impl<E: Element> std::fmt::Debug for TapeArena<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -116,7 +128,7 @@ mod tests {
 
     #[test]
     fn recycles_matching_lengths() {
-        let a = TapeArena::new();
+        let a = TapeArena::<f64>::new();
         let b1 = a.take_zeroed(16);
         assert_eq!((a.hits(), a.misses()), (0, 1));
         a.give(b1);
@@ -132,7 +144,7 @@ mod tests {
 
     #[test]
     fn reused_buffers_come_back_zeroed() {
-        let a = TapeArena::new();
+        let a = TapeArena::<f64>::new();
         let mut b = a.take_zeroed(4);
         b.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
         a.give(b);
@@ -141,7 +153,7 @@ mod tests {
 
     #[test]
     fn budget_caps_are_enforced() {
-        let a = TapeArena::new();
+        let a = TapeArena::<f64>::new();
         a.give(Vec::new()); // zero-length is dropped
         assert_eq!(a.pooled_elems(), 0);
         for _ in 0..(MAX_PER_LEN + 10) {

@@ -3,7 +3,7 @@
 //! Used throughout the workspace's test suites to validate that every
 //! backward closure computes the true derivative of its forward pass.
 
-use crate::{Graph, Tensor, Var};
+use crate::{Element, Graph, Tensor, Var};
 
 /// Configuration for [`check_gradients`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,32 +42,37 @@ impl Default for GradCheck {
 ///     vars[0].sigmoid().square().sum_all()
 /// }).unwrap();
 /// ```
-pub fn check_gradients<F>(inputs: &[Tensor], cfg: GradCheck, f: F) -> Result<(), String>
+pub fn check_gradients<E: Element, F>(
+    inputs: &[Tensor<E>],
+    cfg: GradCheck,
+    f: F,
+) -> Result<(), String>
 where
-    F: for<'g> Fn(&[Var<'g>]) -> Var<'g>,
+    F: for<'g> Fn(&[Var<'g, E>]) -> Var<'g, E>,
 {
     // analytic gradients
     let graph = Graph::new();
-    let vars: Vec<Var<'_>> = inputs.iter().map(|t| graph.leaf(t.clone())).collect();
+    let vars: Vec<Var<'_, E>> = inputs.iter().map(|t| graph.leaf(t.clone())).collect();
     let loss = f(&vars);
     if loss.numel() != 1 {
         return Err(format!("loss must be scalar, got shape {:?}", loss.dims()));
     }
     loss.backward();
-    let analytic: Vec<Tensor> = vars.iter().map(|v| v.grad()).collect();
+    let analytic: Vec<Tensor<E>> = vars.iter().map(|v| v.grad()).collect();
 
-    // numeric gradients
+    // numeric gradients (differenced in f64 regardless of E, so the check
+    // itself never loses precision to the dtype under test)
     for (vi, input) in inputs.iter().enumerate() {
         for ei in 0..input.numel() {
             let eval = |delta: f64| -> f64 {
-                let mut perturbed: Vec<Tensor> = inputs.to_vec();
-                perturbed[vi].as_mut_slice()[ei] += delta;
+                let mut perturbed: Vec<Tensor<E>> = inputs.to_vec();
+                perturbed[vi].as_mut_slice()[ei] += E::from_f64(delta);
                 let g = Graph::new();
-                let vs: Vec<Var<'_>> = perturbed.iter().map(|t| g.leaf(t.clone())).collect();
-                f(&vs).value().scalar()
+                let vs: Vec<Var<'_, E>> = perturbed.iter().map(|t| g.leaf(t.clone())).collect();
+                f(&vs).value().scalar().to_f64()
             };
             let numeric = (eval(cfg.eps) - eval(-cfg.eps)) / (2.0 * cfg.eps);
-            let got = analytic[vi].as_slice()[ei];
+            let got = analytic[vi].as_slice()[ei].to_f64();
             let denom = 1.0 + numeric.abs().max(got.abs());
             if (numeric - got).abs() > cfg.tol * denom {
                 return Err(format!(
@@ -132,7 +137,7 @@ mod tests {
     #[test]
     fn matmul_2d() {
         let mut r = rng();
-        let a = Tensor::randn(&[3, 4], &mut r);
+        let a: Tensor = Tensor::randn(&[3, 4], &mut r);
         let b = Tensor::randn(&[4, 2], &mut r);
         check_gradients(&[a, b], GradCheck::default(), |v| {
             v[0].matmul(v[1]).square().sum_all()
@@ -143,7 +148,7 @@ mod tests {
     #[test]
     fn matmul_batched() {
         let mut r = rng();
-        let a = Tensor::randn(&[2, 3, 4], &mut r);
+        let a: Tensor = Tensor::randn(&[2, 3, 4], &mut r);
         let b = Tensor::randn(&[2, 4, 2], &mut r);
         check_gradients(&[a, b], GradCheck::default(), |v| {
             v[0].matmul(v[1]).square().sum_all()
@@ -154,7 +159,7 @@ mod tests {
     #[test]
     fn matmul_3d_by_2d() {
         let mut r = rng();
-        let a = Tensor::randn(&[2, 3, 4], &mut r);
+        let a: Tensor = Tensor::randn(&[2, 3, 4], &mut r);
         let b = Tensor::randn(&[4, 2], &mut r);
         check_gradients(&[a, b], GradCheck::default(), |v| {
             v[0].matmul(v[1]).square().sum_all()
@@ -165,7 +170,7 @@ mod tests {
     #[test]
     fn softmax_and_log_softmax() {
         let mut r = rng();
-        let x = Tensor::randn(&[2, 5], &mut r);
+        let x: Tensor = Tensor::randn(&[2, 5], &mut r);
         check_gradients(std::slice::from_ref(&x), GradCheck::default(), |v| {
             v[0].softmax_lastdim().square().sum_all()
         })
@@ -179,7 +184,7 @@ mod tests {
     #[test]
     fn reductions() {
         let mut r = rng();
-        let x = Tensor::randn(&[3, 4], &mut r);
+        let x: Tensor = Tensor::randn(&[3, 4], &mut r);
         check_gradients(std::slice::from_ref(&x), GradCheck::default(), |v| {
             v[0].sum_axis(0).square().sum_all()
         })
@@ -194,7 +199,7 @@ mod tests {
     #[test]
     fn fused_losses() {
         let mut r = rng();
-        let x = Tensor::randn(&[2, 4], &mut r);
+        let x: Tensor = Tensor::randn(&[2, 4], &mut r);
         let t = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0], &[2, 4]);
         check_gradients(std::slice::from_ref(&x), GradCheck::default(), |v| {
             v[0].bce_with_logits(&t)
@@ -220,7 +225,7 @@ mod tests {
     #[test]
     fn conv2d_gradients() {
         let mut r = rng();
-        let x = Tensor::randn(&[2, 2, 5, 5], &mut r);
+        let x: Tensor = Tensor::randn(&[2, 2, 5, 5], &mut r);
         let w = Tensor::randn(&[3, 2, 3, 3], &mut r);
         let spec = Conv2dSpec { stride: 2, pad: 1 };
         check_gradients(
@@ -237,7 +242,7 @@ mod tests {
     #[test]
     fn max_pool_gradients() {
         let mut r = rng();
-        let x = Tensor::randn(&[1, 2, 6, 6], &mut r);
+        let x: Tensor = Tensor::randn(&[1, 2, 6, 6], &mut r);
         check_gradients(&[x], GradCheck::default(), |v| {
             v[0].max_pool2d(Pool2dSpec {
                 kernel: 2,
@@ -252,7 +257,7 @@ mod tests {
     #[test]
     fn structural_ops() {
         let mut r = rng();
-        let a = Tensor::randn(&[2, 3], &mut r);
+        let a: Tensor = Tensor::randn(&[2, 3], &mut r);
         let b = Tensor::randn(&[2, 2], &mut r);
         check_gradients(&[a.clone(), b], GradCheck::default(), |v| {
             Var::concat(&[v[0], v[1]], 1).square().sum_all()
@@ -281,7 +286,7 @@ mod tests {
     fn gru_step_gradients() {
         let mut r = rng();
         let (batch, input, hidden) = (2, 3, 4);
-        let x = Tensor::randn(&[batch, input], &mut r);
+        let x: Tensor = Tensor::randn(&[batch, input], &mut r);
         let h = Tensor::randn(&[batch, hidden], &mut r);
         let wx = Tensor::randn(&[input, 3 * hidden], &mut r);
         let bx = Tensor::randn(&[3 * hidden], &mut r);
@@ -306,7 +311,7 @@ mod tests {
     #[test]
     fn layernorm_affine_gradients() {
         let mut r = rng();
-        let x = Tensor::randn(&[3, 5], &mut r);
+        let x: Tensor = Tensor::randn(&[3, 5], &mut r);
         let gamma = Tensor::randn(&[5], &mut r);
         let beta = Tensor::randn(&[5], &mut r);
         check_gradients(&[x, gamma, beta], GradCheck::default(), |v| {
@@ -324,11 +329,78 @@ mod tests {
         .unwrap();
     }
 
+    /// The f32 instantiations of the same backward closures, at
+    /// tolerances matched to single precision: the analytic gradient is
+    /// computed in f32 end to end, while the finite difference runs in f64
+    /// (see `check_gradients`), so the achievable agreement is bounded by
+    /// f32 rounding of the forward pass (~1e-3 relative after a few dozen
+    /// accumulations), not by the differencing step.
+    #[test]
+    fn matmul_2d_gradients_f32() {
+        let mut r = rng();
+        let a: Tensor<f32> = Tensor::randn(&[3, 4], &mut r);
+        let b: Tensor<f32> = Tensor::randn(&[4, 2], &mut r);
+        check_gradients(
+            &[a, b],
+            GradCheck {
+                eps: 1e-3,
+                tol: 2e-3,
+            },
+            |v| v[0].matmul(v[1]).square().sum_all(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn conv2d_gradients_f32() {
+        let mut r = rng();
+        let x: Tensor<f32> = Tensor::randn(&[1, 2, 5, 5], &mut r);
+        let w: Tensor<f32> = Tensor::randn(&[2, 2, 3, 3], &mut r);
+        let spec = Conv2dSpec { stride: 2, pad: 1 };
+        check_gradients(
+            &[x, w],
+            GradCheck {
+                eps: 1e-2,
+                tol: 5e-3,
+            },
+            |v| v[0].conv2d(v[1], spec).square().sum_all(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn layernorm_affine_gradients_f32() {
+        let mut r = rng();
+        let x: Tensor<f32> = Tensor::randn(&[3, 5], &mut r);
+        let gamma: Tensor<f32> = Tensor::randn(&[5], &mut r);
+        let beta: Tensor<f32> = Tensor::randn(&[5], &mut r);
+        check_gradients(
+            &[x, gamma, beta],
+            GradCheck {
+                eps: 1e-2,
+                tol: 5e-3,
+            },
+            |v| {
+                let (x, gamma, beta) = (v[0], v[1], v[2]);
+                let dims = x.dims();
+                let axis = dims.len() - 1;
+                let mut keep = dims.clone();
+                keep[axis] = 1;
+                let mean = x.mean_axis(axis).reshape(&keep);
+                let centered = x - mean;
+                let var = centered.square().mean_axis(axis).reshape(&keep);
+                let normed = centered / var.add_scalar(1e-5).sqrt();
+                (normed * gamma + beta).square().sum_all()
+            },
+        )
+        .unwrap();
+    }
+
     #[test]
     fn deep_composition_like_rel2att() {
         // miniature of the Rel2Att computation: relation map + mean masks
         let mut r = rng();
-        let v = Tensor::randn(&[4, 3], &mut r);
+        let v: Tensor = Tensor::randn(&[4, 3], &mut r);
         let t = Tensor::randn(&[2, 3], &mut r);
         check_gradients(
             &[v, t],

@@ -9,7 +9,7 @@
 
 use crate::parallel;
 use crate::tensor::matmul_blocked;
-use crate::Tensor;
+use crate::{Element, Tensor};
 
 /// Stride and padding of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,7 +81,7 @@ fn unfold_threads(elems: usize, slices: usize) -> usize {
 ///
 /// # Panics
 /// Panics if `x` is not rank 4.
-pub fn im2col(x: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Tensor {
+pub fn im2col<E: Element>(x: &Tensor<E>, kh: usize, kw: usize, spec: Conv2dSpec) -> Tensor<E> {
     let mut out = Vec::new();
     let dims = im2col_into(x, kh, kw, spec, &mut out);
     Tensor::from_vec(out, &dims)
@@ -92,12 +92,12 @@ pub fn im2col(x: &Tensor, kh: usize, kw: usize, spec: Conv2dSpec) -> Tensor {
 ///
 /// # Panics
 /// Panics if `x` is not rank 4.
-pub fn im2col_into(
-    x: &Tensor,
+pub fn im2col_into<E: Element>(
+    x: &Tensor<E>,
     kh: usize,
     kw: usize,
     spec: Conv2dSpec,
-    out: &mut Vec<f64>,
+    out: &mut Vec<E>,
 ) -> [usize; 3] {
     assert_eq!(x.rank(), 4, "im2col input must be [N,C,H,W]");
     let _lat = yollo_obs::time_hist!("tensor.im2col_ns");
@@ -106,7 +106,7 @@ pub fn im2col_into(
     let (oh, ow) = spec.output_hw(h, w, kh, kw);
     let l = oh * ow;
     out.clear();
-    out.resize(n * c * kh * kw * l, 0.0);
+    out.resize(n * c * kh * kw * l, E::ZERO);
     let xs = x.as_slice();
     // one chunk per (batch, channel): rows [ch*kh*kw, (ch+1)*kh*kw) of
     // batch b's column matrix, a contiguous kh*kw*l run
@@ -124,7 +124,7 @@ pub fn im2col_into(
                         let v = if y >= 0 && (y as usize) < h && xcol >= 0 && (xcol as usize) < w {
                             xs[xbase + y as usize * w + xcol as usize]
                         } else {
-                            0.0
+                            E::ZERO
                         };
                         chunk[rbase + i * ow + j] = v;
                     }
@@ -140,7 +140,13 @@ pub fn im2col_into(
 ///
 /// # Panics
 /// Panics if shapes are inconsistent with `x_dims`.
-pub fn col2im(cols: &Tensor, x_dims: &[usize], kh: usize, kw: usize, spec: Conv2dSpec) -> Tensor {
+pub fn col2im<E: Element>(
+    cols: &Tensor<E>,
+    x_dims: &[usize],
+    kh: usize,
+    kw: usize,
+    spec: Conv2dSpec,
+) -> Tensor<E> {
     let mut out = Tensor::zeros(x_dims);
     col2im_accumulate(cols.as_slice(), cols.dims(), x_dims, kh, kw, spec, &mut out);
     out
@@ -151,28 +157,28 @@ pub fn col2im(cols: &Tensor, x_dims: &[usize], kh: usize, kw: usize, spec: Conv2
 ///
 /// # Panics
 /// Panics if shapes are inconsistent.
-pub fn col2im_into(
-    cols: &Tensor,
+pub fn col2im_into<E: Element>(
+    cols: &Tensor<E>,
     x_dims: &[usize],
     kh: usize,
     kw: usize,
     spec: Conv2dSpec,
-    out: &mut Tensor,
+    out: &mut Tensor<E>,
 ) {
     assert_eq!(out.dims(), x_dims, "col2im_into target shape mismatch");
-    out.as_mut_slice().fill(0.0);
+    out.as_mut_slice().fill(E::ZERO);
     col2im_accumulate(cols.as_slice(), cols.dims(), x_dims, kh, kw, spec, out);
 }
 
 /// Shared col2im core: accumulates `cols` into `out` (not zeroed here).
-pub(crate) fn col2im_accumulate(
-    cs: &[f64],
+pub(crate) fn col2im_accumulate<E: Element>(
+    cs: &[E],
     cols_dims: &[usize],
     x_dims: &[usize],
     kh: usize,
     kw: usize,
     spec: Conv2dSpec,
-    out: &mut Tensor,
+    out: &mut Tensor<E>,
 ) {
     assert_eq!(x_dims.len(), 4, "col2im target must be [N,C,H,W]");
     let (n, c, h, w) = (x_dims[0], x_dims[1], x_dims[2], x_dims[3]);
@@ -209,15 +215,21 @@ pub(crate) fn col2im_accumulate(
 /// Reusable buffers for repeated convolutions: the unfolded column matrix
 /// survives between calls, so steady-state inference does no per-call
 /// column allocation.
-#[derive(Debug, Default, Clone)]
-pub struct ConvScratch {
-    cols: Vec<f64>,
+#[derive(Debug, Clone)]
+pub struct ConvScratch<E: Element = f64> {
+    cols: Vec<E>,
 }
 
-impl ConvScratch {
+impl<E: Element> Default for ConvScratch<E> {
+    fn default() -> Self {
+        ConvScratch { cols: Vec::new() }
+    }
+}
+
+impl<E: Element> ConvScratch<E> {
     /// An empty scratch (buffers grow on first use).
     pub fn new() -> Self {
-        ConvScratch::default()
+        Self::default()
     }
 
     /// Current scratch footprint in elements (diagnostics).
@@ -233,12 +245,12 @@ impl ConvScratch {
 /// # Panics
 /// Panics on rank/shape mismatch or when the kernel exceeds the padded
 /// input.
-pub fn conv2d_forward(
-    x: &Tensor,
-    w: &Tensor,
+pub fn conv2d_forward<E: Element>(
+    x: &Tensor<E>,
+    w: &Tensor<E>,
     spec: Conv2dSpec,
-    scratch: &mut ConvScratch,
-) -> Tensor {
+    scratch: &mut ConvScratch<E>,
+) -> Tensor<E> {
     assert_eq!(x.rank(), 4, "conv2d input must be [N,C,H,W]");
     assert_eq!(w.rank(), 4, "conv2d weight must be [O,C,kh,kw]");
     let _span = yollo_obs::span!("tensor.conv2d_forward");
@@ -252,7 +264,7 @@ pub fn conv2d_forward(
     // the weight is already the row-major [O, C*kh*kw] matrix — no reshape
     let wmat = w.as_slice();
     let threads = parallel::num_threads();
-    let mut out = vec![0.0; n * o * l];
+    let mut out = vec![E::ZERO; n * o * l];
     for bi in 0..n {
         matmul_blocked(
             wmat,
@@ -318,7 +330,7 @@ mod tests {
 
     #[test]
     fn padding_reads_zero() {
-        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let x: Tensor = Tensor::ones(&[1, 1, 2, 2]);
         let cols = im2col(&x, 3, 3, Conv2dSpec { stride: 1, pad: 1 });
         // top-left output's top-left kernel tap lies in the pad region
         assert_eq!(cols.at(&[0, 0, 0]), 0.0);
@@ -331,13 +343,13 @@ mod tests {
         let spec = Conv2dSpec { stride: 1, pad: 1 };
         let mut buf = Vec::new();
         for trial in 0..3 {
-            let x = Tensor::randn(&[2, 3, 5 + trial, 6], &mut rng);
+            let x: Tensor = Tensor::randn(&[2, 3, 5 + trial, 6], &mut rng);
             let dims = im2col_into(&x, 3, 3, spec, &mut buf);
             let fresh = im2col(&x, 3, 3, spec);
             assert_eq!(dims.to_vec(), fresh.dims().to_vec());
             assert_eq!(buf, fresh.as_slice());
 
-            let y = Tensor::randn(&dims, &mut rng);
+            let y: Tensor = Tensor::randn(&dims, &mut rng);
             let mut folded = Tensor::zeros(x.dims());
             col2im_into(&y, x.dims(), 3, 3, spec, &mut folded);
             assert_eq!(folded, col2im(&y, x.dims(), 3, 3, spec));
@@ -348,7 +360,7 @@ mod tests {
     fn conv2d_forward_matches_manual_columns() {
         let mut rng = StdRng::seed_from_u64(6);
         let spec = Conv2dSpec { stride: 2, pad: 1 };
-        let x = Tensor::randn(&[2, 3, 8, 10], &mut rng);
+        let x: Tensor = Tensor::randn(&[2, 3, 8, 10], &mut rng);
         let w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
         let mut scratch = ConvScratch::new();
         let y = conv2d_forward(&x, &w, spec, &mut scratch);
@@ -380,7 +392,7 @@ mod tests {
             prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
             let spec = Conv2dSpec { stride, pad };
             let mut rng = StdRng::seed_from_u64(seed);
-            let x = Tensor::randn(&[1, 2, h, w], &mut rng);
+            let x: Tensor = Tensor::randn(&[1, 2, h, w], &mut rng);
             let cx = im2col(&x, k, k, spec);
             let y = Tensor::randn(cx.dims(), &mut rng);
             let lhs: f64 = cx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();

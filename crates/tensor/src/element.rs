@@ -1,0 +1,199 @@
+//! The scalar element trait behind [`crate::Tensor`].
+//!
+//! Every tensor, tape and kernel in this crate is generic over an
+//! [`Element`] — the sealed trait that supplies the arithmetic, casting and
+//! accumulation hooks the kernels need. Exactly two types implement it:
+//!
+//! * `f64` — the **reference dtype**. It is the default type parameter
+//!   everywhere (`Tensor` means `Tensor<f64>`), so all pre-existing code,
+//!   every determinism suite and every bit-equality test keeps running
+//!   against the exact same arithmetic as before the refactor. Training,
+//!   checkpointing and the serve cache-identity guarantees all live here.
+//! * `f32` — the **fast path**. Halves memory traffic through the blocked
+//!   matmul/conv kernels and doubles effective SIMD width; used by the
+//!   inference path (`forward_infer`, `predict_batch::<f32>`) and gated by
+//!   the serve dtype knob. Verified against the f64 oracle by relative-
+//!   error-bound property tests, never by bit equality.
+//!
+//! Accumulation policy: reductions and dot-product chains accumulate in
+//! `Self`, not in a widened type. For f64 this keeps the oracle bitwise
+//! identical to the pre-generic code; for f32 the rounding error this
+//! admits is characterised (and bounded) by the cross-dtype equivalence
+//! suite in `tests/backend_equivalence.rs`. See DESIGN.md, "Dtype policy".
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// A tensor scalar: `f64` (reference oracle) or `f32` (fast path).
+///
+/// The trait is sealed — kernels are only ever instantiated at these two
+/// dtypes, which keeps the equivalence-test matrix closed.
+pub trait Element:
+    sealed::Sealed
+    + Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum<Self>
+    + serde::Serialize
+    + serde::de::DeserializeOwned
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Negative infinity (the max-reduction seed).
+    const NEG_INFINITY: Self;
+    /// Dtype tag used in bench records and error messages.
+    const DTYPE: &'static str;
+    /// The positive floor applied before `ln()` in the fused losses so a
+    /// probability that underflowed to zero never produces `-inf`. For
+    /// f64 this is the historical `1e-300` (keeping the oracle bitwise
+    /// stable); for f32, `1e-300` itself would round to zero, so the floor
+    /// sits just above `f32::MIN_POSITIVE`.
+    const LN_FLOOR: Self;
+
+    /// Exact-as-possible conversion from `f64` (identity for `f64`).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64` (identity for `f64`).
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// IEEE maximum (NaN-ignoring, like `f64::max`).
+    fn max(self, other: Self) -> Self;
+    /// IEEE minimum (NaN-ignoring, like `f64::min`).
+    fn min(self, other: Self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh(self) -> Self;
+    /// Sign (`±1.0`, propagating NaN), as `f64::signum`.
+    fn signum(self) -> Self;
+    /// Neither NaN nor infinite.
+    fn is_finite(self) -> bool;
+    /// Clamp into `[lo, hi]`.
+    fn clamp(self, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_element {
+    ($ty:ty, $dtype:literal, $ln_floor:expr) => {
+        impl Element for $ty {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const NEG_INFINITY: Self = <$ty>::NEG_INFINITY;
+            const DTYPE: &'static str = $dtype;
+            const LN_FLOOR: Self = $ln_floor;
+
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $ty
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$ty>::abs(self)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$ty>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$ty>::min(self, other)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$ty>::sqrt(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$ty>::exp(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$ty>::ln(self)
+            }
+            #[inline(always)]
+            fn tanh(self) -> Self {
+                <$ty>::tanh(self)
+            }
+            #[inline(always)]
+            fn signum(self) -> Self {
+                <$ty>::signum(self)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$ty>::is_finite(self)
+            }
+            #[inline(always)]
+            fn clamp(self, lo: Self, hi: Self) -> Self {
+                <$ty>::clamp(self, lo, hi)
+            }
+        }
+    };
+}
+
+impl_element!(f64, "f64", 1e-300);
+impl_element!(f32, "f32", 1e-37);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_constants() {
+        assert_eq!(f64::from_f64(1.5), 1.5);
+        assert_eq!(f32::from_f64(1.5), 1.5f32);
+        assert_eq!(<f64 as Element>::ZERO, 0.0);
+        assert_eq!(<f32 as Element>::ONE, 1.0f32);
+        assert_eq!(f64::DTYPE, "f64");
+        assert_eq!(f32::DTYPE, "f32");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn ln_floor_is_positive_and_loggable() {
+        assert!(<f64 as Element>::LN_FLOOR > 0.0);
+        assert!(<f32 as Element>::LN_FLOOR > 0.0);
+        assert!(<f64 as Element>::LN_FLOOR.ln().is_finite());
+        assert!(<f32 as Element>::LN_FLOOR.ln().is_finite());
+        // the f64 floor is the historical constant the oracle was built on
+        assert_eq!(<f64 as Element>::LN_FLOOR, 1e-300);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn f32_ln_floor_does_not_underflow() {
+        // the whole point of a per-dtype floor: 1e-300 is zero in f32
+        assert_eq!(1e-300f64 as f32, 0.0f32);
+        assert!(<f32 as Element>::LN_FLOOR > 0.0f32);
+    }
+}

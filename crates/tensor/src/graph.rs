@@ -1,16 +1,16 @@
 use crate::arena::TapeArena;
-use crate::Tensor;
+use crate::{Element, Tensor};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Backward function: given the gradient flowing into a node, produce
 /// `(parent id, gradient contribution)` pairs.
-pub(crate) type BackFn = Box<dyn FnOnce(&Tensor) -> Vec<(usize, Tensor)>>;
+pub(crate) type BackFn<E> = Box<dyn FnOnce(&Tensor<E>) -> Vec<(usize, Tensor<E>)>>;
 
-struct Node {
-    value: Tensor,
-    grad: Option<Tensor>,
-    backward: Option<BackFn>,
+struct Node<E: Element> {
+    value: Tensor<E>,
+    grad: Option<Tensor<E>>,
+    backward: Option<BackFn<E>>,
 }
 
 /// A reverse-mode automatic-differentiation tape.
@@ -33,14 +33,23 @@ struct Node {
 /// y.backward();
 /// assert_eq!(x.grad().scalar(), 6.0); // dy/dx = 2x
 /// ```
-#[derive(Default)]
-pub struct Graph {
-    nodes: RefCell<Vec<Node>>,
-    arena: Option<Rc<TapeArena>>,
+pub struct Graph<E: Element = f64> {
+    nodes: RefCell<Vec<Node<E>>>,
+    arena: Option<Rc<TapeArena<E>>>,
     tape_allocs: Cell<usize>,
 }
 
-impl std::fmt::Debug for Graph {
+impl<E: Element> Default for Graph<E> {
+    fn default() -> Self {
+        Graph {
+            nodes: RefCell::new(Vec::new()),
+            arena: None,
+            tape_allocs: Cell::new(0),
+        }
+    }
+}
+
+impl<E: Element> std::fmt::Debug for Graph<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Graph({} nodes)", self.nodes.borrow().len())
     }
@@ -55,18 +64,18 @@ pub struct VarId(pub(crate) usize);
 /// `Var` is `Copy`; all arithmetic builds new tape nodes. See the crate-level
 /// documentation for a usage example.
 #[derive(Clone, Copy)]
-pub struct Var<'g> {
-    pub(crate) graph: &'g Graph,
+pub struct Var<'g, E: Element = f64> {
+    pub(crate) graph: &'g Graph<E>,
     pub(crate) id: usize,
 }
 
-impl std::fmt::Debug for Var<'_> {
+impl<E: Element> std::fmt::Debug for Var<'_, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Var#{}({:?})", self.id, self.value().dims())
     }
 }
 
-impl Graph {
+impl<E: Element> Graph<E> {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Graph::default()
@@ -78,7 +87,7 @@ impl Graph {
     /// handed back to the arena, and the backward seed draws from it — so a
     /// training loop that builds one tape per step with the same arena stops
     /// allocating once shapes have been seen once.
-    pub fn with_arena(arena: Rc<TapeArena>) -> Self {
+    pub fn with_arena(arena: Rc<TapeArena<E>>) -> Self {
         Graph {
             nodes: RefCell::new(Vec::new()),
             arena: Some(arena),
@@ -108,13 +117,13 @@ impl Graph {
     }
 
     /// Registers a leaf (input) value and returns its handle.
-    pub fn leaf(&self, value: Tensor) -> Var<'_> {
+    pub fn leaf(&self, value: Tensor<E>) -> Var<'_, E> {
         let id = self.push(value, None);
         Var { graph: self, id }
     }
 
     /// Registers a scalar leaf.
-    pub fn scalar(&self, value: f64) -> Var<'_> {
+    pub fn scalar(&self, value: E) -> Var<'_, E> {
         self.leaf(Tensor::from_scalar(value))
     }
 
@@ -122,7 +131,7 @@ impl Graph {
     ///
     /// # Panics
     /// Panics if `index` is not a node on this tape.
-    pub fn var_by_index(&self, index: usize) -> Var<'_> {
+    pub fn var_by_index(&self, index: usize) -> Var<'_, E> {
         assert!(index < self.len(), "var index {index} out of range");
         Var {
             graph: self,
@@ -130,9 +139,10 @@ impl Graph {
         }
     }
 
-    pub(crate) fn push(&self, value: Tensor, backward: Option<BackFn>) -> usize {
+    pub(crate) fn push(&self, value: Tensor<E>, backward: Option<BackFn<E>>) -> usize {
         yollo_obs::counter!("tensor.graph.nodes").incr();
-        yollo_obs::counter!("tensor.graph.bytes").add((value.numel() * 8) as u64);
+        yollo_obs::counter!("tensor.graph.bytes")
+            .add((value.numel() * std::mem::size_of::<E>()) as u64);
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node {
             value,
@@ -142,11 +152,11 @@ impl Graph {
         nodes.len() - 1
     }
 
-    pub(crate) fn value_of(&self, id: usize) -> Tensor {
+    pub(crate) fn value_of(&self, id: usize) -> Tensor<E> {
         self.nodes.borrow()[id].value.clone()
     }
 
-    pub(crate) fn grad_of(&self, id: usize) -> Tensor {
+    pub(crate) fn grad_of(&self, id: usize) -> Tensor<E> {
         let dims = {
             let nodes = self.nodes.borrow();
             let node = &nodes[id];
@@ -155,21 +165,21 @@ impl Graph {
             }
             node.value.dims().to_vec()
         };
-        self.machinery_filled(&dims, 0.0)
+        self.machinery_filled(&dims, E::ZERO)
     }
 
     /// Calls `f` with a borrow of the node's accumulated gradient (`None`
     /// before any backward pass reaches it), without cloning. This is the
     /// allocation-free read path `Binder::harvest` in `yollo-nn` uses to
     /// fold tape gradients into parameters.
-    pub(crate) fn with_grad_of<R>(&self, id: usize, f: impl FnOnce(Option<&Tensor>) -> R) -> R {
+    pub(crate) fn with_grad_of<R>(&self, id: usize, f: impl FnOnce(Option<&Tensor<E>>) -> R) -> R {
         f(self.nodes.borrow()[id].grad.as_ref())
     }
 
     /// A `value`-filled tensor created by the tape machinery: drawn from the
     /// arena when one is attached, and counted in [`Graph::tape_alloc_count`]
     /// when it had to touch the allocator.
-    fn machinery_filled(&self, dims: &[usize], value: f64) -> Tensor {
+    fn machinery_filled(&self, dims: &[usize], value: E) -> Tensor<E> {
         match &self.arena {
             Some(a) => {
                 let misses = a.misses();
@@ -194,7 +204,7 @@ impl Graph {
         let _lat = yollo_obs::time_hist!("tensor.graph.backward_ns");
         {
             let dims = self.nodes.borrow()[root].value.dims().to_vec();
-            let seed = self.machinery_filled(&dims, 1.0);
+            let seed = self.machinery_filled(&dims, E::ONE);
             accumulate(&mut self.nodes.borrow_mut()[root].grad, seed);
         }
         for id in (0..=root).rev() {
@@ -232,7 +242,7 @@ impl Graph {
     }
 }
 
-impl Drop for Graph {
+impl<E: Element> Drop for Graph<E> {
     fn drop(&mut self) {
         if let Some(arena) = self.arena.take() {
             for node in self.nodes.get_mut().drain(..) {
@@ -245,16 +255,16 @@ impl Drop for Graph {
     }
 }
 
-fn accumulate(slot: &mut Option<Tensor>, g: Tensor) {
+fn accumulate<E: Element>(slot: &mut Option<Tensor<E>>, g: Tensor<E>) {
     match slot {
         Some(acc) => acc.add_assign(&g),
         None => *slot = Some(g),
     }
 }
 
-impl<'g> Var<'g> {
+impl<'g, E: Element> Var<'g, E> {
     /// The tape this variable lives on.
-    pub fn graph(self) -> &'g Graph {
+    pub fn graph(self) -> &'g Graph<E> {
         self.graph
     }
 
@@ -269,18 +279,18 @@ impl<'g> Var<'g> {
     }
 
     /// A clone of the node's current value.
-    pub fn value(self) -> Tensor {
+    pub fn value(self) -> Tensor<E> {
         self.graph.value_of(self.id)
     }
 
     /// A clone of the node's accumulated gradient (zeros before `backward`).
-    pub fn grad(self) -> Tensor {
+    pub fn grad(self) -> Tensor<E> {
         self.graph.grad_of(self.id)
     }
 
     /// Borrows the node's accumulated gradient without cloning; `None` when
     /// no backward pass has reached this node yet.
-    pub fn with_grad<R>(self, f: impl FnOnce(Option<&Tensor>) -> R) -> R {
+    pub fn with_grad<R>(self, f: impl FnOnce(Option<&Tensor<E>>) -> R) -> R {
         self.graph.with_grad_of(self.id, f)
     }
 
@@ -311,7 +321,7 @@ mod tests {
     #[test]
     fn leaf_roundtrip() {
         let g = Graph::new();
-        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let t: Tensor = Tensor::from_vec(vec![1.0, 2.0], &[2]);
         let v = g.leaf(t.clone());
         assert_eq!(v.value(), t);
         assert_eq!(g.len(), 1);
@@ -320,7 +330,7 @@ mod tests {
     #[test]
     fn grad_is_zero_before_backward() {
         let g = Graph::new();
-        let v = g.leaf(Tensor::ones(&[3]));
+        let v = g.leaf(Tensor::<f64>::ones(&[3]));
         assert_eq!(v.grad().as_slice(), &[0.0, 0.0, 0.0]);
     }
 
@@ -384,7 +394,7 @@ mod tests {
 
     #[test]
     fn arena_recycles_tape_buffers_across_steps() {
-        let arena = crate::TapeArena::new();
+        let arena = crate::TapeArena::<f64>::new();
         let run_step = || {
             let g = Graph::with_arena(arena.clone());
             let x = g.leaf(Tensor::from_vec(vec![2.0; 32], &[32]));

@@ -1,10 +1,22 @@
-//! Dense `f64` tensors with reverse-mode automatic differentiation.
+//! Dense dtype-generic tensors (`Tensor<E>`, `E` ∈ {`f64`, `f32`}) with
+//! reverse-mode automatic differentiation.
 //!
 //! This crate is the computational substrate of the YOLLO reproduction: a
 //! minimal tensor library providing the operators the paper's model needs —
 //! matrix multiplication, 2-D convolution, softmax, reductions, gathering —
 //! together with a tape-based autodiff [`Graph`] that computes exact
 //! gradients for all of them.
+//!
+//! # Dtypes
+//!
+//! Every tensor, graph and kernel is generic over a sealed [`Element`]
+//! trait with exactly two instantiations. **`f64` is the default type
+//! parameter and the bitwise reference**: plain `Tensor` means
+//! `Tensor<f64>`, all determinism/equivalence suites run against it, and
+//! training only ever uses it. **`f32` is the inference fast path**: cast
+//! weights once with [`Tensor::cast`] and the same kernels run at double
+//! the vector width (~2× on the large blocked matmul). Casts are always
+//! explicit; there are no mixed-dtype ops. See DESIGN.md § Dtype policy.
 //!
 //! # Threading model
 //!
@@ -58,6 +70,7 @@
 mod arena;
 mod check;
 mod conv;
+mod element;
 mod error;
 mod graph;
 mod ops;
@@ -70,6 +83,7 @@ pub use check::{check_gradients, GradCheck};
 pub use conv::{
     col2im, col2im_into, conv2d_forward, im2col, im2col_into, Conv2dSpec, ConvScratch, Pool2dSpec,
 };
+pub use element::Element;
 pub use error::TensorError;
 pub use graph::{Graph, Var, VarId};
 pub use shape::{broadcast_shapes, Shape};

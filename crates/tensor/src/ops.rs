@@ -8,13 +8,13 @@ use crate::conv::{col2im, im2col, Conv2dSpec, Pool2dSpec};
 use crate::graph::BackFn;
 use crate::parallel;
 use crate::tensor::{matmul_blocked, matmul_nt, matmul_tn};
-use crate::{Graph, Tensor, Var};
+use crate::{Element, Graph, Tensor, Var};
 
 // The named add/sub/mul/div/neg methods are the primitive autodiff API;
 // the std operator impls below delegate to them, not the other way round.
 #[allow(clippy::should_implement_trait)]
-impl<'g> Var<'g> {
-    fn push(self, value: Tensor, back: BackFn) -> Var<'g> {
+impl<'g, E: Element> Var<'g, E> {
+    fn push(self, value: Tensor<E>, back: BackFn<E>) -> Var<'g, E> {
         let id = self.graph.push(value, Some(back));
         Var {
             graph: self.graph,
@@ -26,10 +26,10 @@ impl<'g> Var<'g> {
 
     fn binop(
         self,
-        rhs: Var<'g>,
-        f: impl Fn(f64, f64) -> f64 + Sync,
-        back: impl Fn(&Tensor, &Tensor, &Tensor) -> (Tensor, Tensor) + 'static,
-    ) -> Var<'g> {
+        rhs: Var<'g, E>,
+        f: impl Fn(E, E) -> E + Sync,
+        back: impl Fn(&Tensor<E>, &Tensor<E>, &Tensor<E>) -> (Tensor<E>, Tensor<E>) + 'static,
+    ) -> Var<'g, E> {
         let a = self.value();
         let b = rhs.value();
         let out = a.zip_broadcast(&b, f);
@@ -45,17 +45,17 @@ impl<'g> Var<'g> {
     }
 
     /// Elementwise (broadcasting) addition.
-    pub fn add(self, rhs: Var<'g>) -> Var<'g> {
+    pub fn add(self, rhs: Var<'g, E>) -> Var<'g, E> {
         self.binop(rhs, |a, b| a + b, |g, _, _| (g.clone(), g.clone()))
     }
 
     /// Elementwise (broadcasting) subtraction.
-    pub fn sub(self, rhs: Var<'g>) -> Var<'g> {
-        self.binop(rhs, |a, b| a - b, |g, _, _| (g.clone(), g.scale(-1.0)))
+    pub fn sub(self, rhs: Var<'g, E>) -> Var<'g, E> {
+        self.binop(rhs, |a, b| a - b, |g, _, _| (g.clone(), g.scale(-E::ONE)))
     }
 
     /// Elementwise (broadcasting) multiplication.
-    pub fn mul(self, rhs: Var<'g>) -> Var<'g> {
+    pub fn mul(self, rhs: Var<'g, E>) -> Var<'g, E> {
         self.binop(
             rhs,
             |a, b| a * b,
@@ -69,7 +69,7 @@ impl<'g> Var<'g> {
     }
 
     /// Elementwise (broadcasting) division.
-    pub fn div(self, rhs: Var<'g>) -> Var<'g> {
+    pub fn div(self, rhs: Var<'g, E>) -> Var<'g, E> {
         self.binop(
             rhs,
             |a, b| a / b,
@@ -87,9 +87,9 @@ impl<'g> Var<'g> {
 
     fn unary(
         self,
-        f: impl Fn(f64) -> f64 + Sync,
-        dfdx: impl Fn(f64, f64) -> f64 + 'static, // (x, y=f(x)) -> derivative
-    ) -> Var<'g> {
+        f: impl Fn(E) -> E + Sync,
+        dfdx: impl Fn(E, E) -> E + 'static, // (x, y=f(x)) -> derivative
+    ) -> Var<'g, E> {
         let x = self.value();
         let y = x.map(f);
         let yc = y.clone();
@@ -109,74 +109,81 @@ impl<'g> Var<'g> {
     }
 
     /// Negation.
-    pub fn neg(self) -> Var<'g> {
+    pub fn neg(self) -> Var<'g, E> {
         self.mul_scalar(-1.0)
     }
 
     /// Adds a scalar constant.
-    pub fn add_scalar(self, c: f64) -> Var<'g> {
-        self.unary(move |x| x + c, |_, _| 1.0)
+    pub fn add_scalar(self, c: f64) -> Var<'g, E> {
+        let c = E::from_f64(c);
+        self.unary(move |x| x + c, |_, _| E::ONE)
     }
 
     /// Multiplies by a scalar constant.
-    pub fn mul_scalar(self, c: f64) -> Var<'g> {
+    pub fn mul_scalar(self, c: f64) -> Var<'g, E> {
+        let c = E::from_f64(c);
         self.unary(move |x| x * c, move |_, _| c)
     }
 
     /// Rectified linear unit.
-    pub fn relu(self) -> Var<'g> {
-        self.unary(|x| x.max(0.0), |x, _| if x > 0.0 { 1.0 } else { 0.0 })
+    pub fn relu(self) -> Var<'g, E> {
+        self.unary(
+            |x| x.max(E::ZERO),
+            |x, _| if x > E::ZERO { E::ONE } else { E::ZERO },
+        )
     }
 
     /// Leaky ReLU with negative slope `alpha`.
-    pub fn leaky_relu(self, alpha: f64) -> Var<'g> {
+    pub fn leaky_relu(self, alpha: f64) -> Var<'g, E> {
+        let alpha = E::from_f64(alpha);
         self.unary(
-            move |x| if x > 0.0 { x } else { alpha * x },
-            move |x, _| if x > 0.0 { 1.0 } else { alpha },
+            move |x| if x > E::ZERO { x } else { alpha * x },
+            move |x, _| if x > E::ZERO { E::ONE } else { alpha },
         )
     }
 
     /// Logistic sigmoid.
-    pub fn sigmoid(self) -> Var<'g> {
-        self.unary(|x| 1.0 / (1.0 + (-x).exp()), |_, y| y * (1.0 - y))
+    pub fn sigmoid(self) -> Var<'g, E> {
+        self.unary(|x| E::ONE / (E::ONE + (-x).exp()), |_, y| y * (E::ONE - y))
     }
 
     /// Hyperbolic tangent.
-    pub fn tanh(self) -> Var<'g> {
-        self.unary(f64::tanh, |_, y| 1.0 - y * y)
+    pub fn tanh(self) -> Var<'g, E> {
+        self.unary(E::tanh, |_, y| E::ONE - y * y)
     }
 
     /// Natural exponential.
-    pub fn exp(self) -> Var<'g> {
-        self.unary(f64::exp, |_, y| y)
+    pub fn exp(self) -> Var<'g, E> {
+        self.unary(E::exp, |_, y| y)
     }
 
     /// Natural logarithm (caller must keep inputs positive).
-    pub fn log(self) -> Var<'g> {
-        self.unary(f64::ln, |x, _| 1.0 / x)
+    pub fn log(self) -> Var<'g, E> {
+        self.unary(E::ln, |x, _| E::ONE / x)
     }
 
     /// Square root.
-    pub fn sqrt(self) -> Var<'g> {
-        self.unary(f64::sqrt, |_, y| 0.5 / y)
+    pub fn sqrt(self) -> Var<'g, E> {
+        self.unary(E::sqrt, |_, y| E::from_f64(0.5) / y)
     }
 
     /// Elementwise square.
-    pub fn square(self) -> Var<'g> {
-        self.unary(|x| x * x, |x, _| 2.0 * x)
+    pub fn square(self) -> Var<'g, E> {
+        self.unary(|x| x * x, |x, _| E::from_f64(2.0) * x)
     }
 
     /// Elementwise absolute value (subgradient 0 at the kink).
-    pub fn abs(self) -> Var<'g> {
-        self.unary(f64::abs, |x, _| x.signum())
+    pub fn abs(self) -> Var<'g, E> {
+        self.unary(E::abs, |x, _| x.signum())
     }
 
     /// Clamps values into `[lo, hi]`; gradient passes through inside the
     /// range and is zero outside.
-    pub fn clamp(self, lo: f64, hi: f64) -> Var<'g> {
+    pub fn clamp(self, lo: f64, hi: f64) -> Var<'g, E> {
+        let (lo, hi) = (E::from_f64(lo), E::from_f64(hi));
         self.unary(
             move |x| x.clamp(lo, hi),
-            move |x, _| if x > lo && x < hi { 1.0 } else { 0.0 },
+            move |x, _| if x > lo && x < hi { E::ONE } else { E::ZERO },
         )
     }
 
@@ -186,7 +193,7 @@ impl<'g> Var<'g> {
     ///
     /// # Panics
     /// Panics if element counts differ.
-    pub fn reshape(self, dims: &[usize]) -> Var<'g> {
+    pub fn reshape(self, dims: &[usize]) -> Var<'g, E> {
         let x = self.value();
         let old = x.dims().to_vec();
         let y = x.reshape(dims);
@@ -195,14 +202,14 @@ impl<'g> Var<'g> {
     }
 
     /// Transpose of the last two axes.
-    pub fn transpose(self) -> Var<'g> {
+    pub fn transpose(self) -> Var<'g, E> {
         let y = self.value().transpose();
         let id = self.id;
         self.push(y, Box::new(move |g| vec![(id, g.transpose())]))
     }
 
     /// Slice along `axis` (see [`Tensor::slice`]); backward zero-pads.
-    pub fn slice(self, axis: usize, start: usize, len: usize) -> Var<'g> {
+    pub fn slice(self, axis: usize, start: usize, len: usize) -> Var<'g, E> {
         let x = self.value();
         let full = x.dims().to_vec();
         let y = x.slice(axis, start, len);
@@ -230,7 +237,7 @@ impl<'g> Var<'g> {
     }
 
     /// Gathers rows by index along axis 0; backward scatter-adds.
-    pub fn gather_rows(self, indices: &[usize]) -> Var<'g> {
+    pub fn gather_rows(self, indices: &[usize]) -> Var<'g, E> {
         let x = self.value();
         let rows = x.dims()[0];
         let y = x.gather_rows(indices);
@@ -247,11 +254,11 @@ impl<'g> Var<'g> {
     /// # Panics
     /// Panics if the list is empty, mixes graphs, or shapes disagree
     /// off-axis.
-    pub fn concat(vars: &[Var<'g>], axis: usize) -> Var<'g> {
+    pub fn concat(vars: &[Var<'g, E>], axis: usize) -> Var<'g, E> {
         assert!(!vars.is_empty(), "concat of empty list");
         let graph = vars[0].graph;
-        let values: Vec<Tensor> = vars.iter().map(|v| v.value()).collect();
-        let refs: Vec<&Tensor> = values.iter().collect();
+        let values: Vec<Tensor<E>> = vars.iter().map(|v| v.value()).collect();
+        let refs: Vec<&Tensor<E>> = values.iter().collect();
         let out = Tensor::concat(&refs, axis);
         let ids: Vec<usize> = vars.iter().map(|v| v.id).collect();
         let lens: Vec<usize> = values.iter().map(|v| v.dims()[axis]).collect();
@@ -284,7 +291,7 @@ impl<'g> Var<'g> {
     ///
     /// # Panics
     /// Panics on incompatible shapes.
-    pub fn matmul(self, rhs: Var<'g>) -> Var<'g> {
+    pub fn matmul(self, rhs: Var<'g, E>) -> Var<'g, E> {
         let a = self.value();
         let b = rhs.value();
         let out = a.matmul(&b);
@@ -302,8 +309,8 @@ impl<'g> Var<'g> {
                 let k = *ad.last().expect("matmul lhs has a last dim");
                 let n = *b.dims().last().expect("matmul rhs has a last dim");
                 let (a_s, b_s, g_s) = (a.as_slice(), b.as_slice(), g.as_slice());
-                let mut ga = vec![0.0; batch * m * k];
-                let mut gb = vec![0.0; b.numel()];
+                let mut ga = vec![E::ZERO; batch * m * k];
+                let mut gb = vec![E::ZERO; b.numel()];
                 let b_stride = if ranks.1 == 3 { k * n } else { 0 };
                 for bi in 0..batch {
                     let gbi = &g_s[bi * m * n..(bi + 1) * m * n];
@@ -335,7 +342,7 @@ impl<'g> Var<'g> {
     // ----- reductions -----
 
     /// Sum of all elements (rank-0 result).
-    pub fn sum_all(self) -> Var<'g> {
+    pub fn sum_all(self) -> Var<'g, E> {
         let x = self.value();
         let dims = x.dims().to_vec();
         let id = self.id;
@@ -352,14 +359,14 @@ impl<'g> Var<'g> {
     ///
     /// # Panics
     /// Panics on an empty tensor.
-    pub fn mean_all(self) -> Var<'g> {
+    pub fn mean_all(self) -> Var<'g, E> {
         let n = self.numel();
         assert!(n > 0, "mean of empty tensor");
         self.sum_all().mul_scalar(1.0 / n as f64)
     }
 
     /// Sums along `axis`, removing it.
-    pub fn sum_axis(self, axis: usize) -> Var<'g> {
+    pub fn sum_axis(self, axis: usize) -> Var<'g, E> {
         let x = self.value();
         let dims = x.dims().to_vec();
         let y = x.sum_axis(axis);
@@ -378,7 +385,7 @@ impl<'g> Var<'g> {
     }
 
     /// Means along `axis`, removing it.
-    pub fn mean_axis(self, axis: usize) -> Var<'g> {
+    pub fn mean_axis(self, axis: usize) -> Var<'g, E> {
         let n = self.dims()[axis];
         assert!(n > 0, "mean over empty axis");
         self.sum_axis(axis).mul_scalar(1.0 / n as f64)
@@ -387,7 +394,7 @@ impl<'g> Var<'g> {
     // ----- softmax family -----
 
     /// Softmax over the last axis.
-    pub fn softmax_lastdim(self) -> Var<'g> {
+    pub fn softmax_lastdim(self) -> Var<'g, E> {
         let x = self.value();
         let y = x.softmax_lastdim();
         let yc = y.clone();
@@ -399,12 +406,12 @@ impl<'g> Var<'g> {
                 let r = yc.rank();
                 let n = yc.dims()[r - 1];
                 let rows = yc.numel() / n;
-                let mut gx = vec![0.0; yc.numel()];
+                let mut gx = vec![E::ZERO; yc.numel()];
                 let ys = yc.as_slice();
                 let gs = g.as_slice();
                 for row in 0..rows {
                     let o = row * n;
-                    let dot: f64 = (0..n).map(|j| gs[o + j] * ys[o + j]).sum();
+                    let dot = (0..n).map(|j| gs[o + j] * ys[o + j]).sum::<E>();
                     for j in 0..n {
                         gx[o + j] = ys[o + j] * (gs[o + j] - dot);
                     }
@@ -415,10 +422,10 @@ impl<'g> Var<'g> {
     }
 
     /// Log-softmax over the last axis (numerically stable).
-    pub fn log_softmax_lastdim(self) -> Var<'g> {
+    pub fn log_softmax_lastdim(self) -> Var<'g, E> {
         let x = self.value();
         let sm = x.softmax_lastdim();
-        let y = sm.map(|p| p.max(1e-300).ln());
+        let y = sm.map(|p| p.max(E::LN_FLOOR).ln());
         let id = self.id;
         self.push(
             y,
@@ -427,12 +434,12 @@ impl<'g> Var<'g> {
                 let r = sm.rank();
                 let n = sm.dims()[r - 1];
                 let rows = sm.numel() / n;
-                let mut gx = vec![0.0; sm.numel()];
+                let mut gx = vec![E::ZERO; sm.numel()];
                 let ss = sm.as_slice();
                 let gs = g.as_slice();
                 for row in 0..rows {
                     let o = row * n;
-                    let total: f64 = (0..n).map(|j| gs[o + j]).sum();
+                    let total = (0..n).map(|j| gs[o + j]).sum::<E>();
                     for j in 0..n {
                         gx[o + j] = gs[o + j] - ss[o + j] * total;
                     }
@@ -449,13 +456,13 @@ impl<'g> Var<'g> {
     ///
     /// # Panics
     /// Panics if shapes differ.
-    pub fn bce_with_logits(self, targets: &Tensor) -> Var<'g> {
+    pub fn bce_with_logits(self, targets: &Tensor<E>) -> Var<'g, E> {
         let x = self.value();
         assert_eq!(x.dims(), targets.dims(), "bce target shape mismatch");
-        let n = x.numel() as f64;
-        let mut loss = 0.0;
+        let n = E::from_f64(x.numel() as f64);
+        let mut loss = E::ZERO;
         for (&xi, &ti) in x.as_slice().iter().zip(targets.as_slice()) {
-            loss += xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln();
+            loss += xi.max(E::ZERO) - xi * ti + (E::ONE + (-xi.abs()).exp()).ln();
         }
         let t = targets.clone();
         let id = self.id;
@@ -463,7 +470,7 @@ impl<'g> Var<'g> {
             Tensor::from_scalar(loss / n),
             Box::new(move |g| {
                 let s = g.scalar() / n;
-                let gx = x.zip_broadcast(&t, |xi, ti| s * (1.0 / (1.0 + (-xi).exp()) - ti));
+                let gx = x.zip_broadcast(&t, |xi, ti| s * (E::ONE / (E::ONE + (-xi).exp()) - ti));
                 vec![(id, gx)]
             }),
         )
@@ -475,7 +482,7 @@ impl<'g> Var<'g> {
     ///
     /// # Panics
     /// Panics if shapes differ or rank < 1.
-    pub fn softmax_xent_rows(self, targets: &Tensor) -> Var<'g> {
+    pub fn softmax_xent_rows(self, targets: &Tensor<E>) -> Var<'g, E> {
         let x = self.value();
         assert_eq!(x.dims(), targets.dims(), "xent target shape mismatch");
         let r = x.rank();
@@ -483,28 +490,28 @@ impl<'g> Var<'g> {
         let n = x.dims()[r - 1];
         let rows = x.numel() / n;
         let sm = x.softmax_lastdim();
-        let mut loss = 0.0;
+        let mut loss = E::ZERO;
         for (p, &t) in sm.as_slice().iter().zip(targets.as_slice()) {
-            if t != 0.0 {
-                loss -= t * p.max(1e-300).ln();
+            if t != E::ZERO {
+                loss -= t * p.max(E::LN_FLOOR).ln();
             }
         }
         let t = targets.clone();
         let id = self.id;
         self.push(
-            Tensor::from_scalar(loss / rows as f64),
+            Tensor::from_scalar(loss / E::from_f64(rows as f64)),
             Box::new(move |g| {
-                let s = g.scalar() / rows as f64;
+                let s = g.scalar() / E::from_f64(rows as f64);
                 // per-row: grad = (softmax - t * sum_t) where sum_t is the
                 // row mass of the target (1 for distributions)
                 let n = sm.dims()[sm.rank() - 1];
                 let rows = sm.numel() / n;
-                let mut gx = vec![0.0; sm.numel()];
+                let mut gx = vec![E::ZERO; sm.numel()];
                 let ss = sm.as_slice();
                 let ts = t.as_slice();
                 for row in 0..rows {
                     let o = row * n;
-                    let mass: f64 = (0..n).map(|j| ts[o + j]).sum();
+                    let mass = (0..n).map(|j| ts[o + j]).sum::<E>();
                     for j in 0..n {
                         gx[o + j] = s * (ss[o + j] * mass - ts[o + j]);
                     }
@@ -519,18 +526,20 @@ impl<'g> Var<'g> {
     ///
     /// # Panics
     /// Panics if shapes differ or `beta <= 0`.
-    pub fn smooth_l1(self, targets: &Tensor, beta: f64) -> Var<'g> {
+    pub fn smooth_l1(self, targets: &Tensor<E>, beta: f64) -> Var<'g, E> {
         assert!(beta > 0.0, "beta must be positive");
+        let beta = E::from_f64(beta);
+        let half = E::from_f64(0.5);
         let x = self.value();
         assert_eq!(x.dims(), targets.dims(), "smooth_l1 target shape mismatch");
-        let n = x.numel() as f64;
-        let mut loss = 0.0;
+        let n = E::from_f64(x.numel() as f64);
+        let mut loss = E::ZERO;
         for (&xi, &ti) in x.as_slice().iter().zip(targets.as_slice()) {
             let d = (xi - ti).abs();
             loss += if d < beta {
-                0.5 * d * d / beta
+                half * d * d / beta
             } else {
-                d - 0.5 * beta
+                d - half * beta
             };
         }
         let t = targets.clone();
@@ -555,7 +564,7 @@ impl<'g> Var<'g> {
     ///
     /// # Panics
     /// Panics on shape mismatch or when the kernel exceeds the padded input.
-    pub fn conv2d(self, weight: Var<'g>, spec: Conv2dSpec) -> Var<'g> {
+    pub fn conv2d(self, weight: Var<'g, E>, spec: Conv2dSpec) -> Var<'g, E> {
         let x = self.value();
         let w = weight.value();
         assert_eq!(x.rank(), 4, "conv2d input must be [N,C,H,W]");
@@ -572,7 +581,7 @@ impl<'g> Var<'g> {
         let ckk = c * kh * kw;
         let l = oh * ow;
         let threads = parallel::num_threads();
-        let mut out_data = vec![0.0; n * o * l];
+        let mut out_data = vec![E::ZERO; n * o * l];
         for b in 0..n {
             matmul_blocked(
                 w.as_slice(),
@@ -599,7 +608,7 @@ impl<'g> Var<'g> {
                 let gs = g.as_slice();
                 let cs = cols.as_slice();
                 let ws = w.as_slice();
-                let mut gw = vec![0.0; o * ckk];
+                let mut gw = vec![E::ZERO; o * ckk];
                 let mut gcols = Tensor::zeros(&[n, ckk, l]);
                 let gc = gcols.as_mut_slice();
                 for b in 0..n {
@@ -619,12 +628,12 @@ impl<'g> Var<'g> {
     ///
     /// # Panics
     /// Panics if input is not rank 4.
-    pub fn max_pool2d(self, spec: Pool2dSpec) -> Var<'g> {
+    pub fn max_pool2d(self, spec: Pool2dSpec) -> Var<'g, E> {
         let x = self.value();
         assert_eq!(x.rank(), 4, "max_pool2d input must be [N,C,H,W]");
         let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let (oh, ow) = spec.output_hw(h, w);
-        let mut out = vec![f64::NEG_INFINITY; n * c * oh * ow];
+        let mut out = vec![E::NEG_INFINITY; n * c * oh * ow];
         let mut arg = vec![0usize; n * c * oh * ow];
         let xs = x.as_slice();
         for b in 0..n {
@@ -667,7 +676,7 @@ impl<'g> Var<'g> {
     }
 
     /// Global average pool over the spatial dims of `[N,C,H,W]` → `[N,C]`.
-    pub fn global_avg_pool(self) -> Var<'g> {
+    pub fn global_avg_pool(self) -> Var<'g, E> {
         let d = self.dims();
         assert_eq!(d.len(), 4, "global_avg_pool input must be [N,C,H,W]");
         self.reshape(&[d[0], d[1], d[2] * d[3]]).mean_axis(2)
@@ -675,29 +684,29 @@ impl<'g> Var<'g> {
 
     /// Detaches the value from the tape: output is a new leaf, no gradient
     /// flows back through it.
-    pub fn detach(self) -> Var<'g> {
+    pub fn detach(self) -> Var<'g, E> {
         self.graph.leaf(self.value())
     }
 }
 
 /// Convenience constructors on [`Graph`] mirroring the `Var` API.
-impl Graph {
+impl<E: Element> Graph<E> {
     /// Leaf filled with zeros.
-    pub fn zeros(&self, dims: &[usize]) -> Var<'_> {
+    pub fn zeros(&self, dims: &[usize]) -> Var<'_, E> {
         self.leaf(Tensor::zeros(dims))
     }
 
     /// Leaf filled with ones.
-    pub fn ones(&self, dims: &[usize]) -> Var<'_> {
+    pub fn ones(&self, dims: &[usize]) -> Var<'_, E> {
         self.leaf(Tensor::ones(dims))
     }
 }
 
 macro_rules! impl_var_binop {
     ($trait:ident, $method:ident) => {
-        impl<'g> std::ops::$trait for Var<'g> {
-            type Output = Var<'g>;
-            fn $method(self, rhs: Var<'g>) -> Var<'g> {
+        impl<'g, E: Element> std::ops::$trait for Var<'g, E> {
+            type Output = Var<'g, E>;
+            fn $method(self, rhs: Var<'g, E>) -> Var<'g, E> {
                 Var::$method(self, rhs)
             }
         }
@@ -709,9 +718,9 @@ impl_var_binop!(Sub, sub);
 impl_var_binop!(Mul, mul);
 impl_var_binop!(Div, div);
 
-impl<'g> std::ops::Neg for Var<'g> {
-    type Output = Var<'g>;
-    fn neg(self) -> Var<'g> {
+impl<'g, E: Element> std::ops::Neg for Var<'g, E> {
+    type Output = Var<'g, E>;
+    fn neg(self) -> Var<'g, E> {
         Var::neg(self)
     }
 }
@@ -728,7 +737,7 @@ mod tests {
 
     #[test]
     fn add_broadcast_backward_reduces() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let a = g.leaf(Tensor::ones(&[2, 3]));
         let b = g.leaf(Tensor::ones(&[3]));
         let y = (a + b).sum_all();
@@ -739,7 +748,7 @@ mod tests {
 
     #[test]
     fn matmul_gradients_match_manual() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let a = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
         let b = g.leaf(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]));
         let y = a.matmul(b).sum_all();
@@ -751,7 +760,7 @@ mod tests {
 
     #[test]
     fn softmax_grad_sums_to_zero() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let mut rng = StdRng::seed_from_u64(1);
         let x = g.leaf(Tensor::randn(&[3, 5], &mut rng));
         // loss = first column of softmax summed
@@ -767,7 +776,7 @@ mod tests {
 
     #[test]
     fn bce_matches_closed_form() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let x = g.leaf(Tensor::from_vec(vec![0.0, 2.0], &[2]));
         let t = Tensor::from_vec(vec![1.0, 0.0], &[2]);
         let loss = x.bce_with_logits(&t);
@@ -780,7 +789,7 @@ mod tests {
 
     #[test]
     fn smooth_l1_quadratic_and_linear_regions() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let x = g.leaf(Tensor::from_vec(vec![0.1, 3.0], &[2]));
         let t = Tensor::zeros(&[2]);
         let loss = x.smooth_l1(&t, 1.0);
@@ -794,7 +803,7 @@ mod tests {
 
     #[test]
     fn gather_rows_backward_scatters() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]));
         let y = x.gather_rows(&[0, 0, 2]).sum_all();
         y.backward();
@@ -803,7 +812,7 @@ mod tests {
 
     #[test]
     fn slice_backward_pads() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let x = g.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]));
         let y = x.slice(0, 1, 2).sum_all();
         y.backward();
@@ -812,7 +821,7 @@ mod tests {
 
     #[test]
     fn concat_backward_splits() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let a = g.leaf(Tensor::ones(&[2, 2]));
         let b = g.leaf(Tensor::ones(&[3, 2]));
         let y = Var::concat(&[a, b], 0);
@@ -824,7 +833,7 @@ mod tests {
 
     #[test]
     fn detach_blocks_gradient() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let x = g.scalar(2.0);
         let y = x.square().detach().mul_scalar(3.0);
         y.backward();
@@ -833,7 +842,7 @@ mod tests {
 
     #[test]
     fn max_pool_forward_and_backward() {
-        let g = Graph::new();
+        let g: Graph = Graph::new();
         let x = g.leaf(Tensor::from_vec(
             vec![
                 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,

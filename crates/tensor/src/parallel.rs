@@ -94,11 +94,11 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
 ///
 /// # Panics
 /// Panics if `chunk_len == 0`, or if a worker panics.
-pub fn for_each_chunk_in(
+pub fn for_each_chunk_in<T: Send>(
     threads: usize,
-    data: &mut [f64],
+    data: &mut [T],
     chunk_len: usize,
-    f: impl Fn(usize, &mut [f64]) + Sync,
+    f: impl Fn(usize, &mut [T]) + Sync,
 ) {
     assert!(chunk_len > 0, "chunk_len must be positive");
     let n_chunks = data.len().div_ceil(chunk_len);
@@ -147,7 +147,11 @@ pub fn for_each_chunk_in(
 }
 
 /// [`for_each_chunk_in`] at the ambient pool width ([`num_threads`]).
-pub fn for_each_chunk(data: &mut [f64], chunk_len: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
+pub fn for_each_chunk<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
     for_each_chunk_in(num_threads(), data, chunk_len, f);
 }
 

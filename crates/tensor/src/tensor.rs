@@ -1,3 +1,4 @@
+use crate::element::Element;
 use crate::parallel;
 use crate::shape::{broadcast_shapes, Shape};
 use crate::{Result, TensorError};
@@ -6,7 +7,8 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// A dense, row-major tensor of `f64` values.
+/// A dense, row-major tensor of [`Element`] values — `f64` (the default
+/// and reference dtype) or `f32` (the fast inference path).
 ///
 /// `Tensor` is the plain value type of the crate; differentiable computation
 /// is expressed on [`crate::Var`] handles inside a [`crate::Graph`], whose
@@ -21,29 +23,29 @@ use std::fmt;
 /// assert_eq!(c.as_slice(), a.as_slice());
 /// ```
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
-pub struct Tensor {
+pub struct Tensor<E: Element = f64> {
     shape: Shape,
-    data: Vec<f64>,
+    data: Vec<E>,
 }
 
-impl Tensor {
+impl<E: Element> Tensor<E> {
     // ----- constructors -----
 
     /// Creates a tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         Tensor {
             shape: Shape::new(dims),
-            data: vec![0.0; dims.iter().product()],
+            data: vec![E::ZERO; dims.iter().product()],
         }
     }
 
     /// Creates a tensor filled with ones.
     pub fn ones(dims: &[usize]) -> Self {
-        Tensor::full(dims, 1.0)
+        Tensor::full(dims, E::ONE)
     }
 
     /// Creates a tensor filled with `value`.
-    pub fn full(dims: &[usize], value: f64) -> Self {
+    pub fn full(dims: &[usize], value: E) -> Self {
         Tensor {
             shape: Shape::new(dims),
             data: vec![value; dims.iter().product()],
@@ -51,7 +53,7 @@ impl Tensor {
     }
 
     /// Creates a rank-0 tensor holding a single value.
-    pub fn from_scalar(value: f64) -> Self {
+    pub fn from_scalar(value: E) -> Self {
         Tensor {
             shape: Shape::new(&[]),
             data: vec![value],
@@ -62,7 +64,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if `data.len()` does not equal the product of `dims`.
-    pub fn from_vec(data: Vec<f64>, dims: &[usize]) -> Self {
+    pub fn from_vec(data: Vec<E>, dims: &[usize]) -> Self {
         Tensor::try_from_vec(data, dims).expect("data length must match shape")
     }
 
@@ -70,7 +72,7 @@ impl Tensor {
     ///
     /// # Errors
     /// Returns [`TensorError::DataLength`] if the data length does not match.
-    pub fn try_from_vec(data: Vec<f64>, dims: &[usize]) -> Result<Self> {
+    pub fn try_from_vec(data: Vec<E>, dims: &[usize]) -> Result<Self> {
         let expected: usize = dims.iter().product();
         if data.len() != expected {
             return Err(TensorError::DataLength {
@@ -85,7 +87,7 @@ impl Tensor {
     }
 
     /// Creates a tensor by evaluating `f` at each flat index.
-    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> E) -> Self {
         let n: usize = dims.iter().product();
         Tensor {
             shape: Shape::new(dims),
@@ -97,7 +99,7 @@ impl Tensor {
     pub fn eye(n: usize) -> Self {
         let mut t = Tensor::zeros(&[n, n]);
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            t.data[i * n + i] = E::ONE;
         }
         t
     }
@@ -105,12 +107,12 @@ impl Tensor {
     /// Standard-normal random tensor (Box–Muller over the supplied RNG).
     pub fn randn(dims: &[usize], rng: &mut impl Rng) -> Self {
         let normal = StandardNormal;
-        Tensor::from_fn(dims, |_| normal.sample(rng))
+        Tensor::from_fn(dims, |_| E::from_f64(normal.sample(rng)))
     }
 
     /// Uniform random tensor in `[lo, hi)`.
     pub fn rand_uniform(dims: &[usize], lo: f64, hi: f64, rng: &mut impl Rng) -> Self {
-        Tensor::from_fn(dims, |_| rng.gen_range(lo..hi))
+        Tensor::from_fn(dims, |_| E::from_f64(rng.gen_range(lo..hi)))
     }
 
     // ----- access -----
@@ -136,17 +138,17 @@ impl Tensor {
     }
 
     /// Flat view of the data.
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[E] {
         &self.data
     }
 
     /// Mutable flat view of the data.
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
         &mut self.data
     }
 
     /// Consumes the tensor, returning its flat data.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<E> {
         self.data
     }
 
@@ -154,7 +156,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if the index rank or any coordinate is out of range.
-    pub fn at(&self, idx: &[usize]) -> f64 {
+    pub fn at(&self, idx: &[usize]) -> E {
         self.data[self.shape.offset(idx)]
     }
 
@@ -162,7 +164,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if the index rank or any coordinate is out of range.
-    pub fn set(&mut self, idx: &[usize], value: f64) {
+    pub fn set(&mut self, idx: &[usize], value: E) {
         let off = self.shape.offset(idx);
         self.data[off] = value;
     }
@@ -171,7 +173,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if the tensor has more than one element.
-    pub fn scalar(&self) -> f64 {
+    pub fn scalar(&self) -> E {
         assert_eq!(
             self.numel(),
             1,
@@ -187,7 +189,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if the element counts differ.
-    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+    pub fn reshape(&self, dims: &[usize]) -> Tensor<E> {
         self.try_reshape(dims).expect("reshape must preserve numel")
     }
 
@@ -195,7 +197,7 @@ impl Tensor {
     ///
     /// # Errors
     /// Returns [`TensorError::BadReshape`] on element-count mismatch.
-    pub fn try_reshape(&self, dims: &[usize]) -> Result<Tensor> {
+    pub fn try_reshape(&self, dims: &[usize]) -> Result<Tensor<E>> {
         let expected: usize = dims.iter().product();
         if expected != self.numel() {
             return Err(TensorError::BadReshape {
@@ -213,7 +215,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if rank < 2.
-    pub fn transpose(&self) -> Tensor {
+    pub fn transpose(&self) -> Tensor<E> {
         let r = self.rank();
         assert!(r >= 2, "transpose requires rank >= 2");
         let dims = self.dims();
@@ -221,7 +223,7 @@ impl Tensor {
         let batch: usize = dims[..r - 2].iter().product();
         let mut out_dims = dims.to_vec();
         out_dims.swap(r - 2, r - 1);
-        let mut out = vec![0.0; self.numel()];
+        let mut out = vec![E::ZERO; self.numel()];
         for b in 0..batch {
             let base = b * m * n;
             for i in 0..m {
@@ -253,16 +255,16 @@ impl Tensor {
     ///
     /// Large tensors are processed by the worker pool (see [`crate::parallel`]),
     /// hence the `Sync` bound.
-    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
+    pub fn map(&self, f: impl Fn(E) -> E + Sync) -> Tensor<E> {
         let n = self.numel();
-        let threads = Tensor::elemwise_threads(n);
+        let threads = Self::elemwise_threads(n);
         if threads <= 1 {
             return Tensor {
                 shape: self.shape.clone(),
                 data: self.data.iter().map(|&x| f(x)).collect(),
             };
         }
-        let mut data = vec![0.0; n];
+        let mut data = vec![E::ZERO; n];
         let chunk = parallel::chunk_len_for(n, threads);
         let src = &self.data;
         parallel::for_each_chunk_in(threads, &mut data, chunk, |ci, out| {
@@ -278,8 +280,8 @@ impl Tensor {
     }
 
     /// In-place elementwise update (parallel above the size threshold).
-    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64 + Sync) {
-        let threads = Tensor::elemwise_threads(self.numel());
+    pub fn map_inplace(&mut self, f: impl Fn(E) -> E + Sync) {
+        let threads = Self::elemwise_threads(self.numel());
         let chunk = parallel::chunk_len_for(self.data.len(), threads);
         parallel::for_each_chunk_in(threads, &mut self.data, chunk, |_, out| {
             for x in out.iter_mut() {
@@ -292,11 +294,11 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if the shapes are not broadcast-compatible.
-    pub fn zip_broadcast(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64 + Sync) -> Tensor {
+    pub fn zip_broadcast(&self, other: &Tensor<E>, f: impl Fn(E, E) -> E + Sync) -> Tensor<E> {
         if self.dims() == other.dims() {
             // fast path: identical shapes
             let n = self.numel();
-            let threads = Tensor::elemwise_threads(n);
+            let threads = Self::elemwise_threads(n);
             if threads <= 1 {
                 let data = self
                     .data
@@ -309,7 +311,7 @@ impl Tensor {
                     data,
                 };
             }
-            let mut data = vec![0.0; n];
+            let mut data = vec![E::ZERO; n];
             let chunk = parallel::chunk_len_for(n, threads);
             let (sa, sb) = (&self.data, &other.data);
             parallel::for_each_chunk_in(threads, &mut data, chunk, |ci, out| {
@@ -327,11 +329,11 @@ impl Tensor {
             broadcast_shapes(self.dims(), other.dims()).expect("broadcast-incompatible shapes");
         let out_shape = Shape::new(&out_dims);
         let n = out_shape.numel();
-        let mut data = vec![0.0; n];
+        let mut data = vec![E::ZERO; n];
         let sa = padded_strides(self.dims(), &out_dims);
         let sb = padded_strides(other.dims(), &out_dims);
         let strides = out_shape.strides();
-        let threads = Tensor::elemwise_threads(n);
+        let threads = Self::elemwise_threads(n);
         let chunk = parallel::chunk_len_for(n, threads);
         let (da, db) = (&self.data, &other.data);
         parallel::for_each_chunk_in(threads, &mut data, chunk, |ci, out| {
@@ -362,12 +364,12 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if `dims` cannot be broadcast to this tensor's shape.
-    pub fn reduce_to(&self, dims: &[usize]) -> Tensor {
+    pub fn reduce_to(&self, dims: &[usize]) -> Tensor<E> {
         if self.dims() == dims {
             return self.clone();
         }
         let out_shape = Shape::new(dims);
-        let mut out = vec![0.0; out_shape.numel()];
+        let mut out = vec![E::ZERO; out_shape.numel()];
         let strides_src = self.shape.strides();
         let starget = padded_strides(dims, self.dims());
         for flat in 0..self.numel() {
@@ -390,9 +392,9 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if shapes differ.
-    pub fn add_assign(&mut self, other: &Tensor) {
+    pub fn add_assign(&mut self, other: &Tensor<E>) {
         assert_eq!(self.dims(), other.dims(), "add_assign shape mismatch");
-        let threads = Tensor::elemwise_threads(self.numel());
+        let threads = Self::elemwise_threads(self.numel());
         let chunk = parallel::chunk_len_for(self.data.len(), threads);
         let src = &other.data;
         parallel::for_each_chunk_in(threads, &mut self.data, chunk, |ci, out| {
@@ -409,13 +411,13 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if shapes differ.
-    pub fn add_scaled_assign(&mut self, other: &Tensor, s: f64) {
+    pub fn add_scaled_assign(&mut self, other: &Tensor<E>, s: E) {
         assert_eq!(
             self.dims(),
             other.dims(),
             "add_scaled_assign shape mismatch"
         );
-        let threads = Tensor::elemwise_threads(self.numel());
+        let threads = Self::elemwise_threads(self.numel());
         let chunk = parallel::chunk_len_for(self.data.len(), threads);
         let src = &other.data;
         parallel::for_each_chunk_in(threads, &mut self.data, chunk, |ci, out| {
@@ -427,8 +429,19 @@ impl Tensor {
     }
 
     /// Scales every element by `s`.
-    pub fn scale(&self, s: f64) -> Tensor {
+    pub fn scale(&self, s: E) -> Tensor<E> {
         self.map(|x| x * s)
+    }
+
+    /// Casts every element to dtype `F` (via `f64`), preserving shape.
+    ///
+    /// `f32 -> f64` is exact; `f64 -> f32` rounds to nearest. This is the
+    /// bridge between the f64 training oracle and the f32 inference path.
+    pub fn cast<F: Element>(&self) -> Tensor<F> {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| F::from_f64(x.to_f64())).collect(),
+        }
     }
 
     // ----- linear algebra -----
@@ -440,7 +453,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics on rank/shape mismatch.
-    pub fn matmul(&self, other: &Tensor) -> Tensor {
+    pub fn matmul(&self, other: &Tensor<E>) -> Tensor<E> {
         let threads = parallel::num_threads();
         let _span = yollo_obs::span!("tensor.matmul");
         let _lat = yollo_obs::time_hist!("tensor.matmul_ns");
@@ -451,7 +464,7 @@ impl Tensor {
                 let (k2, n) = (other.dims()[0], other.dims()[1]);
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
                 yollo_obs::counter!("tensor.matmul.flops").add(2 * (m * k * n) as u64);
-                let mut out = vec![0.0; m * n];
+                let mut out = vec![E::ZERO; m * n];
                 matmul_blocked(&self.data, &other.data, &mut out, m, k, n, threads);
                 Tensor::from_vec(out, &[m, n])
             }
@@ -461,7 +474,7 @@ impl Tensor {
                 assert_eq!(b, b2, "batched matmul batch dims: {b} vs {b2}");
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
                 yollo_obs::counter!("tensor.matmul.flops").add(2 * (b * m * k * n) as u64);
-                let mut out = vec![0.0; b * m * n];
+                let mut out = vec![E::ZERO; b * m * n];
                 matmul_blocked_batched(
                     &self.data,
                     &other.data,
@@ -480,7 +493,7 @@ impl Tensor {
                 let (k2, n) = (other.dims()[0], other.dims()[1]);
                 assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
                 yollo_obs::counter!("tensor.matmul.flops").add(2 * (b * m * k * n) as u64);
-                let mut out = vec![0.0; b * m * n];
+                let mut out = vec![E::ZERO; b * m * n];
                 matmul_blocked_batched(
                     &self.data,
                     &other.data,
@@ -506,30 +519,34 @@ impl Tensor {
     /// fixed-size blocks ([`block_reduce`]) whose partials combine in block
     /// order, so the result is bitwise identical for any thread count —
     /// not just for a fixed one.
-    pub fn sum_all(&self) -> Tensor {
-        let threads = Tensor::elemwise_threads(self.numel());
-        Tensor::from_scalar(block_reduce(&self.data, threads, |b| b.iter().sum::<f64>()))
+    pub fn sum_all(&self) -> Tensor<E> {
+        let threads = Self::elemwise_threads(self.numel());
+        Tensor::from_scalar(block_reduce(&self.data, threads, |b| {
+            b.iter().copied().sum::<E>()
+        }))
     }
 
     /// Mean of all elements, as a rank-0 tensor. Empty tensors yield 0.
-    pub fn mean_all(&self) -> Tensor {
+    pub fn mean_all(&self) -> Tensor<E> {
         if self.data.is_empty() {
-            Tensor::from_scalar(0.0)
+            Tensor::from_scalar(E::ZERO)
         } else {
-            Tensor::from_scalar(self.data.iter().sum::<f64>() / self.data.len() as f64)
+            Tensor::from_scalar(
+                self.data.iter().copied().sum::<E>() / E::from_f64(self.data.len() as f64),
+            )
         }
     }
 
     /// Maximum element. Empty tensors yield negative infinity.
-    pub fn max_all(&self) -> f64 {
-        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    pub fn max_all(&self) -> E {
+        self.data.iter().copied().fold(E::NEG_INFINITY, E::max)
     }
 
     /// Sums along `axis`, removing that axis.
     ///
     /// # Panics
     /// Panics if `axis >= rank`.
-    pub fn sum_axis(&self, axis: usize) -> Tensor {
+    pub fn sum_axis(&self, axis: usize) -> Tensor<E> {
         assert!(axis < self.rank(), "axis {axis} out of range");
         let dims = self.dims();
         let outer: usize = dims[..axis].iter().product();
@@ -537,11 +554,11 @@ impl Tensor {
         let inner: usize = dims[axis + 1..].iter().product();
         let mut out_dims = dims.to_vec();
         out_dims.remove(axis);
-        let mut out = vec![0.0; outer * inner];
+        let mut out = vec![E::ZERO; outer * inner];
         let threads = if inner == 0 {
             1
         } else {
-            Tensor::elemwise_threads(self.numel())
+            Self::elemwise_threads(self.numel())
         };
         let src = &self.data;
         // one chunk per outer slice: disjoint writes, reads confined to the
@@ -561,15 +578,15 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if `axis >= rank` or the axis has size 0.
-    pub fn mean_axis(&self, axis: usize) -> Tensor {
+    pub fn mean_axis(&self, axis: usize) -> Tensor<E> {
         let n = self.dims()[axis];
         assert!(n > 0, "mean over empty axis");
-        self.sum_axis(axis).scale(1.0 / n as f64)
+        self.sum_axis(axis).scale(E::from_f64(1.0 / n as f64))
     }
 
     /// Row-wise softmax over the last axis (rows fan out over the pool
     /// above the size threshold).
-    pub fn softmax_lastdim(&self) -> Tensor {
+    pub fn softmax_lastdim(&self) -> Tensor<E> {
         let r = self.rank();
         assert!(r >= 1, "softmax requires rank >= 1");
         let n = self.dims()[r - 1];
@@ -577,11 +594,11 @@ impl Tensor {
         let threads = if n == 0 {
             1
         } else {
-            Tensor::elemwise_threads(self.numel())
+            Self::elemwise_threads(self.numel())
         };
         parallel::for_each_chunk_in(threads, &mut out, n.max(1), |_, s| {
-            let mx = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let mut z = 0.0;
+            let mx = s.iter().copied().fold(E::NEG_INFINITY, E::max);
+            let mut z = E::ZERO;
             for x in s.iter_mut() {
                 *x = (*x - mx).exp();
                 z += *x;
@@ -602,7 +619,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if the list is empty or shapes disagree off-axis.
-    pub fn concat(tensors: &[&Tensor], axis: usize) -> Tensor {
+    pub fn concat(tensors: &[&Tensor<E>], axis: usize) -> Tensor<E> {
         assert!(!tensors.is_empty(), "concat of empty list");
         let first = tensors[0];
         let rank = first.rank();
@@ -636,7 +653,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if the range exceeds the axis size.
-    pub fn slice(&self, axis: usize, start: usize, len: usize) -> Tensor {
+    pub fn slice(&self, axis: usize, start: usize, len: usize) -> Tensor<E> {
         let dims = self.dims();
         assert!(axis < self.rank(), "slice axis out of range");
         assert!(start + len <= dims[axis], "slice range out of bounds");
@@ -657,7 +674,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if any index is out of range or the tensor is rank 0.
-    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor<E> {
         assert!(self.rank() >= 1, "gather_rows on scalar");
         let rows = self.dims()[0];
         let inner: usize = self.dims()[1..].iter().product();
@@ -676,12 +693,12 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if `src.dims()[0] != indices.len()` or an index is out of range.
-    pub fn scatter_add_rows(src: &Tensor, indices: &[usize], rows: usize) -> Tensor {
+    pub fn scatter_add_rows(src: &Tensor<E>, indices: &[usize], rows: usize) -> Tensor<E> {
         assert_eq!(src.dims()[0], indices.len(), "scatter rows mismatch");
         let inner: usize = src.dims()[1..].iter().product();
         let mut out_dims = src.dims().to_vec();
         out_dims[0] = rows;
-        let mut out = vec![0.0; rows * inner];
+        let mut out = vec![E::ZERO; rows * inner];
         for (r, &i) in indices.iter().enumerate() {
             assert!(i < rows, "scatter index {i} out of range {rows}");
             for c in 0..inner {
@@ -695,7 +712,7 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if the list is empty or shapes differ.
-    pub fn stack(tensors: &[&Tensor]) -> Tensor {
+    pub fn stack(tensors: &[&Tensor<E>]) -> Tensor<E> {
         assert!(!tensors.is_empty(), "stack of empty list");
         let dims = tensors[0].dims();
         let mut data = Vec::with_capacity(tensors.len() * tensors[0].numel());
@@ -714,12 +731,9 @@ impl Tensor {
     /// blocks, so the norm — and anything derived from it, such as the
     /// trainer's global gradient clip — is bitwise identical for any
     /// thread count.
-    pub fn norm(&self) -> f64 {
-        let threads = Tensor::elemwise_threads(self.numel());
-        block_reduce(&self.data, threads, |b| {
-            b.iter().map(|x| x * x).sum::<f64>()
-        })
-        .sqrt()
+    pub fn norm(&self) -> E {
+        let threads = Self::elemwise_threads(self.numel());
+        block_reduce(&self.data, threads, |b| b.iter().map(|&x| x * x).sum::<E>()).sqrt()
     }
 
     /// Index of the maximum element (flat). Ties resolve to the first.
@@ -741,7 +755,7 @@ impl Tensor {
     /// elementwise threshold). The non-finite guard of the training loop
     /// scans every gradient with this after each backward pass.
     pub fn non_finite_count(&self) -> usize {
-        let threads = Tensor::elemwise_threads(self.numel());
+        let threads = Self::elemwise_threads(self.numel());
         parallel::par_fold_in(
             threads,
             self.data.len(),
@@ -760,23 +774,23 @@ impl Tensor {
     ///
     /// # Panics
     /// Panics if shapes differ.
-    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+    pub fn max_abs_diff(&self, other: &Tensor<E>) -> E {
         assert_eq!(self.dims(), other.dims(), "max_abs_diff shape mismatch");
         self.data
             .iter()
             .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(E::ZERO, E::max)
     }
 }
 
-impl Default for Tensor {
+impl<E: Element> Default for Tensor<E> {
     fn default() -> Self {
-        Tensor::from_scalar(0.0)
+        Tensor::from_scalar(E::ZERO)
     }
 }
 
-impl fmt::Debug for Tensor {
+impl<E: Element> fmt::Debug for Tensor<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}", self.dims())?;
         if self.numel() <= 16 {
@@ -793,7 +807,7 @@ impl fmt::Debug for Tensor {
     }
 }
 
-impl fmt::Display for Tensor {
+impl<E: Element> fmt::Display for Tensor<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
     }
@@ -835,10 +849,10 @@ const NC: usize = 256;
 /// Deliberately unoptimised (i-j-k dot products, strided B reads). Retained
 /// as the correctness oracle for the equivalence property tests and the
 /// baseline that `exp_tensor_speed` measures [`matmul_blocked`] against.
-pub fn matmul_naive(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n: usize) {
+pub fn matmul_naive<E: Element>(a: &[E], b: &[E], out: &mut [E], m: usize, k: usize, n: usize) {
     for i in 0..m {
         for j in 0..n {
-            let mut acc = 0.0;
+            let mut acc = E::ZERO;
             for p in 0..k {
                 acc += a[i * k + p] * b[p * n + j];
             }
@@ -850,14 +864,14 @@ pub fn matmul_naive(a: &[f64], b: &[f64], out: &mut [f64], m: usize, k: usize, n
 /// Serial cache-blocked kernel over one row band:
 /// `band += a[r0 .. r0+rows, :] × b`, where `band` holds `rows` full output
 /// rows. `panel` is caller-provided pack scratch (cleared and reused).
-fn matmul_band(
-    a: &[f64],
-    b: &[f64],
-    band: &mut [f64],
+fn matmul_band<E: Element>(
+    a: &[E],
+    b: &[E],
+    band: &mut [E],
     r0: usize,
     k: usize,
     n: usize,
-    panel: &mut Vec<f64>,
+    panel: &mut Vec<E>,
 ) {
     let rows = band.len() / n;
     for kb in (0..k).step_by(KC) {
@@ -866,25 +880,19 @@ fn matmul_band(
         for jb in (0..n).step_by(NC) {
             let jend = (jb + NC).min(n);
             let jw = jend - jb;
-            // pack B[kb..kb+kq, jb..jend] as interleaved quads: for each j,
-            // the four k-values sit adjacent, so the inner loop below is one
-            // forward stream
+            // pack B[kb..kb+kq, jb..jend] as quads of contiguous sub-rows:
+            // the four k-rows of a quad sit back to back, so the inner loop
+            // below reads five contiguous streams — a layout the
+            // auto-vectoriser handles at any element width (an interleaved
+            // per-j layout defeats it, and f32 then gains nothing over f64)
             panel.clear();
-            panel.resize(kq * jw, 0.0);
+            panel.resize(kq * jw, E::ZERO);
             for q in 0..kq / 4 {
                 let r = kb + q * 4;
-                let (b0, b1, b2, b3) = (
-                    &b[r * n + jb..r * n + jend],
-                    &b[(r + 1) * n + jb..(r + 1) * n + jend],
-                    &b[(r + 2) * n + jb..(r + 2) * n + jend],
-                    &b[(r + 3) * n + jb..(r + 3) * n + jend],
-                );
                 let dst = &mut panel[q * 4 * jw..(q + 1) * 4 * jw];
-                for j in 0..jw {
-                    dst[4 * j] = b0[j];
-                    dst[4 * j + 1] = b1[j];
-                    dst[4 * j + 2] = b2[j];
-                    dst[4 * j + 3] = b3[j];
+                for s in 0..4 {
+                    dst[s * jw..(s + 1) * jw]
+                        .copy_from_slice(&b[(r + s) * n + jb..(r + s) * n + jend]);
                 }
             }
             for i in 0..rows {
@@ -894,11 +902,15 @@ fn matmul_band(
                     let p = kb + q * 4;
                     let (av0, av1, av2, av3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
                     let quad = &panel[q * 4 * jw..(q + 1) * 4 * jw];
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        *o += av0 * quad[4 * j]
-                            + av1 * quad[4 * j + 1]
-                            + av2 * quad[4 * j + 2]
-                            + av3 * quad[4 * j + 3];
+                    let (q0, rest) = quad.split_at(jw);
+                    let (q1, rest) = rest.split_at(jw);
+                    let (q2, q3) = rest.split_at(jw);
+                    // same per-element addition order as before the layout
+                    // change, so f64 results stay bitwise identical
+                    for (((o, &b0), (&b1, &b2)), &b3) in
+                        orow.iter_mut().zip(q0).zip(q1.iter().zip(q2)).zip(q3)
+                    {
+                        *o += av0 * b0 + av1 * b1 + av2 * b2 + av3 * b3;
                     }
                 }
                 // k remainder (fewer than four rows left in this k-panel)
@@ -923,10 +935,10 @@ fn matmul_band(
 ///
 /// # Panics
 /// Panics if slice lengths do not match `m*k`, `k*n`, `m*n`.
-pub fn matmul_blocked(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
+pub fn matmul_blocked<E: Element>(
+    a: &[E],
+    b: &[E],
+    out: &mut [E],
     m: usize,
     k: usize,
     n: usize,
@@ -953,10 +965,10 @@ pub fn matmul_blocked(
 /// when `b_is_batched` is false). Whole batches fan out over the pool when
 /// there are enough of them; otherwise each batch parallelises over rows.
 #[allow(clippy::too_many_arguments)]
-pub fn matmul_blocked_batched(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
+pub fn matmul_blocked_batched<E: Element>(
+    a: &[E],
+    b: &[E],
+    out: &mut [E],
     batch: usize,
     m: usize,
     k: usize,
@@ -1017,14 +1029,14 @@ const REDUCE_BLOCK: usize = 4096;
 /// so — unlike a per-worker-band fold — the floating-point combine order is
 /// a function of the data length only, and the result is bitwise identical
 /// for any `threads`.
-pub fn block_reduce(data: &[f64], threads: usize, fold: impl Fn(&[f64]) -> f64 + Sync) -> f64 {
+pub fn block_reduce<E: Element>(data: &[E], threads: usize, fold: impl Fn(&[E]) -> E + Sync) -> E {
     if data.is_empty() {
-        return 0.0;
+        return E::ZERO;
     }
     if threads <= 1 || data.len() <= REDUCE_BLOCK {
         return data.chunks(REDUCE_BLOCK).map(&fold).sum();
     }
-    let mut partials = vec![0.0; data.len().div_ceil(REDUCE_BLOCK)];
+    let mut partials = vec![E::ZERO; data.len().div_ceil(REDUCE_BLOCK)];
     let per_worker = parallel::chunk_len_for(partials.len(), threads);
     parallel::for_each_chunk_in(threads, &mut partials, per_worker, move |ci, band| {
         for (i, slot) in band.iter_mut().enumerate() {
@@ -1033,15 +1045,15 @@ pub fn block_reduce(data: &[f64], threads: usize, fold: impl Fn(&[f64]) -> f64 +
             *slot = fold(&data[start..end]);
         }
     });
-    partials.iter().sum()
+    partials.iter().copied().sum()
 }
 
 /// One dot product of [`matmul_nt`], split into four partial accumulators
 /// so the reduction vectorises. Every caller must use this exact pattern:
 /// it fixes the floating-point accumulation order of the kernel.
 #[inline(always)]
-fn nt_dot(arow: &[f64], brow: &[f64], k: usize) -> f64 {
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+fn nt_dot<E: Element>(arow: &[E], brow: &[E], k: usize) -> E {
+    let (mut s0, mut s1, mut s2, mut s3) = (E::ZERO, E::ZERO, E::ZERO, E::ZERO);
     let quads = k & !3;
     for p in (0..quads).step_by(4) {
         s0 += arow[p] * brow[p];
@@ -1062,7 +1074,7 @@ fn nt_dot(arow: &[f64], brow: &[f64], k: usize) -> f64 {
 /// and the four independent dot chains fill the FMA pipeline; each dot
 /// keeps the [`nt_dot`] accumulation order, so the output is bitwise
 /// identical to the one-row-at-a-time loop.
-fn matmul_nt_row(arow: &[f64], b: &[f64], orow: &mut [f64], k: usize) {
+fn matmul_nt_row<E: Element>(arow: &[E], b: &[E], orow: &mut [E], k: usize) {
     let n = orow.len();
     let jquads = n & !3;
     for j in (0..jquads).step_by(4) {
@@ -1070,7 +1082,8 @@ fn matmul_nt_row(arow: &[f64], b: &[f64], orow: &mut [f64], k: usize) {
         let b1 = &b[(j + 1) * k..(j + 2) * k];
         let b2 = &b[(j + 2) * k..(j + 3) * k];
         let b3 = &b[(j + 3) * k..(j + 4) * k];
-        let (mut s0, mut s1, mut s2, mut s3) = ([0.0; 4], [0.0; 4], [0.0; 4], [0.0; 4]);
+        let (mut s0, mut s1, mut s2, mut s3) =
+            ([E::ZERO; 4], [E::ZERO; 4], [E::ZERO; 4], [E::ZERO; 4]);
         let quads = k & !3;
         for p in (0..quads).step_by(4) {
             for u in 0..4 {
@@ -1113,10 +1126,10 @@ fn matmul_nt_row(arow: &[f64], b: &[f64], orow: &mut [f64], k: usize) {
 ///
 /// # Panics
 /// Panics if slice lengths do not match `m*k`, `n*k`, `m*n`.
-pub fn matmul_nt(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
+pub fn matmul_nt<E: Element>(
+    a: &[E],
+    b: &[E],
+    out: &mut [E],
     m: usize,
     k: usize,
     n: usize,
@@ -1163,10 +1176,10 @@ pub fn matmul_nt(
 ///
 /// # Panics
 /// Panics if slice lengths do not match `p*m`, `p*n`, `m*n`.
-pub fn matmul_tn(
-    a: &[f64],
-    b: &[f64],
-    out: &mut [f64],
+pub fn matmul_tn<E: Element>(
+    a: &[E],
+    b: &[E],
+    out: &mut [E],
     p: usize,
     m: usize,
     n: usize,
@@ -1236,9 +1249,9 @@ pub fn matmul_tn(
 
 macro_rules! impl_binop {
     ($trait:ident, $method:ident, $f:expr) => {
-        impl std::ops::$trait<&Tensor> for &Tensor {
-            type Output = Tensor;
-            fn $method(self, rhs: &Tensor) -> Tensor {
+        impl<E: Element> std::ops::$trait<&Tensor<E>> for &Tensor<E> {
+            type Output = Tensor<E>;
+            fn $method(self, rhs: &Tensor<E>) -> Tensor<E> {
                 self.zip_broadcast(rhs, $f)
             }
         }
@@ -1333,7 +1346,7 @@ mod tests {
 
     #[test]
     fn reduce_to_inverts_broadcast() {
-        let g = Tensor::ones(&[2, 3]);
+        let g: Tensor = Tensor::ones(&[2, 3]);
         let r = g.reduce_to(&[3]);
         assert_eq!(r.as_slice(), &[2.0, 2.0, 2.0]);
         let r2 = g.reduce_to(&[2, 1]);
@@ -1399,7 +1412,7 @@ mod tests {
     fn randn_is_seeded_deterministic() {
         let mut r1 = StdRng::seed_from_u64(7);
         let mut r2 = StdRng::seed_from_u64(7);
-        let a = Tensor::randn(&[4, 4], &mut r1);
+        let a: Tensor = Tensor::randn(&[4, 4], &mut r1);
         let b = Tensor::randn(&[4, 4], &mut r2);
         assert_eq!(a, b);
     }
@@ -1437,7 +1450,7 @@ mod tests {
             (64, 128, 256),
             (33, 257, 300),
         ] {
-            let a = Tensor::randn(&[m, k], &mut rng);
+            let a: Tensor = Tensor::randn(&[m, k], &mut rng);
             let b = Tensor::randn(&[k, n], &mut rng);
             let mut reference = vec![0.0; m * n];
             matmul_naive(a.as_slice(), b.as_slice(), &mut reference, m, k, n);
@@ -1459,7 +1472,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         for &threads in &[1usize, 4] {
             let (m, k, n) = (9, 17, 6);
-            let a = Tensor::randn(&[m, k], &mut rng);
+            let a: Tensor = Tensor::randn(&[m, k], &mut rng);
             let b = Tensor::randn(&[n, k], &mut rng);
             let mut out = vec![0.0; m * n];
             matmul_nt(a.as_slice(), b.as_slice(), &mut out, m, k, n, threads);
@@ -1482,7 +1495,7 @@ mod tests {
     fn block_reductions_are_thread_count_independent() {
         let mut rng = StdRng::seed_from_u64(15);
         // crosses PAR_ELEMWISE_MIN so the parallel path actually runs
-        let t = Tensor::randn(&[1 << 17], &mut rng);
+        let t: Tensor = Tensor::randn(&[1 << 17], &mut rng);
         let serial_sum = parallel::with_threads(1, || t.sum_all().scalar());
         let serial_norm = parallel::with_threads(1, || t.norm());
         for &threads in &[2usize, 3, 8] {
@@ -1586,7 +1599,7 @@ mod tests {
         fn matmul_identity(rows in 1usize..5, cols in 1usize..5,
                            seed in 0u64..1000) {
             let mut rng = StdRng::seed_from_u64(seed);
-            let a = Tensor::randn(&[rows, cols], &mut rng);
+            let a: Tensor = Tensor::randn(&[rows, cols], &mut rng);
             let c = a.matmul(&Tensor::eye(cols));
             prop_assert!(a.max_abs_diff(&c) < 1e-12);
         }
@@ -1595,7 +1608,7 @@ mod tests {
         fn matmul_distributes_over_add(m in 1usize..4, k in 1usize..4, n in 1usize..4,
                                        seed in 0u64..1000) {
             let mut rng = StdRng::seed_from_u64(seed);
-            let a = Tensor::randn(&[m, k], &mut rng);
+            let a: Tensor = Tensor::randn(&[m, k], &mut rng);
             let b = Tensor::randn(&[k, n], &mut rng);
             let c = Tensor::randn(&[k, n], &mut rng);
             let lhs = a.matmul(&(&b + &c));
@@ -1606,14 +1619,14 @@ mod tests {
         #[test]
         fn transpose_is_involution(m in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
             let mut rng = StdRng::seed_from_u64(seed);
-            let a = Tensor::randn(&[m, n], &mut rng);
+            let a: Tensor = Tensor::randn(&[m, n], &mut rng);
             prop_assert_eq!(a.transpose().transpose(), a);
         }
 
         #[test]
         fn sum_axis_total_matches_sum_all(m in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
             let mut rng = StdRng::seed_from_u64(seed);
-            let a = Tensor::randn(&[m, n], &mut rng);
+            let a: Tensor = Tensor::randn(&[m, n], &mut rng);
             let by_axis = a.sum_axis(0).sum_all().scalar();
             prop_assert!((by_axis - a.sum_all().scalar()).abs() < 1e-9);
         }
@@ -1621,7 +1634,7 @@ mod tests {
         #[test]
         fn reduce_to_conserves_mass(m in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
             let mut rng = StdRng::seed_from_u64(seed);
-            let a = Tensor::randn(&[m, n], &mut rng);
+            let a: Tensor = Tensor::randn(&[m, n], &mut rng);
             let r = a.reduce_to(&[n]);
             prop_assert!((r.sum_all().scalar() - a.sum_all().scalar()).abs() < 1e-9);
         }

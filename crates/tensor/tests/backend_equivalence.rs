@@ -180,7 +180,7 @@ proptest! {
         prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
         let spec = Conv2dSpec { stride, pad };
         let mut rng = StdRng::seed_from_u64(seed);
-        let x = Tensor::randn(&[2, c, h, w], &mut rng);
+        let x: Tensor = Tensor::randn(&[2, c, h, w], &mut rng);
         let cx = im2col(&x, k, k, spec);
         let y = Tensor::randn(cx.dims(), &mut rng);
         let lhs: f64 = cx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
@@ -200,7 +200,7 @@ proptest! {
         prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
         let spec = Conv2dSpec { stride, pad };
         let mut rng = StdRng::seed_from_u64(seed);
-        let x = Tensor::randn(&[2, c, h, w], &mut rng);
+        let x: Tensor = Tensor::randn(&[2, c, h, w], &mut rng);
         let wt = Tensor::randn(&[o, c, k, k], &mut rng);
         let mut scratch = ConvScratch::new();
         let got = conv2d_forward(&x, &wt, spec, &mut scratch);
@@ -259,6 +259,156 @@ proptest! {
         let serial: f64 = data.iter().sum();
         let total = t.sum_all().scalar();
         prop_assert!((total - serial).abs() < 1e-9 * (n as f64));
+    }
+}
+
+// --- cross-dtype equivalence: the f32 fast path against the f64 oracle ---
+//
+// The f64 instantiation is the bitwise reference; the f32 one is the serve
+// fast path. They cannot agree bitwise, but the drift is bounded by the
+// standard forward-error analysis of a length-r reduction: with unit
+// roundoff u = f32::EPSILON / 2,
+//
+//   |fl(Σ a_i b_i) - Σ a_i b_i|  ≤  γ_{r+2} · Σ |a_i||b_i|,
+//   γ_n = n·u / (1 - n·u)
+//
+// (the +2 absorbs the per-operand cast rounding). The tests compute the
+// condition sum Σ|a||b| in f64 and assert the observed drift stays under a
+// small multiple of that bound — principled, not a magic epsilon.
+
+/// γ-style bound for a length-`r` f32 reduction with condition sum `cond`.
+fn f32_reduction_bound(r: usize, cond: f64) -> f64 {
+    let u = (f32::EPSILON as f64) / 2.0;
+    let n = (r + 2) as f64;
+    let gamma = n * u / (1.0 - n * u);
+    // 4x headroom: blocked kernels reorder sums, which changes the error
+    // term but not its order of magnitude
+    4.0 * gamma * cond + 1e-12
+}
+
+fn to_f32_vec(v: &[f64]) -> Vec<f32> {
+    v.iter().map(|&x| x as f32).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn f32_matmul_tracks_f64_oracle(
+        m in 1usize..48,
+        k in 1usize..160,
+        n in 1usize..48,
+        threads in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let a = randn_vec(m * k, seed);
+        let b = randn_vec(k * n, seed ^ 0x77aa);
+        let mut oracle = vec![0.0f64; m * n];
+        matmul_naive(&a, &b, &mut oracle, m, k, n);
+
+        let (a32, b32) = (to_f32_vec(&a), to_f32_vec(&b));
+        let mut fast = vec![0.0f32; m * n];
+        matmul_blocked(&a32, &b32, &mut fast, m, k, n, threads);
+
+        for i in 0..m {
+            for j in 0..n {
+                let cond: f64 = (0..k)
+                    .map(|p| (a[i * k + p] * b[p * n + j]).abs())
+                    .sum();
+                let diff = (fast[i * n + j] as f64 - oracle[i * n + j]).abs();
+                let bound = f32_reduction_bound(k, cond);
+                prop_assert!(
+                    diff <= bound,
+                    "[{},{}]: |{} - {}| = {diff:.3e} > {bound:.3e}",
+                    i, j, fast[i * n + j], oracle[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_conv2d_forward_tracks_f64_oracle(
+        c in 1usize..4, o in 1usize..4,
+        h in 3usize..9, w in 3usize..9,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let spec = Conv2dSpec { stride, pad };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Tensor = Tensor::randn(&[2, c, h, w], &mut rng);
+        let wt: Tensor = Tensor::randn(&[o, c, k, k], &mut rng);
+        let mut scratch = ConvScratch::new();
+        let oracle = conv2d_forward(&x, &wt, spec, &mut scratch);
+
+        let x32: Tensor<f32> = x.cast();
+        let w32: Tensor<f32> = wt.cast();
+        let mut scratch32 = ConvScratch::new();
+        let fast = conv2d_forward(&x32, &w32, spec, &mut scratch32);
+        prop_assert_eq!(fast.dims(), oracle.dims());
+
+        let (oh, ow) = spec.output_hw(h, w, k, k);
+        let xs = x.as_slice();
+        let ws = wt.as_slice();
+        let red = c * k * k;
+        for b in 0..2 {
+            for oc in 0..o {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        // condition sum Σ|x||w| over this output's receptive field
+                        let mut cond = 0.0f64;
+                        for ch in 0..c {
+                            for ki in 0..k {
+                                for kj in 0..k {
+                                    let y = (i * stride + ki) as isize - pad as isize;
+                                    let xc = (j * stride + kj) as isize - pad as isize;
+                                    if y >= 0 && (y as usize) < h && xc >= 0 && (xc as usize) < w {
+                                        cond += (xs
+                                            [((b * c + ch) * h + y as usize) * w + xc as usize]
+                                            * ws[((oc * c + ch) * k + ki) * k + kj])
+                                            .abs();
+                                    }
+                                }
+                            }
+                        }
+                        let diff =
+                            (fast.at(&[b, oc, i, j]) as f64 - oracle.at(&[b, oc, i, j])).abs();
+                        let bound = f32_reduction_bound(red, cond);
+                        prop_assert!(
+                            diff <= bound,
+                            "at [{},{},{},{}]: {diff:.3e} > {bound:.3e}", b, oc, i, j
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fixed-block parallel reductions: `sum_all` in f32 stays within the
+    /// γ-bound of the f64 oracle sum (and the f64 path itself is bitwise
+    /// deterministic, covered elsewhere).
+    #[test]
+    fn f32_reductions_track_f64_oracle(seed in 0u64..200) {
+        let n = parallel::PAR_ELEMWISE_MIN + 999;
+        let data = randn_vec(n, seed);
+        let t64 = Tensor::from_vec(data.clone(), &[n]);
+        let t32: Tensor<f32> = t64.cast();
+
+        let oracle = t64.sum_all().scalar();
+        let fast = t32.sum_all().scalar() as f64;
+        let cond: f64 = data.iter().map(|v| v.abs()).sum();
+        let bound = f32_reduction_bound(n, cond);
+        prop_assert!(
+            (fast - oracle).abs() <= bound,
+            "sum_all: |{fast} - {oracle}| > {bound:.3e}"
+        );
+
+        let mean_oracle = t64.mean_all().scalar();
+        let mean_fast = t32.mean_all().scalar() as f64;
+        prop_assert!(
+            (mean_fast - mean_oracle).abs() <= bound / n as f64 + 1e-7,
+            "mean_all: |{mean_fast} - {mean_oracle}|"
+        );
     }
 }
 

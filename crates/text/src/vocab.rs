@@ -127,10 +127,7 @@ mod tests {
             vec!["red", "square"],
             vec!["red", "ball"],
         ];
-        Vocab::build(
-            sents.iter().map(|s| s.iter().copied()),
-            1,
-        )
+        Vocab::build(sents.iter().map(|s| s.iter().copied()), 1)
     }
 
     #[test]

@@ -89,7 +89,9 @@ mod tests {
         let b = Const(vec![100.0, 900.0, 200.0], "b"); // same ranking, other scale
         let e = EnsembleScorer::new(vec![&a, &b]);
         let s = e.score_proposals(&feats(3), &[]);
-        let best = (0..3).max_by(|&i, &j| s[i].partial_cmp(&s[j]).unwrap()).unwrap();
+        let best = (0..3)
+            .max_by(|&i, &j| s[i].partial_cmp(&s[j]).unwrap())
+            .unwrap();
         assert_eq!(best, 1);
         assert_eq!(e.name(), "a+b");
     }

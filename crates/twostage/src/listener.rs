@@ -79,7 +79,12 @@ impl Listener {
 
     fn normalize<'g>(x: Var<'g>) -> Var<'g> {
         // x: [1, e] → x / ||x||
-        let n = x.square().sum_axis(1).add_scalar(1e-8).sqrt().reshape(&[1, 1]);
+        let n = x
+            .square()
+            .sum_axis(1)
+            .add_scalar(1e-8)
+            .sqrt()
+            .reshape(&[1, 1]);
         x.div(n)
     }
 
@@ -95,9 +100,7 @@ impl Listener {
     }
 
     fn embed_feature<'g>(&self, bind: &Binder<'g>, f: &ProposalFeature) -> Var<'g> {
-        let x = bind
-            .graph()
-            .leaf(f.vector.reshape(&[1, self.cfg.feat_dim]));
+        let x = bind.graph().leaf(f.vector.reshape(&[1, self.cfg.feat_dim]));
         Listener::normalize(self.f_proj.forward(bind, x).relu().add_scalar(0.0))
     }
 
@@ -109,10 +112,7 @@ impl Listener {
         query_ids: &[usize],
     ) -> Var<'g> {
         let q = self.embed_query(bind, query_ids); // [1, e]
-        let embs: Vec<Var<'g>> = cands
-            .iter()
-            .map(|f| self.embed_feature(bind, f))
-            .collect();
+        let embs: Vec<Var<'g>> = cands.iter().map(|f| self.embed_feature(bind, f)).collect();
         let fmat = Var::concat(&embs, 0); // [K, e]
         fmat.matmul(q.transpose())
             .mul_scalar(self.cfg.temperature)
@@ -148,13 +148,17 @@ impl Listener {
             let bind = Binder::new(&g);
             let scores = self.score_candidates(&bind, cands, &query);
             let k = cands.len();
-            let onehot = yollo_tensor::Tensor::from_fn(&[1, k], |i| {
-                if i == s.target_idx {
-                    1.0
-                } else {
-                    0.0
-                }
-            });
+            let onehot =
+                yollo_tensor::Tensor::from_fn(
+                    &[1, k],
+                    |i| {
+                        if i == s.target_idx {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    },
+                );
             let mut loss = scores.softmax_xent_rows(&onehot);
             if let Some(margin) = self.cfg.mmi_margin {
                 // smooth-max over negatives via log-sum-exp
@@ -167,7 +171,12 @@ impl Listener {
                     }
                 });
                 let masked = scores.add(g.leaf(neg_mask));
-                let lse = masked.exp().sum_axis(1).add_scalar(1e-12).log().reshape(&[1, 1]);
+                let lse = masked
+                    .exp()
+                    .sum_axis(1)
+                    .add_scalar(1e-12)
+                    .log()
+                    .reshape(&[1, 1]);
                 loss = loss + (lse - pos).add_scalar(margin).relu().mean_all();
             }
             opt.zero_grad();

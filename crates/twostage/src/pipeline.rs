@@ -84,7 +84,10 @@ impl<'a> TwoStageGrounder<'a> {
         }
         let feats: Vec<ProposalFeature> = proposals
             .iter()
-            .map(|(b, s)| self.roi.extract(&feat_map, *b, *s, scene.width, scene.height))
+            .map(|(b, s)| {
+                self.roi
+                    .extract(&feat_map, *b, *s, scene.width, scene.height)
+            })
             .collect();
         let query = self.vocab.encode_padded(tokens, self.max_query_len);
         let scores = self.scorer.score_proposals(&feats, &query);

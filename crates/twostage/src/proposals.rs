@@ -3,8 +3,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use yollo_backbone::{Backbone, BackboneKind};
 use yollo_detect::{
-    label_anchors, nms, sample_minibatch, AnchorGrid, AnchorSpec, BBox, MatchConfig,
-    OffsetEncoding,
+    label_anchors, nms, sample_minibatch, AnchorGrid, AnchorSpec, BBox, MatchConfig, OffsetEncoding,
 };
 use yollo_nn::{Adam, Binder, Conv2d, Module, Optimizer, ParamList};
 use yollo_synthref::{Dataset, Scene, Split};
@@ -68,7 +67,15 @@ impl ProposalNetwork {
         let k = cfg.anchors.per_cell();
         let s3 = Conv2dSpec { stride: 1, pad: 1 };
         let s1 = Conv2dSpec { stride: 1, pad: 0 };
-        let conv = Conv2d::new("rpn.conv", backbone.out_channels(), hidden, 3, s3, true, &mut rng);
+        let conv = Conv2d::new(
+            "rpn.conv",
+            backbone.out_channels(),
+            hidden,
+            3,
+            s3,
+            true,
+            &mut rng,
+        );
         let cls = Conv2d::new("rpn.cls", hidden, k, 1, s1, true, &mut rng);
         let reg = Conv2d::new("rpn.reg", hidden, 4 * k, 1, s1, true, &mut rng);
         ProposalNetwork {
@@ -163,12 +170,7 @@ impl ProposalNetwork {
         tail.iter().sum::<f64>() / tail.len().max(1) as f64
     }
 
-    fn scene_loss<'g>(
-        &self,
-        bind: &Binder<'g>,
-        scene: &Scene,
-        rng: &mut StdRng,
-    ) -> (Var<'g>, f64) {
+    fn scene_loss<'g>(&self, bind: &Binder<'g>, scene: &Scene, rng: &mut StdRng) -> (Var<'g>, f64) {
         let g = bind.graph();
         let img = scene
             .render()
@@ -191,10 +193,9 @@ impl ProposalNetwork {
                 sel.push(i);
                 labels.push(1.0);
                 pos.push(i);
-                reg_t.extend_from_slice(&obj.bbox.encode(
-                    &grid.boxes()[i],
-                    self.cfg.offset_encoding,
-                ));
+                reg_t.extend_from_slice(
+                    &obj.bbox.encode(&grid.boxes()[i], self.cfg.offset_encoding),
+                );
             }
             // cap negatives per object to keep balance
             for &i in n.iter().take(p.len().max(4) * 3) {
@@ -256,7 +257,12 @@ impl ProposalNetwork {
             boxes.push(b);
             probs.push(1.0 / (1.0 + (-s.as_slice()[i]).exp()));
         }
-        let keep = nms(&boxes, &probs, self.cfg.nms_iou, self.cfg.proposals_per_image);
+        let keep = nms(
+            &boxes,
+            &probs,
+            self.cfg.nms_iou,
+            self.cfg.proposals_per_image,
+        );
         let proposals = keep.into_iter().map(|i| (boxes[i], probs[i])).collect();
         (proposals, feat.value())
     }

@@ -55,11 +55,7 @@ impl RoiExtractor {
     ) -> ProposalFeature {
         assert_eq!(feat_map.rank(), 4, "feature map must be [1,C,fh,fw]");
         assert_eq!(feat_map.dims()[0], 1, "batched RoI pooling not needed");
-        let (c, fh, fw) = (
-            feat_map.dims()[1],
-            feat_map.dims()[2],
-            feat_map.dims()[3],
-        );
+        let (c, fh, fw) = (feat_map.dims()[1], feat_map.dims()[2], feat_map.dims()[3]);
         let fb = bbox.scale(1.0 / self.stride as f64);
         // clamp the box onto the grid, ensuring ≥1 cell in each direction
         let x1 = (fb.x.floor().max(0.0) as usize).min(fw - 1);
@@ -141,10 +137,8 @@ pub fn crop_resize(image: &Tensor, bbox: BBox, out: usize) -> Tensor {
         let ch = flat / (out * out);
         let rem = flat % (out * out);
         let (oy, ox) = (rem / out, rem % out);
-        let sy = (b.y + (oy as f64 + 0.5) * bh / out as f64)
-            .clamp(0.0, h as f64 - 1.0) as usize;
-        let sx = (b.x + (ox as f64 + 0.5) * bw / out as f64)
-            .clamp(0.0, w as f64 - 1.0) as usize;
+        let sy = (b.y + (oy as f64 + 0.5) * bh / out as f64).clamp(0.0, h as f64 - 1.0) as usize;
+        let sx = (b.x + (ox as f64 + 0.5) * bw / out as f64).clamp(0.0, w as f64 - 1.0) as usize;
         image.at(&[ch, sy, sx])
     })
 }
@@ -238,8 +232,8 @@ mod tests {
 mod crop_tests {
     use super::*;
     use crate::{ProposalConfig, ProposalNetwork};
-    use yollo_synthref::{Scene, SceneConfig};
     use rand::SeedableRng;
+    use yollo_synthref::{Scene, SceneConfig};
 
     #[test]
     fn crop_resize_shapes_and_content() {

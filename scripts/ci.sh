@@ -57,6 +57,39 @@ if grep -rn --include='*.rs' 'println!' crates/core/src | grep -vE ':\s*//'; the
     exit 1
 fi
 
+echo "== dtype: cross-dtype equivalence and f32 gradcheck suites =="
+# the f32 fast path against the f64 oracle: γ-bounded kernel drift
+# (backend_equivalence) and the looser-tolerance f32 gradchecks plus the
+# element/cast unit tests live in the tensor lib suite — run both
+# explicitly so a filtered-out suite fails loudly
+cargo test -q -p yollo-tensor --test backend_equivalence
+cargo test -q -p yollo-tensor --lib
+# the f64-vs-f32 serve IoU-tolerance comparison rides in the serve
+# integration suite (runs below) — make sure it's still present
+if ! grep -q 'f32_backend_serves_within_iou_tolerance_of_f64' crates/serve/tests/integration.rs; then
+    echo "error: serve f32-vs-f64 tolerance test is missing" >&2
+    exit 1
+fi
+
+echo "== dtype: tensor-speed smoke (both instantiations) =="
+YOLLO_TENSOR_REPS=1 cargo run --release -q -p yollo-bench --bin exp_tensor_speed
+python3 - <<'EOF'
+import json
+with open("BENCH_tensor.json") as f:
+    rows = json.load(f)
+dtypes = {r["dtype"] for r in rows}
+assert dtypes == {"f64", "f32"}, f"unexpected dtypes: {dtypes}"
+by_dtype = {d: {(r["op"], r["shape"], r["threads"]) for r in rows if r["dtype"] == d}
+            for d in dtypes}
+assert by_dtype["f64"] == by_dtype["f32"], (
+    "f32 suite must cover exactly the ops/shapes the f64 suite covers: "
+    f"{by_dtype['f64'] ^ by_dtype['f32']}")
+for r in rows:
+    assert r["ns_per_iter"] > 0, f"non-positive timing: {r}"
+print(f"BENCH_tensor.json ok: {len(rows)} rows, "
+      f"{len(by_dtype['f64'])} (op, shape, threads) cells per dtype")
+EOF
+
 echo "== serve: batching, fault and determinism suites =="
 # virtual-clock flush exactness, backpressure, cache identity, worker-panic
 # isolation and the 100-run determinism fingerprint — run explicitly so a
@@ -83,6 +116,14 @@ echo "== serve: no stray printing in the serving crate =="
 # the serve crate must never write to stdout; responses travel on channels
 if grep -rn --include='*.rs' 'println!' crates/serve/src; then
     echo "error: println! in crates/serve/src" >&2
+    exit 1
+fi
+
+echo "== tensor/nn: no stray printing in the dtype-generic backend =="
+# library crates never write to stdout (doc-comment examples are exempt;
+# bench binaries under crates/bench print by design)
+if grep -rn --include='*.rs' 'println!' crates/tensor/src crates/nn/src | grep -vE ':\s*//'; then
+    echo "error: println! in crates/tensor/src or crates/nn/src" >&2
     exit 1
 fi
 

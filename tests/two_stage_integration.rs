@@ -3,7 +3,13 @@
 
 use yollo::prelude::*;
 
-fn setup() -> (Dataset, ProposalNetwork, CandidateCache, RoiExtractor, Vocab) {
+fn setup() -> (
+    Dataset,
+    ProposalNetwork,
+    CandidateCache,
+    RoiExtractor,
+    Vocab,
+) {
     let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 21));
     let mut rpn = ProposalNetwork::new(ProposalConfig::default(), 1);
     rpn.train(&ds, 25, 2, 3);
@@ -74,7 +80,10 @@ fn trained_listener_beats_untrained_on_gt_candidates() {
     let mut trained = Listener::new(cfg, 3);
     trained.train(&ds, &vocab, &cache, 250, 4);
     let acc1 = eval_on_gt(&trained);
-    assert!(acc1 > acc0, "listener did not improve: {acc0:.2} -> {acc1:.2}");
+    assert!(
+        acc1 > acc0,
+        "listener did not improve: {acc0:.2} -> {acc1:.2}"
+    );
 }
 
 #[test]
