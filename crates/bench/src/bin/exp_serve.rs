@@ -24,9 +24,12 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use yollo_bench::{dataset, Scale};
-use yollo_core::Yollo;
+use yollo_core::{ReplicaFaultPlan, Yollo};
 use yollo_obs::Snapshot;
-use yollo_serve::{GroundingModel, ServeConfig, ServeDtype, Server, YolloBackend};
+use yollo_serve::{
+    GroundingModel, RetryPolicy, RouterConfig, RouterServer, ServeConfig, ServeDtype, Server,
+    YolloBackend,
+};
 use yollo_synthref::{DatasetKind, Scene, Split};
 
 struct LoadResult {
@@ -317,6 +320,140 @@ fn main() {
         dtype_rps[1] / dtype_rps[0]
     ));
 
+    // --- router tier: 1/2/4 replicas under skewed hot-key traffic,
+    // healthy and with replica 0 crash-looping. Scene-affinity keeps the
+    // hot keys cached on their owning replica; with ≥ 2 replicas the
+    // health checks + retries must hold availability at ≥ 99% even while
+    // one replica panics on every batch it takes ---
+    let (router_total, router_clients) = match scale {
+        Scale::Tiny => (48usize, 2usize),
+        Scale::Standard => (160, 4),
+        Scale::Full => (320, 4),
+    };
+    // Skewed traffic: half of all requests hit the single hottest pair,
+    // the rest cycle the remaining hot set.
+    let skewed: Vec<(usize, usize)> = (0..router_total)
+        .map(|i| {
+            if i % 2 == 0 {
+                hot_set[0]
+            } else {
+                hot_set[1 + (i / 2) % (hot_set.len() - 1)]
+            }
+        })
+        .collect();
+    let mut router_rows = Vec::new();
+    for &replicas in &[1usize, 2, 4] {
+        for crash_looping in [false, true] {
+            let label = if crash_looping {
+                "crash-loop"
+            } else {
+                "healthy"
+            };
+            eprintln!("router {replicas} replica(s) ({label}): {router_total} requests…");
+            yollo_obs::registry().reset();
+            let router_cfg = RouterConfig {
+                replicas,
+                deadline_ns: 0, // rely on retries; wall deadlines are load-sensitive
+                retry: RetryPolicy {
+                    max_attempts: 4,
+                    base_backoff_ns: 50_000,
+                    max_backoff_ns: 1_000_000,
+                },
+                ..RouterConfig::default()
+            };
+            let ds_vocab = vocab.clone();
+            let factory_cfg = model_cfg.clone();
+            let serve_cfg = ServeConfig {
+                queue_capacity: router_total,
+                cache_capacity: 2 * hot,
+                workers,
+                ..serve_template.clone()
+            };
+            let router = RouterServer::start(router_cfg, serve_cfg, vocab.clone(), move |_| {
+                let mut m = Yollo::new(factory_cfg.clone(), 7);
+                m.set_vocab(ds_vocab.clone());
+                m
+            });
+            if crash_looping {
+                router.set_fault_plan(0, ReplicaFaultPlan::new().crash_from(1));
+            }
+            let started = Instant::now();
+            let mut latencies_ns: Vec<u64> = Vec::with_capacity(router_total);
+            let mut ok = 0usize;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..router_clients)
+                    .map(|c| {
+                        let router = &router;
+                        let skewed = &skewed;
+                        let scenes = &scenes;
+                        let queries = &queries;
+                        scope.spawn(move || {
+                            let mut lat = Vec::new();
+                            let mut ok = 0usize;
+                            for i in (c..router_total).step_by(router_clients) {
+                                let (si, qi) = skewed[i];
+                                let t0 = Instant::now();
+                                if router.call(&scenes[si], &queries[qi]).is_ok() {
+                                    ok += 1;
+                                }
+                                lat.push(t0.elapsed().as_nanos() as u64);
+                            }
+                            (lat, ok)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (lat, n) = h.join().expect("router client");
+                    latencies_ns.extend(lat);
+                    ok += n;
+                }
+            });
+            let wall_s = started.elapsed().as_secs_f64();
+            let stats = router.stats();
+            drop(router);
+            latencies_ns.sort_unstable();
+            let pct = |q: f64| {
+                latencies_ns
+                    .get(((latencies_ns.len() as f64 - 1.0) * q) as usize)
+                    .copied()
+                    .unwrap_or(0)
+            };
+            let snap = yollo_obs::registry().snapshot();
+            let counter = |name: &str| snap.counter(name).unwrap_or(0);
+            let cache_hits = counter("serve.cache.hits");
+            let cache_requests = counter("serve.requests").max(1);
+            let availability = ok as f64 / router_total as f64;
+            let throughput_rps = router_total as f64 / wall_s;
+            let cache_hit_rate = cache_hits as f64 / cache_requests as f64;
+            let latency = serde_json::json!({
+                "p50": pct(0.50),
+                "p95": pct(0.95),
+                "p99": pct(0.99),
+            });
+            router_rows.push(serde_json::json!({
+                "replicas": replicas,
+                "condition": label,
+                "requests": router_total,
+                "clients": router_clients,
+                "wall_s": wall_s,
+                "throughput_rps": throughput_rps,
+                "availability": availability,
+                "cache_hit_rate": cache_hit_rate,
+                "latency_ns": latency,
+                "retries": stats.retries,
+                "unavailable": stats.unavailable,
+                "worker_panics": counter("serve.worker_panics"),
+            }));
+            let line = format!(
+                "router x{replicas} ({label}): {throughput_rps:.1} req/s, \
+                 availability {availability:.3}, {} retries",
+                stats.retries
+            );
+            eprintln!("{line}");
+            load_lines.push(line);
+        }
+    }
+
     let dtype_json = serde_json::json!({
         "rows": serde_json::Value::Array(dtype_rows),
         "accuracy": accuracy,
@@ -336,6 +473,7 @@ fn main() {
         "serial": serial,
         "loads": loads_json,
         "dtype": dtype_json,
+        "router": serde_json::Value::Array(router_rows),
     });
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
     std::fs::write(

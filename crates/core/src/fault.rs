@@ -81,6 +81,146 @@ impl FaultPlan {
     }
 }
 
+/// A deterministic schedule of *replica-level* serving faults.
+///
+/// Where [`FaultPlan`] poisons training steps, a `ReplicaFaultPlan`
+/// describes how one serving replica misbehaves, in the four shapes a
+/// router tier must survive:
+///
+/// * **crash** — the k-th request the replica processes panics its worker
+///   ([`ReplicaFaultPlan::crash_at_request`]), or every request from the
+///   k-th on does ([`ReplicaFaultPlan::crash_from`], `crash_from(1)` is a
+///   crash loop);
+/// * **hang** — during `[from_ns, until_ns)` windows the replica makes no
+///   progress at all: queued requests sit until a deadline or the window
+///   ends ([`ReplicaFaultPlan::hang_between`]);
+/// * **slow** — batch service time is multiplied by a factor, backing up
+///   the replica's queue ([`ReplicaFaultPlan::slow_by`]);
+/// * **flap** — the *health signal* (not the data path) alternates up and
+///   down with a fixed period, exercising circuit-breaker hysteresis
+///   ([`ReplicaFaultPlan::flap`]).
+///
+/// Crash injections are consumable (each fires once, like [`FaultPlan`]);
+/// hang / slow / flap are pure functions of the queried time, so a
+/// virtual-clock schedule replays bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaFaultPlan {
+    crash_at: BTreeSet<usize>,
+    crash_from: Option<usize>,
+    hang_windows: Vec<(u64, u64)>,
+    slow_factor: f64,
+    flap_period_ns: u64,
+}
+
+impl Default for ReplicaFaultPlan {
+    fn default() -> Self {
+        ReplicaFaultPlan {
+            crash_at: BTreeSet::new(),
+            crash_from: None,
+            hang_windows: Vec::new(),
+            slow_factor: 1.0,
+            flap_period_ns: 0,
+        }
+    }
+}
+
+impl ReplicaFaultPlan {
+    /// An empty plan (a healthy replica).
+    pub fn new() -> Self {
+        ReplicaFaultPlan::default()
+    }
+
+    /// The `k`-th request this replica processes (1-based) panics its
+    /// worker. Consumable: fires at most once.
+    pub fn crash_at_request(mut self, k: usize) -> Self {
+        self.crash_at.insert(k);
+        self
+    }
+
+    /// Every request from the `k`-th on (1-based) panics its worker —
+    /// `crash_from(1)` is a crash-looping replica.
+    pub fn crash_from(mut self, k: usize) -> Self {
+        self.crash_from = Some(k);
+        self
+    }
+
+    /// The replica makes no progress during `[from_ns, until_ns)`.
+    ///
+    /// # Panics
+    /// Panics if `from_ns >= until_ns`.
+    pub fn hang_between(mut self, from_ns: u64, until_ns: u64) -> Self {
+        assert!(from_ns < until_ns, "empty hang window");
+        self.hang_windows.push((from_ns, until_ns));
+        self
+    }
+
+    /// Batch service time is multiplied by `factor` (≥ 1 slows the
+    /// replica down).
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite and positive.
+    pub fn slow_by(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slow factor must be finite and positive"
+        );
+        self.slow_factor = factor;
+        self
+    }
+
+    /// The health signal flaps: down during every odd `period_ns` interval
+    /// (`[p, 2p)`, `[3p, 4p)`, …), up otherwise. The data path is
+    /// unaffected — only probes observe the flap.
+    pub fn flap(mut self, period_ns: u64) -> Self {
+        self.flap_period_ns = period_ns;
+        self
+    }
+
+    /// Consumes a crash injection for the `request`-th processed request
+    /// (1-based), if one is scheduled.
+    pub fn take_crash_request(&mut self, request: usize) -> bool {
+        if self.crash_at.remove(&request) {
+            return true;
+        }
+        self.crash_from.is_some_and(|k| request >= k)
+    }
+
+    /// True while the replica is inside a hang window.
+    pub fn is_hung_at(&self, now_ns: u64) -> bool {
+        self.hung_until(now_ns).is_some()
+    }
+
+    /// The end of the hang window containing `now_ns`, if any. Windows may
+    /// overlap; the latest end wins.
+    pub fn hung_until(&self, now_ns: u64) -> Option<u64> {
+        self.hang_windows
+            .iter()
+            .filter(|&&(from, until)| (from..until).contains(&now_ns))
+            .map(|&(_, until)| until)
+            .max()
+    }
+
+    /// The batch service-time multiplier (1.0 = nominal).
+    pub fn slow_factor(&self) -> f64 {
+        self.slow_factor
+    }
+
+    /// True while the flapping health signal reads "down".
+    pub fn is_flapped_down(&self, now_ns: u64) -> bool {
+        self.flap_period_ns > 0 && (now_ns / self.flap_period_ns) % 2 == 1
+    }
+
+    /// True when the plan injects nothing (crash injections may have been
+    /// consumed; time-based faults count as long as they are configured).
+    pub fn is_empty(&self) -> bool {
+        self.crash_at.is_empty()
+            && self.crash_from.is_none()
+            && self.hang_windows.is_empty()
+            && self.slow_factor == 1.0
+            && self.flap_period_ns == 0
+    }
+}
+
 /// Truncates the file at `path` to `keep_fraction` of its length (clamped
 /// to `[0, 1]`), simulating a write cut off by a crash. Returns the new
 /// length.
@@ -144,6 +284,41 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(a.nan_loss.len(), 4);
         assert!(a.nan_loss.iter().all(|&i| (2..=100).contains(&i)));
+    }
+
+    #[test]
+    fn replica_crashes_fire_once_but_crash_loops_persist() {
+        let mut plan = ReplicaFaultPlan::new().crash_at_request(3);
+        assert!(!plan.take_crash_request(2));
+        assert!(plan.take_crash_request(3));
+        assert!(!plan.take_crash_request(3), "crash is consumable");
+        assert!(plan.is_empty());
+
+        let mut looping = ReplicaFaultPlan::new().crash_from(2);
+        assert!(!looping.take_crash_request(1));
+        assert!(looping.take_crash_request(2));
+        assert!(looping.take_crash_request(7), "crash loop never stops");
+        assert!(!looping.is_empty());
+    }
+
+    #[test]
+    fn hangs_slow_and_flap_are_pure_functions_of_time() {
+        let plan = ReplicaFaultPlan::new()
+            .hang_between(100, 200)
+            .hang_between(150, 300)
+            .slow_by(4.0)
+            .flap(1_000);
+        assert!(!plan.is_hung_at(99));
+        assert_eq!(plan.hung_until(100), Some(200));
+        assert_eq!(plan.hung_until(160), Some(300), "overlap: latest end");
+        assert_eq!(plan.hung_until(299), Some(300));
+        assert!(!plan.is_hung_at(300), "window end is exclusive");
+        assert_eq!(plan.slow_factor(), 4.0);
+        assert!(!plan.is_flapped_down(999), "first period is up");
+        assert!(plan.is_flapped_down(1_000));
+        assert!(plan.is_flapped_down(1_999));
+        assert!(!plan.is_flapped_down(2_000), "flap recovers");
+        assert!(ReplicaFaultPlan::new().is_empty());
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub use batch::{
 };
 pub use config::{AttentionAblation, YolloConfig};
 pub use encoder::FeatureEncoder;
-pub use fault::{bitflip_file, truncate_file, FaultPlan};
+pub use fault::{bitflip_file, truncate_file, FaultPlan, ReplicaFaultPlan};
 pub use head::DetectionHead;
 pub use infer::{EvalOutcome, GroundingPrediction};
 pub use model::{LossParts, Yollo, YolloOutput};

@@ -11,6 +11,13 @@
 //! * `max_batch` items are pending (reason [`FlushReason::Full`]), or
 //! * the oldest pending item has waited `max_wait_ns` (reason
 //!   [`FlushReason::Deadline`]).
+//!
+//! Items may also carry a per-request expiry deadline
+//! ([`Batcher::push_with_deadline`]). Callers drain expired items with
+//! [`Batcher::take_expired`] *before* polling, so a request whose deadline
+//! passed is answered immediately (`ServeError::DeadlineExceeded` upstream)
+//! and never occupies a batch slot — a hung worker cannot strand admitted
+//! requests until shutdown.
 
 /// Why a batch was flushed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +56,7 @@ pub struct BatchBoundary {
 struct Pending<T> {
     item: T,
     enqueued_ns: u64,
+    deadline_ns: u64,
 }
 
 /// The batching state machine. See the module docs for the flush policy.
@@ -84,23 +92,57 @@ impl<T> Batcher<T> {
         self.pending.is_empty()
     }
 
-    /// Enqueues an item at time `now_ns`. Returns `true` when the batch is
-    /// now full and should be flushed immediately.
+    /// Enqueues an item at time `now_ns` with no expiry deadline. Returns
+    /// `true` when the batch is now full and should be flushed immediately.
     pub fn push(&mut self, item: T, now_ns: u64) -> bool {
+        self.push_with_deadline(item, now_ns, u64::MAX)
+    }
+
+    /// Enqueues an item at time `now_ns` that expires at the absolute time
+    /// `deadline_ns`: once `now >= deadline_ns` the item is returned by
+    /// [`Batcher::take_expired`] instead of joining a batch. Returns `true`
+    /// when the batch is now full and should be flushed immediately.
+    pub fn push_with_deadline(&mut self, item: T, now_ns: u64, deadline_ns: u64) -> bool {
         self.pending.push(Pending {
             item,
             enqueued_ns: now_ns,
+            deadline_ns,
         });
         self.pending.len() >= self.max_batch
     }
 
-    /// The absolute time at which the oldest pending item must be flushed,
-    /// or `None` when nothing is pending. With a full batch the deadline is
-    /// effectively "now" — [`Batcher::poll`] flushes regardless of time.
+    /// The next time anything is due: the oldest item's flush deadline or
+    /// the earliest per-item expiry, whichever comes first. `None` when
+    /// nothing is pending. With a full batch the deadline is effectively
+    /// "now" — [`Batcher::poll`] flushes regardless of time.
     pub fn next_deadline_ns(&self) -> Option<u64> {
-        self.pending
+        let flush = self
+            .pending
             .first()
-            .map(|p| p.enqueued_ns.saturating_add(self.max_wait_ns))
+            .map(|p| p.enqueued_ns.saturating_add(self.max_wait_ns))?;
+        let expiry = self.pending.iter().map(|p| p.deadline_ns).min().unwrap();
+        Some(flush.min(expiry))
+    }
+
+    /// Removes and returns every item whose expiry deadline has passed
+    /// (`now_ns >= deadline_ns`), preserving the arrival order of the rest.
+    /// Call this before [`Batcher::poll`] at the same instant so expired
+    /// items never occupy batch slots.
+    pub fn take_expired(&mut self, now_ns: u64) -> Vec<T> {
+        if self.pending.iter().all(|p| now_ns < p.deadline_ns) {
+            return Vec::new();
+        }
+        let mut expired = Vec::new();
+        let mut kept = Vec::with_capacity(self.pending.len());
+        for p in self.pending.drain(..) {
+            if now_ns >= p.deadline_ns {
+                expired.push(p.item);
+            } else {
+                kept.push(p);
+            }
+        }
+        self.pending = kept;
+        expired
     }
 
     /// Flushes a batch if one is due at `now_ns`: full batches always, a
@@ -206,5 +248,44 @@ mod tests {
     #[should_panic(expected = "max_batch must be at least 1")]
     fn zero_max_batch_is_rejected() {
         let _ = Batcher::<u8>::new(0, 1);
+    }
+
+    #[test]
+    fn expired_items_leave_the_queue_exactly_at_their_deadline() {
+        let mut b = Batcher::new(4, 10_000);
+        b.push_with_deadline("a", 0, 500);
+        b.push("b", 0); // no expiry
+        b.push_with_deadline("c", 0, 900);
+        assert!(b.take_expired(499).is_empty(), "499 ns: nothing expired");
+        assert_eq!(b.take_expired(500), vec!["a"], "500 ns: exactly 'a'");
+        assert_eq!(b.len(), 2, "survivors stay queued in order");
+        assert_eq!(b.take_expired(2_000), vec!["c"]);
+        let batch = b.poll(10_000).expect("flush deadline for 'b'");
+        assert_eq!(batch.items, vec!["b"]);
+    }
+
+    #[test]
+    fn next_deadline_is_min_of_flush_and_expiry() {
+        let mut b = Batcher::new(4, 1_000);
+        b.push("a", 0);
+        assert_eq!(b.next_deadline_ns(), Some(1_000), "flush deadline only");
+        b.push_with_deadline("b", 100, 700);
+        assert_eq!(b.next_deadline_ns(), Some(700), "expiry is sooner");
+        assert_eq!(b.take_expired(700), vec!["b"]);
+        assert_eq!(b.next_deadline_ns(), Some(1_000), "back to flush");
+    }
+
+    #[test]
+    fn expired_items_never_occupy_batch_slots() {
+        let mut b = Batcher::new(2, 10_000);
+        b.push_with_deadline(1, 0, 100);
+        b.push(2, 0);
+        b.push(3, 0);
+        // At t = 100 item 1 is expired; draining it first means the full
+        // batch is formed from live items only.
+        assert_eq!(b.take_expired(100), vec![1]);
+        let batch = b.poll(100).expect("two live items fill the batch");
+        assert_eq!(batch.items, vec![2, 3]);
+        assert_eq!(batch.reason, FlushReason::Full);
     }
 }

@@ -42,6 +42,35 @@ pub enum ServeError {
     },
     /// The server is shutting down and no longer accepts requests.
     ShuttingDown,
+    /// The request's deadline expired before a worker answered it. Expired
+    /// requests are answered immediately at batch-formation time (or by the
+    /// router watching a hung replica) — they never occupy batch slots and
+    /// are never left waiting forever.
+    DeadlineExceeded {
+        /// How long the request waited before expiring.
+        waited_ns: u64,
+        /// The absolute deadline that passed.
+        deadline_ns: u64,
+    },
+    /// Every replica behind the router is unhealthy and the response cache
+    /// could not answer the request (degraded-mode miss).
+    Unavailable {
+        /// Replicas behind the router, all of them unhealthy.
+        replicas: usize,
+    },
+}
+
+impl ServeError {
+    /// True for failures a router may safely retry on another replica:
+    /// the request never produced an answer and is not the client's fault.
+    /// Worker failures and shed requests qualify; validation errors,
+    /// expired deadlines and shutdown do not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::WorkerFailed { .. } | ServeError::Overloaded { .. }
+        )
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -60,6 +89,16 @@ impl fmt::Display for ServeError {
             ),
             ServeError::WorkerFailed { detail } => write!(f, "worker failed: {detail}"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::DeadlineExceeded {
+                waited_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "deadline exceeded after {waited_ns} ns (deadline at {deadline_ns} ns)"
+            ),
+            ServeError::Unavailable { replicas } => {
+                write!(f, "all {replicas} replicas unhealthy and not cached")
+            }
         }
     }
 }
@@ -98,5 +137,38 @@ mod tests {
                 max_tokens: 16
             }
         );
+        let e = ServeError::DeadlineExceeded {
+            waited_ns: 500,
+            deadline_ns: 1_500,
+        };
+        assert!(e.to_string().contains("500 ns"));
+        assert!(ServeError::Unavailable { replicas: 3 }
+            .to_string()
+            .contains("3 replicas"));
+    }
+
+    #[test]
+    fn only_transport_level_failures_are_retryable() {
+        assert!(ServeError::WorkerFailed {
+            detail: "boom".into()
+        }
+        .is_retryable());
+        assert!(ServeError::Overloaded {
+            inflight: 8,
+            capacity: 8
+        }
+        .is_retryable());
+        assert!(!ServeError::ShuttingDown.is_retryable());
+        assert!(!ServeError::DeadlineExceeded {
+            waited_ns: 1,
+            deadline_ns: 1
+        }
+        .is_retryable());
+        assert!(!ServeError::QueryTooLong {
+            tokens: 9,
+            max_tokens: 8
+        }
+        .is_retryable());
+        assert!(!ServeError::Unavailable { replicas: 2 }.is_retryable());
     }
 }

@@ -1,0 +1,239 @@
+//! Per-replica health tracking: a circuit breaker fed by request outcomes
+//! and heartbeat probes.
+//!
+//! Each replica carries a [`HealthState`] driven by two signals — the
+//! outcome of every routed attempt, and periodic probes the router runs on
+//! its clock. The breaker follows the classic three-state machine:
+//!
+//! * **Closed** — healthy; requests route normally. Opens when failures
+//!   reach `failure_threshold` consecutively, or when the error rate over
+//!   the last `error_window` outcomes exceeds `error_rate_threshold`.
+//! * **Open** — unhealthy; no requests route here. After
+//!   `open_duration_ns` the next admission check transitions to half-open.
+//! * **Half-open** — trial mode; requests route again, and
+//!   `half_open_successes` consecutive successes close the circuit while a
+//!   single failure reopens it (restarting the back-off window).
+//!
+//! All time comes from the caller's [`crate::Clock`] reading, so the whole
+//! machine is deterministic under a virtual clock.
+
+use std::collections::VecDeque;
+
+use yollo_obs::counter;
+
+/// Tunables of one replica's circuit breaker.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive failures that open the circuit.
+    pub failure_threshold: usize,
+    /// Outcomes remembered for the error-rate signal.
+    pub error_window: usize,
+    /// Error rate over a **full** window that opens the circuit.
+    pub error_rate_threshold: f64,
+    /// How long an open circuit blocks traffic before a half-open trial.
+    pub open_duration_ns: u64,
+    /// Consecutive successes in half-open that close the circuit.
+    pub half_open_successes: usize,
+    /// Heartbeat probe cadence (0 disables probing).
+    pub probe_interval_ns: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            failure_threshold: 3,
+            error_window: 16,
+            error_rate_threshold: 0.5,
+            open_duration_ns: 5_000_000, // 5 ms
+            half_open_successes: 2,
+            probe_interval_ns: 1_000_000, // 1 ms
+        }
+    }
+}
+
+/// The breaker position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Healthy: route freely.
+    Closed,
+    /// Unhealthy: block until the open window lapses.
+    Open,
+    /// Trialling: route, but one failure reopens.
+    HalfOpen,
+}
+
+/// One replica's live health state.
+#[derive(Debug)]
+pub struct HealthState {
+    cfg: HealthConfig,
+    state: CircuitState,
+    consecutive_failures: usize,
+    half_open_streak: usize,
+    opened_at_ns: u64,
+    /// Recent outcomes, `true` = failure, newest at the back.
+    window: VecDeque<bool>,
+    window_failures: usize,
+}
+
+impl HealthState {
+    /// A closed (healthy) breaker.
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthState {
+            cfg,
+            state: CircuitState::Closed,
+            consecutive_failures: 0,
+            half_open_streak: 0,
+            opened_at_ns: 0,
+            window: VecDeque::new(),
+            window_failures: 0,
+        }
+    }
+
+    /// The current breaker position (without side effects).
+    pub fn state(&self) -> CircuitState {
+        self.state
+    }
+
+    /// May a request route to this replica at `now_ns`? An open circuit
+    /// whose back-off has lapsed transitions to half-open here (and
+    /// admits the trial request).
+    pub fn allow(&mut self, now_ns: u64) -> bool {
+        match self.state {
+            CircuitState::Closed | CircuitState::HalfOpen => true,
+            CircuitState::Open => {
+                if now_ns.saturating_sub(self.opened_at_ns) >= self.cfg.open_duration_ns {
+                    counter!("health.circuit_half_open").incr();
+                    self.state = CircuitState::HalfOpen;
+                    self.half_open_streak = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful attempt (or probe). Returns the new state if
+    /// the breaker transitioned.
+    pub fn record_success(&mut self, _now_ns: u64) -> Option<CircuitState> {
+        self.push_outcome(false);
+        self.consecutive_failures = 0;
+        if self.state == CircuitState::HalfOpen {
+            self.half_open_streak += 1;
+            if self.half_open_streak >= self.cfg.half_open_successes {
+                counter!("health.circuit_closed").incr();
+                self.state = CircuitState::Closed;
+                self.reset_window();
+                return Some(CircuitState::Closed);
+            }
+        }
+        None
+    }
+
+    /// Records a failed attempt (or probe). Returns the new state if the
+    /// breaker transitioned.
+    pub fn record_failure(&mut self, now_ns: u64) -> Option<CircuitState> {
+        self.push_outcome(true);
+        self.consecutive_failures += 1;
+        match self.state {
+            CircuitState::HalfOpen => Some(self.open(now_ns)),
+            CircuitState::Closed => {
+                let consecutive = self.consecutive_failures >= self.cfg.failure_threshold;
+                let window_full = self.window.len() >= self.cfg.error_window;
+                let rate = self.window_failures as f64 / self.window.len().max(1) as f64;
+                if consecutive || (window_full && rate > self.cfg.error_rate_threshold) {
+                    Some(self.open(now_ns))
+                } else {
+                    None
+                }
+            }
+            CircuitState::Open => None,
+        }
+    }
+
+    fn open(&mut self, now_ns: u64) -> CircuitState {
+        counter!("health.circuit_opened").incr();
+        self.state = CircuitState::Open;
+        self.opened_at_ns = now_ns;
+        self.half_open_streak = 0;
+        CircuitState::Open
+    }
+
+    fn push_outcome(&mut self, failure: bool) {
+        self.window.push_back(failure);
+        self.window_failures += failure as usize;
+        if self.window.len() > self.cfg.error_window {
+            if let Some(evicted) = self.window.pop_front() {
+                self.window_failures -= evicted as usize;
+            }
+        }
+    }
+
+    fn reset_window(&mut self) {
+        self.window.clear();
+        self.window_failures = 0;
+        self.consecutive_failures = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            failure_threshold: 3,
+            error_window: 8,
+            error_rate_threshold: 0.5,
+            open_duration_ns: 1_000,
+            half_open_successes: 2,
+            probe_interval_ns: 100,
+        }
+    }
+
+    #[test]
+    fn consecutive_failures_open_the_circuit() {
+        let mut h = HealthState::new(cfg());
+        assert!(h.allow(0));
+        assert_eq!(h.record_failure(10), None);
+        assert_eq!(h.record_failure(20), None);
+        assert_eq!(h.record_failure(30), Some(CircuitState::Open));
+        assert!(!h.allow(30), "open circuit blocks traffic");
+        assert!(!h.allow(1_029), "still inside the open window");
+        assert!(h.allow(1_030), "back-off lapsed: half-open trial");
+        assert_eq!(h.state(), CircuitState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_success_streak_closes_failure_reopens() {
+        let mut h = HealthState::new(cfg());
+        for t in 0..3 {
+            h.record_failure(t);
+        }
+        assert!(h.allow(2_000));
+        assert_eq!(h.record_success(2_000), None, "one success is not enough");
+        assert_eq!(h.record_success(2_100), Some(CircuitState::Closed));
+        // A failure while half-open reopens immediately.
+        for t in 3_000..3_003 {
+            h.record_failure(t);
+        }
+        assert!(h.allow(4_500));
+        assert_eq!(h.record_failure(4_500), Some(CircuitState::Open));
+        assert!(!h.allow(4_600));
+    }
+
+    #[test]
+    fn error_rate_over_a_full_window_opens_without_a_streak() {
+        let mut h = HealthState::new(cfg());
+        // Alternate success/failure: never 3 consecutive, but the rate
+        // climbs past 0.5 once the window fills with an extra failure.
+        for t in 0..4 {
+            h.record_failure(2 * t);
+            h.record_success(2 * t + 1);
+        }
+        assert_eq!(h.state(), CircuitState::Closed);
+        h.record_failure(100);
+        let state = h.record_failure(101);
+        assert_eq!(state, Some(CircuitState::Open), "window rate exceeded");
+    }
+}

@@ -26,6 +26,16 @@
 //! [`Simulation`] replays arrival scripts through it, and [`Server`] is
 //! the threaded production pool on the same state machine.
 //!
+//! On top of single-server serving sits the **resilient router tier**: a
+//! consistent-hash ring ([`HashRing`]) keeps each scene's traffic on one
+//! replica, per-replica circuit breakers ([`HealthState`]) take failing
+//! replicas out of rotation, and requests carry end-to-end deadlines with
+//! jittered retries ([`RetryPolicy`]) and optional hedging. [`Router`] is
+//! the deterministic form (chaos-testable under a [`VirtualClock`] with
+//! [`yollo_core::ReplicaFaultPlan`] fault injection, replayed by
+//! [`RouterSim`]); [`RouterServer`] is the threaded production form over
+//! real [`Server`] replicas.
+//!
 //! ```no_run
 //! use yollo_core::{Yollo, YolloConfig};
 //! use yollo_serve::{ServeConfig, Server};
@@ -48,6 +58,11 @@ mod batcher;
 mod cache;
 mod clock;
 mod error;
+mod health;
+mod retry;
+mod ring;
+mod router;
+mod router_server;
 mod server;
 mod sim;
 
@@ -55,6 +70,14 @@ pub use batcher::{Batch, BatchBoundary, Batcher, FlushReason};
 pub use cache::LruCache;
 pub use clock::{Clock, CountingWaker, NoopWaker, SystemClock, VirtualClock, Waker};
 pub use error::ServeError;
+pub use health::{CircuitState, HealthConfig, HealthState};
+pub use retry::{JitterRng, RetryPolicy};
+pub use ring::HashRing;
+pub use router::{
+    FaultedModel, Priority, Router, RouterArrival, RouterConfig, RouterEvent, RouterEventKind,
+    RouterReport, RouterSim, RouterStats, ServiceModel, NO_REQUEST,
+};
+pub use router_server::RouterServer;
 pub use server::{
     GroundingModel, Response, ServeConfig, ServeDtype, ServeResult, Server, ServerCore,
     YolloBackend,

@@ -1,0 +1,136 @@
+//! Retry policy: exponential back-off with deterministic jitter.
+//!
+//! The router retries retryable failures ([`crate::ServeError::is_retryable`]
+//! — worker failures and shed requests) on a fallback replica after a
+//! jittered exponential back-off. Jitter comes from a seeded xorshift
+//! generator, not the OS entropy pool, so a chaos schedule replays
+//! bit-identically: the same seed and the same failure sequence produce
+//! the same back-off nanoseconds on every run.
+
+use yollo_obs::histogram;
+
+/// A tiny xorshift64* generator for back-off jitter. Deterministic and
+/// cheap; never used for anything cryptographic.
+#[derive(Debug, Clone)]
+pub struct JitterRng(u64);
+
+impl JitterRng {
+    /// Seeds the generator (0 is remapped to a fixed non-zero seed).
+    pub fn new(seed: u64) -> Self {
+        JitterRng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// When and how often to retry a failed attempt.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (1 = never retry).
+    pub max_attempts: usize,
+    /// Back-off before the first retry; doubles per further attempt.
+    pub base_backoff_ns: u64,
+    /// Upper bound on any single back-off.
+    pub max_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ns: 100_000,   // 0.1 ms
+            max_backoff_ns: 10_000_000, // 10 ms
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered back-off before attempt number `attempt` (2-based: the
+    /// first retry is attempt 2). Equal-jitter scheme: half the
+    /// exponential window is fixed, half uniformly random, so retries
+    /// neither synchronise into bursts nor exceed the window.
+    pub fn backoff_ns(&self, attempt: usize, rng: &mut JitterRng) -> u64 {
+        let exp = attempt.saturating_sub(2).min(32) as u32;
+        let window = self
+            .base_backoff_ns
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_ns)
+            .max(1);
+        let half = window / 2;
+        let jitter = (rng.unit_f64() * (window - half) as f64) as u64;
+        let backoff = half + jitter;
+        histogram!("retry.backoff_ns").record(backoff);
+        backoff
+    }
+
+    /// True when a request that has made `attempts` attempts may try again.
+    pub fn may_retry(&self, attempts: usize) -> bool {
+        attempts < self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_within_bounds_and_replays() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 3_000,
+        };
+        let mut a = JitterRng::new(7);
+        let mut b = JitterRng::new(7);
+        for attempt in 2..=6 {
+            let window = (1_000u64 << (attempt - 2)).min(3_000);
+            let x = policy.backoff_ns(attempt, &mut a);
+            assert!(
+                (window / 2..=window).contains(&x),
+                "attempt {attempt}: {x} outside [{}, {window}]",
+                window / 2
+            );
+            assert_eq!(x, policy.backoff_ns(attempt, &mut b), "seeded replay");
+        }
+        let mut c = JitterRng::new(8);
+        let diverged = (2..=6).any(|at| {
+            let mut a2 = JitterRng::new(7);
+            policy.backoff_ns(at, &mut c) != policy.backoff_ns(at, &mut a2)
+        });
+        assert!(diverged, "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn attempt_budget_is_total_attempts() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(policy.may_retry(1));
+        assert!(policy.may_retry(2));
+        assert!(!policy.may_retry(3));
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = JitterRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

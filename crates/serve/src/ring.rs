@@ -1,0 +1,190 @@
+//! Consistent-hash ring for scene-affinity routing.
+//!
+//! The router keys every request by its scene's content hash, so all
+//! traffic for one scene lands on one replica and that replica's LRU
+//! response cache stays hot. A [`HashRing`] places `vnodes` points per
+//! replica on a `u64` ring; a key routes to the replica owning the first
+//! point at or after the key (wrapping). Because each replica's points
+//! depend only on its own id, **removing a replica moves exactly the keys
+//! it owned and nothing else** (the minimal-disruption invariant the
+//! property tests pin down), and failover order is simply "next distinct
+//! replica around the ring" — deterministic, bounded remap.
+
+/// SplitMix64: a tiny, well-mixed hash for ring points and routing keys.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over replica ids.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted `(point, replica_id)` pairs.
+    points: Vec<(u64, usize)>,
+    ids: Vec<usize>,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// A ring over replicas `0..replicas`, each with `vnodes` points.
+    ///
+    /// # Panics
+    /// Panics if `replicas` or `vnodes` is 0.
+    pub fn new(replicas: usize, vnodes: usize) -> Self {
+        HashRing::with_ids(&(0..replicas).collect::<Vec<_>>(), vnodes)
+    }
+
+    /// A ring over an explicit replica-id set (ids need not be dense —
+    /// rebuilding with one id removed leaves every other id's points, and
+    /// therefore every other key's route, untouched).
+    ///
+    /// # Panics
+    /// Panics if `ids` is empty, contains duplicates, or `vnodes` is 0.
+    pub fn with_ids(ids: &[usize], vnodes: usize) -> Self {
+        assert!(!ids.is_empty(), "ring needs at least one replica");
+        assert!(vnodes > 0, "ring needs at least one vnode per replica");
+        let mut points = Vec::with_capacity(ids.len() * vnodes);
+        for &id in ids {
+            for v in 0..vnodes {
+                // Point position depends only on (id, v): stable under
+                // membership changes.
+                let point = splitmix64((id as u64) << 32 | v as u64);
+                points.push((point, id));
+            }
+        }
+        points.sort_unstable();
+        for w in points.windows(2) {
+            assert!(
+                w[0].0 != w[1].0 || w[0].1 != w[1].1,
+                "duplicate replica id {} on the ring",
+                w[0].1
+            );
+        }
+        HashRing {
+            points,
+            ids: ids.to_vec(),
+            vnodes,
+        }
+    }
+
+    /// Replica ids on the ring, in construction order.
+    pub fn ids(&self) -> &[usize] {
+        &self.ids
+    }
+
+    /// Replicas on the ring.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the ring has no replicas (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Index of the first ring point at or after `key` (wrapping).
+    fn first_point(&self, key: u64) -> usize {
+        let hashed = splitmix64(key);
+        match self.points.binary_search_by(|&(p, _)| p.cmp(&hashed)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        }
+    }
+
+    /// The replica owning `key`.
+    pub fn route(&self, key: u64) -> usize {
+        self.points[self.first_point(key)].1
+    }
+
+    /// Every replica in failover-preference order for `key`: the owner
+    /// first, then each further distinct replica as it appears around the
+    /// ring. Contains every replica exactly once.
+    pub fn preference(&self, key: u64) -> Vec<usize> {
+        let start = self.first_point(key);
+        let mut order = Vec::with_capacity(self.ids.len());
+        for off in 0..self.points.len() {
+            let (_, id) = self.points[(start + off) % self.points.len()];
+            if !order.contains(&id) {
+                order.push(id);
+                if order.len() == self.ids.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The first replica in preference order for which `healthy` holds, if
+    /// any.
+    pub fn route_healthy(&self, key: u64, mut healthy: impl FnMut(usize) -> bool) -> Option<usize> {
+        let start = self.first_point(key);
+        let mut seen = Vec::with_capacity(self.ids.len());
+        for off in 0..self.points.len() {
+            let (_, id) = self.points[(start + off) % self.points.len()];
+            if seen.contains(&id) {
+                continue;
+            }
+            if healthy(id) {
+                return Some(id);
+            }
+            seen.push(id);
+            if seen.len() == self.ids.len() {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Points per replica (as configured).
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_are_stable_and_preference_covers_all_replicas() {
+        let ring = HashRing::new(4, 32);
+        for key in 0..256u64 {
+            let owner = ring.route(key);
+            assert!(owner < 4);
+            let pref = ring.preference(key);
+            assert_eq!(pref[0], owner, "preference starts at the owner");
+            let mut sorted = pref.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3], "each replica exactly once");
+        }
+    }
+
+    #[test]
+    fn route_healthy_skips_unhealthy_replicas_in_preference_order() {
+        let ring = HashRing::new(3, 16);
+        let key = 42;
+        let pref = ring.preference(key);
+        assert_eq!(
+            ring.route_healthy(key, |r| r != pref[0]),
+            Some(pref[1]),
+            "first fallback is the next distinct replica on the ring"
+        );
+        assert_eq!(ring.route_healthy(key, |_| false), None);
+    }
+
+    #[test]
+    fn identical_construction_yields_identical_rings() {
+        let a = HashRing::new(5, 64);
+        let b = HashRing::new(5, 64);
+        assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn empty_ring_is_rejected() {
+        let _ = HashRing::with_ids(&[], 8);
+    }
+}

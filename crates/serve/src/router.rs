@@ -1,0 +1,1040 @@
+//! The resilient multi-replica router tier.
+//!
+//! [`Router`] fronts N [`ServerCore`] replicas and composes the crate's
+//! resilience machinery into one deterministic scheduler:
+//!
+//! * **scene-affinity routing** — requests are keyed by scene content hash
+//!   on a consistent-hash [`HashRing`], so each scene's traffic (and its
+//!   cached responses) stays on one replica, with "next distinct replica
+//!   around the ring" as the bounded-remap failover order;
+//! * **health** — every replica has a [`HealthState`] circuit breaker fed
+//!   by request outcomes and heartbeat probes; open circuits are skipped
+//!   at routing time;
+//! * **deadlines** — every request carries one absolute deadline from
+//!   admission through batcher, worker, retries and hedges; when it passes
+//!   the client gets [`ServeError::DeadlineExceeded`] even if a replica is
+//!   hung and will never answer;
+//! * **retries** — retryable failures ([`ServeError::is_retryable`]) are
+//!   re-dispatched to a fallback replica after a jittered back-off
+//!   ([`RetryPolicy`]), within the attempt budget and the deadline;
+//! * **hedging** — [`Priority::Interactive`] requests optionally dispatch
+//!   a duplicate to the next replica when the primary is slow; first
+//!   answer wins, the loser is discarded;
+//! * **degradation** — per-priority-class admission caps shed the least
+//!   important traffic first, and when *every* circuit is open the router
+//!   still answers whatever the replica response caches hold (cache-only
+//!   degraded mode) before shedding with [`ServeError::Unavailable`].
+//!
+//! Everything runs on the caller's [`Clock`] with no threads and no
+//! sleeps; replica misbehavior is injected through
+//! [`yollo_core::ReplicaFaultPlan`] (crash / hang / slow / flap) and the
+//! whole chaos schedule replays bit-identically — the [`RouterEvent`] log
+//! is the run's fingerprint. [`RouterSim`] drives arrival scripts the same
+//! way [`crate::Simulation`] does for a single core.
+
+use std::mem;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+
+use yollo_core::{encode_query_strict, scene_hash, GroundingPrediction, ReplicaFaultPlan};
+use yollo_obs::{counter, histogram};
+use yollo_synthref::Scene;
+use yollo_tensor::Tensor;
+use yollo_text::Vocab;
+
+use crate::clock::{Clock, NoopWaker, VirtualClock};
+use crate::error::ServeError;
+use crate::health::{CircuitState, HealthConfig, HealthState};
+use crate::retry::{JitterRng, RetryPolicy};
+use crate::ring::HashRing;
+use crate::server::{GroundingModel, Response, ServeConfig, ServeResult, ServerCore};
+
+/// Marks replica-level [`RouterEvent`]s that belong to no request.
+pub const NO_REQUEST: u64 = u64::MAX;
+
+/// Traffic priority classes, in descending importance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Tail-latency-sensitive traffic; eligible for hedged dispatch.
+    Interactive,
+    /// The default class.
+    Standard,
+    /// Throughput traffic; first to be shed under overload.
+    Bulk,
+}
+
+impl Priority {
+    /// Dense index for per-class tables.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Bulk => 2,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Bulk => "bulk",
+        }
+    }
+}
+
+/// Virtual-time batch service cost, used by the deterministic scheduler to
+/// model replica occupancy (a slow replica's queue backs up; a fast one
+/// drains). All zeros (the default) makes batches instantaneous.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceModel {
+    /// Fixed cost per batch.
+    pub base_ns: u64,
+    /// Marginal cost per batched request.
+    pub per_item_ns: u64,
+}
+
+/// Tunables of the router tier.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Server replicas behind the router.
+    pub replicas: usize,
+    /// Ring points per replica (more = better balance).
+    pub vnodes: usize,
+    /// End-to-end per-request deadline from router admission (0 = none).
+    pub deadline_ns: u64,
+    /// Retry budget and back-off shape.
+    pub retry: RetryPolicy,
+    /// Hedge [`Priority::Interactive`] requests after this long without an
+    /// answer (0 disables hedging).
+    pub hedge_delay_ns: u64,
+    /// Circuit-breaker tuning, applied to every replica.
+    pub health: HealthConfig,
+    /// Router-level inflight cap per priority class
+    /// (`[interactive, standard, bulk]`); beyond it, that class is shed.
+    pub class_capacity: [usize; 3],
+    /// Seed for back-off jitter (deterministic per seed).
+    pub seed: u64,
+    /// Virtual-time service cost model for replica batches.
+    pub service: ServiceModel,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            replicas: 2,
+            vnodes: 64,
+            deadline_ns: 50_000_000, // 50 ms
+            retry: RetryPolicy::default(),
+            hedge_delay_ns: 0,
+            health: HealthConfig::default(),
+            class_capacity: [32, 64, 32],
+            seed: 0x5EED,
+            service: ServiceModel::default(),
+        }
+    }
+}
+
+/// What happened, when, to which request — the deterministic fingerprint
+/// of a router run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterEvent {
+    /// Clock reading of the event.
+    pub at_ns: u64,
+    /// Request sequence number, or [`NO_REQUEST`] for replica-level
+    /// events.
+    pub seq: u64,
+    /// What happened.
+    pub kind: RouterEventKind,
+}
+
+/// The event alphabet of [`RouterEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterEventKind {
+    /// An attempt was dispatched to a replica.
+    Routed {
+        /// Target replica.
+        replica: usize,
+        /// 1-based attempt number.
+        attempt: usize,
+    },
+    /// A hedged duplicate was dispatched.
+    Hedged {
+        /// Target replica.
+        replica: usize,
+    },
+    /// A terminal answer was delivered to the client.
+    Delivered {
+        /// Replica that produced the answer (or last failed).
+        replica: usize,
+        /// Whether the answer was a prediction.
+        ok: bool,
+    },
+    /// The request's deadline passed; the client got
+    /// [`ServeError::DeadlineExceeded`].
+    DeadlineExceeded,
+    /// The request was shed at admission (class capacity).
+    Shed,
+    /// Answered from a replica cache while every circuit was open.
+    DegradedHit,
+    /// Every circuit open and no cached answer: [`ServeError::Unavailable`].
+    Unavailable,
+    /// A replica's circuit opened.
+    CircuitOpened {
+        /// The replica.
+        replica: usize,
+    },
+    /// A replica's circuit closed again.
+    CircuitClosed {
+        /// The replica.
+        replica: usize,
+    },
+    /// A heartbeat probe failed.
+    ProbeFailed {
+        /// The replica.
+        replica: usize,
+    },
+}
+
+/// Aggregate counters of one router's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Requests offered to [`Router::submit`] (valid or not).
+    pub submitted: u64,
+    /// Requests accepted into the pending table.
+    pub accepted: u64,
+    /// Requests shed at admission (class capacity).
+    pub shed: u64,
+    /// Requests answered from a cache in degraded mode.
+    pub degraded_hits: u64,
+    /// Requests shed because every replica was down and nothing cached.
+    pub unavailable: u64,
+    /// Terminal `Ok` deliveries.
+    pub delivered_ok: u64,
+    /// Terminal error deliveries (excluding deadline expiries).
+    pub delivered_err: u64,
+    /// Terminal deadline expiries.
+    pub deadline_exceeded: u64,
+    /// Retry attempts scheduled.
+    pub retries: u64,
+    /// Hedged duplicates dispatched.
+    pub hedges: u64,
+    /// Requests whose hedge answered first.
+    pub hedge_wins: u64,
+    /// Failed attempts observed (including shed-at-replica).
+    pub replica_failures: u64,
+}
+
+impl RouterStats {
+    /// Fraction of non-shed load that got an `Ok` answer:
+    /// `(ok + degraded hits) / (accepted + degraded hits)`.
+    pub fn availability(&self) -> f64 {
+        let answered = self.delivered_ok + self.degraded_hits;
+        let offered = self.accepted + self.degraded_hits;
+        answered as f64 / offered.max(1) as f64
+    }
+}
+
+/// Wraps a replica's model with its [`ReplicaFaultPlan`]'s crash schedule:
+/// the k-th request the replica processes panics the worker if the plan
+/// says so. Hang / slow / flap faults are consumed by the router
+/// scheduler, not here. The plan is shared (`Arc<Mutex>`) so tests can
+/// inject faults after construction.
+pub struct FaultedModel<M> {
+    inner: M,
+    plan: Arc<Mutex<ReplicaFaultPlan>>,
+    processed: AtomicUsize,
+}
+
+impl<M> FaultedModel<M> {
+    /// Wraps `inner` with a shared fault plan.
+    pub fn new(inner: M, plan: Arc<Mutex<ReplicaFaultPlan>>) -> Self {
+        FaultedModel {
+            inner,
+            plan,
+            processed: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<M: GroundingModel> GroundingModel for FaultedModel<M> {
+    fn predict_batch(&self, images: Tensor, queries: &[Vec<usize>]) -> Vec<GroundingPrediction> {
+        let start = self.processed.fetch_add(queries.len(), Ordering::SeqCst);
+        // Consume the crash injection *before* panicking, with the lock
+        // released, so a poisoned mutex never outlives the caught panic.
+        let crash = {
+            let mut plan = self.plan.lock().expect("fault plan poisoned");
+            (start + 1..=start + queries.len()).find(|&k| plan.take_crash_request(k))
+        };
+        if let Some(k) = crash {
+            panic!("injected replica crash at request {k}");
+        }
+        self.inner.predict_batch(images, queries)
+    }
+}
+
+struct Replica<M: GroundingModel> {
+    core: ServerCore<FaultedModel<M>>,
+    plan: Arc<Mutex<ReplicaFaultPlan>>,
+    busy_until_ns: u64,
+}
+
+struct PendingReq {
+    seq: u64,
+    scene: Scene,
+    query: String,
+    class: Priority,
+    key: u64,
+    admitted_ns: u64,
+    deadline_ns: u64,
+    attempts: usize,
+    tried: Vec<usize>,
+    primary: Option<(usize, Response)>,
+    hedge: Option<(usize, Response)>,
+    retry_due_ns: u64,
+    hedge_due_ns: u64,
+    last_error: Option<ServeError>,
+    tx: Sender<ServeResult>,
+}
+
+/// The deterministic multi-replica router. See the module docs.
+pub struct Router<M: GroundingModel> {
+    cfg: RouterConfig,
+    clock: Arc<dyn Clock>,
+    ring: HashRing,
+    replicas: Vec<Replica<M>>,
+    health: Vec<HealthState>,
+    pending: Vec<PendingReq>,
+    class_inflight: [usize; 3],
+    next_seq: u64,
+    next_probe_ns: u64,
+    rng: JitterRng,
+    events: Vec<RouterEvent>,
+    stats: RouterStats,
+}
+
+impl<M: GroundingModel> Router<M> {
+    /// A router over `cfg.replicas` fresh [`ServerCore`]s on `clock`;
+    /// `factory(i)` builds replica `i`'s model. Every replica starts with
+    /// an empty fault plan — inject faults with [`Router::set_fault_plan`].
+    pub fn new(
+        cfg: RouterConfig,
+        serve_cfg: ServeConfig,
+        vocab: Vocab,
+        clock: Arc<dyn Clock>,
+        mut factory: impl FnMut(usize) -> M,
+    ) -> Self {
+        assert!(cfg.replicas > 0, "router needs at least one replica");
+        let ring = HashRing::new(cfg.replicas, cfg.vnodes);
+        let replicas = (0..cfg.replicas)
+            .map(|i| {
+                let plan = Arc::new(Mutex::new(ReplicaFaultPlan::new()));
+                let model = FaultedModel::new(factory(i), Arc::clone(&plan));
+                Replica {
+                    core: ServerCore::with_clock(
+                        model,
+                        vocab.clone(),
+                        serve_cfg.clone(),
+                        Arc::clone(&clock),
+                        Arc::new(NoopWaker),
+                    ),
+                    plan,
+                    busy_until_ns: 0,
+                }
+            })
+            .collect();
+        let health = (0..cfg.replicas)
+            .map(|_| HealthState::new(cfg.health.clone()))
+            .collect();
+        let next_probe_ns = cfg.health.probe_interval_ns.max(1);
+        let rng = JitterRng::new(cfg.seed);
+        Router {
+            cfg,
+            clock,
+            ring,
+            replicas,
+            health,
+            pending: Vec::new(),
+            class_inflight: [0; 3],
+            next_seq: 0,
+            next_probe_ns,
+            rng,
+            events: Vec::new(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// Replaces replica `r`'s fault plan (crash faults are consumed from
+    /// the new plan; hang / slow / flap read from it).
+    pub fn set_fault_plan(&mut self, replica: usize, plan: ReplicaFaultPlan) {
+        *self.replicas[replica].plan.lock().expect("fault plan") = plan;
+    }
+
+    /// Admits one request at the current clock reading. The returned
+    /// [`Response`] resolves with exactly one terminal result: an answer,
+    /// a shed, or a deadline expiry — never nothing.
+    pub fn submit(
+        &mut self,
+        scene: &Scene,
+        query: &str,
+        class: Priority,
+    ) -> Result<Response, ServeError> {
+        let now = self.clock.now_ns();
+        self.stats.submitted += 1;
+        counter!("router.requests").incr();
+        // Validate before consuming a class slot: an invalid request is
+        // the client's fault, not load.
+        let serve_cfg = self.replicas[0].core.config();
+        if (scene.width, scene.height) != (serve_cfg.image_width, serve_cfg.image_height) {
+            return Err(ServeError::SceneMismatch {
+                got: (scene.width, scene.height),
+                want: (serve_cfg.image_width, serve_cfg.image_height),
+            });
+        }
+        let max_tokens = serve_cfg.max_tokens;
+        encode_query_strict(self.replicas[0].core.vocab(), query, max_tokens)?;
+
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ci = class.index();
+        if self.class_inflight[ci] >= self.cfg.class_capacity[ci] {
+            self.stats.shed += 1;
+            counter!("router.shed").incr();
+            self.push_event(now, seq, RouterEventKind::Shed);
+            return Err(ServeError::Overloaded {
+                inflight: self.class_inflight[ci],
+                capacity: self.cfg.class_capacity[ci],
+            });
+        }
+
+        let key = scene_hash(scene);
+        let (tx, rx) = channel();
+        let deadline_ns = if self.cfg.deadline_ns > 0 {
+            now.saturating_add(self.cfg.deadline_ns)
+        } else {
+            u64::MAX
+        };
+        let mut req = PendingReq {
+            seq,
+            scene: scene.clone(),
+            query: query.to_owned(),
+            class,
+            key,
+            admitted_ns: now,
+            deadline_ns,
+            attempts: 0,
+            tried: Vec::new(),
+            primary: None,
+            hedge: None,
+            retry_due_ns: u64::MAX,
+            hedge_due_ns: u64::MAX,
+            last_error: None,
+            tx,
+        };
+
+        let target = self.pick_replica(key, &req.tried, now);
+        match target {
+            Some(r) => {
+                self.stats.accepted += 1;
+                self.class_inflight[ci] += 1;
+                let terminal = self.dispatch(&mut req, r, now) || self.step_request(&mut req, now);
+                if terminal {
+                    self.class_inflight[ci] -= 1;
+                } else {
+                    self.pending.push(req);
+                }
+                Ok(Response::from_rx(rx))
+            }
+            None => {
+                // Degraded mode: every circuit is open; answer from any
+                // replica cache (preference order) or shed.
+                for r in self.ring.preference(key) {
+                    if let Some(pred) = self.replicas[r].core.cache_lookup(scene, query) {
+                        self.stats.degraded_hits += 1;
+                        counter!("router.degraded_hits").incr();
+                        self.push_event(now, seq, RouterEventKind::DegradedHit);
+                        let _ = req.tx.send(Ok(pred));
+                        return Ok(Response::from_rx(rx));
+                    }
+                }
+                self.stats.unavailable += 1;
+                counter!("router.unavailable").incr();
+                self.push_event(now, seq, RouterEventKind::Unavailable);
+                Err(ServeError::Unavailable {
+                    replicas: self.cfg.replicas,
+                })
+            }
+        }
+    }
+
+    /// Runs everything due at the current clock reading: heartbeat probes,
+    /// replica batch execution (respecting hang windows and service-time
+    /// occupancy), response collection, deadline expiry, retries and
+    /// hedges. Returns how many units of progress were made; call until 0
+    /// for a fixed point at this instant.
+    pub fn tick(&mut self) -> usize {
+        let now = self.clock.now_ns();
+        let mut progress = self.run_probes(now);
+        progress += self.tick_replicas(now);
+
+        // Step every pending request against its outstanding attempts,
+        // deadline, retry and hedge timers — in sequence order, so the
+        // event log is a deterministic fingerprint.
+        let mut kept = Vec::with_capacity(self.pending.len());
+        let mut pending = mem::take(&mut self.pending);
+        for mut req in pending.drain(..) {
+            let before = (req.attempts, req.hedge.is_some());
+            if self.step_request(&mut req, now) {
+                self.class_inflight[req.class.index()] -= 1;
+                progress += 1;
+            } else {
+                if (req.attempts, req.hedge.is_some()) != before {
+                    progress += 1;
+                }
+                kept.push(req);
+            }
+        }
+        self.pending = kept;
+        progress
+    }
+
+    /// The earliest future instant at which [`Router::tick`] has work, or
+    /// `None` when nothing is outstanding. Drivers on a [`VirtualClock`]
+    /// jump time here between ticks.
+    pub fn next_event_ns(&self) -> Option<u64> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let now = self.clock.now_ns();
+        let mut next = u64::MAX;
+        let mut consider = |t: u64| {
+            if t < next {
+                next = t;
+            }
+        };
+        if self.cfg.health.probe_interval_ns > 0 {
+            consider(self.next_probe_ns);
+        }
+        for req in &self.pending {
+            consider(req.deadline_ns);
+            consider(req.retry_due_ns);
+            consider(req.hedge_due_ns);
+            // An answer hidden behind a busy replica becomes visible when
+            // the batch completes.
+            for attempt in [&req.primary, &req.hedge].into_iter().flatten() {
+                let busy = self.replicas[attempt.0].busy_until_ns;
+                if busy > now {
+                    consider(busy);
+                }
+            }
+        }
+        for rep in &self.replicas {
+            if let Some(d) = rep.core.next_deadline_ns() {
+                let mut t = d.max(now).max(rep.busy_until_ns);
+                let plan = rep.plan.lock().expect("fault plan");
+                if let Some(end) = plan.hung_until(t) {
+                    t = end;
+                }
+                consider(t);
+            }
+        }
+        (next != u64::MAX).then_some(next)
+    }
+
+    /// Requests currently outstanding inside the router.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The event log so far — the determinism fingerprint.
+    pub fn events(&self) -> &[RouterEvent] {
+        &self.events
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Replica `r`'s current circuit position.
+    pub fn circuit_state(&self, replica: usize) -> CircuitState {
+        self.health[replica].state()
+    }
+
+    /// Cache hits served by replica cores at admission (sum over
+    /// replicas), from each core's own counters.
+    pub fn replica_cache_len(&self, replica: usize) -> usize {
+        self.replicas[replica].core.cache_len()
+    }
+
+    // ---------------------------------------------------------- internals
+
+    fn push_event(&mut self, at_ns: u64, seq: u64, kind: RouterEventKind) {
+        self.events.push(RouterEvent { at_ns, seq, kind });
+    }
+
+    fn pick_replica(&mut self, key: u64, exclude: &[usize], now: u64) -> Option<usize> {
+        let health = &mut self.health;
+        self.ring
+            .route_healthy(key, |r| !exclude.contains(&r) && health[r].allow(now))
+            .or_else(|| {
+                // Nothing untried is healthy: allow a healthy already-tried
+                // replica rather than failing outright.
+                if exclude.is_empty() {
+                    None
+                } else {
+                    let health = &mut self.health;
+                    self.ring.route_healthy(key, |r| health[r].allow(now))
+                }
+            })
+    }
+
+    /// Dispatches one attempt of `req` to `replica`. Returns `true` when
+    /// the request reached a terminal state (synchronous failure with no
+    /// retry budget left).
+    fn dispatch(&mut self, req: &mut PendingReq, replica: usize, now: u64) -> bool {
+        req.attempts += 1;
+        if !req.tried.contains(&replica) {
+            req.tried.push(replica);
+        }
+        counter!("router.dispatches").incr();
+        self.push_event(
+            now,
+            req.seq,
+            RouterEventKind::Routed {
+                replica,
+                attempt: req.attempts,
+            },
+        );
+        let submitted = self.replicas[replica].core.submit_with_deadline(
+            &req.scene,
+            &req.query,
+            req.deadline_ns,
+        );
+        match submitted {
+            Ok(resp) => {
+                req.primary = Some((replica, resp));
+                if self.cfg.hedge_delay_ns > 0
+                    && req.class == Priority::Interactive
+                    && req.hedge.is_none()
+                    && self.cfg.replicas > 1
+                {
+                    req.hedge_due_ns = now.saturating_add(self.cfg.hedge_delay_ns);
+                }
+                false
+            }
+            Err(e) => self.on_attempt_failure(req, replica, e, now),
+        }
+    }
+
+    /// Handles a failed attempt: feeds health, then schedules a retry or
+    /// delivers the error. Returns `true` when terminal.
+    fn on_attempt_failure(
+        &mut self,
+        req: &mut PendingReq,
+        replica: usize,
+        err: ServeError,
+        now: u64,
+    ) -> bool {
+        self.note_failure(replica, now);
+        self.stats.replica_failures += 1;
+        counter!("router.replica_failures").incr();
+        if err.is_retryable() && self.cfg.retry.may_retry(req.attempts) {
+            let backoff = self.cfg.retry.backoff_ns(req.attempts + 1, &mut self.rng);
+            let due = now.saturating_add(backoff);
+            if due < req.deadline_ns {
+                req.retry_due_ns = due;
+                req.last_error = Some(err);
+                self.stats.retries += 1;
+                counter!("router.retries").incr();
+                return false;
+            }
+        }
+        self.deliver(req, replica, Err(err), now);
+        true
+    }
+
+    /// Delivers a terminal result and records it.
+    fn deliver(&mut self, req: &mut PendingReq, replica: usize, result: ServeResult, now: u64) {
+        let ok = result.is_ok();
+        if ok {
+            self.stats.delivered_ok += 1;
+            counter!("router.delivered").incr();
+        } else {
+            self.stats.delivered_err += 1;
+            counter!("router.failed").incr();
+        }
+        histogram!("router.request_ns").record(now.saturating_sub(req.admitted_ns));
+        self.push_event(now, req.seq, RouterEventKind::Delivered { replica, ok });
+        let _ = req.tx.send(result);
+    }
+
+    /// Advances one pending request at `now`. Returns `true` when the
+    /// request reached a terminal state.
+    fn step_request(&mut self, req: &mut PendingReq, now: u64) -> bool {
+        // 1. End-to-end deadline: answer even if a hung replica never will.
+        if now >= req.deadline_ns {
+            if let Some((r, _)) = req.primary {
+                self.note_failure(r, now);
+            }
+            self.stats.deadline_exceeded += 1;
+            counter!("router.deadline_exceeded").incr();
+            histogram!("router.request_ns").record(now.saturating_sub(req.admitted_ns));
+            self.push_event(now, req.seq, RouterEventKind::DeadlineExceeded);
+            let _ = req.tx.send(Err(ServeError::DeadlineExceeded {
+                waited_ns: now.saturating_sub(req.admitted_ns),
+                deadline_ns: req.deadline_ns,
+            }));
+            return true;
+        }
+        // 2. Primary attempt outcome. A batch started at `t` completes at
+        // `t + service cost`, so a replica's answers only become visible
+        // once it is no longer busy — that is what makes a slowed replica
+        // actually answer late (and hedges worth having).
+        if let Some((r, resp)) = &req.primary {
+            let r = *r;
+            if self.replicas[r].busy_until_ns <= now {
+                if let Some(result) = resp.try_now() {
+                    req.primary = None;
+                    match result {
+                        Ok(pred) => {
+                            self.note_success(r, now);
+                            self.deliver(req, r, Ok(pred), now);
+                            return true;
+                        }
+                        Err(e) => {
+                            if self.on_attempt_failure(req, r, e, now) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Hedge outcome: a winning hedge delivers; a failing one is
+        // discarded (the primary attempt is still the request's fate).
+        if let Some((r, resp)) = &req.hedge {
+            let r = *r;
+            if self.replicas[r].busy_until_ns <= now {
+                if let Some(result) = resp.try_now() {
+                    req.hedge = None;
+                    match result {
+                        Ok(pred) => {
+                            self.note_success(r, now);
+                            self.stats.hedge_wins += 1;
+                            counter!("router.hedge_wins").incr();
+                            self.deliver(req, r, Ok(pred), now);
+                            return true;
+                        }
+                        Err(e) => {
+                            self.note_failure(r, now);
+                            self.stats.replica_failures += 1;
+                            counter!("router.replica_failures").incr();
+                            // If the primary already failed and is waiting
+                            // on a retry, the hedge failure changes nothing.
+                            let _ = e;
+                        }
+                    }
+                }
+            }
+        }
+        // 4. Due retry.
+        if req.retry_due_ns <= now && req.primary.is_none() {
+            req.retry_due_ns = u64::MAX;
+            match self.pick_replica(req.key, &req.tried.clone(), now) {
+                Some(r) => {
+                    if self.dispatch(req, r, now) {
+                        return true;
+                    }
+                }
+                None => {
+                    // Every circuit open mid-request: degraded cache or a
+                    // terminal answer with the last error.
+                    for r in self.ring.preference(req.key) {
+                        if let Some(pred) =
+                            self.replicas[r].core.cache_lookup(&req.scene, &req.query)
+                        {
+                            self.stats.degraded_hits += 1;
+                            counter!("router.degraded_hits").incr();
+                            self.push_event(now, req.seq, RouterEventKind::DegradedHit);
+                            let _ = req.tx.send(Ok(pred));
+                            return true;
+                        }
+                    }
+                    let err = req.last_error.clone().unwrap_or(ServeError::Unavailable {
+                        replicas: self.cfg.replicas,
+                    });
+                    self.deliver(req, req.tried.last().copied().unwrap_or(0), Err(err), now);
+                    return true;
+                }
+            }
+        }
+        // 5. Due hedge.
+        if req.hedge_due_ns <= now && req.hedge.is_none() && req.primary.is_some() {
+            req.hedge_due_ns = u64::MAX;
+            let tried = req.tried.clone();
+            if let Some(r) = self.pick_replica(req.key, &tried, now) {
+                if !tried.contains(&r) {
+                    self.stats.hedges += 1;
+                    counter!("router.hedges").incr();
+                    self.push_event(now, req.seq, RouterEventKind::Hedged { replica: r });
+                    req.tried.push(r);
+                    if let Ok(resp) = self.replicas[r].core.submit_with_deadline(
+                        &req.scene,
+                        &req.query,
+                        req.deadline_ns,
+                    ) {
+                        req.hedge = Some((r, resp));
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn note_success(&mut self, replica: usize, now: u64) {
+        if let Some(CircuitState::Closed) = self.health[replica].record_success(now) {
+            self.push_event(now, NO_REQUEST, RouterEventKind::CircuitClosed { replica });
+        }
+    }
+
+    fn note_failure(&mut self, replica: usize, now: u64) {
+        if let Some(CircuitState::Open) = self.health[replica].record_failure(now) {
+            self.push_event(now, NO_REQUEST, RouterEventKind::CircuitOpened { replica });
+        }
+    }
+
+    /// Runs every heartbeat probe due at or before `now`. A probe fails
+    /// while the replica is hung or its health signal is flapped down.
+    /// Successful probes only feed non-closed circuits, so background
+    /// probe successes cannot mask a crash-looping data path.
+    fn run_probes(&mut self, now: u64) -> usize {
+        let interval = self.cfg.health.probe_interval_ns;
+        if interval == 0 {
+            return 0;
+        }
+        let mut fired = 0;
+        while self.next_probe_ns <= now {
+            let t = self.next_probe_ns;
+            for r in 0..self.replicas.len() {
+                counter!("health.probes").incr();
+                let plan = self.replicas[r].plan.lock().expect("fault plan");
+                let ok = !plan.is_hung_at(t) && !plan.is_flapped_down(t);
+                drop(plan);
+                if ok {
+                    if self.health[r].state() != CircuitState::Closed && self.health[r].allow(t) {
+                        self.note_success(r, t);
+                    }
+                } else {
+                    counter!("health.probe_failures").incr();
+                    self.push_event(t, NO_REQUEST, RouterEventKind::ProbeFailed { replica: r });
+                    self.note_failure(r, t);
+                }
+            }
+            self.next_probe_ns = t.saturating_add(interval);
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Runs due batches on every replica that is neither hung nor busy,
+    /// charging virtual service time per batch.
+    fn tick_replicas(&mut self, now: u64) -> usize {
+        let svc = self.cfg.service;
+        let mut progress = 0;
+        for rep in &mut self.replicas {
+            let (hung, slow) = {
+                let plan = rep.plan.lock().expect("fault plan");
+                (plan.is_hung_at(now), plan.slow_factor())
+            };
+            if hung {
+                continue;
+            }
+            // Even a busy replica expires overdue requests — expiry is
+            // queue bookkeeping, not model work.
+            rep.core.expire();
+            if rep.busy_until_ns > now {
+                continue;
+            }
+            loop {
+                if rep.core.tick_one() == 0 {
+                    break;
+                }
+                progress += 1;
+                let size = rep.core.boundaries().last().map_or(0, |b| b.size);
+                let cost = svc
+                    .base_ns
+                    .saturating_add(svc.per_item_ns.saturating_mul(size as u64));
+                let cost = (cost as f64 * slow) as u64;
+                if cost > 0 {
+                    rep.busy_until_ns = now.saturating_add(cost);
+                    break;
+                }
+            }
+        }
+        progress
+    }
+}
+
+/// One scripted router request: at `at_ns`, submit `query` against scene
+/// index `scene` with priority `class`.
+#[derive(Debug, Clone)]
+pub struct RouterArrival {
+    /// Absolute virtual submission time.
+    pub at_ns: u64,
+    /// Index into the scene list.
+    pub scene: usize,
+    /// The referring expression.
+    pub query: String,
+    /// Priority class.
+    pub class: Priority,
+}
+
+impl RouterArrival {
+    /// Convenience constructor.
+    pub fn new(at_ns: u64, scene: usize, query: impl Into<String>, class: Priority) -> Self {
+        RouterArrival {
+            at_ns,
+            scene,
+            query: query.into(),
+            class,
+        }
+    }
+}
+
+/// What one simulated router run did.
+#[derive(Debug)]
+pub struct RouterReport {
+    /// Terminal result of every *accepted* request, in submission order.
+    /// The chaos acceptance invariant: this has one entry per accepted
+    /// request — none stranded, none doubled.
+    pub outcomes: Vec<ServeResult>,
+    /// Requests rejected at submission (shed / invalid / unavailable).
+    pub rejected: Vec<ServeError>,
+    /// The full event log — the determinism fingerprint.
+    pub events: Vec<RouterEvent>,
+    /// Aggregate counters.
+    pub stats: RouterStats,
+}
+
+/// Replays arrival scripts against a [`Router`] on a virtual clock,
+/// advancing time event-by-event exactly like [`crate::Simulation`] does
+/// for a single core.
+pub struct RouterSim<M: GroundingModel> {
+    router: Router<M>,
+    clock: Arc<VirtualClock>,
+}
+
+impl<M: GroundingModel> RouterSim<M> {
+    /// A simulation starting at virtual t = 0.
+    pub fn new(
+        cfg: RouterConfig,
+        serve_cfg: ServeConfig,
+        vocab: Vocab,
+        factory: impl FnMut(usize) -> M,
+    ) -> Self {
+        let clock = Arc::new(VirtualClock::new());
+        let router = Router::new(
+            cfg,
+            serve_cfg,
+            vocab,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            factory,
+        );
+        RouterSim { router, clock }
+    }
+
+    /// The router under simulation (to inject fault plans or inspect
+    /// state).
+    pub fn router_mut(&mut self) -> &mut Router<M> {
+        &mut self.router
+    }
+
+    /// The router under simulation.
+    pub fn router(&self) -> &Router<M> {
+        &self.router
+    }
+
+    /// Replays `arrivals` (sorted by `at_ns`) against `scenes`, then runs
+    /// the router to quiescence. Every accepted request has a terminal
+    /// outcome in the returned report.
+    ///
+    /// # Panics
+    /// Panics if the script is unsorted, indexes a missing scene, or the
+    /// router livelocks (only possible with no deadline configured).
+    pub fn run(&mut self, scenes: &[Scene], arrivals: &[RouterArrival]) -> RouterReport {
+        let mut responses: Vec<Response> = Vec::new();
+        let mut rejected = Vec::new();
+        for arrival in arrivals {
+            assert!(
+                arrival.at_ns >= self.clock.now_ns(),
+                "arrival script must be sorted by time"
+            );
+            self.advance_until(arrival.at_ns);
+            match self
+                .router
+                .submit(&scenes[arrival.scene], &arrival.query, arrival.class)
+            {
+                Ok(resp) => responses.push(resp),
+                Err(e) => rejected.push(e),
+            }
+            self.drain_instant();
+        }
+        // Quiescence: run every remaining event.
+        let mut guard = 0u32;
+        loop {
+            self.drain_instant();
+            match self.router.next_event_ns() {
+                Some(t) => {
+                    assert!(
+                        t > self.clock.now_ns(),
+                        "router made no progress on a due event at {t}"
+                    );
+                    self.clock.set(t);
+                }
+                None => break,
+            }
+            guard += 1;
+            assert!(guard < 1_000_000, "router failed to quiesce");
+        }
+        assert_eq!(self.router.pending_len(), 0, "requests left stranded");
+        let outcomes = responses
+            .into_iter()
+            .map(|r| {
+                r.try_now()
+                    .expect("every accepted request has a terminal response")
+            })
+            .collect();
+        RouterReport {
+            outcomes,
+            rejected,
+            events: self.router.events().to_vec(),
+            stats: self.router.stats(),
+        }
+    }
+
+    /// Ticks until the current instant has no more work.
+    fn drain_instant(&mut self) {
+        while self.router.tick() > 0 {}
+    }
+
+    /// Fires every event strictly before `t_ns`, then sets the clock to
+    /// `t_ns`.
+    fn advance_until(&mut self, t_ns: u64) {
+        loop {
+            self.drain_instant();
+            match self.router.next_event_ns() {
+                Some(e) if e <= t_ns => {
+                    if e > self.clock.now_ns() {
+                        self.clock.set(e);
+                    }
+                }
+                _ => break,
+            }
+        }
+        if t_ns > self.clock.now_ns() {
+            self.clock.set(t_ns);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The threaded router front: [`RouterServer`] puts the [`crate::Router`]
+//! policies — scene-affinity routing, circuit breaking, deadlines and
+//! jittered retries — in front of a pool of real [`Server`] replicas.
+//!
+//! Where [`crate::Router`] is the deterministic single-threaded form used
+//! by the chaos tests, `RouterServer` is the production shape: each
+//! replica is a full [`Server`] (its own worker threads, batcher and
+//! response cache), calls are synchronous and may be issued from many
+//! client threads at once, and back-offs are real sleeps. Hedging is
+//! deliberately left to the deterministic form — a synchronous caller has
+//! nothing useful to do with a second outstanding copy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use yollo_core::{scene_hash, ReplicaFaultPlan};
+use yollo_obs::counter;
+use yollo_synthref::Scene;
+use yollo_text::Vocab;
+
+use crate::error::ServeError;
+use crate::health::HealthState;
+use crate::retry::JitterRng;
+use crate::ring::HashRing;
+use crate::router::{FaultedModel, RouterConfig};
+use crate::server::{GroundingModel, ServeConfig, ServeResult, Server};
+
+/// Aggregate counters of a [`RouterServer`]'s lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterServerStats {
+    /// Calls offered.
+    pub calls: u64,
+    /// Calls answered with a prediction.
+    pub ok: u64,
+    /// Calls answered with an error.
+    pub failed: u64,
+    /// Calls that hit their deadline.
+    pub deadline_exceeded: u64,
+    /// Retry attempts made.
+    pub retries: u64,
+    /// Calls shed because no replica would admit them.
+    pub unavailable: u64,
+}
+
+struct AtomicStats {
+    calls: AtomicU64,
+    ok: AtomicU64,
+    failed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    retries: AtomicU64,
+    unavailable: AtomicU64,
+}
+
+/// A health-checked, retrying router over threaded [`Server`] replicas.
+pub struct RouterServer {
+    cfg: RouterConfig,
+    replicas: Vec<Server>,
+    plans: Vec<Arc<Mutex<ReplicaFaultPlan>>>,
+    ring: HashRing,
+    health: Vec<Mutex<HealthState>>,
+    rng: Mutex<JitterRng>,
+    started: Instant,
+    stats: AtomicStats,
+}
+
+impl RouterServer {
+    /// Starts `cfg.replicas` independent [`Server`]s; `factory(i)` builds
+    /// a model for replica `i` (called once per worker thread of that
+    /// replica). Every replica starts with an empty fault plan.
+    pub fn start<M, F>(cfg: RouterConfig, serve_cfg: ServeConfig, vocab: Vocab, factory: F) -> Self
+    where
+        M: GroundingModel,
+        F: Fn(usize) -> M + Send + Sync + 'static,
+    {
+        assert!(cfg.replicas > 0, "router needs at least one replica");
+        let factory = Arc::new(factory);
+        let mut replicas = Vec::with_capacity(cfg.replicas);
+        let mut plans = Vec::with_capacity(cfg.replicas);
+        for i in 0..cfg.replicas {
+            let plan = Arc::new(Mutex::new(ReplicaFaultPlan::new()));
+            let factory = Arc::clone(&factory);
+            let worker_plan = Arc::clone(&plan);
+            replicas.push(Server::start(serve_cfg.clone(), vocab.clone(), move || {
+                FaultedModel::new(factory(i), Arc::clone(&worker_plan))
+            }));
+            plans.push(plan);
+        }
+        let ring = HashRing::new(cfg.replicas, cfg.vnodes);
+        let health = (0..cfg.replicas)
+            .map(|_| Mutex::new(HealthState::new(cfg.health.clone())))
+            .collect();
+        let rng = Mutex::new(JitterRng::new(cfg.seed));
+        RouterServer {
+            cfg,
+            replicas,
+            plans,
+            ring,
+            health,
+            rng,
+            started: Instant::now(),
+            stats: AtomicStats {
+                calls: AtomicU64::new(0),
+                ok: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                deadline_exceeded: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                unavailable: AtomicU64::new(0),
+            },
+        }
+    }
+
+    /// Replaces replica `r`'s fault plan (all of its workers see the new
+    /// plan on their next batch).
+    pub fn set_fault_plan(&self, replica: usize, plan: ReplicaFaultPlan) {
+        *self.plans[replica].lock().expect("fault plan") = plan;
+    }
+
+    /// Replicas behind this router.
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> RouterServerStats {
+        RouterServerStats {
+            calls: self.stats.calls.load(Ordering::Relaxed),
+            ok: self.stats.ok.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+            deadline_exceeded: self.stats.deadline_exceeded.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            unavailable: self.stats.unavailable.load(Ordering::Relaxed),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    fn record_outcome(&self, replica: usize, ok: bool) {
+        let now = self.now_ns();
+        let mut h = self.health[replica].lock().expect("health state");
+        if ok {
+            h.record_success(now);
+        } else {
+            h.record_failure(now);
+        }
+    }
+
+    /// Picks the first admissible replica in preference order for `key`,
+    /// preferring replicas not in `tried`.
+    fn pick(&self, key: u64, tried: &[usize]) -> Option<usize> {
+        let now = self.now_ns();
+        let fresh = self.ring.route_healthy(key, |r| {
+            !tried.contains(&r) && self.health[r].lock().expect("health state").allow(now)
+        });
+        fresh.or_else(|| {
+            if tried.is_empty() {
+                None
+            } else {
+                self.ring.route_healthy(key, |r| {
+                    self.health[r].lock().expect("health state").allow(now)
+                })
+            }
+        })
+    }
+
+    /// Grounds one request: routes by scene affinity, enforces the
+    /// configured deadline, and retries retryable failures on fallback
+    /// replicas with jittered back-off. Exactly one terminal result.
+    pub fn call(&self, scene: &Scene, query: &str) -> ServeResult {
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        counter!("router.requests").incr();
+        let key = scene_hash(scene);
+        let start = Instant::now();
+        let deadline =
+            (self.cfg.deadline_ns > 0).then(|| start + Duration::from_nanos(self.cfg.deadline_ns));
+        let mut attempts = 0usize;
+        let mut tried: Vec<usize> = Vec::new();
+        loop {
+            let Some(replica) = self.pick(key, &tried) else {
+                self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
+                counter!("router.unavailable").incr();
+                return Err(ServeError::Unavailable {
+                    replicas: self.replicas.len(),
+                });
+            };
+            attempts += 1;
+            if !tried.contains(&replica) {
+                tried.push(replica);
+            }
+            counter!("router.dispatches").incr();
+            let outcome = match self.replicas[replica].submit(scene, query) {
+                Err(e) => Err(e),
+                Ok(resp) => match deadline {
+                    None => resp.wait(),
+                    Some(d) => {
+                        let remaining = d.saturating_duration_since(Instant::now());
+                        match resp.wait_for(remaining) {
+                            Some(result) => result,
+                            None => {
+                                // The replica holds the request past its
+                                // deadline: answer the caller ourselves and
+                                // mark the replica.
+                                self.record_outcome(replica, false);
+                                self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                                counter!("router.deadline_exceeded").incr();
+                                let waited = start.elapsed().as_nanos() as u64;
+                                return Err(ServeError::DeadlineExceeded {
+                                    waited_ns: waited,
+                                    deadline_ns: self.cfg.deadline_ns,
+                                });
+                            }
+                        }
+                    }
+                },
+            };
+            match outcome {
+                Ok(pred) => {
+                    self.record_outcome(replica, true);
+                    self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                    counter!("router.delivered").incr();
+                    return Ok(pred);
+                }
+                Err(e) => {
+                    self.record_outcome(replica, false);
+                    let may_retry = e.is_retryable() && self.cfg.retry.may_retry(attempts);
+                    let backoff = Duration::from_nanos(
+                        self.cfg
+                            .retry
+                            .backoff_ns(attempts + 1, &mut self.rng.lock().expect("jitter rng")),
+                    );
+                    let in_budget = match deadline {
+                        None => true,
+                        Some(d) => Instant::now() + backoff < d,
+                    };
+                    if may_retry && in_budget {
+                        self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                        counter!("router.retries").incr();
+                        std::thread::sleep(backoff);
+                        continue;
+                    }
+                    self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    counter!("router.failed").incr();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Shuts every replica down (pending requests are still answered).
+    pub fn shutdown(&mut self) {
+        for r in &mut self.replicas {
+            r.shutdown();
+        }
+    }
+}

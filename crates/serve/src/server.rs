@@ -144,6 +144,15 @@ pub struct ServeConfig {
     pub image_height: usize,
     /// Worker threads in the [`Server`] pool (ignored by [`ServerCore`]).
     pub workers: usize,
+    /// Per-request deadline, measured from admission: once it passes, the
+    /// request is answered [`ServeError::DeadlineExceeded`] at batch
+    /// formation instead of occupying a batch slot. 0 disables deadlines.
+    pub default_deadline_ns: u64,
+    /// Recycle (rebuild via the model factory) a [`Server`] worker's model
+    /// after this many *consecutive* failed batches, so one poisoned model
+    /// cannot fail every batch it takes. 0 disables recycling; ignored by
+    /// [`ServerCore`].
+    pub recycle_after: usize,
 }
 
 impl Default for ServeConfig {
@@ -159,6 +168,8 @@ impl Default for ServeConfig {
             image_width: model.image_width,
             image_height: model.image_height,
             workers: 2,
+            default_deadline_ns: 0,
+            recycle_after: 3,
         }
     }
 }
@@ -184,6 +195,7 @@ struct Job {
     key: RequestKey,
     tx: Sender<ServeResult>,
     enqueued_ns: u64,
+    deadline_ns: u64,
 }
 
 /// A handle to one request's eventual result.
@@ -191,12 +203,39 @@ pub struct Response {
     rx: Receiver<ServeResult>,
 }
 
+impl std::fmt::Debug for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Response { .. }")
+    }
+}
+
 impl Response {
+    /// Wraps a raw receiver (the router answers some requests itself —
+    /// degraded cache hits, deadline expiries — through the same handle).
+    pub(crate) fn from_rx(rx: Receiver<ServeResult>) -> Self {
+        Response { rx }
+    }
+
     /// Blocks until the result arrives.
     pub fn wait(self) -> ServeResult {
         self.rx.recv().unwrap_or(Err(ServeError::WorkerFailed {
             detail: "response channel closed".to_owned(),
         }))
+    }
+
+    /// Blocks until the result arrives or `timeout` passes; `None` on
+    /// timeout (the request stays in flight — the server will still answer
+    /// into the abandoned channel).
+    pub fn wait_for(&self, timeout: Duration) -> Option<ServeResult> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(res) => Some(res),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Some(Err(ServeError::WorkerFailed {
+                    detail: "response channel closed".to_owned(),
+                }))
+            }
+        }
     }
 
     /// The result if it is already available (cache hits are immediate).
@@ -228,7 +267,9 @@ impl ServeState {
 }
 
 /// Validates and enqueues one request at time `now_ns`. On a cache hit the
-/// response is already resolved and nothing is enqueued. Returns the
+/// response is already resolved and nothing is enqueued. `deadline_ns` is
+/// the request's absolute expiry (`u64::MAX` = derive from the config's
+/// `default_deadline_ns`, or no deadline if that is 0). Returns the
 /// response handle and whether the push filled the batch.
 fn admit(
     cfg: &ServeConfig,
@@ -237,6 +278,7 @@ fn admit(
     now_ns: u64,
     scene: &Scene,
     query: &str,
+    deadline_ns: u64,
 ) -> Result<(Response, bool), ServeError> {
     counter!("serve.requests").incr();
     if state.shutdown {
@@ -266,18 +308,45 @@ fn admit(
         });
     }
     state.inflight += 1;
+    let deadline_ns = if deadline_ns != u64::MAX {
+        deadline_ns
+    } else if cfg.default_deadline_ns > 0 {
+        now_ns.saturating_add(cfg.default_deadline_ns)
+    } else {
+        u64::MAX
+    };
     let image = scene.render().into_vec();
-    let full = state.batcher.push(
+    let full = state.batcher.push_with_deadline(
         Job {
             image,
             ids,
             key,
             tx,
             enqueued_ns: now_ns,
+            deadline_ns,
         },
         now_ns,
+        deadline_ns,
     );
     Ok((Response { rx }, full))
+}
+
+/// Answers every queued job whose deadline has passed with
+/// [`ServeError::DeadlineExceeded`], freeing its queue slot. Returns how
+/// many expired.
+fn expire_jobs(state: &mut ServeState, now_ns: u64) -> usize {
+    let expired = state.batcher.take_expired(now_ns);
+    let n = expired.len();
+    for job in expired {
+        counter!("serve.deadline_exceeded").incr();
+        counter!("serve.responses").incr();
+        state.inflight -= 1;
+        let _ = job.tx.send(Err(ServeError::DeadlineExceeded {
+            waited_ns: now_ns.saturating_sub(job.enqueued_ns),
+            deadline_ns: job.deadline_ns,
+        }));
+    }
+    n
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -297,6 +366,7 @@ struct BatchOutcome {
     responses: Vec<(Sender<ServeResult>, ServeResult)>,
     inserts: Vec<(RequestKey, GroundingPrediction)>,
     size: usize,
+    failed: bool,
 }
 
 impl BatchOutcome {
@@ -346,6 +416,7 @@ fn run_batch<M: GroundingModel + ?Sized>(
                 responses,
                 inserts,
                 size,
+                failed: false,
             };
         }
         Ok(preds) => format!(
@@ -369,6 +440,7 @@ fn run_batch<M: GroundingModel + ?Sized>(
         responses,
         inserts: Vec::new(),
         size,
+        failed: true,
     }
 }
 
@@ -422,40 +494,91 @@ impl<M: GroundingModel> ServerCore<M> {
     /// Admits one request at the current clock reading. The waker fires
     /// when the push filled a batch or armed a fresh deadline.
     pub fn submit(&mut self, scene: &Scene, query: &str) -> Result<Response, ServeError> {
+        self.submit_with_deadline(scene, query, u64::MAX)
+    }
+
+    /// Admits one request that expires at the absolute time `deadline_ns`
+    /// (on this core's clock); `u64::MAX` falls back to the config's
+    /// `default_deadline_ns`. The router uses this to propagate one
+    /// end-to-end deadline through retries on different replicas.
+    pub fn submit_with_deadline(
+        &mut self,
+        scene: &Scene,
+        query: &str,
+        deadline_ns: u64,
+    ) -> Result<Response, ServeError> {
         let now = self.clock.now_ns();
-        let (resp, full) = admit(&self.cfg, &self.vocab, &mut self.state, now, scene, query)?;
+        let (resp, full) = admit(
+            &self.cfg,
+            &self.vocab,
+            &mut self.state,
+            now,
+            scene,
+            query,
+            deadline_ns,
+        )?;
         if full || self.state.batcher.len() == 1 {
             self.waker.wake();
         }
         Ok(resp)
     }
 
+    /// Answers every queued request whose deadline has passed
+    /// ([`ServeError::DeadlineExceeded`]) without letting it occupy a batch
+    /// slot. Returns how many expired. [`ServerCore::tick`] calls this
+    /// automatically; it is public for drivers that interleave their own
+    /// scheduling (the router).
+    pub fn expire(&mut self) -> usize {
+        let now = self.clock.now_ns();
+        expire_jobs(&mut self.state, now)
+    }
+
     /// Flushes and executes every batch due at the current clock reading.
     /// Returns how many batches ran.
     pub fn tick(&mut self) -> usize {
         let mut ran = 0;
-        loop {
-            let now = self.clock.now_ns();
-            match self.state.batcher.poll(now) {
-                Some(batch) => {
-                    self.finish(batch);
-                    ran += 1;
-                }
-                None => return ran,
+        while self.tick_one() > 0 {
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Expires overdue requests, then flushes and executes **at most one**
+    /// due batch. Returns how many batches ran (0 or 1). The router uses
+    /// this to charge per-batch service time between batches.
+    pub fn tick_one(&mut self) -> usize {
+        let now = self.clock.now_ns();
+        expire_jobs(&mut self.state, now);
+        match self.state.batcher.poll(now) {
+            Some(batch) => {
+                self.finish(batch);
+                1
             }
+            None => 0,
         }
     }
 
     /// Forces out all pending requests regardless of deadlines (drain /
-    /// shutdown). Returns how many batches ran.
+    /// shutdown); already-expired requests are still answered
+    /// `DeadlineExceeded` rather than fed to the model. Returns how many
+    /// batches ran.
     pub fn drain(&mut self) -> usize {
         let mut ran = 0;
         let now = self.clock.now_ns();
+        expire_jobs(&mut self.state, now);
         while let Some(batch) = self.state.batcher.flush_all(now) {
             self.finish(batch);
             ran += 1;
         }
         ran
+    }
+
+    /// Looks up the response cache without admitting anything (the router's
+    /// cache-only degraded mode when every replica is unhealthy). A hit
+    /// bumps recency, exactly like an admitted hit.
+    pub fn cache_lookup(&mut self, scene: &Scene, query: &str) -> Option<GroundingPrediction> {
+        let key = RequestKey::new(scene, query);
+        self.state.cache.get(&key).cloned()
     }
 
     fn finish(&mut self, batch: Batch<Job>) {
@@ -491,6 +614,21 @@ impl<M: GroundingModel> ServerCore<M> {
     /// The content hash the cache uses for `scene` (exposed for tests).
     pub fn scene_key(scene: &Scene) -> u64 {
         scene_hash(scene)
+    }
+
+    /// This core's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// This core's vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Entries currently held by the response cache.
+    pub fn cache_len(&self) -> usize {
+        self.state.cache.len()
     }
 }
 
@@ -552,10 +690,7 @@ impl Server {
                 let factory = Arc::clone(&factory);
                 thread::Builder::new()
                     .name(format!("yollo-serve-{i}"))
-                    .spawn(move || {
-                        let model = factory();
-                        worker_loop(&shared, &model);
-                    })
+                    .spawn(move || worker_loop(&shared, factory.as_ref()))
                     .expect("spawn serve worker")
             })
             .collect();
@@ -573,6 +708,7 @@ impl Server {
             now,
             scene,
             query,
+            u64::MAX,
         )?;
         drop(st);
         self.shared.cond.notify_one();
@@ -618,13 +754,20 @@ impl Drop for Server {
     }
 }
 
-fn worker_loop<M: GroundingModel>(shared: &Shared, model: &M) {
+fn worker_loop<M, F>(shared: &Shared, factory: &F)
+where
+    M: GroundingModel,
+    F: Fn() -> M,
+{
     // Cap timed waits so progress does not depend on the clock being the
     // wall clock (a virtual clock advances between waits, not during them).
     const MAX_WAIT: Duration = Duration::from_millis(1);
+    let mut model = factory();
+    let mut consecutive_failures = 0usize;
     let mut st = shared.state.lock().expect("serve state poisoned");
     loop {
         let now = shared.clock.now_ns();
+        expire_jobs(&mut st, now);
         let due = st.batcher.poll(now).or_else(|| {
             if st.shutdown {
                 st.batcher.flush_all(now)
@@ -639,7 +782,22 @@ fn worker_loop<M: GroundingModel>(shared: &Shared, model: &M) {
                 reason: batch.reason,
             });
             drop(st);
-            let mut outcome = run_batch(model, &shared.cfg, shared.clock.as_ref(), batch);
+            let mut outcome = run_batch(&model, &shared.cfg, shared.clock.as_ref(), batch);
+            if outcome.failed {
+                consecutive_failures += 1;
+                histogram!("serve.worker.consecutive_failures").record(consecutive_failures as u64);
+                // A model that poisons every batch it takes is replaced
+                // rather than left to fail forever: rebuild it from the
+                // factory once the streak reaches the configured limit.
+                if shared.cfg.recycle_after > 0 && consecutive_failures >= shared.cfg.recycle_after
+                {
+                    counter!("serve.worker_recycles").incr();
+                    model = factory();
+                    consecutive_failures = 0;
+                }
+            } else if outcome.size > 0 {
+                consecutive_failures = 0;
+            }
             // More work may have queued while the model ran.
             shared.cond.notify_one();
             st = shared.state.lock().expect("serve state poisoned");

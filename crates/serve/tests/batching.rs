@@ -262,3 +262,77 @@ fn stub_model_counts_calls() {
     core.tick();
     assert_eq!(calls.load(Ordering::SeqCst), 1);
 }
+
+#[test]
+fn expired_requests_are_answered_deadline_exceeded_without_touching_the_model() {
+    let model = StubModel::new();
+    let calls = Arc::clone(&model.calls);
+    let clock = Arc::new(VirtualClock::new());
+    let mut core = ServerCore::with_clock(
+        model,
+        vocab(),
+        ServeConfig {
+            default_deadline_ns: 500, // expires before the 1000 ns flush
+            ..test_config()
+        },
+        Arc::clone(&clock) as Arc<dyn yollo_serve::Clock>,
+        Arc::new(yollo_serve::NoopWaker),
+    );
+    let resp = core.submit(&scene(), "the red circle").unwrap();
+    assert_eq!(core.inflight(), 1);
+    assert_eq!(
+        core.next_deadline_ns(),
+        Some(500),
+        "the per-request expiry outruns the flush deadline"
+    );
+
+    clock.set(499);
+    assert_eq!(core.tick(), 0);
+    assert!(resp.try_now().is_none());
+
+    clock.set(500);
+    core.tick();
+    match resp.try_now() {
+        Some(Err(ServeError::DeadlineExceeded {
+            waited_ns,
+            deadline_ns,
+        })) => {
+            assert_eq!(waited_ns, 500);
+            assert_eq!(deadline_ns, 500);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(calls.load(Ordering::SeqCst), 0, "model never ran");
+    assert_eq!(core.inflight(), 0, "the queue slot is freed");
+    assert!(core.boundaries().is_empty(), "no batch was formed");
+}
+
+#[test]
+fn expired_requests_never_occupy_batch_slots_next_to_live_ones() {
+    // Three requests; the middle one carries a short explicit deadline.
+    let (mut core, clock) = core_on_virtual_clock(ServeConfig {
+        max_batch: 8,
+        ..test_config()
+    });
+    let live_a = core.submit(&scene(), "the red circle").unwrap();
+    let doomed = core
+        .submit_with_deadline(&other_scene(), "the blue square", 400)
+        .unwrap();
+    let live_b = core.submit(&scene(), "the green triangle").unwrap();
+
+    clock.set(1_000); // flush deadline: the doomed one expired at 400
+    assert_eq!(core.tick(), 1);
+    let boundaries = core.boundaries();
+    assert_eq!(boundaries.len(), 1);
+    assert_eq!(
+        boundaries[0].size, 2,
+        "the expired request must not occupy a batch slot"
+    );
+    assert!(live_a.wait().is_ok());
+    assert!(live_b.wait().is_ok());
+    assert!(matches!(
+        doomed.wait(),
+        Err(ServeError::DeadlineExceeded { .. })
+    ));
+    assert_eq!(core.inflight(), 0);
+}

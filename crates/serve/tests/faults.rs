@@ -115,3 +115,88 @@ fn shutdown_answers_pending_requests() {
         Some(ServeError::ShuttingDown)
     );
 }
+
+/// A model that panics on every batch — the shape of a poisoned worker
+/// (corrupt weights, bad device state) that will never recover on its own.
+struct AlwaysPanics;
+
+impl GroundingModel for AlwaysPanics {
+    fn predict_batch(
+        &self,
+        _images: yollo_tensor::Tensor,
+        _queries: &[Vec<usize>],
+    ) -> Vec<yollo_core::GroundingPrediction> {
+        panic!("poisoned model instance");
+    }
+}
+
+/// Factory instance 0 is poisoned; every rebuild yields a healthy model.
+/// Only worker recycling can restore service.
+enum RecyclableModel {
+    Poisoned(AlwaysPanics),
+    Healthy(StubModel),
+}
+
+impl GroundingModel for RecyclableModel {
+    fn predict_batch(
+        &self,
+        images: yollo_tensor::Tensor,
+        queries: &[Vec<usize>],
+    ) -> Vec<yollo_core::GroundingPrediction> {
+        match self {
+            RecyclableModel::Poisoned(m) => m.predict_batch(images, queries),
+            RecyclableModel::Healthy(m) => m.predict_batch(images, queries),
+        }
+    }
+}
+
+#[test]
+fn a_worker_with_a_poisoned_model_recycles_it_and_recovers() {
+    let builds = Arc::new(AtomicUsize::new(0));
+    let cfg = ServeConfig {
+        max_batch: 1, // one request per batch: failures stay visible
+        max_wait_ns: 200_000,
+        queue_capacity: 16,
+        cache_capacity: 0,
+        max_tokens: 6,
+        workers: 1,
+        recycle_after: 2, // two consecutive failed batches => rebuild
+        ..ServeConfig::default()
+    };
+    let builds_f = Arc::clone(&builds);
+    let mut server = Server::start(cfg, vocab(), move || {
+        let n = builds_f.fetch_add(1, Ordering::SeqCst);
+        if n == 0 {
+            RecyclableModel::Poisoned(AlwaysPanics)
+        } else {
+            RecyclableModel::Healthy(StubModel::new())
+        }
+    });
+
+    let s = scene();
+    let queries = ["the red circle", "the blue square", "the green triangle"];
+    let results: Vec<_> = (0..6)
+        .map(|i| {
+            // Submit one at a time so batches (and failures) are ordered.
+            let r = server.submit(&s, queries[i % queries.len()]).unwrap();
+            r.wait()
+        })
+        .collect();
+
+    let failed = results.iter().filter(|r| r.is_err()).count();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(
+        failed, 2,
+        "exactly the two batches before the recycle threshold fail: {results:?}"
+    );
+    assert_eq!(ok, 4, "after the rebuild every request succeeds");
+    assert!(
+        results[2..].iter().all(|r| r.is_ok()),
+        "recovery is permanent once the model is recycled"
+    );
+    assert!(
+        builds.load(Ordering::SeqCst) >= 2,
+        "the factory must have been called again to rebuild the model"
+    );
+    server.shutdown();
+}

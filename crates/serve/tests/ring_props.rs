@@ -1,0 +1,180 @@
+//! Property tests for the consistent-hash ring invariants:
+//!
+//! * **balance** — with enough vnodes, no replica owns a pathological
+//!   share of the key space;
+//! * **minimal disruption** — removing one replica remaps *exactly* the
+//!   keys it owned (about 1/N of the space) and every remapped key lands
+//!   on its next preference; every other key's route is untouched;
+//! * **preference order** — the failover list starts at the owner and
+//!   visits every replica exactly once.
+//!
+//! Each property is expressed once and driven twice: by proptest, and by a
+//! plain seeded-RNG loop so the invariants are exercised even where the
+//! proptest harness is unavailable.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use yollo_serve::HashRing;
+
+// ---------------------------------------------------------------- properties
+
+/// Keys spread over the u64 space (the ring hashes them again, so even
+/// sequential keys are fine — but mix in large strides anyway).
+fn sample_keys(n: usize) -> impl Iterator<Item = u64> {
+    (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i << 7))
+}
+
+fn check_balance(replicas: usize, vnodes: usize, keys: usize) {
+    let ring = HashRing::new(replicas, vnodes);
+    let mut owned = vec![0usize; replicas];
+    for key in sample_keys(keys) {
+        owned[ring.route(key)] += 1;
+    }
+    let fair = keys as f64 / replicas as f64;
+    for (r, &n) in owned.iter().enumerate() {
+        assert!(
+            (n as f64) < 4.0 * fair,
+            "replica {r} owns {n} of {keys} keys (fair share {fair:.0}): \
+             ring too unbalanced at {vnodes} vnodes"
+        );
+        assert!(
+            (n as f64) > fair / 8.0,
+            "replica {r} owns only {n} of {keys} keys (fair share {fair:.0})"
+        );
+    }
+}
+
+fn check_minimal_disruption(replicas: usize, vnodes: usize, removed: usize, keys: usize) {
+    let ids: Vec<usize> = (0..replicas).collect();
+    let survivors: Vec<usize> = ids.iter().copied().filter(|&r| r != removed).collect();
+    let before = HashRing::with_ids(&ids, vnodes);
+    let after = HashRing::with_ids(&survivors, vnodes);
+
+    let mut remapped = 0usize;
+    let mut owned_by_removed = 0usize;
+    for key in sample_keys(keys) {
+        let old = before.route(key);
+        let new = after.route(key);
+        if old == removed {
+            owned_by_removed += 1;
+            remapped += 1;
+            // The key fails over to its next preference, not anywhere.
+            let fallback = before
+                .preference(key)
+                .into_iter()
+                .find(|&r| r != removed)
+                .expect("more than one replica");
+            assert_eq!(
+                new, fallback,
+                "key {key} remapped to {new}, not its failover preference {fallback}"
+            );
+        } else {
+            assert_eq!(
+                old, new,
+                "key {key} moved from {old} to {new} although {removed} \
+                 (not {old}) was removed — disruption is not minimal"
+            );
+        }
+    }
+    assert_eq!(
+        remapped, owned_by_removed,
+        "exactly the removed replica's keys remap"
+    );
+    assert!(
+        owned_by_removed > 0,
+        "sample too small: removed replica owned nothing"
+    );
+}
+
+fn check_preference(replicas: usize, vnodes: usize, key: u64) {
+    let ring = HashRing::new(replicas, vnodes);
+    let pref = ring.preference(key);
+    assert_eq!(pref[0], ring.route(key), "preference starts at the owner");
+    let mut sorted = pref.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        sorted,
+        (0..replicas).collect::<Vec<_>>(),
+        "preference visits every replica exactly once"
+    );
+    assert_eq!(
+        ring.route_healthy(key, |_| true),
+        Some(pref[0]),
+        "with everyone healthy, route_healthy is the owner"
+    );
+    assert_eq!(ring.route_healthy(key, |_| false), None);
+}
+
+// ----------------------------------------------------------------- proptest
+
+proptest! {
+    #[test]
+    fn rings_stay_balanced(replicas in 2usize..8, vnodes in 32usize..128) {
+        check_balance(replicas, vnodes, 2048);
+    }
+
+    #[test]
+    fn removing_a_replica_remaps_only_its_own_keys(
+        replicas in 2usize..8,
+        vnodes in 16usize..96,
+        removed_bits in any::<u64>(),
+    ) {
+        let removed = (removed_bits % replicas as u64) as usize;
+        check_minimal_disruption(replicas, vnodes, removed, 1024);
+    }
+
+    #[test]
+    fn preference_order_is_a_permutation_from_the_owner(
+        replicas in 1usize..8,
+        vnodes in 8usize..64,
+        key in any::<u64>(),
+    ) {
+        check_preference(replicas, vnodes, key);
+    }
+}
+
+// --------------------------------------------------------- seeded fallbacks
+
+#[test]
+fn balance_holds_over_seeded_configurations() {
+    let mut rng = StdRng::seed_from_u64(0x41B5);
+    for _ in 0..32 {
+        let replicas = rng.gen_range(2..8);
+        let vnodes = rng.gen_range(32..128);
+        check_balance(replicas, vnodes, 2048);
+    }
+}
+
+#[test]
+fn minimal_disruption_holds_over_seeded_configurations() {
+    let mut rng = StdRng::seed_from_u64(0xD15C);
+    for _ in 0..48 {
+        let replicas = rng.gen_range(2..8);
+        let vnodes = rng.gen_range(16..96);
+        let removed = rng.gen_range(0..replicas);
+        check_minimal_disruption(replicas, vnodes, removed, 1024);
+    }
+}
+
+#[test]
+fn preference_holds_over_seeded_keys() {
+    let mut rng = StdRng::seed_from_u64(0x9EF5);
+    for _ in 0..200 {
+        let replicas = rng.gen_range(1..8);
+        let vnodes = rng.gen_range(8..64);
+        check_preference(replicas, vnodes, rng.gen());
+    }
+}
+
+#[test]
+fn identical_seeds_produce_identical_routing_tables() {
+    for &(replicas, vnodes) in &[(2, 16), (4, 64), (7, 33)] {
+        let a = HashRing::new(replicas, vnodes);
+        let b = HashRing::new(replicas, vnodes);
+        for key in sample_keys(512) {
+            assert_eq!(a.route(key), b.route(key));
+            assert_eq!(a.preference(key), b.preference(key));
+        }
+    }
+}

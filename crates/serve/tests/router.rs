@@ -1,0 +1,449 @@
+//! Deterministic chaos tests for the multi-replica router.
+//!
+//! Every schedule here runs on a virtual clock with faults injected
+//! through [`ReplicaFaultPlan`] — crash-at-request-k, hang windows, slow
+//! factors and flapping health — so the runs are sleep-free and replay
+//! bit-identically. The invariants pinned down:
+//!
+//! * every accepted request gets **exactly one** terminal response under
+//!   every chaos schedule (answer, shed, or deadline-exceeded — none
+//!   stranded, none doubled);
+//! * with ≥ 2 replicas, one crash-looping replica keeps availability at
+//!   ≥ 99% of offered non-shed load;
+//! * the scheduling event log is a bit-identical fingerprint across 100
+//!   repeated runs.
+
+mod common;
+
+use common::{other_scene, scene, vocab, StubModel};
+use yollo_core::{scene_hash, ReplicaFaultPlan};
+use yollo_serve::{
+    CircuitState, HashRing, HealthConfig, Priority, Response, RetryPolicy, Router, RouterArrival,
+    RouterConfig, RouterEventKind, RouterSim, ServeConfig, ServeError, ServiceModel, VirtualClock,
+};
+
+use std::sync::Arc;
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        max_batch: 4,
+        max_wait_ns: 2_000_000, // 2 ms
+        queue_capacity: 64,
+        cache_capacity: 32,
+        max_tokens: 6,
+        ..ServeConfig::default()
+    }
+}
+
+fn router_cfg(replicas: usize) -> RouterConfig {
+    RouterConfig {
+        replicas,
+        vnodes: 32,
+        deadline_ns: 50_000_000, // 50 ms
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ns: 100_000,
+            max_backoff_ns: 1_000_000,
+        },
+        hedge_delay_ns: 0,
+        health: HealthConfig {
+            failure_threshold: 3,
+            error_window: 16,
+            error_rate_threshold: 0.5,
+            open_duration_ns: 5_000_000,
+            half_open_successes: 2,
+            probe_interval_ns: 1_000_000,
+        },
+        class_capacity: [32, 64, 32],
+        seed: 0xC4A05,
+        service: ServiceModel::default(),
+    }
+}
+
+/// A mixed arrival script over both scenes and several queries.
+fn mixed_arrivals(n: usize, gap_ns: u64) -> Vec<RouterArrival> {
+    let queries = ["the red circle", "the blue square", "the green triangle"];
+    (0..n)
+        .map(|i| {
+            let class = match i % 3 {
+                0 => Priority::Interactive,
+                1 => Priority::Standard,
+                _ => Priority::Bulk,
+            };
+            RouterArrival::new(i as u64 * gap_ns, i % 2, queries[i % queries.len()], class)
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_schedules_answer_every_accepted_request_exactly_once() {
+    // One replica crash-looping from its 3rd request, one hung for a
+    // stretch in the middle, one slowed 4x — all at once.
+    let scenes = [scene(), other_scene()];
+    let mut sim = RouterSim::new(
+        RouterConfig {
+            service: ServiceModel {
+                base_ns: 500_000,
+                per_item_ns: 100_000,
+            },
+            ..router_cfg(3)
+        },
+        serve_cfg(),
+        vocab(),
+        |_| StubModel::new(),
+    );
+    sim.router_mut()
+        .set_fault_plan(0, ReplicaFaultPlan::new().crash_from(3));
+    sim.router_mut().set_fault_plan(
+        1,
+        ReplicaFaultPlan::new().hang_between(20_000_000, 60_000_000),
+    );
+    sim.router_mut()
+        .set_fault_plan(2, ReplicaFaultPlan::new().slow_by(4.0));
+
+    let report = sim.run(&scenes, &mixed_arrivals(48, 1_500_000));
+
+    let stats = report.stats;
+    assert_eq!(
+        report.outcomes.len() as u64,
+        stats.accepted,
+        "one terminal outcome per accepted request"
+    );
+    assert_eq!(
+        stats.delivered_ok + stats.delivered_err + stats.deadline_exceeded,
+        stats.accepted,
+        "terminal outcomes partition the accepted set"
+    );
+    for outcome in &report.outcomes {
+        match outcome {
+            Ok(_)
+            | Err(ServeError::WorkerFailed { .. })
+            | Err(ServeError::DeadlineExceeded { .. })
+            | Err(ServeError::Overloaded { .. })
+            | Err(ServeError::Unavailable { .. }) => {}
+            Err(other) => panic!("non-terminal-looking outcome: {other}"),
+        }
+    }
+    assert!(
+        stats.delivered_ok > 0,
+        "healthy replicas must still answer under chaos"
+    );
+    assert!(
+        stats.retries > 0,
+        "the crash-looping replica must have forced retries"
+    );
+}
+
+#[test]
+fn one_crash_looping_replica_keeps_availability_above_99_percent() {
+    let scenes = [scene(), other_scene()];
+    let mut sim = RouterSim::new(router_cfg(2), serve_cfg(), vocab(), |_| StubModel::new());
+    // Replica 0 panics on every request it ever processes.
+    sim.router_mut()
+        .set_fault_plan(0, ReplicaFaultPlan::new().crash_from(1));
+
+    let report = sim.run(&scenes, &mixed_arrivals(100, 1_000_000));
+
+    let stats = report.stats;
+    let offered = stats.accepted + stats.degraded_hits;
+    assert!(offered >= 90, "the script must mostly be admitted");
+    assert!(
+        stats.availability() >= 0.99,
+        "availability {:.4} < 0.99 with one crash-looping replica \
+         (ok={}, offered={offered})",
+        stats.availability(),
+        stats.delivered_ok,
+    );
+    // The breaker must actually take replica 0 out of rotation.
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, RouterEventKind::CircuitOpened { replica: 0 })),
+        "crash-looping replica never tripped its circuit"
+    );
+}
+
+#[test]
+fn scheduling_fingerprint_is_bit_identical_over_100_runs() {
+    let run_once = || {
+        let scenes = [scene(), other_scene()];
+        let mut sim = RouterSim::new(
+            RouterConfig {
+                hedge_delay_ns: 3_000_000,
+                service: ServiceModel {
+                    base_ns: 400_000,
+                    per_item_ns: 50_000,
+                },
+                ..router_cfg(3)
+            },
+            serve_cfg(),
+            vocab(),
+            |_| StubModel::new(),
+        );
+        sim.router_mut().set_fault_plan(
+            0,
+            ReplicaFaultPlan::new()
+                .crash_at_request(2)
+                .crash_at_request(5),
+        );
+        sim.router_mut()
+            .set_fault_plan(1, ReplicaFaultPlan::new().flap(4_000_000));
+        sim.router_mut()
+            .set_fault_plan(2, ReplicaFaultPlan::new().slow_by(2.0));
+        sim.run(&scenes, &mixed_arrivals(32, 900_000)).events
+    };
+    let fingerprint = run_once();
+    assert!(!fingerprint.is_empty());
+    for run in 1..100 {
+        assert_eq!(
+            run_once(),
+            fingerprint,
+            "run {run} diverged from the fingerprint"
+        );
+    }
+}
+
+#[test]
+fn hung_replicas_never_strand_requests_past_their_deadline() {
+    let scenes = [scene()];
+    let mut sim = RouterSim::new(
+        RouterConfig {
+            deadline_ns: 10_000_000, // 10 ms
+            ..router_cfg(2)
+        },
+        serve_cfg(),
+        vocab(),
+        |_| StubModel::new(),
+    );
+    // Both replicas hang from before the first arrival until far past
+    // every deadline: nothing can ever be answered by a model.
+    for r in 0..2 {
+        sim.router_mut()
+            .set_fault_plan(r, ReplicaFaultPlan::new().hang_between(0, 1_000_000_000));
+    }
+    let arrivals: Vec<_> = (0..6)
+        .map(|i| RouterArrival::new(i * 500_000, 0, "the red circle", Priority::Standard))
+        .collect();
+    let report = sim.run(&scenes, &arrivals);
+
+    // Early arrivals are dispatched (circuits still closed) and expire at
+    // their deadline; once probes open both circuits, later arrivals are
+    // rejected as unavailable. Either way: a terminal response.
+    assert_eq!(
+        report.outcomes.len() + report.rejected.len(),
+        6,
+        "every request resolved"
+    );
+    for outcome in &report.outcomes {
+        assert!(
+            matches!(outcome, Err(ServeError::DeadlineExceeded { .. })),
+            "hung replicas can only produce deadline expiries, got {outcome:?}"
+        );
+    }
+    for rejection in &report.rejected {
+        assert!(
+            matches!(rejection, ServeError::Unavailable { .. }),
+            "post-circuit-open rejections are Unavailable, got {rejection}"
+        );
+    }
+    assert!(report.stats.deadline_exceeded > 0, "deadlines must fire");
+}
+
+#[test]
+fn hedged_interactive_requests_win_against_a_slow_owner() {
+    let scenes = [scene(), other_scene()];
+    let cfg = RouterConfig {
+        hedge_delay_ns: 3_000_000, // hedge after 3 ms unanswered
+        service: ServiceModel {
+            base_ns: 2_000_000, // 2 ms per batch when healthy
+            per_item_ns: 0,
+        },
+        ..router_cfg(2)
+    };
+    // Slow the replica that actually owns scene 0 on the ring, so every
+    // primary lands on a 20 ms replica while the hedge target takes 2 ms.
+    let owner = HashRing::new(cfg.replicas, cfg.vnodes).route(scene_hash(&scenes[0]));
+    let mut sim = RouterSim::new(cfg, serve_cfg(), vocab(), |_| StubModel::new());
+    sim.router_mut()
+        .set_fault_plan(owner, ReplicaFaultPlan::new().slow_by(10.0));
+
+    let arrivals: Vec<_> = (0..8)
+        .map(|i| {
+            RouterArrival::new(
+                i * 6_000_000,
+                0,
+                [
+                    "the red circle",
+                    "the blue square",
+                    "a red square",
+                    "the green triangle",
+                ][i as usize % 4],
+                Priority::Interactive,
+            )
+        })
+        .collect();
+    let report = sim.run(&scenes, &arrivals);
+
+    assert_eq!(report.stats.delivered_ok, report.stats.accepted);
+    assert!(
+        report.stats.hedges > 0,
+        "a 20 ms owner must leave hedges time to fire"
+    );
+    assert!(
+        report.stats.hedge_wins > 0,
+        "a 20 ms owner against a 2 ms hedge must lose the race \
+         (hedges={}, wins={})",
+        report.stats.hedges,
+        report.stats.hedge_wins
+    );
+}
+
+#[test]
+fn degraded_mode_answers_from_cache_when_every_circuit_is_open() {
+    let clock = Arc::new(VirtualClock::new());
+    let mut router = Router::new(
+        RouterConfig {
+            replicas: 1,
+            ..router_cfg(1)
+        },
+        serve_cfg(),
+        vocab(),
+        clock.clone(),
+        |_| StubModel::new(),
+    );
+    let s = scene();
+
+    // Warm the cache through a normal round trip.
+    let resp = router
+        .submit(&s, "the red circle", Priority::Standard)
+        .unwrap();
+    clock.advance(2_000_000); // max_wait: the batch flushes
+    while router.tick() > 0 {}
+    let warm = resp.try_now().expect("answered").expect("prediction");
+    assert_eq!(router.replica_cache_len(0), 1);
+
+    // Hang the replica and let heartbeat probes trip the breaker.
+    router.set_fault_plan(0, ReplicaFaultPlan::new().hang_between(0, u64::MAX / 2));
+    for _ in 0..4 {
+        clock.advance(1_000_000);
+        router.tick();
+    }
+    assert_eq!(router.circuit_state(0), CircuitState::Open);
+
+    // Same request: served from the replica cache without a dispatch.
+    let degraded: Response = router
+        .submit(&s, "the red circle", Priority::Standard)
+        .expect("degraded mode still answers cached requests");
+    let got = degraded.try_now().expect("immediate").expect("prediction");
+    assert_eq!(got.bbox, warm.bbox, "cache returns the original answer");
+    assert_eq!(router.stats().degraded_hits, 1);
+
+    // An uncached request has nowhere to go.
+    match router.submit(&s, "the blue square", Priority::Standard) {
+        Err(ServeError::Unavailable { replicas }) => assert_eq!(replicas, 1),
+        other => panic!("expected Unavailable, got {other:?}"),
+    }
+}
+
+#[test]
+fn flapping_health_opens_and_closes_the_circuit() {
+    let clock = Arc::new(VirtualClock::new());
+    let mut router = Router::new(router_cfg(2), serve_cfg(), vocab(), clock.clone(), |_| {
+        StubModel::new()
+    });
+    // Down for 3 ms, up for 3 ms, forever; probes every 1 ms see three
+    // consecutive failures per down-phase (opens) and successes during the
+    // up-phase (half-open trial closes).
+    router.set_fault_plan(0, ReplicaFaultPlan::new().flap(3_000_000));
+    // Keep one request pending so next_event-style driving is realistic.
+    let s = scene();
+    let _resp = router
+        .submit(&s, "the red circle", Priority::Standard)
+        .unwrap();
+    for _ in 0..30 {
+        clock.advance(1_000_000);
+        while router.tick() > 0 {}
+    }
+    let opened = router
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, RouterEventKind::CircuitOpened { replica: 0 }))
+        .count();
+    let closed = router
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, RouterEventKind::CircuitClosed { replica: 0 }))
+        .count();
+    assert!(
+        opened >= 2,
+        "flapping must open the circuit repeatedly ({opened})"
+    );
+    assert!(
+        closed >= 1,
+        "recovery phases must close it again ({closed})"
+    );
+}
+
+#[test]
+fn class_capacity_sheds_the_overflowing_class_only() {
+    let clock = Arc::new(VirtualClock::new());
+    let mut router = Router::new(
+        RouterConfig {
+            class_capacity: [1, 64, 32],
+            ..router_cfg(2)
+        },
+        serve_cfg(),
+        vocab(),
+        clock.clone(),
+        |_| StubModel::new(),
+    );
+    let s = scene();
+    let first = router.submit(&s, "the red circle", Priority::Interactive);
+    assert!(first.is_ok());
+    // Second interactive request while the first is unanswered: shed.
+    match router.submit(&s, "the blue square", Priority::Interactive) {
+        Err(ServeError::Overloaded { inflight, capacity }) => {
+            assert_eq!((inflight, capacity), (1, 1));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Standard traffic is unaffected.
+    assert!(router
+        .submit(&s, "the blue square", Priority::Standard)
+        .is_ok());
+    assert_eq!(router.stats().shed, 1);
+}
+
+#[test]
+fn threaded_router_server_retries_around_a_crash_looping_replica() {
+    use yollo_serve::RouterServer;
+
+    let cfg = RouterConfig {
+        replicas: 2,
+        deadline_ns: 0, // wall-clock deadlines are flaky under load; rely on retries
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 50_000,
+            max_backoff_ns: 500_000,
+        },
+        ..router_cfg(2)
+    };
+    let router = RouterServer::start(cfg, serve_cfg(), vocab(), |_| StubModel::new());
+    router.set_fault_plan(0, ReplicaFaultPlan::new().crash_from(1));
+
+    let scenes = [scene(), other_scene()];
+    let queries = ["the red circle", "the blue square", "the green triangle"];
+    let mut ok = 0;
+    for i in 0..20 {
+        if router.call(&scenes[i % 2], queries[i % 3]).is_ok() {
+            ok += 1;
+        }
+    }
+    let stats = router.stats();
+    assert_eq!(stats.calls, 20);
+    assert_eq!(
+        ok, 20,
+        "retries plus the healthy replica must answer everything ({stats:?})"
+    );
+}

@@ -96,6 +96,15 @@ echo "== serve: batching, fault and determinism suites =="
 # filtered-out suite fails loudly
 cargo test -q -p yollo-serve
 
+echo "== serve: router chaos gate =="
+# fault-injected multi-replica routing: crash/hang/slow/flap schedules,
+# exactly-one-terminal-response, availability under a crash-looping
+# replica, hedging, degraded cache-only mode, the 100-run scheduling
+# fingerprint, and the consistent-hash ring invariants — run explicitly so
+# a filtered-out suite fails loudly
+cargo test -q -p yollo-serve --test router
+cargo test -q -p yollo-serve --test ring_props
+
 echo "== serve: load-test smoke =="
 YOLLO_SCALE=tiny cargo run --release -q -p yollo-bench --bin exp_serve
 python3 - <<'EOF'
@@ -107,15 +116,36 @@ assert bench["loads"], "at least one offered load"
 for load in bench["loads"]:
     assert load["throughput_rps"] > 0, "batched throughput must be nonzero"
     assert load["requests"] > 0 and load["worker_panics"] == 0
+# Router tier: 1/2/4 replicas, each measured healthy and with replica 0
+# crash-looping. Healthy serving must not drop anything; with >= 2 replicas
+# one crash-looping replica must keep availability at >= 99%.
+router = bench["router"]
+cells = {(r["replicas"], r["condition"]) for r in router}
+want = {(n, c) for n in (1, 2, 4) for c in ("healthy", "crash-loop")}
+assert cells == want, f"router grid incomplete: {want - cells}"
+for row in router:
+    assert row["throughput_rps"] > 0, f"router throughput must be nonzero: {row}"
+    assert row["latency_ns"]["p99"] > 0, f"router p99 missing: {row}"
+    if row["condition"] == "healthy":
+        assert row["availability"] >= 0.999, f"healthy router dropped requests: {row}"
+        assert row["worker_panics"] == 0, f"healthy run must not panic: {row}"
+    elif row["replicas"] >= 2:
+        assert row["availability"] >= 0.99, (
+            f"one crash-looping replica out of {row['replicas']} must keep "
+            f"availability >= 0.99: {row}")
 print("BENCH_serve.json ok:",
       ", ".join(f"{l['offered_load']}/cache-{l['cache']}->{l['throughput_rps']:.1f} rps"
                 for l in bench["loads"]))
+print("router ok:",
+      ", ".join(f"x{r['replicas']}/{r['condition']}->{r['availability']:.3f}"
+                for r in sorted(router, key=lambda r: (r['replicas'], r['condition']))))
 EOF
 
 echo "== serve: no stray printing in the serving crate =="
-# the serve crate must never write to stdout; responses travel on channels
-if grep -rn --include='*.rs' 'println!' crates/serve/src; then
-    echo "error: println! in crates/serve/src" >&2
+# the serve crate (batcher, router, health machinery) must never write to
+# stdout or stderr; responses travel on channels, telemetry through obs
+if grep -rnE --include='*.rs' '\b(println!|eprintln!|print!|eprint!)' crates/serve/src | grep -vE ':\s*//'; then
+    echo "error: stray printing in crates/serve/src" >&2
     exit 1
 fi
 
