@@ -1,0 +1,59 @@
+//! Repro: stale hedge timer after a primary failure livelocks the sim.
+mod common;
+
+use common::{scene, vocab, StubModel};
+use yollo_core::{scene_hash, ReplicaFaultPlan};
+use yollo_serve::{
+    HashRing, HealthConfig, Priority, RetryPolicy, RouterArrival, RouterConfig, RouterSim,
+    ServeConfig,
+};
+
+#[test]
+fn hedge_timer_between_failure_and_retry() {
+    let scenes = [scene()];
+    let cfg = RouterConfig {
+        replicas: 2,
+        vnodes: 32,
+        deadline_ns: 50_000_000,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ns: 1_000_000, // retry 0.5-1 ms after failure
+            max_backoff_ns: 1_000_000,
+        },
+        // Hedge timer fires at 2.1 ms: after the 2 ms batch flush where the
+        // primary crashes, but before the earliest retry at 2.5 ms.
+        hedge_delay_ns: 2_100_000,
+        health: HealthConfig {
+            failure_threshold: 3,
+            error_window: 16,
+            error_rate_threshold: 0.5,
+            open_duration_ns: 5_000_000,
+            half_open_successes: 2,
+            probe_interval_ns: 1_000_000,
+        },
+        class_capacity: [32, 64, 32],
+        seed: 1,
+        service: Default::default(),
+    };
+    let serve_cfg = ServeConfig {
+        max_batch: 4,
+        max_wait_ns: 2_000_000, // primary's batch (and crash) at t = 2 ms
+        queue_capacity: 64,
+        cache_capacity: 32,
+        max_tokens: 6,
+        ..ServeConfig::default()
+    };
+    let owner = HashRing::new(cfg.replicas, cfg.vnodes).route(scene_hash(&scenes[0]));
+    let mut sim = RouterSim::new(cfg, serve_cfg, vocab(), |_| StubModel::new());
+    sim.router_mut()
+        .set_fault_plan(owner, ReplicaFaultPlan::new().crash_at_request(1));
+
+    let arrivals = vec![RouterArrival::new(
+        0,
+        0,
+        "the red circle",
+        Priority::Interactive,
+    )];
+    let report = sim.run(&scenes, &arrivals);
+    assert_eq!(report.outcomes.len(), 1);
+}
