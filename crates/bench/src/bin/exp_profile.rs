@@ -8,6 +8,13 @@
 //! step; the binary exits non-zero if any of them is missing (a regression
 //! in the instrumentation). `YOLLO_TRACE_PATH` overrides the trace output
 //! location; `YOLLO_SCALE` selects the usual tiny/standard/full preset.
+//!
+//! `YOLLO_PROFILE_MODE=trace` switches the binary into **trace-validation
+//! mode**: instead of profiling, it pushes a traced request load through
+//! the threaded serving stack and exits non-zero unless every request
+//! trace forms a causally complete span chain (one `serve.request` root
+//! per submission, all parents resolving in-trace). CI uses this as the
+//! tracing smoke gate.
 
 use std::collections::HashSet;
 
@@ -15,6 +22,7 @@ use yollo_bench::{dataset, output_dir, Scale};
 use yollo_core::{TrainConfig, Trainer, Yollo};
 use yollo_eval::time_inference;
 use yollo_obs::Snapshot;
+use yollo_serve::{validate_request_chains, ServeConfig, Server};
 use yollo_synthref::{DatasetKind, Split};
 
 /// Spans that one traced training step must contain (plus one `rel2att.{i}`
@@ -32,9 +40,79 @@ const REQUIRED_SPANS: &[&str] = &[
     "optim.adam.step",
 ];
 
+/// `YOLLO_PROFILE_MODE=trace`: a traced request load through the real
+/// threaded [`Server`], validated for causal completeness. Small hot set,
+/// so both batch-served chains (root + queued + exec) and cache-hit
+/// chains (bare root) appear.
+fn trace_validation(scale: Scale) {
+    let ds = dataset(scale, DatasetKind::SynthRef);
+    let model = Yollo::for_dataset(&ds, 7);
+    let model_cfg = model.config().clone();
+    let vocab = model.vocab().clone();
+    let n = match scale {
+        Scale::Tiny => 24usize,
+        Scale::Standard => 64,
+        Scale::Full => 128,
+    };
+    eprintln!("trace validation: {n} traced requests through the threaded server…");
+    yollo_obs::registry().reset();
+    let _ = yollo_obs::drain_spans();
+    let _ = yollo_obs::take_dropped_spans();
+    let cfg = ServeConfig {
+        queue_capacity: n,
+        cache_capacity: 8,
+        workers: 2,
+        ..ServeConfig::for_model(&model_cfg)
+    };
+    let scenes = ds.scenes().to_vec();
+    let samples = ds.samples(Split::Train).to_vec();
+    let factory_vocab = vocab.clone();
+    let server = Server::start(cfg, vocab, move || {
+        let mut m = Yollo::new(model_cfg.clone(), 7);
+        m.set_vocab(factory_vocab.clone());
+        m
+    });
+    let hot = samples.len().min(8);
+    let pending: Vec<_> = (0..n)
+        .map(|i| {
+            let s = &samples[i % hot];
+            server
+                .submit(&scenes[s.scene_idx], &s.sentence)
+                .expect("queue has room")
+        })
+        .collect();
+    let ok = pending
+        .into_iter()
+        .map(|r| r.wait())
+        .filter(Result::is_ok)
+        .count();
+    drop(server);
+
+    let spans = yollo_obs::drain_spans();
+    let summary =
+        validate_request_chains(&spans).expect("every request trace is causally complete");
+    assert_eq!(
+        summary.direct_requests, n,
+        "one serve.request root per submission"
+    );
+    let trace_path = yollo_obs::trace_path_from_env()
+        .unwrap_or_else(|| output_dir().join("trace_validation.json"));
+    yollo_obs::write_chrome_trace(&trace_path, &spans).expect("can write trace");
+    println!("# Trace validation ({scale:?} scale)\n");
+    println!(
+        "{n} requests ({ok} ok): {} request chains, {} spans — all causally complete",
+        summary.direct_requests, summary.spans
+    );
+    println!("trace: {}", trace_path.display());
+}
+
 fn main() {
     yollo_obs::set_enabled(true);
     let scale = Scale::from_env();
+    if std::env::var("YOLLO_PROFILE_MODE").as_deref() == Ok("trace") {
+        trace_validation(scale);
+        return;
+    }
     let ds = dataset(scale, DatasetKind::SynthRef);
     let mut model = Yollo::for_dataset(&ds, 7);
 

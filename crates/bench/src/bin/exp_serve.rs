@@ -19,16 +19,24 @@
 //! naive client loop would do. Offered load is modelled closed-loop: `L`
 //! outstanding requests are kept in flight; each completion immediately
 //! funds the next submission. `YOLLO_SCALE` selects tiny/standard/full.
+//!
+//! The final `slo` section is a deterministic traced chaos run through
+//! the virtual-clock router: per-request flight records reconcile against
+//! the router's event log, every request trace must form a causally
+//! complete admission→outcome span chain, and the latency breakdown
+//! splits p50/p95/p99 into queue wait vs model service. Set
+//! `YOLLO_TRACE_PATH` to also write that run as a Chrome trace.
 
 use std::collections::VecDeque;
 use std::time::Instant;
 
 use yollo_bench::{dataset, Scale};
 use yollo_core::{ReplicaFaultPlan, Yollo};
-use yollo_obs::Snapshot;
+use yollo_obs::{Snapshot, TraceExemplars};
 use yollo_serve::{
-    GroundingModel, RetryPolicy, RouterConfig, RouterServer, ServeConfig, ServeDtype, Server,
-    YolloBackend,
+    reconcile_flights, validate_request_chains, GroundingModel, Percentiles, Priority, RetryPolicy,
+    RouterArrival, RouterConfig, RouterServer, RouterSim, ServeConfig, ServeDtype, Server,
+    ServiceModel, SloReport, YolloBackend,
 };
 use yollo_synthref::{DatasetKind, Scene, Split};
 
@@ -454,6 +462,141 @@ fn main() {
         }
     }
 
+    // --- SLO accounting: one deterministic traced chaos run under the
+    // virtual clock. Flight records split every answered request's
+    // latency into queue wait vs model service, must reconcile against
+    // the RouterEvent fingerprint, and the span dump must form a causally
+    // complete admission→outcome chain per request. The ci.sh trace gate
+    // reruns this at tiny scale with YOLLO_TRACE_PATH set; chain or
+    // reconciliation failures abort the binary ---
+    let slo_total = match scale {
+        Scale::Tiny => 48usize,
+        Scale::Standard => 128,
+        Scale::Full => 256,
+    };
+    eprintln!("slo: traced deterministic chaos run, {slo_total} requests…");
+    yollo_obs::registry().reset();
+    let _ = yollo_obs::drain_spans(); // earlier sections' spans are not this trace
+    let _ = yollo_obs::take_dropped_spans();
+    let slo_cfg = RouterConfig {
+        replicas: 3,
+        deadline_ns: 50_000_000,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ns: 100_000,
+            max_backoff_ns: 1_000_000,
+        },
+        hedge_delay_ns: 3_000_000,
+        service: ServiceModel {
+            base_ns: 500_000,
+            per_item_ns: 100_000,
+        },
+        ..RouterConfig::default()
+    };
+    let slo_serve = ServeConfig {
+        queue_capacity: slo_total,
+        cache_capacity: 0, // batch-serve everything: isolate queue vs service
+        ..serve_template.clone()
+    };
+    let slo_arrivals: Vec<RouterArrival> = (0..slo_total)
+        .map(|i| {
+            let (si, qi) = skewed[i % skewed.len()];
+            let class = match i % 3 {
+                0 => Priority::Interactive,
+                1 => Priority::Standard,
+                _ => Priority::Bulk,
+            };
+            RouterArrival::new(i as u64 * 1_500_000, si, &queries[qi], class)
+        })
+        .collect();
+    let ds_vocab = vocab.clone();
+    let factory_cfg = model_cfg.clone();
+    let mut sim = RouterSim::new(slo_cfg, slo_serve, vocab.clone(), move |_| {
+        let mut m = Yollo::new(factory_cfg.clone(), 7);
+        m.set_vocab(ds_vocab.clone());
+        m
+    });
+    sim.router_mut()
+        .set_fault_plan(0, ReplicaFaultPlan::new().crash_from(3));
+    sim.router_mut()
+        .set_fault_plan(2, ReplicaFaultPlan::new().slow_by(4.0));
+    let slo_run = sim.run(&scenes, &slo_arrivals);
+    reconcile_flights(&slo_run.flights, &slo_run.events)
+        .expect("flight records reconcile with the router event log");
+    let slo = SloReport::from_flights(&slo_run.flights);
+    let slo_spans = yollo_obs::drain_spans();
+    let chains = validate_request_chains(&slo_spans)
+        .expect("every request trace is a causally complete chain");
+    assert_eq!(
+        chains.router_requests,
+        slo_run.flights.len(),
+        "one admission→outcome chain per flight record"
+    );
+    let mut exemplars = TraceExemplars::new(3);
+    exemplars.observe(&slo_spans);
+    if let Some(trace_path) = yollo_obs::trace_path_from_env() {
+        yollo_obs::write_chrome_trace(&trace_path, &slo_spans).expect("can write serve trace");
+        eprintln!(
+            "slo: wrote {} trace events to {}",
+            slo_spans.len(),
+            trace_path.display()
+        );
+    }
+    let pct_json =
+        |p: &Percentiles| serde_json::json!({ "p50": p.p50, "p95": p.p95, "p99": p.p99 });
+    let slowest: Vec<serde_json::Value> = exemplars
+        .slowest()
+        .iter()
+        .map(|e| {
+            serde_json::json!({
+                "trace": e.trace,
+                "root": e.root_name,
+                "dur_ns": e.dur_ns,
+                "spans": e.events.len(),
+            })
+        })
+        .collect();
+    let breakdown_json = serde_json::json!({
+        "total": pct_json(&slo.total),
+        "queue": pct_json(&slo.queue),
+        "service": pct_json(&slo.service),
+    });
+    let trace_json = serde_json::json!({
+        "request_chains": chains.router_requests,
+        "spans": chains.spans,
+        "slowest": serde_json::Value::Array(slowest),
+    });
+    let slo_json = serde_json::json!({
+        "requests": slo.submitted,
+        "accepted": slo.accepted,
+        "shed": slo.shed,
+        "unavailable": slo.unavailable,
+        "degraded_hits": slo.degraded_hits,
+        "delivered_ok": slo.delivered_ok,
+        "delivered_err": slo.delivered_err,
+        "deadline_exceeded": slo.deadline_exceeded,
+        "availability": slo.availability,
+        "deadline_miss_rate": slo.deadline_miss_rate,
+        "hedges": slo.hedges,
+        "hedge_wins": slo.hedge_wins,
+        "hedge_win_rate": slo.hedge_win_rate,
+        "retry_amplification": slo.retry_amplification,
+        "latency_breakdown_ns": breakdown_json,
+        "trace": trace_json,
+    });
+    let slo_line = format!(
+        "slo: availability {:.3}, deadline miss {:.3}, retry amp {:.2}, \
+         p95 total/queue/service {}/{}/{} µs",
+        slo.availability,
+        slo.deadline_miss_rate,
+        slo.retry_amplification,
+        slo.total.p95 / 1000,
+        slo.queue.p95 / 1000,
+        slo.service.p95 / 1000,
+    );
+    eprintln!("{slo_line}");
+    load_lines.push(slo_line);
+
     let dtype_json = serde_json::json!({
         "rows": serde_json::Value::Array(dtype_rows),
         "accuracy": accuracy,
@@ -474,6 +617,7 @@ fn main() {
         "loads": loads_json,
         "dtype": dtype_json,
         "router": serde_json::Value::Array(router_rows),
+        "slo": slo_json,
     });
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
     std::fs::write(

@@ -114,7 +114,8 @@ impl<E: Element> Yollo<E> {
         images: Tensor<E>,
         queries: &[Vec<usize>],
     ) -> Vec<GroundingPrediction> {
-        let _span = yollo_obs::span!("infer.predict_batch");
+        let _span =
+            yollo_obs::span!("infer.predict_batch").with_arg("samples", queries.len() as u64);
         let _lat = yollo_obs::time_hist!("infer.batch_ns");
         yollo_obs::counter!("infer.batches").incr();
         yollo_obs::counter!("infer.samples").add(queries.len() as u64);

@@ -18,6 +18,12 @@
 //!   thread's events and [`write_chrome_trace`] writes them in Chrome
 //!   `trace_event` JSON (one event per line; the whole file is a valid
 //!   JSON array) loadable in Perfetto / `chrome://tracing`.
+//! - **Traces** causally link spans across threads: a [`TraceContext`]
+//!   (trace id + parent span id) is handed across explicitly and opened
+//!   with [`span_child`], or pre-allocated ([`alloc_root`] /
+//!   [`alloc_child`]) and recorded retroactively with [`emit_span`] for
+//!   long-lived logical spans. [`TraceExemplars`] retains the slowest-K
+//!   complete traces for tail-latency forensics.
 //! - **Sinks** ([`MetricsSink`], [`JsonlFileSink`], [`MemorySink`],
 //!   [`PeriodicSnapshotter`]) turn registry [`Snapshot`]s into JSONL for
 //!   long training runs.
@@ -61,6 +67,7 @@
 mod metrics;
 mod sink;
 mod span;
+mod trace;
 
 pub use metrics::{
     registry, Counter, Gauge, HistTimer, Histogram, HistogramSnapshot, Registry, Snapshot,
@@ -68,9 +75,11 @@ pub use metrics::{
 };
 pub use sink::{JsonlFileSink, MemorySink, MetricsSink, PeriodicSnapshotter};
 pub use span::{
-    drain_spans, now_ns, span, span_dyn, span_owned, trace_path_from_env, write_chrome_trace, Span,
-    SpanEvent, RING_CAPACITY,
+    alloc_child, alloc_root, drain_spans, emit_span, now_ns, span, span_child, span_dyn,
+    span_owned, take_dropped_spans, trace_path_from_env, write_chrome_trace, Span, SpanEvent,
+    TraceContext, RING_CAPACITY,
 };
+pub use trace::{TraceExemplar, TraceExemplars};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

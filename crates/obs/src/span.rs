@@ -6,6 +6,18 @@
 //! span traffic (see `tests/contention.rs`). Buffers are recycled when
 //! threads exit, so short-lived worker threads (the tensor pool spawns
 //! scoped workers per op) do not grow the buffer list without bound.
+//!
+//! # Causal tracing
+//!
+//! Spans carry a **trace id** in addition to their own id and same-thread
+//! parent. A span opened with no context starts a new trace (trace id ==
+//! its own span id); nested RAII spans inherit the enclosing trace. To
+//! link work across threads, hand a [`TraceContext`] (trace id + parent
+//! span id) to the other side explicitly and open the remote span with
+//! [`span_child`]. Long-lived logical spans that cannot be RAII guards
+//! (a request living across many router ticks) allocate their context up
+//! front with [`alloc_root`] / [`alloc_child`] and are recorded
+//! retroactively with [`emit_span`] once their duration is known.
 
 use std::borrow::Cow;
 use std::fs::File;
@@ -15,7 +27,9 @@ use std::path::{Path, PathBuf};
 #[cfg(feature = "enabled")]
 use std::cell::RefCell;
 #[cfg(feature = "enabled")]
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::AtomicU64;
+#[cfg(feature = "enabled")]
+use std::sync::atomic::Ordering::Relaxed;
 #[cfg(feature = "enabled")]
 use std::sync::{Arc, Mutex, OnceLock};
 #[cfg(feature = "enabled")]
@@ -24,6 +38,29 @@ use std::time::Instant;
 /// Finished spans retained per thread buffer; when a buffer is full the
 /// oldest events are overwritten (and `obs.spans.dropped` counts them).
 pub const RING_CAPACITY: usize = 1 << 16;
+
+/// A span's position in a causal tree, safe to hand across threads: the
+/// trace it belongs to and the span that caused the work. `Copy` so it
+/// can ride in messages, jobs and queue entries without ceremony. With
+/// the `enabled` feature off (or recording off) every allocation returns
+/// [`TraceContext::NONE`] and propagation is free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Trace id (the root span's id), or 0 for "no trace".
+    pub trace: u64,
+    /// The causing span's id, or 0.
+    pub span: u64,
+}
+
+impl TraceContext {
+    /// The absent context: belongs to no trace, causes nothing.
+    pub const NONE: TraceContext = TraceContext { trace: 0, span: 0 };
+
+    /// True when this context carries no trace.
+    pub fn is_none(&self) -> bool {
+        self.trace == 0
+    }
+}
 
 /// One finished span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,12 +71,18 @@ pub struct SpanEvent {
     pub tid: u64,
     /// Unique span id (from 1).
     pub id: u64,
-    /// Id of the enclosing span on the same thread, or 0 for roots.
+    /// Id of the causing span (same-thread encloser or explicit remote
+    /// parent), or 0 for roots.
     pub parent: u64,
+    /// Id of the trace this span belongs to (== `id` for trace roots).
+    pub trace: u64,
     /// Start time in nanoseconds since the process's trace epoch.
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Key-value annotations (batch id, attempt number, …), emitted into
+    /// the Chrome trace `args` object alongside the ids.
+    pub args: Vec<(Cow<'static, str>, u64)>,
 }
 
 #[cfg(feature = "enabled")]
@@ -52,6 +95,8 @@ struct RingBuf {
 #[cfg(feature = "enabled")]
 struct Ring {
     inner: Mutex<RingBuf>,
+    /// Events overwritten since the last [`take_dropped_spans`].
+    dropped: AtomicU64,
 }
 
 #[cfg(feature = "enabled")]
@@ -62,6 +107,7 @@ impl Ring {
                 slots: Vec::new(),
                 head: 0,
             }),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -74,6 +120,7 @@ impl Ring {
             buf.slots[head] = ev;
             buf.head = (head + 1) % RING_CAPACITY;
             drop(buf);
+            self.dropped.fetch_add(1, Relaxed);
             crate::counter!("obs.spans.dropped").incr();
         }
     }
@@ -130,8 +177,9 @@ pub fn now_ns() -> u64 {
 struct Local {
     ring: Arc<Ring>,
     tid: u64,
-    /// Ids of the currently open spans on this thread (innermost last).
-    stack: Vec<u64>,
+    /// `(span id, trace id)` of the currently open spans on this thread
+    /// (innermost last).
+    stack: Vec<(u64, u64)>,
 }
 
 #[cfg(feature = "enabled")]
@@ -178,17 +226,96 @@ fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> R {
     })
 }
 
+/// Allocates a fresh span id and makes a root context for a new trace.
+/// Use for logical spans recorded later with [`emit_span`]. Returns
+/// [`TraceContext::NONE`] when recording is off.
+pub fn alloc_root() -> TraceContext {
+    #[cfg(feature = "enabled")]
+    {
+        if !crate::enabled() {
+            return TraceContext::NONE;
+        }
+        let id = globals().next_id.fetch_add(1, Relaxed) + 1;
+        TraceContext {
+            trace: id,
+            span: id,
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    TraceContext::NONE
+}
+
+/// Allocates a fresh span id under `parent`'s trace (a new trace when
+/// `parent` is [`TraceContext::NONE`]). Returns the child's own context —
+/// hand it onwards, then record the span with [`emit_span`].
+pub fn alloc_child(parent: TraceContext) -> TraceContext {
+    #[cfg(feature = "enabled")]
+    {
+        if !crate::enabled() {
+            return TraceContext::NONE;
+        }
+        let id = globals().next_id.fetch_add(1, Relaxed) + 1;
+        TraceContext {
+            trace: if parent.trace == 0 { id } else { parent.trace },
+            span: id,
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = parent;
+        TraceContext::NONE
+    }
+}
+
+/// Records a logical span retroactively: `ctx` is its own pre-allocated
+/// context ([`alloc_root`] / [`alloc_child`]), `parent_span` the causing
+/// span's id (0 for roots), and `start_ns`/`dur_ns` its extent on the
+/// [`now_ns`] clock. No-op when `ctx` is [`TraceContext::NONE`].
+pub fn emit_span(
+    name: impl Into<Cow<'static, str>>,
+    ctx: TraceContext,
+    parent_span: u64,
+    start_ns: u64,
+    dur_ns: u64,
+    args: &[(&'static str, u64)],
+) {
+    #[cfg(feature = "enabled")]
+    {
+        if ctx.is_none() || !crate::enabled() {
+            return;
+        }
+        let ev = SpanEvent {
+            name: name.into(),
+            tid: with_local(|l| l.tid),
+            id: ctx.span,
+            parent: parent_span,
+            trace: ctx.trace,
+            start_ns,
+            dur_ns,
+            args: args.iter().map(|&(k, v)| (Cow::Borrowed(k), v)).collect(),
+        };
+        with_local(|l| l.ring.push(ev));
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (name.into(), ctx, parent_span, start_ns, dur_ns, args);
+    }
+}
+
 #[cfg(feature = "enabled")]
 struct SpanRec {
     name: Cow<'static, str>,
     id: u64,
     parent: u64,
+    trace: u64,
     start_ns: u64,
+    args: Vec<(Cow<'static, str>, u64)>,
 }
 
 /// An open scoped timer; dropping it records a [`SpanEvent`]. Spans are
 /// strictly LIFO per thread (the natural shape of RAII guards), which is
-/// what makes parent tracking a simple thread-local stack.
+/// what makes parent tracking a simple thread-local stack. Cross-thread
+/// causality comes from opening with [`span_child`] instead.
 pub struct Span {
     #[cfg(feature = "enabled")]
     rec: Option<SpanRec>,
@@ -196,31 +323,76 @@ pub struct Span {
 
 impl Span {
     #[cfg(feature = "enabled")]
-    fn enter(name: Cow<'static, str>) -> Span {
+    fn enter(name: Cow<'static, str>, remote: Option<TraceContext>) -> Span {
         if !crate::enabled() {
             return Span { rec: None };
         }
         let g = globals();
         let id = g.next_id.fetch_add(1, Relaxed) + 1;
-        let parent = with_local(|l| {
-            let parent = l.stack.last().copied().unwrap_or(0);
-            l.stack.push(id);
-            parent
+        let (parent, trace) = with_local(|l| {
+            let (local_parent, local_trace) = l.stack.last().copied().unwrap_or((0, 0));
+            // An explicit remote context wins over lexical nesting; a span
+            // with neither starts a new trace rooted at itself.
+            let (parent, trace) = match remote {
+                Some(ctx) if !ctx.is_none() => (ctx.span, ctx.trace),
+                _ if local_parent != 0 => (local_parent, local_trace),
+                _ => (0, id),
+            };
+            l.stack.push((id, trace));
+            (parent, trace)
         });
         Span {
             rec: Some(SpanRec {
                 name,
                 id,
                 parent,
+                trace,
                 start_ns: now_ns(),
+                args: Vec::new(),
             }),
         }
     }
 
     #[cfg(not(feature = "enabled"))]
     #[inline(always)]
-    fn enter(_name: Cow<'static, str>) -> Span {
+    fn enter(_name: Cow<'static, str>, _remote: Option<TraceContext>) -> Span {
         Span {}
+    }
+
+    /// This span's context (its trace and own id), for handing the causal
+    /// link to other threads. [`TraceContext::NONE`] when recording is off.
+    pub fn context(&self) -> TraceContext {
+        #[cfg(feature = "enabled")]
+        {
+            match &self.rec {
+                Some(rec) => TraceContext {
+                    trace: rec.trace,
+                    span: rec.id,
+                },
+                None => TraceContext::NONE,
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        TraceContext::NONE
+    }
+
+    /// Attaches a key-value annotation, builder style:
+    /// `span!("serve.batch").with_arg("size", n)`.
+    #[must_use]
+    pub fn with_arg(self, key: &'static str, value: u64) -> Span {
+        #[cfg(feature = "enabled")]
+        {
+            let mut s = self;
+            if let Some(rec) = &mut s.rec {
+                rec.args.push((Cow::Borrowed(key), value));
+            }
+            s
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (key, value);
+            self
+        }
     }
 }
 
@@ -231,7 +403,7 @@ impl Drop for Span {
             let end = now_ns();
             with_local(|l| {
                 debug_assert_eq!(
-                    l.stack.last().copied(),
+                    l.stack.last().map(|&(id, _)| id),
                     Some(rec.id),
                     "spans must drop in LIFO order"
                 );
@@ -241,8 +413,10 @@ impl Drop for Span {
                     tid: l.tid,
                     id: rec.id,
                     parent: rec.parent,
+                    trace: rec.trace,
                     start_ns: rec.start_ns,
                     dur_ns: end.saturating_sub(rec.start_ns),
+                    args: rec.args,
                 });
             });
         }
@@ -252,13 +426,13 @@ impl Drop for Span {
 /// Opens a span with a static name (the [`crate::span!`] macro's body).
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    Span::enter(Cow::Borrowed(name))
+    Span::enter(Cow::Borrowed(name), None)
 }
 
 /// Opens a span with an owned dynamic name.
 #[inline]
 pub fn span_owned(name: String) -> Span {
-    Span::enter(Cow::Owned(name))
+    Span::enter(Cow::Owned(name), None)
 }
 
 /// Opens a span with a borrowed dynamic name, cloning it only when
@@ -266,10 +440,18 @@ pub fn span_owned(name: String) -> Span {
 #[inline]
 pub fn span_dyn(name: &str) -> Span {
     if crate::enabled() {
-        Span::enter(Cow::Owned(name.to_owned()))
+        Span::enter(Cow::Owned(name.to_owned()), None)
     } else {
-        Span::enter(Cow::Borrowed(""))
+        Span::enter(Cow::Borrowed(""), None)
     }
+}
+
+/// Opens a span causally linked under `ctx` — the cross-thread form of
+/// nesting. The span joins `ctx`'s trace with `ctx.span` as its parent
+/// regardless of what is open on this thread.
+#[inline]
+pub fn span_child(name: &'static str, ctx: TraceContext) -> Span {
+    Span::enter(Cow::Borrowed(name), Some(ctx))
 }
 
 /// Collects (and clears) every thread's recorded spans, sorted by start
@@ -291,6 +473,23 @@ pub fn drain_spans() -> Vec<SpanEvent> {
     Vec::new()
 }
 
+/// Total spans overwritten in full ring buffers since the last call
+/// (summed across threads, reset to zero). 0 with the feature off.
+pub fn take_dropped_spans() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        globals()
+            .rings
+            .lock()
+            .expect("span registry poisoned")
+            .iter()
+            .map(|r| r.dropped.swap(0, Relaxed))
+            .sum()
+    }
+    #[cfg(not(feature = "enabled"))]
+    0
+}
+
 /// The trace output path from `YOLLO_TRACE_PATH`, if set.
 pub fn trace_path_from_env() -> Option<PathBuf> {
     std::env::var("YOLLO_TRACE_PATH").ok().map(PathBuf::from)
@@ -300,26 +499,51 @@ pub fn trace_path_from_env() -> Option<PathBuf> {
 /// `"ph":"X"` event object per line, with the surrounding brackets on
 /// their own lines, so the file is simultaneously line-oriented and a
 /// single valid JSON document Perfetto / `chrome://tracing` can open.
+/// Every event's `args` carries its span id, parent span id and trace id
+/// (plus any [`Span::with_arg`] annotations), so causal trees can be
+/// reassembled from the file alone.
+///
+/// If ring buffers overwrote spans since the last accounting
+/// ([`take_dropped_spans`]), a `"ph":"M"` metadata event named
+/// `yollo.spans_dropped` records the count instead of losing it silently.
 ///
 /// # Errors
 /// Returns any I/O error.
 pub fn write_chrome_trace(path: impl AsRef<Path>, events: &[SpanEvent]) -> io::Result<()> {
+    let dropped = take_dropped_spans();
     let mut f = BufWriter::new(File::create(path)?);
     writeln!(f, "[")?;
+    let total = events.len() + usize::from(dropped > 0);
     for (i, e) in events.iter().enumerate() {
         let mut name = String::new();
         crate::push_json_escaped(&mut name, &e.name);
-        let comma = if i + 1 == events.len() { "" } else { "," };
+        let mut args = format!(
+            "{{\"id\":{},\"parent\":{},\"trace\":{}",
+            e.id, e.parent, e.trace
+        );
+        for (k, v) in &e.args {
+            args.push_str(",\"");
+            crate::push_json_escaped(&mut args, k);
+            args.push_str("\":");
+            args.push_str(&v.to_string());
+        }
+        args.push('}');
+        let comma = if i + 1 == total { "" } else { "," };
         writeln!(
             f,
-            "{{\"name\":\"{}\",\"cat\":\"yollo\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}{}",
+            "{{\"name\":\"{}\",\"cat\":\"yollo\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{}}}{}",
             name,
             e.tid,
             e.start_ns as f64 / 1000.0,
             e.dur_ns as f64 / 1000.0,
-            e.id,
-            e.parent,
+            args,
             comma
+        )?;
+    }
+    if dropped > 0 {
+        writeln!(
+            f,
+            "{{\"name\":\"yollo.spans_dropped\",\"cat\":\"yollo\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"dropped\":{dropped}}}}}"
         )?;
     }
     writeln!(f, "]")?;
@@ -336,7 +560,7 @@ mod tests {
     fn span_recording_and_drain() {
         crate::set_enabled(true);
 
-        // -- nesting records parentage and containment --
+        // -- nesting records parentage, trace membership and containment --
         {
             let _outer = crate::span!("test.span.outer");
             let _inner = crate::span!("test.span.inner");
@@ -352,6 +576,8 @@ mod tests {
             .expect("outer span recorded");
         assert_eq!(inner.parent, outer.id);
         assert_eq!(outer.parent, 0);
+        assert_eq!(outer.trace, outer.id, "root span roots its own trace");
+        assert_eq!(inner.trace, outer.trace, "nesting inherits the trace");
         assert_eq!(inner.tid, outer.tid);
         assert!(inner.start_ns >= outer.start_ns);
         assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
@@ -363,7 +589,75 @@ mod tests {
         assert!(events.iter().any(|e| e.name == "test.span.dyn.7"));
         assert!(events.iter().any(|e| e.name == "test.span.dyn.borrowed"));
 
+        // -- explicit contexts link spans across threads --
+        let ctx = {
+            let root = crate::span!("test.span.remote_root").with_arg("answer", 42);
+            root.context()
+        };
+        assert!(!ctx.is_none());
+        std::thread::spawn(move || {
+            let _child = span_child("test.span.remote_child", ctx);
+        })
+        .join()
+        .expect("remote child thread panicked");
+        let events = drain_spans();
+        let root = events
+            .iter()
+            .find(|e| e.name == "test.span.remote_root")
+            .expect("remote root recorded");
+        let child = events
+            .iter()
+            .find(|e| e.name == "test.span.remote_child")
+            .expect("remote child recorded");
+        assert_eq!(root.id, ctx.span);
+        assert_eq!(root.trace, ctx.trace);
+        assert_eq!(child.parent, root.id, "explicit context sets parentage");
+        assert_eq!(child.trace, root.trace, "explicit context joins the trace");
+        assert_ne!(child.tid, root.tid, "causality crossed threads");
+        assert_eq!(root.args, vec![(Cow::Borrowed("answer"), 42)]);
+
+        // -- logical spans: alloc up front, emit retroactively --
+        let req = alloc_root();
+        let attempt = alloc_child(req);
+        assert_eq!(req.trace, req.span);
+        assert_eq!(attempt.trace, req.trace);
+        assert_ne!(attempt.span, req.span);
+        emit_span(
+            "test.span.logical_attempt",
+            attempt,
+            req.span,
+            500,
+            100,
+            &[],
+        );
+        emit_span(
+            "test.span.logical_req",
+            req,
+            0,
+            400,
+            300,
+            &[("attempts", 1)],
+        );
+        let events = drain_spans();
+        let lr = events
+            .iter()
+            .find(|e| e.name == "test.span.logical_req")
+            .expect("logical root recorded");
+        let la = events
+            .iter()
+            .find(|e| e.name == "test.span.logical_attempt")
+            .expect("logical attempt recorded");
+        assert_eq!(lr.id, req.span);
+        assert_eq!(lr.parent, 0);
+        assert_eq!((lr.start_ns, lr.dur_ns), (400, 300));
+        assert_eq!(lr.args, vec![(Cow::Borrowed("attempts"), 1)]);
+        assert_eq!(la.parent, lr.id);
+        assert_eq!(la.trace, lr.trace);
+
         // -- ring overflow keeps the newest events --
+        // (the drop-counter → metadata-event path is asserted in
+        // tests/drop_metadata.rs, which owns its process and so cannot
+        // race other tests for the global drop accounting)
         std::thread::spawn(|| {
             for i in 0..RING_CAPACITY + 10 {
                 drop(span_owned(format!("test.span.overflow.{i}")));
@@ -383,6 +677,19 @@ mod tests {
     }
 
     #[test]
+    fn disabled_recording_yields_none_contexts() {
+        // runtime-off allocations must be free and inert; flip the global
+        // switch only around the checks to avoid starving parallel tests
+        crate::set_enabled(false);
+        let root = alloc_root();
+        let child = alloc_child(root);
+        crate::set_enabled(true);
+        assert!(root.is_none());
+        assert!(child.is_none());
+        emit_span("test.span.disabled", TraceContext::NONE, 0, 0, 1, &[]);
+    }
+
+    #[test]
     fn chrome_trace_roundtrips_as_json() {
         crate::set_enabled(true);
         let events = vec![
@@ -391,16 +698,20 @@ mod tests {
                 tid: 1,
                 id: 1,
                 parent: 0,
+                trace: 1,
                 start_ns: 1000,
                 dur_ns: 500,
+                args: Vec::new(),
             },
             SpanEvent {
                 name: Cow::Borrowed("b"),
                 tid: 2,
                 id: 2,
                 parent: 1,
+                trace: 1,
                 start_ns: 1200,
                 dur_ns: 100,
+                args: vec![(Cow::Borrowed("batch"), 7)],
             },
         ];
         let dir = std::env::temp_dir().join("yollo_obs_test");
@@ -410,12 +721,15 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         let arr = parsed.as_array().expect("top-level array");
-        assert_eq!(arr.len(), 2);
-        assert_eq!(arr[0]["name"], "a \"quoted\" name");
-        assert_eq!(arr[0]["ph"], "X");
-        assert_eq!(arr[1]["args"]["parent"], 1);
-        // one event object per line between the brackets
-        assert_eq!(text.lines().count(), 2 + events.len());
+        let spans: Vec<_> = arr.iter().filter(|v| v["ph"] == "X").collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0]["name"], "a \"quoted\" name");
+        assert_eq!(spans[1]["args"]["parent"], 1);
+        assert_eq!(spans[1]["args"]["trace"], 1);
+        assert_eq!(spans[1]["args"]["batch"], 7);
+        // one event object per line between the brackets (a concurrent
+        // test may have contributed a drop-metadata line)
+        assert_eq!(text.lines().count(), 2 + arr.len());
         std::fs::remove_file(path).ok();
     }
 }

@@ -1,0 +1,195 @@
+//! Slowest-trace exemplar retention.
+//!
+//! Aggregates (histograms) say *that* the tail is slow; exemplars say
+//! *why*: [`TraceExemplars`] watches drained [`SpanEvent`]s, reassembles
+//! them into traces by trace id, and keeps the K complete traces whose
+//! root span ran longest — each with its full causal tree, ready to be
+//! written out with [`crate::write_chrome_trace`] or summarised in a
+//! bench report.
+//!
+//! A trace is **complete** once its root span (the event whose `id`
+//! equals its `trace`) has been observed; roots are recorded last in
+//! both the RAII and the retroactive [`crate::emit_span`] styles, so by
+//! then every child the trace will ever have is already drained or in
+//! the same batch.
+
+use crate::span::SpanEvent;
+use std::collections::BTreeMap;
+
+/// One retained trace: its id, root span and full event list.
+#[derive(Debug, Clone)]
+pub struct TraceExemplar {
+    /// The trace id (== the root span's id).
+    pub trace: u64,
+    /// The root span's name.
+    pub root_name: String,
+    /// The root span's duration — the trace's end-to-end latency.
+    pub dur_ns: u64,
+    /// Every event of the trace, in `(start_ns, id)` order.
+    pub events: Vec<SpanEvent>,
+}
+
+/// Traces still waiting for their root before eviction. Bounds memory
+/// when a workload abandons traces (e.g. spans lost to ring overflow).
+const PENDING_TRACE_CAP: usize = 4096;
+
+/// Retains the slowest-K complete traces seen across [`observe`] calls.
+///
+/// [`observe`]: TraceExemplars::observe
+#[derive(Debug)]
+pub struct TraceExemplars {
+    k: usize,
+    /// Incomplete traces, keyed by trace id (insertion-ordered enough:
+    /// trace ids are allocated monotonically, so the smallest key is the
+    /// oldest trace — that is what gets evicted at the cap).
+    pending: BTreeMap<u64, Vec<SpanEvent>>,
+    /// Complete traces, sorted slowest-first, at most `k` long.
+    slowest: Vec<TraceExemplar>,
+    /// Complete traces seen (retained or not).
+    completed: u64,
+}
+
+impl TraceExemplars {
+    /// An empty retainer keeping at most `k` traces (`k == 0` keeps none
+    /// but still counts completions).
+    pub fn new(k: usize) -> Self {
+        TraceExemplars {
+            k,
+            pending: BTreeMap::new(),
+            slowest: Vec::new(),
+            completed: 0,
+        }
+    }
+
+    /// Feeds a batch of drained events (any order, any mix of traces).
+    /// Untraced events (`trace == 0`) are ignored.
+    pub fn observe(&mut self, events: &[SpanEvent]) {
+        for ev in events {
+            if ev.trace == 0 {
+                continue;
+            }
+            self.pending.entry(ev.trace).or_default().push(ev.clone());
+        }
+        // Promote every trace whose root arrived.
+        let done: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(&trace, evs)| evs.iter().any(|e| e.id == trace))
+            .map(|(&trace, _)| trace)
+            .collect();
+        for trace in done {
+            let mut evs = self.pending.remove(&trace).expect("pending trace");
+            evs.sort_by_key(|e| (e.start_ns, e.id));
+            let root = evs.iter().find(|e| e.id == trace).expect("root present");
+            let exemplar = TraceExemplar {
+                trace,
+                root_name: root.name.to_string(),
+                dur_ns: root.dur_ns,
+                events: evs,
+            };
+            self.completed += 1;
+            self.insert(exemplar);
+        }
+        // Evict the oldest incomplete traces past the cap — their roots
+        // were likely lost to ring overflow and will never arrive.
+        while self.pending.len() > PENDING_TRACE_CAP {
+            let oldest = *self.pending.keys().next().expect("nonempty pending");
+            self.pending.remove(&oldest);
+        }
+    }
+
+    fn insert(&mut self, ex: TraceExemplar) {
+        if self.k == 0 {
+            return;
+        }
+        // Slowest first; ties broken by trace id so retention is
+        // deterministic for identically seeded runs.
+        let pos = self.slowest.partition_point(|e| {
+            (e.dur_ns, std::cmp::Reverse(e.trace)) > (ex.dur_ns, std::cmp::Reverse(ex.trace))
+        });
+        self.slowest.insert(pos, ex);
+        self.slowest.truncate(self.k);
+    }
+
+    /// The retained traces, slowest first.
+    pub fn slowest(&self) -> &[TraceExemplar] {
+        &self.slowest
+    }
+
+    /// Complete traces observed in total (retained or not).
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Traces observed but still missing their root span.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn ev(name: &str, id: u64, parent: u64, trace: u64, start_ns: u64, dur_ns: u64) -> SpanEvent {
+        SpanEvent {
+            name: Cow::Owned(name.to_owned()),
+            tid: 1,
+            id,
+            parent,
+            trace,
+            start_ns,
+            dur_ns,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn retains_slowest_k_complete_traces() {
+        let mut x = TraceExemplars::new(2);
+        // three traces with root durations 300, 100, 200; children first
+        x.observe(&[
+            ev("child", 2, 1, 1, 10, 5),
+            ev("child", 12, 11, 11, 10, 5),
+            ev("child", 22, 21, 21, 10, 5),
+        ]);
+        assert_eq!(x.completed(), 0);
+        assert_eq!(x.pending(), 3);
+        x.observe(&[
+            ev("root", 1, 0, 1, 0, 300),
+            ev("root", 11, 0, 11, 0, 100),
+            ev("root", 21, 0, 21, 0, 200),
+        ]);
+        assert_eq!(x.completed(), 3);
+        assert_eq!(x.pending(), 0);
+        let names: Vec<u64> = x.slowest().iter().map(|e| e.dur_ns).collect();
+        assert_eq!(names, vec![300, 200], "slowest two retained, in order");
+        assert_eq!(x.slowest()[0].trace, 1);
+        assert_eq!(x.slowest()[0].events.len(), 2);
+        assert_eq!(x.slowest()[0].root_name, "root");
+    }
+
+    #[test]
+    fn incomplete_traces_never_surface() {
+        let mut x = TraceExemplars::new(4);
+        x.observe(&[ev("child", 2, 1, 1, 0, 50)]);
+        assert!(x.slowest().is_empty());
+        assert_eq!(x.pending(), 1);
+        // untraced events are ignored entirely
+        x.observe(&[ev("untraced", 3, 0, 0, 0, 50)]);
+        assert_eq!(x.pending(), 1);
+    }
+
+    #[test]
+    fn duration_ties_break_by_trace_id() {
+        let mut x = TraceExemplars::new(2);
+        x.observe(&[
+            ev("b", 20, 0, 20, 0, 100),
+            ev("a", 10, 0, 10, 0, 100),
+            ev("c", 30, 0, 30, 0, 100),
+        ]);
+        let traces: Vec<u64> = x.slowest().iter().map(|e| e.trace).collect();
+        assert_eq!(traces, vec![10, 20], "equal durations keep earliest traces");
+    }
+}

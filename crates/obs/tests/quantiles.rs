@@ -1,0 +1,130 @@
+//! Histogram quantile correctness: ordering properties over arbitrary
+//! samples, and exact nearest-rank answers on hand-computed samples at
+//! log2-bucket boundaries.
+//!
+//! The contract under test (see `Histogram::quantile`): the `q`-quantile
+//! is the representative value (geometric bucket middle) of the bucket
+//! containing the nearest-rank element — rank `max(1, ceil(q * count))`
+//! of the sorted sample.
+
+#![cfg(feature = "enabled")]
+
+use proptest::prelude::*;
+use yollo_obs::Histogram;
+
+/// The histogram's bucket index for `v` (0 and 1 share bucket 0).
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        v.ilog2() as usize
+    }
+}
+
+/// The representative value of bucket `i`: the geometric middle of
+/// `[2^i, 2^(i+1))`, i.e. `2^i + 2^(i-1)`, capped to stay in `u64`.
+fn bucket_mid(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i >= 63 {
+        u64::MAX / 2 + 1
+    } else {
+        (1u64 << i) + (1u64 << (i - 1))
+    }
+}
+
+/// The exact value `quantile(q)` must return for `sample`: the bucket
+/// middle of the nearest-rank element.
+fn expected_quantile(sample: &[u64], q: f64) -> u64 {
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    bucket_mid(bucket_of(sorted[target - 1]))
+}
+
+fn hist_of(sample: &[u64]) -> Histogram {
+    yollo_obs::set_enabled(true);
+    let h = Histogram::new();
+    for &v in sample {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// p50 ≤ p95 ≤ p99 ≤ max for any sample — quantiles are monotone in q.
+    #[test]
+    fn quantiles_are_monotone(sample in prop::collection::vec(any::<u64>(), 1..200)) {
+        let h = hist_of(&sample);
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        let p100 = h.quantile(1.0);
+        prop_assert!(p50 <= p95, "p50={p50} > p95={p95}");
+        prop_assert!(p95 <= p99, "p95={p95} > p99={p99}");
+        prop_assert!(p99 <= p100, "p99={p99} > p100={p100}");
+    }
+
+    /// Every quantile equals the bucket middle of the nearest-rank
+    /// element — the log2-bucket approximation is exactly characterised.
+    #[test]
+    fn quantiles_match_nearest_rank(
+        sample in prop::collection::vec(any::<u64>(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = hist_of(&sample);
+        prop_assert_eq!(h.quantile(q), expected_quantile(&sample, q));
+    }
+
+    /// The bucket middle is within a factor of two of the true
+    /// nearest-rank element (the histogram's accuracy guarantee).
+    #[test]
+    fn quantile_within_factor_two_of_true_value(
+        sample in prop::collection::vec(1u64..u64::MAX / 2, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = hist_of(&sample);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let truth = sorted[target - 1];
+        let got = h.quantile(q);
+        prop_assert!(got <= truth.saturating_mul(2), "got={got} truth={truth}");
+        prop_assert!(got >= truth / 2, "got={got} truth={truth}");
+    }
+}
+
+#[test]
+fn hand_computed_nearest_rank_at_bucket_boundaries() {
+    // [1, 2, 3, 4] spans buckets 0 ({1}), 1 ({2, 3}) and 2 ({4}).
+    let h = hist_of(&[1, 2, 3, 4]);
+    // rank 1 → 1 → bucket 0 → mid 1
+    assert_eq!(h.quantile(0.25), 1);
+    // rank 2 → 2 → bucket 1 → mid 2 + 1 = 3
+    assert_eq!(h.quantile(0.50), 3);
+    // rank 3 → 3 → bucket 1 → mid 3
+    assert_eq!(h.quantile(0.75), 3);
+    // rank 4 → 4 → bucket 2 → mid 4 + 2 = 6
+    assert_eq!(h.quantile(1.0), 6);
+    // q = 0 still answers with the minimum's bucket (rank clamps to 1)
+    assert_eq!(h.quantile(0.0), 1);
+
+    // Adjacent values straddling the 2^10 boundary land in different
+    // buckets: 1023 → bucket 9 (mid 768), 1024 → bucket 10 (mid 1536).
+    let h = hist_of(&[1023, 1024]);
+    assert_eq!(h.quantile(0.5), 768);
+    assert_eq!(h.quantile(1.0), 1536);
+
+    // 0 and 1 share bucket 0, whose representative is 1.
+    let h = hist_of(&[0]);
+    assert_eq!(h.quantile(0.5), 1);
+
+    // The top bucket caps its representative inside u64.
+    let h = hist_of(&[u64::MAX]);
+    assert_eq!(h.quantile(1.0), u64::MAX / 2 + 1);
+
+    // Empty histogram answers 0 for every quantile.
+    let h = Histogram::new();
+    assert_eq!(h.quantile(0.5), 0);
+    assert_eq!(h.quantile(0.99), 0);
+}

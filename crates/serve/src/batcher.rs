@@ -39,6 +39,10 @@ pub struct Batch<T> {
     pub reason: FlushReason,
     /// Clock reading at which the flush happened.
     pub flushed_at_ns: u64,
+    /// This batcher's flush ordinal (1-based): deterministic under a
+    /// virtual clock, so flight records and trace args can name the batch
+    /// a request rode in.
+    pub id: u64,
 }
 
 /// A compact record of one flush, for determinism checks and telemetry.
@@ -50,6 +54,8 @@ pub struct BatchBoundary {
     pub size: usize,
     /// Why the batch was emitted.
     pub reason: FlushReason,
+    /// The batcher's flush ordinal (1-based, matches [`Batch::id`]).
+    pub batch_id: u64,
 }
 
 #[derive(Debug)]
@@ -65,6 +71,7 @@ pub struct Batcher<T> {
     max_batch: usize,
     max_wait_ns: u64,
     pending: Vec<Pending<T>>,
+    next_batch_id: u64,
 }
 
 impl<T> Batcher<T> {
@@ -79,6 +86,7 @@ impl<T> Batcher<T> {
             max_batch,
             max_wait_ns,
             pending: Vec::new(),
+            next_batch_id: 1,
         }
     }
 
@@ -175,10 +183,13 @@ impl<T> Batcher<T> {
 
     fn take(&mut self, n: usize, reason: FlushReason, now_ns: u64) -> Batch<T> {
         let items = self.pending.drain(..n).map(|p| p.item).collect();
+        let id = self.next_batch_id;
+        self.next_batch_id += 1;
         Batch {
             items,
             reason,
             flushed_at_ns: now_ns,
+            id,
         }
     }
 }
@@ -242,6 +253,17 @@ mod tests {
         assert_eq!(batch.reason, FlushReason::Forced);
         assert_eq!(batch.items, vec!["x", "y"]);
         assert!(b.flush_all(5).is_none());
+    }
+
+    #[test]
+    fn batch_ids_are_monotone_from_one() {
+        let mut b = Batcher::new(2, 1_000);
+        for i in 0..5 {
+            b.push(i, 0);
+        }
+        assert_eq!(b.poll(0).unwrap().id, 1);
+        assert_eq!(b.poll(0).unwrap().id, 2);
+        assert_eq!(b.flush_all(1_000).unwrap().id, 3);
     }
 
     #[test]

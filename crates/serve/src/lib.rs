@@ -65,6 +65,7 @@ mod router;
 mod router_server;
 mod server;
 mod sim;
+mod slo;
 
 pub use batcher::{Batch, BatchBoundary, Batcher, FlushReason};
 pub use cache::LruCache;
@@ -79,7 +80,11 @@ pub use router::{
 };
 pub use router_server::RouterServer;
 pub use server::{
-    GroundingModel, Response, ServeConfig, ServeDtype, ServeResult, Server, ServerCore,
-    YolloBackend,
+    GroundingModel, Response, ResponseMeta, ResponseSource, ServeConfig, ServeDtype, ServeResult,
+    Server, ServerCore, YolloBackend,
 };
 pub use sim::{Arrival, SimReport, Simulation};
+pub use slo::{
+    reconcile_flights, validate_request_chains, ChainSummary, FlightOutcome, FlightRecord,
+    Percentiles, SloReport,
+};

@@ -32,13 +32,14 @@
 //! is the run's fingerprint. [`RouterSim`] drives arrival scripts the same
 //! way [`crate::Simulation`] does for a single core.
 
+use std::collections::HashMap;
 use std::mem;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 
 use yollo_core::{encode_query_strict, scene_hash, GroundingPrediction, ReplicaFaultPlan};
-use yollo_obs::{counter, histogram};
+use yollo_obs::{alloc_child, alloc_root, counter, emit_span, histogram, TraceContext};
 use yollo_synthref::Scene;
 use yollo_tensor::Tensor;
 use yollo_text::Vocab;
@@ -48,7 +49,39 @@ use crate::error::ServeError;
 use crate::health::{CircuitState, HealthConfig, HealthState};
 use crate::retry::{JitterRng, RetryPolicy};
 use crate::ring::HashRing;
-use crate::server::{GroundingModel, Response, ServeConfig, ServeResult, ServerCore};
+use crate::server::{
+    Delivery, GroundingModel, Response, ResponseMeta, ResponseSource, ServeConfig, ServeResult,
+    ServerCore,
+};
+use crate::slo::{FlightOutcome, FlightRecord, SloReport};
+
+/// Per-class metric names, indexed by [`Priority::index`]. Both router
+/// drivers (deterministic [`Router`] and threaded
+/// [`crate::RouterServer`]) record the same names — the metric-parity
+/// contract tested in `tests/trace.rs`.
+pub(crate) const CLASS_SHED: [&str; 3] = [
+    "router.interactive.shed",
+    "router.standard.shed",
+    "router.bulk.shed",
+];
+/// Per-class retry counters (see [`CLASS_SHED`]).
+pub(crate) const CLASS_RETRIES: [&str; 3] = [
+    "router.interactive.retries",
+    "router.standard.retries",
+    "router.bulk.retries",
+];
+/// Per-class deadline-expiry counters (see [`CLASS_SHED`]).
+pub(crate) const CLASS_DEADLINE: [&str; 3] = [
+    "router.interactive.deadline_exceeded",
+    "router.standard.deadline_exceeded",
+    "router.bulk.deadline_exceeded",
+];
+/// Per-class end-to-end latency histograms (see [`CLASS_SHED`]).
+pub(crate) const CLASS_REQUEST_NS: [&str; 3] = [
+    "router.interactive.request_ns",
+    "router.standard.request_ns",
+    "router.bulk.request_ns",
+];
 
 /// Marks replica-level [`RouterEvent`]s that belong to no request.
 pub const NO_REQUEST: u64 = u64::MAX;
@@ -278,6 +311,25 @@ struct Replica<M: GroundingModel> {
     core: ServerCore<FaultedModel<M>>,
     plan: Arc<Mutex<ReplicaFaultPlan>>,
     busy_until_ns: u64,
+    /// Virtual service cost charged per batch id, so a delivered request
+    /// can attribute its service time even though the core's wall-clock
+    /// measurement is ~0 under a virtual clock.
+    batch_cost: HashMap<u64, u64>,
+}
+
+/// One outstanding dispatch (primary or hedge) of a pending request.
+struct Attempt {
+    replica: usize,
+    /// 1-based attempt ordinal (a hedge shares its primary's ordinal).
+    no: usize,
+    /// Span name emitted at resolution: `router.attempt` or `router.hedge`.
+    name: &'static str,
+    resp: Response,
+    /// Child context handed to the replica core; also the attempt span's
+    /// own identity.
+    ctx: TraceContext,
+    /// Obs-clock start, so the attempt span brackets dispatch→resolution.
+    started_real_ns: u64,
 }
 
 struct PendingReq {
@@ -287,15 +339,24 @@ struct PendingReq {
     class: Priority,
     key: u64,
     admitted_ns: u64,
+    admitted_real_ns: u64,
     deadline_ns: u64,
     attempts: usize,
     tried: Vec<usize>,
-    primary: Option<(usize, Response)>,
-    hedge: Option<(usize, Response)>,
+    ctx: TraceContext,
+    primary: Option<Attempt>,
+    hedge: Option<Attempt>,
     retry_due_ns: u64,
     hedge_due_ns: u64,
     last_error: Option<ServeError>,
-    tx: Sender<ServeResult>,
+    // Flight-record accumulation.
+    first_replica: Option<usize>,
+    batch_id: u64,
+    queue_ns: u64,
+    service_ns: u64,
+    hedged: bool,
+    hedge_won: bool,
+    tx: Sender<Delivery>,
 }
 
 /// The deterministic multi-replica router. See the module docs.
@@ -312,6 +373,7 @@ pub struct Router<M: GroundingModel> {
     rng: JitterRng,
     events: Vec<RouterEvent>,
     stats: RouterStats,
+    flights: Vec<FlightRecord>,
 }
 
 impl<M: GroundingModel> Router<M> {
@@ -341,6 +403,7 @@ impl<M: GroundingModel> Router<M> {
                     ),
                     plan,
                     busy_until_ns: 0,
+                    batch_cost: HashMap::new(),
                 }
             })
             .collect();
@@ -362,6 +425,7 @@ impl<M: GroundingModel> Router<M> {
             rng,
             events: Vec::new(),
             stats: RouterStats::default(),
+            flights: Vec::new(),
         }
     }
 
@@ -398,15 +462,6 @@ impl<M: GroundingModel> Router<M> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let ci = class.index();
-        if self.class_inflight[ci] >= self.cfg.class_capacity[ci] {
-            self.stats.shed += 1;
-            counter!("router.shed").incr();
-            self.push_event(now, seq, RouterEventKind::Shed);
-            return Err(ServeError::Overloaded {
-                inflight: self.class_inflight[ci],
-                capacity: self.cfg.class_capacity[ci],
-            });
-        }
 
         let key = scene_hash(scene);
         let (tx, rx) = channel();
@@ -415,6 +470,9 @@ impl<M: GroundingModel> Router<M> {
         } else {
             u64::MAX
         };
+        // Every valid request gets a trace root — shed and degraded
+        // answers show up in the span dump with their outcome, not just
+        // successes.
         let mut req = PendingReq {
             seq,
             scene: scene.clone(),
@@ -422,16 +480,36 @@ impl<M: GroundingModel> Router<M> {
             class,
             key,
             admitted_ns: now,
+            admitted_real_ns: yollo_obs::now_ns(),
             deadline_ns,
             attempts: 0,
             tried: Vec::new(),
+            ctx: alloc_root(),
             primary: None,
             hedge: None,
             retry_due_ns: u64::MAX,
             hedge_due_ns: u64::MAX,
             last_error: None,
+            first_replica: None,
+            batch_id: 0,
+            queue_ns: 0,
+            service_ns: 0,
+            hedged: false,
+            hedge_won: false,
             tx,
         };
+
+        if self.class_inflight[ci] >= self.cfg.class_capacity[ci] {
+            self.stats.shed += 1;
+            counter!("router.shed").incr();
+            yollo_obs::registry().counter(CLASS_SHED[ci]).incr();
+            self.push_event(now, seq, RouterEventKind::Shed);
+            self.finish_flight(&mut req, FlightOutcome::Shed, None, now, false);
+            return Err(ServeError::Overloaded {
+                inflight: self.class_inflight[ci],
+                capacity: self.cfg.class_capacity[ci],
+            });
+        }
 
         let target = self.pick_replica(key, &req.tried, now);
         match target {
@@ -454,13 +532,24 @@ impl<M: GroundingModel> Router<M> {
                         self.stats.degraded_hits += 1;
                         counter!("router.degraded_hits").incr();
                         self.push_event(now, seq, RouterEventKind::DegradedHit);
-                        let _ = req.tx.send(Ok(pred));
+                        self.finish_flight(
+                            &mut req,
+                            FlightOutcome::DegradedHit,
+                            Some(r),
+                            now,
+                            false,
+                        );
+                        let _ = req.tx.send(Delivery {
+                            result: Ok(pred),
+                            meta: ResponseMeta::out_of_band(ResponseSource::Router),
+                        });
                         return Ok(Response::from_rx(rx));
                     }
                 }
                 self.stats.unavailable += 1;
                 counter!("router.unavailable").incr();
                 self.push_event(now, seq, RouterEventKind::Unavailable);
+                self.finish_flight(&mut req, FlightOutcome::Unavailable, None, now, false);
                 Err(ServeError::Unavailable {
                     replicas: self.cfg.replicas,
                 })
@@ -523,7 +612,7 @@ impl<M: GroundingModel> Router<M> {
             // An answer hidden behind a busy replica becomes visible when
             // the batch completes.
             for attempt in [&req.primary, &req.hedge].into_iter().flatten() {
-                let busy = self.replicas[attempt.0].busy_until_ns;
+                let busy = self.replicas[attempt.replica].busy_until_ns;
                 if busy > now {
                     consider(busy);
                 }
@@ -555,6 +644,18 @@ impl<M: GroundingModel> Router<M> {
     /// Aggregate counters so far.
     pub fn stats(&self) -> RouterStats {
         self.stats
+    }
+
+    /// Per-request flight records so far, in terminal order. One record
+    /// per valid submission — accepted or not — reconcilable against
+    /// [`Router::events`] with [`crate::reconcile_flights`].
+    pub fn flight_records(&self) -> &[FlightRecord] {
+        &self.flights
+    }
+
+    /// SLO accounting aggregated from the flight records so far.
+    pub fn slo_report(&self) -> SloReport {
+        SloReport::from_flights(&self.flights)
     }
 
     /// Replica `r`'s current circuit position.
@@ -598,6 +699,9 @@ impl<M: GroundingModel> Router<M> {
         if !req.tried.contains(&replica) {
             req.tried.push(replica);
         }
+        if req.first_replica.is_none() {
+            req.first_replica = Some(replica);
+        }
         counter!("router.dispatches").incr();
         self.push_event(
             now,
@@ -607,14 +711,27 @@ impl<M: GroundingModel> Router<M> {
                 attempt: req.attempts,
             },
         );
-        let submitted = self.replicas[replica].core.submit_with_deadline(
+        // The attempt is a child span of the request root; the replica
+        // core hangs its queued/exec spans under it, so a delivered
+        // request's trace reads admission → attempt → batch → answer.
+        let actx = alloc_child(req.ctx);
+        let started_real_ns = yollo_obs::now_ns();
+        let submitted = self.replicas[replica].core.submit_traced(
             &req.scene,
             &req.query,
             req.deadline_ns,
+            actx,
         );
         match submitted {
             Ok(resp) => {
-                req.primary = Some((replica, resp));
+                req.primary = Some(Attempt {
+                    replica,
+                    no: req.attempts,
+                    name: "router.attempt",
+                    resp,
+                    ctx: actx,
+                    started_real_ns,
+                });
                 if self.cfg.hedge_delay_ns > 0
                     && req.class == Priority::Interactive
                     && req.hedge.is_none()
@@ -624,7 +741,25 @@ impl<M: GroundingModel> Router<M> {
                 }
                 false
             }
-            Err(e) => self.on_attempt_failure(req, replica, e, now),
+            Err(e) => {
+                // Synchronous rejection: the attempt span closes here.
+                if !actx.is_none() {
+                    let end = yollo_obs::now_ns();
+                    emit_span(
+                        "router.attempt",
+                        actx,
+                        req.ctx.span,
+                        started_real_ns,
+                        end.saturating_sub(started_real_ns),
+                        &[
+                            ("replica", replica as u64),
+                            ("attempt", req.attempts as u64),
+                            ("ok", 0),
+                        ],
+                    );
+                }
+                self.on_attempt_failure(req, replica, e, now)
+            }
         }
     }
 
@@ -645,9 +780,17 @@ impl<M: GroundingModel> Router<M> {
             let due = now.saturating_add(backoff);
             if due < req.deadline_ns {
                 req.retry_due_ns = due;
+                // Cancel any armed hedge timer: with no primary
+                // outstanding it could never fire (a stale timer would
+                // livelock `next_event_ns`); the retry dispatch re-arms
+                // it for hedge-eligible requests.
+                req.hedge_due_ns = u64::MAX;
                 req.last_error = Some(err);
                 self.stats.retries += 1;
                 counter!("router.retries").incr();
+                yollo_obs::registry()
+                    .counter(CLASS_RETRIES[req.class.index()])
+                    .incr();
                 return false;
             }
         }
@@ -655,7 +798,9 @@ impl<M: GroundingModel> Router<M> {
         true
     }
 
-    /// Delivers a terminal result and records it.
+    /// Delivers a terminal result and records it: stats, metrics (global
+    /// and per-class), the `Delivered` event, the flight record and the
+    /// request root span, then the client's [`Delivery`].
     fn deliver(&mut self, req: &mut PendingReq, replica: usize, result: ServeResult, now: u64) {
         let ok = result.is_ok();
         if ok {
@@ -665,9 +810,115 @@ impl<M: GroundingModel> Router<M> {
             self.stats.delivered_err += 1;
             counter!("router.failed").incr();
         }
-        histogram!("router.request_ns").record(now.saturating_sub(req.admitted_ns));
+        let waited = now.saturating_sub(req.admitted_ns);
+        histogram!("router.request_ns").record(waited);
+        yollo_obs::registry()
+            .histogram(CLASS_REQUEST_NS[req.class.index()])
+            .record(waited);
         self.push_event(now, req.seq, RouterEventKind::Delivered { replica, ok });
-        let _ = req.tx.send(result);
+        let outcome = if ok {
+            FlightOutcome::Ok
+        } else {
+            FlightOutcome::Error
+        };
+        self.finish_flight(req, outcome, Some(replica), now, true);
+        let _ = req.tx.send(Delivery {
+            result,
+            meta: ResponseMeta {
+                source: ResponseSource::Router,
+                batch_id: req.batch_id,
+                queue_ns: req.queue_ns,
+                service_ns: req.service_ns,
+            },
+        });
+    }
+
+    /// Closes out a request's trace and flight record at its terminal
+    /// state: abandons any still-outstanding attempt spans, emits the
+    /// `router.request` root span, and appends the [`FlightRecord`].
+    fn finish_flight(
+        &mut self,
+        req: &mut PendingReq,
+        outcome: FlightOutcome,
+        served: Option<usize>,
+        now: u64,
+        accepted: bool,
+    ) {
+        for att in req.primary.take().into_iter().chain(req.hedge.take()) {
+            Self::emit_attempt_span(&att, req.ctx.span, ("abandoned", 1));
+        }
+        if !req.ctx.is_none() {
+            let end = yollo_obs::now_ns();
+            emit_span(
+                "router.request",
+                req.ctx,
+                0,
+                req.admitted_real_ns,
+                end.saturating_sub(req.admitted_real_ns),
+                &[
+                    ("seq", req.seq),
+                    ("class", req.class.index() as u64),
+                    ("attempts", req.attempts as u64),
+                    ("outcome", outcome.code()),
+                    // 1-based so 0 means "no replica answered".
+                    ("replica", served.map_or(0, |r| r as u64 + 1)),
+                    ("batch", req.batch_id),
+                ],
+            );
+        }
+        self.flights.push(FlightRecord {
+            seq: req.seq,
+            trace: req.ctx.trace,
+            class: req.class,
+            accepted,
+            first_replica: req.first_replica,
+            served_by: served,
+            attempts: req.attempts,
+            hedged: req.hedged,
+            hedge_won: req.hedge_won,
+            batch_id: req.batch_id,
+            admitted_ns: req.admitted_ns,
+            total_ns: now.saturating_sub(req.admitted_ns),
+            queue_ns: req.queue_ns,
+            service_ns: req.service_ns,
+            outcome,
+        });
+    }
+
+    /// Emits the span of a resolved (or abandoned) attempt.
+    fn emit_attempt_span(att: &Attempt, parent_span: u64, status: (&'static str, u64)) {
+        if att.ctx.is_none() {
+            return;
+        }
+        let end = yollo_obs::now_ns();
+        emit_span(
+            att.name,
+            att.ctx,
+            parent_span,
+            att.started_real_ns,
+            end.saturating_sub(att.started_real_ns),
+            &[
+                ("replica", att.replica as u64),
+                ("attempt", att.no as u64),
+                status,
+            ],
+        );
+    }
+
+    /// Copies a winning attempt's batch accounting onto the request:
+    /// batch id and queue wait from the replica core's [`ResponseMeta`],
+    /// service time from the core's measurement or — under a virtual
+    /// clock, where that is ~0 — the [`ServiceModel`] cost charged for
+    /// the batch.
+    fn attribute(&self, req: &mut PendingReq, att: &Attempt, meta: &ResponseMeta) {
+        req.batch_id = meta.batch_id;
+        req.queue_ns = meta.queue_ns;
+        let cost = self.replicas[att.replica]
+            .batch_cost
+            .get(&meta.batch_id)
+            .copied()
+            .unwrap_or(0);
+        req.service_ns = meta.service_ns.max(cost);
     }
 
     /// Advances one pending request at `now`. Returns `true` when the
@@ -675,35 +926,55 @@ impl<M: GroundingModel> Router<M> {
     fn step_request(&mut self, req: &mut PendingReq, now: u64) -> bool {
         // 1. End-to-end deadline: answer even if a hung replica never will.
         if now >= req.deadline_ns {
-            if let Some((r, _)) = req.primary {
+            if let Some(att) = &req.primary {
+                let r = att.replica;
                 self.note_failure(r, now);
             }
             self.stats.deadline_exceeded += 1;
             counter!("router.deadline_exceeded").incr();
-            histogram!("router.request_ns").record(now.saturating_sub(req.admitted_ns));
+            yollo_obs::registry()
+                .counter(CLASS_DEADLINE[req.class.index()])
+                .incr();
+            let waited = now.saturating_sub(req.admitted_ns);
+            histogram!("router.request_ns").record(waited);
+            yollo_obs::registry()
+                .histogram(CLASS_REQUEST_NS[req.class.index()])
+                .record(waited);
             self.push_event(now, req.seq, RouterEventKind::DeadlineExceeded);
-            let _ = req.tx.send(Err(ServeError::DeadlineExceeded {
-                waited_ns: now.saturating_sub(req.admitted_ns),
-                deadline_ns: req.deadline_ns,
-            }));
+            self.finish_flight(req, FlightOutcome::DeadlineExceeded, None, now, true);
+            let _ = req.tx.send(Delivery {
+                result: Err(ServeError::DeadlineExceeded {
+                    waited_ns: waited,
+                    deadline_ns: req.deadline_ns,
+                }),
+                meta: ResponseMeta {
+                    source: ResponseSource::Router,
+                    batch_id: req.batch_id,
+                    queue_ns: req.queue_ns,
+                    service_ns: req.service_ns,
+                },
+            });
             return true;
         }
         // 2. Primary attempt outcome. A batch started at `t` completes at
         // `t + service cost`, so a replica's answers only become visible
         // once it is no longer busy — that is what makes a slowed replica
         // actually answer late (and hedges worth having).
-        if let Some((r, resp)) = &req.primary {
-            let r = *r;
+        if let Some(att) = &req.primary {
+            let r = att.replica;
             if self.replicas[r].busy_until_ns <= now {
-                if let Some(result) = resp.try_now() {
-                    req.primary = None;
+                if let Some((result, meta)) = att.resp.try_now_with_meta() {
+                    let att = req.primary.take().expect("primary attempt present");
                     match result {
                         Ok(pred) => {
+                            Self::emit_attempt_span(&att, req.ctx.span, ("ok", 1));
+                            self.attribute(req, &att, &meta);
                             self.note_success(r, now);
                             self.deliver(req, r, Ok(pred), now);
                             return true;
                         }
                         Err(e) => {
+                            Self::emit_attempt_span(&att, req.ctx.span, ("ok", 0));
                             if self.on_attempt_failure(req, r, e, now) {
                                 return true;
                             }
@@ -714,26 +985,29 @@ impl<M: GroundingModel> Router<M> {
         }
         // 3. Hedge outcome: a winning hedge delivers; a failing one is
         // discarded (the primary attempt is still the request's fate).
-        if let Some((r, resp)) = &req.hedge {
-            let r = *r;
+        if let Some(att) = &req.hedge {
+            let r = att.replica;
             if self.replicas[r].busy_until_ns <= now {
-                if let Some(result) = resp.try_now() {
-                    req.hedge = None;
+                if let Some((result, meta)) = att.resp.try_now_with_meta() {
+                    let att = req.hedge.take().expect("hedge attempt present");
                     match result {
                         Ok(pred) => {
+                            Self::emit_attempt_span(&att, req.ctx.span, ("ok", 1));
+                            self.attribute(req, &att, &meta);
                             self.note_success(r, now);
                             self.stats.hedge_wins += 1;
                             counter!("router.hedge_wins").incr();
+                            req.hedge_won = true;
                             self.deliver(req, r, Ok(pred), now);
                             return true;
                         }
-                        Err(e) => {
+                        Err(_) => {
+                            Self::emit_attempt_span(&att, req.ctx.span, ("ok", 0));
                             self.note_failure(r, now);
                             self.stats.replica_failures += 1;
                             counter!("router.replica_failures").incr();
                             // If the primary already failed and is waiting
                             // on a retry, the hedge failure changes nothing.
-                            let _ = e;
                         }
                     }
                 }
@@ -758,7 +1032,11 @@ impl<M: GroundingModel> Router<M> {
                             self.stats.degraded_hits += 1;
                             counter!("router.degraded_hits").incr();
                             self.push_event(now, req.seq, RouterEventKind::DegradedHit);
-                            let _ = req.tx.send(Ok(pred));
+                            self.finish_flight(req, FlightOutcome::DegradedHit, Some(r), now, true);
+                            let _ = req.tx.send(Delivery {
+                                result: Ok(pred),
+                                meta: ResponseMeta::out_of_band(ResponseSource::Router),
+                            });
                             return true;
                         }
                     }
@@ -780,12 +1058,41 @@ impl<M: GroundingModel> Router<M> {
                     counter!("router.hedges").incr();
                     self.push_event(now, req.seq, RouterEventKind::Hedged { replica: r });
                     req.tried.push(r);
-                    if let Ok(resp) = self.replicas[r].core.submit_with_deadline(
+                    req.hedged = true;
+                    let actx = alloc_child(req.ctx);
+                    let started_real_ns = yollo_obs::now_ns();
+                    match self.replicas[r].core.submit_traced(
                         &req.scene,
                         &req.query,
                         req.deadline_ns,
+                        actx,
                     ) {
-                        req.hedge = Some((r, resp));
+                        Ok(resp) => {
+                            req.hedge = Some(Attempt {
+                                replica: r,
+                                no: req.attempts,
+                                name: "router.hedge",
+                                resp,
+                                ctx: actx,
+                                started_real_ns,
+                            });
+                        }
+                        Err(_) if !actx.is_none() => {
+                            let end = yollo_obs::now_ns();
+                            emit_span(
+                                "router.hedge",
+                                actx,
+                                req.ctx.span,
+                                started_real_ns,
+                                end.saturating_sub(started_real_ns),
+                                &[
+                                    ("replica", r as u64),
+                                    ("attempt", req.attempts as u64),
+                                    ("ok", 0),
+                                ],
+                            );
+                        }
+                        Err(_) => {}
                     }
                 }
             }
@@ -862,12 +1169,20 @@ impl<M: GroundingModel> Router<M> {
                     break;
                 }
                 progress += 1;
-                let size = rep.core.boundaries().last().map_or(0, |b| b.size);
+                let (size, batch_id) = rep
+                    .core
+                    .boundaries()
+                    .last()
+                    .map_or((0, 0), |b| (b.size, b.batch_id));
                 let cost = svc
                     .base_ns
                     .saturating_add(svc.per_item_ns.saturating_mul(size as u64));
                 let cost = (cost as f64 * slow) as u64;
                 if cost > 0 {
+                    // Remember the charge so delivered requests can report
+                    // it as their service time (the core's own wall-clock
+                    // measurement is ~0 under a virtual clock).
+                    rep.batch_cost.insert(batch_id, cost);
                     rep.busy_until_ns = now.saturating_add(cost);
                     break;
                 }
@@ -916,6 +1231,9 @@ pub struct RouterReport {
     pub events: Vec<RouterEvent>,
     /// Aggregate counters.
     pub stats: RouterStats,
+    /// Per-request flight records, reconcilable against `events` with
+    /// [`crate::reconcile_flights`].
+    pub flights: Vec<FlightRecord>,
 }
 
 /// Replays arrival scripts against a [`Router`] on a virtual clock,
@@ -1011,6 +1329,7 @@ impl<M: GroundingModel> RouterSim<M> {
             rejected,
             events: self.router.events().to_vec(),
             stats: self.router.stats(),
+            flights: self.router.flight_records().to_vec(),
         }
     }
 

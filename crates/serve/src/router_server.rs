@@ -9,13 +9,19 @@
 //! client threads at once, and back-offs are real sleeps. Hedging is
 //! deliberately left to the deterministic form — a synchronous caller has
 //! nothing useful to do with a second outstanding copy.
+//!
+//! Both router forms are **observably identical**: they record the same
+//! `router.*` counters and histograms (including the per-class series in
+//! [`crate::router`]) and emit the same `router.request` /
+//! `router.attempt` span shapes, so dashboards and trace tooling built
+//! against one work against the other.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use yollo_core::{scene_hash, ReplicaFaultPlan};
-use yollo_obs::counter;
+use yollo_obs::{alloc_child, alloc_root, counter, emit_span, histogram, TraceContext};
 use yollo_synthref::Scene;
 use yollo_text::Vocab;
 
@@ -23,8 +29,12 @@ use crate::error::ServeError;
 use crate::health::HealthState;
 use crate::retry::JitterRng;
 use crate::ring::HashRing;
-use crate::router::{FaultedModel, RouterConfig};
+use crate::router::{
+    FaultedModel, Priority, RouterConfig, CLASS_DEADLINE, CLASS_REQUEST_NS, CLASS_RETRIES,
+    CLASS_SHED,
+};
 use crate::server::{GroundingModel, ServeConfig, ServeResult, Server};
+use crate::slo::FlightOutcome;
 
 /// Aggregate counters of a [`RouterServer`]'s lifetime.
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,6 +49,8 @@ pub struct RouterServerStats {
     pub deadline_exceeded: u64,
     /// Retry attempts made.
     pub retries: u64,
+    /// Calls shed at admission (class capacity).
+    pub shed: u64,
     /// Calls shed because no replica would admit them.
     pub unavailable: u64,
 }
@@ -49,7 +61,20 @@ struct AtomicStats {
     failed: AtomicU64,
     deadline_exceeded: AtomicU64,
     retries: AtomicU64,
+    shed: AtomicU64,
     unavailable: AtomicU64,
+}
+
+/// Decrements a class-inflight slot on every exit path.
+struct ClassSlot<'a> {
+    counts: &'a [AtomicUsize; 3],
+    ci: usize,
+}
+
+impl Drop for ClassSlot<'_> {
+    fn drop(&mut self) {
+        self.counts[self.ci].fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A health-checked, retrying router over threaded [`Server`] replicas.
@@ -62,6 +87,8 @@ pub struct RouterServer {
     rng: Mutex<JitterRng>,
     started: Instant,
     stats: AtomicStats,
+    class_inflight: [AtomicUsize; 3],
+    next_seq: AtomicU64,
 }
 
 impl RouterServer {
@@ -105,8 +132,15 @@ impl RouterServer {
                 failed: AtomicU64::new(0),
                 deadline_exceeded: AtomicU64::new(0),
                 retries: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
                 unavailable: AtomicU64::new(0),
             },
+            class_inflight: [
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+            ],
+            next_seq: AtomicU64::new(0),
         }
     }
 
@@ -129,6 +163,7 @@ impl RouterServer {
             failed: self.stats.failed.load(Ordering::Relaxed),
             deadline_exceeded: self.stats.deadline_exceeded.load(Ordering::Relaxed),
             retries: self.stats.retries.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
             unavailable: self.stats.unavailable.load(Ordering::Relaxed),
         }
     }
@@ -165,12 +200,118 @@ impl RouterServer {
         })
     }
 
-    /// Grounds one request: routes by scene affinity, enforces the
-    /// configured deadline, and retries retryable failures on fallback
-    /// replicas with jittered back-off. Exactly one terminal result.
+    /// Emits the `router.request` root span of one call (same shape as the
+    /// deterministic [`crate::Router`]'s).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_root(
+        ctx: TraceContext,
+        started_real_ns: u64,
+        seq: u64,
+        ci: usize,
+        attempts: usize,
+        outcome: FlightOutcome,
+        replica_plus1: u64,
+        batch: u64,
+    ) {
+        if ctx.is_none() {
+            return;
+        }
+        let end = yollo_obs::now_ns();
+        emit_span(
+            "router.request",
+            ctx,
+            0,
+            started_real_ns,
+            end.saturating_sub(started_real_ns),
+            &[
+                ("seq", seq),
+                ("class", ci as u64),
+                ("attempts", attempts as u64),
+                ("outcome", outcome.code()),
+                ("replica", replica_plus1),
+                ("batch", batch),
+            ],
+        );
+    }
+
+    /// Emits one resolved attempt span (same shape as the deterministic
+    /// router's).
+    fn emit_attempt(
+        ctx: TraceContext,
+        parent_span: u64,
+        started_real_ns: u64,
+        replica: usize,
+        attempt: usize,
+        status: (&'static str, u64),
+    ) {
+        if ctx.is_none() {
+            return;
+        }
+        let end = yollo_obs::now_ns();
+        emit_span(
+            "router.attempt",
+            ctx,
+            parent_span,
+            started_real_ns,
+            end.saturating_sub(started_real_ns),
+            &[
+                ("replica", replica as u64),
+                ("attempt", attempt as u64),
+                status,
+            ],
+        );
+    }
+
+    /// Records a terminal latency into the global and per-class request
+    /// histograms (metric parity with the deterministic router).
+    fn record_request_ns(&self, ci: usize, start: Instant) {
+        let waited = start.elapsed().as_nanos() as u64;
+        histogram!("router.request_ns").record(waited);
+        yollo_obs::registry()
+            .histogram(CLASS_REQUEST_NS[ci])
+            .record(waited);
+    }
+
+    /// [`RouterServer::call`] with [`Priority::Standard`].
     pub fn call(&self, scene: &Scene, query: &str) -> ServeResult {
+        self.call_with_class(scene, query, Priority::Standard)
+    }
+
+    /// Grounds one request: admits against the class's inflight cap,
+    /// routes by scene affinity, enforces the configured deadline, and
+    /// retries retryable failures on fallback replicas with jittered
+    /// back-off. Exactly one terminal result. (Unlike the deterministic
+    /// [`crate::Router`] there is no hedging and no degraded cache-only
+    /// mode — a synchronous caller has nothing useful to do with a second
+    /// outstanding copy, and replica caches are not reachable once a
+    /// replica stops admitting.)
+    pub fn call_with_class(&self, scene: &Scene, query: &str, class: Priority) -> ServeResult {
         self.stats.calls.fetch_add(1, Ordering::Relaxed);
         counter!("router.requests").incr();
+        let ci = class.index();
+        let ctx = alloc_root();
+        let started_real_ns = yollo_obs::now_ns();
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+
+        // Per-class admission cap — same shedding policy (and metrics) as
+        // the deterministic router.
+        let inflight = self.class_inflight[ci].fetch_add(1, Ordering::SeqCst);
+        if inflight >= self.cfg.class_capacity[ci] {
+            self.class_inflight[ci].fetch_sub(1, Ordering::SeqCst);
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            counter!("router.shed").incr();
+            yollo_obs::registry().counter(CLASS_SHED[ci]).incr();
+            Self::emit_root(ctx, started_real_ns, seq, ci, 0, FlightOutcome::Shed, 0, 0);
+            return Err(ServeError::Overloaded {
+                inflight,
+                capacity: self.cfg.class_capacity[ci],
+            });
+        }
+        let _slot = ClassSlot {
+            counts: &self.class_inflight,
+            ci,
+        };
+
         let key = scene_hash(scene);
         let start = Instant::now();
         let deadline =
@@ -181,6 +322,16 @@ impl RouterServer {
             let Some(replica) = self.pick(key, &tried) else {
                 self.stats.unavailable.fetch_add(1, Ordering::Relaxed);
                 counter!("router.unavailable").incr();
+                Self::emit_root(
+                    ctx,
+                    started_real_ns,
+                    seq,
+                    ci,
+                    attempts,
+                    FlightOutcome::Unavailable,
+                    0,
+                    0,
+                );
                 return Err(ServeError::Unavailable {
                     replicas: self.replicas.len(),
                 });
@@ -190,21 +341,51 @@ impl RouterServer {
                 tried.push(replica);
             }
             counter!("router.dispatches").incr();
-            let outcome = match self.replicas[replica].submit(scene, query) {
+            let actx = alloc_child(ctx);
+            let attempt_real_ns = yollo_obs::now_ns();
+            let mut batch_id = 0u64;
+            let outcome = match self.replicas[replica].submit_traced(scene, query, actx) {
                 Err(e) => Err(e),
                 Ok(resp) => match deadline {
-                    None => resp.wait(),
+                    None => {
+                        let (result, meta) = resp.wait_with_meta();
+                        batch_id = meta.batch_id;
+                        result
+                    }
                     Some(d) => {
                         let remaining = d.saturating_duration_since(Instant::now());
-                        match resp.wait_for(remaining) {
-                            Some(result) => result,
+                        match resp.wait_for_with_meta(remaining) {
+                            Some((result, meta)) => {
+                                batch_id = meta.batch_id;
+                                result
+                            }
                             None => {
                                 // The replica holds the request past its
                                 // deadline: answer the caller ourselves and
                                 // mark the replica.
+                                Self::emit_attempt(
+                                    actx,
+                                    ctx.span,
+                                    attempt_real_ns,
+                                    replica,
+                                    attempts,
+                                    ("abandoned", 1),
+                                );
                                 self.record_outcome(replica, false);
                                 self.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
                                 counter!("router.deadline_exceeded").incr();
+                                yollo_obs::registry().counter(CLASS_DEADLINE[ci]).incr();
+                                self.record_request_ns(ci, start);
+                                Self::emit_root(
+                                    ctx,
+                                    started_real_ns,
+                                    seq,
+                                    ci,
+                                    attempts,
+                                    FlightOutcome::DeadlineExceeded,
+                                    0,
+                                    0,
+                                );
                                 let waited = start.elapsed().as_nanos() as u64;
                                 return Err(ServeError::DeadlineExceeded {
                                     waited_ns: waited,
@@ -217,13 +398,41 @@ impl RouterServer {
             };
             match outcome {
                 Ok(pred) => {
+                    Self::emit_attempt(
+                        actx,
+                        ctx.span,
+                        attempt_real_ns,
+                        replica,
+                        attempts,
+                        ("ok", 1),
+                    );
                     self.record_outcome(replica, true);
                     self.stats.ok.fetch_add(1, Ordering::Relaxed);
                     counter!("router.delivered").incr();
+                    self.record_request_ns(ci, start);
+                    Self::emit_root(
+                        ctx,
+                        started_real_ns,
+                        seq,
+                        ci,
+                        attempts,
+                        FlightOutcome::Ok,
+                        replica as u64 + 1,
+                        batch_id,
+                    );
                     return Ok(pred);
                 }
                 Err(e) => {
+                    Self::emit_attempt(
+                        actx,
+                        ctx.span,
+                        attempt_real_ns,
+                        replica,
+                        attempts,
+                        ("ok", 0),
+                    );
                     self.record_outcome(replica, false);
+                    counter!("router.replica_failures").incr();
                     let may_retry = e.is_retryable() && self.cfg.retry.may_retry(attempts);
                     let backoff = Duration::from_nanos(
                         self.cfg
@@ -237,11 +446,23 @@ impl RouterServer {
                     if may_retry && in_budget {
                         self.stats.retries.fetch_add(1, Ordering::Relaxed);
                         counter!("router.retries").incr();
+                        yollo_obs::registry().counter(CLASS_RETRIES[ci]).incr();
                         std::thread::sleep(backoff);
                         continue;
                     }
                     self.stats.failed.fetch_add(1, Ordering::Relaxed);
                     counter!("router.failed").incr();
+                    self.record_request_ns(ci, start);
+                    Self::emit_root(
+                        ctx,
+                        started_real_ns,
+                        seq,
+                        ci,
+                        attempts,
+                        FlightOutcome::Error,
+                        replica as u64 + 1,
+                        batch_id,
+                    );
                     return Err(e);
                 }
             }

@@ -24,7 +24,7 @@ use yollo_core::{
     encode_query_strict, scene_hash, stack_images, GroundingPrediction, RequestKey, Yollo,
     YolloConfig,
 };
-use yollo_obs::{counter, histogram};
+use yollo_obs::{alloc_child, alloc_root, counter, emit_span, histogram, TraceContext};
 use yollo_synthref::Scene;
 use yollo_tensor::Tensor;
 use yollo_text::Vocab;
@@ -188,19 +188,78 @@ impl ServeConfig {
     }
 }
 
+/// Where a response came from, for per-request accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseSource {
+    /// Answered from the response cache at admission.
+    Cache,
+    /// Answered by a worker running the request's batch.
+    Batch,
+    /// Answered at batch formation because the deadline passed.
+    Expired,
+    /// Answered by the router itself (degraded hit, router-side deadline,
+    /// unavailability).
+    Router,
+}
+
+/// Per-response accounting delivered alongside the result: which batch
+/// served the request (0 = none) and how its latency splits into queue
+/// wait vs model service, on the serving clock (deterministic under a
+/// [`crate::VirtualClock`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseMeta {
+    /// Where the answer came from.
+    pub source: ResponseSource,
+    /// The replica-local id of the batch that served the request, or 0
+    /// when no batch ran ([`ResponseSource::Cache`] / `Expired` /
+    /// `Router`).
+    pub batch_id: u64,
+    /// Time spent queued before the batch flushed (admission → flush).
+    pub queue_ns: u64,
+    /// Time spent in the model (flush → batch completion).
+    pub service_ns: u64,
+}
+
+impl ResponseMeta {
+    /// Meta for a response the caller answered itself, outside any batch.
+    pub(crate) fn out_of_band(source: ResponseSource) -> Self {
+        ResponseMeta {
+            source,
+            batch_id: 0,
+            queue_ns: 0,
+            service_ns: 0,
+        }
+    }
+}
+
+/// What travels on a response channel: the result plus its accounting.
+pub(crate) struct Delivery {
+    pub(crate) result: ServeResult,
+    pub(crate) meta: ResponseMeta,
+}
+
 /// One admitted request travelling through the batcher.
 struct Job {
     image: Vec<f64>,
     ids: Vec<usize>,
     key: RequestKey,
-    tx: Sender<ServeResult>,
+    tx: Sender<Delivery>,
     enqueued_ns: u64,
     deadline_ns: u64,
+    /// Parent context for this job's queue/exec child spans: the request
+    /// root for direct submits, the router's attempt span otherwise.
+    ctx: TraceContext,
+    /// Nonzero when the server owns the request's trace root (direct
+    /// submits): the `serve.request` span is emitted at answer time.
+    root: TraceContext,
+    /// Admission time on the obs trace clock (real time, for span
+    /// emission; `enqueued_ns` stays on the serving clock).
+    enq_real_ns: u64,
 }
 
 /// A handle to one request's eventual result.
 pub struct Response {
-    rx: Receiver<ServeResult>,
+    rx: Receiver<Delivery>,
 }
 
 impl std::fmt::Debug for Response {
@@ -212,35 +271,57 @@ impl std::fmt::Debug for Response {
 impl Response {
     /// Wraps a raw receiver (the router answers some requests itself —
     /// degraded cache hits, deadline expiries — through the same handle).
-    pub(crate) fn from_rx(rx: Receiver<ServeResult>) -> Self {
+    pub(crate) fn from_rx(rx: Receiver<Delivery>) -> Self {
         Response { rx }
+    }
+
+    fn closed() -> Delivery {
+        Delivery {
+            result: Err(ServeError::WorkerFailed {
+                detail: "response channel closed".to_owned(),
+            }),
+            meta: ResponseMeta::out_of_band(ResponseSource::Batch),
+        }
     }
 
     /// Blocks until the result arrives.
     pub fn wait(self) -> ServeResult {
-        self.rx.recv().unwrap_or(Err(ServeError::WorkerFailed {
-            detail: "response channel closed".to_owned(),
-        }))
+        self.wait_with_meta().0
+    }
+
+    /// Blocks until the result arrives; also returns its accounting.
+    pub fn wait_with_meta(self) -> (ServeResult, ResponseMeta) {
+        let d = self.rx.recv().unwrap_or_else(|_| Response::closed());
+        (d.result, d.meta)
     }
 
     /// Blocks until the result arrives or `timeout` passes; `None` on
     /// timeout (the request stays in flight — the server will still answer
     /// into the abandoned channel).
     pub fn wait_for(&self, timeout: Duration) -> Option<ServeResult> {
+        self.wait_for_with_meta(timeout).map(|(res, _)| res)
+    }
+
+    /// [`Response::wait_for`], also returning the accounting on arrival.
+    pub fn wait_for_with_meta(&self, timeout: Duration) -> Option<(ServeResult, ResponseMeta)> {
         match self.rx.recv_timeout(timeout) {
-            Ok(res) => Some(res),
+            Ok(d) => Some((d.result, d.meta)),
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                Some(Err(ServeError::WorkerFailed {
-                    detail: "response channel closed".to_owned(),
-                }))
+                let d = Response::closed();
+                Some((d.result, d.meta))
             }
         }
     }
 
     /// The result if it is already available (cache hits are immediate).
     pub fn try_now(&self) -> Option<ServeResult> {
-        self.rx.try_recv().ok()
+        self.try_now_with_meta().map(|(res, _)| res)
+    }
+
+    /// [`Response::try_now`], also returning the accounting.
+    pub fn try_now_with_meta(&self) -> Option<(ServeResult, ResponseMeta)> {
+        self.rx.try_recv().ok().map(|d| (d.result, d.meta))
     }
 }
 
@@ -266,11 +347,31 @@ impl ServeState {
     }
 }
 
+/// Emits the `serve.request` trace root for a request whose trace the
+/// server owns (direct submits; router-owned requests get their root from
+/// the router). No-op when `root` is [`TraceContext::NONE`].
+fn emit_request_root(root: TraceContext, enq_real_ns: u64, args: &[(&'static str, u64)]) {
+    if !root.is_none() {
+        let now = yollo_obs::now_ns();
+        emit_span(
+            "serve.request",
+            root,
+            0,
+            enq_real_ns,
+            now.saturating_sub(enq_real_ns),
+            args,
+        );
+    }
+}
+
 /// Validates and enqueues one request at time `now_ns`. On a cache hit the
 /// response is already resolved and nothing is enqueued. `deadline_ns` is
 /// the request's absolute expiry (`u64::MAX` = derive from the config's
-/// `default_deadline_ns`, or no deadline if that is 0). Returns the
-/// response handle and whether the push filled the batch.
+/// `default_deadline_ns`, or no deadline if that is 0). `parent` is the
+/// caller's trace context (the router's attempt span); when it is
+/// [`TraceContext::NONE`] the server roots a fresh trace for the request.
+/// Returns the response handle and whether the push filled the batch.
+#[allow(clippy::too_many_arguments)]
 fn admit(
     cfg: &ServeConfig,
     vocab: &Vocab,
@@ -279,6 +380,7 @@ fn admit(
     scene: &Scene,
     query: &str,
     deadline_ns: u64,
+    parent: TraceContext,
 ) -> Result<(Response, bool), ServeError> {
     counter!("serve.requests").incr();
     if state.shutdown {
@@ -291,12 +393,23 @@ fn admit(
         });
     }
     let ids = encode_query_strict(vocab, query, cfg.max_tokens)?;
+    let enq_real_ns = yollo_obs::now_ns();
+    let root = if parent.is_none() {
+        alloc_root()
+    } else {
+        TraceContext::NONE
+    };
+    let ctx = if root.is_none() { parent } else { root };
     let key = RequestKey::new(scene, query);
     let (tx, rx) = channel();
     if let Some(pred) = state.cache.get(&key) {
         counter!("serve.cache.hits").incr();
         counter!("serve.responses").incr();
-        let _ = tx.send(Ok(pred.clone()));
+        let _ = tx.send(Delivery {
+            result: Ok(pred.clone()),
+            meta: ResponseMeta::out_of_band(ResponseSource::Cache),
+        });
+        emit_request_root(root, enq_real_ns, &[("cache", 1)]);
         return Ok((Response { rx }, false));
     }
     counter!("serve.cache.misses").incr();
@@ -324,6 +437,9 @@ fn admit(
             tx,
             enqueued_ns: now_ns,
             deadline_ns,
+            ctx,
+            root,
+            enq_real_ns,
         },
         now_ns,
         deadline_ns,
@@ -341,10 +457,20 @@ fn expire_jobs(state: &mut ServeState, now_ns: u64) -> usize {
         counter!("serve.deadline_exceeded").incr();
         counter!("serve.responses").incr();
         state.inflight -= 1;
-        let _ = job.tx.send(Err(ServeError::DeadlineExceeded {
-            waited_ns: now_ns.saturating_sub(job.enqueued_ns),
-            deadline_ns: job.deadline_ns,
-        }));
+        let waited_ns = now_ns.saturating_sub(job.enqueued_ns);
+        emit_request_root(job.root, job.enq_real_ns, &[("expired", 1)]);
+        let _ = job.tx.send(Delivery {
+            result: Err(ServeError::DeadlineExceeded {
+                waited_ns,
+                deadline_ns: job.deadline_ns,
+            }),
+            meta: ResponseMeta {
+                source: ResponseSource::Expired,
+                batch_id: 0,
+                queue_ns: waited_ns,
+                service_ns: 0,
+            },
+        });
     }
     n
 }
@@ -363,7 +489,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// cache entries to insert (empty when the worker failed — failures are
 /// never cached).
 struct BatchOutcome {
-    responses: Vec<(Sender<ServeResult>, ServeResult)>,
+    responses: Vec<(Sender<Delivery>, Delivery)>,
     inserts: Vec<(RequestKey, GroundingPrediction)>,
     size: usize,
     failed: bool,
@@ -374,11 +500,38 @@ impl BatchOutcome {
     /// (inflight count, cache) reflects this batch, so that a client
     /// observing its answer also observes the freed queue slot.
     fn deliver(self) {
-        for (tx, result) in self.responses {
+        for (tx, delivery) in self.responses {
             counter!("serve.responses").incr();
-            let _ = tx.send(result);
+            let _ = tx.send(delivery);
         }
     }
+}
+
+/// Emits the per-job `serve.queued` / `serve.exec` child spans under the
+/// job's context, covering admission → flush and flush → completion on
+/// the obs trace clock.
+fn emit_job_spans(job: &Job, batch_id: u64, flush_real_ns: u64, finish_real_ns: u64) {
+    if job.ctx.is_none() {
+        return;
+    }
+    let queued = alloc_child(job.ctx);
+    emit_span(
+        "serve.queued",
+        queued,
+        job.ctx.span,
+        job.enq_real_ns,
+        flush_real_ns.saturating_sub(job.enq_real_ns),
+        &[("batch", batch_id)],
+    );
+    let exec = alloc_child(job.ctx);
+    emit_span(
+        "serve.exec",
+        exec,
+        job.ctx.span,
+        flush_real_ns,
+        finish_real_ns.saturating_sub(flush_real_ns),
+        &[("batch", batch_id)],
+    );
 }
 
 /// Runs the model on a flushed batch. The caller applies the outcome to
@@ -391,26 +544,50 @@ fn run_batch<M: GroundingModel + ?Sized>(
 ) -> BatchOutcome {
     counter!("serve.batches").incr();
     histogram!("serve.batch_size").record(batch.items.len() as u64);
-    let _span = yollo_obs::span!("serve.batch");
+    let _span = yollo_obs::span!("serve.batch")
+        .with_arg("batch", batch.id)
+        .with_arg("size", batch.items.len() as u64);
     let started = clock.now_ns();
+    let flush_real = yollo_obs::now_ns();
+    let batch_id = batch.id;
+    let flushed_at = batch.flushed_at_ns;
     let mut jobs = batch.items;
     let rows: Vec<Vec<f64>> = jobs.iter_mut().map(|j| mem::take(&mut j.image)).collect();
     let images = stack_images(&rows, cfg.in_channels, cfg.image_height, cfg.image_width);
     let queries: Vec<Vec<usize>> = jobs.iter().map(|j| j.ids.clone()).collect();
     let outcome = catch_unwind(AssertUnwindSafe(|| model.predict_batch(images, &queries)));
     let finished = clock.now_ns();
+    let finish_real = yollo_obs::now_ns();
     histogram!("serve.batch_ns").record(finished.saturating_sub(started));
     let size = jobs.len();
+    let service_ns = finished.saturating_sub(flushed_at);
     for job in &jobs {
         histogram!("serve.request_ns").record(finished.saturating_sub(job.enqueued_ns));
+        histogram!("serve.queue_ns").record(flushed_at.saturating_sub(job.enqueued_ns));
+        histogram!("serve.service_ns").record(service_ns);
+        emit_job_spans(job, batch_id, flush_real, finish_real);
     }
+    let meta_of = |job: &Job| ResponseMeta {
+        source: ResponseSource::Batch,
+        batch_id,
+        queue_ns: flushed_at.saturating_sub(job.enqueued_ns),
+        service_ns,
+    };
     let detail = match outcome {
         Ok(preds) if preds.len() == jobs.len() => {
             let mut responses = Vec::with_capacity(size);
             let mut inserts = Vec::with_capacity(size);
             for (job, pred) in jobs.into_iter().zip(preds) {
-                responses.push((job.tx, Ok(pred.clone())));
-                inserts.push((job.key, pred));
+                let meta = meta_of(&job);
+                emit_request_root(job.root, job.enq_real_ns, &[("batch", batch_id)]);
+                inserts.push((job.key, pred.clone()));
+                responses.push((
+                    job.tx,
+                    Delivery {
+                        result: Ok(pred),
+                        meta,
+                    },
+                ));
             }
             return BatchOutcome {
                 responses,
@@ -430,10 +607,22 @@ fn run_batch<M: GroundingModel + ?Sized>(
     let responses = jobs
         .into_iter()
         .map(|job| {
+            let meta = meta_of(&job);
+            emit_request_root(
+                job.root,
+                job.enq_real_ns,
+                &[("batch", batch_id), ("failed", 1)],
+            );
             let err = ServeError::WorkerFailed {
                 detail: detail.clone(),
             };
-            (job.tx, Err(err))
+            (
+                job.tx,
+                Delivery {
+                    result: Err(err),
+                    meta,
+                },
+            )
         })
         .collect();
     BatchOutcome {
@@ -507,6 +696,20 @@ impl<M: GroundingModel> ServerCore<M> {
         query: &str,
         deadline_ns: u64,
     ) -> Result<Response, ServeError> {
+        self.submit_traced(scene, query, deadline_ns, TraceContext::NONE)
+    }
+
+    /// [`ServerCore::submit_with_deadline`] under an explicit trace
+    /// context: the request's queue and execution spans become children of
+    /// `parent` (the router's attempt span) instead of rooting a fresh
+    /// trace.
+    pub fn submit_traced(
+        &mut self,
+        scene: &Scene,
+        query: &str,
+        deadline_ns: u64,
+        parent: TraceContext,
+    ) -> Result<Response, ServeError> {
         let now = self.clock.now_ns();
         let (resp, full) = admit(
             &self.cfg,
@@ -516,6 +719,7 @@ impl<M: GroundingModel> ServerCore<M> {
             scene,
             query,
             deadline_ns,
+            parent,
         )?;
         if full || self.state.batcher.len() == 1 {
             self.waker.wake();
@@ -587,6 +791,7 @@ impl<M: GroundingModel> ServerCore<M> {
             at_ns: batch.flushed_at_ns,
             size,
             reason: batch.reason,
+            batch_id: batch.id,
         });
         let mut outcome = run_batch(&self.model, &self.cfg, self.clock.as_ref(), batch);
         for (k, v) in mem::take(&mut outcome.inserts) {
@@ -599,6 +804,15 @@ impl<M: GroundingModel> ServerCore<M> {
     /// Every flush so far, in order — the determinism fingerprint.
     pub fn boundaries(&self) -> &[BatchBoundary] {
         &self.state.boundaries
+    }
+
+    /// The id of the most recently flushed batch (0 before any flush).
+    pub fn last_batch_id(&self) -> u64 {
+        self.state
+            .boundaries
+            .last()
+            .map(|b| b.batch_id)
+            .unwrap_or(0)
     }
 
     /// Accepted-but-unanswered requests.
@@ -699,6 +913,17 @@ impl Server {
 
     /// Admits one request; the worker pool answers it asynchronously.
     pub fn submit(&self, scene: &Scene, query: &str) -> Result<Response, ServeError> {
+        self.submit_traced(scene, query, TraceContext::NONE)
+    }
+
+    /// [`Server::submit`] under an explicit trace context (the router's
+    /// attempt span); [`TraceContext::NONE`] roots a fresh trace.
+    pub fn submit_traced(
+        &self,
+        scene: &Scene,
+        query: &str,
+        parent: TraceContext,
+    ) -> Result<Response, ServeError> {
         let now = self.shared.clock.now_ns();
         let mut st = self.shared.state.lock().expect("serve state poisoned");
         let (resp, _full) = admit(
@@ -709,6 +934,7 @@ impl Server {
             scene,
             query,
             u64::MAX,
+            parent,
         )?;
         drop(st);
         self.shared.cond.notify_one();
@@ -780,6 +1006,7 @@ where
                 at_ns: batch.flushed_at_ns,
                 size: batch.items.len(),
                 reason: batch.reason,
+                batch_id: batch.id,
             });
             drop(st);
             let mut outcome = run_batch(&model, &shared.cfg, shared.clock.as_ref(), batch);

@@ -48,6 +48,7 @@ print("BENCH_train.json ok:",
       ", ".join(f"{r['mode']}/w{r['worker_threads']}->{r['steps_per_s']:.2f} steps/s"
                 for r in bench["rows"]))
 EOF
+scripts/bench_check BENCH_train.json baselines/tiny/BENCH_train.json
 
 echo "== trainer: no stray printing in core =="
 # training progress goes through the log/obs layers, never raw stdout
@@ -89,6 +90,7 @@ for r in rows:
 print(f"BENCH_tensor.json ok: {len(rows)} rows, "
       f"{len(by_dtype['f64'])} (op, shape, threads) cells per dtype")
 EOF
+scripts/bench_check BENCH_tensor.json baselines/tiny/BENCH_tensor.json
 
 echo "== serve: batching, fault and determinism suites =="
 # virtual-clock flush exactness, backpressure, cache identity, worker-panic
@@ -105,8 +107,46 @@ echo "== serve: router chaos gate =="
 cargo test -q -p yollo-serve --test router
 cargo test -q -p yollo-serve --test ring_props
 
-echo "== serve: load-test smoke =="
-YOLLO_SCALE=tiny cargo run --release -q -p yollo-bench --bin exp_serve
+echo "== serve: load-test smoke + trace gate =="
+# exp_serve validates its own flight/event reconciliation and span-chain
+# completeness (it aborts otherwise); the trace gate re-derives the chain
+# check from the written Chrome trace alone, so the artifact a human
+# would open in Perfetto is itself proven complete
+SERVE_TRACE=target/experiments/trace_serve_ci.json
+YOLLO_SCALE=tiny YOLLO_TRACE_PATH="$SERVE_TRACE" cargo run --release -q -p yollo-bench --bin exp_serve
+python3 - "$SERVE_TRACE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    events = [e for e in json.load(f) if e.get("ph") == "X"]
+by_trace = {}
+for e in events:
+    t = e["args"].get("trace", 0)
+    if t:
+        by_trace.setdefault(t, []).append(e)
+with open("BENCH_serve.json") as f:
+    slo = json.load(f)["slo"]
+roots = [e for e in events if e["name"] == "router.request"]
+assert len(roots) == slo["requests"], (
+    f"{len(roots)} router.request roots for {slo['requests']} requests")
+for root in roots:
+    trace = root["args"]["trace"]
+    evs = by_trace[trace]
+    ids = {e["args"]["id"] for e in evs}
+    # causal completeness from the artifact alone: every span's parent
+    # resolves inside its trace, and the root's declared attempt count
+    # matches the attempt spans actually present
+    for e in evs:
+        p = e["args"]["parent"]
+        assert p == 0 or p in ids, (
+            f"trace {trace}: span {e['args']['id']} has dangling parent {p}")
+    attempts = sum(1 for e in evs if e["name"] == "router.attempt")
+    assert attempts == root["args"]["attempts"], (
+        f"trace {trace}: root declares {root['args']['attempts']} attempts, "
+        f"found {attempts}")
+    assert "outcome" in root["args"], f"trace {trace}: root missing outcome"
+print(f"trace gate ok: {len(roots)} admission->outcome chains, "
+      f"{len(events)} events in {sys.argv[1]}")
+EOF
 python3 - <<'EOF'
 import json
 with open("BENCH_serve.json") as f:
@@ -139,7 +179,24 @@ print("BENCH_serve.json ok:",
 print("router ok:",
       ", ".join(f"x{r['replicas']}/{r['condition']}->{r['availability']:.3f}"
                 for r in sorted(router, key=lambda r: (r['replicas'], r['condition']))))
+# SLO accounting: the deterministic traced chaos run must answer
+# everything it accepts, split latency into queue vs service, and agree
+# with the span-chain count the trace gate just verified
+slo = bench["slo"]
+assert slo["requests"] > 0 and slo["accepted"] > 0
+assert slo["availability"] >= 0.99, f"chaos run lost accepted requests: {slo}"
+assert slo["trace"]["request_chains"] == slo["requests"]
+bd = slo["latency_breakdown_ns"]
+for part in ("total", "queue", "service"):
+    assert bd[part]["p50"] <= bd[part]["p95"] <= bd[part]["p99"], (
+        f"percentiles must be monotone: {part} {bd[part]}")
+assert bd["total"]["p95"] >= bd["queue"]["p50"], "total latency includes queue wait"
+print(f"slo ok: availability {slo['availability']:.3f}, "
+      f"retry amp {slo['retry_amplification']:.2f}, "
+      f"p95 total/queue/service {bd['total']['p95']}/{bd['queue']['p95']}"
+      f"/{bd['service']['p95']} ns")
 EOF
+scripts/bench_check BENCH_serve.json baselines/tiny/BENCH_serve.json
 
 echo "== serve: no stray printing in the serving crate =="
 # the serve crate (batcher, router, health machinery) must never write to
@@ -168,6 +225,16 @@ TRACE_PATH=target/experiments/trace_ci.json
 YOLLO_SCALE=tiny YOLLO_TRACE_PATH="$TRACE_PATH" cargo run --release -q -p yollo-bench --bin exp_profile
 python3 -m json.tool BENCH_obs.json > /dev/null
 python3 -m json.tool "$TRACE_PATH" > /dev/null
+scripts/bench_check BENCH_obs.json baselines/tiny/BENCH_obs.json
+
+echo "== obs: serving trace-validation mode =="
+# the same binary in YOLLO_PROFILE_MODE=trace drives a traced request
+# load through the threaded server and exits non-zero unless every
+# request trace is a causally complete chain
+VALIDATE_TRACE=target/experiments/trace_validation_ci.json
+YOLLO_SCALE=tiny YOLLO_PROFILE_MODE=trace YOLLO_TRACE_PATH="$VALIDATE_TRACE" \
+    cargo run --release -q -p yollo-bench --bin exp_profile
+python3 -m json.tool "$VALIDATE_TRACE" > /dev/null
 
 echo "== obs: no stray printing in the telemetry crate =="
 # the obs crate must never write to stdout; sinks and trace files only

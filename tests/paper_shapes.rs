@@ -3,7 +3,18 @@
 //! small models) but they pin down exactly what the repository claims to
 //! reproduce.
 
+use std::sync::Mutex;
+
 use yollo::prelude::*;
+
+/// Serializes the tests in this binary: they assert on wall-clock timings
+/// and on process-global `yollo-obs` counters, and a sibling test training
+/// a model in parallel would pollute both.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn quick_train(ds: &Dataset, iterations: usize, seed: u64) -> Yollo {
     let mut model = Yollo::for_dataset(ds, seed);
@@ -21,8 +32,19 @@ fn quick_train(ds: &Dataset, iterations: usize, seed: u64) -> Yollo {
 /// §1 / Table 5: one-stage inference must be several times faster than the
 /// two-stage pipeline on identical inputs — the structural claim survives
 /// any hardware.
+///
+/// The *structural* half (stage-ii runs its network once per proposal, so
+/// the two-stage pipeline issues an op count that scales with the proposal
+/// budget while YOLLO's is constant) is pinned on the obs work counters:
+/// deterministic, and independent of build profile and machine load. The
+/// wall-clock half is asserted only in optimized builds — at miniature
+/// scale the one-stage net does *more* raw matmul flops than the 60
+/// tiny per-proposal matmuls, so an unoptimized debug build (where the
+/// matmul kernel dominates everything) inverts the constant factors and
+/// measures the compiler, not the architecture.
 #[test]
 fn one_stage_is_structurally_faster_than_two_stage() {
+    let _g = serial();
     let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 1));
     let vocab = ds.build_vocab();
     let model = Yollo::for_dataset(&ds, 0);
@@ -43,6 +65,16 @@ fn one_stage_is_structurally_faster_than_two_stage() {
     let img = scene.render().reshape(&[1, 5, scene.height, scene.width]);
     let q = vocab.encode_padded(&s.tokens, model.config().max_query_len);
 
+    yollo_obs::set_enabled(true);
+    let reg = yollo_obs::registry();
+    let work = || {
+        (
+            reg.counter("tensor.matmul.calls").get(),
+            reg.counter("tensor.graph.nodes").get(),
+        )
+    };
+
+    let w0 = work();
     let t_one = time_inference(
         || {
             model.predict_batch(img.clone(), std::slice::from_ref(&q));
@@ -50,6 +82,7 @@ fn one_stage_is_structurally_faster_than_two_stage() {
         2,
         9,
     );
+    let w1 = work();
     let t_two = time_inference(
         || {
             grounder.ground(scene, &s.tokens);
@@ -57,10 +90,35 @@ fn one_stage_is_structurally_faster_than_two_stage() {
         1,
         5,
     );
-    // medians, and a conservative threshold: CI machines may run this test
-    // alongside other load, and the claim being pinned is only *structural*
-    // (per-proposal stage-ii work ≫ one forward pass)
+    let w2 = work();
+
+    // Per-pass op counts (both pipelines ran 11 resp. 6 total passes).
+    let one_matmuls = (w1.0 - w0.0) / 11;
+    let one_nodes = (w1.1 - w0.1) / 11;
+    let two_matmuls = (w2.0 - w1.0) / 6;
+    let two_nodes = (w2.1 - w1.1) / 6;
+    if one_nodes > 0 {
+        // measured here: ~28x the matmuls, ~17x the graph nodes; assert a
+        // conservative 5x so model-shape tweaks don't trip it
+        assert!(
+            two_matmuls > 5 * one_matmuls,
+            "stage-ii must issue per-proposal matmuls \
+             (two-stage {two_matmuls}/pass vs one-stage {one_matmuls}/pass)"
+        );
+        assert!(
+            two_nodes > 5 * one_nodes,
+            "stage-ii must build a per-proposal graph \
+             (two-stage {two_nodes}/pass vs one-stage {one_nodes}/pass)"
+        );
+    }
+
     let speedup = t_two.p50_s / t_one.p50_s;
+    if cfg!(debug_assertions) {
+        eprintln!("debug build: skipping wall-clock assert (measured {speedup:.1}x)");
+        return;
+    }
+    // medians, and a conservative threshold: CI machines may run this test
+    // alongside other load
     assert!(
         speedup > 1.5,
         "one-stage should be clearly faster; measured {speedup:.1}x \
@@ -74,6 +132,7 @@ fn one_stage_is_structurally_faster_than_two_stage() {
 /// recall, while YOLLO has no such ceiling.
 #[test]
 fn two_stage_is_capped_by_proposal_recall() {
+    let _g = serial();
     let ds = Dataset::generate(DatasetConfig::tiny(DatasetKind::SynthRef, 2));
     let vocab = ds.build_vocab();
     let mut rpn = ProposalNetwork::new(ProposalConfig::default(), 3);
@@ -94,6 +153,7 @@ fn two_stage_is_capped_by_proposal_recall() {
 /// the full model must beat it on a dataset built of such cases.
 #[test]
 fn co_attention_matters_on_disambiguation_queries() {
+    let _g = serial();
     let ds = Dataset::generate(DatasetConfig {
         train_images: 40,
         val_images: 20,
@@ -147,6 +207,7 @@ fn co_attention_matters_on_disambiguation_queries() {
 /// a few hundred iterations on every dataset flavour.
 #[test]
 fn training_loss_drops_on_all_flavours() {
+    let _g = serial();
     for kind in DatasetKind::ALL {
         let ds = Dataset::generate(DatasetConfig::tiny(kind, 11));
         let mut model = Yollo::for_dataset(&ds, 3);
